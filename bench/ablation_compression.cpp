@@ -1,0 +1,73 @@
+// Ablation: the value of tensor compression (TC, Section III-A) inside the
+// streamed kernel. The dense variant walks every synapse with affine SSR
+// streams; the compressed variant streams only the spiking ones through the
+// indirect SSR, paying stream-setup floors and index traffic. The crossover
+// vs. firing rate — and how it moves with channel depth — is the event-driven
+// computing argument in one table.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "compress/csr_ifmap.hpp"
+#include "kernels/layer_kernels.hpp"
+
+namespace sc = spikestream::common;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+
+namespace {
+
+double layer_cycles(int in_c, double rate, k::Variant v, std::uint64_t seed) {
+  snn::LayerSpec spec;
+  spec.kind = snn::LayerKind::kConv;
+  spec.name = "conv";
+  spec.in_h = spec.in_w = 14;
+  spec.in_c = in_c;
+  spec.k = 3;
+  spec.out_c = 64;
+  spec.lif.v_th = 0.8f;
+  spec.lif.v_rst = 0.8f;
+  sc::Rng rng(seed);
+  snn::LayerWeights w;
+  w.k = 3;
+  w.in_c = in_c;
+  w.out_c = 64;
+  w.v.resize(9u * static_cast<std::size_t>(in_c) * 64);
+  for (auto& x : w.v) x = static_cast<float>(rng.normal(0.0, 0.05));
+  snn::SpikeMap in(14, 14, in_c);
+  for (int y = 1; y < 13; ++y) {
+    for (int x = 1; x < 13; ++x) {
+      for (int c = 0; c < in_c; ++c) in.at(y, x, c) = rng.bernoulli(rate);
+    }
+  }
+  const auto csr = spikestream::compress::CsrIfmap::encode(in);
+  k::RunOptions opt;
+  opt.variant = v;
+  snn::Tensor m(spec.out_h(), spec.out_w(), spec.out_c);
+  return k::run_conv_layer(spec, w, csr, m, opt).stats.compute_cycles;
+}
+
+}  // namespace
+
+int main() {
+  for (int in_c : {16, 64, 256}) {
+    sc::Table t("Ablation — compressed (indirect SSR) vs dense (affine SSR) "
+                "conv, C_in=" + std::to_string(in_c) + ", FP16, compute cycles");
+    t.set_header({"firing rate", "compressed [kcyc]", "dense [kcyc]",
+                  "compressed gain"});
+    for (double rate : {0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+      const double cs = layer_cycles(in_c, rate, k::Variant::kSpikeStream, 7);
+      const double dn = layer_cycles(in_c, rate, k::Variant::kDenseNoTc, 7);
+      t.add_row({sc::Table::pct(rate, 0), sc::Table::num(cs / 1e3, 1),
+                 sc::Table::num(dn / 1e3, 1),
+                 sc::Table::num(dn / cs, 2) + "x"});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf("Dense cost is rate-independent; compression wins whenever the "
+              "stream-setup\nfloor (ss_setup per SpVA) stays below the dense "
+              "fan-in stream — i.e. almost\nalways for deep layers, and only "
+              "above ~dense-equivalent rates for thin ones.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: strong scaling with worker-core count (1..8) for both variants
+// on a mid-network conv layer — shows where the TP optimization's speedup
+// comes from and how close workload stealing gets to linear scaling.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "compress/csr_ifmap.hpp"
+#include "kernels/layer_kernels.hpp"
+
+namespace sc = spikestream::common;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+
+int main() {
+  snn::LayerSpec spec;
+  spec.kind = snn::LayerKind::kConv;
+  spec.name = "conv4-like";
+  spec.in_h = spec.in_w = 18;
+  spec.in_c = 256;
+  spec.k = 3;
+  spec.out_c = 256;
+  spec.lif.v_th = 0.8f;
+  spec.lif.v_rst = 0.8f;
+  sc::Rng rng(11);
+  snn::LayerWeights w;
+  w.k = 3;
+  w.in_c = spec.in_c;
+  w.out_c = spec.out_c;
+  w.v.resize(9u * 256 * 256);
+  for (auto& x : w.v) x = static_cast<float>(rng.normal(0.0, 0.04));
+  snn::SpikeMap in(18, 18, 256);
+  for (int y = 1; y < 17; ++y) {
+    for (int x = 1; x < 17; ++x) {
+      for (int c = 0; c < 256; ++c) in.at(y, x, c) = rng.bernoulli(0.2);
+    }
+  }
+  const auto csr = spikestream::compress::CsrIfmap::encode(in);
+
+  sc::Table t("Ablation — strong scaling over worker cores (18x18x256 -> "
+              "256 conv, rate 20%, FP16)");
+  t.set_header({"cores", "baseline [kcyc]", "speedup", "spikestream [kcyc]",
+                "speedup", "SS imbalance"});
+  double base1 = 0, ss1 = 0;
+  for (int cores : {1, 2, 4, 8}) {
+    k::RunOptions ob, os;
+    ob.variant = k::Variant::kBaseline;
+    os.variant = k::Variant::kSpikeStream;
+    ob.cores = os.cores = cores;
+    snn::Tensor m1(spec.out_h(), spec.out_w(), spec.out_c), m2 = m1;
+    const auto rb = k::run_conv_layer(spec, w, csr, m1, ob);
+    const auto rs = k::run_conv_layer(spec, w, csr, m2, os);
+    if (cores == 1) {
+      base1 = rb.stats.compute_cycles;
+      ss1 = rs.stats.compute_cycles;
+    }
+    double lo = 1e300, hi = 0;
+    for (double c : rs.stats.core_cycles) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    t.add_row({std::to_string(cores),
+               sc::Table::num(rb.stats.compute_cycles / 1e3, 1),
+               sc::Table::num(base1 / rb.stats.compute_cycles, 2) + "x",
+               sc::Table::num(rs.stats.compute_cycles / 1e3, 1),
+               sc::Table::num(ss1 / rs.stats.compute_cycles, 2) + "x",
+               sc::Table::pct(hi > 0 ? (hi - lo) / hi : 0.0)});
+  }
+  t.print();
+  std::printf("\nBoth variants scale near-linearly (256 RFs over <=8 cores "
+              "keep the steal\nqueue busy); the SpikeStream advantage is "
+              "per-core, so TP and SA compose.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: double buffering on/off (Section III-D) and ifmap index width
+// (8/16/32-bit, Section II-B's SSR index sizes) across the S-VGG11 conv
+// layers. Shows which layers are DMA-bound and what DB recovers.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "kernels/tiling.hpp"
+
+namespace sb = spikestream::bench;
+namespace sc = spikestream::common;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+
+int main() {
+  const int batch = sb::batch_size_from_env(8);
+  const auto net = sb::make_calibrated_svgg11();
+  const auto images =
+      spikestream::snn::make_batch(static_cast<std::size_t>(batch), 2024);
+
+  k::RunOptions db_on, db_off;
+  db_on.variant = db_off.variant = k::Variant::kSpikeStream;
+  db_on.fmt = db_off.fmt = sc::FpFormat::FP16;
+  db_off.double_buffer = false;
+  const sb::BatchRun ron = sb::run_batch(net, db_on, images);
+  const sb::BatchRun roff = sb::run_batch(net, db_off, images);
+
+  sc::Table t("Ablation — double buffering (SpikeStream FP16), batch=" +
+              std::to_string(batch));
+  t.set_header({"layer", "DB on [kcyc]", "DB off [kcyc]", "gain"});
+  for (std::size_t l = 0; l < ron.layers.size(); ++l) {
+    t.add_row({ron.layers[l].name,
+               sc::Table::num(ron.layers[l].cycles.mean() / 1e3, 1),
+               sc::Table::num(roff.layers[l].cycles.mean() / 1e3, 1),
+               sc::Table::num(roff.layers[l].cycles.mean() /
+                                  ron.layers[l].cycles.mean(),
+                              2) +
+                   "x"});
+  }
+  t.print();
+  std::printf("end-to-end: DB on %.2f ms, DB off %.2f ms (%.2fx)\n\n",
+              ron.total_cycles.mean() / 1e6, roff.total_cycles.mean() / 1e6,
+              roff.total_cycles.mean() / ron.total_cycles.mean());
+
+  // Index width: footprint of the compressed ifmaps with 1/2/4-byte indices.
+  sc::Table t2("Ablation — compressed ifmap footprint vs. index width");
+  t2.set_header({"layer", "8-bit [kB]", "16-bit [kB]", "32-bit [kB]",
+                 "8-bit legal?"});
+  k::RunOptions opt;
+  const sb::BatchRun run = sb::run_batch(net, opt, images);
+  for (std::size_t l = 1; l < run.layers.size(); ++l) {
+    const auto& spec = net.layer(l);
+    const double kb16 = run.layers[l].csr_bytes.mean() / 1024.0;
+    // Footprints scale linearly in the index width.
+    t2.add_row({run.layers[l].name, sc::Table::num(kb16 / 2.0, 1),
+                sc::Table::num(kb16, 1), sc::Table::num(kb16 * 2.0, 1),
+                spec.in_c <= 256 ? "yes" : "no (C > 256)"});
+  }
+  t2.print();
+  return 0;
+}

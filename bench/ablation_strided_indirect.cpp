@@ -1,0 +1,67 @@
+// Ablation: the paper's Section-VI future-work proposal — strided indirect
+// SSR execution — on FC layers, where the base ISA needs an index
+// pre-scaling pass (one multiply/shift/store per spike) before the gather
+// streams can run. The effect lives on the *compute* critical path; at the
+// end-to-end level the S-VGG11 FC layers are DMA-bound (weights stream from
+// global memory), which this bench also demonstrates.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "compress/csr_ifmap.hpp"
+#include "kernels/layer_kernels.hpp"
+
+namespace sc = spikestream::common;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+
+int main() {
+  sc::Table t("Ablation — strided indirect SSR (Section VI) on an FC layer "
+              "4096 -> 512, FP16");
+  t.set_header({"input rate", "compute base [kcyc]", "compute ext [kcyc]",
+                "compute gain", "int instrs saved", "end-to-end gain"});
+
+  snn::LayerSpec spec;
+  spec.kind = snn::LayerKind::kFc;
+  spec.name = "fc";
+  spec.in_c = 4096;
+  spec.out_c = 512;
+  spec.lif.v_th = 0.5f;
+  spec.lif.v_rst = 0.5f;
+  sc::Rng wrng(3);
+  snn::LayerWeights w;
+  w.k = 1;
+  w.in_c = spec.in_c;
+  w.out_c = spec.out_c;
+  w.v.resize(static_cast<std::size_t>(spec.in_c) * spec.out_c);
+  for (auto& x : w.v) x = static_cast<float>(wrng.normal(0.0, 0.02));
+
+  for (double rate : {0.05, 0.1, 0.2, 0.4}) {
+    sc::Rng rng(static_cast<std::uint64_t>(rate * 1000));
+    snn::SpikeMap in(1, 1, spec.in_c);
+    for (auto& b : in.v) b = rng.bernoulli(rate) ? 1 : 0;
+    const auto csr = spikestream::compress::CsrIfmap::encode(in);
+
+    k::RunOptions base, ext;
+    base.variant = ext.variant = k::Variant::kSpikeStream;
+    ext.strided_indirect_ext = true;
+    snn::Tensor m1(1, 1, spec.out_c), m2(1, 1, spec.out_c);
+    const auto r0 = k::run_fc_layer(spec, w, csr, m1, base);
+    const auto r1 = k::run_fc_layer(spec, w, csr, m2, ext);
+
+    t.add_row({sc::Table::pct(rate, 0),
+               sc::Table::num(r0.stats.compute_cycles / 1e3, 1),
+               sc::Table::num(r1.stats.compute_cycles / 1e3, 1),
+               sc::Table::num(r0.stats.compute_cycles / r1.stats.compute_cycles,
+                              2) + "x",
+               sc::Table::num(r0.stats.int_instrs - r1.stats.int_instrs, 0),
+               sc::Table::num(r0.stats.cycles / r1.stats.cycles, 2) + "x"});
+  }
+  t.print();
+  std::printf("\nThe extension removes the per-spike index scaling from the "
+              "compute path\n(gain grows with input activity). End-to-end the "
+              "FC layer stays DMA-bound\n(weight streaming dominates), so the "
+              "paper proposes it for 'extremely sparse\nifmaps' where compute "
+              "overlap, not bandwidth, is the limiter.\n");
+  return 0;
+}

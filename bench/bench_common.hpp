@@ -1,0 +1,88 @@
+// Shared harness for the figure-reproduction benches: builds the calibrated
+// S-VGG11, generates the input batch, runs the inference engine per variant
+// and aggregates per-layer statistics (mean / stddev over the batch), exactly
+// like the paper's evaluation methodology (Section IV: batch of 128 frames;
+// our default batch is 32 for runtime, override with SPIKESTREAM_BATCH).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "runtime/engine.hpp"
+#include "snn/calibrate.hpp"
+#include "snn/input_gen.hpp"
+#include "snn/network.hpp"
+
+namespace spikestream::bench {
+
+inline int batch_size_from_env(int def = 32) {
+  if (const char* e = std::getenv("SPIKESTREAM_BATCH")) {
+    const int v = std::atoi(e);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+inline snn::Network make_calibrated_svgg11(std::uint64_t seed = 1,
+                                           int calib_images = 4) {
+  snn::Network net = snn::Network::make_svgg11();
+  common::Rng rng(seed);
+  net.init_weights(rng);
+  const auto calib = snn::make_batch(static_cast<std::size_t>(calib_images),
+                                     seed * 17 + 3);
+  snn::calibrate_thresholds(net, calib, snn::svgg11_target_rates());
+  return net;
+}
+
+/// Per-layer aggregates over a batch.
+struct LayerAgg {
+  std::string name;
+  common::RunningStats cycles;
+  common::RunningStats util;
+  common::RunningStats ipc;
+  common::RunningStats energy_mj;
+  common::RunningStats power_w;
+  common::RunningStats in_rate;
+  common::RunningStats csr_bytes;
+  common::RunningStats aer_bytes;
+};
+
+struct BatchRun {
+  std::vector<LayerAgg> layers;
+  common::RunningStats total_cycles;
+  common::RunningStats total_energy_mj;
+};
+
+inline BatchRun run_batch(const snn::Network& net,
+                          const kernels::RunOptions& opt,
+                          const std::vector<snn::Tensor>& images,
+                          const arch::EnergyParams& energy = {}) {
+  runtime::InferenceEngine eng(net, opt, energy);
+  BatchRun agg;
+  agg.layers.resize(net.num_layers());
+  for (const auto& img : images) {
+    eng.reset();
+    const runtime::InferenceResult res = eng.run(img);
+    for (std::size_t l = 0; l < res.layers.size(); ++l) {
+      const auto& m = res.layers[l];
+      LayerAgg& a = agg.layers[l];
+      a.name = m.name;
+      a.cycles.add(m.stats.cycles);
+      a.util.add(m.stats.fpu_utilization());
+      a.ipc.add(m.stats.ipc());
+      a.energy_mj.add(m.energy.total_mj());
+      a.power_w.add(m.power_w);
+      a.in_rate.add(m.in_firing_rate);
+      a.csr_bytes.add(m.csr_bytes);
+      a.aer_bytes.add(m.aer_bytes);
+    }
+    agg.total_cycles.add(res.total_cycles);
+    agg.total_energy_mj.add(res.total_energy_mj);
+  }
+  return agg;
+}
+
+}  // namespace spikestream::bench

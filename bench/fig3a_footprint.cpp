@@ -1,0 +1,52 @@
+// Reproduces Fig. 3a: average ifmap memory footprint (AER vs. our CSR-based
+// format) and firing activity across the S-VGG11 layers, over an input batch.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace sb = spikestream::bench;
+namespace sc = spikestream::common;
+namespace k = spikestream::kernels;
+
+int main() {
+  const int batch = sb::batch_size_from_env();
+  const auto net = sb::make_calibrated_svgg11();
+  const auto images = spikestream::snn::make_batch(
+      static_cast<std::size_t>(batch), 2024);
+
+  k::RunOptions opt;
+  opt.variant = k::Variant::kSpikeStream;
+  opt.fmt = sc::FpFormat::FP16;
+  const sb::BatchRun run = sb::run_batch(net, opt, images);
+
+  sc::Table t("Fig. 3a — ifmap memory footprint (16-bit indices) and firing "
+              "activity, batch=" + std::to_string(batch));
+  t.set_header({"layer", "ifmap (HxWxC)", "AER [kB]", "CSR/ours [kB]",
+                "reduction", "firing activity"});
+  double ratio_acc = 0;
+  int ratio_n = 0;
+  for (std::size_t l = 0; l < run.layers.size(); ++l) {
+    const auto& a = run.layers[l];
+    const auto& spec = net.layer(l);
+    const std::string shape = std::to_string(spec.in_h) + "x" +
+                              std::to_string(spec.in_w) + "x" +
+                              std::to_string(spec.in_c);
+    const double aer_kb = a.aer_bytes.mean() / 1024.0;
+    const double csr_kb = a.csr_bytes.mean() / 1024.0;
+    const double red = csr_kb > 0 ? aer_kb / csr_kb : 0.0;
+    if (l > 0) {  // layer 1's input is a dense image, not spikes
+      ratio_acc += red;
+      ++ratio_n;
+    }
+    t.add_row({a.name, shape,
+               sc::Table::pm(aer_kb, a.aer_bytes.stddev() / 1024.0),
+               sc::Table::pm(csr_kb, a.csr_bytes.stddev() / 1024.0),
+               sc::Table::num(red, 2) + "x",
+               sc::Table::pct(a.in_rate.mean())});
+  }
+  t.print();
+  std::printf("\naverage footprint reduction over spiking layers: %.2fx "
+              "(paper: ~2.75x)\n",
+              ratio_acc / ratio_n);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig. 3c: per-layer speedup of SpikeStream FP16 over the FP16
+// baseline, and of SpikeStream FP8 over SpikeStream FP16; plus the end-to-end
+// summary speedups quoted in the abstract / Section IV-A.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace sb = spikestream::bench;
+namespace sc = spikestream::common;
+namespace k = spikestream::kernels;
+
+int main() {
+  const int batch = sb::batch_size_from_env();
+  const auto net = sb::make_calibrated_svgg11();
+  const auto images =
+      spikestream::snn::make_batch(static_cast<std::size_t>(batch), 2024);
+
+  k::RunOptions base, ss16, ss8;
+  base.variant = k::Variant::kBaseline;
+  base.fmt = sc::FpFormat::FP16;
+  ss16.variant = k::Variant::kSpikeStream;
+  ss16.fmt = sc::FpFormat::FP16;
+  ss8.variant = k::Variant::kSpikeStream;
+  ss8.fmt = sc::FpFormat::FP8;
+  const sb::BatchRun rb = sb::run_batch(net, base, images);
+  const sb::BatchRun r16 = sb::run_batch(net, ss16, images);
+  const sb::BatchRun r8 = sb::run_batch(net, ss8, images);
+
+  sc::Table t("Fig. 3c — per-layer speedups, batch=" + std::to_string(batch));
+  t.set_header({"layer", "runtime base FP16 [ms]", "SS FP16 over base FP16",
+                "SS FP8 over SS FP16"});
+  double s16_acc = 0, s8_acc = 0;
+  for (std::size_t l = 0; l < rb.layers.size(); ++l) {
+    const double s16 = rb.layers[l].cycles.mean() / r16.layers[l].cycles.mean();
+    const double s8 = r16.layers[l].cycles.mean() / r8.layers[l].cycles.mean();
+    s16_acc += s16;
+    s8_acc += s8;
+    t.add_row({rb.layers[l].name,
+               sc::Table::num(rb.layers[l].cycles.mean() / 1e6, 3),
+               sc::Table::num(s16, 2) + "x", sc::Table::num(s8, 2) + "x"});
+  }
+  t.print();
+
+  const auto n = static_cast<double>(rb.layers.size());
+  std::printf("\nlayer-average speedup SS FP16 / base FP16: %.2fx (paper: 5.62x)\n",
+              s16_acc / n);
+  std::printf("layer-average speedup SS FP8 / SS FP16:    %.2fx (paper: 1.71x)\n",
+              s8_acc / n);
+  std::printf("end-to-end speedup SS FP16 / base FP16:    %.2fx (paper: 4.39x)\n",
+              rb.total_cycles.mean() / r16.total_cycles.mean());
+  std::printf("end-to-end speedup SS FP8  / base FP16:    %.2fx (paper: 7.29x)\n",
+              rb.total_cycles.mean() / r8.total_cycles.mean());
+  std::printf("end-to-end inference: base %.2f ms, SS FP16 %.2f ms, SS FP8 %.2f ms\n",
+              rb.total_cycles.mean() / 1e6, r16.total_cycles.mean() / 1e6,
+              r8.total_cycles.mean() / 1e6);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Fig. 4: average per-layer energy and power for the FP16
+// baseline, SpikeStream FP16, and SpikeStream FP8, plus the total-inference
+// energy-efficiency gains of Section IV-B.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace sb = spikestream::bench;
+namespace sc = spikestream::common;
+namespace k = spikestream::kernels;
+
+int main() {
+  const int batch = sb::batch_size_from_env();
+  const auto net = sb::make_calibrated_svgg11();
+  const auto images =
+      spikestream::snn::make_batch(static_cast<std::size_t>(batch), 2024);
+
+  k::RunOptions base, ss16, ss8;
+  base.variant = k::Variant::kBaseline;
+  base.fmt = sc::FpFormat::FP16;
+  ss16.variant = k::Variant::kSpikeStream;
+  ss16.fmt = sc::FpFormat::FP16;
+  ss8.variant = k::Variant::kSpikeStream;
+  ss8.fmt = sc::FpFormat::FP8;
+  const sb::BatchRun rb = sb::run_batch(net, base, images);
+  const sb::BatchRun r16 = sb::run_batch(net, ss16, images);
+  const sb::BatchRun r8 = sb::run_batch(net, ss8, images);
+
+  sc::Table t("Fig. 4 — per-layer energy and power, batch=" +
+              std::to_string(batch));
+  t.set_header({"layer", "E base [mJ]", "E SS16 [mJ]", "E SS8 [mJ]",
+                "P base [W]", "P SS16 [W]", "P SS8 [W]"});
+  double pb = 0, p16 = 0, p8 = 0;
+  for (std::size_t l = 0; l < rb.layers.size(); ++l) {
+    t.add_row({rb.layers[l].name,
+               sc::Table::pm(rb.layers[l].energy_mj.mean(),
+                             rb.layers[l].energy_mj.stddev(), 3),
+               sc::Table::pm(r16.layers[l].energy_mj.mean(),
+                             r16.layers[l].energy_mj.stddev(), 3),
+               sc::Table::pm(r8.layers[l].energy_mj.mean(),
+                             r8.layers[l].energy_mj.stddev(), 3),
+               sc::Table::num(rb.layers[l].power_w.mean(), 3),
+               sc::Table::num(r16.layers[l].power_w.mean(), 3),
+               sc::Table::num(r8.layers[l].power_w.mean(), 3)});
+    if (l >= 1) {  // paper: layers 2..8 share the sparse kernel
+      pb += rb.layers[l].power_w.mean();
+      p16 += r16.layers[l].power_w.mean();
+      p8 += r8.layers[l].power_w.mean();
+    }
+  }
+  t.print();
+
+  const double n = static_cast<double>(rb.layers.size()) - 1.0;
+  std::printf("\naverage power layers 2-8: base %.4f W (paper 0.1319), "
+              "SS FP16 %.3f W (paper 0.233), SS FP8 %.3f W (paper 0.219)\n",
+              pb / n, p16 / n, p8 / n);
+  std::printf("FP8 power saving vs FP16: %.1f%% (paper: 6.7%%)\n",
+              100.0 * (1.0 - p8 / p16));
+  std::printf("total-inference energy gains: SS FP16 %.2fx (paper 3.25x), "
+              "SS FP8 %.2fx (paper 5.67x), FP8/FP16 %.2fx (paper 1.74x)\n",
+              rb.total_energy_mj.mean() / r16.total_energy_mj.mean(),
+              rb.total_energy_mj.mean() / r8.total_energy_mj.mean(),
+              r16.total_energy_mj.mean() / r8.total_energy_mj.mean());
+
+  // Energy concentration in conv layers (paper: 82.8% of total).
+  double conv_e = 0, all_e = 0;
+  for (std::size_t l = 0; l < r16.layers.size(); ++l) {
+    const double e = r16.layers[l].energy_mj.mean();
+    all_e += e;
+    if (l < 6) conv_e += e;
+  }
+  std::printf("share of energy in conv layers (SS FP16): %.1f%% (paper: 82.8%%)\n",
+              100.0 * conv_e / all_e);
+  return 0;
+}

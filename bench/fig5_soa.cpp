@@ -1,0 +1,61 @@
+// Reproduces Fig. 5: latency (a) and energy (b) of the 6th S-VGG11 layer over
+// 500 timesteps, for our three variants and the four SoA neuromorphic
+// accelerators. SPIKESTREAM_TIMESTEPS overrides the timestep count (the
+// official figure uses 500; the default here is 100 to keep the binary quick —
+// results scale linearly and both settings are recorded in EXPERIMENTS.md).
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "soa/comparison.hpp"
+
+namespace sc = spikestream::common;
+namespace soa = spikestream::soa;
+
+int main() {
+  int timesteps = 100;
+  if (const char* e = std::getenv("SPIKESTREAM_TIMESTEPS")) {
+    const int v = std::atoi(e);
+    if (v > 0) timesteps = v;
+  }
+  const double in_rate = 0.094;  // layer-6 ifmap activity (Fig. 3a profile)
+  spikestream::arch::EnergyParams energy;
+  const auto rows = soa::layer6_comparison(timesteps, in_rate, energy);
+  const double scale = 500.0 / timesteps;  // report at the paper's 500 ts
+
+  sc::Table t("Fig. 5 — S-VGG11 layer 6, scaled to 500 timesteps (simulated " +
+              std::to_string(timesteps) + ")");
+  t.set_header({"platform", "latency [ms]", "energy [mJ]", "peak GSOP",
+                "tech [nm]"});
+  for (const auto& r : rows) {
+    t.add_row({r.name, sc::Table::num(r.latency_ms * scale, 2),
+               sc::Table::num(r.energy_mj * scale, 2),
+               r.peak_gsop > 0 ? sc::Table::num(r.peak_gsop, 1) : "64 (FP8)",
+               sc::Table::num(r.tech_nm, 0)});
+  }
+  t.print();
+
+  auto find = [&](const std::string& n) {
+    for (const auto& r : rows) {
+      if (r.name.find(n) != std::string::npos) return r;
+    }
+    std::fprintf(stderr, "missing row %s\n", n.c_str());
+    std::exit(1);
+  };
+  const auto fp16 = find("spikestream FP16");
+  const auto fp8 = find("spikestream FP8");
+  const auto base = find("baseline");
+  const auto lsm = find("LSMCore");
+  const auto loihi = find("Loihi");
+  std::printf("\nlatency: base FP16 %.1f ms (paper 2516.7), SS FP8 %.1f ms "
+              "(paper 217.1), LSMCore %.1f ms (paper 46.1)\n",
+              base.latency_ms * scale, fp8.latency_ms * scale,
+              lsm.latency_ms * scale);
+  std::printf("ours vs Loihi: FP16 %.2fx (paper 1.31x), FP8 %.2fx (paper 2.38x)\n",
+              loihi.latency_ms / fp16.latency_ms,
+              loihi.latency_ms / fp8.latency_ms);
+  std::printf("energy vs LSMCore: FP16 %.2fx less (paper 2.37x), FP8 %.2fx "
+              "less (paper 3.46x)\n",
+              lsm.energy_mj / fp16.energy_mj, lsm.energy_mj / fp8.energy_mj);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// google-benchmark microbenches: host-side throughput of the ISS and of the
+// functional kernels (useful to size batch counts for the figure benches, and
+// to catch performance regressions in the simulator itself).
+#include <benchmark/benchmark.h>
+
+#include "arch/cluster.hpp"
+#include "common/rng.hpp"
+#include "compress/csr_ifmap.hpp"
+#include "kernels/iss_kernels.hpp"
+#include "kernels/layer_kernels.hpp"
+#include "snn/network.hpp"
+
+namespace arch = spikestream::arch;
+namespace k = spikestream::kernels;
+namespace sc = spikestream::common;
+namespace snn = spikestream::snn;
+
+namespace {
+
+std::vector<std::uint16_t> rand_idcs(int n, int universe, std::uint64_t seed) {
+  sc::Rng rng(seed);
+  std::vector<std::uint16_t> v;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(static_cast<std::uint16_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(universe))));
+  }
+  return v;
+}
+
+void BM_IssBaselineSpva(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::vector<double> w(512, 1.0);
+  const auto idcs = rand_idcs(n, 512, 1);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    arch::ClusterConfig cfg;
+    cfg.icache_miss_penalty = 0;
+    arch::Cluster cl(cfg);
+    const auto r = k::iss_baseline_spva(cl, w, idcs);
+    cycles = r.cycles;
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+  state.counters["sim_cycles_per_sec"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_IssBaselineSpva)->Arg(64)->Arg(512);
+
+void BM_IssStreamSpva(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::vector<double> w(512, 1.0);
+  const auto idcs = rand_idcs(n, 512, 2);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    arch::ClusterConfig cfg;
+    cfg.icache_miss_penalty = 0;
+    arch::Cluster cl(cfg);
+    const auto r = k::iss_spikestream_spva(cl, w, idcs);
+    cycles = r.cycles;
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_IssStreamSpva)->Arg(64)->Arg(512);
+
+void BM_ConvKernelFunctional(benchmark::State& state) {
+  snn::LayerSpec spec;
+  spec.kind = snn::LayerKind::kConv;
+  spec.name = "conv";
+  spec.in_h = spec.in_w = 18;
+  spec.in_c = 128;
+  spec.k = 3;
+  spec.out_c = 256;
+  sc::Rng rng(3);
+  snn::LayerWeights w;
+  w.k = 3;
+  w.in_c = 128;
+  w.out_c = 256;
+  w.v.resize(9u * 128 * 256);
+  for (auto& x : w.v) x = static_cast<float>(rng.normal(0.0, 0.05));
+  snn::SpikeMap in(18, 18, 128);
+  for (auto& b : in.v) b = rng.bernoulli(0.3) ? 1 : 0;
+  const auto csr = spikestream::compress::CsrIfmap::encode(in);
+  k::RunOptions opt;
+  for (auto _ : state) {
+    snn::Tensor m(spec.out_h(), spec.out_w(), spec.out_c);
+    const auto r = k::run_conv_layer(spec, w, csr, m, opt);
+    benchmark::DoNotOptimize(r.stats.cycles);
+  }
+}
+BENCHMARK(BM_ConvKernelFunctional);
+
+void BM_CsrEncode(benchmark::State& state) {
+  sc::Rng rng(4);
+  snn::SpikeMap in(34, 34, 64);
+  for (auto& b : in.v) b = rng.bernoulli(0.15) ? 1 : 0;
+  for (auto _ : state) {
+    auto c = spikestream::compress::CsrIfmap::encode(in);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_CsrEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Building a custom spiking network layer by layer — e.g. the kind of compact
+// event-driven model used for drone obstacle avoidance (Zanatta et al., cited
+// in the paper's FP-precision motivation). Shows the LayerSpec API, per-layer
+// threshold control, FP-format exploration, and per-layer metric extraction.
+//
+//   $ ./custom_network
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "runtime/engine.hpp"
+#include "snn/calibrate.hpp"
+#include "snn/input_gen.hpp"
+
+namespace snn = spikestream::snn;
+namespace k = spikestream::kernels;
+namespace rt = spikestream::runtime;
+namespace sc = spikestream::common;
+
+int main() {
+  // A 5-layer perception network for 48x48 sensor frames.
+  snn::Network net;
+
+  snn::LayerSpec enc;       // spike encoding from raw pixels
+  enc.kind = snn::LayerKind::kEncodeConv;
+  enc.name = "encode";
+  enc.in_h = enc.in_w = 50;  // 48 + 2 padding
+  enc.in_c = 2;              // e.g. intensity + depth
+  enc.k = 3;
+  enc.out_c = 16;
+  enc.pool_after = true;     // 48 -> 24
+  net.add_layer(enc);
+
+  snn::LayerSpec c2;
+  c2.kind = snn::LayerKind::kConv;
+  c2.name = "conv2";
+  c2.in_h = c2.in_w = 26;    // 24 + padding
+  c2.in_c = 16;
+  c2.k = 3;
+  c2.out_c = 32;
+  c2.pool_after = true;      // 24 -> 12
+  net.add_layer(c2);
+
+  snn::LayerSpec c3;
+  c3.kind = snn::LayerKind::kConv;
+  c3.name = "conv3";
+  c3.in_h = c3.in_w = 14;    // 12 + padding
+  c3.in_c = 32;
+  c3.k = 3;
+  c3.out_c = 64;
+  net.add_layer(c3);
+
+  snn::LayerSpec fc1;
+  fc1.kind = snn::LayerKind::kFc;
+  fc1.name = "fc1";
+  fc1.in_c = 12 * 12 * 64;
+  fc1.out_c = 128;
+  net.add_layer(fc1);
+
+  snn::LayerSpec fc2;
+  fc2.kind = snn::LayerKind::kFc;
+  fc2.name = "steer";
+  fc2.out_c = 5;             // steering classes
+  fc2.in_c = 128;
+  net.add_layer(fc2);
+
+  sc::Rng rng(2718);
+  net.init_weights(rng);
+
+  // Calibrate to a sparse profile (energy-constrained platform).
+  const auto calib = snn::make_batch(4, 11, 48, 48, 2);
+  const std::vector<double> targets = {0.15, 0.12, 0.10, 0.05, 0.2};
+  snn::calibrate_thresholds(net, calib, targets);
+
+  // Explore precision: which format meets a 2 ms / 0.5 mJ budget?
+  const auto frames = snn::make_batch(4, 33, 48, 48, 2);
+  sc::Table t("custom 5-layer SNN: precision sweep (SpikeStream kernels)");
+  t.set_header({"format", "runtime [ms]", "energy [mJ]", "avg FPU util",
+                "output spikes"});
+  for (auto fmt : {sc::FpFormat::FP32, sc::FpFormat::FP16, sc::FpFormat::FP8}) {
+    k::RunOptions opt;
+    opt.variant = k::Variant::kSpikeStream;
+    opt.fmt = fmt;
+    rt::InferenceEngine engine(net, opt);
+    double ms = 0, mj = 0, util = 0;
+    std::size_t spikes = 0;
+    for (const auto& f : frames) {
+      engine.reset();
+      const auto res = engine.run(f);
+      ms += res.total_runtime_ms();
+      mj += res.total_energy_mj;
+      for (const auto& m : res.layers) util += m.stats.fpu_utilization();
+      spikes += snn::spike_count(res.final_output);
+    }
+    const auto n = static_cast<double>(frames.size());
+    t.add_row({sc::fp_name(fmt), sc::Table::num(ms / n, 3),
+               sc::Table::num(mj / n, 4),
+               sc::Table::pct(util / (n * static_cast<double>(net.num_layers()))),
+               std::to_string(spikes)});
+  }
+  t.print();
+  std::printf("\nNote how FP8 halves runtime at equal spike outputs only if "
+              "the quantized\nweights preserve the spike pattern — check the "
+              "last column before deploying.\n");
+  return 0;
+}

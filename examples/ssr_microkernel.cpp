@@ -1,0 +1,100 @@
+// Driving the cycle-level cluster model directly: assemble the paper's two
+// SpVA inner loops (Listings 1b and 1c) with the built-in assembler, run them
+// on the Snitch-like core, and inspect the performance counters — the
+// clearest way to *see* why the stream registers win.
+//
+//   $ ./ssr_microkernel [stream_length] [--trace]
+//
+// With --trace, the first instructions of the streamed kernel are printed
+// cycle by cycle, showing the FREP expansion running on the FPU while the
+// integer pipe is already done.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "arch/cluster.hpp"
+#include "common/rng.hpp"
+#include "kernels/iss_kernels.hpp"
+
+namespace arch = spikestream::arch;
+namespace k = spikestream::kernels;
+namespace sc = spikestream::common;
+
+namespace {
+
+void report(const char* name, const k::IssRunResult& r, int elems) {
+  std::printf("%-22s %8llu cycles  %5.2f cyc/elem  FPU util %5.1f%%  "
+              "IPC %.2f  (sum=%.3f)\n",
+              name, static_cast<unsigned long long>(r.cycles),
+              static_cast<double>(r.cycles) / elems,
+              100.0 * r.perf.fpu_utilization(), r.perf.ipc(), r.value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int s_len = argc > 1 ? std::atoi(argv[1]) : 200;
+  bool want_trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) want_trace = true;
+  }
+
+  // A weight vector and a spike index list, like one SpVA of a conv layer.
+  sc::Rng rng(7);
+  std::vector<double> weights(512);
+  for (auto& w : weights) w = rng.normal();
+  std::vector<std::uint16_t> idcs;
+  for (int i = 0; i < s_len; ++i) {
+    idcs.push_back(static_cast<std::uint16_t>(rng.uniform_u64(512)));
+  }
+
+  std::printf("one SpVA, %d spikes, FP64 weights in TCDM\n\n", s_len);
+
+  arch::ClusterConfig cfg;
+  cfg.icache_miss_penalty = 0;
+  {
+    arch::Cluster cl(cfg);
+    report("Listing 1b (scalar)", k::iss_baseline_spva(cl, weights, idcs),
+           s_len);
+  }
+  {
+    arch::Cluster cl(cfg);
+    std::vector<arch::TraceEntry> trace;
+    if (want_trace) cl.core(0).set_trace(&trace, 48);
+    report("Listing 1c (SSR+FREP)",
+           k::iss_spikestream_spva(cl, weights, idcs), s_len);
+    if (want_trace) {
+      std::printf("\n  cycle | pipe | instruction\n");
+      for (const auto& e : trace) {
+        std::printf("  %5llu | %s  | %s\n",
+                    static_cast<unsigned long long>(e.cycle),
+                    e.fpu ? "FPU" : "INT", arch::disasm(e.instr).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Back-to-back SpVAs: shadow registers hide the setup of stream j+1
+  // beneath stream j (Section III-E).
+  std::printf("\n30 back-to-back SpVAs (stream setup overlapped via shadow "
+              "registers):\n\n");
+  std::vector<std::vector<std::uint16_t>> streams;
+  int total = 0;
+  for (int j = 0; j < 30; ++j) {
+    std::vector<std::uint16_t> s;
+    for (int i = 0; i < s_len; ++i) {
+      s.push_back(static_cast<std::uint16_t>(rng.uniform_u64(512)));
+    }
+    total += s_len;
+    streams.push_back(std::move(s));
+  }
+  arch::Cluster cl(cfg);
+  report("SpVA sequence", k::iss_spikestream_spva_sequence(cl, weights, streams),
+         total);
+
+  std::printf("\nThe scalar loop spends 7 of 8 instructions on addressing and "
+              "loop control;\nthe streamed version leaves only the fadd, "
+              "bounded by the accumulation\ndependency (II = fadd latency = "
+              "2 cycles).\n");
+  return 0;
+}

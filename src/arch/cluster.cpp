@@ -1,0 +1,140 @@
+#include "arch/cluster.hpp"
+
+#include "common/check.hpp"
+
+namespace spikestream::arch {
+
+Cluster::Cluster(const ClusterConfig& cfg)
+    : cfg_(cfg), mem_(cfg.mem), tcdm_brk_(kTcdmBase), global_brk_(kGlobalBase) {
+  const int n = cfg_.num_workers + (cfg_.has_dma_core ? 1 : 0);
+  cores_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) cores_.emplace_back(i, cfg_.core);
+  bound_.assign(static_cast<std::size_t>(n), nullptr);
+  core_barrier_gen_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void Cluster::load_program(const Program& p) {
+  prog_ = p;
+  per_core_progs_.clear();
+  cycle_ = 0;
+  barrier_gen_ = 0;
+  barrier_arrived_ = 0;
+  icache_lines_.clear();
+  std::fill(core_barrier_gen_.begin(), core_barrier_gen_.end(), 0);
+  for (auto& c : cores_) {
+    c.load_program(&prog_);
+  }
+  for (auto& b : bound_) b = &prog_;
+}
+
+void Cluster::load_program_on(int core_id, const Program& p) {
+  SPK_CHECK(core_id >= 0 && core_id < num_cores(), "bad core id " << core_id);
+  per_core_progs_.push_back(p);
+  cycle_ = 0;
+  icache_lines_.clear();
+  for (int i = 0; i < num_cores(); ++i) {
+    if (i == core_id) {
+      bound_[static_cast<std::size_t>(i)] = &per_core_progs_.back();
+      cores_[static_cast<std::size_t>(i)].load_program(&per_core_progs_.back());
+    } else if (bound_[static_cast<std::size_t>(i)] == nullptr) {
+      cores_[static_cast<std::size_t>(i)].load_program(nullptr);
+    }
+  }
+}
+
+Addr Cluster::tcdm_alloc(std::uint32_t bytes) {
+  const Addr a = (tcdm_brk_ + 7u) & ~7u;
+  SPK_CHECK(a + bytes <= kTcdmBase + cfg_.mem.tcdm_bytes,
+            "TCDM allocator out of space (" << bytes << " requested)");
+  tcdm_brk_ = a + bytes;
+  return a;
+}
+
+Addr Cluster::global_alloc(std::uint32_t bytes) {
+  const Addr a = (global_brk_ + 63u) & ~63u;
+  SPK_CHECK(a + bytes <= kGlobalBase + cfg_.mem.global_bytes,
+            "global allocator out of space");
+  global_brk_ = a + bytes;
+  return a;
+}
+
+void Cluster::reset_allocators() {
+  tcdm_brk_ = kTcdmBase;
+  global_brk_ = kGlobalBase;
+}
+
+bool Cluster::barrier_arrive(int core_id, bool polling) {
+  auto& my_gen = core_barrier_gen_[static_cast<std::size_t>(core_id)];
+  if (polling) return my_gen <= barrier_gen_;
+
+  SPK_CHECK(my_gen == barrier_gen_, "double barrier arrival by core " << core_id);
+  my_gen = barrier_gen_ + 1;
+  int participants = 0;
+  for (int i = 0; i < num_cores(); ++i) {
+    if (bound_[static_cast<std::size_t>(i)] != nullptr) ++participants;
+  }
+  if (++barrier_arrived_ == participants) {
+    ++barrier_gen_;
+    barrier_arrived_ = 0;
+    return true;
+  }
+  return false;
+}
+
+int Cluster::icache_penalty(std::size_t pc) {
+  const std::size_t line = pc / static_cast<std::size_t>(cfg_.icache_line_instrs);
+  if (icache_lines_.contains(line)) return 0;
+  icache_lines_.insert(line);
+  return cfg_.icache_miss_penalty;
+}
+
+bool Cluster::all_done() const {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (bound_[i] != nullptr && !cores_[i].done()) return false;
+  }
+  return dma_.idle();
+}
+
+std::uint64_t Cluster::run() {
+  ClusterServices svc;
+  svc.barrier_arrive = [this](int id, bool polling) {
+    return barrier_arrive(id, polling);
+  };
+  svc.icache_penalty = [this](std::size_t pc) { return icache_penalty(pc); };
+  svc.dma = &dma_;
+  svc.num_cores = num_cores();
+
+  const std::uint64_t start = cycle_;
+  while (!all_done()) {
+    SPK_CHECK(cycle_ - start < cfg_.max_cycles,
+              "cluster watchdog: no completion after " << cfg_.max_cycles
+                                                       << " cycles");
+    mem_.begin_cycle();
+    const int n = num_cores();
+    // Rotate stepping order so first-come TCDM arbitration is fair over time.
+    for (int k = 0; k < n; ++k) {
+      const int i = (k + step_rotation_) % n;
+      if (bound_[static_cast<std::size_t>(i)] != nullptr) {
+        cores_[static_cast<std::size_t>(i)].step(cycle_, mem_, svc);
+      }
+    }
+    dma_.step(mem_);  // after cores: workers keep TCDM priority
+    ++cycle_;
+    step_rotation_ = (step_rotation_ + 1) % std::max(n, 1);
+  }
+  // Stamp per-core cycle counts (time to the whole kernel's completion).
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (bound_[i] != nullptr) cores_[i].perf().cycles = cycle_ - start;
+  }
+  return cycle_ - start;
+}
+
+PerfCounters Cluster::aggregate_worker_perf() const {
+  PerfCounters agg;
+  for (int i = 0; i < cfg_.num_workers && i < num_cores(); ++i) {
+    agg.accumulate(cores_[static_cast<std::size_t>(i)].perf());
+  }
+  return agg;
+}
+
+}  // namespace spikestream::arch

@@ -1,0 +1,89 @@
+// Top-level cluster model: 8 Snitch worker cores + 1 DMA core sharing a
+// 32-bank TCDM, an 8 KiB shared instruction cache and one DMA engine —
+// the system of Section II-B. Runs an SPMD program (cores branch on their
+// core id CSR) until every participating core is done.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "arch/core.hpp"
+#include "arch/dma.hpp"
+#include "arch/mem.hpp"
+#include "arch/perf.hpp"
+#include "arch/program.hpp"
+
+namespace spikestream::arch {
+
+struct ClusterConfig {
+  int num_workers = 8;
+  bool has_dma_core = true;  ///< the extra core that programs the DMA engine
+  MemConfig mem;
+  CoreConfig core;
+  int icache_line_instrs = 8;
+  int icache_miss_penalty = 10;
+  std::uint64_t max_cycles = 20'000'000;  ///< watchdog against deadlocks
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg = {});
+
+  /// Total cores including the DMA core.
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  SnitchCore& core(int i) { return cores_[static_cast<std::size_t>(i)]; }
+  Memory& mem() { return mem_; }
+  DmaEngine& dma() { return dma_; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  /// Load the same program into all cores (SPMD). Resets all state.
+  void load_program(const Program& p);
+
+  /// Load a program into a single core; others stay halted. Resets state.
+  void load_program_on(int core_id, const Program& p);
+
+  /// Simple linear TCDM allocator for test/kernel setup (8-byte aligned).
+  Addr tcdm_alloc(std::uint32_t bytes);
+  Addr global_alloc(std::uint32_t bytes);
+  void reset_allocators();
+
+  /// Run to completion; returns the cycle count. Throws on watchdog expiry.
+  std::uint64_t run();
+
+  std::uint64_t cycles() const { return cycle_; }
+
+  /// Aggregate worker-core counters (excludes the DMA core).
+  PerfCounters aggregate_worker_perf() const;
+
+ private:
+  bool barrier_arrive(int core_id, bool polling);
+  int icache_penalty(std::size_t pc);
+  bool all_done() const;
+
+  ClusterConfig cfg_;
+  Memory mem_;
+  DmaEngine dma_;
+  std::vector<SnitchCore> cores_;
+  std::vector<const Program*> bound_;  ///< which program each core runs
+  Program prog_;  ///< owned storage for load_program
+  std::deque<Program> per_core_progs_;  ///< deque: stable element addresses
+
+  std::uint64_t cycle_ = 0;
+  int step_rotation_ = 0;  ///< rotates core order for fair TCDM arbitration
+
+  // barrier state
+  std::uint64_t barrier_gen_ = 0;
+  std::vector<std::uint64_t> core_barrier_gen_;
+  int barrier_arrived_ = 0;
+
+  // shared I$: set of line indices already resident
+  std::unordered_set<std::size_t> icache_lines_;
+
+  Addr tcdm_brk_;
+  Addr global_brk_;
+};
+
+}  // namespace spikestream::arch

@@ -1,0 +1,447 @@
+#include "arch/core.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace spikestream::arch {
+
+void SnitchCore::reset() {
+  xreg_.fill(0);
+  xready_.fill(0);
+  freg_.fill(0.0);
+  fready_.fill(0);
+  pending_fp_writes_.fill(0);
+  fpu_q_.clear();
+  ssrs_ = {Ssr(true), Ssr(true), Ssr(false)};
+  ssr_enabled_ = false;
+  pc_ = 0;
+  halted_ = (prog_ == nullptr);
+  int_next_issue_ = 0;
+  fpu_next_issue_ = 0;
+  in_barrier_ = false;
+  perf_ = {};
+  halt_cycle_ = 0;
+  dma_stage_ = {};
+}
+
+bool SnitchCore::done() const {
+  if (!halted_ || !fpu_q_.empty()) return false;
+  for (int p : pending_fp_writes_) {
+    if (p != 0) return false;
+  }
+  for (const Ssr& s : ssrs_) {
+    if (!s.fully_idle()) return false;
+  }
+  return true;
+}
+
+void SnitchCore::step(std::uint64_t cycle, Memory& mem, ClusterServices& svc) {
+  step_fpu(cycle, mem);
+  for (Ssr& s : ssrs_) s.step(mem);
+  step_int(cycle, mem, svc);
+}
+
+bool SnitchCore::int_srcs_ready(const Instr& in, std::uint64_t cycle) {
+  std::uint64_t ready = 0;
+  switch (in.op) {
+    // Two-source integer ops.
+    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOr: case Op::kXor:
+    case Op::kSll: case Op::kSrl: case Op::kMul: case Op::kDivu:
+    case Op::kRemu: case Op::kAmoAdd:
+    case Op::kBne: case Op::kBeq: case Op::kBlt: case Op::kBge:
+    case Op::kSw: case Op::kSh: case Op::kSb: case Op::kDmaStr:
+      ready = std::max(xready_[static_cast<std::size_t>(in.rs1)],
+                       xready_[static_cast<std::size_t>(in.rs2)]);
+      break;
+    // Single-source ops.
+    case Op::kAddi: case Op::kSlli: case Op::kSrli: case Op::kAndi:
+    case Op::kOri: case Op::kLw: case Op::kLh: case Op::kLhu: case Op::kLbu:
+    case Op::kFld: case Op::kFsd: case Op::kFmvFX: case Op::kFcvtDW:
+    case Op::kFrep: case Op::kSsrCfgBound: case Op::kSsrCfgStride:
+    case Op::kSsrCfgBase: case Op::kSsrCfgIdx: case Op::kSsrCfgLen:
+    case Op::kDmaSrc: case Op::kDmaDst: case Op::kDmaReps: case Op::kDmaStart:
+      ready = xready_[static_cast<std::size_t>(in.rs1)];
+      break;
+    default:
+      break;
+  }
+  if (ready > cycle) {
+    perf_.raw_stall_cycles += ready - cycle;
+    int_next_issue_ = ready;
+    return false;
+  }
+  return true;
+}
+
+void SnitchCore::step_int(std::uint64_t cycle, Memory& mem,
+                          ClusterServices& svc) {
+  if (halted_ || prog_ == nullptr) return;
+  if (int_next_issue_ > cycle) return;
+  if (in_barrier_) {
+    if (!svc.barrier_arrive(id_, /*polling=*/true)) return;
+    in_barrier_ = false;
+    ++pc_;
+    return;
+  }
+
+  SPK_CHECK(pc_ < prog_->code.size(), "pc out of range on core " << id_);
+  const Instr& in = prog_->code[pc_];
+
+  // Shared instruction cache: cold lines pay a refill penalty once.
+  if (svc.icache_penalty) {
+    const int pen = svc.icache_penalty(pc_);
+    if (pen > 0) {
+      int_next_issue_ = cycle + static_cast<std::uint64_t>(pen);
+      return;
+    }
+  }
+
+  if (!int_srcs_ready(in, cycle)) return;
+
+  auto wx = [&](int rd, std::uint32_t v) {
+    if (rd != 0) {
+      xreg_[static_cast<std::size_t>(rd)] = v;
+      xready_[static_cast<std::size_t>(rd)] = cycle + 1;
+    }
+  };
+  auto rx = [&](int r) { return xreg_[static_cast<std::size_t>(r)]; };
+  auto retire = [&] {
+    record_trace(cycle, pc_, in, /*fpu=*/false);
+    ++perf_.int_instrs;
+    ++pc_;
+  };
+  auto stall_mem = [&] { ++perf_.tcdm_stall_cycles; };
+
+  switch (in.op) {
+    case Op::kNop: retire(); break;
+    case Op::kAdd: wx(in.rd, rx(in.rs1) + rx(in.rs2)); retire(); break;
+    case Op::kSub: wx(in.rd, rx(in.rs1) - rx(in.rs2)); retire(); break;
+    case Op::kAnd: wx(in.rd, rx(in.rs1) & rx(in.rs2)); retire(); break;
+    case Op::kOr: wx(in.rd, rx(in.rs1) | rx(in.rs2)); retire(); break;
+    case Op::kXor: wx(in.rd, rx(in.rs1) ^ rx(in.rs2)); retire(); break;
+    case Op::kSll: wx(in.rd, rx(in.rs1) << (rx(in.rs2) & 31)); retire(); break;
+    case Op::kSrl: wx(in.rd, rx(in.rs1) >> (rx(in.rs2) & 31)); retire(); break;
+    case Op::kMul: wx(in.rd, rx(in.rs1) * rx(in.rs2)); retire(); break;
+    case Op::kDivu: case Op::kRemu: {
+      // Serial divider: result ready after a multi-cycle latency.
+      const std::uint32_t b = rx(in.rs2);
+      const std::uint32_t q = b == 0 ? ~0u : rx(in.rs1) / b;
+      const std::uint32_t rem = b == 0 ? rx(in.rs1) : rx(in.rs1) % b;
+      wx(in.rd, in.op == Op::kDivu ? q : rem);
+      if (in.rd != 0) xready_[static_cast<std::size_t>(in.rd)] = cycle + 8;
+      retire();
+      break;
+    }
+    case Op::kAddi: wx(in.rd, rx(in.rs1) + static_cast<std::uint32_t>(in.imm)); retire(); break;
+    case Op::kSlli: wx(in.rd, rx(in.rs1) << in.imm); retire(); break;
+    case Op::kSrli: wx(in.rd, rx(in.rs1) >> in.imm); retire(); break;
+    case Op::kAndi: wx(in.rd, rx(in.rs1) & static_cast<std::uint32_t>(in.imm)); retire(); break;
+    case Op::kOri: wx(in.rd, rx(in.rs1) | static_cast<std::uint32_t>(in.imm)); retire(); break;
+    case Op::kLi: wx(in.rd, static_cast<std::uint32_t>(in.imm)); retire(); break;
+
+    case Op::kLw: case Op::kLh: case Op::kLhu: case Op::kLbu: {
+      const Addr a = rx(in.rs1) + static_cast<Addr>(in.imm);
+      if (!mem.request(a)) { stall_mem(); return; }
+      std::uint32_t v = 0;
+      if (in.op == Op::kLw) v = mem.load<std::uint32_t>(a);
+      else if (in.op == Op::kLh) v = static_cast<std::uint32_t>(static_cast<std::int32_t>(mem.load<std::int16_t>(a)));
+      else if (in.op == Op::kLhu) v = mem.load<std::uint16_t>(a);
+      else v = mem.load<std::uint8_t>(a);
+      wx(in.rd, v);
+      if (in.rd != 0) {
+        xready_[static_cast<std::size_t>(in.rd)] =
+            cycle + static_cast<std::uint64_t>(cfg_.load_use_latency);
+      }
+      retire();
+      break;
+    }
+    case Op::kSw: case Op::kSh: case Op::kSb: {
+      const Addr a = rx(in.rs1) + static_cast<Addr>(in.imm);
+      if (!mem.request(a)) { stall_mem(); return; }
+      if (in.op == Op::kSw) mem.store<std::uint32_t>(a, rx(in.rs2));
+      else if (in.op == Op::kSh) mem.store<std::uint16_t>(a, static_cast<std::uint16_t>(rx(in.rs2)));
+      else mem.store<std::uint8_t>(a, static_cast<std::uint8_t>(rx(in.rs2)));
+      retire();
+      break;
+    }
+    case Op::kAmoAdd: {
+      const Addr a = rx(in.rs1);
+      if (!mem.request(a)) { stall_mem(); return; }
+      const std::uint32_t old = mem.load<std::uint32_t>(a);
+      mem.store<std::uint32_t>(a, old + rx(in.rs2));
+      wx(in.rd, old);
+      if (in.rd != 0) xready_[static_cast<std::size_t>(in.rd)] = cycle + 2;
+      int_next_issue_ = cycle + 2;  // read-modify-write occupies an extra cycle
+      retire();
+      break;
+    }
+
+    case Op::kBne: case Op::kBeq: case Op::kBlt: case Op::kBge: case Op::kJ: {
+      bool taken = true;
+      const auto a = static_cast<std::int32_t>(rx(in.rs1));
+      const auto b = static_cast<std::int32_t>(rx(in.rs2));
+      if (in.op == Op::kBne) taken = a != b;
+      else if (in.op == Op::kBeq) taken = a == b;
+      else if (in.op == Op::kBlt) taken = a < b;
+      else if (in.op == Op::kBge) taken = a >= b;
+      record_trace(cycle, pc_, in, /*fpu=*/false);
+      ++perf_.int_instrs;
+      if (taken) {
+        pc_ = static_cast<std::size_t>(in.imm);
+        int_next_issue_ = cycle + 1 + static_cast<std::uint64_t>(cfg_.branch_penalty);
+        perf_.branch_penalty_cycles += static_cast<std::uint64_t>(cfg_.branch_penalty);
+      } else {
+        ++pc_;
+      }
+      break;
+    }
+    case Op::kHalt:
+      record_trace(cycle, pc_, in, /*fpu=*/false);
+      ++perf_.int_instrs;
+      halted_ = true;
+      halt_cycle_ = cycle;
+      break;
+
+    case Op::kCsrCoreId: wx(in.rd, static_cast<std::uint32_t>(id_)); retire(); break;
+    case Op::kCsrNumCores: wx(in.rd, static_cast<std::uint32_t>(svc.num_cores)); retire(); break;
+    case Op::kCsrCycle: wx(in.rd, static_cast<std::uint32_t>(cycle)); retire(); break;
+
+    case Op::kBarrier:
+      ++perf_.int_instrs;
+      if (svc.barrier_arrive(id_, /*polling=*/false)) { ++pc_; }
+      else { in_barrier_ = true; }
+      break;
+
+    case Op::kFpuFence: {
+      if (!fpu_q_.empty()) return;  // keep polling
+      std::uint64_t last = 0;
+      for (std::uint64_t r : fready_) last = std::max(last, r);
+      if (last > cycle) { int_next_issue_ = last; return; }
+      retire();
+      break;
+    }
+
+    case Op::kFld: {
+      // WAW with a queued writer or WAR with a queued reader of this reg.
+      if (fp_reg_busy(in.rd) || fp_reg_read_pending(in.rd)) return;
+      const Addr a = rx(in.rs1) + static_cast<Addr>(in.imm);
+      if (!mem.request(a)) { stall_mem(); return; }
+      freg_[static_cast<std::size_t>(in.rd)] = mem.load<double>(a);
+      fready_[static_cast<std::size_t>(in.rd)] =
+          cycle + static_cast<std::uint64_t>(cfg_.fpu.fload);
+      ++perf_.fp_loads;
+      retire();
+      break;
+    }
+    case Op::kFsd: {
+      const auto fs = static_cast<std::size_t>(in.rs2);
+      if (fp_reg_busy(in.rs2)) return;
+      if (fready_[fs] > cycle) { int_next_issue_ = fready_[fs]; return; }
+      const Addr a = rx(in.rs1) + static_cast<Addr>(in.imm);
+      if (!mem.request(a)) { stall_mem(); return; }
+      mem.store<double>(a, freg_[fs]);
+      ++perf_.fp_loads;
+      retire();
+      break;
+    }
+    case Op::kFmvFX: case Op::kFcvtDW: {
+      if (fp_reg_busy(in.rd) || fp_reg_read_pending(in.rd)) return;
+      freg_[static_cast<std::size_t>(in.rd)] =
+          static_cast<double>(static_cast<std::int32_t>(rx(in.rs1)));
+      fready_[static_cast<std::size_t>(in.rd)] = cycle + 2;
+      retire();
+      break;
+    }
+    case Op::kFmvXF: {
+      const auto fs = static_cast<std::size_t>(in.rs1);
+      if (fp_reg_busy(in.rs1)) return;
+      if (fready_[fs] > cycle) { int_next_issue_ = fready_[fs]; return; }
+      wx(in.rd, static_cast<std::uint32_t>(static_cast<std::int64_t>(freg_[fs])));
+      retire();
+      break;
+    }
+
+    case Op::kFadd: case Op::kFsub: case Op::kFmul: case Op::kFmadd: {
+      if (fpu_q_.size() >= cfg_.fpu_queue_depth) return;
+      FpuEntry e;
+      e.body[0] = in;
+      e.body_len = 1;
+      e.reps = 1;
+      ++pending_fp_writes_[static_cast<std::size_t>(in.rd)];
+      fpu_q_.push_back(e);
+      retire();
+      break;
+    }
+    case Op::kFrep: {
+      if (fpu_q_.size() >= cfg_.fpu_queue_depth) return;
+      FpuEntry e;
+      e.body_len = in.rd;
+      SPK_CHECK(e.body_len >= 1 && e.body_len <= 8, "frep body too long");
+      e.reps = rx(in.rs1) + 1;
+      for (int k = 0; k < e.body_len; ++k) {
+        const Instr& bi = prog_->code[pc_ + 1 + static_cast<std::size_t>(k)];
+        SPK_CHECK(is_fpu_op(bi.op), "frep body must be FP compute ops");
+        e.body[k] = bi;
+        pending_fp_writes_[static_cast<std::size_t>(bi.rd)] +=
+            static_cast<int>(e.reps);
+      }
+      if (e.reps > 0) fpu_q_.push_back(e);
+      record_trace(cycle, pc_, in, /*fpu=*/false);
+      ++perf_.int_instrs;
+      pc_ += 1 + static_cast<std::size_t>(e.body_len);
+      break;
+    }
+
+    case Op::kSsrCfgBound: {
+      auto& s = ssrs_[static_cast<std::size_t>(in.rd)].shadow();
+      s.bounds[in.imm] = rx(in.rs1);
+      retire();
+      break;
+    }
+    case Op::kSsrCfgStride: {
+      auto& s = ssrs_[static_cast<std::size_t>(in.rd)].shadow();
+      s.strides[in.imm] = static_cast<std::int32_t>(rx(in.rs1));
+      retire();
+      break;
+    }
+    case Op::kSsrCfgBase:
+      ssrs_[static_cast<std::size_t>(in.rd)].shadow().base = rx(in.rs1);
+      retire();
+      break;
+    case Op::kSsrCfgIdx: {
+      auto& s = ssrs_[static_cast<std::size_t>(in.rd)].shadow();
+      s.idx_base = rx(in.rs1);
+      s.idx_bytes = 1 << in.imm;
+      retire();
+      break;
+    }
+    case Op::kSsrCfgLen:
+      ssrs_[static_cast<std::size_t>(in.rd)].shadow().length = rx(in.rs1);
+      retire();
+      break;
+    case Op::kSsrCommit: {
+      auto& ssr = ssrs_[static_cast<std::size_t>(in.rd)];
+      ssr.shadow().mode = static_cast<SsrMode>(in.imm);
+      if (!ssr.commit()) return;  // shadow slot occupied: stall and retry
+      retire();
+      break;
+    }
+    case Op::kSsrEnable: ssr_enabled_ = true; retire(); break;
+    case Op::kSsrDisable: {
+      for (const Ssr& s : ssrs_) {
+        if (!s.fully_idle()) return;  // wait for stream teardown
+      }
+      ssr_enabled_ = false;
+      retire();
+      break;
+    }
+
+    case Op::kDmaSrc: dma_stage_.src = rx(in.rs1); retire(); break;
+    case Op::kDmaDst: dma_stage_.dst = rx(in.rs1); retire(); break;
+    case Op::kDmaStr:
+      dma_stage_.src_stride = static_cast<std::int32_t>(rx(in.rs1));
+      dma_stage_.dst_stride = static_cast<std::int32_t>(rx(in.rs2));
+      retire();
+      break;
+    case Op::kDmaReps: dma_stage_.reps = rx(in.rs1); retire(); break;
+    case Op::kDmaStart: {
+      SPK_CHECK(svc.dma != nullptr, "no DMA engine attached");
+      dma_stage_.row_bytes = rx(in.rs1);
+      if (dma_stage_.reps == 0) dma_stage_.reps = 1;
+      svc.dma->enqueue(dma_stage_);
+      wx(in.rd, 0);
+      dma_stage_ = {};
+      retire();
+      break;
+    }
+    case Op::kDmaWait:
+      SPK_CHECK(svc.dma != nullptr, "no DMA engine attached");
+      if (!svc.dma->idle()) return;
+      retire();
+      break;
+  }
+}
+
+void SnitchCore::step_fpu(std::uint64_t cycle, Memory& mem) {
+  (void)mem;
+  if (fpu_q_.empty() || fpu_next_issue_ > cycle) return;
+  FpuEntry& e = fpu_q_.front();
+  const Instr& in = e.body[e.pos];
+
+  // While SSRs are enabled, f0..f2 are unconditionally stream-mapped: a read
+  // before the stream's data arrives (or before the integer core has even
+  // committed the stream) stalls the FPU rather than reading the register.
+  auto src_is_ssr = [&](int r) { return ssr_enabled_ && r < 3; };
+  auto dst_is_ssr = [&](int r) { return ssr_enabled_ && r < 3; };
+
+  // Gather source requirements. fmadd additionally reads its destination
+  // (accumulator); fadd/fsub/fmul read rs1/rs2 only.
+  int srcs[3];
+  int n_srcs = 0;
+  srcs[n_srcs++] = in.rs1;
+  srcs[n_srcs++] = in.rs2;
+  if (in.op == Op::kFmadd && !dst_is_ssr(in.rd)) srcs[n_srcs++] = in.rd;
+
+  for (int k = 0; k < n_srcs; ++k) {
+    const int r = srcs[k];
+    if (src_is_ssr(r)) {
+      if (!ssrs_[static_cast<std::size_t>(r)].can_pop()) {
+        ++perf_.fpu_ssr_stall_cycles;
+        return;
+      }
+    } else if (fready_[static_cast<std::size_t>(r)] > cycle) {
+      ++perf_.fpu_raw_stall_cycles;
+      return;
+    }
+  }
+  if (dst_is_ssr(in.rd) &&
+      !ssrs_[static_cast<std::size_t>(in.rd)].can_push()) {
+    ++perf_.fpu_ssr_stall_cycles;
+    return;
+  }
+
+  auto read_src = [&](int r) -> double {
+    if (src_is_ssr(r)) return ssrs_[static_cast<std::size_t>(r)].pop(perf_);
+    return freg_[static_cast<std::size_t>(r)];
+  };
+
+  const double a = read_src(in.rs1);
+  const double b = read_src(in.rs2);
+  double result = 0.0;
+  int lat = cfg_.fpu.fadd;
+  switch (in.op) {
+    case Op::kFadd: result = a + b; lat = cfg_.fpu.fadd; break;
+    case Op::kFsub: result = a - b; lat = cfg_.fpu.fadd; break;
+    case Op::kFmul: result = a * b; lat = cfg_.fpu.fmul; break;
+    case Op::kFmadd: {
+      const double acc =
+          dst_is_ssr(in.rd) ? 0.0 : freg_[static_cast<std::size_t>(in.rd)];
+      result = acc + a * b;
+      lat = cfg_.fpu.fmadd;
+      break;
+    }
+    default:
+      SPK_CHECK(false, "non-FP op in FPU queue: " << disasm(in));
+  }
+
+  if (dst_is_ssr(in.rd)) {
+    ssrs_[static_cast<std::size_t>(in.rd)].push(result);
+  } else {
+    freg_[static_cast<std::size_t>(in.rd)] = result;
+    fready_[static_cast<std::size_t>(in.rd)] =
+        cycle + static_cast<std::uint64_t>(lat);
+  }
+  --pending_fp_writes_[static_cast<std::size_t>(in.rd)];
+  record_trace(cycle, 0, in, /*fpu=*/true);
+  ++perf_.fp_ops;
+  if (e.reps > 1) ++perf_.frep_expanded;
+  fpu_next_issue_ = cycle + 1;
+
+  if (++e.pos >= e.body_len) {
+    e.pos = 0;
+    if (++e.rep >= e.reps) fpu_q_.pop_front();
+  }
+}
+
+}  // namespace spikestream::arch

@@ -1,0 +1,175 @@
+// Cycle-level model of one Snitch worker core: a single-issue in-order RV32
+// integer pipeline ("pseudo dual-issue" with the FPU), a decoupled FPU
+// sequencer fed through a FIFO and expanded by the FREP hardware loop, and
+// three stream semantic registers.
+//
+// Timing rules (the ones that matter for SpikeStream, per Zaruba et al.):
+//  * 1 integer instruction issued per cycle; ALU results forward to the next
+//    instruction; loads have one load-use bubble.
+//  * TCDM accesses that lose bank arbitration retry the next cycle.
+//  * Taken branches flush the fetch stage (configurable penalty, default 2).
+//  * FP compute ops are pushed to the FPU queue and the integer pipe moves
+//    on; the FPU issues at most one op per cycle, in order, stalling on FP
+//    register RAW hazards (this is what makes a single-accumulator streamed
+//    fadd chain run at II = fadd latency) and on empty SSR FIFOs.
+//  * FREP pushes its body once; repetition happens inside the sequencer,
+//    leaving the integer pipe free — the decoupling Section III-E exploits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "arch/dma.hpp"
+#include "arch/isa.hpp"
+#include "arch/mem.hpp"
+#include "arch/perf.hpp"
+#include "arch/program.hpp"
+#include "arch/ssr.hpp"
+
+namespace spikestream::arch {
+
+/// One executed instruction, for debugging/teaching traces.
+struct TraceEntry {
+  std::uint64_t cycle = 0;
+  int core = 0;
+  std::uint32_t pc = 0;
+  Instr instr;
+  bool fpu = false;  ///< issued by the FPU sequencer (vs the integer pipe)
+};
+
+/// FPU latency table (cycles until the result register is usable).
+struct FpuTiming {
+  int fadd = 2;   ///< also the II of a single-accumulator reduction
+  int fmul = 3;
+  int fmadd = 3;
+  int fload = 2;  ///< fld -> first FP use
+};
+
+struct CoreConfig {
+  FpuTiming fpu;
+  int branch_penalty = 2;
+  int load_use_latency = 2;      ///< cycles from lw issue to operand ready
+  std::size_t fpu_queue_depth = 16;
+};
+
+/// Services a core needs from the cluster (barrier, icache, DMA).
+struct ClusterServices {
+  /// Register arrival (polling=false) or poll for release (polling=true);
+  /// returns true once the barrier opened for this core.
+  std::function<bool(int core_id, bool polling)> barrier_arrive;
+  std::function<int(std::size_t pc)> icache_penalty;  ///< extra fetch cycles
+  DmaEngine* dma = nullptr;
+  int num_cores = 1;
+};
+
+class SnitchCore {
+ public:
+  SnitchCore(int core_id, const CoreConfig& cfg)
+      : id_(core_id), cfg_(cfg), ssrs_{Ssr(true), Ssr(true), Ssr(false)} {}
+
+  void load_program(const Program* p) {
+    prog_ = p;
+    reset();
+  }
+
+  void reset();
+
+  /// True when the core halted, its FPU queue drained, and SSRs are idle.
+  bool done() const;
+
+  /// Advance one cycle. Order per cycle: FPU issue, SSR fetch, integer issue.
+  void step(std::uint64_t cycle, Memory& mem, ClusterServices& svc);
+
+  // Register access for test setup/inspection.
+  std::uint32_t x(int i) const { return xreg_[static_cast<std::size_t>(i)]; }
+  void set_x(int i, std::uint32_t v) {
+    if (i != 0) xreg_[static_cast<std::size_t>(i)] = v;
+  }
+  double f(int i) const { return freg_[static_cast<std::size_t>(i)]; }
+  void set_f(int i, double v) { freg_[static_cast<std::size_t>(i)] = v; }
+
+  int id() const { return id_; }
+  const PerfCounters& perf() const { return perf_; }
+  PerfCounters& perf() { return perf_; }
+  bool halted() const { return halted_; }
+
+  /// Attach a trace sink; at most `limit` entries are recorded (0 = off).
+  void set_trace(std::vector<TraceEntry>* sink, std::size_t limit) {
+    trace_ = sink;
+    trace_limit_ = limit;
+  }
+
+ private:
+  struct FpuEntry {
+    Instr body[8];
+    int body_len = 1;
+    std::uint32_t reps = 1;  ///< total repetitions of the body
+    std::uint32_t rep = 0;   ///< current repetition
+    int pos = 0;             ///< current instruction within the body
+  };
+
+  void step_int(std::uint64_t cycle, Memory& mem, ClusterServices& svc);
+  void step_fpu(std::uint64_t cycle, Memory& mem);
+  bool int_srcs_ready(const Instr& in, std::uint64_t cycle);
+  bool fp_reg_busy(int reg) const {
+    return pending_fp_writes_[static_cast<std::size_t>(reg)] > 0;
+  }
+  /// True while a queued-but-unissued FPU op still needs to *read* `reg`:
+  /// the integer pipe must not overwrite it (WAR through the sequencer).
+  bool fp_reg_read_pending(int reg) const {
+    for (const FpuEntry& e : fpu_q_) {
+      for (int i = 0; i < e.body_len; ++i) {
+        const Instr& b = e.body[i];
+        if (b.rs1 == reg || b.rs2 == reg ||
+            (b.op == Op::kFmadd && b.rd == reg)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  int id_;
+  CoreConfig cfg_;
+  const Program* prog_ = nullptr;
+
+  // integer pipeline state
+  std::array<std::uint32_t, 32> xreg_{};
+  std::array<std::uint64_t, 32> xready_{};  ///< cycle at which reg is usable
+  std::size_t pc_ = 0;
+  bool halted_ = true;
+  std::uint64_t int_next_issue_ = 0;
+  bool in_barrier_ = false;
+
+  // FPU sequencer state
+  std::deque<FpuEntry> fpu_q_;
+  std::array<double, 32> freg_{};
+  std::array<std::uint64_t, 32> fready_{};
+  std::array<int, 32> pending_fp_writes_{};  ///< queued-but-unissued writers
+  std::uint64_t fpu_next_issue_ = 0;
+
+  std::array<Ssr, 3> ssrs_;
+  bool ssr_enabled_ = false;
+  DmaTransfer dma_stage_;  ///< staged kDma* operands until kDmaStart
+
+  PerfCounters perf_;
+  std::uint64_t halt_cycle_ = 0;
+  std::vector<TraceEntry>* trace_ = nullptr;
+  std::size_t trace_limit_ = 0;
+
+  void record_trace(std::uint64_t cycle, std::size_t pc, const Instr& in,
+                    bool fpu) {
+    if (trace_ != nullptr && trace_->size() < trace_limit_) {
+      trace_->push_back({cycle, id_, static_cast<std::uint32_t>(pc), in, fpu});
+    }
+  }
+
+ public:
+  Ssr& ssr(int i) { return ssrs_[static_cast<std::size_t>(i)]; }
+  std::uint64_t halt_cycle() const { return halt_cycle_; }
+};
+
+}  // namespace spikestream::arch

@@ -1,0 +1,92 @@
+// Cluster DMA engine: asynchronous 1D/2D copies between global memory and the
+// TCDM over a 512-bit (64 B/cycle) port. Programmed by the dedicated DMA core
+// (or any core) through the kDma* instructions. Transfers are serviced in
+// FIFO order; the first beat of each transfer pays the global-memory latency.
+//
+// TCDM-side beats claim banks through the shared arbiter *after* the worker
+// cores have stepped each cycle, i.e. cores have priority — matching the
+// paper's assumption that double-buffered DMA traffic steals only idle
+// bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "arch/mem.hpp"
+
+namespace spikestream::arch {
+
+struct DmaTransfer {
+  Addr src = 0;
+  Addr dst = 0;
+  std::uint32_t row_bytes = 0;
+  std::uint32_t reps = 1;          ///< number of rows (1 = flat copy)
+  std::int32_t src_stride = 0;     ///< byte stride between rows
+  std::int32_t dst_stride = 0;
+};
+
+class DmaEngine {
+ public:
+  void enqueue(const DmaTransfer& t) { queue_.push_back(t); }
+  bool idle() const { return queue_.empty() && !busy_; }
+
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+
+  /// Advance one cycle: move up to 64 bytes if a transfer is in flight.
+  void step(Memory& mem) {
+    if (!busy_) {
+      if (queue_.empty()) return;
+      cur_ = queue_.front();
+      queue_.pop_front();
+      busy_ = true;
+      row_ = 0;
+      row_done_ = 0;
+      latency_left_ = mem.config().global_latency;
+    }
+    ++busy_cycles_;
+    if (latency_left_ > 0) {
+      --latency_left_;
+      return;
+    }
+
+    // Move up to one 64 B beat, bounded by TCDM bank availability.
+    std::uint32_t budget =
+        static_cast<std::uint32_t>(mem.config().global_bytes_per_cycle);
+    while (budget > 0 && busy_) {
+      const Addr src = cur_.src + static_cast<Addr>(row_) *
+                                      static_cast<Addr>(cur_.src_stride) +
+                       row_done_;
+      const Addr dst = cur_.dst + static_cast<Addr>(row_) *
+                                      static_cast<Addr>(cur_.dst_stride) +
+                       row_done_;
+      const std::uint32_t left_in_row = cur_.row_bytes - row_done_;
+      std::uint32_t chunk = std::min<std::uint32_t>(8, left_in_row);
+      chunk = std::min(chunk, budget);
+      // One bank claim per touched 8-byte TCDM word; if the bank is taken
+      // this cycle, stop (retry next cycle) — cores keep priority.
+      const Addr tcdm_side = mem.is_tcdm(dst) ? dst : src;
+      if (mem.is_tcdm(tcdm_side) && !mem.request(tcdm_side)) return;
+      mem.copy(dst, src, chunk);
+      bytes_moved_ += chunk;
+      budget -= chunk;
+      row_done_ += chunk;
+      if (row_done_ >= cur_.row_bytes) {
+        row_done_ = 0;
+        if (++row_ >= cur_.reps) busy_ = false;
+      }
+    }
+  }
+
+ private:
+  std::deque<DmaTransfer> queue_;
+  DmaTransfer cur_;
+  bool busy_ = false;
+  std::uint32_t row_ = 0;
+  std::uint32_t row_done_ = 0;
+  int latency_left_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace spikestream::arch

@@ -1,0 +1,98 @@
+// Instruction set of the modeled Snitch-like RV32G worker core, reduced to
+// what the SpikeStream kernels need: the RV32IMA subset used for control and
+// address generation, double-precision FP compute, and the custom extensions
+// (stream semantic registers, FREP hardware loop, DMA control, barrier).
+//
+// This is not a full RISC-V decoder: instructions are held pre-decoded in a
+// `Program`, which is what a cycle-level performance model needs. Encodings
+// and CSR numbers are irrelevant to timing and are deliberately not modeled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spikestream::arch {
+
+/// Pre-decoded opcodes. Names follow RISC-V mnemonics where one exists.
+enum class Op : std::uint8_t {
+  kNop,
+  // --- integer ALU ---
+  kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kMul, kDivu, kRemu,
+  kAddi, kSlli, kSrli, kAndi, kOri, kLi,
+  // --- memory (TCDM or global, by address) ---
+  kLw, kLh, kLhu, kLbu, kSw, kSh, kSb,
+  kAmoAdd,  // atomic fetch-and-add on a word, returns old value in rd
+  // --- control flow ---
+  kBne, kBeq, kBlt, kBge, kJ, kHalt,
+  // --- CSRs / misc ---
+  kCsrCoreId, kCsrNumCores, kCsrCycle,
+  kBarrier,    // cluster-wide hardware barrier
+  kFpuFence,   // stall integer pipe until the FPU sequencer drains
+  // --- floating point (held in 64-bit registers) ---
+  kFld, kFsd,          // FP load/store issued by the integer LSU
+  kFadd, kFsub, kFmul, kFmadd,  // executed by the decoupled FPU
+  kFmvFX,              // int -> fp move (bit pattern of rs1 as double via cvt)
+  kFmvXF,              // fp -> int move; synchronizes the two pipelines
+  kFcvtDW,             // int -> double convert
+  // --- FREP hardware loop ---
+  // rd = number of following FP instructions in the loop body,
+  // rs1 = register holding (repetitions - 1). Body is pushed to the FPU
+  // sequencer once and expanded there, freeing the integer pipe.
+  kFrep,
+  // --- stream semantic registers ---
+  // rd selects the SSR (0..2). Configuration writes are single-cycle integer
+  // ops landing in the SSR's shadow config; the stream starts at kSsrCommit.
+  kSsrCfgBound,   // imm = dim (0..3), rs1 = trip count for that dim
+  kSsrCfgStride,  // imm = dim, rs1 = byte stride for that dim
+  kSsrCfgBase,    // rs1 = base byte address
+  kSsrCfgIdx,     // rs1 = index array base address, imm = log2(index bytes)
+  kSsrCfgLen,     // rs1 = number of elements (1D / indirect streams)
+  kSsrCommit,     // imm = mode (0 affine read, 1 indirect read, 2 affine write)
+  kSsrEnable,     // map f0..f2 reads/writes to SSR streams
+  kSsrDisable,
+  // --- DMA (issued from the DMA core; worker use is legal but unusual) ---
+  kDmaSrc,    // rs1 = source byte address
+  kDmaDst,    // rs1 = destination byte address
+  kDmaStr,    // rs1 = src stride, rs2 = dst stride (2D transfers)
+  kDmaReps,   // rs1 = number of rows (2D transfers; 1 = flat copy)
+  kDmaStart,  // rs1 = bytes per row; enqueues the transfer, returns id in rd
+  kDmaWait,   // block until all enqueued transfers completed
+};
+
+/// SSR stream modes (imm of kSsrCommit).
+enum class SsrMode : std::uint8_t { kAffineRead = 0, kIndirectRead = 1, kAffineWrite = 2 };
+
+/// One pre-decoded instruction. Fields unused by an opcode are zero.
+struct Instr {
+  Op op = Op::kNop;
+  std::int16_t rd = 0;
+  std::int16_t rs1 = 0;
+  std::int16_t rs2 = 0;
+  std::int64_t imm = 0;
+};
+
+/// True for instructions executed by the decoupled FPU sequencer.
+constexpr bool is_fpu_op(Op op) {
+  switch (op) {
+    case Op::kFadd:
+    case Op::kFsub:
+    case Op::kFmul:
+    case Op::kFmadd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Human-readable rendering for traces and test failure messages.
+std::string disasm(const Instr& i);
+
+// Integer register aliases (x0 is hardwired zero).
+inline constexpr int kZero = 0;
+
+// FP register indices f0..f2 are SSR-mapped when SSR is enabled.
+inline constexpr int kSsr0 = 0;
+inline constexpr int kSsr1 = 1;
+inline constexpr int kSsr2 = 2;
+
+}  // namespace spikestream::arch

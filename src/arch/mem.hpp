@@ -1,0 +1,138 @@
+// Cluster memory system: a 32-bank tightly-coupled data memory (TCDM /
+// scratchpad) with single-cycle access and per-bank conflict arbitration,
+// plus a flat global memory reachable through the DMA engine (or directly by
+// cores, at a latency penalty, which SpikeStream kernels never do on purpose).
+//
+// Arbitration model: requesters call `request()` during their step; the first
+// requester to touch a bank in a cycle wins, later ones are denied and must
+// retry next cycle. The cluster rotates core stepping order every cycle, so
+// denial is fair round-robin over time. `begin_cycle()` resets bank claims.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace spikestream::arch {
+
+using Addr = std::uint32_t;
+
+/// Address map. Matches the flavour of the Snitch cluster memory map:
+/// TCDM low, global memory high.
+inline constexpr Addr kTcdmBase = 0x0010'0000;
+inline constexpr Addr kGlobalBase = 0x8000'0000;
+
+struct MemConfig {
+  std::uint32_t tcdm_bytes = 128 * 1024;  ///< shared scratchpad size
+  int tcdm_banks = 32;                    ///< word-interleaved banks
+  int bank_word_bytes = 8;                ///< 64-bit banks
+  std::uint32_t global_bytes = 16u * 1024 * 1024;
+  int global_latency = 100;  ///< cycles to first beat of a DMA burst
+  int global_bytes_per_cycle = 64;  ///< 512-bit interconnect to L2/HBM
+};
+
+/// Per-component memory statistics.
+struct MemStats {
+  std::uint64_t tcdm_accesses = 0;
+  std::uint64_t tcdm_conflicts = 0;  ///< denied requests (retried next cycle)
+};
+
+/// The cluster's memory, including the banked-TCDM conflict model.
+class Memory {
+ public:
+  explicit Memory(const MemConfig& cfg = {})
+      : cfg_(cfg),
+        tcdm_(cfg.tcdm_bytes, 0),
+        global_(cfg.global_bytes, 0) {
+    SPK_CHECK((cfg.tcdm_banks & (cfg.tcdm_banks - 1)) == 0,
+              "bank count must be a power of two");
+  }
+
+  const MemConfig& config() const { return cfg_; }
+  const MemStats& stats() const { return stats_; }
+
+  bool is_tcdm(Addr a) const {
+    return a >= kTcdmBase && a < kTcdmBase + cfg_.tcdm_bytes;
+  }
+  bool is_global(Addr a) const {
+    return a >= kGlobalBase && (a - kGlobalBase) < cfg_.global_bytes;
+  }
+
+  int bank_of(Addr a) const {
+    return static_cast<int>((a - kTcdmBase) /
+                            static_cast<Addr>(cfg_.bank_word_bytes)) &
+           (cfg_.tcdm_banks - 1);
+  }
+
+  /// Start a new arbitration window. Called once per cluster cycle.
+  /// Claims are epoch-stamped so this is O(1) on the per-cycle hot path.
+  void begin_cycle() {
+    if (claimed_.size() != static_cast<std::size_t>(cfg_.tcdm_banks)) {
+      claimed_.assign(static_cast<std::size_t>(cfg_.tcdm_banks), 0);
+    }
+    ++epoch_;
+  }
+
+  /// Try to win the bank holding `addr` for this cycle. On success the caller
+  /// may complete one load/store of up to 8 bytes this cycle.
+  bool request(Addr addr) {
+    if (!is_tcdm(addr)) return true;  // global accesses arbitrated by the DMA
+    const int b = bank_of(addr);
+    ++stats_.tcdm_accesses;
+    if (claimed_[static_cast<std::size_t>(b)] == epoch_) {
+      ++stats_.tcdm_conflicts;
+      return false;
+    }
+    claimed_[static_cast<std::size_t>(b)] = epoch_;
+    return true;
+  }
+
+  /// True if the bank for `addr` is still free this cycle (no claim made).
+  bool bank_free(Addr addr) const {
+    if (!is_tcdm(addr)) return true;
+    return claimed_[static_cast<std::size_t>(bank_of(addr))] != epoch_;
+  }
+
+  // --- untimed data access (timing handled by the callers above) ----------
+  template <typename T>
+  T load(Addr a) const {
+    T v{};
+    std::memcpy(&v, ptr(a, sizeof(T)), sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void store(Addr a, T v) {
+    std::memcpy(mut_ptr(a, sizeof(T)), &v, sizeof(T));
+  }
+
+  /// Raw byte copy (used by the DMA engine data path).
+  void copy(Addr dst, Addr src, std::uint32_t bytes) {
+    std::memcpy(mut_ptr(dst, bytes), ptr(src, bytes), bytes);
+  }
+
+ private:
+  const std::uint8_t* ptr(Addr a, std::size_t n) const {
+    if (is_tcdm(a)) {
+      SPK_CHECK(a - kTcdmBase + n <= cfg_.tcdm_bytes, "TCDM OOB @0x" << std::hex << a);
+      return tcdm_.data() + (a - kTcdmBase);
+    }
+    SPK_CHECK(is_global(a) && (a - kGlobalBase) + n <= cfg_.global_bytes,
+              "global OOB @0x" << std::hex << a);
+    return global_.data() + (a - kGlobalBase);
+  }
+  std::uint8_t* mut_ptr(Addr a, std::size_t n) {
+    return const_cast<std::uint8_t*>(ptr(a, n));
+  }
+
+  MemConfig cfg_;
+  MemStats stats_;
+  std::vector<std::uint8_t> tcdm_;
+  std::vector<std::uint8_t> global_;
+  std::vector<std::uint64_t> claimed_;  ///< epoch stamp of the last claim
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace spikestream::arch

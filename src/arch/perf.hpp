@@ -1,0 +1,48 @@
+// Per-core performance counters. Definitions follow the Snitch papers:
+//  * FPU utilization = FP ops issued / total cycles,
+//  * IPC = (integer instructions retired + FP instructions issued) / cycles.
+#pragma once
+
+#include <cstdint>
+
+namespace spikestream::arch {
+
+struct PerfCounters {
+  std::uint64_t cycles = 0;           ///< cycles from start to this core's halt
+  std::uint64_t int_instrs = 0;       ///< integer pipe retirements (incl. fld/fsd)
+  std::uint64_t fp_ops = 0;           ///< FPU issues (one SIMD op counts once)
+  std::uint64_t fp_loads = 0;         ///< fld/fsd through the LSU
+  std::uint64_t ssr_elems = 0;        ///< elements delivered by SSRs
+  std::uint64_t tcdm_stall_cycles = 0;///< integer pipe stalled on bank conflict
+  std::uint64_t raw_stall_cycles = 0; ///< integer pipe stalled on operand
+  std::uint64_t branch_penalty_cycles = 0;
+  std::uint64_t fpu_raw_stall_cycles = 0;  ///< FPU waiting on accumulator dep
+  std::uint64_t fpu_ssr_stall_cycles = 0;  ///< FPU waiting on stream data
+  std::uint64_t frep_expanded = 0;    ///< FP ops injected by the sequencer
+
+  double fpu_utilization() const {
+    return cycles ? static_cast<double>(fp_ops) / static_cast<double>(cycles)
+                  : 0.0;
+  }
+  double ipc() const {
+    return cycles ? static_cast<double>(int_instrs + fp_ops) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+
+  void accumulate(const PerfCounters& o) {
+    cycles += o.cycles;
+    int_instrs += o.int_instrs;
+    fp_ops += o.fp_ops;
+    fp_loads += o.fp_loads;
+    ssr_elems += o.ssr_elems;
+    tcdm_stall_cycles += o.tcdm_stall_cycles;
+    raw_stall_cycles += o.raw_stall_cycles;
+    branch_penalty_cycles += o.branch_penalty_cycles;
+    fpu_raw_stall_cycles += o.fpu_raw_stall_cycles;
+    fpu_ssr_stall_cycles += o.fpu_ssr_stall_cycles;
+    frep_expanded += o.frep_expanded;
+  }
+};
+
+}  // namespace spikestream::arch

@@ -1,0 +1,109 @@
+#include "arch/program.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace spikestream::arch {
+
+std::string disasm(const Instr& i) {
+  std::ostringstream os;
+  auto r3 = [&](const char* m) {
+    os << m << " x" << i.rd << ", x" << i.rs1 << ", x" << i.rs2;
+  };
+  auto ri = [&](const char* m) {
+    os << m << " x" << i.rd << ", x" << i.rs1 << ", " << i.imm;
+  };
+  auto f3 = [&](const char* m) {
+    os << m << " f" << i.rd << ", f" << i.rs1 << ", f" << i.rs2;
+  };
+  switch (i.op) {
+    case Op::kNop: os << "nop"; break;
+    case Op::kAdd: r3("add"); break;
+    case Op::kSub: r3("sub"); break;
+    case Op::kAnd: r3("and"); break;
+    case Op::kOr: r3("or"); break;
+    case Op::kXor: r3("xor"); break;
+    case Op::kSll: r3("sll"); break;
+    case Op::kSrl: r3("srl"); break;
+    case Op::kMul: r3("mul"); break;
+    case Op::kDivu: r3("divu"); break;
+    case Op::kRemu: r3("remu"); break;
+    case Op::kAddi: ri("addi"); break;
+    case Op::kSlli: ri("slli"); break;
+    case Op::kSrli: ri("srli"); break;
+    case Op::kAndi: ri("andi"); break;
+    case Op::kOri: ri("ori"); break;
+    case Op::kLi: os << "li x" << i.rd << ", " << i.imm; break;
+    case Op::kLw: os << "lw x" << i.rd << ", " << i.imm << "(x" << i.rs1 << ")"; break;
+    case Op::kLh: os << "lh x" << i.rd << ", " << i.imm << "(x" << i.rs1 << ")"; break;
+    case Op::kLhu: os << "lhu x" << i.rd << ", " << i.imm << "(x" << i.rs1 << ")"; break;
+    case Op::kLbu: os << "lbu x" << i.rd << ", " << i.imm << "(x" << i.rs1 << ")"; break;
+    case Op::kSw: os << "sw x" << i.rs2 << ", " << i.imm << "(x" << i.rs1 << ")"; break;
+    case Op::kSh: os << "sh x" << i.rs2 << ", " << i.imm << "(x" << i.rs1 << ")"; break;
+    case Op::kSb: os << "sb x" << i.rs2 << ", " << i.imm << "(x" << i.rs1 << ")"; break;
+    case Op::kAmoAdd: r3("amoadd.w"); break;
+    case Op::kBne: os << "bne x" << i.rs1 << ", x" << i.rs2 << ", @" << i.imm; break;
+    case Op::kBeq: os << "beq x" << i.rs1 << ", x" << i.rs2 << ", @" << i.imm; break;
+    case Op::kBlt: os << "blt x" << i.rs1 << ", x" << i.rs2 << ", @" << i.imm; break;
+    case Op::kBge: os << "bge x" << i.rs1 << ", x" << i.rs2 << ", @" << i.imm; break;
+    case Op::kJ: os << "j @" << i.imm; break;
+    case Op::kHalt: os << "halt"; break;
+    case Op::kCsrCoreId: os << "csrr x" << i.rd << ", coreid"; break;
+    case Op::kCsrNumCores: os << "csrr x" << i.rd << ", numcores"; break;
+    case Op::kCsrCycle: os << "csrr x" << i.rd << ", cycle"; break;
+    case Op::kBarrier: os << "barrier"; break;
+    case Op::kFpuFence: os << "fpufence"; break;
+    case Op::kFld: os << "fld f" << i.rd << ", " << i.imm << "(x" << i.rs1 << ")"; break;
+    case Op::kFsd: os << "fsd f" << i.rs2 << ", " << i.imm << "(x" << i.rs1 << ")"; break;
+    case Op::kFadd: f3("fadd.d"); break;
+    case Op::kFsub: f3("fsub.d"); break;
+    case Op::kFmul: f3("fmul.d"); break;
+    case Op::kFmadd: f3("fmadd.d"); break;
+    case Op::kFmvFX: os << "fmv f" << i.rd << ", x" << i.rs1; break;
+    case Op::kFmvXF: os << "fmv x" << i.rd << ", f" << i.rs1; break;
+    case Op::kFcvtDW: os << "fcvt.d.w f" << i.rd << ", x" << i.rs1; break;
+    case Op::kFrep: os << "frep body=" << i.rd << " reps=x" << i.rs1; break;
+    case Op::kSsrCfgBound: os << "ssr.bound ssr" << i.rd << " dim" << i.imm << ", x" << i.rs1; break;
+    case Op::kSsrCfgStride: os << "ssr.stride ssr" << i.rd << " dim" << i.imm << ", x" << i.rs1; break;
+    case Op::kSsrCfgBase: os << "ssr.base ssr" << i.rd << ", x" << i.rs1; break;
+    case Op::kSsrCfgIdx: os << "ssr.idx ssr" << i.rd << ", x" << i.rs1 << " sz=" << i.imm; break;
+    case Op::kSsrCfgLen: os << "ssr.len ssr" << i.rd << ", x" << i.rs1; break;
+    case Op::kSsrCommit: os << "ssr.commit ssr" << i.rd << " mode=" << i.imm; break;
+    case Op::kSsrEnable: os << "ssr.enable"; break;
+    case Op::kSsrDisable: os << "ssr.disable"; break;
+    case Op::kDmaSrc: os << "dma.src x" << i.rs1; break;
+    case Op::kDmaDst: os << "dma.dst x" << i.rs1; break;
+    case Op::kDmaStr: os << "dma.str x" << i.rs1 << ", x" << i.rs2; break;
+    case Op::kDmaReps: os << "dma.reps x" << i.rs1; break;
+    case Op::kDmaStart: os << "dma.start x" << i.rd << ", x" << i.rs1; break;
+    case Op::kDmaWait: os << "dma.wait"; break;
+  }
+  return os.str();
+}
+
+void Asm::label(const std::string& name) {
+  SPK_CHECK(labels_.find(name) == labels_.end(), "duplicate label " << name);
+  labels_[name] = code_.size();
+}
+
+void Asm::branch(Op op, int rs1, int rs2, const std::string& target) {
+  fixups_.push_back({code_.size(), target});
+  emit({op, 0, n16(rs1), n16(rs2), 0});
+}
+
+Program Asm::finish() {
+  for (const auto& f : fixups_) {
+    auto it = labels_.find(f.label);
+    SPK_CHECK(it != labels_.end(), "undefined label " << f.label);
+    code_[f.instr_index].imm = static_cast<std::int64_t>(it->second);
+  }
+  Program p;
+  p.code = std::move(code_);
+  code_.clear();
+  labels_.clear();
+  fixups_.clear();
+  return p;
+}
+
+}  // namespace spikestream::arch

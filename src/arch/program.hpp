@@ -1,0 +1,124 @@
+// Program container and a tiny structured assembler with labels, used to
+// express the paper's kernels (Listings 1b / 1c) as ISS programs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/isa.hpp"
+
+namespace spikestream::arch {
+
+/// Immutable sequence of pre-decoded instructions.
+struct Program {
+  std::vector<Instr> code;
+  std::size_t size() const { return code.size(); }
+};
+
+/// Builder with forward-referencing labels. Branch targets are instruction
+/// indices (the ISS "pc" counts instructions, not bytes).
+class Asm {
+ public:
+  // -- labels -------------------------------------------------------------
+  void label(const std::string& name);
+
+  // -- integer ALU ----------------------------------------------------------
+  void add(int rd, int rs1, int rs2) { emit({Op::kAdd, n16(rd), n16(rs1), n16(rs2), 0}); }
+  void sub(int rd, int rs1, int rs2) { emit({Op::kSub, n16(rd), n16(rs1), n16(rs2), 0}); }
+  void and_(int rd, int rs1, int rs2) { emit({Op::kAnd, n16(rd), n16(rs1), n16(rs2), 0}); }
+  void or_(int rd, int rs1, int rs2) { emit({Op::kOr, n16(rd), n16(rs1), n16(rs2), 0}); }
+  void xor_(int rd, int rs1, int rs2) { emit({Op::kXor, n16(rd), n16(rs1), n16(rs2), 0}); }
+  void sll(int rd, int rs1, int rs2) { emit({Op::kSll, n16(rd), n16(rs1), n16(rs2), 0}); }
+  void srl(int rd, int rs1, int rs2) { emit({Op::kSrl, n16(rd), n16(rs1), n16(rs2), 0}); }
+  void mul(int rd, int rs1, int rs2) { emit({Op::kMul, n16(rd), n16(rs1), n16(rs2), 0}); }
+  void divu(int rd, int rs1, int rs2) { emit({Op::kDivu, n16(rd), n16(rs1), n16(rs2), 0}); }
+  void remu(int rd, int rs1, int rs2) { emit({Op::kRemu, n16(rd), n16(rs1), n16(rs2), 0}); }
+  void addi(int rd, int rs1, std::int64_t imm) { emit({Op::kAddi, n16(rd), n16(rs1), 0, imm}); }
+  void slli(int rd, int rs1, std::int64_t sh) { emit({Op::kSlli, n16(rd), n16(rs1), 0, sh}); }
+  void srli(int rd, int rs1, std::int64_t sh) { emit({Op::kSrli, n16(rd), n16(rs1), 0, sh}); }
+  void andi(int rd, int rs1, std::int64_t imm) { emit({Op::kAndi, n16(rd), n16(rs1), 0, imm}); }
+  void ori(int rd, int rs1, std::int64_t imm) { emit({Op::kOri, n16(rd), n16(rs1), 0, imm}); }
+  void li(int rd, std::int64_t imm) { emit({Op::kLi, n16(rd), 0, 0, imm}); }
+  void mv(int rd, int rs1) { addi(rd, rs1, 0); }
+  void nop() { emit({Op::kNop, 0, 0, 0, 0}); }
+
+  // -- memory ---------------------------------------------------------------
+  void lw(int rd, int rs1, std::int64_t off) { emit({Op::kLw, n16(rd), n16(rs1), 0, off}); }
+  void lh(int rd, int rs1, std::int64_t off) { emit({Op::kLh, n16(rd), n16(rs1), 0, off}); }
+  void lhu(int rd, int rs1, std::int64_t off) { emit({Op::kLhu, n16(rd), n16(rs1), 0, off}); }
+  void lbu(int rd, int rs1, std::int64_t off) { emit({Op::kLbu, n16(rd), n16(rs1), 0, off}); }
+  void sw(int rs2, int rs1, std::int64_t off) { emit({Op::kSw, 0, n16(rs1), n16(rs2), off}); }
+  void sh(int rs2, int rs1, std::int64_t off) { emit({Op::kSh, 0, n16(rs1), n16(rs2), off}); }
+  void sb(int rs2, int rs1, std::int64_t off) { emit({Op::kSb, 0, n16(rs1), n16(rs2), off}); }
+  void amoadd(int rd, int rs1, int rs2) { emit({Op::kAmoAdd, n16(rd), n16(rs1), n16(rs2), 0}); }
+
+  // -- control flow -----------------------------------------------------------
+  void bne(int rs1, int rs2, const std::string& target) { branch(Op::kBne, rs1, rs2, target); }
+  void beq(int rs1, int rs2, const std::string& target) { branch(Op::kBeq, rs1, rs2, target); }
+  void blt(int rs1, int rs2, const std::string& target) { branch(Op::kBlt, rs1, rs2, target); }
+  void bge(int rs1, int rs2, const std::string& target) { branch(Op::kBge, rs1, rs2, target); }
+  void j(const std::string& target) { branch(Op::kJ, 0, 0, target); }
+  void halt() { emit({Op::kHalt, 0, 0, 0, 0}); }
+
+  // -- CSR / sync --------------------------------------------------------------
+  void csr_core_id(int rd) { emit({Op::kCsrCoreId, n16(rd), 0, 0, 0}); }
+  void csr_num_cores(int rd) { emit({Op::kCsrNumCores, n16(rd), 0, 0, 0}); }
+  void csr_cycle(int rd) { emit({Op::kCsrCycle, n16(rd), 0, 0, 0}); }
+  void barrier() { emit({Op::kBarrier, 0, 0, 0, 0}); }
+  void fpu_fence() { emit({Op::kFpuFence, 0, 0, 0, 0}); }
+
+  // -- floating point -----------------------------------------------------------
+  void fld(int fd, int rs1, std::int64_t off) { emit({Op::kFld, n16(fd), n16(rs1), 0, off}); }
+  void fsd(int fs2, int rs1, std::int64_t off) { emit({Op::kFsd, 0, n16(rs1), n16(fs2), off}); }
+  void fadd(int fd, int fs1, int fs2) { emit({Op::kFadd, n16(fd), n16(fs1), n16(fs2), 0}); }
+  void fsub(int fd, int fs1, int fs2) { emit({Op::kFsub, n16(fd), n16(fs1), n16(fs2), 0}); }
+  void fmul(int fd, int fs1, int fs2) { emit({Op::kFmul, n16(fd), n16(fs1), n16(fs2), 0}); }
+  /// fd += fs1 * fs2 (fused; imm carries the accumulator = fd convention).
+  void fmadd(int fd, int fs1, int fs2) { emit({Op::kFmadd, n16(fd), n16(fs1), n16(fs2), 0}); }
+  void fmv_fx(int fd, int rs1) { emit({Op::kFmvFX, n16(fd), n16(rs1), 0, 0}); }
+  void fmv_xf(int rd, int fs1) { emit({Op::kFmvXF, n16(rd), n16(fs1), 0, 0}); }
+  void fcvt_d_w(int fd, int rs1) { emit({Op::kFcvtDW, n16(fd), n16(rs1), 0, 0}); }
+
+  /// Hardware loop: repeat the following `n_body` FP instructions
+  /// (reg `rs_reps` holds repetitions - 1).
+  void frep(int rs_reps, int n_body) { emit({Op::kFrep, n16(n_body), n16(rs_reps), 0, 0}); }
+
+  // -- SSR configuration ----------------------------------------------------------
+  void ssr_bound(int ssr, int dim, int rs_count) { emit({Op::kSsrCfgBound, n16(ssr), n16(rs_count), 0, dim}); }
+  void ssr_stride(int ssr, int dim, int rs_stride) { emit({Op::kSsrCfgStride, n16(ssr), n16(rs_stride), 0, dim}); }
+  void ssr_base(int ssr, int rs_addr) { emit({Op::kSsrCfgBase, n16(ssr), n16(rs_addr), 0, 0}); }
+  void ssr_idx(int ssr, int rs_addr, int log2_idx_bytes) { emit({Op::kSsrCfgIdx, n16(ssr), n16(rs_addr), 0, log2_idx_bytes}); }
+  void ssr_len(int ssr, int rs_len) { emit({Op::kSsrCfgLen, n16(ssr), n16(rs_len), 0, 0}); }
+  void ssr_commit(int ssr, SsrMode mode) { emit({Op::kSsrCommit, n16(ssr), 0, 0, static_cast<std::int64_t>(mode)}); }
+  void ssr_enable() { emit({Op::kSsrEnable, 0, 0, 0, 0}); }
+  void ssr_disable() { emit({Op::kSsrDisable, 0, 0, 0, 0}); }
+
+  // -- DMA ---------------------------------------------------------------------------
+  void dma_src(int rs1) { emit({Op::kDmaSrc, 0, n16(rs1), 0, 0}); }
+  void dma_dst(int rs1) { emit({Op::kDmaDst, 0, n16(rs1), 0, 0}); }
+  void dma_str(int rs_src, int rs_dst) { emit({Op::kDmaStr, 0, n16(rs_src), n16(rs_dst), 0}); }
+  void dma_reps(int rs1) { emit({Op::kDmaReps, 0, n16(rs1), 0, 0}); }
+  void dma_start(int rd, int rs_bytes) { emit({Op::kDmaStart, n16(rd), n16(rs_bytes), 0, 0}); }
+  void dma_wait() { emit({Op::kDmaWait, 0, 0, 0, 0}); }
+
+  /// Resolve all label references; returns the finished program.
+  Program finish();
+
+ private:
+  static std::int16_t n16(int v) { return static_cast<std::int16_t>(v); }
+  void emit(Instr i) { code_.push_back(i); }
+  void branch(Op op, int rs1, int rs2, const std::string& target);
+
+  struct Fixup {
+    std::size_t instr_index;
+    std::string label;
+  };
+
+  std::vector<Instr> code_;
+  std::unordered_map<std::string, std::size_t> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace spikestream::arch

@@ -1,0 +1,138 @@
+#include "arch/ssr.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace spikestream::arch {
+
+bool Ssr::commit() {
+  SPK_CHECK(shadow_.mode != SsrMode::kIndirectRead || indirect_capable_,
+            "this SSR is not indirect-capable");
+  if (!active_) {
+    start(shadow_);
+    return true;
+  }
+  if (pending_valid_) return false;
+  pending_ = shadow_;
+  pending_valid_ = true;
+  return true;
+}
+
+void Ssr::start(const SsrConfig& c) {
+  cfg_ = c;
+  active_ = true;
+  fetched_ = popped_ = pushed_ = drained_ = 0;
+  for (auto& i : idx_counters_) i = 0;
+  idx_word_slot_ = -1;
+  if (cfg_.mode == SsrMode::kIndirectRead) {
+    total_ = cfg_.length;
+  } else if (cfg_.length > 0) {
+    // 1D convenience: an explicit length overrides dim-0's bound.
+    total_ = cfg_.length;
+    cfg_.bounds[0] = cfg_.length;
+    cfg_.bounds[1] = cfg_.bounds[2] = cfg_.bounds[3] = 1;
+  } else {
+    total_ = 1;
+    for (std::uint32_t b : cfg_.bounds) total_ *= std::max(b, 1u);
+  }
+  if (total_ == 0) {
+    active_ = false;
+    maybe_finish();
+  }
+}
+
+Addr Ssr::affine_addr() const {
+  std::int64_t off = 0;
+  for (int d = 0; d < 4; ++d) {
+    off += static_cast<std::int64_t>(idx_counters_[d]) * cfg_.strides[d];
+  }
+  return cfg_.base + static_cast<Addr>(off);
+}
+
+bool Ssr::advance_affine() {
+  for (int d = 0; d < 4; ++d) {
+    if (++idx_counters_[d] < std::max(cfg_.bounds[d], 1u)) return true;
+    idx_counters_[d] = 0;
+  }
+  return false;  // stream exhausted
+}
+
+void Ssr::maybe_finish() {
+  if (active_) {
+    const bool read_done = cfg_.mode != SsrMode::kAffineWrite &&
+                           popped_ >= total_ && fifo_.empty();
+    const bool write_done =
+        cfg_.mode == SsrMode::kAffineWrite && drained_ >= total_;
+    if (read_done || write_done) active_ = false;
+  }
+  if (!active_ && pending_valid_) {
+    pending_valid_ = false;
+    start(pending_);
+  }
+}
+
+void Ssr::step(Memory& mem) {
+  if (!active_) return;
+
+  if (cfg_.mode == SsrMode::kAffineWrite) {
+    // Drain one queued FP result to TCDM per cycle.
+    if (wfifo_.empty()) return;
+    const Addr a = affine_addr();
+    if (!mem.request(a)) {
+      ++conflict_cycles_;
+      return;
+    }
+    mem.store<double>(a, wfifo_.front());
+    wfifo_.pop_front();
+    ++drained_;
+    advance_affine();
+    maybe_finish();
+    return;
+  }
+
+  // Read streams: fetch at most one element per cycle into the FIFO.
+  if (fifo_.size() >= kFifoDepth || fetched_ >= total_) return;
+
+  Addr data_addr = 0;
+  if (cfg_.mode == SsrMode::kAffineRead) {
+    data_addr = affine_addr();
+  } else {
+    // Indirect: ensure the 64-bit index word covering element `fetched_` is
+    // cached; fetching it uses the private index port (its own arbitration).
+    const auto per_word = static_cast<std::uint32_t>(8 / cfg_.idx_bytes);
+    const std::int64_t slot = fetched_ / per_word;
+    if (slot != idx_word_slot_) {
+      const Addr ia = cfg_.idx_base + static_cast<Addr>(slot) * 8u;
+      if (!mem.request(ia)) {
+        ++conflict_cycles_;
+        return;
+      }
+      idx_word_ = mem.load<std::uint64_t>(ia);
+      idx_word_slot_ = slot;
+      // The index fetch and the dependent data fetch pipeline back-to-back
+      // through the unit's two ports, so both can complete this cycle.
+    }
+    const std::uint32_t lane = fetched_ % per_word;
+    const int shift = static_cast<int>(lane) * cfg_.idx_bytes * 8;
+    const std::uint64_t mask =
+        cfg_.idx_bytes >= 8 ? ~0ull : ((1ull << (cfg_.idx_bytes * 8)) - 1);
+    const std::uint64_t idx = (idx_word_ >> shift) & mask;
+    // Indices select elements of `strides[0]` bytes. The default (8) is the
+    // batched-SIMD weight word of the base ISA; other strides model the
+    // paper's proposed *strided indirect* extension (Section VI), which
+    // lets an index address a whole weight row without pre-scaling.
+    data_addr = cfg_.base + static_cast<Addr>(idx) *
+                                static_cast<Addr>(cfg_.strides[0]);
+  }
+
+  if (!mem.request(data_addr)) {
+    ++conflict_cycles_;
+    return;
+  }
+  fifo_.push_back(mem.load<double>(data_addr));
+  ++fetched_;
+  if (cfg_.mode == SsrMode::kAffineRead) advance_affine();
+}
+
+}  // namespace spikestream::arch

@@ -1,0 +1,113 @@
+// Stream Semantic Register model. Each worker core has three SSRs mapped to
+// FP registers f0..f2 while enabled. All three support <=4D affine streams;
+// SSR0/SSR1 additionally support 1D indirect (gather) streams with 8/16/32-bit
+// indices held in TCDM, as in Scheffler et al., "Sparse Stream Semantic
+// Registers" (the extension SpikeStream builds on).
+//
+// Timing model: one data element per cycle per SSR, through a private TCDM
+// port subject to bank arbitration. Indirect streams use a second private
+// port for index words (64-bit, i.e. one fetch per 8/idx_bytes elements), so
+// a conflict-free indirect stream also sustains 1 element/cycle. A 4-entry
+// data FIFO decouples fetch from FPU consumption. Configuration writes land
+// in a shadow register set; one pending stream may be queued behind the
+// active one (`commit` fails if the shadow slot is occupied, stalling the
+// integer core — the overlap mechanism Section III-E relies on).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "arch/isa.hpp"
+#include "arch/mem.hpp"
+#include "arch/perf.hpp"
+
+namespace spikestream::arch {
+
+/// Stream configuration (architectural + shadow copies are both this type).
+struct SsrConfig {
+  SsrMode mode = SsrMode::kAffineRead;
+  Addr base = 0;
+  std::uint32_t bounds[4] = {1, 1, 1, 1};   ///< trip counts, dim 0 innermost
+  std::int32_t strides[4] = {8, 0, 0, 0};   ///< byte strides per dim
+  Addr idx_base = 0;                        ///< indirect: index array base
+  int idx_bytes = 2;                        ///< indirect: 1, 2 or 4
+  std::uint32_t length = 0;                 ///< indirect/1D: element count
+};
+
+class Ssr {
+ public:
+  /// `indirect_capable` is true for SSR0/SSR1 only.
+  explicit Ssr(bool indirect_capable = true)
+      : indirect_capable_(indirect_capable) {}
+
+  // --- configuration interface (driven by the integer core) ---------------
+  SsrConfig& shadow() { return shadow_; }
+
+  /// Activate the shadow config, or queue it behind the active stream.
+  /// Returns false (caller must stall and retry) if the queue slot is taken.
+  bool commit();
+
+  bool active() const { return active_; }
+  bool reading() const {
+    return active_ && cfg_.mode != SsrMode::kAffineWrite;
+  }
+  bool writing() const {
+    return active_ && cfg_.mode == SsrMode::kAffineWrite;
+  }
+
+  // --- data interface (driven by the FPU) ---------------------------------
+  bool can_pop() const { return !fifo_.empty(); }
+  double pop(PerfCounters& pc) {
+    const double v = fifo_.front();
+    fifo_.pop_front();
+    ++popped_;
+    ++pc.ssr_elems;
+    maybe_finish();
+    return v;
+  }
+  bool can_push() const { return wfifo_.size() < kFifoDepth; }
+  void push(double v) {
+    wfifo_.push_back(v);
+    ++pushed_;
+  }
+
+  /// True once no stream is active and none is queued.
+  bool fully_idle() const { return !active_ && !pending_valid_; }
+
+  // --- per-cycle fetch/drain engine ----------------------------------------
+  void step(Memory& mem);
+
+  std::uint64_t conflict_cycles() const { return conflict_cycles_; }
+
+ private:
+  static constexpr std::size_t kFifoDepth = 4;
+
+  void start(const SsrConfig& c);
+  void maybe_finish();
+  Addr affine_addr() const;
+  bool advance_affine();
+
+  bool indirect_capable_;
+  SsrConfig cfg_;
+  SsrConfig shadow_;
+  SsrConfig pending_;
+  bool pending_valid_ = false;
+  bool active_ = false;
+
+  std::uint32_t total_ = 0;    ///< elements in the active stream
+  std::uint32_t fetched_ = 0;  ///< read streams: elements fetched into FIFO
+  std::uint32_t popped_ = 0;   ///< read streams: elements consumed by the FPU
+  std::uint32_t pushed_ = 0;   ///< write streams: elements produced by the FPU
+  std::uint32_t drained_ = 0;  ///< write streams: elements stored to TCDM
+  std::uint32_t idx_counters_[4] = {0, 0, 0, 0};
+
+  // cached 64-bit index word for indirect streams
+  std::uint64_t idx_word_ = 0;
+  std::int64_t idx_word_slot_ = -1;
+
+  std::deque<double> fifo_;   ///< read-stream data awaiting the FPU
+  std::deque<double> wfifo_;  ///< write-stream data awaiting drain to TCDM
+  std::uint64_t conflict_cycles_ = 0;
+};
+
+}  // namespace spikestream::arch

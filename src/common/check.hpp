@@ -1,0 +1,52 @@
+// Error-handling primitives used across SpikeStream.
+//
+// SPK_CHECK: recoverable precondition / invariant violation -> throws
+// spikestream::Error with file:line context. Used at API boundaries.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spikestream {
+
+/// Exception type thrown on violated preconditions or invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace spikestream
+
+/// Throws spikestream::Error if `cond` is false. `msg` is streamed, e.g.
+/// SPK_CHECK(n > 0, "n=" << n).
+#define SPK_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream spk_check_os_;                                   \
+      spk_check_os_ << msg;                                               \
+      ::spikestream::detail::throw_check_failure(#cond, __FILE__,         \
+                                                 __LINE__,                \
+                                                 spk_check_os_.str());    \
+    }                                                                     \
+  } while (false)
+
+/// Cheap assert for hot paths; compiled out in release unless SPK_PARANOID.
+#if defined(SPK_PARANOID)
+#define SPK_DCHECK(cond, msg) SPK_CHECK(cond, msg)
+#else
+#define SPK_DCHECK(cond, msg) \
+  do {                        \
+  } while (false)
+#endif

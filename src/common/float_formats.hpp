@@ -1,0 +1,56 @@
+// Software models of the narrow floating-point formats used by the Snitch
+// SIMD FPU: IEEE binary16 (FP16), and the two common 8-bit formats E4M3 and
+// E5M2 (FP8). Conversions use round-to-nearest-even, matching FPnew.
+//
+// The kernels quantize weights once into the chosen format; functional results
+// are therefore computed on format-faithful values.
+#pragma once
+
+#include <cstdint>
+
+namespace spikestream::common {
+
+/// Floating-point formats supported by the modeled 64-bit SIMD FPU.
+enum class FpFormat { FP64, FP32, FP16, FP8 };
+
+/// Number of SIMD lanes the 64-bit FPU datapath provides for a format.
+constexpr int simd_lanes(FpFormat f) {
+  switch (f) {
+    case FpFormat::FP64: return 1;
+    case FpFormat::FP32: return 2;
+    case FpFormat::FP16: return 4;
+    case FpFormat::FP8: return 8;
+  }
+  return 1;
+}
+
+/// Storage size of one element in bytes.
+constexpr int fp_bytes(FpFormat f) {
+  switch (f) {
+    case FpFormat::FP64: return 8;
+    case FpFormat::FP32: return 4;
+    case FpFormat::FP16: return 2;
+    case FpFormat::FP8: return 1;
+  }
+  return 8;
+}
+
+const char* fp_name(FpFormat f);
+
+/// IEEE 754 binary16 <-> binary32 conversions (round-to-nearest-even).
+std::uint16_t fp32_to_fp16_bits(float x);
+float fp16_bits_to_fp32(std::uint16_t h);
+
+/// FP8 E4M3 (1-4-3, bias 7, saturating, no infinities; max finite 448).
+std::uint8_t fp32_to_fp8_e4m3_bits(float x);
+float fp8_e4m3_bits_to_fp32(std::uint8_t b);
+
+/// FP8 E5M2 (1-5-2, bias 15, IEEE-like with inf/NaN; max finite 57344).
+std::uint8_t fp32_to_fp8_e5m2_bits(float x);
+float fp8_e5m2_bits_to_fp32(std::uint8_t b);
+
+/// Round-trips a value through the given format (identity for FP32/FP64).
+/// FP8 uses E4M3, the weight format assumed by the paper's FP8 runs.
+float quantize(float x, FpFormat f);
+
+}  // namespace spikestream::common

@@ -1,0 +1,82 @@
+// Minimal ASCII table printer: the figure-reproduction benches print the same
+// rows/series the paper plots, as aligned text tables.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace spikestream::common {
+
+/// Column-aligned ASCII table. Usage: set_header(...), add_row(...), print().
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cols) { header_ = std::move(cols); }
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format a double with the given precision.
+  static std::string num(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  /// Format "mean ± std".
+  static std::string pm(double mean, double std, int prec = 2) {
+    return num(mean, prec) + " +- " + num(std, prec);
+  }
+
+  /// Format a percentage.
+  static std::string pct(double frac, int prec = 1) {
+    return num(frac * 100.0, prec) + "%";
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i >= widths.size()) widths.resize(i + 1, 0);
+        widths[i] = std::max(widths[i], cells[i].size());
+      }
+    };
+    grow(header_);
+    for (const auto& r : rows_) grow(r);
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << "| ";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string();
+        os << std::left << std::setw(static_cast<int>(widths[i])) << c
+           << " | ";
+      }
+      os << '\n';
+    };
+    auto rule = [&] {
+      os << '+';
+      for (auto w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+
+    if (!title_.empty()) os << "== " << title_ << " ==\n";
+    rule();
+    line(header_);
+    rule();
+    for (const auto& r : rows_) line(r);
+    rule();
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spikestream::common

@@ -1,0 +1,30 @@
+#include "compress/aer.hpp"
+
+namespace spikestream::compress {
+
+AerEvents AerEvents::encode(const snn::SpikeMap& dense, std::uint16_t t) {
+  AerEvents out;
+  out.events_.reserve(snn::spike_count(dense));
+  for (int y = 0; y < dense.h; ++y) {
+    for (int x = 0; x < dense.w; ++x) {
+      for (int ch = 0; ch < dense.c; ++ch) {
+        if (dense.at(y, x, ch)) {
+          out.events_.push_back({static_cast<std::uint16_t>(x),
+                                 static_cast<std::uint16_t>(y),
+                                 static_cast<std::uint16_t>(ch), t});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+snn::SpikeMap AerEvents::decode(int h, int w, int c, std::uint16_t t) const {
+  snn::SpikeMap dense(h, w, c);
+  for (const AerEvent& e : events_) {
+    if (e.t == t) dense.at(e.y, e.x, e.ch) = 1;
+  }
+  return dense;
+}
+
+}  // namespace spikestream::compress

@@ -1,0 +1,45 @@
+// Address-Event Representation, the format used by neuromorphic processors
+// (e.g. Loihi's NoC and SNE): every spike carries absolute coordinates and a
+// timestamp. With the paper's 16-bit fields a conv spike is (x, y, c, t) =
+// 8 bytes and an FC spike is (n, t) = 4 bytes. Used as the footprint baseline
+// for Fig. 3a and for property tests against the CSR codec.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/tensor.hpp"
+
+namespace spikestream::compress {
+
+struct AerEvent {
+  std::uint16_t x = 0;
+  std::uint16_t y = 0;
+  std::uint16_t ch = 0;
+  std::uint16_t t = 0;
+};
+
+class AerEvents {
+ public:
+  AerEvents() = default;
+
+  /// Encode one timestep of a binary spike map.
+  static AerEvents encode(const snn::SpikeMap& dense, std::uint16_t t = 0);
+
+  /// Reconstruct the dense map for a given timestep.
+  snn::SpikeMap decode(int h, int w, int c, std::uint16_t t = 0) const;
+
+  std::size_t count() const { return events_.size(); }
+  const std::vector<AerEvent>& events() const { return events_; }
+
+  /// Footprint with 16-bit fields. Spatial (conv) events need x, y, c, t;
+  /// flat (FC) events need only the neuron id and t.
+  std::size_t footprint_bytes(bool spatial = true) const {
+    return events_.size() * (spatial ? 8u : 4u);
+  }
+
+ private:
+  std::vector<AerEvent> events_;
+};
+
+}  // namespace spikestream::compress

@@ -1,0 +1,46 @@
+#include "compress/csr_ifmap.hpp"
+
+#include "common/check.hpp"
+
+namespace spikestream::compress {
+
+CsrIfmap CsrIfmap::encode(const snn::SpikeMap& dense) {
+  SPK_CHECK(dense.c <= 65536, "channel index exceeds 16-bit range");
+  CsrIfmap out;
+  out.h_ = dense.h;
+  out.w_ = dense.w;
+  out.c_ = dense.c;
+  const std::size_t positions =
+      static_cast<std::size_t>(dense.h) * static_cast<std::size_t>(dense.w);
+  out.s_ptr_.assign(positions + 1, 0);
+  out.c_idcs_.reserve(snn::spike_count(dense));
+
+  std::size_t p = 0;
+  for (int y = 0; y < dense.h; ++y) {
+    for (int x = 0; x < dense.w; ++x, ++p) {
+      out.s_ptr_[p] = static_cast<std::uint32_t>(out.c_idcs_.size());
+      for (int ch = 0; ch < dense.c; ++ch) {
+        if (dense.at(y, x, ch)) {
+          out.c_idcs_.push_back(static_cast<std::uint16_t>(ch));
+        }
+      }
+    }
+  }
+  out.s_ptr_[positions] = static_cast<std::uint32_t>(out.c_idcs_.size());
+  return out;
+}
+
+snn::SpikeMap CsrIfmap::decode() const {
+  snn::SpikeMap dense(h_, w_, c_);
+  std::size_t p = 0;
+  for (int y = 0; y < h_; ++y) {
+    for (int x = 0; x < w_; ++x, ++p) {
+      for (std::uint32_t i = s_ptr_[p]; i < s_ptr_[p + 1]; ++i) {
+        dense.at(y, x, c_idcs_[i]) = 1;
+      }
+    }
+  }
+  return dense;
+}
+
+}  // namespace spikestream::compress

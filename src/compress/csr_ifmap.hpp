@@ -1,0 +1,70 @@
+// The paper's CSR-derived fiber-tree compression for binary ifmaps
+// (Section III-A). Spike values are implicitly "1", so only positions are
+// stored: `c_idcs` holds the channel indices of active neurons, grouped by
+// spatial position in row-major order; `s_ptr` aggregates the spiking-neuron
+// count per spatial position (stored as 16-bit counts, prefix-summed on the
+// fly). FC layers degenerate to a single index array plus a count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "snn/tensor.hpp"
+
+namespace spikestream::compress {
+
+class CsrIfmap {
+ public:
+  CsrIfmap() = default;
+
+  /// Compress a binary HWC spike map.
+  static CsrIfmap encode(const snn::SpikeMap& dense);
+
+  /// Reconstruct the dense binary map (for tests / golden comparisons).
+  snn::SpikeMap decode() const;
+
+  int h() const { return h_; }
+  int w() const { return w_; }
+  int c() const { return c_; }
+  std::size_t nnz() const { return c_idcs_.size(); }
+  double density() const {
+    const auto total = static_cast<double>(h_) * w_ * c_;
+    return total > 0 ? static_cast<double>(nnz()) / total : 0.0;
+  }
+
+  /// Channel indices of the spikes at spatial position (y, x).
+  std::span<const std::uint16_t> at(int y, int x) const {
+    const std::size_t p = static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(w_) +
+                          static_cast<std::size_t>(x);
+    return {c_idcs_.data() + s_ptr_[p],
+            static_cast<std::size_t>(s_ptr_[p + 1] - s_ptr_[p])};
+  }
+
+  /// Number of spikes at spatial position (y, x) — the SpVA stream length.
+  std::uint32_t stream_len(int y, int x) const {
+    const std::size_t p = static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(w_) +
+                          static_cast<std::size_t>(x);
+    return s_ptr_[p + 1] - s_ptr_[p];
+  }
+
+  const std::vector<std::uint32_t>& s_ptr() const { return s_ptr_; }
+  const std::vector<std::uint16_t>& c_idcs() const { return c_idcs_; }
+
+  /// Storage footprint in bytes with `idx_bytes`-wide indices and counts
+  /// (the paper assumes 2). `s_ptr` is stored as one count per position.
+  std::size_t footprint_bytes(int idx_bytes = 2) const {
+    const std::size_t positions = static_cast<std::size_t>(h_) * w_;
+    return nnz() * static_cast<std::size_t>(idx_bytes) +
+           positions * static_cast<std::size_t>(idx_bytes);
+  }
+
+ private:
+  int h_ = 0, w_ = 0, c_ = 0;
+  std::vector<std::uint32_t> s_ptr_;   ///< h*w+1 prefix sums
+  std::vector<std::uint16_t> c_idcs_;  ///< channel index per spike
+};
+
+}  // namespace spikestream::compress

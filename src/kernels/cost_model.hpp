@@ -1,0 +1,109 @@
+// Mechanistic cycle-cost model of the SpikeStream kernels at SpVA (sparse
+// vector accumulation) granularity. Every constant corresponds to a concrete
+// microarchitectural mechanism of the modeled Snitch core (see arch/core.hpp)
+// and the model is cross-validated against the ISS on the paper's inner loops
+// (tests/test_model_vs_iss.cpp). Units are cycles at 1 GHz.
+//
+// Key mechanisms (Section III / IV-A of the paper):
+//  * Baseline SpVA element (Listing 1b): 8 issued instructions, one load-use
+//    bubble (lw -> slli) and a taken-branch flush => ~11 cycles/element.
+//  * SpikeStream SpVA (Listing 1c): the FPU streams one indexed fadd per
+//    element at II = fadd latency (single accumulator register), while the
+//    integer core prepares the *next* stream in the SSR shadow registers =>
+//    per-SpVA time = max(II * s_len, setup) + a small non-overlapped residue.
+//    Short streams leave the integer pipe dominant — the paper's layer-2
+//    effect.
+//  * Indirect gathers from 8 cores conflict in the 32-bank TCDM; the stream
+//    time stretches by a factor from the bank-occupancy model below.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/float_formats.hpp"
+
+namespace spikestream::kernels {
+
+struct CostParams {
+  // --- integer pipeline ----------------------------------------------------
+  double baseline_elem_cycles = 11.0;  ///< 8 instrs + load-use + branch flush
+  double baseline_spva_overhead = 22.0;  ///< Listing 1a outer bookkeeping
+  double dense_elem_cycles_baseline = 4.0;  ///< 2x-unrolled fmadd loop
+  double dense_spva_overhead = 10.0;
+
+  // --- SpikeStream streaming -----------------------------------------------
+  double ss_setup = 19.0;   ///< coo/s_ptr/s_len + SSR shadow cfg + frep issue
+  double ss_residue = 4.0;  ///< stream fill/drain not hidden by overlap
+  double dense_setup = 14.0;   ///< two affine SSRs, no s_ptr loads
+  double dense_residue = 6.0;
+
+  // --- FPU ------------------------------------------------------------------
+  double fadd_latency = 2.0;   ///< single-accumulator reduction II
+  double fmadd_latency = 3.0;
+  int dense_accumulators = 2;  ///< encode matmul interleaves 2 accumulators
+
+  // --- scheduling / activation ----------------------------------------------
+  double steal_cost = 8.0;      ///< amotized atomic next_rf fetch per RF
+  double act_fixed = 8.0;       ///< LIF threshold + branch per SIMD group
+  double act_per_lane = 2.0;    ///< bit-mask/extract per lane (Section III-C)
+  double act_per_spike = 4.0;   ///< atomic append to ofmap c_idcs/s_ptr
+  double fp8_unpack_extra = 2.0;  ///< the two extra unpack iterations (IV-A)
+  double fc_prescale_per_spike = 3.0;  ///< FC index scaling (no strided SSR)
+
+  // --- memory system ----------------------------------------------------------
+  int tcdm_banks = 32;
+  double icache_layer_warmup = 300.0;  ///< cold I$ misses per layer launch
+  double dma_bytes_per_cycle = 64.0;
+  double dma_latency = 100.0;  ///< cycles to first beat from global memory
+
+  /// Dense-matmul initiation interval (two interleaved accumulators).
+  double dense_ii() const {
+    return std::max(1.0, fmadd_latency / dense_accumulators);
+  }
+
+  /// Expected TCDM serialization factor when `cores` requesters each issue
+  /// `rate` accesses/cycle into `tcdm_banks` banks (M/D/1-style occupancy:
+  /// throughput of random requests over B banks is B * (1 - (1-1/B)^A)).
+  double conflict_stretch(double rate, int cores) const {
+    const double a = std::max(rate * cores, 1e-9);
+    const double b = tcdm_banks;
+    const double served = b * (1.0 - std::pow(1.0 - 1.0 / b, a));
+    return std::max(1.0, a / served);
+  }
+};
+
+/// Cycles for one baseline SpVA of `s_len` spikes (one SIMD co-group).
+inline double baseline_spva_cycles(const CostParams& p, double s_len) {
+  return s_len * p.baseline_elem_cycles + p.baseline_spva_overhead;
+}
+
+/// Cycles for one SpikeStream SpVA: FPU stream overlapped with the integer
+/// core's setup of the next stream. The drain/fill residue rides on the
+/// stream side only — a setup-bound SpVA is gated purely by the integer pipe
+/// (validated against the ISS in tests/test_model_vs_iss.cpp).
+inline double spikestream_spva_cycles(const CostParams& p, double s_len,
+                                      double stretch) {
+  const double stream = p.fadd_latency * s_len * stretch + p.ss_residue;
+  return std::max(stream, p.ss_setup);
+}
+
+/// Cycles for one dense dot-product of `len` SIMD fmadds (encode layer).
+inline double baseline_dense_dot_cycles(const CostParams& p, double len) {
+  return len * p.dense_elem_cycles_baseline + p.dense_spva_overhead;
+}
+
+inline double spikestream_dense_dot_cycles(const CostParams& p, double len,
+                                           double stretch) {
+  const double stream = p.dense_ii() * len * stretch + p.dense_residue;
+  return std::max(stream, p.dense_setup);
+}
+
+/// Integer-core cycles to threshold one SIMD group and emit its spikes.
+inline double activation_cycles(const CostParams& p, int simd_lanes,
+                                double spikes_in_group, bool fp8) {
+  return p.act_fixed + p.act_per_lane * simd_lanes +
+         p.act_per_spike * spikes_in_group +
+         (fp8 ? p.fp8_unpack_extra : 0.0);
+}
+
+}  // namespace spikestream::kernels

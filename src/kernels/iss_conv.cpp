@@ -1,0 +1,230 @@
+#include "kernels/iss_conv.hpp"
+
+#include "common/check.hpp"
+
+namespace spikestream::kernels {
+
+namespace arch = spikestream::arch;
+
+namespace {
+
+struct ConvImage {
+  arch::Addr sptr = 0, cidcs = 0, wbuf = 0, out = 0, next_rf = 0;
+  int k = 0, in_w = 0, out_h = 0, out_w = 0, n_rfs = 0;
+};
+
+ConvImage setup_conv_image(arch::Cluster& cl, const compress::CsrIfmap& ifmap,
+                           const snn::LayerWeights& weights, int n_cores) {
+  SPK_CHECK(weights.out_c == 1, "ISS conv computes one output channel");
+  SPK_CHECK(weights.in_c == ifmap.c(), "channel mismatch");
+  SPK_CHECK(n_cores >= 1 && n_cores <= cl.config().num_workers,
+            "bad core count");
+  ConvImage img;
+  img.k = weights.k;
+  img.in_w = ifmap.w();
+  img.out_h = ifmap.h() - img.k + 1;
+  img.out_w = img.in_w - img.k + 1;
+  img.n_rfs = img.out_h * img.out_w;
+
+  cl.reset_allocators();
+  const auto& sp = ifmap.s_ptr();
+  img.sptr = cl.tcdm_alloc(static_cast<std::uint32_t>(sp.size() * 4));
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    cl.mem().store<std::uint32_t>(img.sptr + static_cast<arch::Addr>(i * 4),
+                                  sp[i]);
+  }
+  const auto& ci = ifmap.c_idcs();
+  img.cidcs =
+      cl.tcdm_alloc(static_cast<std::uint32_t>((ci.size() * 2 + 7) & ~7u));
+  for (std::size_t i = 0; i < ci.size(); ++i) {
+    cl.mem().store<std::uint16_t>(img.cidcs + static_cast<arch::Addr>(i * 2),
+                                  ci[i]);
+  }
+  img.wbuf = cl.tcdm_alloc(static_cast<std::uint32_t>(weights.v.size() * 8));
+  for (std::size_t i = 0; i < weights.v.size(); ++i) {
+    cl.mem().store<double>(img.wbuf + static_cast<arch::Addr>(i * 8),
+                           static_cast<double>(weights.v[i]));
+  }
+  img.out = cl.tcdm_alloc(static_cast<std::uint32_t>(img.n_rfs * 8));
+  img.next_rf = cl.tcdm_alloc(8);
+  cl.mem().store<std::uint32_t>(img.next_rf, 0);
+  return img;
+}
+
+IssConvResult collect_conv_result(arch::Cluster& cl, const ConvImage& img) {
+  IssConvResult res;
+  res.cycles = cl.run();
+  res.perf = cl.aggregate_worker_perf();
+  const auto tickets = cl.mem().load<std::uint32_t>(img.next_rf);
+  res.rf_count = tickets >= static_cast<std::uint32_t>(img.n_rfs)
+                     ? static_cast<std::uint64_t>(img.n_rfs)
+                     : tickets;
+  res.currents = snn::Tensor(img.out_h, img.out_w, 1);
+  for (int i = 0; i < img.n_rfs; ++i) {
+    res.currents.v[static_cast<std::size_t>(i)] = static_cast<float>(
+        cl.mem().load<double>(img.out + static_cast<arch::Addr>(i * 8)));
+  }
+  return res;
+}
+
+}  // namespace
+
+IssConvResult iss_conv_layer(arch::Cluster& cl,
+                             const compress::CsrIfmap& ifmap,
+                             const snn::LayerWeights& weights, int n_cores) {
+  const ConvImage img = setup_conv_image(cl, ifmap, weights, n_cores);
+  const int k = img.k;
+  const int in_w = img.in_w;
+  const int n_rfs = img.n_rfs;
+  const int out_w = img.out_w;
+  const arch::Addr sptr = img.sptr, cidcs = img.cidcs, wbuf = img.wbuf,
+                   out = img.out, next_rf = img.next_rf;
+
+  // --- SPMD program -----------------------------------------------------------
+  arch::Asm a;
+  a.csr_core_id(5);
+  a.li(6, n_cores);
+  a.blt(5, 6, "work");
+  a.halt();
+  a.label("work");
+  a.li(5, next_rf);   // x5: ticket counter address
+  a.li(7, n_rfs);     // x7: RF count
+  a.li(10, sptr);
+  a.li(11, cidcs);
+  a.li(12, wbuf);
+  a.li(13, out);
+  a.li(20, 1);
+  a.li(21, out_w);
+  a.li(22, in_w);
+  a.ssr_enable();
+
+  a.label("steal");
+  a.amoadd(6, 5, 20);       // x6 = my RF ticket (Section III-B)
+  a.bge(6, 7, "done");
+  a.divu(8, 6, 21);         // oy
+  a.remu(9, 6, 21);         // ox
+  a.fcvt_d_w(3, 0);         // acc = 0.0
+  a.mul(14, 8, 22);
+  a.add(14, 14, 9);         // pos0 = oy * in_w + ox
+  a.slli(14, 14, 2);
+  a.add(14, 14, 10);        // &s_ptr[pos0]
+
+  for (int kh = 0; kh < k; ++kh) {
+    for (int kw = 0; kw < k; ++kw) {
+      const std::int64_t off = (static_cast<std::int64_t>(kh) * in_w + kw) * 4;
+      const std::int64_t slab =
+          (static_cast<std::int64_t>(kh) * k + kw) *
+          static_cast<std::int64_t>(weights.in_c) * 8;
+      const std::string skip =
+          "skip_" + std::to_string(kh) + "_" + std::to_string(kw);
+      a.lw(15, 14, off);        // p0 = s_ptr[pos]
+      a.lw(16, 14, off + 4);    // p1 = s_ptr[pos + 1]
+      a.sub(16, 16, 15);        // s_len
+      a.beq(16, 0, skip);       // Listing 1c: if s_len != 0
+      a.slli(17, 15, 1);
+      a.add(17, 17, 11);        // &c_idcs[p0]
+      a.ssr_idx(0, 17, 1);
+      a.addi(18, 12, slab);     // &w[kh][kw][0]
+      a.ssr_base(0, 18);
+      a.ssr_len(0, 16);
+      a.ssr_commit(0, arch::SsrMode::kIndirectRead);
+      a.addi(16, 16, -1);
+      a.frep(16, 1);
+      a.fadd(3, arch::kSsr0, 3);  // ic += stream (II = fadd latency)
+      a.label(skip);
+    }
+  }
+  a.slli(19, 6, 3);
+  a.add(19, 19, 13);
+  a.fsd(3, 19, 0);  // blocks until the queued fadds drained
+  a.j("steal");
+
+  a.label("done");
+  a.fpu_fence();
+  a.ssr_disable();
+  a.halt();
+
+  cl.load_program(a.finish());
+  return collect_conv_result(cl, img);
+}
+
+IssConvResult iss_conv_layer_baseline(arch::Cluster& cl,
+                                      const compress::CsrIfmap& ifmap,
+                                      const snn::LayerWeights& weights,
+                                      int n_cores) {
+  const ConvImage img = setup_conv_image(cl, ifmap, weights, n_cores);
+  const int k = img.k;
+
+  arch::Asm a;
+  a.csr_core_id(5);
+  a.li(6, n_cores);
+  a.blt(5, 6, "work");
+  a.halt();
+  a.label("work");
+  a.li(5, img.next_rf);
+  a.li(7, img.n_rfs);
+  a.li(10, img.sptr);
+  a.li(11, img.cidcs);
+  a.li(12, img.wbuf);
+  a.li(13, img.out);
+  a.li(20, 1);
+  a.li(21, img.out_w);
+  a.li(22, img.in_w);
+
+  a.label("steal");
+  a.amoadd(6, 5, 20);
+  a.bge(6, 7, "done");
+  a.divu(8, 6, 21);   // oy
+  a.remu(9, 6, 21);   // ox
+  a.fcvt_d_w(3, 0);   // acc = 0.0
+  a.mul(14, 8, 22);
+  a.add(14, 14, 9);
+  a.slli(14, 14, 2);
+  a.add(14, 14, 10);  // &s_ptr[pos0]
+
+  for (int kh = 0; kh < k; ++kh) {
+    for (int kw = 0; kw < k; ++kw) {
+      const std::int64_t off =
+          (static_cast<std::int64_t>(kh) * img.in_w + kw) * 4;
+      const std::int64_t slab =
+          (static_cast<std::int64_t>(kh) * k + kw) *
+          static_cast<std::int64_t>(weights.in_c) * 8;
+      const std::string skip =
+          "skip_" + std::to_string(kh) + "_" + std::to_string(kw);
+      const std::string spva =
+          "spva_" + std::to_string(kh) + "_" + std::to_string(kw);
+      a.lw(15, 14, off);
+      a.lw(16, 14, off + 4);
+      a.sub(16, 16, 15);
+      a.beq(16, 0, skip);
+      a.slli(17, 15, 1);
+      a.add(17, 17, 11);      // &c_idcs[p0]
+      a.addi(18, 12, slab);   // &w[kh][kw][0]
+      a.li(23, 0);            // iter
+      // Listing 1b, verbatim:
+      a.label(spva);
+      a.lhu(24, 17, 0);       // lw t0, 0(%c_idcs_i)
+      a.slli(24, 24, 3);      // slli t0, t0, 3
+      a.add(24, 24, 18);      // add t0, t0, %w
+      a.fld(4, 24, 0);        // fld ft1, 0(t0)
+      a.addi(17, 17, 2);      // addi %c_idcs_i, 2
+      a.addi(23, 23, 1);      // addi %iter, 1
+      a.fadd(3, 4, 3);        // fadd %ic, ft1, %ic
+      a.bne(23, 16, spva);    // bne %iter, %s_len, SpVA
+      a.label(skip);
+    }
+  }
+  a.slli(19, 6, 3);
+  a.add(19, 19, 13);
+  a.fsd(3, 19, 0);
+  a.j("steal");
+
+  a.label("done");
+  a.fpu_fence();
+  a.halt();
+
+  cl.load_program(a.finish());
+  return collect_conv_result(cl, img);
+}
+
+}  // namespace spikestream::kernels

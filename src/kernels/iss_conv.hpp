@@ -1,0 +1,43 @@
+// A complete SpikeStream convolution layer running *inside* the cycle-level
+// cluster model: SPMD program on N worker cores, workload stealing over
+// receptive fields through an `amoadd` ticket (Section III-B), per-position
+// SpVAs on the indirect SSR with FREP (Section III-E), accumulating output
+// currents (FP64, one output channel per pass).
+//
+// This is the strongest cross-validation artifact in the repo: the same
+// compressed ifmap drives both this program and the layer-level cost model,
+// and tests require the cycle counts to agree.
+#pragma once
+
+#include <vector>
+
+#include "arch/cluster.hpp"
+#include "compress/csr_ifmap.hpp"
+#include "snn/network.hpp"
+#include "snn/tensor.hpp"
+
+namespace spikestream::kernels {
+
+struct IssConvResult {
+  snn::Tensor currents;       ///< out_h x out_w x 1 accumulated currents
+  std::uint64_t cycles = 0;
+  arch::PerfCounters perf;    ///< aggregated worker counters
+  std::uint64_t rf_count = 0; ///< receptive fields processed (ticket check)
+};
+
+/// Run one output channel of a k x k spiking conv on `n_cores` workers.
+/// `weights` is indexed (kh, kw, ci) with out_c == 1; all data lives in TCDM.
+IssConvResult iss_conv_layer(arch::Cluster& cl,
+                             const compress::CsrIfmap& ifmap,
+                             const snn::LayerWeights& weights, int n_cores);
+
+/// The same layer with the *baseline* scalar SpVA inner loop (Listing 1b):
+/// lhu / slli / add / fld / addi / addi / fadd / bne per spike. Dividing the
+/// two cycle counts reproduces the paper's headline speedup entirely inside
+/// the cycle-level simulator.
+IssConvResult iss_conv_layer_baseline(arch::Cluster& cl,
+                                      const compress::CsrIfmap& ifmap,
+                                      const snn::LayerWeights& weights,
+                                      int n_cores);
+
+}  // namespace spikestream::kernels

@@ -1,0 +1,285 @@
+#include "kernels/iss_kernels.hpp"
+
+#include "common/check.hpp"
+
+namespace spikestream::kernels {
+
+namespace arch = spikestream::arch;
+
+namespace {
+
+// Scratch integer registers used by the kernels (x0 is hardwired zero).
+constexpr int kIdx = 5;    ///< c_idcs pointer
+constexpr int kWBase = 6;  ///< weight base address
+constexpr int kIter = 7;
+constexpr int kLen = 8;
+constexpr int kTmp = 9;
+constexpr int kRes = 10;   ///< result store address
+constexpr int kTmp2 = 11;
+constexpr int kAcc = 3;    ///< f3 accumulator (f0..f2 are SSR-mapped)
+constexpr int kAcc2 = 4;
+constexpr int kWReg = 4;   ///< f4 scratch in the baseline loop
+
+arch::Addr poke_weights(arch::Cluster& cl, const std::vector<double>& w) {
+  const arch::Addr a =
+      cl.tcdm_alloc(static_cast<std::uint32_t>(w.size() * 8));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    cl.mem().store<double>(a + static_cast<arch::Addr>(i * 8), w[i]);
+  }
+  return a;
+}
+
+arch::Addr poke_idcs(arch::Cluster& cl, const std::vector<std::uint16_t>& v) {
+  // Pad to an 8-byte multiple: the SSR index fetcher reads 64-bit words.
+  const auto bytes = static_cast<std::uint32_t>((v.size() * 2 + 7) & ~7u);
+  const arch::Addr a = cl.tcdm_alloc(bytes);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    cl.mem().store<std::uint16_t>(a + static_cast<arch::Addr>(i * 2), v[i]);
+  }
+  return a;
+}
+
+IssRunResult finish(arch::Cluster& cl, arch::Addr result_addr) {
+  IssRunResult r;
+  r.cycles = cl.run();
+  r.value = cl.mem().load<double>(result_addr);
+  r.perf = cl.aggregate_worker_perf();
+  return r;
+}
+
+}  // namespace
+
+IssRunResult iss_baseline_spva(arch::Cluster& cl,
+                               const std::vector<double>& weights,
+                               const std::vector<std::uint16_t>& idcs) {
+  cl.reset_allocators();
+  const arch::Addr w = poke_weights(cl, weights);
+  const arch::Addr ix = poke_idcs(cl, idcs);
+  const arch::Addr res = cl.tcdm_alloc(8);
+
+  // Listing 1b, one instruction per line.
+  arch::Asm a;
+  a.li(kIdx, ix);
+  a.li(kWBase, w);
+  a.li(kIter, 0);
+  a.li(kLen, static_cast<std::int64_t>(idcs.size()));
+  a.li(kRes, res);
+  a.label("SpVA");
+  a.lhu(kTmp, kIdx, 0);        // lw t0, 0(%c_idcs_i)  (16-bit indices)
+  a.slli(kTmp, kTmp, 3);       // slli t0, t0, 3
+  a.add(kTmp, kTmp, kWBase);   // add  t0, t0, %w
+  a.fld(kWReg, kTmp, 0);       // fld  ft1, 0(t0)
+  a.addi(kIdx, kIdx, 2);       // addi %c_idcs_i, %c_idcs_i, 2
+  a.addi(kIter, kIter, 1);     // addi %iter, %iter, 1
+  a.fadd(kAcc, kWReg, kAcc);   // fadd %ic, ft1, %ic
+  a.bne(kIter, kLen, "SpVA");  // bne  %iter, %s_len, SpVA
+  a.fpu_fence();
+  a.fsd(kAcc, kRes, 0);
+  a.halt();
+
+  cl.load_program_on(0, a.finish());
+  return finish(cl, res);
+}
+
+IssRunResult iss_spikestream_spva(arch::Cluster& cl,
+                                  const std::vector<double>& weights,
+                                  const std::vector<std::uint16_t>& idcs) {
+  cl.reset_allocators();
+  const arch::Addr w = poke_weights(cl, weights);
+  const arch::Addr ix = poke_idcs(cl, idcs);
+  const arch::Addr res = cl.tcdm_alloc(8);
+
+  // Listing 1c: configure the indirect SSR, then a 1-instruction FREP body.
+  arch::Asm a;
+  a.li(kIdx, ix);
+  a.li(kWBase, w);
+  a.li(kLen, static_cast<std::int64_t>(idcs.size()));
+  a.li(kRes, res);
+  a.ssr_idx(0, kIdx, 1);  // sr_set_idcs(SR1, &c_idcs[s_baddr]), 16-bit
+  a.ssr_base(0, kWBase);  // sr_set_indir(SR1, &w[w_baddr])
+  a.ssr_len(0, kLen);     // sr_set_bound(SR1, s_len)
+  a.ssr_commit(0, arch::SsrMode::kIndirectRead);
+  a.ssr_enable();
+  a.addi(kTmp, kLen, -1);
+  a.frep(kTmp, 1);               // frep 1, %s_len
+  a.fadd(kAcc, arch::kSsr0, kAcc);  // ic += sr_read(SR1)
+  a.fpu_fence();
+  a.ssr_disable();
+  a.fsd(kAcc, kRes, 0);
+  a.halt();
+
+  cl.load_program_on(0, a.finish());
+  return finish(cl, res);
+}
+
+IssRunResult iss_spikestream_spva_sequence(
+    arch::Cluster& cl, const std::vector<double>& weights,
+    const std::vector<std::vector<std::uint16_t>>& streams) {
+  cl.reset_allocators();
+  const arch::Addr w = poke_weights(cl, weights);
+  // Faithful to Listing 1a: one contiguous c_idcs array plus an s_ptr array
+  // of 32-bit prefix sums; the integer core derives each stream's base and
+  // trip count from s_ptr, exactly like the conv kernel does per spatial
+  // position of the receptive field.
+  std::vector<std::uint16_t> all_idcs;
+  std::vector<std::uint32_t> s_ptr{0};
+  for (const auto& s : streams) {
+    all_idcs.insert(all_idcs.end(), s.begin(), s.end());
+    s_ptr.push_back(static_cast<std::uint32_t>(all_idcs.size()));
+  }
+  const arch::Addr cidcs = poke_idcs(cl, all_idcs);
+  const arch::Addr sptr =
+      cl.tcdm_alloc(static_cast<std::uint32_t>(s_ptr.size() * 4));
+  for (std::size_t j = 0; j < s_ptr.size(); ++j) {
+    cl.mem().store<std::uint32_t>(sptr + static_cast<arch::Addr>(j * 4),
+                                  s_ptr[j]);
+  }
+  const arch::Addr res = cl.tcdm_alloc(8);
+
+  constexpr int kP0 = 12, kP1 = 13;
+  arch::Asm a;
+  a.li(kIdx, sptr);
+  a.li(kWBase, w);
+  a.li(kIter, 0);
+  a.li(kLen, static_cast<std::int64_t>(streams.size()));
+  a.li(kRes, res);
+  a.li(kTmp2, cidcs);
+  a.ssr_enable();
+  a.label("next_spva");
+  a.lw(kP0, kIdx, 0);        // s_ptr[coo]
+  a.lw(kP1, kIdx, 4);        // s_ptr[coo+1]
+  a.slli(kTmp, kP0, 1);      // byte offset into c_idcs (16-bit entries)
+  a.add(kTmp, kTmp, kTmp2);  // &c_idcs[s_baddr]
+  a.sub(kP1, kP1, kP0);      // s_len
+  a.beq(kP1, 0, "skip");     // if s_len != 0 (Listing 1c guard)
+  a.ssr_idx(0, kTmp, 1);
+  a.ssr_base(0, kWBase);
+  a.ssr_len(0, kP1);
+  a.ssr_commit(0, arch::SsrMode::kIndirectRead);
+  a.addi(kP1, kP1, -1);
+  a.frep(kP1, 1);
+  a.fadd(kAcc, arch::kSsr0, kAcc);
+  a.label("skip");
+  a.addi(kIdx, kIdx, 4);
+  a.addi(kIter, kIter, 1);
+  a.bne(kIter, kLen, "next_spva");
+  a.fpu_fence();
+  a.ssr_disable();
+  a.fsd(kAcc, kRes, 0);
+  a.halt();
+
+  cl.load_program_on(0, a.finish());
+  return finish(cl, res);
+}
+
+IssRunResult iss_dense_dot(arch::Cluster& cl, const std::vector<double>& a_v,
+                           const std::vector<double>& b_v, int accumulators) {
+  SPK_CHECK(a_v.size() == b_v.size(), "dot operands must match");
+  SPK_CHECK(accumulators == 1 || accumulators == 2, "1 or 2 accumulators");
+  SPK_CHECK(accumulators == 1 || a_v.size() % 2 == 0,
+            "2-accumulator dot needs an even length");
+  cl.reset_allocators();
+  const arch::Addr aa = poke_weights(cl, a_v);
+  const arch::Addr bb = poke_weights(cl, b_v);
+  const arch::Addr res = cl.tcdm_alloc(8);
+  const auto n = static_cast<std::int64_t>(a_v.size());
+
+  arch::Asm a;
+  a.li(kTmp, aa);
+  a.li(kTmp2, bb);
+  a.li(kRes, res);
+  a.li(kLen, 8);  // dim-0 byte stride
+  // SSR0 <- a, SSR1 <- b, 1D affine streams.
+  a.ssr_base(0, kTmp);
+  a.ssr_stride(0, 0, kLen);
+  a.li(kIter, n);
+  a.ssr_len(0, kIter);
+  a.ssr_commit(0, arch::SsrMode::kAffineRead);
+  a.ssr_base(1, kTmp2);
+  a.ssr_stride(1, 0, kLen);
+  a.ssr_len(1, kIter);
+  a.ssr_commit(1, arch::SsrMode::kAffineRead);
+  a.ssr_enable();
+  if (accumulators == 1) {
+    a.li(kTmp, static_cast<std::int64_t>(n - 1));
+    a.frep(kTmp, 1);
+    a.fmadd(kAcc, arch::kSsr0, arch::kSsr1);
+  } else {
+    a.li(kTmp, static_cast<std::int64_t>(n / 2 - 1));
+    a.frep(kTmp, 2);
+    a.fmadd(kAcc, arch::kSsr0, arch::kSsr1);
+    a.fmadd(kAcc2, arch::kSsr0, arch::kSsr1);
+  }
+  a.fpu_fence();
+  a.ssr_disable();
+  if (accumulators == 2) a.fadd(kAcc, kAcc, kAcc2);
+  a.fpu_fence();
+  a.fsd(kAcc, kRes, 0);
+  a.halt();
+
+  cl.load_program_on(0, a.finish());
+  return finish(cl, res);
+}
+
+IssRunResult iss_spikestream_spva_multicore(
+    arch::Cluster& cl, const std::vector<double>& weights,
+    const std::vector<std::uint16_t>& idcs, int n_cores) {
+  SPK_CHECK(n_cores >= 1 && n_cores <= cl.config().num_workers,
+            "bad core count " << n_cores);
+  cl.reset_allocators();
+  // Private copies per core so every core streams the same length but from
+  // its own region (conflicts come from bank interleaving, not sharing).
+  std::vector<arch::Addr> w_addrs, i_addrs, r_addrs;
+  for (int c = 0; c < n_cores; ++c) {
+    w_addrs.push_back(poke_weights(cl, weights));
+    i_addrs.push_back(poke_idcs(cl, idcs));
+    r_addrs.push_back(cl.tcdm_alloc(8));
+  }
+  // Parameter block indexed by core id: [w, idx, res] words.
+  const arch::Addr params =
+      cl.tcdm_alloc(static_cast<std::uint32_t>(n_cores * 12));
+  for (int c = 0; c < n_cores; ++c) {
+    const auto base = params + static_cast<arch::Addr>(c * 12);
+    cl.mem().store<std::uint32_t>(base, w_addrs[static_cast<std::size_t>(c)]);
+    cl.mem().store<std::uint32_t>(base + 4,
+                                  i_addrs[static_cast<std::size_t>(c)]);
+    cl.mem().store<std::uint32_t>(base + 8,
+                                  r_addrs[static_cast<std::size_t>(c)]);
+  }
+
+  arch::Asm a;
+  a.csr_core_id(kTmp);
+  a.li(kTmp2, n_cores);
+  a.blt(kTmp, kTmp2, "work");
+  a.halt();  // cores beyond n_cores (and the DMA core) exit immediately
+  a.label("work");
+  a.li(kTmp2, 12);
+  a.mul(kTmp2, kTmp, kTmp2);
+  a.li(kTmp, params);
+  a.add(kTmp, kTmp, kTmp2);
+  a.lw(kWBase, kTmp, 0);
+  a.lw(kIdx, kTmp, 4);
+  a.lw(kRes, kTmp, 8);
+  a.li(kLen, static_cast<std::int64_t>(idcs.size()));
+  a.ssr_idx(0, kIdx, 1);
+  a.ssr_base(0, kWBase);
+  a.ssr_len(0, kLen);
+  a.ssr_commit(0, arch::SsrMode::kIndirectRead);
+  a.ssr_enable();
+  a.addi(kTmp, kLen, -1);
+  a.frep(kTmp, 1);
+  a.fadd(kAcc, arch::kSsr0, kAcc);
+  a.fpu_fence();
+  a.ssr_disable();
+  a.fsd(kAcc, kRes, 0);
+  a.halt();
+
+  cl.load_program(a.finish());
+  IssRunResult r;
+  r.cycles = cl.run();
+  r.value = cl.mem().load<double>(r_addrs[0]);
+  r.perf = cl.aggregate_worker_perf();
+  return r;
+}
+
+}  // namespace spikestream::kernels

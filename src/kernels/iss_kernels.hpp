@@ -1,0 +1,53 @@
+// The paper's inner loops expressed as ISS programs:
+//  * Listing 1b — the baseline scalar SpVA: 8 instructions per element, of
+//    which only the fadd does useful work.
+//  * Listing 1c — the SpikeStream SpVA: one indirect-SSR stream + FREP.
+//  * the dense encode dot product with two affine SSRs (Section III-F).
+//
+// These anchor the layer-level cost model: tests/test_model_vs_iss.cpp runs
+// them on the cycle-level cluster model and checks the measured
+// cycles-per-element against cost_model.hpp within tight tolerances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/cluster.hpp"
+
+namespace spikestream::kernels {
+
+struct IssRunResult {
+  double value = 0;            ///< computed reduction result
+  std::uint64_t cycles = 0;    ///< total kernel cycles
+  arch::PerfCounters perf;     ///< aggregated worker-core counters
+};
+
+/// One baseline SpVA over `idcs` into `weights` (FP64 elements), one core.
+IssRunResult iss_baseline_spva(arch::Cluster& cl,
+                               const std::vector<double>& weights,
+                               const std::vector<std::uint16_t>& idcs);
+
+/// One SpikeStream SpVA (indirect SSR + FREP), one core.
+IssRunResult iss_spikestream_spva(arch::Cluster& cl,
+                                  const std::vector<double>& weights,
+                                  const std::vector<std::uint16_t>& idcs);
+
+/// A back-to-back sequence of SpikeStream SpVAs driven from an integer-core
+/// loop, exercising the shadow-register overlap of Section III-E. `streams`
+/// holds one index vector per SpVA; all accumulate into one scalar.
+IssRunResult iss_spikestream_spva_sequence(
+    arch::Cluster& cl, const std::vector<double>& weights,
+    const std::vector<std::vector<std::uint16_t>>& streams);
+
+/// Dense dot product a.b with two affine SSRs + FREP, `accumulators` in
+/// {1, 2} interleaved registers, one core.
+IssRunResult iss_dense_dot(arch::Cluster& cl, const std::vector<double>& a,
+                           const std::vector<double>& b, int accumulators = 2);
+
+/// The same SpikeStream SpVA replicated SPMD on `n_cores` worker cores, each
+/// with a private index/weight region — measures TCDM conflict stretch.
+IssRunResult iss_spikestream_spva_multicore(
+    arch::Cluster& cl, const std::vector<double>& weights,
+    const std::vector<std::uint16_t>& idcs, int n_cores);
+
+}  // namespace spikestream::kernels

@@ -1,0 +1,60 @@
+// Result statistics of one kernel execution (one layer, one image): cycle
+// count from the timing model plus the activity counts the energy model
+// consumes. Mirrors what the paper extracts from RTL simulation traces.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "arch/energy.hpp"
+
+namespace spikestream::kernels {
+
+struct KernelStats {
+  double cycles = 0;        ///< wall-clock cycles (max over cores, incl. DMA)
+  double compute_cycles = 0;  ///< compute-only critical path
+  double dma_cycles = 0;      ///< DMA busy cycles
+  double fpu_ops = 0;         ///< SIMD FPU ops issued (adds + macs)
+  double fpu_mac_ops = 0;     ///< subset of fpu_ops that are fmadds
+  double int_instrs = 0;
+  double tcdm_words = 0;      ///< 64-bit words moved through the interconnect
+  double ssr_elems = 0;
+  double dma_bytes = 0;
+  int active_cores = 8;
+  std::vector<double> core_cycles;  ///< per-core compute time (imbalance)
+
+  double fpu_utilization() const {
+    return cycles > 0 ? fpu_ops / (cycles * active_cores) : 0.0;
+  }
+  double ipc() const {
+    return cycles > 0 ? (int_instrs + fpu_ops) / (cycles * active_cores) : 0.0;
+  }
+
+  arch::Activity to_activity() const {
+    arch::Activity a;
+    a.cycles = cycles;
+    a.active_cores = active_cores;
+    a.int_instrs = int_instrs;
+    a.fpu_add_ops = fpu_ops - fpu_mac_ops;
+    a.fpu_mac_ops = fpu_mac_ops;
+    a.tcdm_words = tcdm_words;
+    a.ssr_elems = ssr_elems;
+    a.dma_bytes = dma_bytes;
+    return a;
+  }
+
+  void accumulate(const KernelStats& o) {
+    cycles += o.cycles;
+    compute_cycles += o.compute_cycles;
+    dma_cycles += o.dma_cycles;
+    fpu_ops += o.fpu_ops;
+    fpu_mac_ops += o.fpu_mac_ops;
+    int_instrs += o.int_instrs;
+    tcdm_words += o.tcdm_words;
+    ssr_elems += o.ssr_elems;
+    dma_bytes += o.dma_bytes;
+    active_cores = std::max(active_cores, o.active_cores);
+  }
+};
+
+}  // namespace spikestream::kernels

@@ -1,0 +1,371 @@
+#include "kernels/layer_kernels.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "kernels/scheduler.hpp"
+#include "snn/lif.hpp"
+#include "snn/reference.hpp"
+
+namespace spikestream::kernels {
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kBaseline: return "baseline";
+    case Variant::kSpikeStream: return "spikestream";
+    case Variant::kDenseNoTc: return "dense-no-tc";
+  }
+  return "?";
+}
+
+namespace {
+
+/// SIMD output-channel groups for a format (last group may be partial).
+int n_groups(int out_c, common::FpFormat fmt) {
+  const int simd = common::simd_lanes(fmt);
+  return (out_c + simd - 1) / simd;
+}
+
+/// Spikes emitted at one output position within one SIMD group.
+double group_spikes(const snn::SpikeMap& out, int oy, int ox, int g,
+                    common::FpFormat fmt) {
+  const int simd = common::simd_lanes(fmt);
+  const int lo = g * simd;
+  const int hi = std::min(lo + simd, out.c);
+  double n = 0;
+  for (int ch = lo; ch < hi; ++ch) n += out.at(oy, ox, ch);
+  return n;
+}
+
+/// Average memory-port pressure per core per cycle for the conflict model.
+double access_rate(Variant v, const CostParams& p) {
+  if (v == Variant::kBaseline) {
+    // Baseline: lw + fld per element over ~11 cycles.
+    return 2.0 / p.baseline_elem_cycles;
+  }
+  // Streamed variants: one data word + 1/4 index word (or a second affine
+  // stream) per element, one element per II cycles.
+  return 1.25 / p.fadd_latency;
+}
+
+ScheduleResult schedule(const RunOptions& opt,
+                        const std::vector<double>& tasks) {
+  if (opt.workload_stealing) {
+    return steal_schedule(tasks, opt.cores, opt.cost.steal_cost);
+  }
+  return static_schedule(tasks, opt.cores);
+}
+
+/// Shared activity bookkeeping for one sparse SpVA of length `s`.
+void count_spva(KernelStats& st, Variant v, double s) {
+  st.fpu_ops += s;
+  if (v == Variant::kSpikeStream) {
+    st.int_instrs += 14;          // setup + frep + loop control
+    st.tcdm_words += s + s / 4.0; // data words + packed 16-bit index words
+    st.ssr_elems += s;
+  } else {
+    st.int_instrs += 16 + 8 * s;  // outer bookkeeping + Listing 1b body
+    st.tcdm_words += 2.0 * s;     // lw index + fld weight word
+  }
+}
+
+void count_activation(KernelStats& st, const CostParams& p, int simd,
+                      double spikes, bool fp8) {
+  const double cyc = activation_cycles(p, simd, spikes, fp8);
+  st.int_instrs += cyc;            // thresholding is integer-pipe work
+  st.tcdm_words += 1.0 + spikes / 4.0;  // s_ptr update + packed c_idcs
+}
+
+}  // namespace
+
+LayerRun run_conv_layer(const snn::LayerSpec& spec,
+                        const snn::LayerWeights& weights,
+                        const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+                        const RunOptions& opt) {
+  SPK_CHECK(ifmap.h() == spec.in_h && ifmap.w() == spec.in_w &&
+                ifmap.c() == spec.in_c,
+            "conv " << spec.name << ": ifmap shape mismatch");
+  const CostParams& p = opt.cost;
+  const common::FpFormat fmt = opt.fmt;
+  const int simd = common::simd_lanes(fmt);
+  const bool fp8 = fmt == common::FpFormat::FP8;
+  const int k = spec.k;
+  const int oh = spec.out_h(), ow = spec.out_w();
+
+  // ---------------- functional pass (must match the golden reference) ------
+  snn::Tensor currents(oh, ow, spec.out_c);
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      float* acc = &currents.at(oy, ox, 0);
+      for (int kh = 0; kh < k; ++kh) {
+        for (int kw = 0; kw < k; ++kw) {
+          for (std::uint16_t ci : ifmap.at(oy + kh, ox + kw)) {
+            const float* wrow = &weights.v[weights.index(kh, kw, ci, 0)];
+            for (int co = 0; co < spec.out_c; ++co) acc[co] += wrow[co];
+          }
+        }
+      }
+    }
+  }
+  LayerRun run;
+  run.out_spikes = snn::lif_step(spec.lif, currents, membrane);
+
+  // ---------------- timing pass ---------------------------------------------
+  const int groups = n_groups(spec.out_c, fmt);
+  const double stretch =
+      opt.variant == Variant::kBaseline
+          ? 1.0
+          : p.conflict_stretch(access_rate(opt.variant, p), opt.cores);
+
+  KernelStats& st = run.stats;
+  st.active_cores = opt.cores;
+  std::vector<double> rf_costs;
+  rf_costs.reserve(static_cast<std::size_t>(oh) * ow);
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      // Stream lengths of the k*k SpVAs of this receptive field. The same
+      // streams repeat for every SIMD output-channel group.
+      double elems = 0;
+      double fpu_time = 0;   // FPU sequencer timeline (streams + residues)
+      double int_time = 0;   // integer-core timeline (setup + activation)
+      for (int kh = 0; kh < k; ++kh) {
+        for (int kw = 0; kw < k; ++kw) {
+          const double s = ifmap.stream_len(oy + kh, ox + kw);
+          elems += s;
+          fpu_time += p.fadd_latency * s * stretch + p.ss_residue;
+        }
+      }
+      st.fpu_ops += elems * groups;
+
+      double rf = 0;
+      if (opt.variant == Variant::kSpikeStream) {
+        fpu_time *= groups;
+        int_time = p.steal_cost + p.ss_setup * k * k * groups;
+        for (int g = 0; g < groups; ++g) {
+          const double gs = group_spikes(run.out_spikes, oy, ox, g, fmt);
+          int_time += activation_cycles(p, simd, gs, fp8);
+          count_activation(st, p, simd, gs, fp8);
+        }
+        // Pseudo dual-issue: integer work overlaps the FPU streams.
+        rf = std::max(fpu_time, int_time);
+        st.int_instrs += 14.0 * k * k * groups;
+        st.tcdm_words += (elems + elems / 4.0) * groups;
+        st.ssr_elems += elems * groups;
+      } else if (opt.variant == Variant::kDenseNoTc) {
+        // Uncompressed ifmap: one affine weight stream per position walks
+        // the *entire* fan-in; the dense activation vector streams alongside
+        // (fmadd with the 0/1 spike value). No indices, no s_ptr.
+        const double dense_elems = static_cast<double>(k) * k * spec.in_c;
+        fpu_time = (p.fadd_latency * dense_elems * stretch +
+                    p.ss_residue * k * k) * groups;
+        int_time = p.steal_cost + p.dense_setup * k * k * groups;
+        for (int g = 0; g < groups; ++g) {
+          const double gs = group_spikes(run.out_spikes, oy, ox, g, fmt);
+          int_time += activation_cycles(p, simd, gs, fp8);
+          count_activation(st, p, simd, gs, fp8);
+        }
+        rf = std::max(fpu_time, int_time);
+        st.fpu_ops += (dense_elems - elems) * groups;  // elems already added
+        st.int_instrs += 10.0 * k * k * groups;
+        st.tcdm_words += 2.0 * dense_elems * groups;
+        st.ssr_elems += 2.0 * dense_elems * groups;
+      } else {
+        // Baseline: everything serializes through the integer pipe.
+        rf = (elems * p.baseline_elem_cycles +
+              p.baseline_spva_overhead * k * k) *
+             groups;
+        for (int g = 0; g < groups; ++g) {
+          const double gs = group_spikes(run.out_spikes, oy, ox, g, fmt);
+          rf += activation_cycles(p, simd, gs, fp8);
+          count_activation(st, p, simd, gs, fp8);
+        }
+        st.int_instrs += (16.0 * k * k + 8.0 * elems) * groups;
+        st.tcdm_words += 2.0 * elems * groups;
+      }
+      rf_costs.push_back(rf);
+    }
+  }
+
+  const ScheduleResult sched = schedule(opt, rf_costs);
+  st.core_cycles = sched.core_cycles;
+  st.compute_cycles = sched.makespan + p.icache_layer_warmup;
+
+  run.plan = plan_layer(
+      spec, fmt, static_cast<double>(ifmap.footprint_bytes()),
+      static_cast<double>(
+          compress::CsrIfmap::encode(run.out_spikes).footprint_bytes()),
+      p, 128.0 * 1024, opt.double_buffer);
+  st.dma_cycles = run.plan.dma_cycles;
+  st.dma_bytes = run.plan.dma_bytes;
+  st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
+  return run;
+}
+
+LayerRun run_fc_layer(const snn::LayerSpec& spec,
+                      const snn::LayerWeights& weights,
+                      const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+                      const RunOptions& opt) {
+  SPK_CHECK(ifmap.h() == 1 && ifmap.w() == 1 && ifmap.c() == spec.in_c,
+            "fc " << spec.name << ": input shape mismatch");
+  const CostParams& p = opt.cost;
+  const common::FpFormat fmt = opt.fmt;
+  const int simd = common::simd_lanes(fmt);
+  const bool fp8 = fmt == common::FpFormat::FP8;
+
+  // ---------------- functional pass ----------------------------------------
+  snn::Tensor currents(1, 1, spec.out_c);
+  const auto idcs = ifmap.at(0, 0);
+  for (std::uint16_t ci : idcs) {
+    const float* wrow = &weights.v[weights.index(0, 0, ci, 0)];
+    for (int co = 0; co < spec.out_c; ++co) {
+      currents.v[static_cast<std::size_t>(co)] += wrow[co];
+    }
+  }
+  LayerRun run;
+  run.out_spikes = snn::lif_step(spec.lif, currents, membrane);
+
+  // ---------------- timing pass ---------------------------------------------
+  run.plan = plan_layer(
+      spec, fmt, static_cast<double>(ifmap.footprint_bytes()),
+      static_cast<double>(
+          compress::CsrIfmap::encode(run.out_spikes).footprint_bytes()),
+      p, 128.0 * 1024, opt.double_buffer);
+
+  const int groups = n_groups(spec.out_c, fmt);
+  const double s_total = static_cast<double>(idcs.size());
+  const int segs = run.plan.in_segments;
+  const double s_seg = s_total / segs;
+  const double stretch =
+      opt.variant == Variant::kBaseline
+          ? 1.0
+          : p.conflict_stretch(access_rate(opt.variant, p), opt.cores);
+
+  KernelStats& st = run.stats;
+  st.active_cores = opt.cores;
+  std::vector<double> tasks;
+  tasks.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    const double gs = group_spikes(run.out_spikes, 0, 0, g, fmt);
+    double t = 0;
+    if (opt.variant == Variant::kSpikeStream) {
+      const double fpu_time =
+          (p.fadd_latency * s_seg * stretch + p.ss_residue) * segs;
+      const double int_time = p.ss_setup * segs +
+                              activation_cycles(p, simd, gs, fp8);
+      t = std::max(fpu_time, int_time);
+    } else if (opt.variant == Variant::kDenseNoTc) {
+      const double dense_seg = static_cast<double>(spec.in_c) / segs;
+      const double fpu_time =
+          (p.fadd_latency * dense_seg * stretch + p.ss_residue) * segs;
+      const double int_time = p.dense_setup * segs +
+                              activation_cycles(p, simd, gs, fp8);
+      t = std::max(fpu_time, int_time);
+    } else {
+      t = (s_seg * p.baseline_elem_cycles + p.baseline_spva_overhead) * segs +
+          activation_cycles(p, simd, gs, fp8);
+    }
+    if (opt.variant == Variant::kDenseNoTc) {
+      // Dense activity: the full fan-in streams through two affine SSRs.
+      st.fpu_ops += spec.in_c;
+      st.int_instrs += 10.0 * segs;
+      st.tcdm_words += 2.0 * spec.in_c;
+      st.ssr_elems += 2.0 * spec.in_c;
+    } else {
+      for (int s = 0; s < segs; ++s) count_spva(st, opt.variant, s_seg);
+    }
+    count_activation(st, p, simd, gs, fp8);
+    tasks.push_back(t);
+  }
+  ScheduleResult sched = schedule(opt, tasks);
+  // Index pre-scaling pass (base ISA lacks strided indirect streams, Section
+  // VI): performed once, split across cores, before the group streams start.
+  // With the proposed extension an index addresses a weight row directly and
+  // the pass disappears.
+  double prescale = 0.0;
+  if (opt.variant == Variant::kSpikeStream && !opt.strided_indirect_ext) {
+    prescale = s_total * p.fc_prescale_per_spike / opt.cores;
+    st.int_instrs += s_total * p.fc_prescale_per_spike;
+  }
+  for (double& c : sched.core_cycles) c += prescale;
+  sched.makespan += prescale;
+
+  st.core_cycles = sched.core_cycles;
+  st.compute_cycles = sched.makespan + p.icache_layer_warmup;
+  st.dma_cycles = run.plan.dma_cycles;
+  st.dma_bytes = run.plan.dma_bytes;
+  st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
+  return run;
+}
+
+LayerRun run_encode_layer(const snn::LayerSpec& spec,
+                          const snn::LayerWeights& weights,
+                          const snn::Tensor& padded_image,
+                          snn::Tensor& membrane, const RunOptions& opt) {
+  SPK_CHECK(padded_image.h == spec.in_h && padded_image.c == spec.in_c,
+            "encode: input shape mismatch");
+  const CostParams& p = opt.cost;
+  const common::FpFormat fmt = opt.fmt;
+  const int simd = common::simd_lanes(fmt);
+  const bool fp8 = fmt == common::FpFormat::FP8;
+
+  // ---------------- functional pass ----------------------------------------
+  snn::Tensor currents =
+      snn::Reference::conv_currents_dense(padded_image, weights);
+  LayerRun run;
+  run.out_spikes = snn::lif_step(spec.lif, currents, membrane);
+
+  // ---------------- timing pass ---------------------------------------------
+  // Conv-as-matmul over the im2row stream: each core owns a set of output-
+  // channel groups (Section III-F) and walks all output positions.
+  const int groups = n_groups(spec.out_c, fmt);
+  const double dot_len = static_cast<double>(spec.k) * spec.k * spec.in_c;
+  const int oh = spec.out_h(), ow = spec.out_w();
+  const double stretch =
+      opt.variant == Variant::kBaseline
+          ? 1.0
+          : p.conflict_stretch(2.0 / p.dense_ii(), opt.cores);
+
+  KernelStats& st = run.stats;
+  st.active_cores = opt.cores;
+  std::vector<double> tasks;
+  tasks.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    double fpu_time = 0, int_time = 0, t = 0;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        const double gs = group_spikes(run.out_spikes, oy, ox, g, fmt);
+        const double act = activation_cycles(p, simd, gs, fp8);
+        count_activation(st, p, simd, gs, fp8);
+        st.fpu_ops += dot_len;
+        st.fpu_mac_ops += dot_len;
+        if (opt.variant != Variant::kBaseline) {
+          fpu_time += p.dense_ii() * dot_len * stretch + p.dense_residue;
+          int_time += p.dense_setup + act;
+          st.int_instrs += 10;               // affine SSR setup per dot
+          st.tcdm_words += 2.0 * dot_len;    // input + weight streams
+          st.ssr_elems += 2.0 * dot_len;
+        } else {
+          t += baseline_dense_dot_cycles(p, dot_len) + act;
+          st.int_instrs += 12 + 5.0 * dot_len;  // 2x-unrolled scalar loop
+          st.tcdm_words += 2.0 * dot_len;
+        }
+      }
+    }
+    if (opt.variant != Variant::kBaseline) {
+      t = std::max(fpu_time, int_time);  // decoupled pipelines overlap
+    }
+    tasks.push_back(t);
+  }
+  const ScheduleResult sched = schedule(opt, tasks);
+  st.core_cycles = sched.core_cycles;
+  st.compute_cycles = sched.makespan + p.icache_layer_warmup;
+
+  run.plan = plan_encode_layer(spec, fmt, p, 128.0 * 1024, opt.double_buffer);
+  st.dma_cycles = run.plan.dma_cycles;
+  st.dma_bytes = run.plan.dma_bytes;
+  st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
+  return run;
+}
+
+}  // namespace spikestream::kernels

@@ -1,0 +1,72 @@
+// The two code variants the paper compares, executed functionally (spikes are
+// bit-exact vs. the dense golden reference) with cycle/energy statistics from
+// the mechanistic cost model:
+//
+//  * Variant::kBaseline    — TC + TP + DP + DB (Sections III-A..D): compressed
+//    ifmaps, workload stealing, SIMD over output channels, double-buffered
+//    DMA, but the SpVA inner loop is the 8-instruction scalar gather of
+//    Listing 1b.
+//  * Variant::kSpikeStream — adds SA (Section III-E): indirect-SSR weight
+//    streams + FREP decoupling for conv/FC, two affine SSRs for the dense
+//    encode matmul.
+#pragma once
+
+#include "common/float_formats.hpp"
+#include "compress/csr_ifmap.hpp"
+#include "kernels/cost_model.hpp"
+#include "kernels/kernel_stats.hpp"
+#include "kernels/tiling.hpp"
+#include "snn/network.hpp"
+#include "snn/tensor.hpp"
+
+namespace spikestream::kernels {
+
+enum class Variant {
+  kBaseline,     ///< TC+TP+DP+DB, scalar SpVA gather loop (Listing 1b)
+  kSpikeStream,  ///< + SA: indirect/affine SSR streams + FREP (Listing 1c)
+  kDenseNoTc,    ///< ablation: SSR streams but *uncompressed* ifmaps — every
+                 ///< synapse is walked with an affine stream, spikes or not.
+};
+
+const char* variant_name(Variant v);
+
+struct RunOptions {
+  Variant variant = Variant::kSpikeStream;
+  common::FpFormat fmt = common::FpFormat::FP16;
+  int cores = 8;
+  bool double_buffer = true;
+  bool workload_stealing = true;  ///< false = static RF partition (ablation)
+  /// Model the paper's proposed Section-VI extension: indirect streams whose
+  /// indices are scaled by an arbitrary element stride. Removes the FC index
+  /// pre-scaling pass (one index then addresses a whole weight row).
+  bool strided_indirect_ext = false;
+  CostParams cost;
+};
+
+struct LayerRun {
+  snn::SpikeMap out_spikes;  ///< raw output spikes (pre-pool, pre-pad)
+  KernelStats stats;
+  TilePlan plan;
+};
+
+/// Spiking convolution on a compressed ifmap (one timestep). `membrane` is
+/// the layer's persistent neuron state and must have the output shape.
+LayerRun run_conv_layer(const snn::LayerSpec& spec,
+                        const snn::LayerWeights& weights,
+                        const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+                        const RunOptions& opt);
+
+/// Spiking fully-connected layer on a flat (1x1xN) compressed input.
+LayerRun run_fc_layer(const snn::LayerSpec& spec,
+                      const snn::LayerWeights& weights,
+                      const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+                      const RunOptions& opt);
+
+/// Spike-encoding first layer: dense conv-as-matmul on the padded image
+/// (Section III-F). Parallelized over output channels, two affine SSRs.
+LayerRun run_encode_layer(const snn::LayerSpec& spec,
+                          const snn::LayerWeights& weights,
+                          const snn::Tensor& padded_image,
+                          snn::Tensor& membrane, const RunOptions& opt);
+
+}  // namespace spikestream::kernels

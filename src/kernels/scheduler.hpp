@@ -1,0 +1,61 @@
+// Workload-stealing scheduler simulation (Section III-B): each core, on
+// finishing its receptive field, atomically fetches the next unprocessed RF
+// (`next_rf` tag). With per-task cycle costs known, this is equivalent to
+// greedy list scheduling in task order onto the earliest-free core, plus the
+// steal cost per task. A static round-robin variant backs the ablation bench.
+#pragma once
+
+#include <queue>
+#include <span>
+#include <vector>
+
+namespace spikestream::kernels {
+
+struct ScheduleResult {
+  std::vector<double> core_cycles;  ///< finish time per core
+  double makespan = 0;
+
+  double imbalance() const {
+    double lo = 1e300, hi = 0;
+    for (double c : core_cycles) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    return core_cycles.empty() || hi == 0 ? 0.0 : (hi - lo) / hi;
+  }
+};
+
+/// Dynamic workload stealing: tasks claimed in order by the earliest-free
+/// core; each claim pays `steal_cost` cycles.
+inline ScheduleResult steal_schedule(std::span<const double> task_cycles,
+                                     int cores, double steal_cost) {
+  ScheduleResult r;
+  r.core_cycles.assign(static_cast<std::size_t>(cores), 0.0);
+  using Entry = std::pair<double, int>;  // (time, core)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (int c = 0; c < cores; ++c) pq.push({0.0, c});
+  for (double t : task_cycles) {
+    auto [time, c] = pq.top();
+    pq.pop();
+    const double fin = time + steal_cost + t;
+    r.core_cycles[static_cast<std::size_t>(c)] = fin;
+    pq.push({fin, c});
+  }
+  for (double c : r.core_cycles) r.makespan = std::max(r.makespan, c);
+  return r;
+}
+
+/// Static round-robin pre-assignment (ablation baseline): core i gets tasks
+/// i, i+cores, i+2*cores, ... regardless of their dynamic cost.
+inline ScheduleResult static_schedule(std::span<const double> task_cycles,
+                                      int cores) {
+  ScheduleResult r;
+  r.core_cycles.assign(static_cast<std::size_t>(cores), 0.0);
+  for (std::size_t i = 0; i < task_cycles.size(); ++i) {
+    r.core_cycles[i % static_cast<std::size_t>(cores)] += task_cycles[i];
+  }
+  for (double c : r.core_cycles) r.makespan = std::max(r.makespan, c);
+  return r;
+}
+
+}  // namespace spikestream::kernels

@@ -1,0 +1,158 @@
+#include "kernels/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace spikestream::kernels {
+
+namespace {
+
+constexpr double kIdxBytes = 2.0;  ///< 16-bit indices and counts (Fig. 3a)
+
+}  // namespace
+
+TilePlan plan_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
+                    double ifmap_actual_bytes, double ofmap_actual_bytes,
+                    const CostParams& p, double spm_bytes, bool double_buffer) {
+  const int simd = common::simd_lanes(fmt);
+  const double fb = common::fp_bytes(fmt);
+  const bool is_fc = spec.kind == snn::LayerKind::kFc;
+  const int kk = is_fc ? 1 : spec.k * spec.k;
+  const int out_rows = is_fc ? 1 : spec.out_h();
+  const double buf_mult = double_buffer ? 2.0 : 1.0;
+
+  TilePlan plan;
+  plan.in_segments = 1;
+
+  // Search the largest configuration that fits the scratchpad. Preference
+  // order: keep the whole (compressed, small) ifmap resident and shrink the
+  // weight co-tile; only stripe the ifmap (convs) or segment the fan-in (FC)
+  // if even the smallest co-tile does not fit. Ofmap buffers are sized for
+  // the zero-sparsity worst case but only per co-tile — the paper accepts
+  // fragmented c_idcs write-backs for exactly this reason.
+  for (int co = std::max(spec.out_c, simd); co >= simd && !plan.fits_spm;
+       co = co > simd ? std::max(co / 2, simd) : co - 1) {
+    const int max_seg = is_fc ? 64 : 1;
+    for (int seg = 1; seg <= max_seg && !plan.fits_spm; seg *= 2) {
+      const int in_c_tile = (spec.in_c + seg - 1) / seg;
+      const double w_bytes =
+          static_cast<double>(kk) * in_c_tile * co * fb;
+      for (int rows = out_rows; rows >= 1; rows = rows > 1 ? rows / 2 : 0) {
+        const int in_rows = is_fc ? 1 : rows + spec.k - 1;
+        // Compressed ifmap stripes have a known (measured) size.
+        const double if_frac =
+            is_fc ? 1.0 / seg
+                  : static_cast<double>(in_rows) / std::max(spec.in_h, 1);
+        const double if_bytes = std::max(ifmap_actual_bytes * if_frac, 64.0);
+        const double positions =
+            is_fc ? 1.0 : static_cast<double>(rows) * spec.out_w();
+        const double of_bytes =
+            positions * co * kIdxBytes + positions * kIdxBytes;
+        const double state_bytes = positions * co * fb;
+        const double resident = buf_mult * (w_bytes + if_bytes) + of_bytes +
+                                state_bytes;
+        if (resident <= spm_bytes) {
+          plan.co_per_tile = co;
+          plan.weight_tiles = (spec.out_c + co - 1) / co;
+          plan.in_segments = seg;
+          plan.rows_per_stripe = rows;
+          plan.if_stripes = (out_rows + rows - 1) / rows;
+          plan.weight_tile_bytes = w_bytes;
+          plan.if_stripe_bytes = if_bytes;
+          plan.ofmap_buf_bytes = of_bytes;
+          plan.spm_resident_bytes = resident;
+          plan.fits_spm = true;
+          break;
+        }
+        if (rows == 1) break;
+      }
+    }
+  }
+  SPK_CHECK(plan.fits_spm, "layer " << spec.name
+                                    << " does not fit SPM at any tile size");
+
+  // Transfer volume. Ifmap stripes are the outer buffer, weight tiles cycle
+  // inside (Section III-D): weights are re-streamed once per extra stripe.
+  const double all_weights =
+      static_cast<double>(kk) * spec.in_c * spec.out_c * fb;
+  const double w_traffic =
+      all_weights * static_cast<double>(plan.if_stripes);
+  // The ifmap index list is re-read once per input segment (FC only).
+  const double if_traffic =
+      ifmap_actual_bytes * static_cast<double>(plan.in_segments);
+  plan.dma_bytes = w_traffic + if_traffic + ofmap_actual_bytes;
+
+  const double n_transfers =
+      static_cast<double>(plan.if_stripes) * plan.weight_tiles *
+          plan.in_segments +
+      static_cast<double>(plan.if_stripes) +
+      static_cast<double>(plan.weight_tiles);  // fragmented ofmap write-back
+  plan.dma_cycles = plan.dma_bytes / p.dma_bytes_per_cycle +
+                    n_transfers * p.dma_latency;
+  plan.first_fill_cycles = (plan.weight_tile_bytes + plan.if_stripe_bytes) /
+                               p.dma_bytes_per_cycle +
+                           2.0 * p.dma_latency;
+  return plan;
+}
+
+TilePlan plan_encode_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
+                           const CostParams& p, double spm_bytes,
+                           bool double_buffer) {
+  const double fb = common::fp_bytes(fmt);
+  const double buf_mult = double_buffer ? 2.0 : 1.0;
+  const int kk = spec.k * spec.k;
+
+  TilePlan plan;
+  plan.in_segments = 1;
+  // The whole (small) first-layer weight set stays resident; the im2row
+  // stream is tiled by output rows through the 2D DMA (Section III-F).
+  const double w_bytes = static_cast<double>(kk) * spec.in_c * spec.out_c * fb;
+  for (int rows = spec.out_h(); rows >= 1; rows = rows > 1 ? rows / 2 : 0) {
+    const double im2row_bytes =
+        static_cast<double>(rows) * spec.out_w() * kk * spec.in_c * fb;
+    const double positions = static_cast<double>(rows) * spec.out_w();
+    const double of_bytes =
+        positions * spec.out_c * kIdxBytes + positions * kIdxBytes;
+    const double resident = w_bytes + buf_mult * im2row_bytes + of_bytes;
+    if (resident <= spm_bytes) {
+      plan.co_per_tile = spec.out_c;
+      plan.weight_tiles = 1;
+      plan.rows_per_stripe = rows;
+      plan.if_stripes = (spec.out_h() + rows - 1) / rows;
+      plan.weight_tile_bytes = w_bytes;
+      plan.if_stripe_bytes = im2row_bytes;
+      plan.ofmap_buf_bytes = of_bytes;
+      plan.spm_resident_bytes = resident;
+      plan.fits_spm = true;
+      break;
+    }
+    if (rows == 1) break;
+  }
+  SPK_CHECK(plan.fits_spm, "encode layer does not fit SPM");
+
+  // im2row re-reads overlapping input rows: traffic is the expanded volume.
+  const double im2row_total = static_cast<double>(spec.out_h()) *
+                              spec.out_w() * kk * spec.in_c * fb;
+  const double positions = static_cast<double>(spec.out_h()) * spec.out_w();
+  const double of_traffic = positions * spec.out_c * kIdxBytes * 0.25;
+  plan.dma_bytes = w_bytes + im2row_total + of_traffic;
+  const double n_transfers = 1.0 + 2.0 * plan.if_stripes;
+  plan.dma_cycles = plan.dma_bytes / p.dma_bytes_per_cycle +
+                    n_transfers * p.dma_latency;
+  plan.first_fill_cycles =
+      (w_bytes + plan.if_stripe_bytes) / p.dma_bytes_per_cycle +
+      2.0 * p.dma_latency;
+  return plan;
+}
+
+double overlap_cycles(const TilePlan& plan, double compute_cycles,
+                      bool double_buffer) {
+  if (double_buffer) {
+    return plan.first_fill_cycles + std::max(compute_cycles, plan.dma_cycles);
+  }
+  return plan.dma_cycles + compute_cycles;
+}
+
+}  // namespace spikestream::kernels

@@ -1,0 +1,54 @@
+// SPM tile planner and DMA/double-buffering timeline (Section III-D).
+// Chooses output-channel weight tiles and ifmap row stripes that fit the
+// 128 KiB scratchpad (with double buffering and worst-case ofmap buffers),
+// then derives the DMA traffic and its overlap with compute.
+//
+// Loop order follows the paper: the ifmap tile is the outer buffer and the
+// weight tiles cycle inside it ("we first double-buffer the weights and then
+// the ifmaps"), so weights are re-fetched once per ifmap stripe when they do
+// not fit SPM entirely.
+#pragma once
+
+#include "common/float_formats.hpp"
+#include "kernels/cost_model.hpp"
+#include "snn/network.hpp"
+
+namespace spikestream::kernels {
+
+struct TilePlan {
+  int co_per_tile = 0;    ///< output channels per weight tile
+  int weight_tiles = 1;
+  int rows_per_stripe = 0;  ///< *output* rows per ifmap stripe
+  int if_stripes = 1;
+  int in_segments = 1;  ///< FC fan-in segmentation (partial-sum tiles)
+  bool fits_spm = false;
+
+  double weight_tile_bytes = 0;
+  double if_stripe_bytes = 0;   ///< worst-case (zero-sparsity) stripe buffer
+  double ofmap_buf_bytes = 0;   ///< worst-case compressed output buffer
+  double spm_resident_bytes = 0;
+
+  double dma_bytes = 0;    ///< total bytes moved for the layer (one image)
+  double dma_cycles = 0;   ///< total DMA busy cycles
+  double first_fill_cycles = 0;  ///< initial load before compute can start
+};
+
+/// Plan a conv/FC layer. `ifmap_actual_bytes` / `ofmap_actual_bytes` are the
+/// measured compressed sizes (dynamic sparsity) used for transfer volume;
+/// buffers are still sized for the zero-sparsity worst case.
+TilePlan plan_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
+                    double ifmap_actual_bytes, double ofmap_actual_bytes,
+                    const CostParams& p, double spm_bytes = 128.0 * 1024,
+                    bool double_buffer = true);
+
+/// Plan the dense encode layer (im2row over a 2D DMA, Section III-F).
+TilePlan plan_encode_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
+                           const CostParams& p, double spm_bytes = 128.0 * 1024,
+                           bool double_buffer = true);
+
+/// Combine a compute-critical-path with the DMA timeline: with double
+/// buffering only the first fill is exposed; without it, transfers serialize.
+double overlap_cycles(const TilePlan& plan, double compute_cycles,
+                      bool double_buffer = true);
+
+}  // namespace spikestream::kernels

@@ -1,0 +1,101 @@
+#include "runtime/engine.hpp"
+
+#include "common/check.hpp"
+#include "compress/aer.hpp"
+#include "compress/csr_ifmap.hpp"
+#include "snn/reference.hpp"
+
+namespace spikestream::runtime {
+
+InferenceEngine::InferenceEngine(const snn::Network& net,
+                                 const kernels::RunOptions& opt,
+                                 const arch::EnergyParams& energy)
+    : net_(net), opt_(opt), energy_(energy) {
+  net_.quantize_weights(opt_.fmt);
+  reset();
+}
+
+void InferenceEngine::reset() {
+  membranes_.clear();
+  membranes_.reserve(net_.num_layers());
+  for (std::size_t l = 0; l < net_.num_layers(); ++l) {
+    const snn::LayerSpec& s = net_.layer(l);
+    membranes_.emplace_back(s.out_h(), s.out_w(), s.out_c);
+  }
+}
+
+InferenceResult InferenceEngine::run(const snn::Tensor& image) {
+  return run_impl(&image, nullptr);
+}
+
+InferenceResult InferenceEngine::run_events(const snn::SpikeMap& events) {
+  SPK_CHECK(net_.num_layers() > 0 &&
+                net_.layer(0).kind != snn::LayerKind::kEncodeConv,
+            "event input requires a network without an encode layer");
+  return run_impl(nullptr, &events);
+}
+
+InferenceResult InferenceEngine::run_impl(const snn::Tensor* image,
+                                          const snn::SpikeMap* events) {
+  InferenceResult res;
+  res.layers.reserve(net_.num_layers());
+
+  snn::SpikeMap carry;
+  if (events != nullptr) carry = *events;
+  for (std::size_t l = 0; l < net_.num_layers(); ++l) {
+    const snn::LayerSpec& spec = net_.layer(l);
+    const snn::LayerWeights& w = net_.weights(l);
+    LayerMetrics m;
+    m.name = spec.name;
+
+    kernels::LayerRun lr;
+    if (spec.kind == snn::LayerKind::kEncodeConv) {
+      SPK_CHECK(image != nullptr, "encode layer needs a dense image input");
+      const snn::Tensor padded =
+          snn::Reference::pad_dense(*image, (spec.in_h - image->h) / 2);
+      lr = kernels::run_encode_layer(spec, w, padded, membranes_[l], opt_);
+      // Layer-1 ifmap is a dense RGB tensor: report its dense HWC size as
+      // "ours" and the event-per-pixel AER equivalent as the AER column.
+      const double px = static_cast<double>(spec.in_h) * spec.in_w * spec.in_c;
+      m.csr_bytes = px * common::fp_bytes(opt_.fmt);
+      m.aer_bytes = px * 8.0;
+      m.in_firing_rate = 1.0;
+    } else {
+      const compress::CsrIfmap csr = compress::CsrIfmap::encode(carry);
+      m.csr_bytes = static_cast<double>(csr.footprint_bytes());
+      m.aer_bytes = static_cast<double>(
+          compress::AerEvents::encode(carry).footprint_bytes(
+              spec.kind != snn::LayerKind::kFc));
+      m.in_firing_rate = snn::firing_rate(carry);
+      if (spec.kind == snn::LayerKind::kConv) {
+        lr = kernels::run_conv_layer(spec, w, csr, membranes_[l], opt_);
+      } else {
+        lr = kernels::run_fc_layer(spec, w, csr, membranes_[l], opt_);
+      }
+    }
+
+    m.out_firing_rate = snn::firing_rate(lr.out_spikes);
+    m.stats = lr.stats;
+    m.energy = arch::compute_energy(energy_, lr.stats.to_activity(), opt_.fmt);
+    m.power_w = arch::average_power_w(energy_, lr.stats.to_activity(), opt_.fmt);
+    res.total_cycles += lr.stats.cycles;
+    res.total_energy_mj += m.energy.total_mj();
+
+    // Route spikes to the next layer exactly like the reference.
+    snn::SpikeMap next = lr.out_spikes;
+    if (spec.pool_after) next = snn::or_pool2(next);
+    if (l + 1 < net_.num_layers()) {
+      if (net_.layer(l + 1).kind == snn::LayerKind::kFc) {
+        next = snn::Reference::flatten(next);
+      } else {
+        next = snn::pad(next, spec.pad_next);
+      }
+    }
+    if (l + 1 == net_.num_layers()) res.final_output = lr.out_spikes;
+    carry = std::move(next);
+    res.layers.push_back(std::move(m));
+  }
+  return res;
+}
+
+}  // namespace spikestream::runtime

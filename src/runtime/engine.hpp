@@ -1,0 +1,72 @@
+// End-to-end inference engine: chains the layer kernels over a network,
+// carrying spikes (pool -> pad -> compress) between layers exactly like the
+// golden reference, and collecting per-layer runtime / utilization / energy
+// metrics — the quantities plotted in Figs. 3b, 3c and 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/energy.hpp"
+#include "kernels/layer_kernels.hpp"
+#include "snn/network.hpp"
+
+namespace spikestream::runtime {
+
+struct LayerMetrics {
+  std::string name;
+  kernels::KernelStats stats;
+  double in_firing_rate = 0;   ///< ifmap activity (incl. padding zeros)
+  double out_firing_rate = 0;  ///< raw output activity
+  double csr_bytes = 0;        ///< compressed ifmap footprint (ours)
+  double aer_bytes = 0;        ///< AER ifmap footprint (neuromorphic format)
+  arch::EnergyBreakdown energy;
+  double power_w = 0;
+
+  double runtime_ms(double freq_hz = 1e9) const {
+    return stats.cycles / freq_hz * 1e3;
+  }
+};
+
+struct InferenceResult {
+  std::vector<LayerMetrics> layers;
+  double total_cycles = 0;
+  double total_energy_mj = 0;
+  snn::SpikeMap final_output;
+
+  double total_runtime_ms(double freq_hz = 1e9) const {
+    return total_cycles / freq_hz * 1e3;
+  }
+};
+
+class InferenceEngine {
+ public:
+  /// Copies the network and quantizes its weights to `opt.fmt`.
+  InferenceEngine(const snn::Network& net, const kernels::RunOptions& opt,
+                  const arch::EnergyParams& energy = {});
+
+  /// One timestep on a raw (unpadded) image. Membranes persist across calls.
+  InferenceResult run(const snn::Tensor& image);
+
+  /// One timestep on event-camera style input: a binary spike map feeding the
+  /// first layer directly (the network must not start with kEncodeConv).
+  /// `events` must already be padded to the first layer's ifmap shape.
+  InferenceResult run_events(const snn::SpikeMap& events);
+
+  /// Clear membrane state (call between independent input samples).
+  void reset();
+
+  const snn::Network& network() const { return net_; }
+  const kernels::RunOptions& options() const { return opt_; }
+
+ private:
+  InferenceResult run_impl(const snn::Tensor* image,
+                           const snn::SpikeMap* events);
+
+  snn::Network net_;
+  kernels::RunOptions opt_;
+  arch::EnergyParams energy_;
+  std::vector<snn::Tensor> membranes_;
+};
+
+}  // namespace spikestream::runtime

@@ -1,0 +1,75 @@
+// Multi-timestep inference (the regime of the Fig. 5 comparison and of most
+// deployed SNNs): run T LIF timesteps over one input, accumulating output
+// spike counts, runtime and energy. Membrane potentials integrate across
+// timesteps inside the engine; this wrapper adds rate-decoding of the result.
+#pragma once
+
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace spikestream::runtime {
+
+struct MultiStepResult {
+  int timesteps = 0;
+  std::vector<std::uint32_t> spike_counts;  ///< per output neuron, summed
+  double total_cycles = 0;
+  double total_energy_mj = 0;
+  std::vector<double> cycles_per_step;
+
+  /// Rate-decoded prediction: index of the output neuron that spiked most.
+  int argmax() const {
+    int best = 0;
+    for (std::size_t i = 1; i < spike_counts.size(); ++i) {
+      if (spike_counts[i] > spike_counts[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+};
+
+/// Present the same image for `timesteps` steps (constant-current coding via
+/// the encode layer). Resets membranes first.
+inline MultiStepResult run_timesteps(InferenceEngine& engine,
+                                     const snn::Tensor& image, int timesteps) {
+  engine.reset();
+  MultiStepResult r;
+  r.timesteps = timesteps;
+  for (int t = 0; t < timesteps; ++t) {
+    const InferenceResult step = engine.run(image);
+    if (r.spike_counts.empty()) {
+      r.spike_counts.assign(step.final_output.size(), 0);
+    }
+    for (std::size_t i = 0; i < step.final_output.v.size(); ++i) {
+      r.spike_counts[i] += step.final_output.v[i];
+    }
+    r.total_cycles += step.total_cycles;
+    r.total_energy_mj += step.total_energy_mj;
+    r.cycles_per_step.push_back(step.total_cycles);
+  }
+  return r;
+}
+
+/// Event-driven variant: one pre-padded spike map per timestep.
+inline MultiStepResult run_event_stream(
+    InferenceEngine& engine, const std::vector<snn::SpikeMap>& frames) {
+  engine.reset();
+  MultiStepResult r;
+  r.timesteps = static_cast<int>(frames.size());
+  for (const auto& f : frames) {
+    const InferenceResult step = engine.run_events(f);
+    if (r.spike_counts.empty()) {
+      r.spike_counts.assign(step.final_output.size(), 0);
+    }
+    for (std::size_t i = 0; i < step.final_output.v.size(); ++i) {
+      r.spike_counts[i] += step.final_output.v[i];
+    }
+    r.total_cycles += step.total_cycles;
+    r.total_energy_mj += step.total_energy_mj;
+    r.cycles_per_step.push_back(step.total_cycles);
+  }
+  return r;
+}
+
+}  // namespace spikestream::runtime

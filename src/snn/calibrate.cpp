@@ -1,0 +1,94 @@
+#include "snn/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "snn/reference.hpp"
+
+namespace spikestream::snn {
+
+std::vector<double> svgg11_target_rates() {
+  // Output rates chosen so the resulting ifmap firing-activity profile
+  // follows the paper's Fig. 3a: moderate activity after encoding, a peak in
+  // the mid layers, increasing sparsity with depth, extreme sparsity in FC.
+  return {0.15,   // conv1 output = conv2 ifmap activity
+          0.30,   // conv2 -> conv3
+          0.22,   // conv3 -> conv4
+          0.18,   // conv4 -> conv5
+          0.10,   // conv5 -> conv6
+          0.06,   // conv6 -> fc7
+          0.04,   // fc7 -> fc8
+          0.10};  // fc8 output (10 classes; ~1 winner)
+}
+
+std::vector<double> calibrate_thresholds(Network& net,
+                                         std::span<const Tensor> images,
+                                         std::span<const double> target_rates) {
+  SPK_CHECK(target_rates.size() >= net.num_layers(),
+            "need one target rate per layer");
+  SPK_CHECK(!images.empty(), "need at least one calibration image");
+
+  const std::size_t n_img = images.size();
+  const std::size_t n_layers = net.num_layers();
+  std::vector<double> achieved(n_layers, 0.0);
+
+  // Per-image spike map flowing into the current layer.
+  std::vector<SpikeMap> carry(n_img);
+  std::vector<Tensor> padded_imgs(n_img);
+
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    LayerSpec& spec = net.layer(l);
+    const LayerWeights& w = net.weights(l);
+
+    // 1) Input currents for every calibration image (threshold-independent).
+    std::vector<Tensor> currents(n_img);
+    for (std::size_t i = 0; i < n_img; ++i) {
+      if (spec.kind == LayerKind::kEncodeConv) {
+        padded_imgs[i] =
+            Reference::pad_dense(images[i], (spec.in_h - images[i].h) / 2);
+        currents[i] = Reference::conv_currents_dense(padded_imgs[i], w);
+      } else if (spec.kind == LayerKind::kConv) {
+        currents[i] = Reference::conv_currents(carry[i], w);
+      } else {
+        currents[i] = Reference::fc_currents(carry[i], w);
+      }
+    }
+
+    // 2) v_th = (1 - target)-quantile of the pooled current distribution.
+    std::vector<float> pool;
+    for (const auto& t : currents) pool.insert(pool.end(), t.v.begin(), t.v.end());
+    std::sort(pool.begin(), pool.end());
+    const double target = target_rates[l];
+    auto qi = static_cast<std::size_t>(
+        std::clamp((1.0 - target) * static_cast<double>(pool.size()),
+                   0.0, static_cast<double>(pool.size() - 1)));
+    float vth = pool[qi];
+    if (vth <= 0.0f) vth = 1e-3f;  // keep thresholds positive
+    spec.lif.v_th = vth;
+    spec.lif.v_rst = vth;
+
+    // 3) Fire with the chosen threshold and prepare the next layer's inputs.
+    std::size_t spikes = 0, total = 0;
+    for (std::size_t i = 0; i < n_img; ++i) {
+      Tensor membrane(currents[i].h, currents[i].w, currents[i].c);
+      SpikeMap out = lif_step(spec.lif, currents[i], membrane);
+      spikes += spike_count(out);
+      total += out.size();
+      if (spec.pool_after) out = or_pool2(out);
+      if (l + 1 < n_layers) {
+        if (net.layer(l + 1).kind == LayerKind::kFc) {
+          out = Reference::flatten(out);
+        } else {
+          out = pad(out, spec.pad_next);
+        }
+      }
+      carry[i] = std::move(out);
+    }
+    achieved[l] = total ? static_cast<double>(spikes) / static_cast<double>(total)
+                        : 0.0;
+  }
+  return achieved;
+}
+
+}  // namespace spikestream::snn

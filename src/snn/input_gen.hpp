@@ -1,0 +1,66 @@
+// Synthetic CIFAR-like input images: smooth random fields in [0, 1].
+// We do not have the CIFAR10 dataset in this environment; what the paper's
+// performance results depend on is the per-layer firing statistics, which
+// threshold calibration (snn/calibrate.hpp) pins to the paper's profile.
+// Smooth multi-frequency fields give realistic image-to-image variance,
+// which produces the batch standard deviations the paper reports.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "snn/tensor.hpp"
+
+namespace spikestream::snn {
+
+/// One h x w x c image with values in [0, 1].
+inline Tensor make_image(common::Rng& rng, int h = 32, int w = 32, int c = 3) {
+  Tensor img(h, w, c);
+  constexpr int kModes = 5;
+  for (int ch = 0; ch < c; ++ch) {
+    double fx[kModes], fy[kModes], ph[kModes], amp[kModes];
+    for (int m = 0; m < kModes; ++m) {
+      fx[m] = rng.uniform(0.3, 4.0) / w;
+      fy[m] = rng.uniform(0.3, 4.0) / h;
+      ph[m] = rng.uniform(0.0, 6.283185307179586);
+      amp[m] = rng.uniform(0.3, 1.0);
+    }
+    float lo = 1e30f, hi = -1e30f;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        double v = 0.0;
+        for (int m = 0; m < kModes; ++m) {
+          v += amp[m] * std::cos(6.283185307179586 * (fx[m] * x + fy[m] * y) +
+                                 ph[m]);
+        }
+        v += 0.15 * rng.normal();  // sensor-like noise
+        const auto f = static_cast<float>(v);
+        img.at(y, x, ch) = f;
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+      }
+    }
+    const float span = hi - lo > 1e-9f ? hi - lo : 1.0f;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        img.at(y, x, ch) = (img.at(y, x, ch) - lo) / span;
+      }
+    }
+  }
+  return img;
+}
+
+/// A batch of images with a deterministic per-image seed.
+inline std::vector<Tensor> make_batch(std::size_t n, std::uint64_t seed = 7,
+                                      int h = 32, int w = 32, int c = 3) {
+  std::vector<Tensor> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    common::Rng rng(seed * 1000003ull + i);
+    out.push_back(make_image(rng, h, w, c));
+  }
+  return out;
+}
+
+}  // namespace spikestream::snn

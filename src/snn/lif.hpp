@@ -1,0 +1,36 @@
+// Leaky Integrate-and-Fire neuron dynamics (Eq. 1 of the paper):
+//   i_m(t)  = sum_n s_{i,n}(t) * w_n
+//   v_m(t)  = v_m(t-1) * alpha + r * i_m(t) - v_rst * s_{o,m}(t)
+//   s_o(t)  = 1 if v_m(t) >= v_th else 0
+// With v_rst = v_th this is the usual "soft reset by subtraction".
+#pragma once
+
+#include "snn/tensor.hpp"
+
+namespace spikestream::snn {
+
+struct LifParams {
+  float v_th = 1.0f;    ///< membrane threshold (calibrated per layer)
+  float alpha = 0.9f;   ///< leak / decay factor
+  float r = 1.0f;       ///< membrane resistance
+  float v_rst = 1.0f;   ///< reset subtraction (kept equal to v_th)
+};
+
+/// One LIF timestep over a whole layer: integrates `current` into `membrane`
+/// (updated in place) and writes the output spikes. Shapes must match.
+inline SpikeMap lif_step(const LifParams& p, const Tensor& current,
+                         Tensor& membrane) {
+  SPK_CHECK(current.same_shape(membrane), "LIF shape mismatch");
+  SpikeMap out(current.h, current.w, current.c);
+  for (std::size_t i = 0; i < current.v.size(); ++i) {
+    float v = membrane.v[i] * p.alpha + p.r * current.v[i];
+    if (v >= p.v_th) {
+      out.v[i] = 1;
+      v -= p.v_rst;
+    }
+    membrane.v[i] = v;
+  }
+  return out;
+}
+
+}  // namespace spikestream::snn

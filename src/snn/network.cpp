@@ -1,0 +1,106 @@
+#include "snn/network.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace spikestream::snn {
+
+void Network::add_layer(const LayerSpec& spec) {
+  LayerWeights w;
+  w.k = spec.kind == LayerKind::kFc ? 1 : spec.k;
+  w.in_c = spec.in_c;
+  w.out_c = spec.out_c;
+  w.v.assign(static_cast<std::size_t>(w.k) * w.k *
+                 static_cast<std::size_t>(w.in_c) *
+                 static_cast<std::size_t>(w.out_c),
+             0.0f);
+  layers_.push_back(spec);
+  weights_.push_back(std::move(w));
+}
+
+void Network::init_weights(common::Rng& rng) {
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const double fan_in = static_cast<double>(layers_[l].fan_in());
+    const double stddev = std::sqrt(2.0 / fan_in);
+    for (float& x : weights_[l].v) {
+      x = static_cast<float>(rng.normal(0.0, stddev));
+    }
+  }
+}
+
+void Network::quantize_weights(common::FpFormat fmt) {
+  for (auto& w : weights_) {
+    for (float& x : w.v) x = common::quantize(x, fmt);
+  }
+}
+
+Network Network::make_svgg11() {
+  Network net;
+  auto conv = [&](const char* name, LayerKind kind, int in_hw, int in_c,
+                  int out_c, bool pool) {
+    LayerSpec s;
+    s.kind = kind;
+    s.name = name;
+    s.in_h = s.in_w = in_hw;
+    s.in_c = in_c;
+    s.k = 3;
+    s.out_c = out_c;
+    s.pool_after = pool;
+    s.pad_next = 1;
+    net.add_layer(s);
+  };
+  // Padded ifmap shapes follow Fig. 3a exactly:
+  conv("conv1", LayerKind::kEncodeConv, 34, 3, 64, false);   // 34x34x3
+  conv("conv2", LayerKind::kConv, 34, 64, 128, true);        // 34x34x64
+  conv("conv3", LayerKind::kConv, 18, 128, 256, false);      // 18x18x128
+  conv("conv4", LayerKind::kConv, 18, 256, 256, true);       // 18x18x256
+  conv("conv5", LayerKind::kConv, 10, 256, 512, false);      // 10x10x256
+  conv("conv6", LayerKind::kConv, 10, 512, 512, true);       // 10x10x512
+  // After conv6: 8x8 -> pool -> 4x4x512 = 8192 inputs to the classifier.
+  LayerSpec fc7;
+  fc7.kind = LayerKind::kFc;
+  fc7.name = "fc7";
+  fc7.in_c = 4 * 4 * 512;
+  fc7.out_c = 1024;
+  net.add_layer(fc7);
+  LayerSpec fc8;
+  fc8.kind = LayerKind::kFc;
+  fc8.name = "fc8";
+  fc8.in_c = 1024;
+  fc8.out_c = 10;
+  net.add_layer(fc8);
+  return net;
+}
+
+Network Network::make_tiny(int in_hw, int in_c, int mid_c, int out_n) {
+  SPK_CHECK(in_hw >= 5, "tiny network needs at least 5x5 inputs");
+  Network net;
+  LayerSpec l1;
+  l1.kind = LayerKind::kEncodeConv;
+  l1.name = "enc";
+  l1.in_h = l1.in_w = in_hw;
+  l1.in_c = in_c;
+  l1.k = 3;
+  l1.out_c = mid_c;
+  net.add_layer(l1);
+
+  LayerSpec l2;
+  l2.kind = LayerKind::kConv;
+  l2.name = "conv";
+  l2.in_h = l2.in_w = in_hw;  // output re-padded to the same spatial size
+  l2.in_c = mid_c;
+  l2.k = 3;
+  l2.out_c = mid_c;
+  net.add_layer(l2);
+
+  LayerSpec l3;
+  l3.kind = LayerKind::kFc;
+  l3.name = "fc";
+  l3.in_c = (in_hw - 2) * (in_hw - 2) * mid_c;
+  l3.out_c = out_n;
+  net.add_layer(l3);
+  return net;
+}
+
+}  // namespace spikestream::snn

@@ -1,0 +1,93 @@
+// Network description: a sequence of layer specs plus their weights.
+// Includes the S-VGG11 factory matching the ifmap shapes in the paper's
+// Fig. 3a (see DESIGN.md §5) and weight quantization for FP16/FP8 runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/float_formats.hpp"
+#include "common/rng.hpp"
+#include "snn/lif.hpp"
+#include "snn/tensor.hpp"
+
+namespace spikestream::snn {
+
+enum class LayerKind {
+  kEncodeConv,  ///< first layer: dense RGB input, conv-as-matmul (III-F)
+  kConv,        ///< spiking conv on compressed ifmaps
+  kFc,          ///< spiking fully-connected
+};
+
+struct LayerSpec {
+  LayerKind kind = LayerKind::kConv;
+  std::string name;
+  // Spatial geometry. For convs, in_h/in_w are the padded ifmap dims; the
+  // valid conv output is (in_h - k + 1) x (in_w - k + 1). FC layers use
+  // in_c/out_c only (in_h = in_w = 1).
+  int in_h = 1, in_w = 1, in_c = 1;
+  int k = 3;
+  int out_c = 1;
+  bool pool_after = false;  ///< 2x2 OR-pool on the output spikes
+  int pad_next = 1;         ///< zero padding applied before the next layer
+  LifParams lif;
+
+  int out_h() const { return kind == LayerKind::kFc ? 1 : in_h - k + 1; }
+  int out_w() const { return kind == LayerKind::kFc ? 1 : in_w - k + 1; }
+  /// Synaptic fan-in per output neuron.
+  std::size_t fan_in() const {
+    return kind == LayerKind::kFc
+               ? static_cast<std::size_t>(in_c)
+               : static_cast<std::size_t>(k) * k * static_cast<std::size_t>(in_c);
+  }
+};
+
+/// Flat weight tensor for one layer, logically (kh, kw, c_in, c_out) for
+/// convs and (c_in, c_out) for FC — the batched-HWC layout of Section III-C
+/// (output channel innermost so SIMD lanes read contiguous words).
+struct LayerWeights {
+  int k = 1, in_c = 1, out_c = 1;
+  std::vector<float> v;
+
+  std::size_t index(int kh, int kw, int ci, int co) const {
+    return ((static_cast<std::size_t>(kh) * static_cast<std::size_t>(k) + kw) *
+                static_cast<std::size_t>(in_c) +
+            static_cast<std::size_t>(ci)) *
+               static_cast<std::size_t>(out_c) +
+           static_cast<std::size_t>(co);
+  }
+  float at(int kh, int kw, int ci, int co) const {
+    return v[index(kh, kw, ci, co)];
+  }
+};
+
+class Network {
+ public:
+  void add_layer(const LayerSpec& spec);
+
+  std::size_t num_layers() const { return layers_.size(); }
+  const LayerSpec& layer(std::size_t i) const { return layers_[i]; }
+  LayerSpec& layer(std::size_t i) { return layers_[i]; }
+  const LayerWeights& weights(std::size_t i) const { return weights_[i]; }
+  LayerWeights& weights(std::size_t i) { return weights_[i]; }
+
+  /// He-initialize all weights (deterministic given the seed).
+  void init_weights(common::Rng& rng);
+
+  /// Round every weight to the given storage format (Section III-C batches
+  /// them in SIMD words of this format).
+  void quantize_weights(common::FpFormat fmt);
+
+  /// The paper's S-VGG11 adapted to CIFAR10 (Fig. 3a shapes; DESIGN.md §5).
+  static Network make_svgg11();
+
+  /// A small 3-layer network for tests and the quickstart example.
+  static Network make_tiny(int in_hw = 10, int in_c = 8, int mid_c = 16,
+                           int out_n = 4);
+
+ private:
+  std::vector<LayerSpec> layers_;
+  std::vector<LayerWeights> weights_;
+};
+
+}  // namespace spikestream::snn

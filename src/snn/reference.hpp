@@ -1,0 +1,49 @@
+// Golden dense reference for SNN inference. Deliberately naive (dense loops,
+// no compression, no timing): the optimized kernels in src/kernels must match
+// its spike outputs bit-exactly, which the integration tests verify.
+#pragma once
+
+#include <vector>
+
+#include "snn/network.hpp"
+#include "snn/tensor.hpp"
+
+namespace spikestream::snn {
+
+/// Per-layer tensors produced while running one timestep.
+struct LayerIo {
+  Tensor dense_input;    ///< encode layer only: padded HWC image
+  SpikeMap spike_input;  ///< conv/FC layers: padded input spikes
+  SpikeMap output;       ///< raw output spikes (before pool / pad)
+  SpikeMap next_input;   ///< after pool_after + pad_next: next layer's ifmap
+};
+
+class Reference {
+ public:
+  explicit Reference(const Network& net);
+
+  /// Run one timestep on a raw (unpadded) image; returns per-layer IO.
+  /// Membrane state persists across calls for multi-timestep runs.
+  const std::vector<LayerIo>& step(const Tensor& image);
+
+  /// Clear membrane potentials (start of a new input sample).
+  void reset();
+
+  const Tensor& membrane(std::size_t layer) const { return membranes_[layer]; }
+
+  // --- stateless building blocks (also used by calibration) ---------------
+  static Tensor conv_currents(const SpikeMap& in_padded, const LayerWeights& w);
+  static Tensor conv_currents_dense(const Tensor& in_padded,
+                                    const LayerWeights& w);
+  static Tensor fc_currents(const SpikeMap& in_flat, const LayerWeights& w);
+  static Tensor pad_dense(const Tensor& t, int p);
+  /// Flatten an HWC spike map into a 1x1xN map (FC input).
+  static SpikeMap flatten(const SpikeMap& s);
+
+ private:
+  const Network& net_;
+  std::vector<Tensor> membranes_;
+  std::vector<LayerIo> io_;
+};
+
+}  // namespace spikestream::snn

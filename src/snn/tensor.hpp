@@ -1,0 +1,91 @@
+// Minimal HWC tensor containers. SNN ifmaps are binary (SpikeMap); weights,
+// currents and membrane potentials are float tensors. HWC (channel-innermost)
+// matches the paper's batched weight layout for SIMD over output channels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace spikestream::snn {
+
+template <typename T>
+struct Hwc {
+  int h = 0, w = 0, c = 0;
+  std::vector<T> v;
+
+  Hwc() = default;
+  Hwc(int h_, int w_, int c_) : h(h_), w(w_), c(c_) {
+    SPK_CHECK(h_ >= 0 && w_ >= 0 && c_ >= 0, "bad tensor shape");
+    v.assign(static_cast<std::size_t>(h_) * static_cast<std::size_t>(w_) *
+                 static_cast<std::size_t>(c_),
+             T{});
+  }
+
+  std::size_t size() const { return v.size(); }
+
+  std::size_t index(int y, int x, int ch) const {
+    SPK_DCHECK(y >= 0 && y < h && x >= 0 && x < w && ch >= 0 && ch < c,
+               "tensor index OOB");
+    return (static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+            static_cast<std::size_t>(x)) *
+               static_cast<std::size_t>(c) +
+           static_cast<std::size_t>(ch);
+  }
+  T& at(int y, int x, int ch) { return v[index(y, x, ch)]; }
+  const T& at(int y, int x, int ch) const { return v[index(y, x, ch)]; }
+
+  bool same_shape(const Hwc& o) const {
+    return h == o.h && w == o.w && c == o.c;
+  }
+};
+
+using Tensor = Hwc<float>;
+using SpikeMap = Hwc<std::uint8_t>;  ///< values are 0/1
+
+/// Number of active (spiking) entries.
+inline std::size_t spike_count(const SpikeMap& s) {
+  std::size_t n = 0;
+  for (auto b : s.v) n += (b != 0);
+  return n;
+}
+
+/// Fraction of neurons that fired.
+inline double firing_rate(const SpikeMap& s) {
+  return s.size() ? static_cast<double>(spike_count(s)) /
+                        static_cast<double>(s.size())
+                  : 0.0;
+}
+
+/// Zero-pad spatially by `p` on each border (channels unchanged).
+inline SpikeMap pad(const SpikeMap& s, int p) {
+  SpikeMap out(s.h + 2 * p, s.w + 2 * p, s.c);
+  for (int y = 0; y < s.h; ++y) {
+    for (int x = 0; x < s.w; ++x) {
+      for (int ch = 0; ch < s.c; ++ch) {
+        out.at(y + p, x + p, ch) = s.at(y, x, ch);
+      }
+    }
+  }
+  return out;
+}
+
+/// 2x2 stride-2 OR-pooling on binary spikes (spiking max-pool).
+inline SpikeMap or_pool2(const SpikeMap& s) {
+  SpikeMap out(s.h / 2, s.w / 2, s.c);
+  for (int y = 0; y < out.h; ++y) {
+    for (int x = 0; x < out.w; ++x) {
+      for (int ch = 0; ch < s.c; ++ch) {
+        const std::uint8_t v = s.at(2 * y, 2 * x, ch) |
+                               s.at(2 * y + 1, 2 * x, ch) |
+                               s.at(2 * y, 2 * x + 1, ch) |
+                               s.at(2 * y + 1, 2 * x + 1, ch);
+        out.at(y, x, ch) = v;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spikestream::snn

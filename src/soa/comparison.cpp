@@ -1,0 +1,106 @@
+#include "soa/comparison.hpp"
+
+#include "common/rng.hpp"
+#include "compress/csr_ifmap.hpp"
+#include "snn/network.hpp"
+#include "soa/accel_models.hpp"
+
+namespace spikestream::soa {
+
+namespace {
+
+/// The 6th S-VGG11 layer (Fig. 3a: ifmap 10x10x512, 3x3, 512 filters).
+snn::LayerSpec layer6_spec() {
+  snn::LayerSpec s;
+  s.kind = snn::LayerKind::kConv;
+  s.name = "conv6";
+  s.in_h = s.in_w = 10;
+  s.in_c = 512;
+  s.k = 3;
+  s.out_c = 512;
+  return s;
+}
+
+}  // namespace
+
+Layer6Result run_ours_layer6(kernels::Variant variant, common::FpFormat fmt,
+                             int timesteps, double in_rate,
+                             const arch::EnergyParams& energy,
+                             Layer6Workload* wl, std::uint64_t seed) {
+  const snn::LayerSpec spec = layer6_spec();
+  snn::Network net;
+  net.add_layer(spec);
+  common::Rng rng(seed);
+  net.init_weights(rng);
+  net.quantize_weights(fmt);
+  // Threshold for a plausible output rate; irrelevant to the comparison
+  // (the SOP count is fixed by the *input* spikes).
+  net.layer(0).lif.v_th = 0.8f;
+  net.layer(0).lif.v_rst = 0.8f;
+
+  kernels::RunOptions opt;
+  opt.variant = variant;
+  opt.fmt = fmt;
+
+  snn::Tensor membrane(spec.out_h(), spec.out_w(), spec.out_c);
+  Layer6Result res;
+  res.name = std::string("ours ") + kernels::variant_name(variant) + " " +
+             common::fp_name(fmt);
+  res.tech_nm = 12.0;  // GF12LP+
+
+  double sops = 0, rate_acc = 0;
+  const int simd = common::simd_lanes(fmt);
+  for (int t = 0; t < timesteps; ++t) {
+    // Fresh Bernoulli input spikes each timestep (interior only: the border
+    // is padding and never fires).
+    snn::SpikeMap in(spec.in_h, spec.in_w, spec.in_c);
+    for (int y = 1; y < spec.in_h - 1; ++y) {
+      for (int x = 1; x < spec.in_w - 1; ++x) {
+        for (int c = 0; c < spec.in_c; ++c) {
+          in.at(y, x, c) = rng.bernoulli(in_rate) ? 1 : 0;
+        }
+      }
+    }
+    rate_acc += snn::firing_rate(in);
+    const compress::CsrIfmap csr = compress::CsrIfmap::encode(in);
+    kernels::LayerRun lr =
+        kernels::run_conv_layer(spec, net.weights(0), csr, membrane, opt);
+    res.latency_ms += lr.stats.cycles / energy.freq_hz * 1e3;
+    res.energy_mj +=
+        arch::compute_energy(energy, lr.stats.to_activity(), fmt).total_mj();
+    sops += lr.stats.fpu_ops * simd;  // one SOP per weight lane accumulated
+  }
+  if (wl != nullptr) {
+    wl->sops = sops;
+    wl->avg_in_rate = rate_acc / timesteps;
+  }
+  return res;
+}
+
+std::vector<Layer6Result> layer6_comparison(int timesteps, double in_rate,
+                                            const arch::EnergyParams& energy,
+                                            std::uint64_t seed) {
+  std::vector<Layer6Result> out;
+  Layer6Workload wl;
+  out.push_back(run_ours_layer6(kernels::Variant::kBaseline,
+                                common::FpFormat::FP16, timesteps, in_rate,
+                                energy, &wl, seed));
+  out.push_back(run_ours_layer6(kernels::Variant::kSpikeStream,
+                                common::FpFormat::FP16, timesteps, in_rate,
+                                energy, nullptr, seed));
+  out.push_back(run_ours_layer6(kernels::Variant::kSpikeStream,
+                                common::FpFormat::FP8, timesteps, in_rate,
+                                energy, nullptr, seed));
+  for (const AccelSpec& a : soa_accelerators()) {
+    Layer6Result r;
+    r.name = a.name;
+    r.latency_ms = a.latency_ms(wl.sops);
+    r.energy_mj = a.energy_mj(wl.sops);
+    r.peak_gsop = a.peak_gsop;
+    r.tech_nm = a.tech_nm;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace spikestream::soa

@@ -1,0 +1,41 @@
+// The Fig. 5 experiment: the 6th layer of S-VGG11 (10x10x512 -> 8x8x512,
+// k=3) executed for 500 timesteps, on our cluster (baseline FP16,
+// SpikeStream FP16, SpikeStream FP8) and on the analytical SoA models, all
+// driven by the same synaptic-operation count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/energy.hpp"
+#include "common/float_formats.hpp"
+#include "kernels/layer_kernels.hpp"
+
+namespace spikestream::soa {
+
+struct Layer6Result {
+  std::string name;
+  double latency_ms = 0;
+  double energy_mj = 0;
+  double peak_gsop = 0;   ///< 0 for our software variants (uses FPU peak)
+  double tech_nm = 0;
+};
+
+struct Layer6Workload {
+  double sops = 0;          ///< synaptic operations over all timesteps
+  double avg_in_rate = 0;   ///< measured ifmap activity
+};
+
+/// Run our cluster on the layer-6 workload. Returns (latency, energy) and
+/// fills `wl` with the SOP count that also drives the SoA models.
+Layer6Result run_ours_layer6(kernels::Variant variant, common::FpFormat fmt,
+                             int timesteps, double in_rate,
+                             const arch::EnergyParams& energy,
+                             Layer6Workload* wl, std::uint64_t seed = 42);
+
+/// Full Fig. 5 table: our three variants + the four SoA accelerators.
+std::vector<Layer6Result> layer6_comparison(int timesteps, double in_rate,
+                                            const arch::EnergyParams& energy,
+                                            std::uint64_t seed = 42);
+
+}  // namespace spikestream::soa

@@ -1,0 +1,281 @@
+// Cluster-level behaviour: SPMD dispatch, barriers, TCDM atomics (the
+// workload-stealing primitive), bank conflicts, the DMA engine, and the
+// shared instruction cache model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/cluster.hpp"
+#include "arch/program.hpp"
+
+namespace arch = spikestream::arch;
+
+namespace {
+
+arch::Cluster make_cl(int workers = 8, int icache_penalty = 0) {
+  arch::ClusterConfig cfg;
+  cfg.num_workers = workers;
+  cfg.icache_miss_penalty = icache_penalty;
+  return arch::Cluster(cfg);
+}
+
+}  // namespace
+
+TEST(Cluster, SpmdCoreIdsDistinct) {
+  auto cl = make_cl(4);
+  const arch::Addr buf = cl.tcdm_alloc(64);
+  arch::Asm a;
+  a.csr_core_id(5);
+  a.slli(6, 5, 2);
+  a.li(7, buf);
+  a.add(7, 7, 6);
+  a.sw(5, 7, 0);  // buf[id] = id
+  a.halt();
+  cl.load_program(a.finish());
+  cl.run();
+  for (int i = 0; i < 5; ++i) {  // 4 workers + DMA core run the program
+    EXPECT_EQ(cl.mem().load<std::uint32_t>(buf + 4 * static_cast<arch::Addr>(i)),
+              static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(Cluster, AmoAddSerializesClaims) {
+  // Every core amoadds 1 to a shared counter 100 times: final value exact.
+  auto cl = make_cl(8);
+  const arch::Addr ctr = cl.tcdm_alloc(8);
+  arch::Asm a;
+  a.li(5, ctr);
+  a.li(6, 1);
+  a.li(7, 0);
+  a.li(8, 100);
+  a.label("loop");
+  a.amoadd(9, 5, 6);
+  a.addi(7, 7, 1);
+  a.bne(7, 8, "loop");
+  a.halt();
+  cl.load_program(a.finish());
+  cl.run();
+  EXPECT_EQ(cl.mem().load<std::uint32_t>(ctr), 900u);  // 9 cores * 100
+}
+
+TEST(Cluster, AmoAddReturnsUniqueTickets) {
+  // The workload-stealing idiom: each core grabs distinct RF indices.
+  auto cl = make_cl(8);
+  const arch::Addr ctr = cl.tcdm_alloc(8);
+  const arch::Addr log = cl.tcdm_alloc(8 * 64);
+  arch::Asm a;
+  a.li(5, ctr);
+  a.li(6, 1);
+  a.csr_core_id(10);
+  a.slli(10, 10, 5);  // 8 slots of 4 bytes per core
+  a.li(11, log);
+  a.add(11, 11, 10);
+  a.li(7, 0);
+  a.li(8, 4);
+  a.label("loop");
+  a.amoadd(9, 5, 6);   // ticket
+  a.sw(9, 11, 0);
+  a.addi(11, 11, 4);
+  a.addi(7, 7, 1);
+  a.bne(7, 8, "loop");
+  a.halt();
+  cl.load_program(a.finish());
+  cl.run();
+  std::vector<bool> seen(9 * 4, false);
+  for (int c = 0; c < 9; ++c) {
+    for (int j = 0; j < 4; ++j) {
+      const auto t = cl.mem().load<std::uint32_t>(
+          log + static_cast<arch::Addr>(c * 32 + j * 4));
+      ASSERT_LT(t, seen.size());
+      EXPECT_FALSE(seen[t]) << "duplicate ticket " << t;
+      seen[t] = true;
+    }
+  }
+}
+
+TEST(Cluster, BarrierAlignsCores) {
+  // Core 0 does long work before the barrier; all cores record their
+  // post-barrier cycle: the readings must be within one cycle of each other.
+  auto cl = make_cl(4);
+  const arch::Addr buf = cl.tcdm_alloc(64);
+  arch::Asm a;
+  a.csr_core_id(5);
+  a.bne(5, 0, "wait");
+  a.li(6, 0);
+  a.li(7, 500);
+  a.label("spin");
+  a.addi(6, 6, 1);
+  a.bne(6, 7, "spin");
+  a.label("wait");
+  a.barrier();
+  a.csr_cycle(8);
+  a.slli(9, 5, 2);
+  a.li(10, buf);
+  a.add(10, 10, 9);
+  a.sw(8, 10, 0);
+  a.halt();
+  cl.load_program(a.finish());
+  cl.run();
+  std::uint32_t lo = ~0u, hi = 0;
+  for (int c = 0; c < 5; ++c) {
+    const auto t =
+        cl.mem().load<std::uint32_t>(buf + 4 * static_cast<arch::Addr>(c));
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GE(lo, 500u);     // nobody passed before core 0 finished spinning
+  EXPECT_LE(hi - lo, 2u);  // and everyone released together
+}
+
+TEST(Cluster, TwoBarriersInSequence) {
+  auto cl = make_cl(3);
+  arch::Asm a;
+  a.li(5, 1);
+  a.barrier();
+  a.addi(5, 5, 1);
+  a.barrier();
+  a.addi(5, 5, 1);
+  a.halt();
+  cl.load_program(a.finish());
+  cl.run();
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(cl.core(c).x(5), 3u);
+}
+
+TEST(Cluster, BankConflictsSlowColocatedAccesses) {
+  // 8 cores hammering the same bank vs. 8 cores on distinct banks.
+  auto run_with_stride = [](int stride_words) {
+    auto cl = make_cl(8);
+    const arch::Addr buf = cl.tcdm_alloc(8 * 64 * 8);
+    arch::Asm a;
+    a.csr_core_id(5);
+    a.li(6, stride_words * 8);
+    a.mul(6, 5, 6);
+    a.li(7, buf);
+    a.add(7, 7, 6);  // per-core address: same bank iff stride_words % 32 == 0
+    a.li(8, 0);
+    a.li(9, 200);
+    a.label("loop");
+    a.lw(10, 7, 0);
+    a.addi(8, 8, 1);
+    a.bne(8, 9, "loop");
+    a.halt();
+    cl.load_program(a.finish());
+    return cl.run();
+  };
+  const auto conflicted = run_with_stride(32);  // all cores -> bank 0
+  const auto spread = run_with_stride(1);       // one bank per core
+  EXPECT_GT(conflicted, spread + 200);  // serialized by arbitration
+}
+
+TEST(Cluster, DmaCopiesGlobalToTcdm) {
+  auto cl = make_cl(1);
+  const arch::Addr src = cl.global_alloc(1024);
+  const arch::Addr dst = cl.tcdm_alloc(1024);
+  for (int i = 0; i < 256; ++i) {
+    cl.mem().store<std::uint32_t>(src + 4 * static_cast<arch::Addr>(i),
+                                  static_cast<std::uint32_t>(i * 3 + 1));
+  }
+  arch::Asm a;
+  a.li(5, src);
+  a.li(6, dst);
+  a.dma_src(5);
+  a.dma_dst(6);
+  a.li(7, 1024);
+  a.dma_start(8, 7);
+  a.dma_wait();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(cl.mem().load<std::uint32_t>(dst + 4 * static_cast<arch::Addr>(i)),
+              static_cast<std::uint32_t>(i * 3 + 1));
+  }
+}
+
+TEST(Cluster, Dma2DStridedTransfer) {
+  // Copy a 4x16-byte tile out of a 64-byte-pitch source (im2row-style).
+  auto cl = make_cl(1);
+  const arch::Addr src = cl.global_alloc(4 * 64);
+  const arch::Addr dst = cl.tcdm_alloc(4 * 16);
+  for (int r = 0; r < 4; ++r) {
+    for (int b = 0; b < 16; ++b) {
+      cl.mem().store<std::uint8_t>(
+          src + static_cast<arch::Addr>(r * 64 + b),
+          static_cast<std::uint8_t>(r * 16 + b));
+    }
+  }
+  arch::Asm a;
+  a.li(5, src);
+  a.li(6, dst);
+  a.dma_src(5);
+  a.dma_dst(6);
+  a.li(7, 64);
+  a.li(8, 16);
+  a.dma_str(7, 8);  // src stride 64, dst stride 16
+  a.li(9, 4);
+  a.dma_reps(9);
+  a.dma_start(10, 8);  // 16 bytes per row
+  a.dma_wait();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(cl.mem().load<std::uint8_t>(dst + static_cast<arch::Addr>(i)),
+              static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(Cluster, DmaBandwidthIs64BytesPerCycle) {
+  auto cl = make_cl(1);
+  const arch::Addr src = cl.global_alloc(64 * 1024);
+  const arch::Addr dst = cl.tcdm_alloc(64 * 1024);
+  arch::Asm a;
+  a.li(5, src);
+  a.li(6, dst);
+  a.dma_src(5);
+  a.dma_dst(6);
+  a.li(7, 65536);
+  a.dma_start(8, 7);
+  a.dma_wait();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  const auto cycles = cl.run();
+  // 65536 B / 64 B/cycle = 1024 + global latency 100 + small program overhead
+  EXPECT_NEAR(static_cast<double>(cycles), 1024 + 100, 40);
+}
+
+TEST(Cluster, IcacheColdMissesCostOnce) {
+  auto run_loop = [](int penalty) {
+    arch::ClusterConfig cfg;
+    cfg.num_workers = 1;
+    cfg.icache_miss_penalty = penalty;
+    arch::Cluster cl(cfg);
+    arch::Asm a;
+    a.li(5, 0);
+    a.li(6, 1000);
+    a.label("loop");
+    a.addi(5, 5, 1);
+    a.bne(5, 6, "loop");
+    a.halt();
+    cl.load_program_on(0, a.finish());
+    return cl.run();
+  };
+  const auto cold10 = run_loop(10);
+  const auto cold0 = run_loop(0);
+  // The whole loop fits one line: exactly one extra miss penalty expected.
+  EXPECT_GE(cold10, cold0 + 9);
+  EXPECT_LE(cold10, cold0 + 25);
+}
+
+TEST(Cluster, WatchdogThrowsOnDeadlock) {
+  arch::ClusterConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_cycles = 10000;
+  arch::Cluster cl(cfg);
+  arch::Asm a;
+  a.label("forever");
+  a.j("forever");
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  EXPECT_THROW(cl.run(), spikestream::Error);
+}

@@ -1,0 +1,241 @@
+// Integer pipeline, FPU sequencer and FREP semantics + first-order timing.
+#include <gtest/gtest.h>
+
+#include "arch/cluster.hpp"
+#include "arch/program.hpp"
+
+namespace arch = spikestream::arch;
+
+namespace {
+
+/// Single-worker cluster with icache misses disabled (pure pipeline timing).
+arch::Cluster make_cl(int workers = 1) {
+  arch::ClusterConfig cfg;
+  cfg.num_workers = workers;
+  cfg.has_dma_core = true;
+  cfg.icache_miss_penalty = 0;
+  return arch::Cluster(cfg);
+}
+
+}  // namespace
+
+TEST(Core, AluAndLi) {
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(5, 40);
+  a.addi(6, 5, 2);
+  a.slli(7, 6, 2);     // 42 << 2 = 168
+  a.sub(8, 7, 5);      // 168 - 40 = 128
+  a.andi(9, 8, 0xF0);  // 128 & 0xF0 = 128
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_EQ(cl.core(0).x(6), 42u);
+  EXPECT_EQ(cl.core(0).x(7), 168u);
+  EXPECT_EQ(cl.core(0).x(8), 128u);
+  EXPECT_EQ(cl.core(0).x(9), 128u);
+}
+
+TEST(Core, X0IsHardwiredZero) {
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(0, 99);
+  a.addi(5, 0, 7);
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_EQ(cl.core(0).x(0), 0u);
+  EXPECT_EQ(cl.core(0).x(5), 7u);
+}
+
+TEST(Core, LoadStoreWidths) {
+  auto cl = make_cl();
+  const arch::Addr buf = cl.tcdm_alloc(16);
+  cl.mem().store<std::uint32_t>(buf, 0xDEADBEEF);
+  arch::Asm a;
+  a.li(5, buf);
+  a.lw(6, 5, 0);
+  a.lhu(7, 5, 0);   // 0xBEEF
+  a.lbu(8, 5, 3);   // 0xDE
+  a.lh(9, 5, 0);    // sign-extended 0xBEEF
+  a.sw(6, 5, 8);
+  a.sh(7, 5, 12);
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_EQ(cl.core(0).x(6), 0xDEADBEEFu);
+  EXPECT_EQ(cl.core(0).x(7), 0xBEEFu);
+  EXPECT_EQ(cl.core(0).x(8), 0xDEu);
+  EXPECT_EQ(cl.core(0).x(9), 0xFFFFBEEFu);
+  EXPECT_EQ(cl.mem().load<std::uint32_t>(buf + 8), 0xDEADBEEFu);
+  EXPECT_EQ(cl.mem().load<std::uint16_t>(buf + 12), 0xBEEFu);
+}
+
+TEST(Core, BranchLoopComputesSum) {
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(5, 0);   // i
+  a.li(6, 0);   // sum
+  a.li(7, 10);  // bound
+  a.label("loop");
+  a.add(6, 6, 5);
+  a.addi(5, 5, 1);
+  a.bne(5, 7, "loop");
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_EQ(cl.core(0).x(6), 45u);
+}
+
+TEST(Core, TakenBranchCostsPenalty) {
+  // Loop body: add, addi, bne = 3 issues + 2 flush cycles when taken.
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(5, 0);
+  a.li(6, 0);
+  a.li(7, 100);
+  a.label("loop");
+  a.add(6, 6, 5);
+  a.addi(5, 5, 1);
+  a.bne(5, 7, "loop");
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  const auto cycles = cl.run();
+  // 100 iterations: 99 taken (5 cycles) + 1 not taken (3 cycles) + prologue.
+  EXPECT_NEAR(static_cast<double>(cycles), 99 * 5 + 3 + 4, 3.0);
+}
+
+TEST(Core, LoadUseStallCostsOneBubble) {
+  auto cl = make_cl();
+  const arch::Addr buf = cl.tcdm_alloc(8);
+  cl.mem().store<std::uint32_t>(buf, 5);
+
+  // Version A: dependent use immediately after the load.
+  arch::Asm a;
+  a.li(5, buf);
+  a.lw(6, 5, 0);
+  a.addi(7, 6, 1);  // load-use: +1 bubble
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  const auto cy_dep = cl.run();
+
+  // Version B: an independent instruction fills the bubble.
+  auto cl2 = make_cl();
+  const arch::Addr buf2 = cl2.tcdm_alloc(8);
+  cl2.mem().store<std::uint32_t>(buf2, 5);
+  arch::Asm b;
+  b.li(5, buf2);
+  b.lw(6, 5, 0);
+  b.li(8, 0);       // independent filler
+  b.addi(7, 6, 1);
+  b.halt();
+  cl2.load_program_on(0, b.finish());
+  const auto cy_indep = cl2.run();
+
+  EXPECT_EQ(cy_dep, cy_indep);  // filler absorbs exactly the bubble
+}
+
+TEST(Core, FpuComputesAndFenceSynchronizes) {
+  auto cl = make_cl();
+  const arch::Addr buf = cl.tcdm_alloc(32);
+  cl.mem().store<double>(buf, 1.5);
+  cl.mem().store<double>(buf + 8, 2.25);
+  arch::Asm a;
+  a.li(5, buf);
+  a.fld(3, 5, 0);
+  a.fld(4, 5, 8);
+  a.fadd(5 + 0, 3, 4);   // f5 = 3.75  (note: fp reg namespace)
+  a.fmul(6, 3, 4);       // f6 = 3.375
+  a.fmadd(7, 3, 4);      // f7 += 1.5*2.25 = 3.375
+  a.fpu_fence();
+  a.fsd(5, 5, 16);
+  a.fsd(6, 5, 24);
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_DOUBLE_EQ(cl.mem().load<double>(buf + 16), 3.75);
+  EXPECT_DOUBLE_EQ(cl.mem().load<double>(buf + 24), 3.375);
+  EXPECT_DOUBLE_EQ(cl.core(0).f(7), 3.375);
+}
+
+TEST(Core, AccumulationChainRunsAtAddLatency) {
+  // N dependent fadds into one register: II = fadd latency (default 2).
+  auto cl = make_cl();
+  const arch::Addr buf = cl.tcdm_alloc(8);
+  cl.mem().store<double>(buf, 1.0);
+  constexpr int kN = 200;
+  arch::Asm a;
+  a.li(5, buf);
+  a.fld(4, 5, 0);
+  a.li(6, kN - 1);
+  a.frep(6, 1);
+  a.fadd(3, 4, 3);
+  a.fpu_fence();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  const auto cycles = cl.run();
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), static_cast<double>(kN));
+  EXPECT_NEAR(static_cast<double>(cycles), 2.0 * kN, 0.15 * kN);
+}
+
+TEST(Core, FrepRunsBodyExactlyRepsTimes) {
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(5, 1);
+  a.fcvt_d_w(4, 5);  // f4 = 1.0
+  a.li(6, 9);        // reps-1 -> 10 reps
+  a.frep(6, 2);
+  a.fadd(3, 4, 3);   // +1 per rep
+  a.fadd(7, 4, 7);   // +1 per rep (independent chain)
+  a.fpu_fence();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), 10.0);
+  EXPECT_DOUBLE_EQ(cl.core(0).f(7), 10.0);
+  EXPECT_EQ(cl.core(0).perf().fp_ops, 20u);
+}
+
+TEST(Core, FrepDecouplesIntegerPipe) {
+  // While the FPU grinds a long FREP, the integer core keeps retiring.
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(5, 1);
+  a.fcvt_d_w(4, 5);
+  a.li(6, 499);  // 500 reps * II 2 = ~1000 FPU cycles
+  a.frep(6, 1);
+  a.fadd(3, 4, 3);
+  // 300 cycles of integer work that must overlap with the FREP.
+  a.li(7, 0);
+  a.li(8, 100);
+  a.label("intloop");
+  a.addi(7, 7, 1);
+  a.bne(7, 8, "intloop");  // ~100 * 5 = 500 cycles
+  a.fpu_fence();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  const auto cycles = cl.run();
+  // Total should be ~max(1000, 500) + small overhead, not the 1500 sum.
+  EXPECT_LT(cycles, 1250u);
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), 500.0);
+}
+
+TEST(Core, PerfCountersTrackInstructionMix) {
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(5, 3);
+  a.li(6, 4);
+  a.add(7, 5, 6);
+  a.fcvt_d_w(4, 7);
+  a.fadd(3, 4, 4);
+  a.fpu_fence();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  const auto& p = cl.core(0).perf();
+  EXPECT_EQ(p.fp_ops, 1u);
+  EXPECT_GE(p.int_instrs, 6u);
+  EXPECT_GT(p.ipc(), 0.0);
+  EXPECT_GT(p.fpu_utilization(), 0.0);
+  EXPECT_LT(p.fpu_utilization(), 1.0);
+}

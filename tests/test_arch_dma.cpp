@@ -1,0 +1,193 @@
+// DMA engine: ordering, strided transfers, statistics, interaction with
+// core TCDM traffic, and the double-buffering idiom (compute on buffer A
+// while the DMA fills buffer B).
+#include <gtest/gtest.h>
+
+#include "arch/cluster.hpp"
+#include "arch/program.hpp"
+
+namespace arch = spikestream::arch;
+
+namespace {
+
+arch::Cluster make_cl(int workers = 1) {
+  arch::ClusterConfig cfg;
+  cfg.num_workers = workers;
+  cfg.icache_miss_penalty = 0;
+  return arch::Cluster(cfg);
+}
+
+}  // namespace
+
+TEST(Dma, MultipleTransfersCompleteInOrder) {
+  auto cl = make_cl();
+  const arch::Addr src = cl.global_alloc(4096);
+  const arch::Addr dst = cl.tcdm_alloc(4096);
+  for (int i = 0; i < 1024; ++i) {
+    cl.mem().store<std::uint32_t>(src + 4 * static_cast<arch::Addr>(i),
+                                  static_cast<std::uint32_t>(i));
+  }
+  arch::Asm a;
+  a.li(5, src);
+  a.li(6, dst);
+  a.li(7, 1024);
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    a.dma_src(5);
+    a.dma_dst(6);
+    a.dma_start(8, 7);
+    a.addi(5, 5, 1024);
+    a.addi(6, 6, 1024);
+  }
+  a.dma_wait();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  for (int i = 0; i < 1024; ++i) {
+    EXPECT_EQ(cl.mem().load<std::uint32_t>(dst + 4 * static_cast<arch::Addr>(i)),
+              static_cast<std::uint32_t>(i));
+  }
+  EXPECT_TRUE(cl.dma().idle());
+  EXPECT_EQ(cl.dma().bytes_moved(), 4096u);
+}
+
+TEST(Dma, TcdmToGlobalWriteback) {
+  auto cl = make_cl();
+  const arch::Addr src = cl.tcdm_alloc(256);
+  const arch::Addr dst = cl.global_alloc(256);
+  for (int i = 0; i < 32; ++i) {
+    cl.mem().store<double>(src + 8 * static_cast<arch::Addr>(i), i * 1.5);
+  }
+  arch::Asm a;
+  a.li(5, src);
+  a.li(6, dst);
+  a.li(7, 256);
+  a.dma_src(5);
+  a.dma_dst(6);
+  a.dma_start(8, 7);
+  a.dma_wait();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(cl.mem().load<double>(dst + 8 * static_cast<arch::Addr>(i)),
+                     i * 1.5);
+  }
+}
+
+TEST(Dma, ScatterWith2DDstStride) {
+  // Gather a contiguous source into a strided destination (im2row inverse).
+  auto cl = make_cl();
+  const arch::Addr src = cl.global_alloc(64);
+  const arch::Addr dst = cl.tcdm_alloc(8 * 32);
+  for (int i = 0; i < 64; ++i) {
+    cl.mem().store<std::uint8_t>(src + static_cast<arch::Addr>(i),
+                                 static_cast<std::uint8_t>(i));
+  }
+  arch::Asm a;
+  a.li(5, src);
+  a.li(6, dst);
+  a.li(7, 8);   // src stride = row bytes: contiguous
+  a.li(9, 32);  // dst stride: scatter rows 32 B apart
+  a.dma_str(7, 9);
+  a.li(10, 8);
+  a.dma_reps(10);
+  a.dma_src(5);
+  a.dma_dst(6);
+  a.dma_start(11, 7);  // 8 bytes per row
+  a.dma_wait();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  for (int r = 0; r < 8; ++r) {
+    for (int b = 0; b < 8; ++b) {
+      EXPECT_EQ(cl.mem().load<std::uint8_t>(
+                    dst + static_cast<arch::Addr>(r * 32 + b)),
+                static_cast<std::uint8_t>(r * 8 + b));
+    }
+  }
+}
+
+TEST(Dma, CoresKeepTcdmPriorityOverDma) {
+  // A core hammering one bank while the DMA streams through all banks: the
+  // core's loop time must stay close to its unconteded time.
+  auto solo = make_cl();
+  arch::Asm loop;
+  const arch::Addr lbuf = solo.tcdm_alloc(8);
+  loop.li(5, lbuf);
+  loop.li(6, 0);
+  loop.li(7, 500);
+  loop.label("l");
+  loop.lw(8, 5, 0);
+  loop.addi(6, 6, 1);
+  loop.bne(6, 7, "l");
+  loop.halt();
+  const arch::Program p = loop.finish();
+  solo.load_program_on(0, p);
+  const auto t_solo = solo.run();
+
+  auto both = make_cl(1);
+  const arch::Addr lbuf2 = both.tcdm_alloc(8);
+  (void)lbuf2;
+  const arch::Addr gsrc = both.global_alloc(64 * 1024);
+  const arch::Addr gdst = both.tcdm_alloc(80 * 1024);
+  both.dma().enqueue({gsrc, gdst, 64 * 1024, 1, 0, 0});
+  both.load_program_on(0, p);
+  const auto t_both = both.run();
+  // The loop is unchanged; the total run includes the DMA drain, but the
+  // core's portion (first ~t_solo cycles) was not starved: the whole run is
+  // bounded by the DMA transfer time, not by their sum.
+  EXPECT_GE(t_both, t_solo);
+  EXPECT_LE(t_both, 64 * 1024 / 64 + 100 + t_solo);
+}
+
+TEST(Dma, DoubleBufferIdiom) {
+  // Fill buffer B while computing on buffer A, then swap: total time must be
+  // close to max(compute, dma) + first fill, not their sum.
+  auto cl = make_cl();
+  const arch::Addr g = cl.global_alloc(32 * 1024);
+  const arch::Addr bufA = cl.tcdm_alloc(16 * 1024);
+  const arch::Addr bufB = cl.tcdm_alloc(16 * 1024);
+  arch::Asm a;
+  // fill A (blocking)
+  a.li(5, g);
+  a.li(6, bufA);
+  a.li(7, 16 * 1024);
+  a.dma_src(5);
+  a.dma_dst(6);
+  a.dma_start(8, 7);
+  a.dma_wait();
+  // start fill B (async), then "compute" on A for ~500 cycles
+  a.li(6, bufB);
+  a.dma_src(5);
+  a.dma_dst(6);
+  a.dma_start(8, 7);
+  a.li(9, 0);
+  a.li(10, 150);
+  a.label("compute");
+  a.addi(9, 9, 1);
+  a.bne(9, 10, "compute");
+  a.dma_wait();  // B should already be there
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  const auto cycles = cl.run();
+  // Each fill: 16384/64 = 256 beats + 100 latency = ~356 cycles. The compute
+  // loop (~600-750 cycles) fully hides fill B, so the total is about
+  // fill A + compute — and decisively below the no-overlap sum
+  // fill A + fill B + compute (~1460).
+  EXPECT_LT(cycles, 1200u);
+  EXPECT_GT(cycles, 356u + 550u);
+}
+
+TEST(Dma, BusyCyclesTracked) {
+  auto cl = make_cl();
+  const arch::Addr g = cl.global_alloc(6400);
+  const arch::Addr t = cl.tcdm_alloc(6400);
+  cl.dma().enqueue({g, t, 6400, 1, 0, 0});
+  arch::Asm a;
+  a.dma_wait();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_GE(cl.dma().busy_cycles(), 100u + 100u);  // latency + 100 beats
+  EXPECT_EQ(cl.dma().bytes_moved(), 6400u);
+}

@@ -1,0 +1,246 @@
+// Microarchitectural edge cases: FPU queue backpressure, pipe
+// synchronization via fmv, SSR shadow-register saturation, WAR protection
+// between the integer pipe and the FPU sequencer, and FREP corner cases.
+#include <gtest/gtest.h>
+
+#include "arch/cluster.hpp"
+#include "arch/program.hpp"
+
+namespace arch = spikestream::arch;
+
+namespace {
+
+arch::Cluster make_cl() {
+  arch::ClusterConfig cfg;
+  cfg.num_workers = 1;
+  cfg.icache_miss_penalty = 0;
+  return arch::Cluster(cfg);
+}
+
+}  // namespace
+
+TEST(CoreEdge, FpuQueueBackpressureStallsIntegerPipe) {
+  // Issue many dependent fadds (II = 2 each): the 16-deep queue fills and
+  // the integer pipe must stall, making total time ~ 2 * N, not ~ N issues.
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(5, 1);
+  a.fcvt_d_w(4, 5);
+  constexpr int kN = 100;
+  for (int i = 0; i < kN; ++i) a.fadd(3, 4, 3);  // same accumulator
+  a.fpu_fence();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  const auto cycles = cl.run();
+  EXPECT_GE(cycles, 2u * kN);
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), static_cast<double>(kN));
+}
+
+TEST(CoreEdge, FmvXfSynchronizesPipes) {
+  // fmv.x.f must wait for the queued FPU result before handing it to the
+  // integer pipe.
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(5, 21);
+  a.fcvt_d_w(4, 5);
+  a.fadd(3, 4, 4);   // f3 = 42 (queued)
+  a.fmv_xf(6, 3);    // must observe 42, not stale 0
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_EQ(cl.core(0).x(6), 42u);
+}
+
+TEST(CoreEdge, FldWaitsForQueuedReader) {
+  // WAR hazard: an unissued queued fadd still needs the old value of f4;
+  // a following fld into f4 must not clobber it.
+  auto cl = make_cl();
+  const arch::Addr buf = cl.tcdm_alloc(16);
+  cl.mem().store<double>(buf, 100.0);
+  cl.mem().store<double>(buf + 8, 999.0);
+  arch::Asm a;
+  a.li(5, buf);
+  a.fld(4, 5, 0);    // f4 = 100
+  // Two dependent adds keep the FPU busy so the second fadd(f4) is enqueued
+  // but not yet issued when the next fld arrives.
+  a.fadd(3, 4, 3);   // f3 = 100
+  a.fadd(3, 4, 3);   // f3 = 200 — must read f4 = 100
+  a.fld(4, 5, 8);    // overwrite f4 with 999: must wait for the reads
+  a.fadd(3, 4, 3);   // f3 = 1199
+  a.fpu_fence();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), 100.0 + 100.0 + 999.0);
+}
+
+TEST(CoreEdge, SsrShadowSaturationStallsThirdCommit) {
+  // Active + shadow hold two streams. With the first stream's consumer
+  // already in the FPU queue, a third commit stalls until stream 1 is fully
+  // popped, then proceeds — and the results stay exact.
+  auto cl = make_cl();
+  constexpr int kLen = 40;
+  const arch::Addr data = cl.tcdm_alloc(kLen * 8);
+  for (int i = 0; i < kLen; ++i) {
+    cl.mem().store<double>(data + static_cast<arch::Addr>(8 * i), 1.0);
+  }
+  arch::Asm a;
+  a.li(5, data);
+  a.li(6, 8);
+  a.li(7, kLen);
+  a.li(8, kLen - 1);
+  a.ssr_enable();
+  auto commit = [&] {
+    a.ssr_base(0, 5);
+    a.ssr_stride(0, 0, 6);
+    a.ssr_len(0, 7);
+    a.ssr_commit(0, arch::SsrMode::kAffineRead);
+  };
+  commit();              // stream 1 active
+  a.frep(8, 1);
+  a.fadd(3, arch::kSsr0, 3);  // consumer of stream 1 queued
+  commit();              // stream 2 -> shadow slot
+  a.csr_cycle(20);
+  commit();              // stream 3: must wait for stream 1 to drain
+  a.csr_cycle(21);
+  for (int s = 0; s < 2; ++s) {
+    a.frep(8, 1);
+    a.fadd(3, arch::kSsr0, 3);
+  }
+  a.fpu_fence();
+  a.ssr_disable();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), 3.0 * kLen);
+  // Stream 1 takes ~2*kLen cycles to consume; the stalled commit observed
+  // most of that.
+  EXPECT_GT(cl.core(0).x(21) - cl.core(0).x(20), static_cast<std::uint32_t>(kLen));
+}
+
+TEST(CoreEdge, SsrOverCommitWithoutConsumerDeadlocks) {
+  // Committing a third stream with no consumer in flight can never unblock:
+  // the 4-deep FIFO cannot drain a 40-element stream by prefetch alone. The
+  // cluster watchdog must catch this software error.
+  arch::ClusterConfig cfg;
+  cfg.num_workers = 1;
+  cfg.icache_miss_penalty = 0;
+  cfg.max_cycles = 50'000;
+  arch::Cluster cl(cfg);
+  constexpr int kLen = 40;
+  const arch::Addr data = cl.tcdm_alloc(kLen * 8);
+  arch::Asm a;
+  a.li(5, data);
+  a.li(6, 8);
+  a.li(7, kLen);
+  a.ssr_enable();
+  for (int s = 0; s < 3; ++s) {
+    a.ssr_base(0, 5);
+    a.ssr_stride(0, 0, 6);
+    a.ssr_len(0, 7);
+    a.ssr_commit(0, arch::SsrMode::kAffineRead);
+  }
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  EXPECT_THROW(cl.run(), spikestream::Error);
+}
+
+TEST(CoreEdge, FrepZeroRepsExecutesOnce) {
+  // reps register holds (repetitions - 1): zero means run the body once.
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(5, 1);
+  a.fcvt_d_w(4, 5);
+  a.li(6, 0);
+  a.frep(6, 1);
+  a.fadd(3, 4, 3);
+  a.fpu_fence();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), 1.0);
+  EXPECT_EQ(cl.core(0).perf().fp_ops, 1u);
+}
+
+TEST(CoreEdge, FrepBodyTooLongRejected) {
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(6, 1);
+  a.frep(6, 9);  // body limit is 8
+  for (int i = 0; i < 9; ++i) a.fadd(3, 3, 3);
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  EXPECT_THROW(cl.run(), spikestream::Error);
+}
+
+TEST(CoreEdge, FrepRejectsNonFpBody) {
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(6, 1);
+  a.frep(6, 1);
+  a.addi(5, 5, 1);  // integer op inside an FREP body: illegal
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  EXPECT_THROW(cl.run(), spikestream::Error);
+}
+
+TEST(CoreEdge, TwoAccumulatorFrepDoublesThroughput) {
+  auto run_with_body = [](int accs) {
+    auto cl = make_cl();
+    arch::Asm a;
+    a.li(5, 1);
+    a.fcvt_d_w(4, 5);
+    a.li(6, 199);
+    if (accs == 1) {
+      a.frep(6, 1);
+      a.fadd(3, 4, 3);
+    } else {
+      a.frep(6, 2);
+      a.fadd(3, 4, 3);
+      a.fadd(7, 4, 7);
+    }
+    a.fpu_fence();
+    a.halt();
+    cl.load_program_on(0, a.finish());
+    return cl.run();
+  };
+  const auto one = run_with_body(1);   // 200 ops, II 2 -> ~400
+  const auto two = run_with_body(2);   // 400 ops, alternating -> ~400
+  EXPECT_NEAR(static_cast<double>(two), static_cast<double>(one), 60.0);
+}
+
+TEST(CoreEdge, DivRemLatencyAndResults) {
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(5, 37);
+  a.li(6, 5);
+  a.divu(7, 5, 6);
+  a.remu(8, 5, 6);
+  a.li(9, 0);
+  a.divu(10, 5, 9);  // div by zero: RISC-V semantics, all-ones
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_EQ(cl.core(0).x(7), 7u);
+  EXPECT_EQ(cl.core(0).x(8), 2u);
+  EXPECT_EQ(cl.core(0).x(10), 0xFFFFFFFFu);
+}
+
+TEST(CoreEdge, DividerLatencyStallsDependentUse) {
+  auto time_of = [](bool dependent) {
+    arch::ClusterConfig cfg;
+    cfg.num_workers = 1;
+    cfg.icache_miss_penalty = 0;
+    arch::Cluster cl(cfg);
+    arch::Asm a;
+    a.li(5, 1000);
+    a.li(6, 7);
+    a.divu(7, 5, 6);
+    if (dependent) a.addi(8, 7, 1);  // must wait ~8 cycles
+    else a.addi(8, 6, 1);
+    a.halt();
+    cl.load_program_on(0, a.finish());
+    return cl.run();
+  };
+  EXPECT_GT(time_of(true), time_of(false) + 4);
+}

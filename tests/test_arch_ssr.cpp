@@ -1,0 +1,301 @@
+// Stream semantic register behaviour: affine (1D/2D/4D) and indirect reads,
+// write streams, shadow-register overlap, and streaming throughput.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "arch/cluster.hpp"
+#include "arch/program.hpp"
+#include "common/rng.hpp"
+
+namespace arch = spikestream::arch;
+
+namespace {
+
+arch::Cluster make_cl() {
+  arch::ClusterConfig cfg;
+  cfg.num_workers = 1;
+  cfg.icache_miss_penalty = 0;
+  return arch::Cluster(cfg);
+}
+
+arch::Addr poke(arch::Cluster& cl, const std::vector<double>& v) {
+  const arch::Addr a = cl.tcdm_alloc(static_cast<std::uint32_t>(v.size() * 8));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    cl.mem().store<double>(a + static_cast<arch::Addr>(8 * i), v[i]);
+  }
+  return a;
+}
+
+}  // namespace
+
+TEST(Ssr, Affine1DSum) {
+  auto cl = make_cl();
+  std::vector<double> data(50);
+  std::iota(data.begin(), data.end(), 1.0);  // 1..50
+  const arch::Addr buf = poke(cl, data);
+
+  arch::Asm a;
+  a.li(5, buf);
+  a.li(6, 8);  // stride
+  a.li(7, static_cast<std::int64_t>(data.size()));
+  a.ssr_base(0, 5);
+  a.ssr_stride(0, 0, 6);
+  a.ssr_len(0, 7);
+  a.ssr_commit(0, arch::SsrMode::kAffineRead);
+  a.ssr_enable();
+  a.addi(8, 7, -1);
+  a.frep(8, 1);
+  a.fadd(3, arch::kSsr0, 3);
+  a.fpu_fence();
+  a.ssr_disable();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), 50.0 * 51.0 / 2.0);
+}
+
+TEST(Ssr, Affine2DStridedGather) {
+  // Read column 1 of a 4x4 row-major matrix: bounds {4}, stride 32, base+8.
+  auto cl = make_cl();
+  std::vector<double> m(16);
+  std::iota(m.begin(), m.end(), 0.0);
+  const arch::Addr buf = poke(cl, m);
+
+  arch::Asm a;
+  a.li(5, buf + 8);
+  a.li(6, 32);
+  a.li(7, 4);
+  a.ssr_base(0, 5);
+  a.ssr_stride(0, 0, 6);
+  a.ssr_len(0, 7);
+  a.ssr_commit(0, arch::SsrMode::kAffineRead);
+  a.ssr_enable();
+  a.addi(8, 7, -1);
+  a.frep(8, 1);
+  a.fadd(3, arch::kSsr0, 3);
+  a.fpu_fence();
+  a.ssr_disable();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), 1.0 + 5.0 + 9.0 + 13.0);  // 28
+}
+
+TEST(Ssr, Affine2DNested) {
+  // 2D stream over a 3x4 tile inside a 4x4 matrix: inner dim0 4 elems stride
+  // 8, outer dim1 3 rows stride 32.
+  auto cl = make_cl();
+  std::vector<double> m(16);
+  std::iota(m.begin(), m.end(), 0.0);
+  const arch::Addr buf = poke(cl, m);
+
+  arch::Asm a;
+  a.li(5, buf);
+  a.li(6, 8);
+  a.li(7, 4);
+  a.li(9, 32);
+  a.li(10, 3);
+  a.ssr_base(0, 5);
+  a.ssr_stride(0, 0, 6);
+  a.ssr_bound(0, 0, 7);
+  a.ssr_stride(0, 1, 9);
+  a.ssr_bound(0, 1, 10);
+  a.ssr_commit(0, arch::SsrMode::kAffineRead);
+  a.ssr_enable();
+  a.li(8, 11);  // 12 elements
+  a.frep(8, 1);
+  a.fadd(3, arch::kSsr0, 3);
+  a.fpu_fence();
+  a.ssr_disable();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  // Rows 0..2 fully: sum 0..11 = 66.
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), 66.0);
+}
+
+TEST(Ssr, IndirectGatherSum16BitIndices) {
+  auto cl = make_cl();
+  std::vector<double> w(64);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = 100.0 + static_cast<double>(i);
+  const arch::Addr wbuf = poke(cl, w);
+  const std::vector<std::uint16_t> idx = {3, 3, 17, 0, 63, 5, 5, 5, 42};
+  const arch::Addr ibuf = cl.tcdm_alloc(32);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    cl.mem().store<std::uint16_t>(ibuf + static_cast<arch::Addr>(2 * i), idx[i]);
+  }
+
+  arch::Asm a;
+  a.li(5, ibuf);
+  a.li(6, wbuf);
+  a.li(7, static_cast<std::int64_t>(idx.size()));
+  a.ssr_idx(0, 5, 1);  // 2-byte indices
+  a.ssr_base(0, 6);
+  a.ssr_len(0, 7);
+  a.ssr_commit(0, arch::SsrMode::kIndirectRead);
+  a.ssr_enable();
+  a.addi(8, 7, -1);
+  a.frep(8, 1);
+  a.fadd(3, arch::kSsr0, 3);
+  a.fpu_fence();
+  a.ssr_disable();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  double expect = 0;
+  for (auto i : idx) expect += w[i];
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), expect);
+}
+
+TEST(Ssr, IndirectWith8BitIndices) {
+  auto cl = make_cl();
+  std::vector<double> w(16);
+  std::iota(w.begin(), w.end(), 0.0);
+  const arch::Addr wbuf = poke(cl, w);
+  const std::vector<std::uint8_t> idx = {1, 1, 2, 15, 0, 7};
+  const arch::Addr ibuf = cl.tcdm_alloc(8);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    cl.mem().store<std::uint8_t>(ibuf + static_cast<arch::Addr>(i), idx[i]);
+  }
+
+  arch::Asm a;
+  a.li(5, ibuf);
+  a.li(6, wbuf);
+  a.li(7, static_cast<std::int64_t>(idx.size()));
+  a.ssr_idx(0, 5, 0);  // 1-byte indices
+  a.ssr_base(0, 6);
+  a.ssr_len(0, 7);
+  a.ssr_commit(0, arch::SsrMode::kIndirectRead);
+  a.ssr_enable();
+  a.addi(8, 7, -1);
+  a.frep(8, 1);
+  a.fadd(3, arch::kSsr0, 3);
+  a.fpu_fence();
+  a.ssr_disable();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), 1 + 1 + 2 + 15 + 0 + 7);
+}
+
+TEST(Ssr, WriteStreamStoresResults) {
+  // f2 mapped to an affine write stream: out[i] = a[i] + a[i].
+  auto cl = make_cl();
+  std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  const arch::Addr in = poke(cl, data);
+  const arch::Addr out = cl.tcdm_alloc(64);
+
+  arch::Asm a;
+  a.li(5, in);
+  a.li(6, 8);
+  a.li(7, 8);
+  a.ssr_base(0, 5);
+  a.ssr_stride(0, 0, 6);
+  a.ssr_len(0, 7);
+  a.ssr_commit(0, arch::SsrMode::kAffineRead);
+  a.li(9, out);
+  a.ssr_base(2, 9);
+  a.ssr_stride(2, 0, 6);
+  a.ssr_len(2, 7);
+  a.ssr_commit(2, arch::SsrMode::kAffineWrite);
+  a.li(10, 2);
+  a.fcvt_d_w(4, 10);  // f4 = 2.0
+  a.ssr_enable();
+  a.li(8, 7);
+  a.frep(8, 1);
+  a.fmul(arch::kSsr2, arch::kSsr0, 4);  // out[i] = 2 * a[i]
+  a.fpu_fence();
+  a.ssr_disable();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  cl.run();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cl.mem().load<double>(out + static_cast<arch::Addr>(8 * i)),
+                     2.0 * data[i]);
+  }
+}
+
+TEST(Ssr, Ssr2RejectsIndirect) {
+  auto cl = make_cl();
+  arch::Asm a;
+  a.li(5, arch::kTcdmBase);
+  a.li(7, 4);
+  a.ssr_idx(2, 5, 1);
+  a.ssr_base(2, 5);
+  a.ssr_len(2, 7);
+  a.ssr_commit(2, arch::SsrMode::kIndirectRead);
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  EXPECT_THROW(cl.run(), spikestream::Error);
+}
+
+TEST(Ssr, StreamingThroughputApproachesOneElementPerII) {
+  // Long indirect stream: cycles ~= II * n (II = fadd latency 2), far below
+  // the ~11 cycles/element of the scalar loop.
+  auto cl = make_cl();
+  constexpr int kN = 500;
+  std::vector<double> w(kN, 1.0);
+  const arch::Addr wbuf = poke(cl, w);
+  const arch::Addr ibuf = cl.tcdm_alloc(kN * 2 + 8);
+  for (int i = 0; i < kN; ++i) {
+    cl.mem().store<std::uint16_t>(ibuf + static_cast<arch::Addr>(2 * i),
+                                  static_cast<std::uint16_t>(i));
+  }
+  arch::Asm a;
+  a.li(5, ibuf);
+  a.li(6, wbuf);
+  a.li(7, kN);
+  a.ssr_idx(0, 5, 1);
+  a.ssr_base(0, 6);
+  a.ssr_len(0, 7);
+  a.ssr_commit(0, arch::SsrMode::kIndirectRead);
+  a.ssr_enable();
+  a.addi(8, 7, -1);
+  a.frep(8, 1);
+  a.fadd(3, arch::kSsr0, 3);
+  a.fpu_fence();
+  a.ssr_disable();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  const auto cycles = cl.run();
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), static_cast<double>(kN));
+  EXPECT_NEAR(static_cast<double>(cycles), 2.0 * kN, 0.1 * kN);
+}
+
+TEST(Ssr, ShadowRegistersOverlapBackToBackStreams) {
+  // Two consecutive streams committed back-to-back: the second config lands
+  // in the shadow set while the first is still active; total time is about
+  // the sum of the stream bodies, with the second setup fully hidden.
+  auto cl = make_cl();
+  constexpr int kN = 100;
+  std::vector<double> w(kN, 2.0);
+  const arch::Addr wbuf = poke(cl, w);
+  const arch::Addr ibuf = cl.tcdm_alloc(kN * 2 + 8);
+  for (int i = 0; i < kN; ++i) {
+    cl.mem().store<std::uint16_t>(ibuf + static_cast<arch::Addr>(2 * i),
+                                  static_cast<std::uint16_t>(i));
+  }
+  arch::Asm a;
+  a.li(5, ibuf);
+  a.li(6, wbuf);
+  a.li(7, kN);
+  a.ssr_enable();
+  for (int rep = 0; rep < 2; ++rep) {
+    a.ssr_idx(0, 5, 1);
+    a.ssr_base(0, 6);
+    a.ssr_len(0, 7);
+    a.ssr_commit(0, arch::SsrMode::kIndirectRead);
+    a.addi(8, 7, -1);
+    a.frep(8, 1);
+    a.fadd(3, arch::kSsr0, 3);
+  }
+  a.fpu_fence();
+  a.ssr_disable();
+  a.halt();
+  cl.load_program_on(0, a.finish());
+  const auto cycles = cl.run();
+  EXPECT_DOUBLE_EQ(cl.core(0).f(3), 2.0 * 2.0 * kN);
+  EXPECT_NEAR(static_cast<double>(cycles), 2.0 * 2.0 * kN, 0.15 * 2 * kN);
+}

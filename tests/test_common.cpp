@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace sc = spikestream::common;
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    SPK_CHECK(1 == 2, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const spikestream::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  sc::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  sc::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  sc::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  sc::Rng rng(11);
+  sc::RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.02);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  sc::Rng rng(13);
+  int n = 0;
+  for (int i = 0; i < 100000; ++i) n += rng.bernoulli(0.3);
+  EXPECT_NEAR(n / 100000.0, 0.3, 0.01);
+}
+
+TEST(Stats, WelfordMatchesClosedForm) {
+  sc::RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  sc::Rng rng(17);
+  sc::RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(sc::percentile(xs, 50), 50.5, 1e-9);
+  EXPECT_NEAR(sc::percentile(xs, 0), 1.0, 1e-9);
+  EXPECT_NEAR(sc::percentile(xs, 100), 100.0, 1e-9);
+}
+
+TEST(Table, RendersAligned) {
+  sc::Table t("demo");
+  t.set_header({"layer", "value"});
+  t.add_row({"conv1", sc::Table::num(1.2345, 2)});
+  t.add_row({"a-much-longer-name", sc::Table::pct(0.5)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("50.0%"), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+}
+
+TEST(Table, PmFormat) {
+  EXPECT_EQ(sc::Table::pm(1.5, 0.25, 2), "1.50 +- 0.25");
+}

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "compress/aer.hpp"
+#include "compress/csr_ifmap.hpp"
+
+namespace cp = spikestream::compress;
+namespace snn = spikestream::snn;
+
+namespace {
+
+snn::SpikeMap random_map(int h, int w, int c, double rate, std::uint64_t seed) {
+  spikestream::common::Rng rng(seed);
+  snn::SpikeMap s(h, w, c);
+  for (auto& b : s.v) b = rng.bernoulli(rate) ? 1 : 0;
+  return s;
+}
+
+}  // namespace
+
+TEST(Csr, EncodeKnownPattern) {
+  snn::SpikeMap s(2, 2, 4);
+  s.at(0, 0, 1) = 1;
+  s.at(0, 0, 3) = 1;
+  s.at(1, 1, 0) = 1;
+  const cp::CsrIfmap c = cp::CsrIfmap::encode(s);
+  EXPECT_EQ(c.nnz(), 3u);
+  ASSERT_EQ(c.s_ptr().size(), 5u);
+  EXPECT_EQ(c.s_ptr()[0], 0u);
+  EXPECT_EQ(c.s_ptr()[1], 2u);  // two spikes at (0,0)
+  EXPECT_EQ(c.s_ptr()[2], 2u);  // none at (0,1)
+  EXPECT_EQ(c.s_ptr()[3], 2u);
+  EXPECT_EQ(c.s_ptr()[4], 3u);
+  EXPECT_EQ(c.c_idcs()[0], 1);
+  EXPECT_EQ(c.c_idcs()[1], 3);
+  EXPECT_EQ(c.c_idcs()[2], 0);
+  EXPECT_EQ(c.stream_len(0, 0), 2u);
+  EXPECT_EQ(c.stream_len(1, 0), 0u);
+  auto span = c.at(0, 0);
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0], 1);
+}
+
+TEST(Csr, IndicesAreSortedWithinPosition) {
+  const auto s = random_map(7, 9, 33, 0.4, 99);
+  const cp::CsrIfmap c = cp::CsrIfmap::encode(s);
+  for (int y = 0; y < s.h; ++y) {
+    for (int x = 0; x < s.w; ++x) {
+      auto sp = c.at(y, x);
+      for (std::size_t i = 1; i < sp.size(); ++i) {
+        EXPECT_LT(sp[i - 1], sp[i]);
+      }
+    }
+  }
+}
+
+TEST(Csr, FootprintFormula) {
+  const auto s = random_map(4, 4, 16, 0.25, 3);
+  const cp::CsrIfmap c = cp::CsrIfmap::encode(s);
+  EXPECT_EQ(c.footprint_bytes(2), c.nnz() * 2 + 16 * 2);
+}
+
+TEST(Csr, EmptyAndFullMaps) {
+  snn::SpikeMap empty(3, 3, 8);
+  const cp::CsrIfmap ce = cp::CsrIfmap::encode(empty);
+  EXPECT_EQ(ce.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(ce.density(), 0.0);
+
+  snn::SpikeMap full(3, 3, 8);
+  for (auto& b : full.v) b = 1;
+  const cp::CsrIfmap cf = cp::CsrIfmap::encode(full);
+  EXPECT_EQ(cf.nnz(), full.size());
+  EXPECT_DOUBLE_EQ(cf.density(), 1.0);
+  EXPECT_EQ(cf.stream_len(2, 2), 8u);
+}
+
+// Property: encode/decode round-trips over a sweep of densities.
+class CsrRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(CsrRoundTrip, DecodeInvertsEncode) {
+  const double rate = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto s = random_map(11, 13, 37, rate, seed);
+    const snn::SpikeMap back = cp::CsrIfmap::encode(s).decode();
+    ASSERT_TRUE(back.same_shape(s));
+    EXPECT_EQ(back.v, s.v) << "rate=" << rate << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, CsrRoundTrip,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.3, 0.5, 0.9, 1.0));
+
+TEST(Aer, EncodeDecodeRoundTrip) {
+  const auto s = random_map(9, 5, 21, 0.2, 11);
+  const cp::AerEvents ev = cp::AerEvents::encode(s, 7);
+  EXPECT_EQ(ev.count(), snn::spike_count(s));
+  const snn::SpikeMap back = ev.decode(9, 5, 21, 7);
+  EXPECT_EQ(back.v, s.v);
+  // Wrong timestep decodes to empty.
+  EXPECT_EQ(snn::spike_count(ev.decode(9, 5, 21, 8)), 0u);
+}
+
+TEST(Aer, FootprintPerSpike) {
+  const auto s = random_map(6, 6, 10, 0.3, 4);
+  const cp::AerEvents ev = cp::AerEvents::encode(s);
+  EXPECT_EQ(ev.footprint_bytes(true), ev.count() * 8);
+  EXPECT_EQ(ev.footprint_bytes(false), ev.count() * 4);
+}
+
+// Property: the paper's core claim about the formats — CSR beats AER on conv
+// ifmaps whenever the average spikes-per-position exceeds the pointer
+// overhead ratio; at S-VGG11-like densities the gain is >2x.
+class FootprintRatio : public ::testing::TestWithParam<double> {};
+
+TEST_P(FootprintRatio, CsrSmallerAtRealisticDensity) {
+  const double rate = GetParam();
+  const auto s = random_map(18, 18, 128, rate, 21);
+  const auto csr = cp::CsrIfmap::encode(s).footprint_bytes();
+  const auto aer = cp::AerEvents::encode(s).footprint_bytes(true);
+  if (rate >= 0.05) {
+    EXPECT_GT(static_cast<double>(aer), 2.0 * static_cast<double>(csr))
+        << "rate=" << rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FootprintRatio,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.5));

@@ -1,0 +1,99 @@
+// Direct properties of the cost model functions: monotonicity, asymptotic
+// limits, regime boundaries, and parameter sensitivities. These pin down the
+// analytic behaviour that the layer kernels and benches build on.
+#include <gtest/gtest.h>
+
+#include "kernels/cost_model.hpp"
+
+namespace k = spikestream::kernels;
+
+TEST(CostModel, BaselineLinearInStreamLength) {
+  const k::CostParams p;
+  const double c10 = k::baseline_spva_cycles(p, 10);
+  const double c20 = k::baseline_spva_cycles(p, 20);
+  const double c40 = k::baseline_spva_cycles(p, 40);
+  EXPECT_DOUBLE_EQ(c40 - c20, 2 * (c20 - c10));
+  EXPECT_DOUBLE_EQ(c20 - c10, 10 * p.baseline_elem_cycles);
+  EXPECT_DOUBLE_EQ(k::baseline_spva_cycles(p, 0), p.baseline_spva_overhead);
+}
+
+TEST(CostModel, StreamRegimeBoundary) {
+  const k::CostParams p;
+  // Below the boundary the cost is flat at ss_setup; above, it grows at the
+  // accumulation II.
+  const double boundary = (p.ss_setup - p.ss_residue) / p.fadd_latency;
+  const double below = k::spikestream_spva_cycles(p, boundary * 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(below, p.ss_setup);
+  const double above1 = k::spikestream_spva_cycles(p, boundary * 2.0, 1.0);
+  const double above2 = k::spikestream_spva_cycles(p, boundary * 2.0 + 1, 1.0);
+  EXPECT_DOUBLE_EQ(above2 - above1, p.fadd_latency);
+}
+
+TEST(CostModel, SpeedupApproachesElemRatioForLongStreams) {
+  const k::CostParams p;
+  const double s = 1e6;
+  const double speedup = k::baseline_spva_cycles(p, s) /
+                         k::spikestream_spva_cycles(p, s, 1.0);
+  EXPECT_NEAR(speedup, p.baseline_elem_cycles / p.fadd_latency, 0.01);
+}
+
+TEST(CostModel, StretchIncreasesStreamTimeOnly) {
+  const k::CostParams p;
+  const double s = 100;
+  const double c1 = k::spikestream_spva_cycles(p, s, 1.0);
+  const double c2 = k::spikestream_spva_cycles(p, s, 1.1);
+  EXPECT_NEAR(c2 / c1, 1.1, 0.01);
+  // Setup-bound SpVAs are insensitive to conflicts.
+  EXPECT_DOUBLE_EQ(k::spikestream_spva_cycles(p, 2, 1.0),
+                   k::spikestream_spva_cycles(p, 2, 1.2));
+}
+
+TEST(CostModel, DenseIIReflectsAccumulators) {
+  k::CostParams p;
+  p.fmadd_latency = 3;
+  p.dense_accumulators = 2;
+  EXPECT_DOUBLE_EQ(p.dense_ii(), 1.5);
+  p.dense_accumulators = 1;
+  EXPECT_DOUBLE_EQ(p.dense_ii(), 3.0);
+  p.dense_accumulators = 4;
+  EXPECT_DOUBLE_EQ(p.dense_ii(), 1.0);  // floor at one op per cycle
+}
+
+TEST(CostModel, ConflictStretchProperties) {
+  const k::CostParams p;
+  // Identity at zero load, monotone in both load and cores, bounded for the
+  // paper's operating point (8 cores, 32 banks).
+  EXPECT_DOUBLE_EQ(p.conflict_stretch(0.0, 8), 1.0);
+  double prev = 1.0;
+  for (double rate : {0.1, 0.3, 0.6, 1.0}) {
+    const double s = p.conflict_stretch(rate, 8);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_LT(p.conflict_stretch(0.625, 8), 1.15);
+  EXPECT_GT(p.conflict_stretch(1.0, 32), p.conflict_stretch(1.0, 8));
+}
+
+TEST(CostModel, ActivationScalesWithLanesAndSpikes) {
+  const k::CostParams p;
+  const double a0 = k::activation_cycles(p, 4, 0, false);
+  const double a2 = k::activation_cycles(p, 4, 2, false);
+  EXPECT_DOUBLE_EQ(a2 - a0, 2 * p.act_per_spike);
+  const double a8 = k::activation_cycles(p, 8, 0, false);
+  EXPECT_DOUBLE_EQ(a8 - a0, 4 * p.act_per_lane);
+  EXPECT_GT(k::activation_cycles(p, 8, 0, true), a8);  // FP8 unpack extra
+}
+
+TEST(CostModel, UtilizationCeilings) {
+  const k::CostParams p;
+  const double s = 1e7;
+  // Indirect SpVA: 1 / fadd_latency.
+  EXPECT_NEAR(s / k::spikestream_spva_cycles(p, s, 1.0),
+              1.0 / p.fadd_latency, 1e-3);
+  // Dense dot with 2 accumulators: 1 / 1.5.
+  EXPECT_NEAR(s / k::spikestream_dense_dot_cycles(p, s, 1.0),
+              1.0 / p.dense_ii(), 1e-3);
+  // Baseline: 1 / 11.
+  EXPECT_NEAR(s / k::baseline_spva_cycles(p, s),
+              1.0 / p.baseline_elem_cycles, 1e-3);
+}

@@ -1,0 +1,96 @@
+// Memory system unit tests: address map, bank interleaving, arbitration
+// epochs, conflict statistics, and bounds checking.
+#include <gtest/gtest.h>
+
+#include "arch/mem.hpp"
+
+namespace arch = spikestream::arch;
+
+TEST(Mem, AddressMapPredicates) {
+  arch::Memory m;
+  EXPECT_TRUE(m.is_tcdm(arch::kTcdmBase));
+  EXPECT_TRUE(m.is_tcdm(arch::kTcdmBase + 128 * 1024 - 1));
+  EXPECT_FALSE(m.is_tcdm(arch::kTcdmBase + 128 * 1024));
+  EXPECT_FALSE(m.is_tcdm(arch::kGlobalBase));
+  EXPECT_TRUE(m.is_global(arch::kGlobalBase));
+  EXPECT_FALSE(m.is_global(arch::kTcdmBase));
+}
+
+TEST(Mem, BankInterleavingIs64BitWords) {
+  arch::Memory m;
+  EXPECT_EQ(m.bank_of(arch::kTcdmBase), 0);
+  EXPECT_EQ(m.bank_of(arch::kTcdmBase + 7), 0);   // same word
+  EXPECT_EQ(m.bank_of(arch::kTcdmBase + 8), 1);
+  EXPECT_EQ(m.bank_of(arch::kTcdmBase + 8 * 31), 31);
+  EXPECT_EQ(m.bank_of(arch::kTcdmBase + 8 * 32), 0);  // wraps
+}
+
+TEST(Mem, ArbitrationGrantsOnePerBankPerCycle) {
+  arch::Memory m;
+  m.begin_cycle();
+  EXPECT_TRUE(m.request(arch::kTcdmBase));          // bank 0
+  EXPECT_FALSE(m.request(arch::kTcdmBase + 4));     // bank 0 again: denied
+  EXPECT_TRUE(m.request(arch::kTcdmBase + 8));      // bank 1: fine
+  EXPECT_EQ(m.stats().tcdm_conflicts, 1u);
+  m.begin_cycle();                                  // new cycle: bank 0 free
+  EXPECT_TRUE(m.request(arch::kTcdmBase));
+  EXPECT_EQ(m.stats().tcdm_accesses, 4u);
+}
+
+TEST(Mem, BankFreeQuery) {
+  arch::Memory m;
+  m.begin_cycle();
+  EXPECT_TRUE(m.bank_free(arch::kTcdmBase));
+  m.request(arch::kTcdmBase);
+  EXPECT_FALSE(m.bank_free(arch::kTcdmBase));
+  EXPECT_TRUE(m.bank_free(arch::kTcdmBase + 8));
+}
+
+TEST(Mem, GlobalRequestsAlwaysGranted) {
+  arch::Memory m;
+  m.begin_cycle();
+  EXPECT_TRUE(m.request(arch::kGlobalBase));
+  EXPECT_TRUE(m.request(arch::kGlobalBase));  // no banking on the DMA side
+  EXPECT_EQ(m.stats().tcdm_accesses, 0u);
+}
+
+TEST(Mem, LoadStoreRoundTripAllWidths) {
+  arch::Memory m;
+  const arch::Addr a = arch::kTcdmBase + 64;
+  m.store<std::uint8_t>(a, 0xAB);
+  EXPECT_EQ(m.load<std::uint8_t>(a), 0xAB);
+  m.store<std::uint16_t>(a, 0xBEEF);
+  EXPECT_EQ(m.load<std::uint16_t>(a), 0xBEEF);
+  m.store<std::uint32_t>(a, 0xDEADBEEF);
+  EXPECT_EQ(m.load<std::uint32_t>(a), 0xDEADBEEFu);
+  m.store<double>(a, -2.5);
+  EXPECT_DOUBLE_EQ(m.load<double>(a), -2.5);
+}
+
+TEST(Mem, CopyBetweenSpaces) {
+  arch::Memory m;
+  const arch::Addr g = arch::kGlobalBase + 128;
+  const arch::Addr t = arch::kTcdmBase + 128;
+  m.store<std::uint64_t>(g, 0x0123456789ABCDEFull);
+  m.copy(t, g, 8);
+  EXPECT_EQ(m.load<std::uint64_t>(t), 0x0123456789ABCDEFull);
+}
+
+TEST(Mem, OutOfBoundsThrows) {
+  arch::MemConfig cfg;
+  cfg.tcdm_bytes = 1024;
+  cfg.global_bytes = 4096;
+  arch::Memory m(cfg);
+  EXPECT_THROW(m.load<std::uint32_t>(arch::kTcdmBase + 1022),
+               spikestream::Error);
+  EXPECT_THROW(m.store<double>(arch::kGlobalBase + 4090, 1.0),
+               spikestream::Error);
+  // An address in neither space:
+  EXPECT_THROW(m.load<std::uint32_t>(0x4000'0000), spikestream::Error);
+}
+
+TEST(Mem, NonPowerOfTwoBanksRejected) {
+  arch::MemConfig cfg;
+  cfg.tcdm_banks = 24;
+  EXPECT_THROW(arch::Memory m(cfg), spikestream::Error);
+}

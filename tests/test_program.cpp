@@ -1,0 +1,105 @@
+// Assembler and disassembler: label resolution, error handling, and a
+// disasm round-trip over every opcode (traces and test diagnostics rely on
+// the strings being stable and non-empty).
+#include <gtest/gtest.h>
+
+#include "arch/program.hpp"
+#include "common/check.hpp"
+
+namespace arch = spikestream::arch;
+
+TEST(Asm, ForwardAndBackwardLabels) {
+  arch::Asm a;
+  a.li(5, 0);
+  a.label("back");
+  a.addi(5, 5, 1);
+  a.beq(5, 6, "fwd");   // forward reference
+  a.bne(5, 7, "back");  // backward reference
+  a.label("fwd");
+  a.halt();
+  const arch::Program p = a.finish();
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.code[2].imm, 4);  // "fwd" is instruction index 4
+  EXPECT_EQ(p.code[3].imm, 1);  // "back" is instruction index 1
+}
+
+TEST(Asm, DuplicateLabelThrows) {
+  arch::Asm a;
+  a.label("x");
+  a.nop();
+  EXPECT_THROW(a.label("x"), spikestream::Error);
+}
+
+TEST(Asm, UndefinedLabelThrowsAtFinish) {
+  arch::Asm a;
+  a.j("nowhere");
+  EXPECT_THROW(a.finish(), spikestream::Error);
+}
+
+TEST(Asm, FinishResetsBuilder) {
+  arch::Asm a;
+  a.nop();
+  a.label("l");
+  a.j("l");
+  const arch::Program p1 = a.finish();
+  EXPECT_EQ(p1.size(), 2u);
+  // Builder reusable: same label name legal again.
+  a.label("l");
+  a.halt();
+  const arch::Program p2 = a.finish();
+  EXPECT_EQ(p2.size(), 1u);
+}
+
+TEST(Disasm, EveryOpcodeRendersNonEmpty) {
+  arch::Asm a;
+  a.nop();
+  a.add(1, 2, 3); a.sub(1, 2, 3); a.and_(1, 2, 3); a.or_(1, 2, 3);
+  a.xor_(1, 2, 3); a.sll(1, 2, 3); a.srl(1, 2, 3); a.mul(1, 2, 3);
+  a.divu(1, 2, 3); a.remu(1, 2, 3);
+  a.addi(1, 2, 5); a.slli(1, 2, 3); a.srli(1, 2, 3); a.andi(1, 2, 0xF);
+  a.ori(1, 2, 1); a.li(1, 42);
+  a.lw(1, 2, 0); a.lh(1, 2, 0); a.lhu(1, 2, 0); a.lbu(1, 2, 0);
+  a.sw(1, 2, 0); a.sh(1, 2, 0); a.sb(1, 2, 0);
+  a.amoadd(1, 2, 3);
+  a.label("t");
+  a.bne(1, 2, "t"); a.beq(1, 2, "t"); a.blt(1, 2, "t"); a.bge(1, 2, "t");
+  a.j("t");
+  a.csr_core_id(1); a.csr_num_cores(1); a.csr_cycle(1);
+  a.barrier(); a.fpu_fence();
+  a.fld(3, 2, 0); a.fsd(3, 2, 0);
+  a.fadd(3, 4, 5); a.fsub(3, 4, 5); a.fmul(3, 4, 5); a.fmadd(3, 4, 5);
+  a.fmv_fx(3, 2); a.fmv_xf(2, 3); a.fcvt_d_w(3, 2);
+  a.frep(5, 1);
+  a.ssr_bound(0, 1, 5); a.ssr_stride(0, 1, 5); a.ssr_base(0, 5);
+  a.ssr_idx(0, 5, 1); a.ssr_len(0, 5);
+  a.ssr_commit(0, arch::SsrMode::kIndirectRead);
+  a.ssr_enable(); a.ssr_disable();
+  a.dma_src(5); a.dma_dst(5); a.dma_str(5, 6); a.dma_reps(5);
+  a.dma_start(1, 5); a.dma_wait();
+  a.halt();
+  const arch::Program p = a.finish();
+  for (const auto& instr : p.code) {
+    EXPECT_FALSE(arch::disasm(instr).empty());
+  }
+}
+
+TEST(Disasm, KnownStrings) {
+  arch::Asm a;
+  a.addi(5, 6, -4);
+  a.lw(7, 8, 12);
+  a.fadd(3, 0, 3);
+  a.frep(9, 1);
+  const arch::Program p = a.finish();
+  EXPECT_EQ(arch::disasm(p.code[0]), "addi x5, x6, -4");
+  EXPECT_EQ(arch::disasm(p.code[1]), "lw x7, 12(x8)");
+  EXPECT_EQ(arch::disasm(p.code[2]), "fadd.d f3, f0, f3");
+  EXPECT_EQ(arch::disasm(p.code[3]), "frep body=1 reps=x9");
+}
+
+TEST(IsaPredicates, FpuOpsClassified) {
+  EXPECT_TRUE(arch::is_fpu_op(arch::Op::kFadd));
+  EXPECT_TRUE(arch::is_fpu_op(arch::Op::kFmadd));
+  EXPECT_FALSE(arch::is_fpu_op(arch::Op::kFld));   // LSU, not FPU
+  EXPECT_FALSE(arch::is_fpu_op(arch::Op::kAddi));
+  EXPECT_FALSE(arch::is_fpu_op(arch::Op::kFrep));
+}

@@ -1,0 +1,208 @@
+// LIF dynamics, network construction, and the dense golden reference.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "snn/input_gen.hpp"
+#include "snn/lif.hpp"
+#include "snn/network.hpp"
+#include "snn/reference.hpp"
+
+namespace snn = spikestream::snn;
+namespace sc = spikestream::common;
+
+TEST(Lif, FiresAboveThresholdAndSoftResets) {
+  snn::LifParams p;
+  p.v_th = 1.0f;
+  p.v_rst = 1.0f;
+  p.alpha = 0.5f;
+  snn::Tensor i(1, 1, 3);
+  i.v = {1.5f, 0.4f, 0.0f};
+  snn::Tensor v(1, 1, 3);
+  const snn::SpikeMap out = snn::lif_step(p, i, v);
+  EXPECT_EQ(out.v[0], 1);
+  EXPECT_EQ(out.v[1], 0);
+  EXPECT_EQ(out.v[2], 0);
+  EXPECT_FLOAT_EQ(v.v[0], 0.5f);  // 1.5 - v_rst
+  EXPECT_FLOAT_EQ(v.v[1], 0.4f);
+}
+
+TEST(Lif, LeakAccumulatesOverTimesteps) {
+  snn::LifParams p;
+  p.v_th = 1.0f;
+  p.v_rst = 1.0f;
+  p.alpha = 0.8f;
+  snn::Tensor i(1, 1, 1);
+  i.v = {0.5f};
+  snn::Tensor v(1, 1, 1);
+  // 0.5, 0.9, then 0.8*0.9+0.5 = 1.22 -> fire at t=2.
+  EXPECT_EQ(snn::lif_step(p, i, v).v[0], 0);
+  EXPECT_EQ(snn::lif_step(p, i, v).v[0], 0);
+  EXPECT_EQ(snn::lif_step(p, i, v).v[0], 1);
+  EXPECT_NEAR(v.v[0], 0.22f, 1e-5);
+}
+
+TEST(Lif, EquationMatchesPaperForm) {
+  // v(t) = v(t-1)*alpha + r*i(t) - v_rst*s(t), checked symbolically.
+  snn::LifParams p;
+  p.v_th = 2.0f;
+  p.v_rst = 2.0f;
+  p.alpha = 0.9f;
+  p.r = 1.0f;
+  snn::Tensor i(1, 1, 1);
+  snn::Tensor v(1, 1, 1);
+  v.v[0] = 1.0f;
+  i.v[0] = 1.5f;
+  const auto s = snn::lif_step(p, i, v);
+  // v = 1*0.9 + 1.5 = 2.4 >= 2 -> spike, v = 0.4
+  EXPECT_EQ(s.v[0], 1);
+  EXPECT_NEAR(v.v[0], 0.4f, 1e-6);
+}
+
+TEST(Network, Svgg11ShapesMatchFig3a) {
+  const snn::Network net = snn::Network::make_svgg11();
+  ASSERT_EQ(net.num_layers(), 8u);
+  const int hs[] = {34, 34, 18, 18, 10, 10};
+  const int cs[] = {3, 64, 128, 256, 256, 512};
+  for (int l = 0; l < 6; ++l) {
+    EXPECT_EQ(net.layer(static_cast<std::size_t>(l)).in_h, hs[l]) << l;
+    EXPECT_EQ(net.layer(static_cast<std::size_t>(l)).in_c, cs[l]) << l;
+  }
+  EXPECT_EQ(net.layer(6).in_c, 8192);
+  EXPECT_EQ(net.layer(6).out_c, 1024);
+  EXPECT_EQ(net.layer(7).out_c, 10);
+  // Geometry chains: each conv output (after pool/pad) matches the next
+  // layer's ifmap.
+  for (int l = 0; l < 5; ++l) {
+    const auto& cur = net.layer(static_cast<std::size_t>(l));
+    const auto& next = net.layer(static_cast<std::size_t>(l) + 1);
+    int h = cur.out_h();
+    if (cur.pool_after) h /= 2;
+    EXPECT_EQ(h + 2 * cur.pad_next, next.in_h) << "layer " << l;
+    EXPECT_EQ(cur.out_c, next.in_c) << "layer " << l;
+  }
+}
+
+TEST(Network, WeightInitIsDeterministicAndScaled) {
+  snn::Network a = snn::Network::make_tiny();
+  snn::Network b = snn::Network::make_tiny();
+  sc::Rng r1(5), r2(5);
+  a.init_weights(r1);
+  b.init_weights(r2);
+  EXPECT_EQ(a.weights(0).v, b.weights(0).v);
+  // He scaling: stddev ~ sqrt(2/fan_in).
+  sc::RunningStats st;
+  for (float w : a.weights(1).v) st.add(w);
+  const double expect = std::sqrt(2.0 / static_cast<double>(a.layer(1).fan_in()));
+  EXPECT_NEAR(st.stddev(), expect, 0.2 * expect);
+  EXPECT_NEAR(st.mean(), 0.0, 0.05);
+}
+
+TEST(Network, QuantizeIsIdempotent) {
+  snn::Network net = snn::Network::make_tiny();
+  sc::Rng rng(9);
+  net.init_weights(rng);
+  net.quantize_weights(sc::FpFormat::FP8);
+  const auto once = net.weights(1).v;
+  net.quantize_weights(sc::FpFormat::FP8);
+  EXPECT_EQ(once, net.weights(1).v);
+}
+
+TEST(Reference, ConvCurrentsManualExample) {
+  // 3x3 ifmap, 1 channel, k=3, 1 filter of all ones: current = spike count.
+  snn::LayerWeights w;
+  w.k = 3;
+  w.in_c = 1;
+  w.out_c = 1;
+  w.v.assign(9, 1.0f);
+  snn::SpikeMap in(3, 3, 1);
+  in.at(0, 0, 0) = 1;
+  in.at(1, 1, 0) = 1;
+  in.at(2, 2, 0) = 1;
+  const snn::Tensor out = snn::Reference::conv_currents(in, w);
+  EXPECT_EQ(out.h, 1);
+  EXPECT_EQ(out.w, 1);
+  EXPECT_FLOAT_EQ(out.v[0], 3.0f);
+}
+
+TEST(Reference, SparseConvEqualsDenseConvOnBinaryInput) {
+  sc::Rng rng(21);
+  snn::LayerWeights w;
+  w.k = 3;
+  w.in_c = 8;
+  w.out_c = 6;
+  w.v.resize(9 * 8 * 6);
+  for (auto& x : w.v) x = static_cast<float>(rng.normal());
+  snn::SpikeMap in(7, 7, 8);
+  for (auto& b : in.v) b = rng.bernoulli(0.3) ? 1 : 0;
+  snn::Tensor dense_in(7, 7, 8);
+  for (std::size_t i = 0; i < in.v.size(); ++i) {
+    dense_in.v[i] = static_cast<float>(in.v[i]);
+  }
+  const snn::Tensor a = snn::Reference::conv_currents(in, w);
+  const snn::Tensor b = snn::Reference::conv_currents_dense(dense_in, w);
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.v.size(); ++i) {
+    EXPECT_NEAR(a.v[i], b.v[i], 1e-4f) << i;
+  }
+}
+
+TEST(Reference, FullTinyForwardProducesSaneRates) {
+  snn::Network net = snn::Network::make_tiny(12, 4, 8, 5);
+  sc::Rng rng(33);
+  net.init_weights(rng);
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    net.layer(l).lif.v_th = 0.5f;
+    net.layer(l).lif.v_rst = 0.5f;
+  }
+  snn::Reference ref(net);
+  const snn::Tensor img = snn::make_image(rng, 10, 10, 4);
+  const auto& io = ref.step(img);
+  ASSERT_EQ(io.size(), 3u);
+  for (const auto& layer : io) {
+    const double rate = snn::firing_rate(layer.output);
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+  }
+  // Encode layer consumed the padded image.
+  EXPECT_EQ(io[0].dense_input.h, 12);
+}
+
+TEST(Reference, MembranePersistsAcrossTimesteps) {
+  snn::Network net = snn::Network::make_tiny(8, 2, 4, 3);
+  sc::Rng rng(44);
+  net.init_weights(rng);
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    net.layer(l).lif.v_th = 5.0f;  // high threshold: integrate, rarely fire
+    net.layer(l).lif.v_rst = 5.0f;
+  }
+  snn::Reference ref(net);
+  const snn::Tensor img = snn::make_image(rng, 6, 6, 2);
+  ref.step(img);
+  const float v1 = ref.membrane(0).v[0];
+  ref.step(img);
+  const float v2 = ref.membrane(0).v[0];
+  EXPECT_NE(v1, 0.0f);
+  // Same input, leaky accumulation: |v2| should exceed |v1| when positive.
+  if (v1 > 0) {
+    EXPECT_GT(v2, v1);
+  }
+  ref.reset();
+  EXPECT_EQ(ref.membrane(0).v[0], 0.0f);
+}
+
+TEST(InputGen, ImagesInRangeAndDiverse) {
+  auto batch = snn::make_batch(4, 123, 16, 16, 3);
+  ASSERT_EQ(batch.size(), 4u);
+  for (const auto& img : batch) {
+    for (float v : img.v) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+  // Different images differ.
+  EXPECT_NE(batch[0].v, batch[1].v);
+  // Same seed reproduces.
+  auto again = snn::make_batch(4, 123, 16, 16, 3);
+  EXPECT_EQ(batch[0].v, again[0].v);
+}

@@ -1,0 +1,93 @@
+// SoA accelerator models and the Fig. 5 layer-6 comparison harness.
+#include <gtest/gtest.h>
+
+#include "soa/accel_models.hpp"
+#include "soa/comparison.hpp"
+
+namespace soa = spikestream::soa;
+namespace k = spikestream::kernels;
+namespace sc = spikestream::common;
+
+TEST(Soa, FourAcceleratorsWithPublishedSpecs) {
+  const auto accels = soa::soa_accelerators();
+  ASSERT_EQ(accels.size(), 4u);
+  EXPECT_EQ(accels[0].name, "Loihi");
+  EXPECT_DOUBLE_EQ(accels[0].peak_gsop, 37.5);
+  EXPECT_DOUBLE_EQ(accels[0].tech_nm, 14.0);
+  EXPECT_EQ(accels[1].name, "ODIN");
+  EXPECT_DOUBLE_EQ(accels[1].peak_gsop, 0.038);
+  // Workload-effective energy exceeds ODIN's 12.7 pJ/SOP datasheet value.
+  EXPECT_GE(accels[1].pj_per_sop, 12.7);
+  EXPECT_EQ(accels[2].name, "LSMCore");
+  EXPECT_DOUBLE_EQ(accels[2].peak_gsop, 400.0);
+  EXPECT_EQ(accels[3].name, "NeuroRVcore");
+  EXPECT_DOUBLE_EQ(accels[3].peak_gsop, 128.0);
+}
+
+TEST(Soa, LatencyScalesInverselyWithThroughput) {
+  const auto accels = soa::soa_accelerators();
+  const double sops = 1e10;
+  // LSMCore fastest, ODIN slowest by ~4 orders of magnitude (paper IV-C).
+  double lsm = 0, odin = 0;
+  for (const auto& a : accels) {
+    if (a.name == "LSMCore") lsm = a.latency_ms(sops);
+    if (a.name == "ODIN") odin = a.latency_ms(sops);
+    EXPECT_GT(a.latency_ms(sops), 0.0);
+    EXPECT_DOUBLE_EQ(a.latency_ms(2 * sops), 2 * a.latency_ms(sops));
+  }
+  EXPECT_GT(odin / lsm, 3e3);  // "more than four orders" vs peak; ~4e3 effective
+}
+
+TEST(Soa, OursLayer6RunsAndCountsSops) {
+  spikestream::arch::EnergyParams energy;
+  soa::Layer6Workload wl;
+  const auto r = soa::run_ours_layer6(k::Variant::kSpikeStream,
+                                      sc::FpFormat::FP8, 5, 0.08, energy, &wl);
+  EXPECT_GT(r.latency_ms, 0.0);
+  EXPECT_GT(r.energy_mj, 0.0);
+  EXPECT_GT(wl.sops, 0.0);
+  // SOPs ~ timesteps * nnz * k^2 * out_c: sanity bracket.
+  const double nnz = 8.0 * 8 * 512 * 0.08;
+  const double expect = 5.0 * nnz * 9 * 512;
+  EXPECT_NEAR(wl.sops, expect, 0.3 * expect);
+}
+
+TEST(Soa, ComparisonTableHasSevenRows) {
+  spikestream::arch::EnergyParams energy;
+  const auto rows = soa::layer6_comparison(3, 0.08, energy);
+  ASSERT_EQ(rows.size(), 7u);
+  // Our baseline is the slowest of our three variants (paper Fig. 5a).
+  EXPECT_GT(rows[0].latency_ms, rows[1].latency_ms);
+  EXPECT_GT(rows[1].latency_ms, rows[2].latency_ms);
+}
+
+TEST(Soa, ShapeClaimsAtFiveHundredTimestepsScale) {
+  // Run a scaled-down (50-timestep) version of the Fig. 5 experiment and
+  // check the paper's ordering claims; absolute ratios are asserted loosely
+  // in EXPERIMENTS.md, ordering is asserted here.
+  spikestream::arch::EnergyParams energy;
+  const auto rows = soa::layer6_comparison(50, 0.08, energy);
+  auto find = [&](const std::string& n) {
+    for (const auto& r : rows) {
+      if (r.name.find(n) != std::string::npos) return r;
+    }
+    ADD_FAILURE() << "row " << n << " missing";
+    return rows[0];
+  };
+  const auto base = find("baseline");
+  const auto fp16 = find("spikestream FP16");
+  const auto fp8 = find("spikestream FP8");
+  const auto lsm = find("LSMCore");
+  const auto odin = find("ODIN");
+  const auto loihi = find("Loihi");
+
+  // Orderings from the paper: LSMCore fastest; our FP8 beats Loihi; ODIN
+  // slowest; our baseline slowest of our variants.
+  EXPECT_LT(lsm.latency_ms, fp8.latency_ms);
+  EXPECT_LT(fp8.latency_ms, loihi.latency_ms);
+  EXPECT_GT(odin.latency_ms, loihi.latency_ms * 100);
+  EXPECT_GT(base.latency_ms, fp8.latency_ms * 5);
+  // Energy: ours beats LSMCore, the most efficient SoA chip.
+  EXPECT_LT(fp8.energy_mj, lsm.energy_mj);
+  EXPECT_LT(fp16.energy_mj, lsm.energy_mj);
+}

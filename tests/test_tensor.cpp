@@ -1,0 +1,64 @@
+#include "snn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace snn = spikestream::snn;
+
+TEST(Tensor, IndexingIsHwc) {
+  snn::Tensor t(2, 3, 4);
+  t.at(1, 2, 3) = 42.0f;
+  // HWC: index = (y*w + x)*c + ch
+  EXPECT_FLOAT_EQ(t.v[(1 * 3 + 2) * 4 + 3], 42.0f);
+  EXPECT_EQ(t.size(), 24u);
+}
+
+TEST(Tensor, SpikeCountAndRate) {
+  snn::SpikeMap s(2, 2, 2);
+  s.at(0, 0, 0) = 1;
+  s.at(1, 1, 1) = 1;
+  EXPECT_EQ(snn::spike_count(s), 2u);
+  EXPECT_DOUBLE_EQ(snn::firing_rate(s), 0.25);
+}
+
+TEST(Tensor, PadPlacesInterior) {
+  snn::SpikeMap s(2, 2, 1);
+  s.at(0, 1, 0) = 1;
+  const snn::SpikeMap p = snn::pad(s, 2);
+  EXPECT_EQ(p.h, 6);
+  EXPECT_EQ(p.w, 6);
+  EXPECT_EQ(snn::spike_count(p), 1u);
+  EXPECT_EQ(p.at(2, 3, 0), 1);
+  // Border stays zero.
+  for (int x = 0; x < 6; ++x) {
+    EXPECT_EQ(p.at(0, x, 0), 0);
+    EXPECT_EQ(p.at(5, x, 0), 0);
+  }
+}
+
+TEST(Tensor, OrPoolSemantics) {
+  snn::SpikeMap s(4, 4, 1);
+  s.at(0, 0, 0) = 1;  // window (0,0)
+  s.at(2, 3, 0) = 1;  // window (1,1)
+  s.at(3, 2, 0) = 1;  // window (1,1) too: OR stays 1
+  const snn::SpikeMap p = snn::or_pool2(s);
+  EXPECT_EQ(p.h, 2);
+  EXPECT_EQ(p.at(0, 0, 0), 1);
+  EXPECT_EQ(p.at(0, 1, 0), 0);
+  EXPECT_EQ(p.at(1, 0, 0), 0);
+  EXPECT_EQ(p.at(1, 1, 0), 1);
+}
+
+TEST(Tensor, PoolRateNeverDecreases) {
+  // OR-pooling can only increase the firing *rate* (any window with >=1
+  // spike yields a spike in 1/4 the positions).
+  spikestream::common::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    snn::SpikeMap s(8, 8, 4);
+    const double rate = rng.uniform(0.0, 0.5);
+    for (auto& b : s.v) b = rng.bernoulli(rate) ? 1 : 0;
+    EXPECT_GE(snn::firing_rate(snn::or_pool2(s)) + 1e-12,
+              snn::firing_rate(s));
+  }
+}

@@ -1,0 +1,124 @@
+// SPM tile planning: every S-VGG11 layer must fit the 128 KiB scratchpad,
+// traffic accounting must be consistent, and double buffering must hide DMA
+// behind compute when compute dominates.
+#include <gtest/gtest.h>
+
+#include "kernels/tiling.hpp"
+#include "snn/network.hpp"
+
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+namespace sc = spikestream::common;
+
+namespace {
+
+double csr_bytes_at_rate(const snn::LayerSpec& s, double rate) {
+  const double positions = static_cast<double>(s.in_h) * s.in_w;
+  return positions * s.in_c * rate * 2.0 + positions * 2.0;
+}
+
+}  // namespace
+
+class Svgg11Fits : public ::testing::TestWithParam<sc::FpFormat> {};
+
+TEST_P(Svgg11Fits, EveryLayerFitsSpm) {
+  const snn::Network net = snn::Network::make_svgg11();
+  const k::CostParams p;
+  const double rates[] = {1.0, 0.10, 0.30, 0.22, 0.18, 0.10, 0.06, 0.04};
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const auto& spec = net.layer(l);
+    k::TilePlan plan;
+    if (spec.kind == snn::LayerKind::kEncodeConv) {
+      plan = k::plan_encode_layer(spec, GetParam(), p);
+    } else {
+      plan = k::plan_layer(spec, GetParam(), csr_bytes_at_rate(spec, rates[l]),
+                           4096.0, p);
+    }
+    EXPECT_TRUE(plan.fits_spm) << spec.name;
+    EXPECT_LE(plan.spm_resident_bytes, 128.0 * 1024) << spec.name;
+    EXPECT_GE(plan.co_per_tile, sc::simd_lanes(GetParam())) << spec.name;
+    EXPECT_GT(plan.dma_bytes, 0.0) << spec.name;
+    EXPECT_GT(plan.dma_cycles, 0.0) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, Svgg11Fits,
+                         ::testing::Values(sc::FpFormat::FP16,
+                                           sc::FpFormat::FP8,
+                                           sc::FpFormat::FP32));
+
+TEST(Tiling, WeightTrafficAtLeastWeightBytes) {
+  const snn::Network net = snn::Network::make_svgg11();
+  const k::CostParams p;
+  const auto& conv6 = net.layer(5);
+  const auto plan = k::plan_layer(conv6, sc::FpFormat::FP16,
+                                  csr_bytes_at_rate(conv6, 0.1), 4096.0, p);
+  const double weight_bytes = 9.0 * 512 * 512 * 2;
+  EXPECT_GE(plan.dma_bytes, weight_bytes);
+  // With a compressed (small) ifmap the planner should keep one stripe and
+  // stream the weights exactly once.
+  EXPECT_EQ(plan.if_stripes, 1);
+  EXPECT_NEAR(plan.dma_bytes, weight_bytes + csr_bytes_at_rate(conv6, 0.1) + 4096.0,
+              1.0);
+}
+
+TEST(Tiling, FcLayerSegmentsFanIn) {
+  const snn::Network net = snn::Network::make_svgg11();
+  const k::CostParams p;
+  const auto& fc7 = net.layer(6);
+  const auto plan = k::plan_layer(fc7, sc::FpFormat::FP16, 2000.0, 64.0, p);
+  EXPECT_TRUE(plan.fits_spm);
+  // 8192x1024 FP16 weights cannot fit whole: either co or fan-in tiled.
+  EXPECT_TRUE(plan.weight_tiles > 1 || plan.in_segments > 1);
+  EXPECT_GE(plan.dma_bytes, 8192.0 * 1024 * 2);
+}
+
+TEST(Tiling, FP8HalvesWeightTraffic) {
+  const snn::Network net = snn::Network::make_svgg11();
+  const k::CostParams p;
+  const auto& conv4 = net.layer(3);
+  const double ifb = csr_bytes_at_rate(conv4, 0.2);
+  const auto p16 = k::plan_layer(conv4, sc::FpFormat::FP16, ifb, 1000.0, p);
+  const auto p8 = k::plan_layer(conv4, sc::FpFormat::FP8, ifb, 1000.0, p);
+  EXPECT_NEAR(p8.dma_bytes - ifb - 1000.0,
+              (p16.dma_bytes - ifb - 1000.0) / 2.0,
+              0.05 * p16.dma_bytes);
+}
+
+TEST(Tiling, DoubleBufferHidesDmaWhenComputeBound) {
+  k::TilePlan plan;
+  plan.dma_cycles = 1000;
+  plan.first_fill_cycles = 120;
+  const double compute = 50000;
+  EXPECT_DOUBLE_EQ(k::overlap_cycles(plan, compute, true), 50120.0);
+  EXPECT_DOUBLE_EQ(k::overlap_cycles(plan, compute, false), 51000.0);
+}
+
+TEST(Tiling, DmaBoundLayerGatedByDma) {
+  k::TilePlan plan;
+  plan.dma_cycles = 90000;
+  plan.first_fill_cycles = 500;
+  EXPECT_DOUBLE_EQ(k::overlap_cycles(plan, 20000, true), 90500.0);
+}
+
+TEST(Tiling, EncodePlanExpandsIm2row) {
+  const snn::Network net = snn::Network::make_svgg11();
+  const k::CostParams p;
+  const auto plan = k::plan_encode_layer(net.layer(0), sc::FpFormat::FP16, p);
+  // im2row expands the 34x34x3 input to 32*32 positions x 27 values.
+  EXPECT_GE(plan.dma_bytes, 32.0 * 32 * 27 * 2);
+  EXPECT_TRUE(plan.fits_spm);
+}
+
+TEST(Tiling, SmallerSpmForcesMoreTiles) {
+  const snn::Network net = snn::Network::make_svgg11();
+  const k::CostParams p;
+  const auto& conv4 = net.layer(3);
+  const double ifb = csr_bytes_at_rate(conv4, 0.2);
+  const auto big = k::plan_layer(conv4, sc::FpFormat::FP16, ifb, 1000.0, p,
+                                 128.0 * 1024);
+  const auto small = k::plan_layer(conv4, sc::FpFormat::FP16, ifb, 1000.0, p,
+                                   64.0 * 1024);
+  EXPECT_GE(small.weight_tiles, big.weight_tiles);
+  EXPECT_LE(small.co_per_tile, big.co_per_tile);
+}
