@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "runtime/batch.hpp"
 #include "runtime/engine.hpp"
 #include "snn/calibrate.hpp"
 #include "snn/input_gen.hpp"
@@ -56,16 +57,21 @@ struct BatchRun {
   common::RunningStats total_energy_mj;
 };
 
+/// Runs the batch through a BatchRunner (weights quantized once, samples
+/// executed concurrently on the configured backend) and aggregates the
+/// per-layer metrics in input order, so the statistics are deterministic
+/// whatever the worker count.
 inline BatchRun run_batch(const snn::Network& net,
                           const kernels::RunOptions& opt,
                           const std::vector<snn::Tensor>& images,
-                          const arch::EnergyParams& energy = {}) {
-  runtime::InferenceEngine eng(net, opt, energy);
+                          const arch::EnergyParams& energy = {},
+                          const runtime::BackendConfig& backend = {}) {
+  runtime::BatchRunner runner(net, opt, backend, energy);
+  const std::vector<runtime::InferenceResult> results =
+      runner.run_single_step(images);
   BatchRun agg;
   agg.layers.resize(net.num_layers());
-  for (const auto& img : images) {
-    eng.reset();
-    const runtime::InferenceResult res = eng.run(img);
+  for (const runtime::InferenceResult& res : results) {
     for (std::size_t l = 0; l < res.layers.size(); ++l) {
       const auto& m = res.layers[l];
       LayerAgg& a = agg.layers[l];

@@ -81,12 +81,12 @@ int main() {
     k::RunOptions opt;
     opt.variant = k::Variant::kSpikeStream;
     opt.fmt = fmt;
-    rt::InferenceEngine engine(net, opt);
+    const rt::InferenceEngine engine(net, opt);
     double ms = 0, mj = 0, util = 0;
     std::size_t spikes = 0;
     for (const auto& f : frames) {
-      engine.reset();
-      const auto res = engine.run(f);
+      snn::NetworkState state = engine.make_state();
+      const auto res = engine.run(f, state);
       ms += res.total_runtime_ms();
       mj += res.total_energy_mj;
       for (const auto& m : res.layers) util += m.stats.fpu_utilization();

@@ -82,14 +82,15 @@ int main(int argc, char** argv) {
   k::RunOptions opt;
   opt.variant = k::Variant::kSpikeStream;
   opt.fmt = sc::FpFormat::FP16;
-  rt::InferenceEngine engine(net, opt);
+  const rt::InferenceEngine engine(net, opt);
 
   std::vector<snn::SpikeMap> frames;
   sc::Rng ev_rng(7);
   for (int t = 0; t < timesteps; ++t) {
     frames.push_back(event_frame(t, 34, 2, ev_rng));
   }
-  const rt::MultiStepResult res = rt::run_event_stream(engine, frames);
+  snn::NetworkState state = engine.make_state();
+  const rt::MultiStepResult res = rt::run_event_stream(engine, state, frames);
 
   std::printf("%d event frames through conv-conv-fc (SpikeStream FP16):\n\n",
               timesteps);

@@ -2,7 +2,10 @@
 // synthetic CIFAR-like frames through the calibrated network with the
 // SpikeStream kernels and prints a per-layer execution report.
 //
-//   $ ./svgg11_inference [batch] [fp16|fp8]
+//   $ ./svgg11_inference [batch] [fp16|fp8] [clusters]
+//
+// With clusters > 1 the sharded multi-cluster backend is used: each layer's
+// output-channel tiles are split across that many simulated clusters.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -10,7 +13,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/batch.hpp"
 #include "snn/calibrate.hpp"
 #include "snn/input_gen.hpp"
 
@@ -22,6 +25,7 @@ namespace sc = spikestream::common;
 int main(int argc, char** argv) {
   const int batch = argc > 1 ? std::atoi(argv[1]) : 8;
   const bool fp8 = argc > 2 && std::strcmp(argv[2], "fp8") == 0;
+  const int clusters = argc > 3 ? std::atoi(argv[3]) : 1;
 
   std::printf("building and calibrating S-VGG11 (this runs the dense golden "
               "reference on a calibration batch)...\n");
@@ -34,15 +38,19 @@ int main(int argc, char** argv) {
   k::RunOptions opt;
   opt.variant = k::Variant::kSpikeStream;
   opt.fmt = fp8 ? sc::FpFormat::FP8 : sc::FpFormat::FP16;
-  rt::InferenceEngine engine(net, opt);
+  rt::BackendConfig backend;
+  if (clusters > 1) {
+    backend.kind = rt::BackendKind::kSharded;
+    backend.clusters = clusters;
+  }
+  // Weights are quantized once; samples run concurrently on worker threads.
+  rt::BatchRunner runner(net, opt, backend);
 
   const auto images = snn::make_batch(static_cast<std::size_t>(batch), 77);
   std::vector<sc::RunningStats> ms(net.num_layers()), util(net.num_layers()),
       rate(net.num_layers());
   sc::RunningStats total_ms, total_mj;
-  for (const auto& img : images) {
-    engine.reset();
-    const rt::InferenceResult res = engine.run(img);
+  for (const rt::InferenceResult& res : runner.run_single_step(images)) {
     for (std::size_t l = 0; l < res.layers.size(); ++l) {
       ms[l].add(res.layers[l].runtime_ms());
       util[l].add(res.layers[l].stats.fpu_utilization());

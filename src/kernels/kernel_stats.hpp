@@ -55,6 +55,24 @@ struct KernelStats {
     dma_bytes += o.dma_bytes;
     active_cores = std::max(active_cores, o.active_cores);
   }
+
+  /// Merge stats of a shard that executed *concurrently* on a separate
+  /// cluster: timelines take the max (clusters run in parallel), activity
+  /// counters and core counts sum, per-core breakdowns concatenate.
+  void merge_parallel(const KernelStats& o) {
+    cycles = std::max(cycles, o.cycles);
+    compute_cycles = std::max(compute_cycles, o.compute_cycles);
+    dma_cycles = std::max(dma_cycles, o.dma_cycles);
+    fpu_ops += o.fpu_ops;
+    fpu_mac_ops += o.fpu_mac_ops;
+    int_instrs += o.int_instrs;
+    tcdm_words += o.tcdm_words;
+    ssr_elems += o.ssr_elems;
+    dma_bytes += o.dma_bytes;
+    active_cores += o.active_cores;
+    core_cycles.insert(core_cycles.end(), o.core_cycles.begin(),
+                       o.core_cycles.end());
+  }
 };
 
 }  // namespace spikestream::kernels

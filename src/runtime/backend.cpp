@@ -1,0 +1,33 @@
+#include "runtime/backend.hpp"
+
+#include "common/check.hpp"
+#include "runtime/backend_cycle.hpp"
+#include "runtime/backend_sharded.hpp"
+
+namespace spikestream::runtime {
+
+const char* backend_name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kAnalytical: return "analytical";
+    case BackendKind::kCycleAccurate: return "cycle-accurate";
+    case BackendKind::kSharded: return "sharded";
+  }
+  return "?";
+}
+
+std::unique_ptr<ExecutionBackend> make_backend(const kernels::RunOptions& opt,
+                                               const BackendConfig& cfg) {
+  switch (cfg.kind) {
+    case BackendKind::kAnalytical:
+      return std::make_unique<AnalyticalBackend>(opt);
+    case BackendKind::kCycleAccurate:
+      return std::make_unique<CycleAccurateBackend>(opt, cfg.iss_sample_spvas);
+    case BackendKind::kSharded:
+      return std::make_unique<ShardedBackend>(opt, cfg.clusters,
+                                              cfg.shard_threads);
+  }
+  SPK_CHECK(false, "unknown backend kind");
+  return nullptr;
+}
+
+}  // namespace spikestream::runtime

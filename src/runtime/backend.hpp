@@ -1,0 +1,116 @@
+// Pluggable execution backends: one interface, three performance models.
+//
+//  * AnalyticalBackend    — the layer-granular mechanistic cost model
+//    (kernels/layer_kernels + kernels/cost_model), the path every figure
+//    bench uses. Fast: one network timestep costs microseconds of host time.
+//  * CycleAccurateBackend — the same functional math, but per-layer timing is
+//    re-anchored by running the paper's inner loops on the cycle-level
+//    `arch::Cluster` ISS (what tests/test_model_vs_iss.cpp did ad hoc).
+//  * ShardedBackend       — partitions each layer's SIMD output-channel tiles
+//    across N simulated clusters (std::thread workers) and merges the
+//    per-cluster KernelStats: wall-clock takes the max, activity sums.
+//
+// All backends compute bit-identical spikes (they share one functional pass
+// contract); they differ only in the timing/energy attribution. Backends are
+// immutable after construction and safe to share across threads — per-sample
+// state lives in snn::NetworkState.
+#pragma once
+
+#include <memory>
+
+#include "compress/csr_ifmap.hpp"
+#include "kernels/layer_kernels.hpp"
+#include "snn/network.hpp"
+#include "snn/tensor.hpp"
+
+namespace spikestream::runtime {
+
+enum class BackendKind {
+  kAnalytical,     ///< mechanistic cost model (default, fastest)
+  kCycleAccurate,  ///< ISS-calibrated per-layer timing
+  kSharded,        ///< N-cluster tile partition with thread workers
+};
+
+const char* backend_name(BackendKind k);
+
+struct BackendConfig {
+  BackendKind kind = BackendKind::kAnalytical;
+  /// ShardedBackend: number of simulated clusters a layer is split across.
+  int clusters = 4;
+  /// ShardedBackend: run the per-cluster shards on std::thread workers
+  /// (false = deterministic serial loop, useful for debugging).
+  bool shard_threads = true;
+  /// CycleAccurateBackend: SpVAs per ISS calibration run (larger = tighter
+  /// amortization of the microkernel prologue, slower calibration).
+  int iss_sample_spvas = 32;
+};
+
+class ExecutionBackend {
+ public:
+  explicit ExecutionBackend(const kernels::RunOptions& opt) : opt_(opt) {}
+  virtual ~ExecutionBackend() = default;
+
+  ExecutionBackend(const ExecutionBackend&) = delete;
+  ExecutionBackend& operator=(const ExecutionBackend&) = delete;
+
+  virtual const char* name() const = 0;
+  /// Simulated clusters one layer is spread across (1 except for sharding).
+  virtual int num_clusters() const { return 1; }
+
+  const kernels::RunOptions& options() const { return opt_; }
+
+  // Per-layer execution. `membrane` is the layer's persistent neuron state
+  // (output-shaped) and is updated in place. Implementations must be safe to
+  // call concurrently from multiple threads: BatchRunner shares one backend
+  // across all sample workers.
+  virtual kernels::LayerRun run_encode(const snn::LayerSpec& spec,
+                                       const snn::LayerWeights& weights,
+                                       const snn::Tensor& padded_image,
+                                       snn::Tensor& membrane) const = 0;
+  virtual kernels::LayerRun run_conv(const snn::LayerSpec& spec,
+                                     const snn::LayerWeights& weights,
+                                     const compress::CsrIfmap& ifmap,
+                                     snn::Tensor& membrane) const = 0;
+  virtual kernels::LayerRun run_fc(const snn::LayerSpec& spec,
+                                   const snn::LayerWeights& weights,
+                                   const compress::CsrIfmap& ifmap,
+                                   snn::Tensor& membrane) const = 0;
+
+ protected:
+  kernels::RunOptions opt_;
+};
+
+/// The seed's hard-wired analytical path, now one backend among several.
+class AnalyticalBackend : public ExecutionBackend {
+ public:
+  explicit AnalyticalBackend(const kernels::RunOptions& opt)
+      : ExecutionBackend(opt) {}
+
+  const char* name() const override { return "analytical"; }
+
+  kernels::LayerRun run_encode(const snn::LayerSpec& spec,
+                               const snn::LayerWeights& weights,
+                               const snn::Tensor& padded_image,
+                               snn::Tensor& membrane) const override {
+    return kernels::run_encode_layer(spec, weights, padded_image, membrane,
+                                     opt_);
+  }
+  kernels::LayerRun run_conv(const snn::LayerSpec& spec,
+                             const snn::LayerWeights& weights,
+                             const compress::CsrIfmap& ifmap,
+                             snn::Tensor& membrane) const override {
+    return kernels::run_conv_layer(spec, weights, ifmap, membrane, opt_);
+  }
+  kernels::LayerRun run_fc(const snn::LayerSpec& spec,
+                           const snn::LayerWeights& weights,
+                           const compress::CsrIfmap& ifmap,
+                           snn::Tensor& membrane) const override {
+    return kernels::run_fc_layer(spec, weights, ifmap, membrane, opt_);
+  }
+};
+
+/// Instantiate a backend from a config.
+std::unique_ptr<ExecutionBackend> make_backend(const kernels::RunOptions& opt,
+                                               const BackendConfig& cfg = {});
+
+}  // namespace spikestream::runtime

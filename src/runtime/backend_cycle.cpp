@@ -1,0 +1,172 @@
+#include "runtime/backend_cycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "arch/cluster.hpp"
+#include "common/rng.hpp"
+#include "kernels/cost_model.hpp"
+#include "kernels/iss_kernels.hpp"
+#include "kernels/tiling.hpp"
+
+namespace spikestream::runtime {
+
+namespace {
+
+constexpr int kWeightUniverse = 512;
+constexpr double kRatioLo = 0.5;  ///< sanity clamp: model and ISS are
+constexpr double kRatioHi = 2.0;  ///< cross-validated within ~15%
+
+arch::Cluster calibration_cluster() {
+  arch::ClusterConfig cfg;
+  // Cold-I$ effects are charged separately (icache_layer_warmup), so the
+  // calibration loops run with a warm cache, exactly like the model-vs-ISS
+  // cross-validation tests.
+  cfg.icache_miss_penalty = 0;
+  return arch::Cluster(cfg);
+}
+
+std::vector<std::uint16_t> rand_idcs(int n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::uint16_t> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    v.push_back(static_cast<std::uint16_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(kWeightUniverse))));
+  }
+  return v;
+}
+
+long bucket_of(double len) {
+  return std::clamp(static_cast<long>(std::lround(len)), 1L, 256L);
+}
+
+}  // namespace
+
+CycleAccurateBackend::CycleAccurateBackend(const kernels::RunOptions& opt,
+                                           int sample_spvas)
+    : AnalyticalBackend(opt), sample_spvas_(std::max(4, sample_spvas)) {}
+
+double CycleAccurateBackend::sparse_ratio(double len) const {
+  const long b = bucket_of(len);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sparse_cache_.find(b);
+  if (it != sparse_cache_.end()) return it->second;
+
+  const kernels::CostParams& p = opt_.cost;
+  auto cl = calibration_cluster();
+  std::vector<double> w(kWeightUniverse, 1.0);
+  double measured = 0, modeled = 0;
+  if (opt_.variant == kernels::Variant::kBaseline) {
+    // One long baseline SpVA amortizes the microkernel prologue so the ratio
+    // tracks the per-element slope (Listing 1b).
+    const int n = static_cast<int>(
+        std::min<long>(b * sample_spvas_, 4096L));
+    const auto r = kernels::iss_baseline_spva(cl, w, rand_idcs(n, 11u + b));
+    measured = static_cast<double>(r.cycles);
+    modeled = kernels::baseline_spva_cycles(p, n);
+  } else {
+    // Back-to-back streamed SpVAs exercising the SSR shadow-register overlap
+    // (Listing 1c), matching how the conv kernel issues them.
+    std::vector<std::vector<std::uint16_t>> streams;
+    streams.reserve(static_cast<std::size_t>(sample_spvas_));
+    for (int j = 0; j < sample_spvas_; ++j) {
+      streams.push_back(rand_idcs(static_cast<int>(b),
+                                  100u + static_cast<std::uint64_t>(j)));
+    }
+    const auto r = kernels::iss_spikestream_spva_sequence(cl, w, streams);
+    measured = static_cast<double>(r.cycles);
+    modeled = kernels::spikestream_spva_cycles(p, static_cast<double>(b), 1.0) *
+              sample_spvas_;
+  }
+  const double ratio =
+      std::clamp(modeled > 0 ? measured / modeled : 1.0, kRatioLo, kRatioHi);
+  sparse_cache_.emplace(b, ratio);
+  return ratio;
+}
+
+double CycleAccurateBackend::dense_ratio(double len) const {
+  // Round to even: the 2-accumulator ISS dot requires an even length.
+  long b = std::clamp(static_cast<long>(std::lround(len)), 8L, 4096L);
+  b += b & 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dense_cache_.find(b);
+  if (it != dense_cache_.end()) return it->second;
+
+  const kernels::CostParams& p = opt_.cost;
+  auto cl = calibration_cluster();
+  std::vector<double> a(static_cast<std::size_t>(b), 1.0);
+  std::vector<double> w(static_cast<std::size_t>(b), 0.5);
+  const auto r = kernels::iss_dense_dot(cl, a, w, p.dense_accumulators);
+  const double modeled =
+      kernels::spikestream_dense_dot_cycles(p, static_cast<double>(b), 1.0);
+  const double ratio = std::clamp(
+      modeled > 0 ? static_cast<double>(r.cycles) / modeled : 1.0, kRatioLo,
+      kRatioHi);
+  dense_cache_.emplace(b, ratio);
+  return ratio;
+}
+
+void CycleAccurateBackend::retime(kernels::LayerRun& run, double ratio) const {
+  const kernels::CostParams& p = opt_.cost;
+  kernels::KernelStats& st = run.stats;
+  const double warmup = p.icache_layer_warmup;
+  st.compute_cycles =
+      warmup + std::max(0.0, st.compute_cycles - warmup) * ratio;
+  for (double& c : st.core_cycles) c *= ratio;
+  st.cycles =
+      kernels::overlap_cycles(run.plan, st.compute_cycles, opt_.double_buffer);
+}
+
+kernels::LayerRun CycleAccurateBackend::run_conv(
+    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+    const compress::CsrIfmap& ifmap, snn::Tensor& membrane) const {
+  kernels::LayerRun run =
+      AnalyticalBackend::run_conv(spec, weights, ifmap, membrane);
+  if (opt_.variant == kernels::Variant::kDenseNoTc) return run;  // uncalibrated
+  // Representative SpVA length: mean over every stream the kernel walks
+  // (each of the k*k windows of every output position).
+  double elems = 0;
+  const int oh = spec.out_h(), ow = spec.out_w();
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      for (int kh = 0; kh < spec.k; ++kh) {
+        for (int kw = 0; kw < spec.k; ++kw) {
+          elems += ifmap.stream_len(oy + kh, ox + kw);
+        }
+      }
+    }
+  }
+  const double n_streams =
+      static_cast<double>(oh) * ow * spec.k * spec.k;
+  retime(run, sparse_ratio(n_streams > 0 ? elems / n_streams : 1.0));
+  return run;
+}
+
+kernels::LayerRun CycleAccurateBackend::run_fc(const snn::LayerSpec& spec,
+                                               const snn::LayerWeights& weights,
+                                               const compress::CsrIfmap& ifmap,
+                                               snn::Tensor& membrane) const {
+  kernels::LayerRun run =
+      AnalyticalBackend::run_fc(spec, weights, ifmap, membrane);
+  if (opt_.variant == kernels::Variant::kDenseNoTc) return run;
+  const double segs = std::max(1, run.plan.in_segments);
+  const double s_seg = static_cast<double>(ifmap.nnz()) / segs;
+  retime(run, sparse_ratio(s_seg));
+  return run;
+}
+
+kernels::LayerRun CycleAccurateBackend::run_encode(
+    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+    const snn::Tensor& padded_image, snn::Tensor& membrane) const {
+  kernels::LayerRun run =
+      AnalyticalBackend::run_encode(spec, weights, padded_image, membrane);
+  if (opt_.variant == kernels::Variant::kBaseline) return run;  // no ISS twin
+  const double dot_len =
+      static_cast<double>(spec.k) * spec.k * spec.in_c;
+  retime(run, dense_ratio(dot_len));
+  return run;
+}
+
+}  // namespace spikestream::runtime

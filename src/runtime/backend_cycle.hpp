@@ -1,0 +1,58 @@
+// ISS-calibrated backend: functional results come from the analytical path
+// (so spikes stay bit-identical across backends), but each layer's compute
+// time is re-anchored against the cycle-level `arch::Cluster` simulator.
+//
+// Per layer we derive the mean SpVA stream length (conv/FC) or the dense dot
+// length (encode), replay a representative sequence of the paper's inner
+// loops on a fresh single-core cluster (kernels/iss_kernels), and scale the
+// analytical compute-critical-path by measured/modeled. This promotes the
+// model-vs-ISS cross-validation of tests/test_model_vs_iss.cpp from a test
+// into an execution mode; calibration runs are cached by (loop kind, bucketed
+// length) so a full network costs only a handful of ISS invocations.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "runtime/backend.hpp"
+
+namespace spikestream::runtime {
+
+class CycleAccurateBackend : public AnalyticalBackend {
+ public:
+  explicit CycleAccurateBackend(const kernels::RunOptions& opt,
+                                int sample_spvas = 32);
+
+  const char* name() const override { return "cycle-accurate"; }
+
+  kernels::LayerRun run_encode(const snn::LayerSpec& spec,
+                               const snn::LayerWeights& weights,
+                               const snn::Tensor& padded_image,
+                               snn::Tensor& membrane) const override;
+  kernels::LayerRun run_conv(const snn::LayerSpec& spec,
+                             const snn::LayerWeights& weights,
+                             const compress::CsrIfmap& ifmap,
+                             snn::Tensor& membrane) const override;
+  kernels::LayerRun run_fc(const snn::LayerSpec& spec,
+                           const snn::LayerWeights& weights,
+                           const compress::CsrIfmap& ifmap,
+                           snn::Tensor& membrane) const override;
+
+  /// Measured/modeled cycle ratio for sparse SpVAs of mean length `len`
+  /// (exposed for tests; cached, thread-safe).
+  double sparse_ratio(double len) const;
+  /// Same for the dense encode dot product of length `len`.
+  double dense_ratio(double len) const;
+
+ private:
+  /// Rescale the compute critical path of `run` by `ratio`, keeping the
+  /// DMA timeline and re-deriving the overlapped wall-clock cycles.
+  void retime(kernels::LayerRun& run, double ratio) const;
+
+  int sample_spvas_;
+  mutable std::mutex mu_;
+  mutable std::map<long, double> sparse_cache_;
+  mutable std::map<long, double> dense_cache_;
+};
+
+}  // namespace spikestream::runtime

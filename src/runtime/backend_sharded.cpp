@@ -1,0 +1,207 @@
+#include "runtime/backend_sharded.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/float_formats.hpp"
+
+namespace spikestream::runtime {
+
+namespace {
+
+/// Copy channels [lo, hi) of an HWC tensor into a compact tensor.
+template <typename T>
+snn::Hwc<T> slice_channels(const snn::Hwc<T>& t, int lo, int hi) {
+  snn::Hwc<T> out(t.h, t.w, hi - lo);
+  for (int y = 0; y < t.h; ++y) {
+    for (int x = 0; x < t.w; ++x) {
+      for (int c = lo; c < hi; ++c) out.at(y, x, c - lo) = t.at(y, x, c);
+    }
+  }
+  return out;
+}
+
+/// Scatter a compact channel slice back into channels [lo, ...) of `full`.
+template <typename T>
+void unslice_channels(snn::Hwc<T>& full, const snn::Hwc<T>& part, int lo) {
+  for (int y = 0; y < part.h; ++y) {
+    for (int x = 0; x < part.w; ++x) {
+      for (int c = 0; c < part.c; ++c) full.at(y, x, lo + c) = part.at(y, x, c);
+    }
+  }
+}
+
+}  // namespace
+
+ShardedBackend::ShardedBackend(const kernels::RunOptions& opt, int clusters,
+                               bool use_threads)
+    : ExecutionBackend(opt),
+      clusters_(std::max(1, clusters)),
+      threads_(use_threads) {}
+
+std::vector<std::pair<int, int>> ShardedBackend::slices(int out_c) const {
+  const int simd = common::simd_lanes(opt_.fmt);
+  const int groups = (out_c + simd - 1) / simd;
+  const int active = std::min(clusters_, groups);
+  std::vector<std::pair<int, int>> sl;
+  sl.reserve(static_cast<std::size_t>(active));
+  for (int s = 0; s < active; ++s) {
+    const int g_lo = s * groups / active;
+    const int g_hi = (s + 1) * groups / active;
+    const int lo = g_lo * simd;
+    const int hi = std::min(g_hi * simd, out_c);
+    if (hi > lo) sl.emplace_back(lo, hi);
+  }
+  return sl;
+}
+
+const snn::LayerWeights& ShardedBackend::shard_weights(
+    const snn::LayerWeights& w, int lo, int hi) const {
+  const WeightKey key{w.v.data(), w.v.size(), w.k, w.in_c, lo, hi};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = weight_cache_.find(key);
+  if (it != weight_cache_.end()) {
+    // Validate the hit: if the allocator reused this address for another
+    // network's weights, the boundary elements will not match and the entry
+    // is rebuilt below instead of served stale.
+    const snn::LayerWeights& c = it->second;
+    if (!c.v.empty() && c.v.front() == w.v[w.index(0, 0, 0, lo)] &&
+        c.v.back() == w.v[w.index(w.k - 1, w.k - 1, w.in_c - 1, hi - 1)]) {
+      return c;
+    }
+  }
+
+  snn::LayerWeights sub;
+  sub.k = w.k;
+  sub.in_c = w.in_c;
+  sub.out_c = hi - lo;
+  sub.v.reserve(w.v.size() / static_cast<std::size_t>(w.out_c) *
+                static_cast<std::size_t>(sub.out_c));
+  // Output channels are innermost, so each (kh, kw, ci) row contributes one
+  // contiguous run of `hi - lo` values.
+  for (int kh = 0; kh < w.k; ++kh) {
+    for (int kw = 0; kw < w.k; ++kw) {
+      for (int ci = 0; ci < w.in_c; ++ci) {
+        const std::size_t base = w.index(kh, kw, ci, lo);
+        sub.v.insert(sub.v.end(), w.v.begin() + static_cast<std::ptrdiff_t>(base),
+                     w.v.begin() + static_cast<std::ptrdiff_t>(base + sub.out_c));
+      }
+    }
+  }
+  // std::map nodes are stable: the reference outlives the lock.
+  return weight_cache_.insert_or_assign(key, std::move(sub)).first->second;
+}
+
+void ShardedBackend::for_shards(
+    const std::vector<std::pair<int, int>>& sl,
+    const std::function<void(std::size_t, int, int)>& fn) const {
+  if (!threads_ || sl.size() <= 1) {
+    for (std::size_t s = 0; s < sl.size(); ++s) {
+      fn(s, sl[s].first, sl[s].second);
+    }
+    return;
+  }
+  std::vector<std::exception_ptr> errors(sl.size());
+  std::vector<std::thread> workers;
+  workers.reserve(sl.size());
+  for (std::size_t s = 0; s < sl.size(); ++s) {
+    workers.emplace_back([&, s] {
+      try {
+        fn(s, sl[s].first, sl[s].second);
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+namespace {
+
+/// Assemble the merged LayerRun from per-shard runs: spike slices and
+/// membrane slices scatter back into the full tensors; stats merge with the
+/// parallel-cluster semantics; the plan of the slowest shard is kept as the
+/// representative DMA timeline.
+kernels::LayerRun merge_runs(const snn::LayerSpec& spec,
+                             std::vector<kernels::LayerRun>& runs,
+                             const std::vector<std::pair<int, int>>& sl,
+                             std::vector<snn::Tensor>& shard_membranes,
+                             snn::Tensor& membrane) {
+  kernels::LayerRun merged;
+  merged.out_spikes = snn::SpikeMap(spec.out_h(), spec.out_w(), spec.out_c);
+  std::size_t slowest = 0;
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    unslice_channels(merged.out_spikes, runs[s].out_spikes, sl[s].first);
+    unslice_channels(membrane, shard_membranes[s], sl[s].first);
+    if (s == 0) {
+      merged.stats = runs[s].stats;
+    } else {
+      merged.stats.merge_parallel(runs[s].stats);
+    }
+    if (runs[s].stats.cycles > runs[slowest].stats.cycles) slowest = s;
+  }
+  merged.plan = runs[slowest].plan;
+  return merged;
+}
+
+}  // namespace
+
+kernels::LayerRun ShardedBackend::run_sharded(
+    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+    snn::Tensor& membrane,
+    const std::function<kernels::LayerRun(const snn::LayerSpec&,
+                                          const snn::LayerWeights&,
+                                          snn::Tensor&)>& kernel) const {
+  const auto sl = slices(spec.out_c);
+  SPK_CHECK(!sl.empty(), "sharded " << spec.name << ": no output channels");
+  std::vector<kernels::LayerRun> runs(sl.size());
+  std::vector<snn::Tensor> membranes(sl.size());
+  for_shards(sl, [&](std::size_t s, int lo, int hi) {
+    snn::LayerSpec sub = spec;
+    sub.out_c = hi - lo;
+    membranes[s] = slice_channels(membrane, lo, hi);
+    runs[s] = kernel(sub, shard_weights(weights, lo, hi), membranes[s]);
+  });
+  return merge_runs(spec, runs, sl, membranes, membrane);
+}
+
+kernels::LayerRun ShardedBackend::run_conv(const snn::LayerSpec& spec,
+                                           const snn::LayerWeights& weights,
+                                           const compress::CsrIfmap& ifmap,
+                                           snn::Tensor& membrane) const {
+  return run_sharded(spec, weights, membrane,
+                     [&](const snn::LayerSpec& sub,
+                         const snn::LayerWeights& w, snn::Tensor& m) {
+                       return kernels::run_conv_layer(sub, w, ifmap, m, opt_);
+                     });
+}
+
+kernels::LayerRun ShardedBackend::run_fc(const snn::LayerSpec& spec,
+                                         const snn::LayerWeights& weights,
+                                         const compress::CsrIfmap& ifmap,
+                                         snn::Tensor& membrane) const {
+  return run_sharded(spec, weights, membrane,
+                     [&](const snn::LayerSpec& sub,
+                         const snn::LayerWeights& w, snn::Tensor& m) {
+                       return kernels::run_fc_layer(sub, w, ifmap, m, opt_);
+                     });
+}
+
+kernels::LayerRun ShardedBackend::run_encode(const snn::LayerSpec& spec,
+                                             const snn::LayerWeights& weights,
+                                             const snn::Tensor& padded_image,
+                                             snn::Tensor& membrane) const {
+  return run_sharded(spec, weights, membrane,
+                     [&](const snn::LayerSpec& sub,
+                         const snn::LayerWeights& w, snn::Tensor& m) {
+                       return kernels::run_encode_layer(sub, w, padded_image,
+                                                        m, opt_);
+                     });
+}
+
+}  // namespace spikestream::runtime

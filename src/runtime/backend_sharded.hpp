@@ -1,0 +1,85 @@
+// Multi-cluster sharded backend: each layer's SIMD output-channel tiles are
+// partitioned across N simulated clusters and executed by std::thread
+// workers, one analytical-model cluster per shard.
+//
+// The partition is along output channels, aligned to SIMD group boundaries
+// (kernels/tiling picks weight tiles the same way), so every cluster computes
+// a disjoint ofmap slice from the full input ifmap: no inter-cluster
+// reduction is needed, the merged spike map is the concatenation of the
+// slices and is bit-identical to a single-cluster run. Per-cluster
+// KernelStats merge with wall-clock = max (clusters run in parallel) and
+// activity = sum; the input ifmap is charged to every cluster's DMA traffic
+// (it is broadcast).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "runtime/backend.hpp"
+
+namespace spikestream::runtime {
+
+class ShardedBackend : public ExecutionBackend {
+ public:
+  ShardedBackend(const kernels::RunOptions& opt, int clusters,
+                 bool use_threads = true);
+
+  const char* name() const override { return "sharded"; }
+  int num_clusters() const override { return clusters_; }
+
+  kernels::LayerRun run_encode(const snn::LayerSpec& spec,
+                               const snn::LayerWeights& weights,
+                               const snn::Tensor& padded_image,
+                               snn::Tensor& membrane) const override;
+  kernels::LayerRun run_conv(const snn::LayerSpec& spec,
+                             const snn::LayerWeights& weights,
+                             const compress::CsrIfmap& ifmap,
+                             snn::Tensor& membrane) const override;
+  kernels::LayerRun run_fc(const snn::LayerSpec& spec,
+                           const snn::LayerWeights& weights,
+                           const compress::CsrIfmap& ifmap,
+                           snn::Tensor& membrane) const override;
+
+  /// Output-channel ranges per cluster for a layer with `out_c` channels,
+  /// aligned to SIMD groups of the configured format. Fewer groups than
+  /// clusters leaves trailing clusters idle. Exposed for tests.
+  std::vector<std::pair<int, int>> slices(int out_c) const;
+
+ private:
+  /// One entry per (weight tensor, channel range): the strided copy of the
+  /// weight slice a cluster owns. Cached because weights are immutable for
+  /// the lifetime of the engine that drives this backend. Hits are validated
+  /// against the source (boundary elements), so an allocator reusing a freed
+  /// weight vector's address for a different network cannot serve a stale
+  /// slice — the entry is recomputed in place instead.
+  const snn::LayerWeights& shard_weights(const snn::LayerWeights& w, int lo,
+                                         int hi) const;
+
+  /// Run `fn(shard_index, lo, hi)` for every slice, threaded or serial.
+  void for_shards(const std::vector<std::pair<int, int>>& sl,
+                  const std::function<void(std::size_t, int, int)>& fn) const;
+
+  /// Shared shard driver: slice the layer, run `kernel` per shard (sub-spec,
+  /// weight slice, membrane slice), merge spikes/membranes/stats back.
+  kernels::LayerRun run_sharded(
+      const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+      snn::Tensor& membrane,
+      const std::function<kernels::LayerRun(const snn::LayerSpec&,
+                                            const snn::LayerWeights&,
+                                            snn::Tensor&)>& kernel) const;
+
+  /// Cache key: source identity plus shape, so only an allocation reused at
+  /// the same address *and* shape can collide (then caught by validation).
+  using WeightKey = std::tuple<const float*, std::size_t, int, int, int, int>;
+
+  int clusters_;
+  bool threads_;
+  mutable std::mutex mu_;
+  mutable std::map<WeightKey, snn::LayerWeights> weight_cache_;
+};
+
+}  // namespace spikestream::runtime

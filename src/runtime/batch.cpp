@@ -1,0 +1,92 @@
+#include "runtime/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <thread>
+
+namespace spikestream::runtime {
+
+namespace {
+
+/// Default worker count: fill the machine, but when the backend itself
+/// spawns one thread per simulated cluster, divide by that fan-out so
+/// samples x shards does not oversubscribe the host.
+int default_workers(const BackendConfig& backend) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (backend.kind == BackendKind::kSharded && backend.shard_threads) {
+    return std::max(1, static_cast<int>(hw) / std::max(1, backend.clusters));
+  }
+  return static_cast<int>(hw);
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(const snn::Network& net,
+                         const kernels::RunOptions& opt,
+                         const BackendConfig& backend,
+                         const arch::EnergyParams& energy, int workers)
+    : engine_(net, opt, backend, energy),
+      workers_(workers > 0 ? workers : default_workers(backend)) {}
+
+void BatchRunner::for_samples(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  const std::size_t w =
+      std::min<std::size_t>(static_cast<std::size_t>(workers_), n);
+  if (w <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(w);
+  std::vector<std::thread> pool;
+  pool.reserve(w);
+  for (std::size_t t = 0; t < w; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          fn(i);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::vector<MultiStepResult> BatchRunner::run(
+    const std::vector<snn::Tensor>& images, int timesteps) const {
+  std::vector<MultiStepResult> results(images.size());
+  for_samples(images.size(), [&](std::size_t i) {
+    snn::NetworkState state = engine_.make_state();
+    results[i] = run_timesteps(engine_, state, images[i], timesteps);
+  });
+  return results;
+}
+
+std::vector<MultiStepResult> BatchRunner::run_events(
+    const std::vector<std::vector<snn::SpikeMap>>& streams) const {
+  std::vector<MultiStepResult> results(streams.size());
+  for_samples(streams.size(), [&](std::size_t i) {
+    snn::NetworkState state = engine_.make_state();
+    results[i] = run_event_stream(engine_, state, streams[i]);
+  });
+  return results;
+}
+
+std::vector<InferenceResult> BatchRunner::run_single_step(
+    const std::vector<snn::Tensor>& images) const {
+  std::vector<InferenceResult> results(images.size());
+  for_samples(images.size(), [&](std::size_t i) {
+    snn::NetworkState state = engine_.make_state();
+    results[i] = engine_.run(images[i], state);
+  });
+  return results;
+}
+
+}  // namespace spikestream::runtime

@@ -1,0 +1,50 @@
+// Batch inference runner: amortizes network copy + weight quantization across
+// a batch of samples (both happen exactly once, at construction) and runs the
+// samples concurrently on a shared immutable engine — each worker thread owns
+// one snn::NetworkState per sample, so per-sample membrane dynamics stay
+// fully independent and the outputs are bit-identical to a serial run,
+// whatever the worker count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "runtime/multistep.hpp"
+
+namespace spikestream::runtime {
+
+class BatchRunner {
+ public:
+  /// `workers` = 0 picks std::thread::hardware_concurrency().
+  BatchRunner(const snn::Network& net, const kernels::RunOptions& opt,
+              const BackendConfig& backend = {},
+              const arch::EnergyParams& energy = {}, int workers = 0);
+
+  /// `timesteps` LIF steps per image (constant-current coding). Results are
+  /// in input order and independent of the worker count.
+  std::vector<MultiStepResult> run(const std::vector<snn::Tensor>& images,
+                                   int timesteps = 1) const;
+
+  /// Event-driven variant: one pre-padded frame sequence per sample.
+  std::vector<MultiStepResult> run_events(
+      const std::vector<std::vector<snn::SpikeMap>>& streams) const;
+
+  /// Single-timestep variant keeping the full per-layer metrics per sample.
+  std::vector<InferenceResult> run_single_step(
+      const std::vector<snn::Tensor>& images) const;
+
+  const InferenceEngine& engine() const { return engine_; }
+  int workers() const { return workers_; }
+
+ private:
+  /// Claim samples [0, n) from an atomic counter across `workers_` threads.
+  void for_samples(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) const;
+
+  InferenceEngine engine_;
+  int workers_;
+};
+
+}  // namespace spikestream::runtime

@@ -10,33 +10,52 @@ namespace spikestream::runtime {
 InferenceEngine::InferenceEngine(const snn::Network& net,
                                  const kernels::RunOptions& opt,
                                  const arch::EnergyParams& energy)
-    : net_(net), opt_(opt), energy_(energy) {
-  net_.quantize_weights(opt_.fmt);
-  reset();
+    : InferenceEngine(net, opt, BackendConfig{}, energy) {}
+
+InferenceEngine::InferenceEngine(const snn::Network& net,
+                                 const kernels::RunOptions& opt,
+                                 const BackendConfig& backend,
+                                 const arch::EnergyParams& energy)
+    : InferenceEngine(net, make_backend(opt, backend), energy) {}
+
+InferenceEngine::InferenceEngine(const snn::Network& net,
+                                 std::shared_ptr<ExecutionBackend> backend,
+                                 const arch::EnergyParams& energy)
+    : net_(net), backend_(std::move(backend)), energy_(energy) {
+  SPK_CHECK(backend_ != nullptr, "InferenceEngine: null backend");
+  net_.quantize_weights(backend_->options().fmt);
+  state_.reshape(net_);
 }
 
-void InferenceEngine::reset() {
-  membranes_.clear();
-  membranes_.reserve(net_.num_layers());
-  for (std::size_t l = 0; l < net_.num_layers(); ++l) {
-    const snn::LayerSpec& s = net_.layer(l);
-    membranes_.emplace_back(s.out_h(), s.out_w(), s.out_c);
-  }
-}
+void InferenceEngine::reset() { state_.clear(); }
 
 InferenceResult InferenceEngine::run(const snn::Tensor& image) {
-  return run_impl(&image, nullptr);
+  return run(image, state_);
 }
 
 InferenceResult InferenceEngine::run_events(const snn::SpikeMap& events) {
+  return run_events(events, state_);
+}
+
+InferenceResult InferenceEngine::run(const snn::Tensor& image,
+                                     snn::NetworkState& state) const {
+  return run_impl(&image, nullptr, state);
+}
+
+InferenceResult InferenceEngine::run_events(const snn::SpikeMap& events,
+                                            snn::NetworkState& state) const {
   SPK_CHECK(net_.num_layers() > 0 &&
                 net_.layer(0).kind != snn::LayerKind::kEncodeConv,
             "event input requires a network without an encode layer");
-  return run_impl(nullptr, &events);
+  return run_impl(nullptr, &events, state);
 }
 
 InferenceResult InferenceEngine::run_impl(const snn::Tensor* image,
-                                          const snn::SpikeMap* events) {
+                                          const snn::SpikeMap* events,
+                                          snn::NetworkState& state) const {
+  SPK_CHECK(state.num_layers() == net_.num_layers(),
+            "NetworkState does not match this network (use make_state())");
+  const kernels::RunOptions& opt = backend_->options();
   InferenceResult res;
   res.layers.reserve(net_.num_layers());
 
@@ -45,6 +64,7 @@ InferenceResult InferenceEngine::run_impl(const snn::Tensor* image,
   for (std::size_t l = 0; l < net_.num_layers(); ++l) {
     const snn::LayerSpec& spec = net_.layer(l);
     const snn::LayerWeights& w = net_.weights(l);
+    snn::Tensor& membrane = state.membrane(l);
     LayerMetrics m;
     m.name = spec.name;
 
@@ -53,11 +73,11 @@ InferenceResult InferenceEngine::run_impl(const snn::Tensor* image,
       SPK_CHECK(image != nullptr, "encode layer needs a dense image input");
       const snn::Tensor padded =
           snn::Reference::pad_dense(*image, (spec.in_h - image->h) / 2);
-      lr = kernels::run_encode_layer(spec, w, padded, membranes_[l], opt_);
+      lr = backend_->run_encode(spec, w, padded, membrane);
       // Layer-1 ifmap is a dense RGB tensor: report its dense HWC size as
       // "ours" and the event-per-pixel AER equivalent as the AER column.
       const double px = static_cast<double>(spec.in_h) * spec.in_w * spec.in_c;
-      m.csr_bytes = px * common::fp_bytes(opt_.fmt);
+      m.csr_bytes = px * common::fp_bytes(opt.fmt);
       m.aer_bytes = px * 8.0;
       m.in_firing_rate = 1.0;
     } else {
@@ -68,16 +88,16 @@ InferenceResult InferenceEngine::run_impl(const snn::Tensor* image,
               spec.kind != snn::LayerKind::kFc));
       m.in_firing_rate = snn::firing_rate(carry);
       if (spec.kind == snn::LayerKind::kConv) {
-        lr = kernels::run_conv_layer(spec, w, csr, membranes_[l], opt_);
+        lr = backend_->run_conv(spec, w, csr, membrane);
       } else {
-        lr = kernels::run_fc_layer(spec, w, csr, membranes_[l], opt_);
+        lr = backend_->run_fc(spec, w, csr, membrane);
       }
     }
 
     m.out_firing_rate = snn::firing_rate(lr.out_spikes);
     m.stats = lr.stats;
-    m.energy = arch::compute_energy(energy_, lr.stats.to_activity(), opt_.fmt);
-    m.power_w = arch::average_power_w(energy_, lr.stats.to_activity(), opt_.fmt);
+    m.energy = arch::compute_energy(energy_, lr.stats.to_activity(), opt.fmt);
+    m.power_w = arch::average_power_w(energy_, lr.stats.to_activity(), opt.fmt);
     res.total_cycles += lr.stats.cycles;
     res.total_energy_mj += m.energy.total_mj();
 

@@ -1,15 +1,25 @@
-// End-to-end inference engine: chains the layer kernels over a network,
-// carrying spikes (pool -> pad -> compress) between layers exactly like the
-// golden reference, and collecting per-layer runtime / utilization / energy
-// metrics — the quantities plotted in Figs. 3b, 3c and 4.
+// End-to-end inference engine: chains the per-layer execution of a pluggable
+// ExecutionBackend over a network, carrying spikes (pool -> pad -> compress)
+// between layers exactly like the golden reference, and collecting per-layer
+// runtime / utilization / energy metrics — the quantities plotted in
+// Figs. 3b, 3c and 4.
+//
+// The engine itself is immutable after construction (network weights are
+// quantized once, the backend is fixed): the stateless `run(..., state)`
+// overloads may be called concurrently from many threads, each with its own
+// snn::NetworkState. The state-carrying convenience API (`run(image)` /
+// `reset()`) wraps an internal default state for single-threaded callers.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "arch/energy.hpp"
 #include "kernels/layer_kernels.hpp"
+#include "runtime/backend.hpp"
 #include "snn/network.hpp"
+#include "snn/state.hpp"
 
 namespace spikestream::runtime {
 
@@ -41,32 +51,60 @@ struct InferenceResult {
 
 class InferenceEngine {
  public:
-  /// Copies the network and quantizes its weights to `opt.fmt`.
+  /// Copies the network, quantizes its weights to `opt.fmt` (once, amortized
+  /// over every subsequent sample) and executes with an AnalyticalBackend.
   InferenceEngine(const snn::Network& net, const kernels::RunOptions& opt,
                   const arch::EnergyParams& energy = {});
 
-  /// One timestep on a raw (unpadded) image. Membranes persist across calls.
-  InferenceResult run(const snn::Tensor& image);
+  /// Same, but executes through the backend described by `backend`.
+  InferenceEngine(const snn::Network& net, const kernels::RunOptions& opt,
+                  const BackendConfig& backend,
+                  const arch::EnergyParams& energy = {});
+
+  /// Adopts a caller-constructed backend (shared, must outlive the engine's
+  /// runs). Weights are quantized to the backend's format.
+  InferenceEngine(const snn::Network& net,
+                  std::shared_ptr<ExecutionBackend> backend,
+                  const arch::EnergyParams& energy = {});
+
+  // --- stateless API (thread-safe: one NetworkState per concurrent sample) --
+
+  /// One timestep on a raw (unpadded) image; membranes live in `state`.
+  InferenceResult run(const snn::Tensor& image, snn::NetworkState& state) const;
 
   /// One timestep on event-camera style input: a binary spike map feeding the
   /// first layer directly (the network must not start with kEncodeConv).
   /// `events` must already be padded to the first layer's ifmap shape.
+  InferenceResult run_events(const snn::SpikeMap& events,
+                             snn::NetworkState& state) const;
+
+  /// Fresh zeroed membrane state shaped for this engine's network.
+  snn::NetworkState make_state() const { return snn::NetworkState(net_); }
+
+  // --- stateful convenience API (single-threaded callers) -------------------
+
+  /// One timestep on the engine's internal state. Membranes persist across
+  /// calls until reset().
+  InferenceResult run(const snn::Tensor& image);
   InferenceResult run_events(const snn::SpikeMap& events);
 
-  /// Clear membrane state (call between independent input samples).
+  /// Clear the internal membrane state (between independent input samples).
   void reset();
 
   const snn::Network& network() const { return net_; }
-  const kernels::RunOptions& options() const { return opt_; }
+  const kernels::RunOptions& options() const { return backend_->options(); }
+  const ExecutionBackend& backend() const { return *backend_; }
+  const arch::EnergyParams& energy_params() const { return energy_; }
 
  private:
   InferenceResult run_impl(const snn::Tensor* image,
-                           const snn::SpikeMap* events);
+                           const snn::SpikeMap* events,
+                           snn::NetworkState& state) const;
 
   snn::Network net_;
-  kernels::RunOptions opt_;
+  std::shared_ptr<ExecutionBackend> backend_;
   arch::EnergyParams energy_;
-  std::vector<snn::Tensor> membranes_;
+  snn::NetworkState state_;  ///< backing store for the stateful API
 };
 
 }  // namespace spikestream::runtime

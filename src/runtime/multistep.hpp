@@ -1,12 +1,15 @@
 // Multi-timestep inference (the regime of the Fig. 5 comparison and of most
 // deployed SNNs): run T LIF timesteps over one input, accumulating output
 // spike counts, runtime and energy. Membrane potentials integrate across
-// timesteps inside the engine; this wrapper adds rate-decoding of the result.
+// timesteps inside the NetworkState; this wrapper adds rate-decoding of the
+// result. The stateless overloads take an explicit NetworkState so one
+// immutable engine can serve many concurrent samples (see BatchRunner).
 #pragma once
 
 #include <vector>
 
 #include "runtime/engine.hpp"
+#include "snn/state.hpp"
 
 namespace spikestream::runtime {
 
@@ -17,8 +20,11 @@ struct MultiStepResult {
   double total_energy_mj = 0;
   std::vector<double> cycles_per_step;
 
-  /// Rate-decoded prediction: index of the output neuron that spiked most.
+  /// Rate-decoded prediction: index of the output neuron that spiked most
+  /// (ties resolve to the lowest index). Returns -1 when no output was
+  /// recorded — i.e. `spike_counts` is empty because zero timesteps ran.
   int argmax() const {
+    if (spike_counts.empty()) return -1;
     int best = 0;
     for (std::size_t i = 1; i < spike_counts.size(); ++i) {
       if (spike_counts[i] > spike_counts[static_cast<std::size_t>(best)]) {
@@ -27,49 +33,59 @@ struct MultiStepResult {
     }
     return best;
   }
+
+  void accumulate_step(const InferenceResult& step) {
+    if (spike_counts.empty()) {
+      spike_counts.assign(step.final_output.size(), 0);
+    }
+    for (std::size_t i = 0; i < step.final_output.v.size(); ++i) {
+      spike_counts[i] += step.final_output.v[i];
+    }
+    total_cycles += step.total_cycles;
+    total_energy_mj += step.total_energy_mj;
+    cycles_per_step.push_back(step.total_cycles);
+  }
 };
 
 /// Present the same image for `timesteps` steps (constant-current coding via
-/// the encode layer). Resets membranes first.
-inline MultiStepResult run_timesteps(InferenceEngine& engine,
+/// the encode layer). Membranes integrate inside `state`, which is cleared
+/// first.
+inline MultiStepResult run_timesteps(const InferenceEngine& engine,
+                                     snn::NetworkState& state,
                                      const snn::Tensor& image, int timesteps) {
-  engine.reset();
+  state.clear();
   MultiStepResult r;
   r.timesteps = timesteps;
   for (int t = 0; t < timesteps; ++t) {
-    const InferenceResult step = engine.run(image);
-    if (r.spike_counts.empty()) {
-      r.spike_counts.assign(step.final_output.size(), 0);
-    }
-    for (std::size_t i = 0; i < step.final_output.v.size(); ++i) {
-      r.spike_counts[i] += step.final_output.v[i];
-    }
-    r.total_cycles += step.total_cycles;
-    r.total_energy_mj += step.total_energy_mj;
-    r.cycles_per_step.push_back(step.total_cycles);
+    r.accumulate_step(engine.run(image, state));
   }
   return r;
 }
 
 /// Event-driven variant: one pre-padded spike map per timestep.
 inline MultiStepResult run_event_stream(
-    InferenceEngine& engine, const std::vector<snn::SpikeMap>& frames) {
-  engine.reset();
+    const InferenceEngine& engine, snn::NetworkState& state,
+    const std::vector<snn::SpikeMap>& frames) {
+  state.clear();
   MultiStepResult r;
   r.timesteps = static_cast<int>(frames.size());
   for (const auto& f : frames) {
-    const InferenceResult step = engine.run_events(f);
-    if (r.spike_counts.empty()) {
-      r.spike_counts.assign(step.final_output.size(), 0);
-    }
-    for (std::size_t i = 0; i < step.final_output.v.size(); ++i) {
-      r.spike_counts[i] += step.final_output.v[i];
-    }
-    r.total_cycles += step.total_cycles;
-    r.total_energy_mj += step.total_energy_mj;
-    r.cycles_per_step.push_back(step.total_cycles);
+    r.accumulate_step(engine.run_events(f, state));
   }
   return r;
+}
+
+/// Stateful conveniences: run on the engine's internal state (resets first).
+inline MultiStepResult run_timesteps(InferenceEngine& engine,
+                                     const snn::Tensor& image, int timesteps) {
+  snn::NetworkState state = engine.make_state();
+  return run_timesteps(engine, state, image, timesteps);
+}
+
+inline MultiStepResult run_event_stream(
+    InferenceEngine& engine, const std::vector<snn::SpikeMap>& frames) {
+  snn::NetworkState state = engine.make_state();
+  return run_event_stream(engine, state, frames);
 }
 
 }  // namespace spikestream::runtime

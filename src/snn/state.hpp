@@ -1,0 +1,53 @@
+// Per-sample mutable network state: one membrane-potential tensor per layer.
+// Extracted from the inference engine so that execution is stateless and
+// shardable — an engine (and its backend) is immutable after construction and
+// can be shared across threads, while every concurrent sample owns exactly
+// one NetworkState.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "snn/network.hpp"
+#include "snn/tensor.hpp"
+
+namespace spikestream::snn {
+
+class NetworkState {
+ public:
+  NetworkState() = default;
+  explicit NetworkState(const Network& net) { reshape(net); }
+
+  /// (Re)allocate one zeroed membrane tensor per layer, output-shaped.
+  void reshape(const Network& net) {
+    membranes_.clear();
+    membranes_.reserve(net.num_layers());
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      const LayerSpec& s = net.layer(l);
+      membranes_.emplace_back(s.out_h(), s.out_w(), s.out_c);
+    }
+  }
+
+  /// Zero all membranes in place (start of a new input sample).
+  void clear() {
+    for (Tensor& m : membranes_) {
+      std::fill(m.v.begin(), m.v.end(), 0.0f);
+    }
+  }
+
+  std::size_t num_layers() const { return membranes_.size(); }
+
+  Tensor& membrane(std::size_t l) {
+    SPK_CHECK(l < membranes_.size(), "NetworkState: layer index OOB");
+    return membranes_[l];
+  }
+  const Tensor& membrane(std::size_t l) const {
+    SPK_CHECK(l < membranes_.size(), "NetworkState: layer index OOB");
+    return membranes_[l];
+  }
+
+ private:
+  std::vector<Tensor> membranes_;
+};
+
+}  // namespace spikestream::snn

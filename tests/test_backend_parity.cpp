@@ -1,0 +1,273 @@
+// Backend parity: every ExecutionBackend shares one functional-pass contract,
+// so Analytical, CycleAccurate and Sharded must produce bit-identical spike
+// outputs on the same network and input; the timing models may differ, but
+// only within documented tolerances (the ISS cross-validation bound for
+// cycle-accurate, conservation of activity counters for sharding).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/backend_cycle.hpp"
+#include "runtime/backend_sharded.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/multistep.hpp"
+#include "snn/calibrate.hpp"
+#include "snn/input_gen.hpp"
+
+namespace rt = spikestream::runtime;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+namespace sc = spikestream::common;
+
+namespace {
+
+/// The quickstart network: encode conv -> spiking conv -> 10-class FC.
+snn::Network quickstart_net() {
+  snn::Network net = snn::Network::make_tiny(18, 3, 32, 10);
+  sc::Rng rng(42);
+  net.init_weights(rng);
+  const auto calib = snn::make_batch(4, 7, 16, 16, 3);
+  const std::vector<double> targets = {0.20, 0.15, 0.30};
+  snn::calibrate_thresholds(net, calib, targets);
+  return net;
+}
+
+/// A small 2-layer event-input network (spiking conv -> FC).
+snn::Network two_layer_net() {
+  snn::Network net;
+  snn::LayerSpec c1;
+  c1.kind = snn::LayerKind::kConv;
+  c1.name = "conv1";
+  c1.in_h = c1.in_w = 12;
+  c1.in_c = 2;
+  c1.k = 3;
+  c1.out_c = 16;
+  net.add_layer(c1);
+  snn::LayerSpec fc;
+  fc.kind = snn::LayerKind::kFc;
+  fc.name = "fc";
+  fc.in_c = 10 * 10 * 16;
+  fc.out_c = 6;
+  net.add_layer(fc);
+  sc::Rng rng(5);
+  net.init_weights(rng);
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    net.layer(l).lif.v_th = 0.6f;
+    net.layer(l).lif.v_rst = 0.6f;
+  }
+  return net;
+}
+
+snn::SpikeMap event_frame(int hw, int c, std::uint64_t seed, double p = 0.25) {
+  sc::Rng rng(seed);
+  snn::SpikeMap f(hw, hw, c);
+  for (int y = 1; y < hw - 1; ++y) {
+    for (int x = 1; x < hw - 1; ++x) {
+      for (int ch = 0; ch < c; ++ch) f.at(y, x, ch) = rng.bernoulli(p);
+    }
+  }
+  return f;
+}
+
+rt::BackendConfig sharded_cfg(int clusters, bool threads = true) {
+  rt::BackendConfig cfg;
+  cfg.kind = rt::BackendKind::kSharded;
+  cfg.clusters = clusters;
+  cfg.shard_threads = threads;
+  return cfg;
+}
+
+rt::BackendConfig cycle_cfg() {
+  rt::BackendConfig cfg;
+  cfg.kind = rt::BackendKind::kCycleAccurate;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(BackendParity, QuickstartSpikesBitIdenticalAcrossBackends) {
+  const snn::Network net = quickstart_net();
+  k::RunOptions opt;
+  opt.fmt = sc::FpFormat::FP16;
+  const rt::InferenceEngine analytical(net, opt);
+  const rt::InferenceEngine cycle(net, opt, cycle_cfg());
+  const rt::InferenceEngine sharded(net, opt, sharded_cfg(4));
+
+  const auto images = snn::make_batch(2, 99, 16, 16, 3);
+  for (const auto& img : images) {
+    snn::NetworkState sa = analytical.make_state();
+    snn::NetworkState sc_ = cycle.make_state();
+    snn::NetworkState ss = sharded.make_state();
+    // Multiple timesteps: membrane carry-over must also agree bit-exactly.
+    for (int t = 0; t < 3; ++t) {
+      const auto ra = analytical.run(img, sa);
+      const auto rc = cycle.run(img, sc_);
+      const auto rs = sharded.run(img, ss);
+      ASSERT_EQ(ra.final_output.v, rc.final_output.v) << "t=" << t;
+      ASSERT_EQ(ra.final_output.v, rs.final_output.v) << "t=" << t;
+      for (std::size_t l = 0; l < ra.layers.size(); ++l) {
+        EXPECT_DOUBLE_EQ(ra.layers[l].out_firing_rate,
+                         rs.layers[l].out_firing_rate);
+      }
+    }
+  }
+}
+
+TEST(BackendParity, CycleAccurateTimingWithinIssTolerance) {
+  const snn::Network net = quickstart_net();
+  k::RunOptions opt;
+  const rt::InferenceEngine analytical(net, opt);
+  const rt::InferenceEngine cycle(net, opt, cycle_cfg());
+  const auto img = snn::make_batch(1, 5, 16, 16, 3)[0];
+  snn::NetworkState sa = analytical.make_state();
+  snn::NetworkState sc_ = cycle.make_state();
+  const auto ra = analytical.run(img, sa);
+  const auto rc = cycle.run(img, sc_);
+  ASSERT_EQ(ra.layers.size(), rc.layers.size());
+  for (std::size_t l = 0; l < ra.layers.size(); ++l) {
+    const double ratio = rc.layers[l].stats.cycles / ra.layers[l].stats.cycles;
+    EXPECT_GT(rc.layers[l].stats.cycles, 0.0) << "layer " << l;
+    // The model is ISS-validated within ~15%; DMA-bound layers dilute the
+    // difference further. Anything outside [0.6, 1.6] means the calibration
+    // or the model drifted.
+    EXPECT_GT(ratio, 0.6) << "layer " << l;
+    EXPECT_LT(ratio, 1.6) << "layer " << l;
+  }
+  EXPECT_GT(rc.total_cycles, 0.0);
+}
+
+TEST(BackendParity, ShardedConservesActivityAndCutsLatency) {
+  const snn::Network net = quickstart_net();
+  k::RunOptions opt;
+  const rt::InferenceEngine analytical(net, opt);
+  const rt::InferenceEngine sharded(net, opt, sharded_cfg(4));
+  const auto img = snn::make_batch(1, 6, 16, 16, 3)[0];
+  snn::NetworkState sa = analytical.make_state();
+  snn::NetworkState ss = sharded.make_state();
+  const auto ra = analytical.run(img, sa);
+  const auto rs = sharded.run(img, ss);
+  for (std::size_t l = 0; l < ra.layers.size(); ++l) {
+    const auto& a = ra.layers[l].stats;
+    const auto& s = rs.layers[l].stats;
+    // Work is conserved: sharding repartitions the same SpVAs, so the
+    // activity counters must sum back to the single-cluster totals.
+    EXPECT_NEAR(s.fpu_ops, a.fpu_ops, 1e-6 * a.fpu_ops + 1e-6) << l;
+    EXPECT_NEAR(s.tcdm_words, a.tcdm_words, 1e-6 * a.tcdm_words + 1e-6) << l;
+    EXPECT_NEAR(s.ssr_elems, a.ssr_elems, 1e-6 * a.ssr_elems + 1e-6) << l;
+    // Wall-clock per layer never exceeds the single-cluster run.
+    EXPECT_LE(s.cycles, a.cycles * 1.0 + 1e-9) << l;
+  }
+  // End to end, 4 clusters must land strictly between 1x and 4x faster.
+  EXPECT_LT(rs.total_cycles, ra.total_cycles);
+  EXPECT_GT(rs.total_cycles, ra.total_cycles / 4.0);
+}
+
+TEST(BackendParity, ShardedThreadedEqualsSerialExactly) {
+  const snn::Network net = quickstart_net();
+  k::RunOptions opt;
+  const rt::InferenceEngine threaded(net, opt, sharded_cfg(4, true));
+  const rt::InferenceEngine serial(net, opt, sharded_cfg(4, false));
+  const auto img = snn::make_batch(1, 8, 16, 16, 3)[0];
+  snn::NetworkState st = threaded.make_state();
+  snn::NetworkState se = serial.make_state();
+  const auto rt_ = threaded.run(img, st);
+  const auto re = serial.run(img, se);
+  ASSERT_EQ(rt_.final_output.v, re.final_output.v);
+  for (std::size_t l = 0; l < rt_.layers.size(); ++l) {
+    EXPECT_DOUBLE_EQ(rt_.layers[l].stats.cycles, re.layers[l].stats.cycles);
+    EXPECT_DOUBLE_EQ(rt_.layers[l].stats.fpu_ops, re.layers[l].stats.fpu_ops);
+  }
+  EXPECT_DOUBLE_EQ(rt_.total_cycles, re.total_cycles);
+}
+
+TEST(BackendParity, TwoLayerEventNetworkAllBackendsAgree) {
+  const snn::Network net = two_layer_net();
+  k::RunOptions opt;
+  const rt::InferenceEngine analytical(net, opt);
+  const rt::InferenceEngine cycle(net, opt, cycle_cfg());
+  const rt::InferenceEngine sharded(net, opt, sharded_cfg(4));
+
+  std::vector<snn::SpikeMap> frames;
+  for (int t = 0; t < 4; ++t) frames.push_back(event_frame(12, 2, 17 + t));
+
+  snn::NetworkState sa = analytical.make_state();
+  snn::NetworkState sc_ = cycle.make_state();
+  snn::NetworkState ss = sharded.make_state();
+  const auto ra = rt::run_event_stream(analytical, sa, frames);
+  const auto rc = rt::run_event_stream(cycle, sc_, frames);
+  const auto rs = rt::run_event_stream(sharded, ss, frames);
+  EXPECT_EQ(ra.spike_counts, rc.spike_counts);
+  EXPECT_EQ(ra.spike_counts, rs.spike_counts);
+  // Cycle-accurate total within the cross-validation tolerance band.
+  EXPECT_GT(rc.total_cycles / ra.total_cycles, 0.6);
+  EXPECT_LT(rc.total_cycles / ra.total_cycles, 1.6);
+  // Sharded total strictly faster.
+  EXPECT_LT(rs.total_cycles, ra.total_cycles);
+}
+
+TEST(ShardedSlices, AlignToSimdGroupBoundaries) {
+  k::RunOptions opt;
+  opt.fmt = sc::FpFormat::FP16;  // 4 lanes
+  const rt::ShardedBackend be(opt, 4);
+  const auto sl = be.slices(10);  // 3 groups of 4 lanes -> 3 active shards
+  ASSERT_EQ(sl.size(), 3u);
+  EXPECT_EQ(sl[0], std::make_pair(0, 4));
+  EXPECT_EQ(sl[1], std::make_pair(4, 8));
+  EXPECT_EQ(sl[2], std::make_pair(8, 10));
+
+  k::RunOptions opt8;
+  opt8.fmt = sc::FpFormat::FP8;  // 8 lanes -> 2 groups -> 2 active shards
+  const rt::ShardedBackend be8(opt8, 4);
+  const auto sl8 = be8.slices(10);
+  ASSERT_EQ(sl8.size(), 2u);
+  EXPECT_EQ(sl8[0], std::make_pair(0, 8));
+  EXPECT_EQ(sl8[1], std::make_pair(8, 10));
+}
+
+TEST(BatchRunner, DeterministicAcrossWorkerCounts) {
+  const snn::Network net = quickstart_net();
+  k::RunOptions opt;
+  const auto images = snn::make_batch(4, 21, 16, 16, 3);
+  const rt::BatchRunner serial(net, opt, {}, {}, /*workers=*/1);
+  const rt::BatchRunner parallel(net, opt, {}, {}, /*workers=*/4);
+  const auto rs = serial.run(images, /*timesteps=*/2);
+  const auto rp = parallel.run(images, /*timesteps=*/2);
+  ASSERT_EQ(rs.size(), rp.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].spike_counts, rp[i].spike_counts) << "sample " << i;
+    EXPECT_DOUBLE_EQ(rs[i].total_cycles, rp[i].total_cycles) << "sample " << i;
+  }
+}
+
+TEST(BatchRunner, MatchesPerSampleEngines) {
+  // The batch path (one engine, weights quantized once, shared across
+  // workers) must reproduce the naive path (a fresh engine per sample).
+  const snn::Network net = quickstart_net();
+  k::RunOptions opt;
+  const auto images = snn::make_batch(3, 31, 16, 16, 3);
+  const rt::BatchRunner runner(net, opt, {}, {}, /*workers=*/3);
+  const auto batched = runner.run(images, /*timesteps=*/3);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    rt::InferenceEngine eng(net, opt);
+    const auto serial = rt::run_timesteps(eng, images[i], 3);
+    EXPECT_EQ(batched[i].spike_counts, serial.spike_counts) << "sample " << i;
+    EXPECT_DOUBLE_EQ(batched[i].total_cycles, serial.total_cycles);
+    EXPECT_DOUBLE_EQ(batched[i].total_energy_mj, serial.total_energy_mj);
+  }
+}
+
+TEST(BatchRunner, ShardedBackendBatchParity) {
+  const snn::Network net = quickstart_net();
+  k::RunOptions opt;
+  const auto images = snn::make_batch(3, 41, 16, 16, 3);
+  const rt::BatchRunner analytical(net, opt, {}, {}, /*workers=*/2);
+  const rt::BatchRunner sharded(net, opt, sharded_cfg(4), {}, /*workers=*/2);
+  const auto ra = analytical.run(images, 2);
+  const auto rs = sharded.run(images, 2);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    EXPECT_EQ(ra[i].spike_counts, rs[i].spike_counts) << "sample " << i;
+    EXPECT_LT(rs[i].total_cycles, ra[i].total_cycles) << "sample " << i;
+  }
+}

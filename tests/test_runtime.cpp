@@ -73,6 +73,29 @@ TEST(MultiStep, AccumulatesSpikesOverTimesteps) {
   EXPECT_DOUBLE_EQ(res.total_cycles, res2.total_cycles);
 }
 
+TEST(MultiStep, ArgmaxOnEmptyResultIsMinusOne) {
+  // No recorded output (e.g. zero timesteps) decodes to the documented
+  // sentinel -1 instead of a bogus class 0.
+  rt::MultiStepResult empty;
+  EXPECT_EQ(empty.argmax(), -1);
+
+  snn::Network net = snn::Network::make_tiny(10, 3, 8, 4);
+  sc::Rng rng(3);
+  net.init_weights(rng);
+  k::RunOptions opt;
+  rt::InferenceEngine eng(net, opt);
+  const auto img = snn::make_batch(1, 12, 8, 8, 3)[0];
+  const auto res = rt::run_timesteps(eng, img, 0);
+  EXPECT_EQ(res.timesteps, 0);
+  EXPECT_TRUE(res.spike_counts.empty());
+  EXPECT_EQ(res.argmax(), -1);
+
+  // Ties resolve to the lowest index.
+  rt::MultiStepResult tie;
+  tie.spike_counts = {3, 3, 1};
+  EXPECT_EQ(tie.argmax(), 0);
+}
+
 TEST(EventInput, RunsWithoutEncodeLayer) {
   const snn::Network net = event_net();
   k::RunOptions opt;
