@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cores.dir/bench/ablation_cores.cpp.o"
+  "CMakeFiles/ablation_cores.dir/bench/ablation_cores.cpp.o.d"
+  "ablation_cores"
+  "ablation_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

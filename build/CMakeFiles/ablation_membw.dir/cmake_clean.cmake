@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_membw.dir/bench/ablation_membw.cpp.o"
+  "CMakeFiles/ablation_membw.dir/bench/ablation_membw.cpp.o.d"
+  "ablation_membw"
+  "ablation_membw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

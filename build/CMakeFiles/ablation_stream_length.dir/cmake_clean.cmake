@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stream_length.dir/bench/ablation_stream_length.cpp.o"
+  "CMakeFiles/ablation_stream_length.dir/bench/ablation_stream_length.cpp.o.d"
+  "ablation_stream_length"
+  "ablation_stream_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stream_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

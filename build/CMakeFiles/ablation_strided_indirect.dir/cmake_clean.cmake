@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strided_indirect.dir/bench/ablation_strided_indirect.cpp.o"
+  "CMakeFiles/ablation_strided_indirect.dir/bench/ablation_strided_indirect.cpp.o.d"
+  "ablation_strided_indirect"
+  "ablation_strided_indirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strided_indirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

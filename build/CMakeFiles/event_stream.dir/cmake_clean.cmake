@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_stream.dir/examples/event_stream.cpp.o"
+  "CMakeFiles/event_stream.dir/examples/event_stream.cpp.o.d"
+  "event_stream"
+  "event_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_footprint.dir/bench/fig3a_footprint.cpp.o"
+  "CMakeFiles/fig3a_footprint.dir/bench/fig3a_footprint.cpp.o.d"
+  "fig3a_footprint"
+  "fig3a_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

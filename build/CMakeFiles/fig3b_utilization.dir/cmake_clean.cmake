@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_utilization.dir/bench/fig3b_utilization.cpp.o"
+  "CMakeFiles/fig3b_utilization.dir/bench/fig3b_utilization.cpp.o.d"
+  "fig3b_utilization"
+  "fig3b_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

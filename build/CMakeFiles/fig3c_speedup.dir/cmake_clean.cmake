@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_speedup.dir/bench/fig3c_speedup.cpp.o"
+  "CMakeFiles/fig3c_speedup.dir/bench/fig3c_speedup.cpp.o.d"
+  "fig3c_speedup"
+  "fig3c_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_soa.dir/bench/fig5_soa.cpp.o"
+  "CMakeFiles/fig5_soa.dir/bench/fig5_soa.cpp.o.d"
+  "fig5_soa"
+  "fig5_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

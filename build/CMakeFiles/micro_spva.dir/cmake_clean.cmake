@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_spva.dir/bench/micro_spva.cpp.o"
+  "CMakeFiles/micro_spva.dir/bench/micro_spva.cpp.o.d"
+  "micro_spva"
+  "micro_spva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cluster.cpp" "CMakeFiles/spikestream.dir/src/arch/cluster.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/arch/cluster.cpp.o.d"
+  "/root/repo/src/arch/core.cpp" "CMakeFiles/spikestream.dir/src/arch/core.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/arch/core.cpp.o.d"
+  "/root/repo/src/arch/program.cpp" "CMakeFiles/spikestream.dir/src/arch/program.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/arch/program.cpp.o.d"
+  "/root/repo/src/arch/ssr.cpp" "CMakeFiles/spikestream.dir/src/arch/ssr.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/arch/ssr.cpp.o.d"
+  "/root/repo/src/common/float_formats.cpp" "CMakeFiles/spikestream.dir/src/common/float_formats.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/common/float_formats.cpp.o.d"
+  "/root/repo/src/compress/aer.cpp" "CMakeFiles/spikestream.dir/src/compress/aer.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/compress/aer.cpp.o.d"
+  "/root/repo/src/compress/csr_ifmap.cpp" "CMakeFiles/spikestream.dir/src/compress/csr_ifmap.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/compress/csr_ifmap.cpp.o.d"
+  "/root/repo/src/kernels/iss_conv.cpp" "CMakeFiles/spikestream.dir/src/kernels/iss_conv.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/kernels/iss_conv.cpp.o.d"
+  "/root/repo/src/kernels/iss_kernels.cpp" "CMakeFiles/spikestream.dir/src/kernels/iss_kernels.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/kernels/iss_kernels.cpp.o.d"
+  "/root/repo/src/kernels/layer_kernels.cpp" "CMakeFiles/spikestream.dir/src/kernels/layer_kernels.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/kernels/layer_kernels.cpp.o.d"
+  "/root/repo/src/kernels/tiling.cpp" "CMakeFiles/spikestream.dir/src/kernels/tiling.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/kernels/tiling.cpp.o.d"
+  "/root/repo/src/runtime/backend.cpp" "CMakeFiles/spikestream.dir/src/runtime/backend.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/runtime/backend.cpp.o.d"
+  "/root/repo/src/runtime/backend_cycle.cpp" "CMakeFiles/spikestream.dir/src/runtime/backend_cycle.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/runtime/backend_cycle.cpp.o.d"
+  "/root/repo/src/runtime/backend_sharded.cpp" "CMakeFiles/spikestream.dir/src/runtime/backend_sharded.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/runtime/backend_sharded.cpp.o.d"
+  "/root/repo/src/runtime/batch.cpp" "CMakeFiles/spikestream.dir/src/runtime/batch.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/runtime/batch.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "CMakeFiles/spikestream.dir/src/runtime/engine.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/runtime/engine.cpp.o.d"
+  "/root/repo/src/snn/calibrate.cpp" "CMakeFiles/spikestream.dir/src/snn/calibrate.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/snn/calibrate.cpp.o.d"
+  "/root/repo/src/snn/network.cpp" "CMakeFiles/spikestream.dir/src/snn/network.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/snn/network.cpp.o.d"
+  "/root/repo/src/snn/reference.cpp" "CMakeFiles/spikestream.dir/src/snn/reference.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/snn/reference.cpp.o.d"
+  "/root/repo/src/soa/comparison.cpp" "CMakeFiles/spikestream.dir/src/soa/comparison.cpp.o" "gcc" "CMakeFiles/spikestream.dir/src/soa/comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_microkernel.dir/examples/ssr_microkernel.cpp.o"
+  "CMakeFiles/ssr_microkernel.dir/examples/ssr_microkernel.cpp.o.d"
+  "ssr_microkernel"
+  "ssr_microkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_microkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

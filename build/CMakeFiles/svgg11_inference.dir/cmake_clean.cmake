@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svgg11_inference.dir/examples/svgg11_inference.cpp.o"
+  "CMakeFiles/svgg11_inference.dir/examples/svgg11_inference.cpp.o.d"
+  "svgg11_inference"
+  "svgg11_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svgg11_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_cluster.dir/tests/test_arch_cluster.cpp.o"
+  "CMakeFiles/test_arch_cluster.dir/tests/test_arch_cluster.cpp.o.d"
+  "test_arch_cluster"
+  "test_arch_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

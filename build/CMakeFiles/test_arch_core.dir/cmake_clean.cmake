@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_core.dir/tests/test_arch_core.cpp.o"
+  "CMakeFiles/test_arch_core.dir/tests/test_arch_core.cpp.o.d"
+  "test_arch_core"
+  "test_arch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

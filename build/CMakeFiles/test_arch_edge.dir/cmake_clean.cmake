@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_edge.dir/tests/test_arch_edge.cpp.o"
+  "CMakeFiles/test_arch_edge.dir/tests/test_arch_edge.cpp.o.d"
+  "test_arch_edge"
+  "test_arch_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_ssr.dir/tests/test_arch_ssr.cpp.o"
+  "CMakeFiles/test_arch_ssr.dir/tests/test_arch_ssr.cpp.o.d"
+  "test_arch_ssr"
+  "test_arch_ssr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_ssr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

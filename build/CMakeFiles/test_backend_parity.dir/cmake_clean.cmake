@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_parity.dir/tests/test_backend_parity.cpp.o"
+  "CMakeFiles/test_backend_parity.dir/tests/test_backend_parity.cpp.o.d"
+  "test_backend_parity"
+  "test_backend_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

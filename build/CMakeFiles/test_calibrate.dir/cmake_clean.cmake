@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calibrate.dir/tests/test_calibrate.cpp.o"
+  "CMakeFiles/test_calibrate.dir/tests/test_calibrate.cpp.o.d"
+  "test_calibrate"
+  "test_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

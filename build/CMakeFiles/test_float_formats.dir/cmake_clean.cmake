@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float_formats.dir/tests/test_float_formats.cpp.o"
+  "CMakeFiles/test_float_formats.dir/tests/test_float_formats.cpp.o.d"
+  "test_float_formats"
+  "test_float_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iss_conv.dir/tests/test_iss_conv.cpp.o"
+  "CMakeFiles/test_iss_conv.dir/tests/test_iss_conv.cpp.o.d"
+  "test_iss_conv"
+  "test_iss_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iss_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iss_kernels.dir/tests/test_iss_kernels.cpp.o"
+  "CMakeFiles/test_iss_kernels.dir/tests/test_iss_kernels.cpp.o.d"
+  "test_iss_kernels"
+  "test_iss_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iss_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

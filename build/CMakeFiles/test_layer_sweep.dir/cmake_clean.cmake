@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layer_sweep.dir/tests/test_layer_sweep.cpp.o"
+  "CMakeFiles/test_layer_sweep.dir/tests/test_layer_sweep.cpp.o.d"
+  "test_layer_sweep"
+  "test_layer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_vs_iss.dir/tests/test_model_vs_iss.cpp.o"
+  "CMakeFiles/test_model_vs_iss.dir/tests/test_model_vs_iss.cpp.o.d"
+  "test_model_vs_iss"
+  "test_model_vs_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_vs_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

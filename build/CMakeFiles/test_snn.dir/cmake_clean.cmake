@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snn.dir/tests/test_snn.cpp.o"
+  "CMakeFiles/test_snn.dir/tests/test_snn.cpp.o.d"
+  "test_snn"
+  "test_snn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

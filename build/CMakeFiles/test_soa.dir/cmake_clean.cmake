@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soa.dir/tests/test_soa.cpp.o"
+  "CMakeFiles/test_soa.dir/tests/test_soa.cpp.o.d"
+  "test_soa"
+  "test_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

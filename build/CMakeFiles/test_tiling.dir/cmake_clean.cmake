@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiling.dir/tests/test_tiling.cpp.o"
+  "CMakeFiles/test_tiling.dir/tests/test_tiling.cpp.o.d"
+  "test_tiling"
+  "test_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
