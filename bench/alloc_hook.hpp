@@ -1,0 +1,65 @@
+// Global allocation-counting operator new/delete hook, shared by the
+// host-performance bench and the scratch-reuse tests so both binaries agree
+// on what "zero steady-state allocations" means. Include from exactly ONE
+// translation unit per executable — it *defines* the replacement operators.
+//
+// Counts every global allocation (including the aligned overloads) in
+// `spikestream::allocs()` / `spikestream::alloc_bytes()`; snapshot the
+// counters around the region of interest.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace spikestream::alloc_hook {
+
+inline std::atomic<std::size_t> g_allocs{0};
+inline std::atomic<std::size_t> g_alloc_bytes{0};
+
+inline std::size_t allocs() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+inline std::size_t alloc_bytes() {
+  return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+
+inline void* counted_alloc(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (n + align - 1) / align * align)
+                : std::malloc(n ? n : 1);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace spikestream::alloc_hook
+
+void* operator new(std::size_t n) {
+  return spikestream::alloc_hook::counted_alloc(n, 0);
+}
+void* operator new[](std::size_t n) {
+  return spikestream::alloc_hook::counted_alloc(n, 0);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return spikestream::alloc_hook::counted_alloc(n,
+                                                static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return spikestream::alloc_hook::counted_alloc(n,
+                                                static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

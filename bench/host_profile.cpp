@@ -1,0 +1,163 @@
+// Host-performance profile of the simulator itself: how fast does the
+// functional + cost pipeline execute on the machine running it? Times
+// end-to-end batch inference on the calibrated S-VGG11 for every backend and
+// reports samples/sec, ns per layer execution, and steady-state heap
+// allocations per layer (counted by a global operator-new hook), then emits
+// everything as BENCH_host.json so CI can archive a perf trajectory per PR.
+//
+//   SPIKESTREAM_BATCH  batch size (default 8)
+//   SPIKESTREAM_REPS   timed repetitions of the batch (default 5)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/alloc_hook.hpp"
+#include "bench/bench_common.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+namespace rt = spikestream::runtime;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+namespace bench = spikestream::bench;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct BackendProfile {
+  std::string name;
+  double samples_per_sec = 0;
+  double ns_per_layer = 0;
+  double steady_allocs_per_layer = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+};
+
+BackendProfile profile_backend(const std::string& label,
+                               const snn::Network& net,
+                               const k::RunOptions& opt,
+                               const rt::BackendConfig& cfg,
+                               const std::vector<snn::Tensor>& images,
+                               int reps) {
+  BackendProfile prof;
+  prof.name = label;
+
+  const rt::BatchRunner runner(net, opt, cfg, {});
+  const std::size_t layers = net.num_layers();
+
+  // Throughput: timed batch repetitions after one warmup pass.
+  runner.run_single_step(images);
+  const double t0 = now_s();
+  for (int r = 0; r < reps; ++r) runner.run_single_step(images);
+  const double dt = now_s() - t0;
+  const double sample_runs = static_cast<double>(reps) * images.size();
+  prof.samples_per_sec = sample_runs / dt;
+  prof.ns_per_layer = dt * 1e9 / (sample_runs * static_cast<double>(layers));
+
+  // Steady-state allocations: one engine, one state, one reused result.
+  // After two warmup runs every scratch arena has reached capacity; the
+  // remaining runs must not touch the heap at all on the analytical path.
+  {
+    const rt::InferenceEngine& engine = runner.engine();
+    snn::NetworkState state = engine.make_state();
+    rt::InferenceResult out;
+    // Warm until occupancy (and with it every arena capacity) settles:
+    // membranes keep integrating the constant input for a few timesteps.
+    for (int r = 0; r < 6; ++r) engine.run(images[0], state, out);
+    const std::size_t before = spikestream::alloc_hook::allocs();
+    const int alloc_runs = 10;
+    for (int r = 0; r < alloc_runs; ++r) engine.run(images[0], state, out);
+    const std::size_t after = spikestream::alloc_hook::allocs();
+    prof.steady_allocs_per_layer =
+        static_cast<double>(after - before) /
+        (static_cast<double>(alloc_runs) * static_cast<double>(layers));
+  }
+
+  if (const auto* a = dynamic_cast<const rt::AnalyticalBackend*>(
+          &runner.engine().backend())) {
+    prof.cache_hits = a->cost_cache_hits();
+    prof.cache_misses = a->cost_cache_misses();
+  }
+  return prof;
+}
+
+}  // namespace
+
+int main() {
+  const int batch = bench::batch_size_from_env(8);
+  int reps = 5;
+  if (const char* e = std::getenv("SPIKESTREAM_REPS")) {
+    if (std::atoi(e) > 0) reps = std::atoi(e);
+  }
+
+  const snn::Network net = bench::make_calibrated_svgg11();
+  const k::RunOptions opt;
+  const auto images =
+      snn::make_batch(static_cast<std::size_t>(batch), 77);
+
+  std::vector<BackendProfile> profiles;
+  {
+    rt::BackendConfig cfg;  // analytical, exact timing
+    profiles.push_back(
+        profile_backend("analytical", net, opt, cfg, images, reps));
+  }
+  {
+    rt::BackendConfig cfg;
+    cfg.memoize_cost = true;
+    profiles.push_back(
+        profile_backend("analytical+memo", net, opt, cfg, images, reps));
+  }
+  {
+    rt::BackendConfig cfg;
+    cfg.kind = rt::BackendKind::kCycleAccurate;
+    profiles.push_back(
+        profile_backend("cycle-accurate", net, opt, cfg, images, reps));
+  }
+  {
+    rt::BackendConfig cfg;
+    cfg.kind = rt::BackendKind::kSharded;
+    cfg.clusters = 4;
+    profiles.push_back(
+        profile_backend("sharded-4", net, opt, cfg, images, reps));
+  }
+
+  std::printf("host profile: S-VGG11, batch %d, %d reps, %zu layers\n", batch,
+              reps, net.num_layers());
+  std::printf("%-16s %12s %12s %14s %10s\n", "backend", "samples/s",
+              "ns/layer", "allocs/layer", "memo h/m");
+  for (const auto& p : profiles) {
+    std::printf("%-16s %12.1f %12.0f %14.3f %6zu/%zu\n", p.name.c_str(),
+                p.samples_per_sec, p.ns_per_layer, p.steady_allocs_per_layer,
+                p.cache_hits, p.cache_misses);
+  }
+
+  // BENCH_host.json: one flat record per backend, easy to diff across PRs.
+  if (std::FILE* f = std::fopen("BENCH_host.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"host_profile\",\n");
+    std::fprintf(f, "  \"network\": \"svgg11\",\n  \"batch\": %d,\n", batch);
+    std::fprintf(f, "  \"reps\": %d,\n  \"backends\": [\n", reps);
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      const auto& p = profiles[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"samples_per_sec\": %.2f, "
+                   "\"ns_per_layer\": %.1f, \"steady_allocs_per_layer\": "
+                   "%.4f, \"cost_cache_hits\": %zu, \"cost_cache_misses\": "
+                   "%zu}%s\n",
+                   p.name.c_str(), p.samples_per_sec, p.ns_per_layer,
+                   p.steady_allocs_per_layer, p.cache_hits, p.cache_misses,
+                   i + 1 < profiles.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_host.json\n");
+  }
+  return 0;
+}

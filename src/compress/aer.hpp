@@ -38,6 +38,13 @@ class AerEvents {
     return events_.size() * (spatial ? 8u : 4u);
   }
 
+  /// Footprint `nnz` events would occupy, without materializing them (the
+  /// inference hot path only reports the size, never the event list).
+  static std::size_t footprint_from_count(std::size_t nnz,
+                                          bool spatial = true) {
+    return nnz * (spatial ? 8u : 4u);
+  }
+
  private:
   std::vector<AerEvent> events_;
 };

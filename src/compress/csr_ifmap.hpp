@@ -21,6 +21,20 @@ class CsrIfmap {
   /// Compress a binary HWC spike map.
   static CsrIfmap encode(const snn::SpikeMap& dense);
 
+  /// Compress into a caller-owned CsrIfmap, reusing its `s_ptr`/`c_idcs`
+  /// buffers (capacity is retained across calls, so a warmed-up buffer
+  /// encodes with zero heap allocations).
+  static void encode_into(const snn::SpikeMap& dense, CsrIfmap& out);
+
+  /// Footprint a map with `nnz` spikes over h*w positions would compress to,
+  /// without materializing the encoding (the hot path only needs the size).
+  static std::size_t footprint_from_count(std::size_t nnz, int h, int w,
+                                          int idx_bytes = 2) {
+    return nnz * static_cast<std::size_t>(idx_bytes) +
+           static_cast<std::size_t>(h) * static_cast<std::size_t>(w) *
+               static_cast<std::size_t>(idx_bytes);
+  }
+
   /// Reconstruct the dense binary map (for tests / golden comparisons).
   snn::SpikeMap decode() const;
 

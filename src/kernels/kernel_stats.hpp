@@ -43,6 +43,15 @@ struct KernelStats {
     return a;
   }
 
+  /// Reset to a default-constructed state while keeping the `core_cycles`
+  /// capacity (scratch-arena reuse across layer executions).
+  void reset() {
+    cycles = compute_cycles = dma_cycles = 0;
+    fpu_ops = fpu_mac_ops = int_instrs = tcdm_words = ssr_elems = dma_bytes = 0;
+    active_cores = 8;
+    core_cycles.clear();
+  }
+
   void accumulate(const KernelStats& o) {
     cycles += o.cycles;
     compute_cycles += o.compute_cycles;

@@ -1,7 +1,13 @@
 #include "kernels/layer_kernels.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
+
+#if defined(__AVX512F__) && defined(__F16C__)
+#include <immintrin.h>
+#endif
 
 #include "common/check.hpp"
 #include "kernels/scheduler.hpp"
@@ -27,15 +33,21 @@ int n_groups(int out_c, common::FpFormat fmt) {
   return (out_c + simd - 1) / simd;
 }
 
-/// Spikes emitted at one output position within one SIMD group.
-double group_spikes(const snn::SpikeMap& out, int oy, int ox, int g,
-                    common::FpFormat fmt) {
-  const int simd = common::simd_lanes(fmt);
-  const int lo = g * simd;
-  const int hi = std::min(lo + simd, out.c);
-  double n = 0;
-  for (int ch = lo; ch < hi; ++ch) n += out.at(oy, ox, ch);
-  return n;
+/// One sweep over the spikes at output position (oy, ox): per-SIMD-group
+/// spike counts into counts[0..groups). Replaces the former per-(oy,ox,g)
+/// group_spikes() recount — every channel is now read exactly once per
+/// position through a hoisted row pointer, with the same per-group summation
+/// order (so the double-precision counts are bit-identical).
+void group_counts_at(const snn::SpikeMap& out, int oy, int ox, int simd,
+                     int groups, double* counts) {
+  const std::uint8_t* row = &out.at(oy, ox, 0);
+  for (int g = 0; g < groups; ++g) {
+    const int lo = g * simd;
+    const int hi = std::min(lo + simd, out.c);
+    double n = 0;
+    for (int ch = lo; ch < hi; ++ch) n += row[ch];
+    counts[g] = n;
+  }
 }
 
 /// Average memory-port pressure per core per cycle for the conflict model.
@@ -49,12 +61,13 @@ double access_rate(Variant v, const CostParams& p) {
   return 1.25 / p.fadd_latency;
 }
 
-ScheduleResult schedule(const RunOptions& opt,
-                        const std::vector<double>& tasks) {
+void schedule_into(const RunOptions& opt, std::span<const double> tasks,
+                   ScheduleResult& r) {
   if (opt.workload_stealing) {
-    return steal_schedule(tasks, opt.cores, opt.cost.steal_cost);
+    steal_schedule_into(tasks, opt.cores, opt.cost.steal_cost, r);
+  } else {
+    static_schedule_into(tasks, opt.cores, r);
   }
-  return static_schedule(tasks, opt.cores);
 }
 
 /// Shared activity bookkeeping for one sparse SpVA of length `s`.
@@ -77,15 +90,194 @@ void count_activation(KernelStats& st, const CostParams& p, int simd,
   st.tcdm_words += 1.0 + spikes / 4.0;  // s_ptr update + packed c_idcs
 }
 
+/// Accumulate the gathered weight rows into `acc[0..out_c)`. Rows are added
+/// strictly in gather order — `acc = (((acc + w0) + w1) + w2) + w3` — so the
+/// result is bit-identical to the naive one-row-at-a-time loop (and to the
+/// golden reference); processing four rows per sweep just amortizes the
+/// accumulator loads/stores over four streamed row reads.
+void add_rows(float* __restrict__ acc, const void* const* rows,
+              std::size_t n_rows, int out_c) {
+  std::size_t r = 0;
+  for (; r + 4 <= n_rows; r += 4) {
+    const float* __restrict__ w0 = static_cast<const float*>(rows[r]);
+    const float* __restrict__ w1 = static_cast<const float*>(rows[r + 1]);
+    const float* __restrict__ w2 = static_cast<const float*>(rows[r + 2]);
+    const float* __restrict__ w3 = static_cast<const float*>(rows[r + 3]);
+    for (int co = 0; co < out_c; ++co) {
+      acc[co] = (((acc[co] + w0[co]) + w1[co]) + w2[co]) + w3[co];
+    }
+  }
+  for (; r < n_rows; ++r) {
+    const float* __restrict__ w0 = static_cast<const float*>(rows[r]);
+    for (int co = 0; co < out_c; ++co) acc[co] += w0[co];
+  }
+}
+
+#if defined(__AVX512F__) && defined(__F16C__)
+#define SPIKESTREAM_HALF_ROWS 1
+
+/// Half-precision weight streaming: rows hold IEEE binary16 bit patterns
+/// (LayerWeights::half), converted to float32 by vcvtph2ps right before the
+/// add. Lane-wise the accumulation order and the converted values are
+/// exactly those of add_rows() on the float32 rows, so spikes stay
+/// bit-identical — only the memory traffic is halved. Requires out_c to be a
+/// multiple of 16 (callers fall back to add_rows otherwise).
+void add_rows_half(float* acc, const void* const* rows, std::size_t n_rows,
+                   int out_c) {
+  std::size_t r = 0;
+  for (; r + 4 <= n_rows; r += 4) {
+    const auto* w0 = static_cast<const std::uint16_t*>(rows[r]);
+    const auto* w1 = static_cast<const std::uint16_t*>(rows[r + 1]);
+    const auto* w2 = static_cast<const std::uint16_t*>(rows[r + 2]);
+    const auto* w3 = static_cast<const std::uint16_t*>(rows[r + 3]);
+    for (int co = 0; co + 16 <= out_c; co += 16) {
+      __m512 s = _mm512_loadu_ps(acc + co);
+      s = _mm512_add_ps(s, _mm512_cvtph_ps(_mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(w0 + co))));
+      s = _mm512_add_ps(s, _mm512_cvtph_ps(_mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(w1 + co))));
+      s = _mm512_add_ps(s, _mm512_cvtph_ps(_mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(w2 + co))));
+      s = _mm512_add_ps(s, _mm512_cvtph_ps(_mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(w3 + co))));
+      _mm512_storeu_ps(acc + co, s);
+    }
+  }
+  for (; r < n_rows; ++r) {
+    const auto* w0 = static_cast<const std::uint16_t*>(rows[r]);
+    for (int co = 0; co + 16 <= out_c; co += 16) {
+      const __m512 s = _mm512_add_ps(
+          _mm512_loadu_ps(acc + co),
+          _mm512_cvtph_ps(_mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(w0 + co))));
+      _mm512_storeu_ps(acc + co, s);
+    }
+  }
+}
+#endif  // __AVX512F__ && __F16C__
+
+/// True when this layer's rows should stream as binary16.
+bool use_half_rows(const snn::LayerWeights& w, int out_c) {
+#ifdef SPIKESTREAM_HALF_ROWS
+  return w.half_exact && out_c % 16 == 0;
+#else
+  (void)w;
+  (void)out_c;
+  return false;
+#endif
+}
+
+void dispatch_add_rows(bool half, float* __restrict__ acc,
+                       const void* const* rows, std::size_t n_rows,
+                       int out_c) {
+#ifdef SPIKESTREAM_HALF_ROWS
+  if (half) {
+    add_rows_half(acc, rows, n_rows, out_c);
+    return;
+  }
+#else
+  (void)half;
+#endif
+  add_rows(acc, rows, n_rows, out_c);
+}
+
 }  // namespace
 
-LayerRun run_conv_layer(const snn::LayerSpec& spec,
-                        const snn::LayerWeights& weights,
-                        const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
-                        const RunOptions& opt) {
+// ---------------------------------------------------------------------------
+// Functional passes
+// ---------------------------------------------------------------------------
+
+void conv_functional(const snn::LayerSpec& spec,
+                     const snn::LayerWeights& weights,
+                     const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+                     KernelScratch& scratch) {
   SPK_CHECK(ifmap.h() == spec.in_h && ifmap.w() == spec.in_w &&
                 ifmap.c() == spec.in_c,
             "conv " << spec.name << ": ifmap shape mismatch");
+  const int k = spec.k;
+  const int oh = spec.out_h(), ow = spec.out_w();
+  const int out_c = spec.out_c;
+
+  snn::Tensor& currents = scratch.currents;
+  currents.reshape(oh, ow, out_c);
+  std::fill(currents.v.begin(), currents.v.end(), 0.0f);
+
+  const bool half = use_half_rows(weights, out_c);
+  const char* wbase = half
+                          ? reinterpret_cast<const char*>(weights.half.data())
+                          : reinterpret_cast<const char*>(weights.v.data());
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(out_c) *
+      (half ? sizeof(std::uint16_t) : sizeof(float));
+  const std::size_t in_c = static_cast<std::size_t>(weights.in_c);
+  std::vector<const void*>& rows = scratch.rows;
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      // Hoist the weight-row pointers of this receptive field, in the same
+      // (kh, kw, ci) order the reference walks them.
+      rows.clear();
+      for (int kh = 0; kh < k; ++kh) {
+        for (int kw = 0; kw < k; ++kw) {
+          const std::size_t base =
+              (static_cast<std::size_t>(kh) * k + kw) * in_c;
+          for (std::uint16_t ci : ifmap.at(oy + kh, ox + kw)) {
+            rows.push_back(wbase + (base + ci) * row_bytes);
+          }
+        }
+      }
+      dispatch_add_rows(half, &currents.at(oy, ox, 0), rows.data(),
+                        rows.size(), out_c);
+    }
+  }
+  scratch.run.out_nnz =
+      snn::lif_step_into(spec.lif, currents, membrane, scratch.run.out_spikes);
+}
+
+void fc_functional(const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+                   const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+                   KernelScratch& scratch) {
+  SPK_CHECK(ifmap.h() == 1 && ifmap.w() == 1 && ifmap.c() == spec.in_c,
+            "fc " << spec.name << ": input shape mismatch");
+  const int out_c = spec.out_c;
+  snn::Tensor& currents = scratch.currents;
+  currents.reshape(1, 1, out_c);
+  std::fill(currents.v.begin(), currents.v.end(), 0.0f);
+
+  const bool half = use_half_rows(weights, out_c);
+  const char* wbase = half
+                          ? reinterpret_cast<const char*>(weights.half.data())
+                          : reinterpret_cast<const char*>(weights.v.data());
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(out_c) *
+      (half ? sizeof(std::uint16_t) : sizeof(float));
+  std::vector<const void*>& rows = scratch.rows;
+  rows.clear();
+  for (std::uint16_t ci : ifmap.at(0, 0)) {
+    rows.push_back(wbase + static_cast<std::size_t>(ci) * row_bytes);
+  }
+  dispatch_add_rows(half, currents.v.data(), rows.data(), rows.size(), out_c);
+  scratch.run.out_nnz =
+      snn::lif_step_into(spec.lif, currents, membrane, scratch.run.out_spikes);
+}
+
+void encode_functional(const snn::LayerSpec& spec,
+                       const snn::LayerWeights& weights,
+                       const snn::Tensor& padded_image, snn::Tensor& membrane,
+                       KernelScratch& scratch) {
+  SPK_CHECK(padded_image.h == spec.in_h && padded_image.c == spec.in_c,
+            "encode: input shape mismatch");
+  snn::Reference::conv_currents_dense_into(padded_image, weights,
+                                           scratch.currents);
+  scratch.run.out_nnz = snn::lif_step_into(spec.lif, scratch.currents,
+                                           membrane, scratch.run.out_spikes);
+}
+
+// ---------------------------------------------------------------------------
+// Timing passes
+// ---------------------------------------------------------------------------
+
+void conv_timing(const snn::LayerSpec& spec, const compress::CsrIfmap& ifmap,
+                 const RunOptions& opt, KernelScratch& scratch) {
   const CostParams& p = opt.cost;
   const common::FpFormat fmt = opt.fmt;
   const int simd = common::simd_lanes(fmt);
@@ -93,25 +285,8 @@ LayerRun run_conv_layer(const snn::LayerSpec& spec,
   const int k = spec.k;
   const int oh = spec.out_h(), ow = spec.out_w();
 
-  // ---------------- functional pass (must match the golden reference) ------
-  snn::Tensor currents(oh, ow, spec.out_c);
-  for (int oy = 0; oy < oh; ++oy) {
-    for (int ox = 0; ox < ow; ++ox) {
-      float* acc = &currents.at(oy, ox, 0);
-      for (int kh = 0; kh < k; ++kh) {
-        for (int kw = 0; kw < k; ++kw) {
-          for (std::uint16_t ci : ifmap.at(oy + kh, ox + kw)) {
-            const float* wrow = &weights.v[weights.index(kh, kw, ci, 0)];
-            for (int co = 0; co < spec.out_c; ++co) acc[co] += wrow[co];
-          }
-        }
-      }
-    }
-  }
-  LayerRun run;
-  run.out_spikes = snn::lif_step(spec.lif, currents, membrane);
-
-  // ---------------- timing pass ---------------------------------------------
+  LayerRun& run = scratch.run;
+  const snn::SpikeMap& out = run.out_spikes;
   const int groups = n_groups(spec.out_c, fmt);
   const double stretch =
       opt.variant == Variant::kBaseline
@@ -119,9 +294,13 @@ LayerRun run_conv_layer(const snn::LayerSpec& spec,
           : p.conflict_stretch(access_rate(opt.variant, p), opt.cores);
 
   KernelStats& st = run.stats;
+  st.reset();
   st.active_cores = opt.cores;
-  std::vector<double> rf_costs;
+  std::vector<double>& rf_costs = scratch.tasks;
+  rf_costs.clear();
   rf_costs.reserve(static_cast<std::size_t>(oh) * ow);
+  scratch.group_counts.resize(static_cast<std::size_t>(groups));
+  double* gcounts = scratch.group_counts.data();
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
       // Stream lengths of the k*k SpVAs of this receptive field. The same
@@ -137,13 +316,14 @@ LayerRun run_conv_layer(const snn::LayerSpec& spec,
         }
       }
       st.fpu_ops += elems * groups;
+      group_counts_at(out, oy, ox, simd, groups, gcounts);
 
       double rf = 0;
       if (opt.variant == Variant::kSpikeStream) {
         fpu_time *= groups;
         int_time = p.steal_cost + p.ss_setup * k * k * groups;
         for (int g = 0; g < groups; ++g) {
-          const double gs = group_spikes(run.out_spikes, oy, ox, g, fmt);
+          const double gs = gcounts[g];
           int_time += activation_cycles(p, simd, gs, fp8);
           count_activation(st, p, simd, gs, fp8);
         }
@@ -161,7 +341,7 @@ LayerRun run_conv_layer(const snn::LayerSpec& spec,
                     p.ss_residue * k * k) * groups;
         int_time = p.steal_cost + p.dense_setup * k * k * groups;
         for (int g = 0; g < groups; ++g) {
-          const double gs = group_spikes(run.out_spikes, oy, ox, g, fmt);
+          const double gs = gcounts[g];
           int_time += activation_cycles(p, simd, gs, fp8);
           count_activation(st, p, simd, gs, fp8);
         }
@@ -176,7 +356,7 @@ LayerRun run_conv_layer(const snn::LayerSpec& spec,
               p.baseline_spva_overhead * k * k) *
              groups;
         for (int g = 0; g < groups; ++g) {
-          const double gs = group_spikes(run.out_spikes, oy, ox, g, fmt);
+          const double gs = gcounts[g];
           rf += activation_cycles(p, simd, gs, fp8);
           count_activation(st, p, simd, gs, fp8);
         }
@@ -187,53 +367,36 @@ LayerRun run_conv_layer(const snn::LayerSpec& spec,
     }
   }
 
-  const ScheduleResult sched = schedule(opt, rf_costs);
-  st.core_cycles = sched.core_cycles;
-  st.compute_cycles = sched.makespan + p.icache_layer_warmup;
+  schedule_into(opt, rf_costs, scratch.sched);
+  st.core_cycles = scratch.sched.core_cycles;
+  st.compute_cycles = scratch.sched.makespan + p.icache_layer_warmup;
 
   run.plan = plan_layer(
       spec, fmt, static_cast<double>(ifmap.footprint_bytes()),
       static_cast<double>(
-          compress::CsrIfmap::encode(run.out_spikes).footprint_bytes()),
+          compress::CsrIfmap::footprint_from_count(run.out_nnz, oh, ow)),
       p, 128.0 * 1024, opt.double_buffer);
   st.dma_cycles = run.plan.dma_cycles;
   st.dma_bytes = run.plan.dma_bytes;
   st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
-  return run;
 }
 
-LayerRun run_fc_layer(const snn::LayerSpec& spec,
-                      const snn::LayerWeights& weights,
-                      const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
-                      const RunOptions& opt) {
-  SPK_CHECK(ifmap.h() == 1 && ifmap.w() == 1 && ifmap.c() == spec.in_c,
-            "fc " << spec.name << ": input shape mismatch");
+void fc_timing(const snn::LayerSpec& spec, const compress::CsrIfmap& ifmap,
+               const RunOptions& opt, KernelScratch& scratch) {
   const CostParams& p = opt.cost;
   const common::FpFormat fmt = opt.fmt;
   const int simd = common::simd_lanes(fmt);
   const bool fp8 = fmt == common::FpFormat::FP8;
 
-  // ---------------- functional pass ----------------------------------------
-  snn::Tensor currents(1, 1, spec.out_c);
-  const auto idcs = ifmap.at(0, 0);
-  for (std::uint16_t ci : idcs) {
-    const float* wrow = &weights.v[weights.index(0, 0, ci, 0)];
-    for (int co = 0; co < spec.out_c; ++co) {
-      currents.v[static_cast<std::size_t>(co)] += wrow[co];
-    }
-  }
-  LayerRun run;
-  run.out_spikes = snn::lif_step(spec.lif, currents, membrane);
-
-  // ---------------- timing pass ---------------------------------------------
+  LayerRun& run = scratch.run;
   run.plan = plan_layer(
       spec, fmt, static_cast<double>(ifmap.footprint_bytes()),
       static_cast<double>(
-          compress::CsrIfmap::encode(run.out_spikes).footprint_bytes()),
+          compress::CsrIfmap::footprint_from_count(run.out_nnz, 1, 1)),
       p, 128.0 * 1024, opt.double_buffer);
 
   const int groups = n_groups(spec.out_c, fmt);
-  const double s_total = static_cast<double>(idcs.size());
+  const double s_total = static_cast<double>(ifmap.nnz());
   const int segs = run.plan.in_segments;
   const double s_seg = s_total / segs;
   const double stretch =
@@ -242,11 +405,16 @@ LayerRun run_fc_layer(const snn::LayerSpec& spec,
           : p.conflict_stretch(access_rate(opt.variant, p), opt.cores);
 
   KernelStats& st = run.stats;
+  st.reset();
   st.active_cores = opt.cores;
-  std::vector<double> tasks;
+  std::vector<double>& tasks = scratch.tasks;
+  tasks.clear();
   tasks.reserve(static_cast<std::size_t>(groups));
+  scratch.group_counts.resize(static_cast<std::size_t>(groups));
+  double* gcounts = scratch.group_counts.data();
+  group_counts_at(run.out_spikes, 0, 0, simd, groups, gcounts);
   for (int g = 0; g < groups; ++g) {
-    const double gs = group_spikes(run.out_spikes, 0, 0, g, fmt);
+    const double gs = gcounts[g];
     double t = 0;
     if (opt.variant == Variant::kSpikeStream) {
       const double fpu_time =
@@ -277,7 +445,8 @@ LayerRun run_fc_layer(const snn::LayerSpec& spec,
     count_activation(st, p, simd, gs, fp8);
     tasks.push_back(t);
   }
-  ScheduleResult sched = schedule(opt, tasks);
+  ScheduleResult& sched = scratch.sched;
+  schedule_into(opt, tasks, sched);
   // Index pre-scaling pass (base ISA lacks strided indirect streams, Section
   // VI): performed once, split across cores, before the group streams start.
   // With the proposed extension an index addresses a weight row directly and
@@ -295,29 +464,18 @@ LayerRun run_fc_layer(const snn::LayerSpec& spec,
   st.dma_cycles = run.plan.dma_cycles;
   st.dma_bytes = run.plan.dma_bytes;
   st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
-  return run;
 }
 
-LayerRun run_encode_layer(const snn::LayerSpec& spec,
-                          const snn::LayerWeights& weights,
-                          const snn::Tensor& padded_image,
-                          snn::Tensor& membrane, const RunOptions& opt) {
-  SPK_CHECK(padded_image.h == spec.in_h && padded_image.c == spec.in_c,
-            "encode: input shape mismatch");
+void encode_timing(const snn::LayerSpec& spec, const RunOptions& opt,
+                   KernelScratch& scratch) {
   const CostParams& p = opt.cost;
   const common::FpFormat fmt = opt.fmt;
   const int simd = common::simd_lanes(fmt);
   const bool fp8 = fmt == common::FpFormat::FP8;
 
-  // ---------------- functional pass ----------------------------------------
-  snn::Tensor currents =
-      snn::Reference::conv_currents_dense(padded_image, weights);
-  LayerRun run;
-  run.out_spikes = snn::lif_step(spec.lif, currents, membrane);
-
-  // ---------------- timing pass ---------------------------------------------
   // Conv-as-matmul over the im2row stream: each core owns a set of output-
   // channel groups (Section III-F) and walks all output positions.
+  LayerRun& run = scratch.run;
   const int groups = n_groups(spec.out_c, fmt);
   const double dot_len = static_cast<double>(spec.k) * spec.k * spec.in_c;
   const int oh = spec.out_h(), ow = spec.out_w();
@@ -327,14 +485,32 @@ LayerRun run_encode_layer(const snn::LayerSpec& spec,
           : p.conflict_stretch(2.0 / p.dense_ii(), opt.cores);
 
   KernelStats& st = run.stats;
+  st.reset();
   st.active_cores = opt.cores;
-  std::vector<double> tasks;
+
+  // One sweep over the output spikes fills the per-(position, group) counts
+  // the group-major timing loops below consume.
+  const std::size_t positions = static_cast<std::size_t>(oh) * ow;
+  scratch.group_counts.resize(positions * static_cast<std::size_t>(groups));
+  double* gcounts = scratch.group_counts.data();
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      const std::size_t pos = static_cast<std::size_t>(oy) * ow + ox;
+      group_counts_at(run.out_spikes, oy, ox, simd, groups,
+                      gcounts + pos * static_cast<std::size_t>(groups));
+    }
+  }
+
+  std::vector<double>& tasks = scratch.tasks;
+  tasks.clear();
   tasks.reserve(static_cast<std::size_t>(groups));
   for (int g = 0; g < groups; ++g) {
     double fpu_time = 0, int_time = 0, t = 0;
     for (int oy = 0; oy < oh; ++oy) {
       for (int ox = 0; ox < ow; ++ox) {
-        const double gs = group_spikes(run.out_spikes, oy, ox, g, fmt);
+        const std::size_t pos = static_cast<std::size_t>(oy) * ow + ox;
+        const double gs =
+            gcounts[pos * static_cast<std::size_t>(groups) + g];
         const double act = activation_cycles(p, simd, gs, fp8);
         count_activation(st, p, simd, gs, fp8);
         st.fpu_ops += dot_len;
@@ -357,15 +533,48 @@ LayerRun run_encode_layer(const snn::LayerSpec& spec,
     }
     tasks.push_back(t);
   }
-  const ScheduleResult sched = schedule(opt, tasks);
-  st.core_cycles = sched.core_cycles;
-  st.compute_cycles = sched.makespan + p.icache_layer_warmup;
+  schedule_into(opt, tasks, scratch.sched);
+  st.core_cycles = scratch.sched.core_cycles;
+  st.compute_cycles = scratch.sched.makespan + p.icache_layer_warmup;
 
   run.plan = plan_encode_layer(spec, fmt, p, 128.0 * 1024, opt.double_buffer);
   st.dma_cycles = run.plan.dma_cycles;
   st.dma_bytes = run.plan.dma_bytes;
   st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
-  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Combined layer execution
+// ---------------------------------------------------------------------------
+
+const LayerRun& run_conv_layer(const snn::LayerSpec& spec,
+                               const snn::LayerWeights& weights,
+                               const compress::CsrIfmap& ifmap,
+                               snn::Tensor& membrane, const RunOptions& opt,
+                               KernelScratch& scratch) {
+  conv_functional(spec, weights, ifmap, membrane, scratch);
+  conv_timing(spec, ifmap, opt, scratch);
+  return scratch.run;
+}
+
+const LayerRun& run_fc_layer(const snn::LayerSpec& spec,
+                             const snn::LayerWeights& weights,
+                             const compress::CsrIfmap& ifmap,
+                             snn::Tensor& membrane, const RunOptions& opt,
+                             KernelScratch& scratch) {
+  fc_functional(spec, weights, ifmap, membrane, scratch);
+  fc_timing(spec, ifmap, opt, scratch);
+  return scratch.run;
+}
+
+const LayerRun& run_encode_layer(const snn::LayerSpec& spec,
+                                 const snn::LayerWeights& weights,
+                                 const snn::Tensor& padded_image,
+                                 snn::Tensor& membrane, const RunOptions& opt,
+                                 KernelScratch& scratch) {
+  encode_functional(spec, weights, padded_image, membrane, scratch);
+  encode_timing(spec, opt, scratch);
+  return scratch.run;
 }
 
 }  // namespace spikestream::kernels

@@ -9,12 +9,19 @@
 //  * Variant::kSpikeStream — adds SA (Section III-E): indirect-SSR weight
 //    streams + FREP decoupling for conv/FC, two affine SSRs for the dense
 //    encode matmul.
+//
+// Each kernel is split into a *functional* pass (accumulate currents, run the
+// LIF step — the math that must match the golden reference bit-for-bit) and a
+// *timing* pass (the mechanistic cost model). Both write into a caller-owned
+// KernelScratch so steady-state execution allocates nothing; backends may run
+// the passes separately to memoize the timing (see runtime/backend.hpp).
 #pragma once
 
 #include "common/float_formats.hpp"
 #include "compress/csr_ifmap.hpp"
 #include "kernels/cost_model.hpp"
 #include "kernels/kernel_stats.hpp"
+#include "kernels/scratch.hpp"
 #include "kernels/tiling.hpp"
 #include "snn/network.hpp"
 #include "snn/tensor.hpp"
@@ -43,30 +50,88 @@ struct RunOptions {
   CostParams cost;
 };
 
-struct LayerRun {
-  snn::SpikeMap out_spikes;  ///< raw output spikes (pre-pool, pre-pad)
-  KernelStats stats;
-  TilePlan plan;
-};
+// --- functional passes ------------------------------------------------------
+// Accumulate synaptic currents and run one LIF step. Fills
+// `scratch.run.out_spikes` / `scratch.run.out_nnz` and updates `membrane` in
+// place. Bit-exact vs. snn::Reference (same accumulation order).
+
+void conv_functional(const snn::LayerSpec& spec,
+                     const snn::LayerWeights& weights,
+                     const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+                     KernelScratch& scratch);
+void fc_functional(const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+                   const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+                   KernelScratch& scratch);
+void encode_functional(const snn::LayerSpec& spec,
+                       const snn::LayerWeights& weights,
+                       const snn::Tensor& padded_image, snn::Tensor& membrane,
+                       KernelScratch& scratch);
+
+// --- timing passes ----------------------------------------------------------
+// Mechanistic cost model over the spikes produced by the functional pass.
+// Fills `scratch.run.stats` and `scratch.run.plan`; must be called after the
+// matching functional pass on the same scratch.
+
+void conv_timing(const snn::LayerSpec& spec, const compress::CsrIfmap& ifmap,
+                 const RunOptions& opt, KernelScratch& scratch);
+void fc_timing(const snn::LayerSpec& spec, const compress::CsrIfmap& ifmap,
+               const RunOptions& opt, KernelScratch& scratch);
+void encode_timing(const snn::LayerSpec& spec, const RunOptions& opt,
+                   KernelScratch& scratch);
+
+// --- combined layer execution (functional + timing) -------------------------
+// Results live in `scratch.run`; the returned reference aliases it.
 
 /// Spiking convolution on a compressed ifmap (one timestep). `membrane` is
 /// the layer's persistent neuron state and must have the output shape.
-LayerRun run_conv_layer(const snn::LayerSpec& spec,
-                        const snn::LayerWeights& weights,
-                        const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
-                        const RunOptions& opt);
+const LayerRun& run_conv_layer(const snn::LayerSpec& spec,
+                               const snn::LayerWeights& weights,
+                               const compress::CsrIfmap& ifmap,
+                               snn::Tensor& membrane, const RunOptions& opt,
+                               KernelScratch& scratch);
 
 /// Spiking fully-connected layer on a flat (1x1xN) compressed input.
-LayerRun run_fc_layer(const snn::LayerSpec& spec,
-                      const snn::LayerWeights& weights,
-                      const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
-                      const RunOptions& opt);
+const LayerRun& run_fc_layer(const snn::LayerSpec& spec,
+                             const snn::LayerWeights& weights,
+                             const compress::CsrIfmap& ifmap,
+                             snn::Tensor& membrane, const RunOptions& opt,
+                             KernelScratch& scratch);
 
 /// Spike-encoding first layer: dense conv-as-matmul on the padded image
 /// (Section III-F). Parallelized over output channels, two affine SSRs.
-LayerRun run_encode_layer(const snn::LayerSpec& spec,
-                          const snn::LayerWeights& weights,
-                          const snn::Tensor& padded_image,
-                          snn::Tensor& membrane, const RunOptions& opt);
+const LayerRun& run_encode_layer(const snn::LayerSpec& spec,
+                                 const snn::LayerWeights& weights,
+                                 const snn::Tensor& padded_image,
+                                 snn::Tensor& membrane, const RunOptions& opt,
+                                 KernelScratch& scratch);
+
+// --- allocating conveniences (tests / benches / one-shot callers) -----------
+
+inline LayerRun run_conv_layer(const snn::LayerSpec& spec,
+                               const snn::LayerWeights& weights,
+                               const compress::CsrIfmap& ifmap,
+                               snn::Tensor& membrane, const RunOptions& opt) {
+  KernelScratch scratch;
+  run_conv_layer(spec, weights, ifmap, membrane, opt, scratch);
+  return std::move(scratch.run);
+}
+
+inline LayerRun run_fc_layer(const snn::LayerSpec& spec,
+                             const snn::LayerWeights& weights,
+                             const compress::CsrIfmap& ifmap,
+                             snn::Tensor& membrane, const RunOptions& opt) {
+  KernelScratch scratch;
+  run_fc_layer(spec, weights, ifmap, membrane, opt, scratch);
+  return std::move(scratch.run);
+}
+
+inline LayerRun run_encode_layer(const snn::LayerSpec& spec,
+                                 const snn::LayerWeights& weights,
+                                 const snn::Tensor& padded_image,
+                                 snn::Tensor& membrane, const RunOptions& opt) {
+  KernelScratch scratch;
+  run_encode_layer(spec, weights, padded_image, membrane, opt, scratch);
+  return std::move(scratch.run);
+}
 
 }  // namespace spikestream::kernels

@@ -5,7 +5,7 @@
 // steal cost per task. A static round-robin variant backs the ablation bench.
 #pragma once
 
-#include <queue>
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -25,24 +25,45 @@ struct ScheduleResult {
   }
 };
 
+/// Dynamic workload stealing into a caller-owned result (scratch reuse, no
+/// allocations once `core_cycles` capacity is warm): tasks claimed in order
+/// by the earliest-free core (lowest index on ties, matching the atomic
+/// next_rf fetch); each claim pays `steal_cost` cycles. Core counts are
+/// single digits, so a linear min-scan beats a heap and needs no storage.
+inline void steal_schedule_into(std::span<const double> task_cycles, int cores,
+                                double steal_cost, ScheduleResult& r) {
+  r.core_cycles.assign(static_cast<std::size_t>(cores), 0.0);
+  r.makespan = 0;
+  for (double t : task_cycles) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < r.core_cycles.size(); ++c) {
+      if (r.core_cycles[c] < r.core_cycles[best]) best = c;
+    }
+    // Same evaluation order as `time + steal_cost + t` so results stay
+    // bit-identical to the historical priority-queue implementation.
+    r.core_cycles[best] = r.core_cycles[best] + steal_cost + t;
+  }
+  for (double c : r.core_cycles) r.makespan = std::max(r.makespan, c);
+}
+
 /// Dynamic workload stealing: tasks claimed in order by the earliest-free
 /// core; each claim pays `steal_cost` cycles.
 inline ScheduleResult steal_schedule(std::span<const double> task_cycles,
                                      int cores, double steal_cost) {
   ScheduleResult r;
+  steal_schedule_into(task_cycles, cores, steal_cost, r);
+  return r;
+}
+
+/// Static round-robin pre-assignment into a caller-owned result.
+inline void static_schedule_into(std::span<const double> task_cycles,
+                                 int cores, ScheduleResult& r) {
   r.core_cycles.assign(static_cast<std::size_t>(cores), 0.0);
-  using Entry = std::pair<double, int>;  // (time, core)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
-  for (int c = 0; c < cores; ++c) pq.push({0.0, c});
-  for (double t : task_cycles) {
-    auto [time, c] = pq.top();
-    pq.pop();
-    const double fin = time + steal_cost + t;
-    r.core_cycles[static_cast<std::size_t>(c)] = fin;
-    pq.push({fin, c});
+  r.makespan = 0;
+  for (std::size_t i = 0; i < task_cycles.size(); ++i) {
+    r.core_cycles[i % static_cast<std::size_t>(cores)] += task_cycles[i];
   }
   for (double c : r.core_cycles) r.makespan = std::max(r.makespan, c);
-  return r;
 }
 
 /// Static round-robin pre-assignment (ablation baseline): core i gets tasks
@@ -50,11 +71,7 @@ inline ScheduleResult steal_schedule(std::span<const double> task_cycles,
 inline ScheduleResult static_schedule(std::span<const double> task_cycles,
                                       int cores) {
   ScheduleResult r;
-  r.core_cycles.assign(static_cast<std::size_t>(cores), 0.0);
-  for (std::size_t i = 0; i < task_cycles.size(); ++i) {
-    r.core_cycles[i % static_cast<std::size_t>(cores)] += task_cycles[i];
-  }
-  for (double c : r.core_cycles) r.makespan = std::max(r.makespan, c);
+  static_schedule_into(task_cycles, cores, r);
   return r;
 }
 

@@ -1,0 +1,72 @@
+// Scratch arenas for the simulation hot path. Every buffer a layer execution
+// needs — accumulator planes, spike maps, CSR index/row buffers, timing-pass
+// task vectors — lives in one of these structs, owned by snn::NetworkState
+// (one LayerScratch per layer per state) and *borrowed* by the engine,
+// backends and kernels for the duration of a call. Buffers are grown on first
+// use and only ever reused after that, so steady-state inference performs
+// zero heap allocations per layer (tests/test_scratch_reuse.cpp pins this
+// down with an allocation-counting operator-new hook).
+//
+// Ownership rule: the state owns the memory, execution borrows it. A
+// NetworkState must therefore not be used from two threads at once — which
+// was already the per-sample contract — while engines/backends stay immutable
+// and shareable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "compress/csr_ifmap.hpp"
+#include "kernels/kernel_stats.hpp"
+#include "kernels/scheduler.hpp"
+#include "kernels/tiling.hpp"
+#include "snn/tensor.hpp"
+
+namespace spikestream::kernels {
+
+/// Result of one layer execution. Lives inside a KernelScratch so the spike
+/// map, the per-core cycle vector and the plan are reused across calls.
+struct LayerRun {
+  snn::SpikeMap out_spikes;  ///< raw output spikes (pre-pool, pre-pad)
+  std::size_t out_nnz = 0;   ///< spike_count(out_spikes), tracked by LIF
+  KernelStats stats;
+  TilePlan plan;
+};
+
+/// Everything one kernel invocation (conv / FC / encode) allocates: the
+/// functional-pass accumulator plane, the hoisted weight-row pointer list,
+/// the timing-pass task costs and group spike counts, and the schedule
+/// simulation buffers. Reused verbatim across layers of compatible shape;
+/// grown (never shrunk) otherwise.
+struct KernelScratch {
+  LayerRun run;                    ///< kernel output, reused across calls
+  snn::Tensor currents;            ///< synaptic-current accumulator plane
+  /// Hoisted weight-row pointers of one receptive field. Type-erased: they
+  /// point at float32 rows or (on the half-precision fast path) binary16
+  /// rows; the add loop that fills them knows which.
+  std::vector<const void*> rows;
+  std::vector<double> tasks;       ///< timing pass: per-RF / per-group costs
+  std::vector<double> group_counts;  ///< per-position SIMD-group spike counts
+  ScheduleResult sched;            ///< steal/static schedule simulation
+};
+
+/// Per-cluster lane of the sharded backend: the compacted membrane slice one
+/// simulated cluster owns plus the scratch its kernel call runs in.
+struct ShardLane {
+  KernelScratch ks;
+  snn::Tensor membrane;  ///< channel-slice view of the full membrane
+};
+
+/// Per-(state, layer) arena: the main execution lane plus the engine-side
+/// buffers (input compression, spike routing, image padding) and the sharded
+/// backend's per-cluster lanes (created lazily on first sharded run).
+struct LayerScratch {
+  KernelScratch main;
+  compress::CsrIfmap csr;   ///< engine: compressed input ifmap of this layer
+  snn::SpikeMap routed;     ///< engine: pooled/padded/flattened output carry
+  snn::SpikeMap pooled;     ///< engine: OR-pool intermediate
+  snn::Tensor padded;       ///< engine: encode-layer padded image
+  std::vector<ShardLane> lanes;  ///< ShardedBackend: one per cluster
+};
+
+}  // namespace spikestream::kernels

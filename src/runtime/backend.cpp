@@ -1,5 +1,8 @@
 #include "runtime/backend.hpp"
 
+#include <cmath>
+#include <cstring>
+
 #include "common/check.hpp"
 #include "runtime/backend_cycle.hpp"
 #include "runtime/backend_sharded.hpp"
@@ -15,13 +18,121 @@ const char* backend_name(BackendKind k) {
   return "?";
 }
 
+namespace {
+
+/// FNV-1a over a byte range.
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Logarithmic occupancy bucket (~12% granularity): spike counts within one
+/// bucket share a memoized timing result, which bounds the relative cycle
+/// deviation by the bucket width.
+long occupancy_bucket(std::size_t nnz) {
+  if (nnz == 0) return -1;
+  return static_cast<long>(
+      std::floor(std::log2(static_cast<double>(nnz)) * 6.0));
+}
+
+}  // namespace
+
+CostMemo::Key CostMemo::make_key(const snn::LayerSpec& spec,
+                                 std::size_t in_nnz, std::size_t out_nnz) {
+  std::uint64_t sig = 1469598103934665603ull;  // FNV offset basis
+  sig = fnv1a(sig, spec.name.data(), spec.name.size());
+  const int dims[] = {static_cast<int>(spec.kind), spec.in_h, spec.in_w,
+                      spec.in_c,  spec.k,          spec.out_c};
+  sig = fnv1a(sig, dims, sizeof(dims));
+  return {sig, occupancy_bucket(in_nnz), occupancy_bucket(out_nnz)};
+}
+
+bool CostMemo::lookup(const Key& key, kernels::LayerRun& run) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  run.stats = it->second.stats;  // copy-assign reuses core_cycles capacity
+  run.plan = it->second.plan;
+  return true;
+}
+
+void CostMemo::insert(const Key& key, const kernels::LayerRun& run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.emplace(key, Value{run.stats, run.plan});
+}
+
+// ---------------------------------------------------------------------------
+// AnalyticalBackend
+// ---------------------------------------------------------------------------
+
+const kernels::LayerRun& AnalyticalBackend::run_conv(
+    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+    const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+    kernels::LayerScratch& scratch) const {
+  kernels::KernelScratch& ks = scratch.main;
+  kernels::conv_functional(spec, weights, ifmap, membrane, ks);
+  if (memo_) {
+    const auto key = CostMemo::make_key(spec, ifmap.nnz(), ks.run.out_nnz);
+    if (memo_->lookup(key, ks.run)) return ks.run;
+    kernels::conv_timing(spec, ifmap, opt_, ks);
+    memo_->insert(key, ks.run);
+    return ks.run;
+  }
+  kernels::conv_timing(spec, ifmap, opt_, ks);
+  return ks.run;
+}
+
+const kernels::LayerRun& AnalyticalBackend::run_fc(
+    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+    const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+    kernels::LayerScratch& scratch) const {
+  kernels::KernelScratch& ks = scratch.main;
+  kernels::fc_functional(spec, weights, ifmap, membrane, ks);
+  if (memo_) {
+    const auto key = CostMemo::make_key(spec, ifmap.nnz(), ks.run.out_nnz);
+    if (memo_->lookup(key, ks.run)) return ks.run;
+    kernels::fc_timing(spec, ifmap, opt_, ks);
+    memo_->insert(key, ks.run);
+    return ks.run;
+  }
+  kernels::fc_timing(spec, ifmap, opt_, ks);
+  return ks.run;
+}
+
+const kernels::LayerRun& AnalyticalBackend::run_encode(
+    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+    const snn::Tensor& padded_image, snn::Tensor& membrane,
+    kernels::LayerScratch& scratch) const {
+  kernels::KernelScratch& ks = scratch.main;
+  kernels::encode_functional(spec, weights, padded_image, membrane, ks);
+  if (memo_) {
+    // The dense input has no occupancy; key on the output spikes only.
+    const auto key = CostMemo::make_key(spec, 0, ks.run.out_nnz);
+    if (memo_->lookup(key, ks.run)) return ks.run;
+    kernels::encode_timing(spec, opt_, ks);
+    memo_->insert(key, ks.run);
+    return ks.run;
+  }
+  kernels::encode_timing(spec, opt_, ks);
+  return ks.run;
+}
+
 std::unique_ptr<ExecutionBackend> make_backend(const kernels::RunOptions& opt,
                                                const BackendConfig& cfg) {
   switch (cfg.kind) {
     case BackendKind::kAnalytical:
-      return std::make_unique<AnalyticalBackend>(opt);
+      return std::make_unique<AnalyticalBackend>(opt, cfg.memoize_cost);
     case BackendKind::kCycleAccurate:
-      return std::make_unique<CycleAccurateBackend>(opt, cfg.iss_sample_spvas);
+      return std::make_unique<CycleAccurateBackend>(opt, cfg.iss_sample_spvas,
+                                                    cfg.memoize_cost);
     case BackendKind::kSharded:
       return std::make_unique<ShardedBackend>(opt, cfg.clusters,
                                               cfg.shard_threads);

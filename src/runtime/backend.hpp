@@ -13,13 +13,30 @@
 // All backends compute bit-identical spikes (they share one functional pass
 // contract); they differ only in the timing/energy attribution. Backends are
 // immutable after construction and safe to share across threads — per-sample
-// state lives in snn::NetworkState.
+// state (membranes AND the scratch arenas every run borrows) lives in
+// snn::NetworkState; a kernels::LayerScratch is threaded through each call so
+// steady-state execution allocates nothing.
+//
+// Cost-model memoization: with BackendConfig::memoize_cost the analytical and
+// cycle-accurate backends cache the timing-pass output (KernelStats +
+// TilePlan) keyed by (layer signature, input-occupancy bucket,
+// output-occupancy bucket). Repeated timesteps / batch samples with similar
+// sparsity then skip the O(positions * k^2 + cores * tasks) schedule
+// simulation entirely; the functional pass always runs, so spikes stay
+// bit-identical. The default (memoize_cost = false) is the exact mode:
+// cycle counts are deterministic and independent of execution order.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <tuple>
 
 #include "compress/csr_ifmap.hpp"
 #include "kernels/layer_kernels.hpp"
+#include "kernels/scratch.hpp"
 #include "snn/network.hpp"
 #include "snn/tensor.hpp"
 
@@ -43,6 +60,48 @@ struct BackendConfig {
   /// CycleAccurateBackend: SpVAs per ISS calibration run (larger = tighter
   /// amortization of the microkernel prologue, slower calibration).
   int iss_sample_spvas = 32;
+  /// Analytical / cycle-accurate: memoize the timing pass by occupancy
+  /// bucket (see the header comment). false = exact mode.
+  bool memoize_cost = false;
+};
+
+/// Thread-safe memo of timing-pass outputs, keyed by layer signature plus
+/// logarithmic occupancy buckets (~12% granularity) of the input/output
+/// spike counts. Values are populated from the first exact computation of a
+/// key; subsequent lookups within the same bucket reuse them. The key does
+/// not capture the *spatial distribution* of spikes, only totals, so the
+/// deviation from exact mode is empirical rather than hard-bounded —
+/// tests/test_cost_cache.cpp pins it at <30% per layer and <15% end-to-end
+/// on representative workloads. Use exact mode when cycle counts must be
+/// input-faithful.
+class CostMemo {
+ public:
+  struct Value {
+    kernels::KernelStats stats;
+    kernels::TilePlan plan;
+  };
+
+  /// (layer signature, input bucket, output bucket).
+  using Key = std::tuple<std::uint64_t, long, long>;
+
+  static Key make_key(const snn::LayerSpec& spec, std::size_t in_nnz,
+                      std::size_t out_nnz);
+
+  /// On hit, copies the cached stats/plan into `run` (reusing its buffer
+  /// capacity) and returns true.
+  bool lookup(const Key& key, kernels::LayerRun& run) const;
+  void insert(const Key& key, const kernels::LayerRun& run);
+
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Key, Value> cache_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
 };
 
 class ExecutionBackend {
@@ -60,53 +119,97 @@ class ExecutionBackend {
   const kernels::RunOptions& options() const { return opt_; }
 
   // Per-layer execution. `membrane` is the layer's persistent neuron state
-  // (output-shaped) and is updated in place. Implementations must be safe to
-  // call concurrently from multiple threads: BatchRunner shares one backend
-  // across all sample workers.
-  virtual kernels::LayerRun run_encode(const snn::LayerSpec& spec,
-                                       const snn::LayerWeights& weights,
-                                       const snn::Tensor& padded_image,
-                                       snn::Tensor& membrane) const = 0;
-  virtual kernels::LayerRun run_conv(const snn::LayerSpec& spec,
-                                     const snn::LayerWeights& weights,
-                                     const compress::CsrIfmap& ifmap,
-                                     snn::Tensor& membrane) const = 0;
-  virtual kernels::LayerRun run_fc(const snn::LayerSpec& spec,
-                                   const snn::LayerWeights& weights,
-                                   const compress::CsrIfmap& ifmap,
-                                   snn::Tensor& membrane) const = 0;
+  // (output-shaped) and is updated in place; `scratch` is the borrowed arena
+  // all buffers live in — the returned reference aliases `scratch.main.run`
+  // and is valid until the next run on the same scratch. Implementations must
+  // be safe to call concurrently from multiple threads as long as each call
+  // uses a distinct scratch (BatchRunner shares one backend across all sample
+  // workers, one NetworkState each).
+  virtual const kernels::LayerRun& run_encode(
+      const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+      const snn::Tensor& padded_image, snn::Tensor& membrane,
+      kernels::LayerScratch& scratch) const = 0;
+  virtual const kernels::LayerRun& run_conv(
+      const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+      const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+      kernels::LayerScratch& scratch) const = 0;
+  virtual const kernels::LayerRun& run_fc(
+      const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+      const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+      kernels::LayerScratch& scratch) const = 0;
+
+  // One-shot conveniences (tests / benches): run with a private scratch and
+  // return the result by value.
+  kernels::LayerRun run_encode(const snn::LayerSpec& spec,
+                               const snn::LayerWeights& weights,
+                               const snn::Tensor& padded_image,
+                               snn::Tensor& membrane) const {
+    kernels::LayerScratch s;
+    run_encode(spec, weights, padded_image, membrane, s);
+    return std::move(s.main.run);
+  }
+  kernels::LayerRun run_conv(const snn::LayerSpec& spec,
+                             const snn::LayerWeights& weights,
+                             const compress::CsrIfmap& ifmap,
+                             snn::Tensor& membrane) const {
+    kernels::LayerScratch s;
+    run_conv(spec, weights, ifmap, membrane, s);
+    return std::move(s.main.run);
+  }
+  kernels::LayerRun run_fc(const snn::LayerSpec& spec,
+                           const snn::LayerWeights& weights,
+                           const compress::CsrIfmap& ifmap,
+                           snn::Tensor& membrane) const {
+    kernels::LayerScratch s;
+    run_fc(spec, weights, ifmap, membrane, s);
+    return std::move(s.main.run);
+  }
 
  protected:
   kernels::RunOptions opt_;
 };
 
 /// The seed's hard-wired analytical path, now one backend among several.
+/// Optionally memoizes the timing pass (see CostMemo above).
 class AnalyticalBackend : public ExecutionBackend {
  public:
-  explicit AnalyticalBackend(const kernels::RunOptions& opt)
-      : ExecutionBackend(opt) {}
+  explicit AnalyticalBackend(const kernels::RunOptions& opt,
+                             bool memoize_cost = false)
+      : ExecutionBackend(opt),
+        memo_(memoize_cost ? std::make_unique<CostMemo>() : nullptr) {}
 
   const char* name() const override { return "analytical"; }
 
-  kernels::LayerRun run_encode(const snn::LayerSpec& spec,
-                               const snn::LayerWeights& weights,
-                               const snn::Tensor& padded_image,
-                               snn::Tensor& membrane) const override {
-    return kernels::run_encode_layer(spec, weights, padded_image, membrane,
-                                     opt_);
+  const kernels::LayerRun& run_encode(
+      const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+      const snn::Tensor& padded_image, snn::Tensor& membrane,
+      kernels::LayerScratch& scratch) const override;
+  const kernels::LayerRun& run_conv(const snn::LayerSpec& spec,
+                                    const snn::LayerWeights& weights,
+                                    const compress::CsrIfmap& ifmap,
+                                    snn::Tensor& membrane,
+                                    kernels::LayerScratch& scratch)
+      const override;
+  const kernels::LayerRun& run_fc(const snn::LayerSpec& spec,
+                                  const snn::LayerWeights& weights,
+                                  const compress::CsrIfmap& ifmap,
+                                  snn::Tensor& membrane,
+                                  kernels::LayerScratch& scratch)
+      const override;
+
+  using ExecutionBackend::run_conv;
+  using ExecutionBackend::run_encode;
+  using ExecutionBackend::run_fc;
+
+  /// True when the timing pass is memoized (exact mode otherwise).
+  bool memoized() const { return memo_ != nullptr; }
+  std::size_t cost_cache_hits() const { return memo_ ? memo_->hits() : 0; }
+  std::size_t cost_cache_misses() const {
+    return memo_ ? memo_->misses() : 0;
   }
-  kernels::LayerRun run_conv(const snn::LayerSpec& spec,
-                             const snn::LayerWeights& weights,
-                             const compress::CsrIfmap& ifmap,
-                             snn::Tensor& membrane) const override {
-    return kernels::run_conv_layer(spec, weights, ifmap, membrane, opt_);
-  }
-  kernels::LayerRun run_fc(const snn::LayerSpec& spec,
-                           const snn::LayerWeights& weights,
-                           const compress::CsrIfmap& ifmap,
-                           snn::Tensor& membrane) const override {
-    return kernels::run_fc_layer(spec, weights, ifmap, membrane, opt_);
-  }
+
+ private:
+  std::unique_ptr<CostMemo> memo_;
 };
 
 /// Instantiate a backend from a config.

@@ -45,8 +45,9 @@ long bucket_of(double len) {
 }  // namespace
 
 CycleAccurateBackend::CycleAccurateBackend(const kernels::RunOptions& opt,
-                                           int sample_spvas)
-    : AnalyticalBackend(opt), sample_spvas_(std::max(4, sample_spvas)) {}
+                                           int sample_spvas, bool memoize_cost)
+    : AnalyticalBackend(opt, memoize_cost),
+      sample_spvas_(std::max(4, sample_spvas)) {}
 
 double CycleAccurateBackend::sparse_ratio(double len) const {
   const long b = bucket_of(len);
@@ -119,23 +120,29 @@ void CycleAccurateBackend::retime(kernels::LayerRun& run, double ratio) const {
       kernels::overlap_cycles(run.plan, st.compute_cycles, opt_.double_buffer);
 }
 
-kernels::LayerRun CycleAccurateBackend::run_conv(
+const kernels::LayerRun& CycleAccurateBackend::run_conv(
     const snn::LayerSpec& spec, const snn::LayerWeights& weights,
-    const compress::CsrIfmap& ifmap, snn::Tensor& membrane) const {
-  kernels::LayerRun run =
-      AnalyticalBackend::run_conv(spec, weights, ifmap, membrane);
+    const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+    kernels::LayerScratch& scratch) const {
+  AnalyticalBackend::run_conv(spec, weights, ifmap, membrane, scratch);
+  kernels::LayerRun& run = scratch.main.run;
   if (opt_.variant == kernels::Variant::kDenseNoTc) return run;  // uncalibrated
   // Representative SpVA length: mean over every stream the kernel walks
-  // (each of the k*k windows of every output position).
+  // (each of the k*k windows of every output position). Each input position
+  // (y, x) is covered by cov(y)*cov(x) windows, so one O(positions) sweep
+  // over the CSR row counts replaces the former O(positions * k^2) loop and
+  // produces the identical sum (all addends are exact integers).
   double elems = 0;
   const int oh = spec.out_h(), ow = spec.out_w();
-  for (int oy = 0; oy < oh; ++oy) {
-    for (int ox = 0; ox < ow; ++ox) {
-      for (int kh = 0; kh < spec.k; ++kh) {
-        for (int kw = 0; kw < spec.k; ++kw) {
-          elems += ifmap.stream_len(oy + kh, ox + kw);
-        }
-      }
+  const int ih = ifmap.h(), iw = ifmap.w();
+  const int k = spec.k;
+  auto coverage = [k](int pos, int out_dim) {
+    return std::min(k - 1, pos) - std::max(0, pos - out_dim + 1) + 1;
+  };
+  for (int y = 0; y < ih; ++y) {
+    const double cy = coverage(y, oh);
+    for (int x = 0; x < iw; ++x) {
+      elems += cy * coverage(x, ow) * ifmap.stream_len(y, x);
     }
   }
   const double n_streams =
@@ -144,12 +151,12 @@ kernels::LayerRun CycleAccurateBackend::run_conv(
   return run;
 }
 
-kernels::LayerRun CycleAccurateBackend::run_fc(const snn::LayerSpec& spec,
-                                               const snn::LayerWeights& weights,
-                                               const compress::CsrIfmap& ifmap,
-                                               snn::Tensor& membrane) const {
-  kernels::LayerRun run =
-      AnalyticalBackend::run_fc(spec, weights, ifmap, membrane);
+const kernels::LayerRun& CycleAccurateBackend::run_fc(
+    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+    const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+    kernels::LayerScratch& scratch) const {
+  AnalyticalBackend::run_fc(spec, weights, ifmap, membrane, scratch);
+  kernels::LayerRun& run = scratch.main.run;
   if (opt_.variant == kernels::Variant::kDenseNoTc) return run;
   const double segs = std::max(1, run.plan.in_segments);
   const double s_seg = static_cast<double>(ifmap.nnz()) / segs;
@@ -157,11 +164,13 @@ kernels::LayerRun CycleAccurateBackend::run_fc(const snn::LayerSpec& spec,
   return run;
 }
 
-kernels::LayerRun CycleAccurateBackend::run_encode(
+const kernels::LayerRun& CycleAccurateBackend::run_encode(
     const snn::LayerSpec& spec, const snn::LayerWeights& weights,
-    const snn::Tensor& padded_image, snn::Tensor& membrane) const {
-  kernels::LayerRun run =
-      AnalyticalBackend::run_encode(spec, weights, padded_image, membrane);
+    const snn::Tensor& padded_image, snn::Tensor& membrane,
+    kernels::LayerScratch& scratch) const {
+  AnalyticalBackend::run_encode(spec, weights, padded_image, membrane,
+                                scratch);
+  kernels::LayerRun& run = scratch.main.run;
   if (opt_.variant == kernels::Variant::kBaseline) return run;  // no ISS twin
   const double dot_len =
       static_cast<double>(spec.k) * spec.k * spec.in_c;

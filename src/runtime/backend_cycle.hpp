@@ -21,22 +21,31 @@ namespace spikestream::runtime {
 class CycleAccurateBackend : public AnalyticalBackend {
  public:
   explicit CycleAccurateBackend(const kernels::RunOptions& opt,
-                                int sample_spvas = 32);
+                                int sample_spvas = 32,
+                                bool memoize_cost = false);
 
   const char* name() const override { return "cycle-accurate"; }
 
-  kernels::LayerRun run_encode(const snn::LayerSpec& spec,
-                               const snn::LayerWeights& weights,
-                               const snn::Tensor& padded_image,
-                               snn::Tensor& membrane) const override;
-  kernels::LayerRun run_conv(const snn::LayerSpec& spec,
-                             const snn::LayerWeights& weights,
-                             const compress::CsrIfmap& ifmap,
-                             snn::Tensor& membrane) const override;
-  kernels::LayerRun run_fc(const snn::LayerSpec& spec,
-                           const snn::LayerWeights& weights,
-                           const compress::CsrIfmap& ifmap,
-                           snn::Tensor& membrane) const override;
+  const kernels::LayerRun& run_encode(
+      const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+      const snn::Tensor& padded_image, snn::Tensor& membrane,
+      kernels::LayerScratch& scratch) const override;
+  const kernels::LayerRun& run_conv(const snn::LayerSpec& spec,
+                                    const snn::LayerWeights& weights,
+                                    const compress::CsrIfmap& ifmap,
+                                    snn::Tensor& membrane,
+                                    kernels::LayerScratch& scratch)
+      const override;
+  const kernels::LayerRun& run_fc(const snn::LayerSpec& spec,
+                                  const snn::LayerWeights& weights,
+                                  const compress::CsrIfmap& ifmap,
+                                  snn::Tensor& membrane,
+                                  kernels::LayerScratch& scratch)
+      const override;
+
+  using ExecutionBackend::run_conv;
+  using ExecutionBackend::run_encode;
+  using ExecutionBackend::run_fc;
 
   /// Measured/modeled cycle ratio for sparse SpVAs of mean length `len`
   /// (exposed for tests; cached, thread-safe).

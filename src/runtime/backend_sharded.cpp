@@ -11,25 +11,32 @@ namespace spikestream::runtime {
 
 namespace {
 
-/// Copy channels [lo, hi) of an HWC tensor into a compact tensor.
+/// Copy channels [lo, hi) of an HWC tensor into a compact caller-owned
+/// tensor (reused capacity).
 template <typename T>
-snn::Hwc<T> slice_channels(const snn::Hwc<T>& t, int lo, int hi) {
-  snn::Hwc<T> out(t.h, t.w, hi - lo);
-  for (int y = 0; y < t.h; ++y) {
-    for (int x = 0; x < t.w; ++x) {
-      for (int c = lo; c < hi; ++c) out.at(y, x, c - lo) = t.at(y, x, c);
-    }
+void slice_channels_into(const snn::Hwc<T>& t, int lo, int hi,
+                         snn::Hwc<T>& out) {
+  out.reshape(t.h, t.w, hi - lo);
+  const T* src = t.v.data() + lo;
+  T* dst = out.v.data();
+  const std::size_t positions =
+      static_cast<std::size_t>(t.h) * static_cast<std::size_t>(t.w);
+  const std::size_t n = static_cast<std::size_t>(hi - lo);
+  for (std::size_t p = 0; p < positions; ++p) {
+    std::copy_n(src + p * static_cast<std::size_t>(t.c), n, dst + p * n);
   }
-  return out;
 }
 
 /// Scatter a compact channel slice back into channels [lo, ...) of `full`.
 template <typename T>
 void unslice_channels(snn::Hwc<T>& full, const snn::Hwc<T>& part, int lo) {
-  for (int y = 0; y < part.h; ++y) {
-    for (int x = 0; x < part.w; ++x) {
-      for (int c = 0; c < part.c; ++c) full.at(y, x, lo + c) = part.at(y, x, c);
-    }
+  const T* src = part.v.data();
+  T* dst = full.v.data() + lo;
+  const std::size_t positions =
+      static_cast<std::size_t>(part.h) * static_cast<std::size_t>(part.w);
+  const std::size_t n = static_cast<std::size_t>(part.c);
+  for (std::size_t p = 0; p < positions; ++p) {
+    std::copy_n(src + p * n, n, dst + p * static_cast<std::size_t>(full.c));
   }
 }
 
@@ -90,6 +97,8 @@ const snn::LayerWeights& ShardedBackend::shard_weights(
       }
     }
   }
+  // Keep the half-precision streaming path available on the slice.
+  if (w.half_exact) sub.build_half();
   // std::map nodes are stable: the reference outlives the lock.
   return weight_cache_.insert_or_assign(key, std::move(sub)).first->second;
 }
@@ -121,86 +130,80 @@ void ShardedBackend::for_shards(
   }
 }
 
-namespace {
+const kernels::LayerRun& ShardedBackend::run_sharded(
+    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+    snn::Tensor& membrane, kernels::LayerScratch& scratch,
+    const std::function<void(const snn::LayerSpec&, const snn::LayerWeights&,
+                             snn::Tensor&, kernels::KernelScratch&)>& kernel)
+    const {
+  const auto sl = slices(spec.out_c);
+  SPK_CHECK(!sl.empty(), "sharded " << spec.name << ": no output channels");
+  if (scratch.lanes.size() < sl.size()) scratch.lanes.resize(sl.size());
+  for_shards(sl, [&](std::size_t s, int lo, int hi) {
+    kernels::ShardLane& lane = scratch.lanes[s];
+    snn::LayerSpec sub = spec;
+    sub.out_c = hi - lo;
+    slice_channels_into(membrane, lo, hi, lane.membrane);
+    kernel(sub, shard_weights(weights, lo, hi), lane.membrane, lane.ks);
+  });
 
-/// Assemble the merged LayerRun from per-shard runs: spike slices and
-/// membrane slices scatter back into the full tensors; stats merge with the
-/// parallel-cluster semantics; the plan of the slowest shard is kept as the
-/// representative DMA timeline.
-kernels::LayerRun merge_runs(const snn::LayerSpec& spec,
-                             std::vector<kernels::LayerRun>& runs,
-                             const std::vector<std::pair<int, int>>& sl,
-                             std::vector<snn::Tensor>& shard_membranes,
-                             snn::Tensor& membrane) {
-  kernels::LayerRun merged;
-  merged.out_spikes = snn::SpikeMap(spec.out_h(), spec.out_w(), spec.out_c);
+  // Merge the per-shard runs into the main lane: spike and membrane slices
+  // scatter back into the full tensors; stats merge with the parallel-cluster
+  // semantics; the plan of the slowest shard is kept as the representative
+  // DMA timeline.
+  kernels::LayerRun& merged = scratch.main.run;
+  merged.out_spikes.reshape(spec.out_h(), spec.out_w(), spec.out_c);
+  merged.out_nnz = 0;
   std::size_t slowest = 0;
-  for (std::size_t s = 0; s < runs.size(); ++s) {
-    unslice_channels(merged.out_spikes, runs[s].out_spikes, sl[s].first);
-    unslice_channels(membrane, shard_membranes[s], sl[s].first);
+  for (std::size_t s = 0; s < sl.size(); ++s) {
+    const kernels::LayerRun& run = scratch.lanes[s].ks.run;
+    unslice_channels(merged.out_spikes, run.out_spikes, sl[s].first);
+    unslice_channels(membrane, scratch.lanes[s].membrane, sl[s].first);
+    merged.out_nnz += run.out_nnz;
     if (s == 0) {
-      merged.stats = runs[s].stats;
+      merged.stats = run.stats;
     } else {
-      merged.stats.merge_parallel(runs[s].stats);
+      merged.stats.merge_parallel(run.stats);
     }
-    if (runs[s].stats.cycles > runs[slowest].stats.cycles) slowest = s;
+    if (run.stats.cycles > scratch.lanes[slowest].ks.run.stats.cycles) {
+      slowest = s;
+    }
   }
-  merged.plan = runs[slowest].plan;
+  merged.plan = scratch.lanes[slowest].ks.run.plan;
   return merged;
 }
 
-}  // namespace
-
-kernels::LayerRun ShardedBackend::run_sharded(
+const kernels::LayerRun& ShardedBackend::run_conv(
     const snn::LayerSpec& spec, const snn::LayerWeights& weights,
-    snn::Tensor& membrane,
-    const std::function<kernels::LayerRun(const snn::LayerSpec&,
-                                          const snn::LayerWeights&,
-                                          snn::Tensor&)>& kernel) const {
-  const auto sl = slices(spec.out_c);
-  SPK_CHECK(!sl.empty(), "sharded " << spec.name << ": no output channels");
-  std::vector<kernels::LayerRun> runs(sl.size());
-  std::vector<snn::Tensor> membranes(sl.size());
-  for_shards(sl, [&](std::size_t s, int lo, int hi) {
-    snn::LayerSpec sub = spec;
-    sub.out_c = hi - lo;
-    membranes[s] = slice_channels(membrane, lo, hi);
-    runs[s] = kernel(sub, shard_weights(weights, lo, hi), membranes[s]);
-  });
-  return merge_runs(spec, runs, sl, membranes, membrane);
-}
-
-kernels::LayerRun ShardedBackend::run_conv(const snn::LayerSpec& spec,
-                                           const snn::LayerWeights& weights,
-                                           const compress::CsrIfmap& ifmap,
-                                           snn::Tensor& membrane) const {
-  return run_sharded(spec, weights, membrane,
-                     [&](const snn::LayerSpec& sub,
-                         const snn::LayerWeights& w, snn::Tensor& m) {
-                       return kernels::run_conv_layer(sub, w, ifmap, m, opt_);
+    const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+    kernels::LayerScratch& scratch) const {
+  return run_sharded(spec, weights, membrane, scratch,
+                     [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
+                         snn::Tensor& m, kernels::KernelScratch& ks) {
+                       kernels::run_conv_layer(sub, w, ifmap, m, opt_, ks);
                      });
 }
 
-kernels::LayerRun ShardedBackend::run_fc(const snn::LayerSpec& spec,
-                                         const snn::LayerWeights& weights,
-                                         const compress::CsrIfmap& ifmap,
-                                         snn::Tensor& membrane) const {
-  return run_sharded(spec, weights, membrane,
-                     [&](const snn::LayerSpec& sub,
-                         const snn::LayerWeights& w, snn::Tensor& m) {
-                       return kernels::run_fc_layer(sub, w, ifmap, m, opt_);
+const kernels::LayerRun& ShardedBackend::run_fc(
+    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+    const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
+    kernels::LayerScratch& scratch) const {
+  return run_sharded(spec, weights, membrane, scratch,
+                     [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
+                         snn::Tensor& m, kernels::KernelScratch& ks) {
+                       kernels::run_fc_layer(sub, w, ifmap, m, opt_, ks);
                      });
 }
 
-kernels::LayerRun ShardedBackend::run_encode(const snn::LayerSpec& spec,
-                                             const snn::LayerWeights& weights,
-                                             const snn::Tensor& padded_image,
-                                             snn::Tensor& membrane) const {
-  return run_sharded(spec, weights, membrane,
-                     [&](const snn::LayerSpec& sub,
-                         const snn::LayerWeights& w, snn::Tensor& m) {
-                       return kernels::run_encode_layer(sub, w, padded_image,
-                                                        m, opt_);
+const kernels::LayerRun& ShardedBackend::run_encode(
+    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+    const snn::Tensor& padded_image, snn::Tensor& membrane,
+    kernels::LayerScratch& scratch) const {
+  return run_sharded(spec, weights, membrane, scratch,
+                     [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
+                         snn::Tensor& m, kernels::KernelScratch& ks) {
+                       kernels::run_encode_layer(sub, w, padded_image, m, opt_,
+                                                 ks);
                      });
 }
 

@@ -10,6 +10,14 @@
 // KernelStats merge with wall-clock = max (clusters run in parallel) and
 // activity = sum; the input ifmap is charged to every cluster's DMA traffic
 // (it is broadcast).
+//
+// Each shard runs in its own ShardLane of the borrowed LayerScratch (compact
+// membrane slice + kernel scratch), so repeated runs on the same NetworkState
+// reuse all per-shard buffers. The serial mode (shard_threads = false) is
+// allocation-free in steady state; the threaded mode still creates its
+// std::thread workers per layer. Timing is always exact (no cost memo): the
+// per-shard occupancy split would break the activity-conservation contract
+// the parity tests pin down.
 #pragma once
 
 #include <functional>
@@ -31,18 +39,26 @@ class ShardedBackend : public ExecutionBackend {
   const char* name() const override { return "sharded"; }
   int num_clusters() const override { return clusters_; }
 
-  kernels::LayerRun run_encode(const snn::LayerSpec& spec,
-                               const snn::LayerWeights& weights,
-                               const snn::Tensor& padded_image,
-                               snn::Tensor& membrane) const override;
-  kernels::LayerRun run_conv(const snn::LayerSpec& spec,
-                             const snn::LayerWeights& weights,
-                             const compress::CsrIfmap& ifmap,
-                             snn::Tensor& membrane) const override;
-  kernels::LayerRun run_fc(const snn::LayerSpec& spec,
-                           const snn::LayerWeights& weights,
-                           const compress::CsrIfmap& ifmap,
-                           snn::Tensor& membrane) const override;
+  const kernels::LayerRun& run_encode(
+      const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+      const snn::Tensor& padded_image, snn::Tensor& membrane,
+      kernels::LayerScratch& scratch) const override;
+  const kernels::LayerRun& run_conv(const snn::LayerSpec& spec,
+                                    const snn::LayerWeights& weights,
+                                    const compress::CsrIfmap& ifmap,
+                                    snn::Tensor& membrane,
+                                    kernels::LayerScratch& scratch)
+      const override;
+  const kernels::LayerRun& run_fc(const snn::LayerSpec& spec,
+                                  const snn::LayerWeights& weights,
+                                  const compress::CsrIfmap& ifmap,
+                                  snn::Tensor& membrane,
+                                  kernels::LayerScratch& scratch)
+      const override;
+
+  using ExecutionBackend::run_conv;
+  using ExecutionBackend::run_encode;
+  using ExecutionBackend::run_fc;
 
   /// Output-channel ranges per cluster for a layer with `out_c` channels,
   /// aligned to SIMD groups of the configured format. Fewer groups than
@@ -64,13 +80,14 @@ class ShardedBackend : public ExecutionBackend {
                   const std::function<void(std::size_t, int, int)>& fn) const;
 
   /// Shared shard driver: slice the layer, run `kernel` per shard (sub-spec,
-  /// weight slice, membrane slice), merge spikes/membranes/stats back.
-  kernels::LayerRun run_sharded(
+  /// weight slice, lane membrane + scratch), merge spikes/membranes/stats
+  /// back into `scratch.main.run`.
+  const kernels::LayerRun& run_sharded(
       const snn::LayerSpec& spec, const snn::LayerWeights& weights,
-      snn::Tensor& membrane,
-      const std::function<kernels::LayerRun(const snn::LayerSpec&,
-                                            const snn::LayerWeights&,
-                                            snn::Tensor&)>& kernel) const;
+      snn::Tensor& membrane, kernels::LayerScratch& scratch,
+      const std::function<void(const snn::LayerSpec&, const snn::LayerWeights&,
+                               snn::Tensor&, kernels::KernelScratch&)>& kernel)
+      const;
 
   /// Cache key: source identity plus shape, so only an allocation reused at
   /// the same address *and* shape can collide (then caught by validation).

@@ -31,11 +31,12 @@ BatchRunner::BatchRunner(const snn::Network& net,
       workers_(workers > 0 ? workers : default_workers(backend)) {}
 
 void BatchRunner::for_samples(
-    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
   const std::size_t w =
       std::min<std::size_t>(static_cast<std::size_t>(workers_), n);
   if (w <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
   std::atomic<std::size_t> next{0};
@@ -46,7 +47,7 @@ void BatchRunner::for_samples(
     pool.emplace_back([&, t] {
       try {
         for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-          fn(i);
+          fn(t, i);
         }
       } catch (...) {
         errors[t] = std::current_exception();
@@ -59,12 +60,27 @@ void BatchRunner::for_samples(
   }
 }
 
+// Each worker keeps one NetworkState for the whole batch: membranes are
+// cleared between samples (run_timesteps / run_event_stream do that, the
+// single-step path clears explicitly) while the scratch arenas inside stay
+// warm, so every sample after the first runs allocation-free.
+
+std::vector<snn::NetworkState> BatchRunner::worker_states(
+    std::size_t n_samples) const {
+  // Must match for_samples(): worker indices run in [0, min(workers_, n)).
+  std::vector<snn::NetworkState> states(
+      std::min<std::size_t>(static_cast<std::size_t>(workers_),
+                            std::max<std::size_t>(n_samples, 1)));
+  for (auto& s : states) s = engine_.make_state();
+  return states;
+}
+
 std::vector<MultiStepResult> BatchRunner::run(
     const std::vector<snn::Tensor>& images, int timesteps) const {
   std::vector<MultiStepResult> results(images.size());
-  for_samples(images.size(), [&](std::size_t i) {
-    snn::NetworkState state = engine_.make_state();
-    results[i] = run_timesteps(engine_, state, images[i], timesteps);
+  std::vector<snn::NetworkState> states = worker_states(images.size());
+  for_samples(images.size(), [&](std::size_t worker, std::size_t i) {
+    results[i] = run_timesteps(engine_, states[worker], images[i], timesteps);
   });
   return results;
 }
@@ -72,9 +88,9 @@ std::vector<MultiStepResult> BatchRunner::run(
 std::vector<MultiStepResult> BatchRunner::run_events(
     const std::vector<std::vector<snn::SpikeMap>>& streams) const {
   std::vector<MultiStepResult> results(streams.size());
-  for_samples(streams.size(), [&](std::size_t i) {
-    snn::NetworkState state = engine_.make_state();
-    results[i] = run_event_stream(engine_, state, streams[i]);
+  std::vector<snn::NetworkState> states = worker_states(streams.size());
+  for_samples(streams.size(), [&](std::size_t worker, std::size_t i) {
+    results[i] = run_event_stream(engine_, states[worker], streams[i]);
   });
   return results;
 }
@@ -82,9 +98,10 @@ std::vector<MultiStepResult> BatchRunner::run_events(
 std::vector<InferenceResult> BatchRunner::run_single_step(
     const std::vector<snn::Tensor>& images) const {
   std::vector<InferenceResult> results(images.size());
-  for_samples(images.size(), [&](std::size_t i) {
-    snn::NetworkState state = engine_.make_state();
-    results[i] = engine_.run(images[i], state);
+  std::vector<snn::NetworkState> states = worker_states(images.size());
+  for_samples(images.size(), [&](std::size_t worker, std::size_t i) {
+    states[worker].clear();
+    engine_.run(images[i], states[worker], results[i]);
   });
   return results;
 }

@@ -1,9 +1,9 @@
 // Batch inference runner: amortizes network copy + weight quantization across
 // a batch of samples (both happen exactly once, at construction) and runs the
 // samples concurrently on a shared immutable engine — each worker thread owns
-// one snn::NetworkState per sample, so per-sample membrane dynamics stay
-// fully independent and the outputs are bit-identical to a serial run,
-// whatever the worker count.
+// one snn::NetworkState (cleared between samples, its scratch arenas reused),
+// so per-sample membrane dynamics stay fully independent and the outputs are
+// bit-identical to a serial run, whatever the worker count.
 #pragma once
 
 #include <cstddef>
@@ -40,8 +40,15 @@ class BatchRunner {
 
  private:
   /// Claim samples [0, n) from an atomic counter across `workers_` threads.
-  void for_samples(std::size_t n,
-                   const std::function<void(std::size_t)>& fn) const;
+  /// `fn(worker, i)` runs sample i on worker `worker`, so callers can keep
+  /// one reusable NetworkState per worker instead of one per sample.
+  void for_samples(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn) const;
+
+  /// One reusable NetworkState per worker that for_samples() will engage
+  /// for `n_samples` samples (sized with the same worker-count formula).
+  std::vector<snn::NetworkState> worker_states(std::size_t n_samples) const;
 
   InferenceEngine engine_;
   int workers_;

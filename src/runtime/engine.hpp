@@ -78,6 +78,17 @@ class InferenceEngine {
   InferenceResult run_events(const snn::SpikeMap& events,
                              snn::NetworkState& state) const;
 
+  // --- scratch-reusing API (the hot path) -----------------------------------
+  // Same semantics, but the result is written into a caller-owned
+  // InferenceResult whose buffers are reused across calls: together with the
+  // scratch arenas inside `state`, a warmed-up (state, out) pair runs a whole
+  // timestep with zero heap allocations per layer.
+
+  void run(const snn::Tensor& image, snn::NetworkState& state,
+           InferenceResult& out) const;
+  void run_events(const snn::SpikeMap& events, snn::NetworkState& state,
+                  InferenceResult& out) const;
+
   /// Fresh zeroed membrane state shaped for this engine's network.
   snn::NetworkState make_state() const { return snn::NetworkState(net_); }
 
@@ -97,9 +108,8 @@ class InferenceEngine {
   const arch::EnergyParams& energy_params() const { return energy_; }
 
  private:
-  InferenceResult run_impl(const snn::Tensor* image,
-                           const snn::SpikeMap* events,
-                           snn::NetworkState& state) const;
+  void run_impl(const snn::Tensor* image, const snn::SpikeMap* events,
+                snn::NetworkState& state, InferenceResult& out) const;
 
   snn::Network net_;
   std::shared_ptr<ExecutionBackend> backend_;

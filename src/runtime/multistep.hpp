@@ -56,8 +56,10 @@ inline MultiStepResult run_timesteps(const InferenceEngine& engine,
   state.clear();
   MultiStepResult r;
   r.timesteps = timesteps;
+  InferenceResult step;  // reused across timesteps (scratch-arena hot path)
   for (int t = 0; t < timesteps; ++t) {
-    r.accumulate_step(engine.run(image, state));
+    engine.run(image, state, step);
+    r.accumulate_step(step);
   }
   return r;
 }
@@ -69,8 +71,10 @@ inline MultiStepResult run_event_stream(
   state.clear();
   MultiStepResult r;
   r.timesteps = static_cast<int>(frames.size());
+  InferenceResult step;
   for (const auto& f : frames) {
-    r.accumulate_step(engine.run_events(f, state));
+    engine.run_events(f, state, step);
+    r.accumulate_step(step);
   }
   return r;
 }

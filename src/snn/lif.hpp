@@ -16,20 +16,36 @@ struct LifParams {
   float v_rst = 1.0f;   ///< reset subtraction (kept equal to v_th)
 };
 
+/// One LIF timestep over a whole layer into a caller-owned spike buffer
+/// (scratch-arena reuse, zero allocations in steady state): integrates
+/// `current` into `membrane` (updated in place), writes the output spikes and
+/// returns how many neurons fired. Branchless so the loop vectorizes.
+inline std::size_t lif_step_into(const LifParams& p, const Tensor& current,
+                                 Tensor& membrane, SpikeMap& out) {
+  SPK_CHECK(current.same_shape(membrane), "LIF shape mismatch");
+  out.reshape(current.h, current.w, current.c);
+  std::size_t fired_total = 0;
+  const float* cur = current.v.data();
+  float* mem = membrane.v.data();
+  std::uint8_t* spikes = out.v.data();
+  const std::size_t n = current.v.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    float v = mem[i] * p.alpha + p.r * cur[i];
+    const bool fired = v >= p.v_th;
+    spikes[i] = fired;
+    v -= fired ? p.v_rst : 0.0f;
+    mem[i] = v;
+    fired_total += fired;
+  }
+  return fired_total;
+}
+
 /// One LIF timestep over a whole layer: integrates `current` into `membrane`
 /// (updated in place) and writes the output spikes. Shapes must match.
 inline SpikeMap lif_step(const LifParams& p, const Tensor& current,
                          Tensor& membrane) {
-  SPK_CHECK(current.same_shape(membrane), "LIF shape mismatch");
-  SpikeMap out(current.h, current.w, current.c);
-  for (std::size_t i = 0; i < current.v.size(); ++i) {
-    float v = membrane.v[i] * p.alpha + p.r * current.v[i];
-    if (v >= p.v_th) {
-      out.v[i] = 1;
-      v -= p.v_rst;
-    }
-    membrane.v[i] = v;
-  }
+  SpikeMap out;
+  lif_step_into(p, current, membrane, out);
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "snn/network.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -29,9 +30,27 @@ void Network::init_weights(common::Rng& rng) {
   }
 }
 
+void LayerWeights::build_half() {
+  half.clear();
+  half_exact = false;
+  half.reserve(v.size());
+  for (float x : v) {
+    const std::uint16_t h = common::fp32_to_fp16_bits(x);
+    const float back = common::fp16_bits_to_fp32(h);
+    // Bit-compare so -0.0 / NaN cannot slip through an == check.
+    if (std::bit_cast<std::uint32_t>(back) != std::bit_cast<std::uint32_t>(x)) {
+      half.clear();
+      return;
+    }
+    half.push_back(h);
+  }
+  half_exact = true;
+}
+
 void Network::quantize_weights(common::FpFormat fmt) {
   for (auto& w : weights_) {
     for (float& x : w.v) x = common::quantize(x, fmt);
+    w.build_half();
   }
 }
 

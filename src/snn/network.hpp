@@ -49,6 +49,19 @@ struct LayerWeights {
   int k = 1, in_c = 1, out_c = 1;
   std::vector<float> v;
 
+  /// IEEE binary16 bit pattern of every element of `v`, valid iff
+  /// `half_exact`. Built by quantize-time `build_half()` when every value
+  /// round-trips float -> half -> float bit-exactly (always true after FP16
+  /// or FP8 quantization, never for FP32): the conv/FC functional kernels
+  /// then stream weight rows at half the memory traffic and convert on the
+  /// fly, with results bit-identical to the float32 path.
+  std::vector<std::uint16_t> half;
+  bool half_exact = false;
+
+  /// (Re)build `half` from `v`; clears it when any value does not round-trip
+  /// exactly.
+  void build_half();
+
   std::size_t index(int kh, int kw, int ci, int co) const {
     return ((static_cast<std::size_t>(kh) * static_cast<std::size_t>(k) + kw) *
                 static_cast<std::size_t>(in_c) +

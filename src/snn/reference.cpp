@@ -19,17 +19,23 @@ void Reference::reset() {
 
 Tensor Reference::conv_currents(const SpikeMap& in, const LayerWeights& w) {
   const int k = w.k;
-  Tensor out(in.h - k + 1, in.w - k + 1, w.out_c);
+  const int out_c = w.out_c;
+  Tensor out(in.h - k + 1, in.w - k + 1, out_c);
+  const float* wbase = w.v.data();
   for (int oy = 0; oy < out.h; ++oy) {
     for (int ox = 0; ox < out.w; ++ox) {
-      float* acc = &out.at(oy, ox, 0);
+      float* __restrict__ acc = &out.at(oy, ox, 0);
       for (int kh = 0; kh < k; ++kh) {
         for (int kw = 0; kw < k; ++kw) {
           const std::uint8_t* row = &in.at(oy + kh, ox + kw, 0);
+          const std::size_t base =
+              (static_cast<std::size_t>(kh) * k + kw) *
+              static_cast<std::size_t>(w.in_c);
           for (int ci = 0; ci < in.c; ++ci) {
             if (!row[ci]) continue;
-            const float* wrow = &w.v[w.index(kh, kw, ci, 0)];
-            for (int co = 0; co < w.out_c; ++co) acc[co] += wrow[co];
+            const float* __restrict__ wrow =
+                wbase + (base + ci) * static_cast<std::size_t>(out_c);
+            for (int co = 0; co < out_c; ++co) acc[co] += wrow[co];
           }
         }
       }
@@ -39,25 +45,38 @@ Tensor Reference::conv_currents(const SpikeMap& in, const LayerWeights& w) {
 }
 
 Tensor Reference::conv_currents_dense(const Tensor& in, const LayerWeights& w) {
+  Tensor out;
+  conv_currents_dense_into(in, w, out);
+  return out;
+}
+
+void Reference::conv_currents_dense_into(const Tensor& in,
+                                         const LayerWeights& w, Tensor& out) {
   const int k = w.k;
-  Tensor out(in.h - k + 1, in.w - k + 1, w.out_c);
+  const int out_c = w.out_c;
+  out.reshape(in.h - k + 1, in.w - k + 1, out_c);
+  std::fill(out.v.begin(), out.v.end(), 0.0f);
+  const float* wbase = w.v.data();
   for (int oy = 0; oy < out.h; ++oy) {
     for (int ox = 0; ox < out.w; ++ox) {
-      float* acc = &out.at(oy, ox, 0);
+      float* __restrict__ acc = &out.at(oy, ox, 0);
       for (int kh = 0; kh < k; ++kh) {
         for (int kw = 0; kw < k; ++kw) {
           const float* row = &in.at(oy + kh, ox + kw, 0);
+          const std::size_t base =
+              (static_cast<std::size_t>(kh) * k + kw) *
+              static_cast<std::size_t>(w.in_c);
           for (int ci = 0; ci < in.c; ++ci) {
             const float x = row[ci];
             if (x == 0.0f) continue;
-            const float* wrow = &w.v[w.index(kh, kw, ci, 0)];
-            for (int co = 0; co < w.out_c; ++co) acc[co] += x * wrow[co];
+            const float* __restrict__ wrow =
+                wbase + (base + ci) * static_cast<std::size_t>(out_c);
+            for (int co = 0; co < out_c; ++co) acc[co] += x * wrow[co];
           }
         }
       }
     }
   }
-  return out;
 }
 
 Tensor Reference::fc_currents(const SpikeMap& in, const LayerWeights& w) {
@@ -73,13 +92,19 @@ Tensor Reference::fc_currents(const SpikeMap& in, const LayerWeights& w) {
 }
 
 Tensor Reference::pad_dense(const Tensor& t, int p) {
-  Tensor out(t.h + 2 * p, t.w + 2 * p, t.c);
-  for (int y = 0; y < t.h; ++y) {
-    for (int x = 0; x < t.w; ++x) {
-      for (int ch = 0; ch < t.c; ++ch) out.at(y + p, x + p, ch) = t.at(y, x, ch);
-    }
-  }
+  Tensor out;
+  pad_dense_into(t, p, out);
   return out;
+}
+
+void Reference::pad_dense_into(const Tensor& t, int p, Tensor& out) {
+  out.reshape(t.h + 2 * p, t.w + 2 * p, t.c);
+  std::fill(out.v.begin(), out.v.end(), 0.0f);
+  const std::size_t row = static_cast<std::size_t>(t.w) * t.c;
+  for (int y = 0; y < t.h; ++y) {
+    std::copy_n(&t.v[static_cast<std::size_t>(y) * row], row,
+                &out.at(y + p, p, 0));
+  }
 }
 
 SpikeMap Reference::flatten(const SpikeMap& s) {

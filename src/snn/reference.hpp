@@ -35,8 +35,16 @@ class Reference {
   static Tensor conv_currents(const SpikeMap& in_padded, const LayerWeights& w);
   static Tensor conv_currents_dense(const Tensor& in_padded,
                                     const LayerWeights& w);
+  /// Scratch-buffer variant of conv_currents_dense: `out` is reshaped and
+  /// overwritten (no allocation once its capacity is warm). This is the one
+  /// implementation of the dense encode matmul; the encode kernel calls it
+  /// too, so kernel and reference stay bit-identical by construction.
+  static void conv_currents_dense_into(const Tensor& in_padded,
+                                       const LayerWeights& w, Tensor& out);
   static Tensor fc_currents(const SpikeMap& in_flat, const LayerWeights& w);
   static Tensor pad_dense(const Tensor& t, int p);
+  /// Scratch-buffer variant of pad_dense (engine hot path).
+  static void pad_dense_into(const Tensor& t, int p, Tensor& out);
   /// Flatten an HWC spike map into a 1x1xN map (FC input).
   static SpikeMap flatten(const SpikeMap& s);
 

@@ -1,13 +1,20 @@
-// Per-sample mutable network state: one membrane-potential tensor per layer.
-// Extracted from the inference engine so that execution is stateless and
-// shardable — an engine (and its backend) is immutable after construction and
-// can be shared across threads, while every concurrent sample owns exactly
-// one NetworkState.
+// Per-sample mutable network state: one membrane-potential tensor per layer,
+// plus the scratch arenas the execution hot path runs in. Extracted from the
+// inference engine so that execution is stateless and shardable — an engine
+// (and its backend) is immutable after construction and can be shared across
+// threads, while every concurrent sample owns exactly one NetworkState.
+//
+// Ownership model: the state owns all hot-path memory (membranes AND the
+// per-layer LayerScratch arenas); engines/backends/kernels only borrow it for
+// the duration of a run. Scratch buffers grow on first use and are reused
+// afterwards, so steady-state inference allocates nothing per layer. A state
+// must not be shared between concurrently-running samples.
 #pragma once
 
 #include <vector>
 
 #include "common/check.hpp"
+#include "kernels/scratch.hpp"
 #include "snn/network.hpp"
 #include "snn/tensor.hpp"
 
@@ -18,7 +25,8 @@ class NetworkState {
   NetworkState() = default;
   explicit NetworkState(const Network& net) { reshape(net); }
 
-  /// (Re)allocate one zeroed membrane tensor per layer, output-shaped.
+  /// (Re)allocate one zeroed membrane tensor per layer, output-shaped, and
+  /// one (lazily grown) scratch arena per layer.
   void reshape(const Network& net) {
     membranes_.clear();
     membranes_.reserve(net.num_layers());
@@ -26,9 +34,12 @@ class NetworkState {
       const LayerSpec& s = net.layer(l);
       membranes_.emplace_back(s.out_h(), s.out_w(), s.out_c);
     }
+    scratch_.resize(net.num_layers());
   }
 
-  /// Zero all membranes in place (start of a new input sample).
+  /// Zero all membranes in place (start of a new input sample). Scratch
+  /// arenas are left untouched: their contents are transient per layer run
+  /// and keeping the capacity is the whole point.
   void clear() {
     for (Tensor& m : membranes_) {
       std::fill(m.v.begin(), m.v.end(), 0.0f);
@@ -46,8 +57,15 @@ class NetworkState {
     return membranes_[l];
   }
 
+  /// Borrow the scratch arena of layer `l` for one execution.
+  kernels::LayerScratch& scratch(std::size_t l) {
+    SPK_CHECK(l < scratch_.size(), "NetworkState: scratch index OOB");
+    return scratch_[l];
+  }
+
  private:
   std::vector<Tensor> membranes_;
+  std::vector<kernels::LayerScratch> scratch_;
 };
 
 }  // namespace spikestream::snn

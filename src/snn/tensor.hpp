@@ -3,6 +3,7 @@
 // matches the paper's batched weight layout for SIMD over output channels.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -39,6 +40,17 @@ struct Hwc {
   bool same_shape(const Hwc& o) const {
     return h == o.h && w == o.w && c == o.c;
   }
+
+  /// Reshape in place without shrinking capacity (scratch-arena reuse). Old
+  /// element values are unspecified; callers overwrite the whole tensor.
+  void reshape(int h_, int w_, int c_) {
+    SPK_CHECK(h_ >= 0 && w_ >= 0 && c_ >= 0, "bad tensor shape");
+    h = h_;
+    w = w_;
+    c = c_;
+    v.resize(static_cast<std::size_t>(h_) * static_cast<std::size_t>(w_) *
+             static_cast<std::size_t>(c_));
+  }
 };
 
 using Tensor = Hwc<float>;
@@ -58,34 +70,57 @@ inline double firing_rate(const SpikeMap& s) {
                   : 0.0;
 }
 
+/// Zero-pad spatially by `p` on each border into a caller-owned buffer
+/// (reused capacity, zero allocations in steady state). Row bodies are copied
+/// as contiguous w*c runs.
+inline void pad_into(const SpikeMap& s, int p, SpikeMap& out) {
+  out.reshape(s.h + 2 * p, s.w + 2 * p, s.c);
+  std::fill(out.v.begin(), out.v.end(), std::uint8_t{0});
+  const std::size_t row = static_cast<std::size_t>(s.w) * s.c;
+  for (int y = 0; y < s.h; ++y) {
+    std::copy_n(&s.v[static_cast<std::size_t>(y) * row], row,
+                &out.at(y + p, p, 0));
+  }
+}
+
 /// Zero-pad spatially by `p` on each border (channels unchanged).
 inline SpikeMap pad(const SpikeMap& s, int p) {
-  SpikeMap out(s.h + 2 * p, s.w + 2 * p, s.c);
-  for (int y = 0; y < s.h; ++y) {
-    for (int x = 0; x < s.w; ++x) {
+  SpikeMap out;
+  pad_into(s, p, out);
+  return out;
+}
+
+/// 2x2 stride-2 OR-pooling into a caller-owned buffer (scratch reuse).
+inline void or_pool2_into(const SpikeMap& s, SpikeMap& out) {
+  out.reshape(s.h / 2, s.w / 2, s.c);
+  const std::size_t row = static_cast<std::size_t>(s.w) * s.c;
+  for (int y = 0; y < out.h; ++y) {
+    const std::uint8_t* r0 = &s.v[static_cast<std::size_t>(2 * y) * row];
+    const std::uint8_t* r1 = r0 + row;
+    std::uint8_t* o = &out.v[static_cast<std::size_t>(y) * out.w * s.c];
+    for (int x = 0; x < out.w; ++x) {
+      const std::size_t b = static_cast<std::size_t>(2 * x) * s.c;
       for (int ch = 0; ch < s.c; ++ch) {
-        out.at(y + p, x + p, ch) = s.at(y, x, ch);
+        o[static_cast<std::size_t>(x) * s.c + ch] =
+            r0[b + ch] | r1[b + ch] | r0[b + s.c + ch] | r1[b + s.c + ch];
       }
     }
   }
-  return out;
 }
 
 /// 2x2 stride-2 OR-pooling on binary spikes (spiking max-pool).
 inline SpikeMap or_pool2(const SpikeMap& s) {
-  SpikeMap out(s.h / 2, s.w / 2, s.c);
-  for (int y = 0; y < out.h; ++y) {
-    for (int x = 0; x < out.w; ++x) {
-      for (int ch = 0; ch < s.c; ++ch) {
-        const std::uint8_t v = s.at(2 * y, 2 * x, ch) |
-                               s.at(2 * y + 1, 2 * x, ch) |
-                               s.at(2 * y, 2 * x + 1, ch) |
-                               s.at(2 * y + 1, 2 * x + 1, ch);
-        out.at(y, x, ch) = v;
-      }
-    }
-  }
+  SpikeMap out;
+  or_pool2_into(s, out);
   return out;
+}
+
+/// Reshape to a flat 1x1xN map into a caller-owned buffer (scratch reuse).
+inline void flatten_into(const SpikeMap& s, SpikeMap& out) {
+  out.h = 1;
+  out.w = 1;
+  out.c = static_cast<int>(s.size());
+  out.v = s.v;  // copy-assign reuses the destination's capacity
 }
 
 }  // namespace spikestream::snn

@@ -1,0 +1,148 @@
+// Cost-model memoization contract: the memoized timing mode must (1) never
+// change spikes — the functional pass always runs exactly; (2) actually hit
+// its cache on repeated timesteps / similar samples; (3) keep cycle counts
+// within the bucket-width deviation bound of the exact mode; (4) stay
+// completely off by default (exact-mode escape hatch).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/engine.hpp"
+#include "snn/calibrate.hpp"
+#include "snn/input_gen.hpp"
+
+namespace {
+
+namespace rt = spikestream::runtime;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+namespace sc = spikestream::common;
+
+snn::Network test_net() {
+  snn::Network net = snn::Network::make_tiny(18, 3, 32, 10);
+  sc::Rng rng(42);
+  net.init_weights(rng);
+  const auto calib = snn::make_batch(4, 7, 16, 16, 3);
+  const std::vector<double> targets = {0.20, 0.15, 0.30};
+  snn::calibrate_thresholds(net, calib, targets);
+  return net;
+}
+
+const rt::AnalyticalBackend& analytical_of(const rt::InferenceEngine& e) {
+  return dynamic_cast<const rt::AnalyticalBackend&>(e.backend());
+}
+
+}  // namespace
+
+TEST(CostCache, OffByDefault) {
+  const rt::InferenceEngine engine(test_net(), k::RunOptions{});
+  const auto& be = analytical_of(engine);
+  EXPECT_FALSE(be.memoized());
+  EXPECT_EQ(be.cost_cache_hits(), 0u);
+  EXPECT_EQ(be.cost_cache_misses(), 0u);
+}
+
+TEST(CostCache, SpikesBitIdenticalAndCyclesBounded) {
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(4, 99, 16, 16, 3);
+  k::RunOptions opt;
+  const rt::InferenceEngine exact(net, opt);
+  rt::BackendConfig memo_cfg;
+  memo_cfg.memoize_cost = true;
+  const rt::InferenceEngine memo(net, opt, memo_cfg);
+
+  double worst_layer_dev = 0, worst_total_dev = 0;
+  for (const auto& img : images) {
+    snn::NetworkState se = exact.make_state();
+    snn::NetworkState sm = memo.make_state();
+    for (int t = 0; t < 3; ++t) {
+      const auto re = exact.run(img, se);
+      const auto rm = memo.run(img, sm);
+      // The functional pass always runs exactly: spikes are bit-identical.
+      ASSERT_EQ(re.final_output.v, rm.final_output.v);
+      // Cycle deviation is bounded by the occupancy-bucket width.
+      ASSERT_EQ(re.layers.size(), rm.layers.size());
+      for (std::size_t l = 0; l < re.layers.size(); ++l) {
+        const double e = re.layers[l].stats.cycles;
+        ASSERT_GT(e, 0.0);
+        worst_layer_dev = std::max(
+            worst_layer_dev, std::abs(rm.layers[l].stats.cycles - e) / e);
+      }
+      worst_total_dev =
+          std::max(worst_total_dev,
+                   std::abs(rm.total_cycles - re.total_cycles) /
+                       re.total_cycles);
+    }
+  }
+  // ~12% occupancy buckets; cycles scale sub-linearly in occupancy, but give
+  // headroom for activation-dominated layers.
+  EXPECT_LT(worst_layer_dev, 0.30);
+  EXPECT_LT(worst_total_dev, 0.15);
+
+  const auto& be = analytical_of(memo);
+  EXPECT_TRUE(be.memoized());
+  // 4 samples x 3 timesteps x 3 layers = 36 layer runs. Random samples on
+  // this tiny net spread occupancies across buckets, so demand only that a
+  // substantial share of runs is served from cache (S-VGG11-sized workloads
+  // hit far more, see bench/host_profile).
+  EXPECT_EQ(be.cost_cache_hits() + be.cost_cache_misses(), 36u);
+  EXPECT_GE(be.cost_cache_hits(), 12u);
+}
+
+TEST(CostCache, IdenticalInputsHitExactly) {
+  // The same image at a converged membrane state produces identical
+  // occupancies, so every layer after the first run must hit.
+  const snn::Network net = test_net();
+  const auto img = snn::make_batch(1, 5, 16, 16, 3)[0];
+  k::RunOptions opt;
+  rt::BackendConfig cfg;
+  cfg.memoize_cost = true;
+  const rt::InferenceEngine engine(net, opt, cfg);
+  snn::NetworkState state = engine.make_state();
+  (void)engine.run(img, state);
+  const auto& be = analytical_of(engine);
+  const std::size_t misses_after_first = be.cost_cache_misses();
+  snn::NetworkState fresh = engine.make_state();
+  (void)engine.run(img, fresh);  // identical occupancies: all hits
+  EXPECT_EQ(be.cost_cache_misses(), misses_after_first);
+  EXPECT_GE(be.cost_cache_hits(), net.num_layers());
+}
+
+TEST(CostCache, MemoizedCycleAccurateStaysWithinIssBand) {
+  const snn::Network net = test_net();
+  const auto img = snn::make_batch(1, 11, 16, 16, 3)[0];
+  k::RunOptions opt;
+  const rt::InferenceEngine analytical(net, opt);
+  rt::BackendConfig cfg;
+  cfg.kind = rt::BackendKind::kCycleAccurate;
+  cfg.memoize_cost = true;
+  const rt::InferenceEngine cycle(net, opt, cfg);
+  snn::NetworkState sa = analytical.make_state();
+  snn::NetworkState sc_ = cycle.make_state();
+  for (int t = 0; t < 2; ++t) {
+    const auto ra = analytical.run(img, sa);
+    const auto rc = cycle.run(img, sc_);
+    ASSERT_EQ(ra.final_output.v, rc.final_output.v);
+    const double ratio = rc.total_cycles / ra.total_cycles;
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 1.8);
+  }
+}
+
+TEST(CostCache, BatchRunnerMemoizedSpikeParity) {
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(3, 41, 16, 16, 3);
+  k::RunOptions opt;
+  rt::BackendConfig memo_cfg;
+  memo_cfg.memoize_cost = true;
+  const rt::BatchRunner exact(net, opt, {}, {}, /*workers=*/2);
+  const rt::BatchRunner memo(net, opt, memo_cfg, {}, /*workers=*/2);
+  const auto re = exact.run(images, 2);
+  const auto rm = memo.run(images, 2);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    EXPECT_EQ(re[i].spike_counts, rm[i].spike_counts) << "sample " << i;
+  }
+}

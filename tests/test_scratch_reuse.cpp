@@ -1,0 +1,200 @@
+// Scratch-arena contract: (1) runs through a reused NetworkState + reused
+// InferenceResult are bit-identical to fresh-allocation runs, across
+// backends, batch sizes and repeated reset() cycles; (2) once warmed up, the
+// analytical and cycle-accurate hot paths execute a whole timestep with ZERO
+// heap allocations (counted by a global operator-new hook in this binary).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/alloc_hook.hpp"
+#include "common/rng.hpp"
+#include "compress/csr_ifmap.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/multistep.hpp"
+#include "snn/calibrate.hpp"
+#include "snn/input_gen.hpp"
+
+namespace {
+
+namespace rt = spikestream::runtime;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+namespace sc = spikestream::common;
+namespace compress = spikestream::compress;
+
+snn::Network test_net() {
+  snn::Network net = snn::Network::make_tiny(18, 3, 32, 10);
+  sc::Rng rng(42);
+  net.init_weights(rng);
+  const auto calib = snn::make_batch(4, 7, 16, 16, 3);
+  const std::vector<double> targets = {0.20, 0.15, 0.30};
+  snn::calibrate_thresholds(net, calib, targets);
+  return net;
+}
+
+rt::BackendConfig cfg_of(rt::BackendKind kind, bool threads = true) {
+  rt::BackendConfig cfg;
+  cfg.kind = kind;
+  cfg.shard_threads = threads;
+  return cfg;
+}
+
+/// Fresh-allocation path: new state + by-value result every single run.
+std::vector<snn::SpikeMap> run_fresh(const rt::InferenceEngine& engine,
+                                     const std::vector<snn::Tensor>& images,
+                                     int timesteps) {
+  std::vector<snn::SpikeMap> outs;
+  for (const auto& img : images) {
+    snn::NetworkState state = engine.make_state();
+    for (int t = 0; t < timesteps; ++t) {
+      outs.push_back(engine.run(img, state).final_output);
+    }
+  }
+  return outs;
+}
+
+/// Arena path: one state + one result reused across every sample/timestep,
+/// with reset() (state.clear()) between samples.
+std::vector<snn::SpikeMap> run_reused(const rt::InferenceEngine& engine,
+                                      const std::vector<snn::Tensor>& images,
+                                      int timesteps) {
+  std::vector<snn::SpikeMap> outs;
+  snn::NetworkState state = engine.make_state();
+  rt::InferenceResult res;
+  for (const auto& img : images) {
+    state.clear();
+    for (int t = 0; t < timesteps; ++t) {
+      engine.run(img, state, res);
+      outs.push_back(res.final_output);
+    }
+  }
+  return outs;
+}
+
+}  // namespace
+
+TEST(ScratchReuse, BitExactAcrossBackendsBatchesAndResets) {
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(3, 99, 16, 16, 3);
+  k::RunOptions opt;
+  for (const auto kind :
+       {rt::BackendKind::kAnalytical, rt::BackendKind::kCycleAccurate,
+        rt::BackendKind::kSharded}) {
+    const rt::InferenceEngine engine(net, opt, cfg_of(kind));
+    const auto fresh = run_fresh(engine, images, /*timesteps=*/3);
+    const auto reused = run_reused(engine, images, /*timesteps=*/3);
+    ASSERT_EQ(fresh.size(), reused.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(fresh[i].v, reused[i].v)
+          << rt::backend_name(kind) << " run " << i;
+    }
+  }
+}
+
+TEST(ScratchReuse, SerialShardedMatchesThreadedThroughArenas) {
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(2, 5, 16, 16, 3);
+  k::RunOptions opt;
+  const rt::InferenceEngine threaded(
+      net, opt, cfg_of(rt::BackendKind::kSharded, true));
+  const rt::InferenceEngine serial(net, opt,
+                                   cfg_of(rt::BackendKind::kSharded, false));
+  const auto rt_ = run_reused(threaded, images, 2);
+  const auto rs = run_reused(serial, images, 2);
+  ASSERT_EQ(rt_.size(), rs.size());
+  for (std::size_t i = 0; i < rt_.size(); ++i) EXPECT_EQ(rt_[i].v, rs[i].v);
+}
+
+TEST(ScratchReuse, TimingIdenticalThroughArenas) {
+  // Cycle counts must not depend on which allocation path produced them.
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(2, 31, 16, 16, 3);
+  k::RunOptions opt;
+  const rt::InferenceEngine engine(net, opt);
+  for (const auto& img : images) {
+    snn::NetworkState fresh_state = engine.make_state();
+    const rt::InferenceResult fresh = engine.run(img, fresh_state);
+
+    snn::NetworkState state = engine.make_state();
+    rt::InferenceResult reused;
+    engine.run(img, state, reused);
+    ASSERT_EQ(fresh.layers.size(), reused.layers.size());
+    EXPECT_DOUBLE_EQ(fresh.total_cycles, reused.total_cycles);
+    for (std::size_t l = 0; l < fresh.layers.size(); ++l) {
+      EXPECT_DOUBLE_EQ(fresh.layers[l].stats.cycles,
+                       reused.layers[l].stats.cycles);
+      EXPECT_DOUBLE_EQ(fresh.layers[l].stats.fpu_ops,
+                       reused.layers[l].stats.fpu_ops);
+    }
+  }
+}
+
+TEST(ScratchReuse, ZeroSteadyStateAllocationsAnalytical) {
+  const snn::Network net = test_net();
+  const auto img = snn::make_batch(1, 7, 16, 16, 3)[0];
+  k::RunOptions opt;
+  const rt::InferenceEngine engine(net, opt);
+  snn::NetworkState state = engine.make_state();
+  rt::InferenceResult res;
+  // Two warmup timesteps grow every arena to capacity.
+  engine.run(img, state, res);
+  engine.run(img, state, res);
+  state.clear();  // a reset must not force re-allocation either
+  const std::size_t before = spikestream::alloc_hook::allocs();
+  for (int t = 0; t < 5; ++t) engine.run(img, state, res);
+  const std::size_t after = spikestream::alloc_hook::allocs();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state inference must not touch the heap";
+}
+
+TEST(ScratchReuse, ZeroSteadyStateAllocationsCycleAccurate) {
+  const snn::Network net = test_net();
+  const auto img = snn::make_batch(1, 8, 16, 16, 3)[0];
+  k::RunOptions opt;
+  const rt::InferenceEngine engine(net, opt,
+                                   cfg_of(rt::BackendKind::kCycleAccurate));
+  snn::NetworkState state = engine.make_state();
+  rt::InferenceResult res;
+  // Warmup also populates the ISS calibration cache (one entry per stream-
+  // length bucket of this input).
+  engine.run(img, state, res);
+  engine.run(img, state, res);
+  const std::size_t before = spikestream::alloc_hook::allocs();
+  for (int t = 0; t < 3; ++t) engine.run(img, state, res);
+  const std::size_t after = spikestream::alloc_hook::allocs();
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(ScratchReuse, CsrEncodeIntoReusesBuffers) {
+  sc::Rng rng(3);
+  snn::SpikeMap dense(12, 12, 64);
+  for (auto& b : dense.v) b = rng.bernoulli(0.3);
+  compress::CsrIfmap csr;
+  compress::CsrIfmap::encode_into(dense, csr);
+  const auto once = csr.c_idcs();
+  // Re-encoding equal or sparser maps into the same object allocates nothing.
+  const std::size_t before = spikestream::alloc_hook::allocs();
+  for (int r = 0; r < 10; ++r) compress::CsrIfmap::encode_into(dense, csr);
+  const std::size_t after = spikestream::alloc_hook::allocs();
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(csr.c_idcs(), once);
+  // And the reused encoding round-trips.
+  const snn::SpikeMap back = csr.decode();
+  EXPECT_EQ(back.v, dense.v);
+}
+
+TEST(ScratchReuse, BatchRunnerReusedStatesMatchPerSampleStates) {
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(4, 21, 16, 16, 3);
+  k::RunOptions opt;
+  const rt::BatchRunner runner(net, opt, {}, {}, /*workers=*/2);
+  const auto batched = runner.run(images, /*timesteps=*/2);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    rt::InferenceEngine engine(net, opt);
+    const auto serial = rt::run_timesteps(engine, images[i], 2);
+    EXPECT_EQ(batched[i].spike_counts, serial.spike_counts) << i;
+    EXPECT_DOUBLE_EQ(batched[i].total_cycles, serial.total_cycles) << i;
+  }
+}
