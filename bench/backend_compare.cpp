@@ -1,7 +1,10 @@
 // Backend comparison micro-benchmark: simulated cycles and host wall-clock
-// for the Analytical vs Sharded backends at 1/2/4/8 clusters, plus the
-// batch-inference speedup of BatchRunner (weights quantized once, samples on
-// worker threads) over the serial one-engine-per-sample path.
+// for the Analytical vs Sharded backends at 1/2/4/8 clusters — under the
+// output-channel-only partition, the cost-model-driven hybrid partition, and
+// the hybrid partition with the inter-cluster NoC bandwidth ceiling enabled
+// (the honest multi-cluster number) — plus a per-layer cluster-utilization
+// table at 8 clusters and the batch-inference speedup of BatchRunner over
+// the serial one-engine-per-sample path.
 //
 //   $ ./backend_compare            # batch from SPIKESTREAM_BATCH (default 8)
 #include <chrono>
@@ -11,6 +14,8 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "kernels/partition.hpp"
+#include "runtime/backend_sharded.hpp"
 #include "runtime/batch.hpp"
 
 namespace bench = spikestream::bench;
@@ -28,6 +33,26 @@ double wall_ms(const std::function<void()>& fn) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+rt::BackendConfig sharded_cfg(int clusters, k::PartitionStrategy strategy,
+                              bool noc_ceiling = false) {
+  rt::BackendConfig cfg;
+  cfg.kind = rt::BackendKind::kSharded;
+  cfg.clusters = clusters;
+  cfg.partition = strategy;
+  cfg.noc.model_contention = noc_ceiling;
+  return cfg;
+}
+
+/// Mean cluster-level utilization of one layer: busy core time over the
+/// compute window across every core of every (planned) cluster. Idle
+/// clusters (plans with fewer shards than clusters) pull it down.
+double layer_utilization(const rt::LayerMetrics& m, int clusters, int cores) {
+  if (m.stats.compute_cycles <= 0) return 0.0;
+  double busy = 0;
+  for (double c : m.stats.core_cycles) busy += c;
+  return busy / (m.stats.compute_cycles * clusters * cores);
+}
+
 }  // namespace
 
 int main() {
@@ -40,29 +65,79 @@ int main() {
   opt.variant = k::Variant::kSpikeStream;
   opt.fmt = sc::FpFormat::FP16;
 
-  // --- per-layer latency: analytical vs sharded at 1/2/4/8 clusters --------
+  // --- per-layer latency: analytical vs sharded partitions -----------------
   sc::Table t("S-VGG11 single frame: simulated latency per backend");
-  t.set_header({"backend", "clusters", "kcycles/frame", "speedup"});
+  t.set_header({"backend", "partition", "clusters", "kcycles/frame",
+                "speedup"});
   const auto img = images.front();
   double base_cycles = 0;
   {
     const rt::InferenceEngine eng(net, opt);
     snn::NetworkState st = eng.make_state();
     base_cycles = eng.run(img, st).total_cycles;
-    t.add_row({"analytical", "1", sc::Table::num(base_cycles / 1e3, 1), "1.00x"});
+    t.add_row({"analytical", "-", "1", sc::Table::num(base_cycles / 1e3, 1),
+               "1.00x"});
   }
-  for (int clusters : {1, 2, 4, 8}) {
-    rt::BackendConfig cfg;
-    cfg.kind = rt::BackendKind::kSharded;
-    cfg.clusters = clusters;
-    const rt::InferenceEngine eng(net, opt, cfg);
-    snn::NetworkState st = eng.make_state();
-    const double cycles = eng.run(img, st).total_cycles;
-    t.add_row({"sharded", std::to_string(clusters),
-               sc::Table::num(cycles / 1e3, 1),
-               sc::Table::num(base_cycles / cycles, 2) + "x"});
+  struct Variant {
+    k::PartitionStrategy strategy;
+    bool noc;
+    const char* label;
+  };
+  const Variant variants[] = {
+      {k::PartitionStrategy::kOutputChannel, false, "out-channel"},
+      {k::PartitionStrategy::kHybrid, false, "hybrid"},
+      {k::PartitionStrategy::kHybrid, true, "hybrid+noc"},
+  };
+  for (const auto& v : variants) {
+    for (int clusters : {1, 2, 4, 8}) {
+      const rt::InferenceEngine eng(net, opt,
+                                    sharded_cfg(clusters, v.strategy, v.noc));
+      snn::NetworkState st = eng.make_state();
+      const double cycles = eng.run(img, st).total_cycles;
+      t.add_row({"sharded", v.label, std::to_string(clusters),
+                 sc::Table::num(cycles / 1e3, 1),
+                 sc::Table::num(base_cycles / cycles, 2) + "x"});
+    }
   }
   t.print();
+
+  // --- per-layer plans and cluster utilization at 8 clusters ----------------
+  // Measured at the third timestep: membranes have charged up to the
+  // steady-state occupancy the partition choice matters for (the very first
+  // timestep is nearly empty on the late layers).
+  {
+    const int clusters = 8;
+    const rt::InferenceEngine oc(
+        net, opt, sharded_cfg(clusters, k::PartitionStrategy::kOutputChannel));
+    const rt::InferenceEngine hy(
+        net, opt, sharded_cfg(clusters, k::PartitionStrategy::kHybrid));
+    snn::NetworkState so = oc.make_state();
+    snn::NetworkState sh = hy.make_state();
+    rt::InferenceResult ro, rh;
+    for (int t = 0; t < 3; ++t) {
+      oc.run(img, so, ro);
+      hy.run(img, sh, rh);
+    }
+    const auto* be = dynamic_cast<const rt::ShardedBackend*>(&hy.backend());
+
+    sc::Table u("per-layer cluster utilization at 8 clusters, 3rd timestep "
+                "(out-channel vs hybrid plan)");
+    u.set_header({"layer", "hybrid axis", "shards", "kcyc oc", "kcyc hybrid",
+                  "util oc", "util hybrid", "noc KB"});
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      const k::LayerPlan& plan = be->plan_for(net.layer(l));
+      u.add_row({net.layer(l).name, k::shard_axis_name(plan.axis),
+                 std::to_string(plan.n()),
+                 sc::Table::num(ro.layers[l].stats.cycles / 1e3, 2),
+                 sc::Table::num(rh.layers[l].stats.cycles / 1e3, 2),
+                 sc::Table::num(layer_utilization(ro.layers[l], clusters,
+                                                  opt.cores), 3),
+                 sc::Table::num(layer_utilization(rh.layers[l], clusters,
+                                                  opt.cores), 3),
+                 sc::Table::num(rh.layers[l].stats.noc_bytes / 1024.0, 1)});
+    }
+    u.print();
+  }
 
   // --- batch throughput: serial engines vs BatchRunner ----------------------
   // Serial path: the pre-refactor usage — one engine per sample, so the
@@ -76,7 +151,7 @@ int main() {
     }
   });
 
-  // Batch path: quantize once, run samples concurrently on 4 workers.
+  // Batch path: quantize once, run samples concurrently on the worker pool.
   std::vector<rt::MultiStepResult> batch_res;
   double batch_ms = 0;
   {
@@ -92,7 +167,7 @@ int main() {
   std::printf("\nbatch-%d inference (2 timesteps, host wall-clock):\n", batch);
   std::printf("  serial engines     : %8.1f ms  (quantize per sample, 1 thread)\n",
               serial_ms);
-  std::printf("  BatchRunner x4     : %8.1f ms  (quantize once, 4 workers)\n",
+  std::printf("  BatchRunner x4     : %8.1f ms  (quantize once, pooled workers)\n",
               batch_ms);
   std::printf("  wall-clock speedup : %.2fx   outputs identical: %s\n",
               serial_ms / batch_ms, identical ? "yes" : "NO (BUG)");

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_host.json files and fail on a throughput regression.
+
+Usage: check_bench_regression.py PREVIOUS.json CURRENT.json [--threshold 0.15]
+
+Backends are matched by name; a backend whose samples/sec dropped by more
+than the threshold fails the check. Backends present in only one file are
+reported but never fail (the set changes when backends are added/removed).
+Exit codes: 0 = ok, 1 = regression, 2 = unusable input (missing/corrupt
+file) — CI treats 2 as a skip, not a failure, so the very first run of a
+repository (no previous artifact) passes.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+        return {b["name"]: float(b["samples_per_sec"]) for b in data["backends"]}
+    except (OSError, ValueError, KeyError) as e:
+        print(f"cannot read {path}: {e}")
+        return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("previous")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max allowed fractional drop in samples/sec")
+    args = ap.parse_args()
+
+    prev = load(args.previous)
+    cur = load(args.current)
+    if prev is None or cur is None:
+        return 2
+
+    failed = []
+    print(f"{'backend':<20} {'prev s/s':>12} {'cur s/s':>12} {'delta':>8}")
+    for name in sorted(set(prev) | set(cur)):
+        if name not in prev or name not in cur:
+            where = "current" if name in cur else "previous"
+            print(f"{name:<20} {'only in ' + where:>34}")
+            continue
+        p, c = prev[name], cur[name]
+        delta = (c - p) / p if p > 0 else 0.0
+        flag = ""
+        if delta < -args.threshold:
+            failed.append(name)
+            flag = "  << REGRESSION"
+        print(f"{name:<20} {p:>12.1f} {c:>12.1f} {delta:>+7.1%}{flag}")
+
+    if failed:
+        print(f"\nsamples/sec regressed >{args.threshold:.0%} on: "
+              f"{', '.join(failed)}")
+        return 1
+    print("\nno bench regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,9 @@ struct EnergyParams {
   double fpu_op_fp8 = 36.0;
   double fmadd_factor = 1.35;  ///< multiply-accumulate vs add-only op
   double dma_byte = 0.35;
+  /// Inter-cluster NoC traffic: longer wires + wider crossings than a
+  /// cluster-local DMA beat (multi-cluster sharded runs only).
+  double noc_byte = 0.6;
   double static_core = 6.5;     ///< pJ/cycle/core (clock tree + leakage)
   double static_cluster = 15.0; ///< pJ/cycle shared (TCDM, interconnect, I$)
   double freq_hz = 1.0e9;
@@ -49,6 +52,7 @@ struct Activity {
   double tcdm_words = 0;    ///< 64-bit words through the interconnect
   double ssr_elems = 0;
   double dma_bytes = 0;
+  double noc_bytes = 0;     ///< inter-cluster traffic (sharded runs)
 
   void accumulate(const Activity& o) {
     cycles += o.cycles;
@@ -58,6 +62,7 @@ struct Activity {
     tcdm_words += o.tcdm_words;
     ssr_elems += o.ssr_elems;
     dma_bytes += o.dma_bytes;
+    noc_bytes += o.noc_bytes;
   }
 };
 
@@ -69,10 +74,12 @@ struct EnergyBreakdown {
   double tcdm_pj = 0;
   double ssr_pj = 0;
   double dma_pj = 0;
+  double noc_pj = 0;
   double static_pj = 0;
 
   double total_pj() const {
-    return int_pj + icache_pj + fpu_pj + tcdm_pj + ssr_pj + dma_pj + static_pj;
+    return int_pj + icache_pj + fpu_pj + tcdm_pj + ssr_pj + dma_pj + noc_pj +
+           static_pj;
   }
   double total_mj() const { return total_pj() * 1e-9; }
 };
@@ -89,6 +96,7 @@ inline EnergyBreakdown compute_energy(const EnergyParams& p,
   e.tcdm_pj = a.tcdm_words * p.tcdm_word;
   e.ssr_pj = a.ssr_elems * p.ssr_elem;
   e.dma_pj = a.dma_bytes * p.dma_byte;
+  e.noc_pj = a.noc_bytes * p.noc_byte;
   e.static_pj = a.cycles * (p.static_core * a.active_cores + p.static_cluster);
   return e;
 }

@@ -1,0 +1,41 @@
+// Inter-cluster interconnect (NoC) model. The sharded backend used to assume
+// a perfect global crossbar: the broadcast ifmap was charged to every
+// cluster's DMA engine but the shared fabric between clusters had infinite
+// bandwidth, so scaling numbers at high cluster counts were optimistic. This
+// header models the fabric as a single shared bisection-bandwidth ceiling
+// with a fixed injection latency — the level of detail of the paper's
+// Occamy-style multi-cluster discussions, and enough to make 8-cluster
+// speedups honest without simulating routers.
+//
+// Traffic accounting (who pays what) lives in the sharded backend: a layer's
+// `noc_bytes` is every byte a cluster must receive that it does not already
+// hold locally — broadcast ifmap replicas beyond the first copy, halo rows of
+// spatial stripes, gathered ofmap slices, and FC partial-sum reductions. The
+// bytes are always recorded in KernelStats (and priced by the energy model);
+// the *timing* ceiling is opt-in via `model_contention` so exact-mode
+// backends keep their historical cycle counts.
+#pragma once
+
+namespace spikestream::arch {
+
+struct NocParams {
+  /// false = perfect crossbar (legacy timing): traffic is still counted and
+  /// priced, but never gates a layer's wall-clock.
+  bool model_contention = false;
+  /// Shared bisection bandwidth across all clusters, bytes per cycle. The
+  /// per-cluster DMA port is 64 B/cy; a shared fabric that matches a single
+  /// port (instead of scaling with the cluster count) is the contended case.
+  double shared_bytes_per_cycle = 64.0;
+  /// Cycles to the first beat of an inter-cluster transfer (injection +
+  /// routing). Charged once per layer, not per message: transfers of one
+  /// layer are pipelined back to back.
+  double hop_latency = 12.0;
+};
+
+/// Cycles the shared fabric needs to move `bytes` of inter-cluster traffic.
+inline double noc_transfer_cycles(const NocParams& p, double bytes) {
+  if (bytes <= 0.0) return 0.0;
+  return p.hop_latency + bytes / p.shared_bytes_per_cycle;
+}
+
+}  // namespace spikestream::arch

@@ -1,0 +1,39 @@
+// Non-owning, non-allocating callable reference. The hot execution paths
+// (worker pool jobs, shard fan-out) must not touch the heap in steady state,
+// which rules out std::function for capturing lambdas; a FunctionRef stores
+// one pointer to the caller's callable plus a thunk and is trivially
+// copyable. The referenced callable must outlive every invocation — callers
+// pass stack lambdas whose scope encloses the parallel region.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace spikestream::common {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace spikestream::common

@@ -38,6 +38,30 @@ class CsrIfmap {
   /// Reconstruct the dense binary map (for tests / golden comparisons).
   snn::SpikeMap decode() const;
 
+  /// Copy spatial rows [y_lo, y_hi) into a caller-owned CsrIfmap whose
+  /// buffers are reused (capacity retained, zero allocations once warm).
+  /// Prefix sums and channel indices are rebased so `out` is a standalone
+  /// (y_hi - y_lo, w, c) map — the ifmap stripe one sharded cluster owns.
+  void slice_rows_into(int y_lo, int y_hi, CsrIfmap& out) const {
+    SPK_CHECK(0 <= y_lo && y_lo <= y_hi && y_hi <= h_,
+              "CsrIfmap: bad row slice [" << y_lo << ", " << y_hi << ")");
+    out.h_ = y_hi - y_lo;
+    out.w_ = w_;
+    out.c_ = c_;
+    const std::size_t p_lo =
+        static_cast<std::size_t>(y_lo) * static_cast<std::size_t>(w_);
+    const std::size_t p_hi =
+        static_cast<std::size_t>(y_hi) * static_cast<std::size_t>(w_);
+    const std::uint32_t base = s_ptr_[p_lo];
+    out.s_ptr_.resize(p_hi - p_lo + 1);
+    for (std::size_t p = p_lo; p <= p_hi; ++p) {
+      out.s_ptr_[p - p_lo] = s_ptr_[p] - base;
+    }
+    out.c_idcs_.assign(
+        c_idcs_.begin() + static_cast<std::ptrdiff_t>(s_ptr_[p_lo]),
+        c_idcs_.begin() + static_cast<std::ptrdiff_t>(s_ptr_[p_hi]));
+  }
+
   int h() const { return h_; }
   int w() const { return w_; }
   int c() const { return c_; }

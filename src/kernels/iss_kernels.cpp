@@ -221,6 +221,47 @@ IssRunResult iss_dense_dot(arch::Cluster& cl, const std::vector<double>& a_v,
   return finish(cl, res);
 }
 
+IssRunResult iss_baseline_dense_dot(arch::Cluster& cl,
+                                    const std::vector<double>& a_v,
+                                    const std::vector<double>& b_v) {
+  SPK_CHECK(a_v.size() == b_v.size(), "dot operands must match");
+  SPK_CHECK(a_v.size() % 2 == 0, "2x-unrolled dot needs an even length");
+  cl.reset_allocators();
+  const arch::Addr aa = poke_weights(cl, a_v);
+  const arch::Addr bb = poke_weights(cl, b_v);
+  const arch::Addr res = cl.tcdm_alloc(8);
+
+  // The 2x-unrolled scalar loop of the baseline encode layer: two loads and
+  // one fmadd per element, two interleaved accumulators hiding the fmadd
+  // latency, pointer bumps and one branch per pair.
+  constexpr int kFa0 = 5, kFb0 = 6, kFa1 = 7, kFb1 = 8;
+  arch::Asm a;
+  a.li(kIdx, aa);
+  a.li(kWBase, bb);
+  a.li(kIter, 0);
+  a.li(kLen, static_cast<std::int64_t>(a_v.size() / 2));
+  a.li(kRes, res);
+  a.label("pair");
+  a.fld(kFa0, kIdx, 0);
+  a.fld(kFb0, kWBase, 0);
+  a.fmadd(kAcc, kFa0, kFb0);
+  a.fld(kFa1, kIdx, 8);
+  a.fld(kFb1, kWBase, 8);
+  a.fmadd(kAcc2, kFa1, kFb1);
+  a.addi(kIdx, kIdx, 16);
+  a.addi(kWBase, kWBase, 16);
+  a.addi(kIter, kIter, 1);
+  a.bne(kIter, kLen, "pair");
+  a.fpu_fence();
+  a.fadd(kAcc, kAcc, kAcc2);
+  a.fpu_fence();
+  a.fsd(kAcc, kRes, 0);
+  a.halt();
+
+  cl.load_program_on(0, a.finish());
+  return finish(cl, res);
+}
+
 IssRunResult iss_spikestream_spva_multicore(
     arch::Cluster& cl, const std::vector<double>& weights,
     const std::vector<std::uint16_t>& idcs, int n_cores) {

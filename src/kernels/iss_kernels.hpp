@@ -44,6 +44,14 @@ IssRunResult iss_spikestream_spva_sequence(
 IssRunResult iss_dense_dot(arch::Cluster& cl, const std::vector<double>& a,
                            const std::vector<double>& b, int accumulators = 2);
 
+/// The baseline's dense dot product: no SSRs, a 2x-unrolled scalar
+/// fld/fld/fmadd loop with two interleaved accumulators (the encode layer's
+/// Variant::kBaseline inner loop, modeled by baseline_dense_dot_cycles).
+/// Even length required by the unroll.
+IssRunResult iss_baseline_dense_dot(arch::Cluster& cl,
+                                    const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
 /// The same SpikeStream SpVA replicated SPMD on `n_cores` worker cores, each
 /// with a private index/weight region — measures TCDM conflict stretch.
 IssRunResult iss_spikestream_spva_multicore(

@@ -20,6 +20,9 @@ struct KernelStats {
   double tcdm_words = 0;      ///< 64-bit words moved through the interconnect
   double ssr_elems = 0;
   double dma_bytes = 0;
+  /// Inter-cluster traffic (broadcast ifmap replicas, stripe halos, gathered
+  /// ofmap slices, FC partial-sum reductions). 0 for single-cluster runs.
+  double noc_bytes = 0;
   int active_cores = 8;
   std::vector<double> core_cycles;  ///< per-core compute time (imbalance)
 
@@ -40,6 +43,7 @@ struct KernelStats {
     a.tcdm_words = tcdm_words;
     a.ssr_elems = ssr_elems;
     a.dma_bytes = dma_bytes;
+    a.noc_bytes = noc_bytes;
     return a;
   }
 
@@ -48,6 +52,7 @@ struct KernelStats {
   void reset() {
     cycles = compute_cycles = dma_cycles = 0;
     fpu_ops = fpu_mac_ops = int_instrs = tcdm_words = ssr_elems = dma_bytes = 0;
+    noc_bytes = 0;
     active_cores = 8;
     core_cycles.clear();
   }
@@ -62,6 +67,7 @@ struct KernelStats {
     tcdm_words += o.tcdm_words;
     ssr_elems += o.ssr_elems;
     dma_bytes += o.dma_bytes;
+    noc_bytes += o.noc_bytes;
     active_cores = std::max(active_cores, o.active_cores);
   }
 
@@ -78,6 +84,7 @@ struct KernelStats {
     tcdm_words += o.tcdm_words;
     ssr_elems += o.ssr_elems;
     dma_bytes += o.dma_bytes;
+    noc_bytes += o.noc_bytes;
     active_cores += o.active_cores;
     core_cycles.insert(core_cycles.end(), o.core_cycles.begin(),
                        o.core_cycles.end());

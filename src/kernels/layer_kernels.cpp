@@ -543,6 +543,126 @@ void encode_timing(const snn::LayerSpec& spec, const RunOptions& opt,
   st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
 }
 
+void fc_fanin_shard_timing(const snn::LayerSpec& spec,
+                           const compress::CsrIfmap& ifmap, int c_lo, int c_hi,
+                           const RunOptions& opt, KernelScratch& scratch) {
+  SPK_CHECK(ifmap.h() == 1 && ifmap.w() == 1 && ifmap.c() == spec.in_c,
+            "fc fan-in " << spec.name << ": input shape mismatch");
+  const CostParams& p = opt.cost;
+  const common::FpFormat fmt = opt.fmt;
+
+  // CSR channel indices are sorted, so the spikes this cluster owns are one
+  // contiguous run of the index array.
+  const auto span = ifmap.at(0, 0);
+  const auto lo_it = std::lower_bound(span.begin(), span.end(),
+                                      static_cast<std::uint16_t>(c_lo));
+  const auto hi_it = std::lower_bound(span.begin(), span.end(),
+                                      static_cast<std::uint16_t>(c_hi));
+  const double s_total = static_cast<double>(hi_it - lo_it);
+
+  // This cluster's slice of the layer: its weight-row band plus its ifmap
+  // share. Partial currents stay on chip (they cross the NoC, not the DMA),
+  // so the ofmap transfer volume is zero.
+  snn::LayerSpec sub = spec;
+  sub.in_c = c_hi - c_lo;
+  LayerRun& run = scratch.run;
+  run.plan = plan_layer(
+      sub, fmt,
+      static_cast<double>(compress::CsrIfmap::footprint_from_count(
+          static_cast<std::size_t>(s_total), 1, 1)),
+      0.0, p, 128.0 * 1024, opt.double_buffer);
+
+  const int groups = n_groups(spec.out_c, fmt);
+  const int segs = run.plan.in_segments;
+  const double s_seg = s_total / segs;
+  const double stretch =
+      opt.variant == Variant::kBaseline
+          ? 1.0
+          : p.conflict_stretch(access_rate(opt.variant, p), opt.cores);
+
+  KernelStats& st = run.stats;
+  st.reset();
+  st.active_cores = opt.cores;
+  std::vector<double>& tasks = scratch.tasks;
+  tasks.clear();
+  tasks.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    double t = 0;
+    if (opt.variant == Variant::kSpikeStream) {
+      const double fpu_time =
+          (p.fadd_latency * s_seg * stretch + p.ss_residue) * segs;
+      t = std::max(fpu_time, p.ss_setup * segs);
+    } else if (opt.variant == Variant::kDenseNoTc) {
+      const double dense_seg = static_cast<double>(sub.in_c) / segs;
+      const double fpu_time =
+          (p.fadd_latency * dense_seg * stretch + p.ss_residue) * segs;
+      t = std::max(fpu_time, p.dense_setup * segs);
+    } else {
+      t = (s_seg * p.baseline_elem_cycles + p.baseline_spva_overhead) * segs;
+    }
+    if (opt.variant == Variant::kDenseNoTc) {
+      st.fpu_ops += sub.in_c;
+      st.int_instrs += 10.0 * segs;
+      st.tcdm_words += 2.0 * sub.in_c;
+      st.ssr_elems += 2.0 * sub.in_c;
+    } else {
+      for (int s = 0; s < segs; ++s) count_spva(st, opt.variant, s_seg);
+    }
+    tasks.push_back(t);
+  }
+  ScheduleResult& sched = scratch.sched;
+  schedule_into(opt, tasks, sched);
+  // Index pre-scaling covers only this cluster's own spikes (see fc_timing).
+  double prescale = 0.0;
+  if (opt.variant == Variant::kSpikeStream && !opt.strided_indirect_ext) {
+    prescale = s_total * p.fc_prescale_per_spike / opt.cores;
+    st.int_instrs += s_total * p.fc_prescale_per_spike;
+  }
+  for (double& c : sched.core_cycles) c += prescale;
+  sched.makespan += prescale;
+
+  st.core_cycles = sched.core_cycles;
+  st.compute_cycles = sched.makespan + p.icache_layer_warmup;
+  st.dma_cycles = run.plan.dma_cycles;
+  st.dma_bytes = run.plan.dma_bytes;
+  st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
+}
+
+FcFanInMergeCost fc_fanin_merge_cost(const snn::LayerSpec& spec,
+                                     const snn::SpikeMap& out_spikes,
+                                     int n_shards, const RunOptions& opt) {
+  const CostParams& p = opt.cost;
+  const common::FpFormat fmt = opt.fmt;
+  const int simd = common::simd_lanes(fmt);
+  const bool fp8 = fmt == common::FpFormat::FP8;
+  const int groups = n_groups(spec.out_c, fmt);
+
+  FcFanInMergeCost m;
+  // Reduction: stream each of the n-1 partial vectors in from the NoC and
+  // add it group-wise into the resident accumulator (one affine stream per
+  // partial, one SIMD fadd per group).
+  const double partials = static_cast<double>(n_shards) - 1.0;
+  m.cycles += partials * (p.dense_setup + p.fadd_latency * groups);
+  m.fpu_ops += partials * groups;
+  m.int_instrs += partials * 10.0;
+  m.tcdm_words += 2.0 * partials * groups;  // partial read + accumulator rmw
+  m.noc_bytes +=
+      partials * spec.out_c * static_cast<double>(common::fp_bytes(fmt));
+  // Activation runs exactly once, with the same accounting as fc_timing.
+  const std::uint8_t* row = &out_spikes.at(0, 0, 0);
+  for (int g = 0; g < groups; ++g) {
+    const int lo = g * simd;
+    const int hi = std::min(lo + simd, spec.out_c);
+    double gs = 0;
+    for (int ch = lo; ch < hi; ++ch) gs += row[ch];
+    const double cyc = activation_cycles(p, simd, gs, fp8);
+    m.cycles += cyc;
+    m.int_instrs += cyc;
+    m.tcdm_words += 1.0 + gs / 4.0;
+  }
+  return m;
+}
+
 // ---------------------------------------------------------------------------
 // Combined layer execution
 // ---------------------------------------------------------------------------

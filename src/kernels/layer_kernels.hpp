@@ -79,6 +79,37 @@ void fc_timing(const snn::LayerSpec& spec, const compress::CsrIfmap& ifmap,
 void encode_timing(const snn::LayerSpec& spec, const RunOptions& opt,
                    KernelScratch& scratch);
 
+// --- fan-in shard timing (FC partial-sum sharding) ---------------------------
+// An FC layer partitioned along its fan-in (kernels/partition.hpp, axis
+// kFanIn) keeps its *functional* pass unsharded — partial-sum merges are not
+// floating-point associative, and spikes must stay bit-exact across every
+// plan — while the timing pass models what each cluster really does: stream
+// the ifmap spikes of its input-channel band through all SIMD output groups,
+// then ship the partial current vector to a merging cluster that reduces and
+// thresholds once.
+
+/// Timing of one fan-in shard owning input channels [c_lo, c_hi): the
+/// cluster's accumulation work only, no activation (that runs once, on the
+/// merging cluster — see fc_fanin_merge_cost). Fills scratch.run.stats/plan.
+void fc_fanin_shard_timing(const snn::LayerSpec& spec,
+                           const compress::CsrIfmap& ifmap, int c_lo, int c_hi,
+                           const RunOptions& opt, KernelScratch& scratch);
+
+/// Sequential merge tail of a fan-in-sharded FC layer: the merging cluster
+/// streams in n_shards - 1 partial ofmap vectors over the NoC, reduces them
+/// group-wise, and runs the activation exactly once (same accounting as
+/// fc_timing's activation, so activity conservation holds by construction).
+struct FcFanInMergeCost {
+  double cycles = 0;      ///< serial tail after the slowest shard finishes
+  double fpu_ops = 0;     ///< reduction adds (itemized, not hidden)
+  double int_instrs = 0;
+  double tcdm_words = 0;
+  double noc_bytes = 0;   ///< partial vectors crossing the inter-cluster NoC
+};
+FcFanInMergeCost fc_fanin_merge_cost(const snn::LayerSpec& spec,
+                                     const snn::SpikeMap& out_spikes,
+                                     int n_shards, const RunOptions& opt);
+
 // --- combined layer execution (functional + timing) -------------------------
 // Results live in `scratch.run`; the returned reference aliases it.
 

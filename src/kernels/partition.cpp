@@ -1,0 +1,272 @@
+#include "kernels/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace spikestream::kernels {
+
+namespace {
+
+/// Assumed ifmap density at plan time. Plans are computed once per network,
+/// before any input exists; the paper's workloads fire in the 10–30% range,
+/// and the axis ranking is insensitive to the exact value (it cancels out of
+/// every term that scales with occupancy).
+constexpr double kPlanDensity = 0.15;
+
+int n_groups(int channels, int simd) { return (channels + simd - 1) / simd; }
+
+/// Estimated cycles of one conv/encode output position carrying `groups`
+/// SIMD output-channel groups, at the planning density.
+double position_cost(const snn::LayerSpec& spec, const RunOptions& opt,
+                     int groups) {
+  const CostParams& p = opt.cost;
+  const int simd = common::simd_lanes(opt.fmt);
+  const bool fp8 = opt.fmt == common::FpFormat::FP8;
+  const double k2 = static_cast<double>(spec.k) * spec.k;
+  const double act = activation_cycles(p, simd, kPlanDensity * simd, fp8);
+  if (spec.kind == snn::LayerKind::kEncodeConv) {
+    const double dot = k2 * spec.in_c;
+    if (opt.variant == Variant::kBaseline) {
+      return (baseline_dense_dot_cycles(p, dot) + act) * groups;
+    }
+    const double fpu = (p.dense_ii() * dot + p.dense_residue) * groups;
+    const double integer = (p.dense_setup + act) * groups;
+    return std::max(fpu, integer);
+  }
+  const double elems = kPlanDensity * spec.in_c * k2;
+  switch (opt.variant) {
+    case Variant::kBaseline:
+      return (elems * p.baseline_elem_cycles + p.baseline_spva_overhead * k2 +
+              act) *
+             groups;
+    case Variant::kDenseNoTc: {
+      const double fpu =
+          (p.fadd_latency * k2 * spec.in_c + p.ss_residue * k2) * groups;
+      const double integer =
+          p.steal_cost + (p.dense_setup * k2 + act) * groups;
+      return std::max(fpu, integer);
+    }
+    case Variant::kSpikeStream:
+    default: {
+      const double fpu = (p.fadd_latency * elems + p.ss_residue * k2) * groups;
+      const double integer = p.steal_cost + (p.ss_setup * k2 + act) * groups;
+      return std::max(fpu, integer);
+    }
+  }
+}
+
+int max_extent(const std::vector<ShardRange>& shards) {
+  int m = 0;
+  for (const ShardRange& s : shards) m = std::max(m, s.extent());
+  return m;
+}
+
+}  // namespace
+
+const char* partition_strategy_name(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kOutputChannel: return "output-channel";
+    case PartitionStrategy::kIfmapStripe: return "ifmap-stripe";
+    case PartitionStrategy::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+const char* shard_axis_name(ShardAxis a) {
+  switch (a) {
+    case ShardAxis::kOutputChannel: return "out-channel";
+    case ShardAxis::kIfmapStripe: return "row-stripe";
+    case ShardAxis::kFanIn: return "fan-in";
+  }
+  return "?";
+}
+
+std::uint64_t layer_signature(const snn::LayerSpec& spec) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  mix(spec.name.data(), spec.name.size());
+  const int dims[] = {static_cast<int>(spec.kind), spec.in_h, spec.in_w,
+                      spec.in_c,  spec.k,          spec.out_c};
+  mix(dims, sizeof(dims));
+  return h;
+}
+
+Partitioner::Partitioner(const RunOptions& opt, int clusters,
+                         PartitionStrategy strategy)
+    : opt_(opt), clusters_(std::max(1, clusters)), strategy_(strategy) {}
+
+std::vector<ShardRange> Partitioner::channel_slices(int out_c, int simd,
+                                                    int clusters) {
+  const int groups = n_groups(out_c, simd);
+  const int active = std::min(clusters, groups);
+  std::vector<ShardRange> sl;
+  sl.reserve(static_cast<std::size_t>(std::max(active, 1)));
+  for (int s = 0; s < active; ++s) {
+    const int g_lo = s * groups / active;
+    const int g_hi = (s + 1) * groups / active;
+    const int lo = g_lo * simd;
+    const int hi = std::min(g_hi * simd, out_c);
+    if (hi > lo) sl.push_back({lo, hi});
+  }
+  return sl;
+}
+
+std::vector<ShardRange> Partitioner::row_stripes(int out_rows, int clusters) {
+  const int active = std::min(clusters, std::max(out_rows, 1));
+  std::vector<ShardRange> sl;
+  sl.reserve(static_cast<std::size_t>(active));
+  for (int s = 0; s < active; ++s) {
+    const int lo = s * out_rows / active;
+    const int hi = (s + 1) * out_rows / active;
+    if (hi > lo) sl.push_back({lo, hi});
+  }
+  return sl;
+}
+
+std::vector<ShardRange> Partitioner::fanin_segments(int in_c, int simd,
+                                                    int clusters) {
+  // Same SIMD-aligned even split as the channel slicer, applied to the input
+  // channel space: each cluster owns a disjoint weight-row band.
+  return channel_slices(in_c, simd, clusters);
+}
+
+double Partitioner::estimate_output_channel(const snn::LayerSpec& spec) const {
+  const CostParams& p = opt_.cost;
+  const int simd = common::simd_lanes(opt_.fmt);
+  const auto shards = channel_slices(spec.out_c, simd, clusters_);
+  const int worst_groups =
+      n_groups(max_extent(shards), simd);  // slices are group-aligned
+  if (spec.kind == snn::LayerKind::kFc) {
+    const double nnz = kPlanDensity * spec.in_c;
+    const double fp8_act = activation_cycles(
+        p, simd, kPlanDensity * simd, opt_.fmt == common::FpFormat::FP8);
+    const double per_group =
+        std::max(p.fadd_latency * nnz + p.ss_residue, p.ss_setup) + fp8_act;
+    const double rounds = std::ceil(static_cast<double>(worst_groups) /
+                                    std::max(1, opt_.cores));
+    return rounds * per_group + nnz * p.fc_prescale_per_spike / opt_.cores +
+           p.icache_layer_warmup;
+  }
+  const double positions =
+      static_cast<double>(spec.out_h()) * static_cast<double>(spec.out_w());
+  return positions * position_cost(spec, opt_, worst_groups) /
+             std::max(1, opt_.cores) +
+         p.icache_layer_warmup;
+}
+
+double Partitioner::estimate_ifmap_stripe(const snn::LayerSpec& spec) const {
+  SPK_CHECK(spec.kind != snn::LayerKind::kFc,
+            "ifmap stripes need spatial rows; FC layers use fan-in segments");
+  const CostParams& p = opt_.cost;
+  const int simd = common::simd_lanes(opt_.fmt);
+  const auto shards = row_stripes(spec.out_h(), clusters_);
+  const double worst_positions =
+      static_cast<double>(max_extent(shards)) * spec.out_w();
+  const int groups = n_groups(spec.out_c, simd);
+  return worst_positions * position_cost(spec, opt_, groups) /
+             std::max(1, opt_.cores) +
+         p.icache_layer_warmup;
+}
+
+double Partitioner::estimate_fanin(const snn::LayerSpec& spec) const {
+  SPK_CHECK(spec.kind == snn::LayerKind::kFc,
+            "fan-in segmentation is an FC strategy");
+  const CostParams& p = opt_.cost;
+  const int simd = common::simd_lanes(opt_.fmt);
+  const auto shards = fanin_segments(spec.in_c, simd, clusters_);
+  const double nnz_shard =
+      kPlanDensity * static_cast<double>(max_extent(shards));
+  const int groups = n_groups(spec.out_c, simd);
+  const double rounds =
+      std::ceil(static_cast<double>(groups) / std::max(1, opt_.cores));
+  const double accumulate =
+      rounds * std::max(p.fadd_latency * nnz_shard + p.ss_residue, p.ss_setup) +
+      nnz_shard * p.fc_prescale_per_spike / opt_.cores;
+  // Sequential tail on the merging cluster: stream (n-1) partial ofmap
+  // vectors over the NoC, add them group-wise, then run the activation once.
+  const double partials = static_cast<double>(shards.size()) - 1.0;
+  const double reduce =
+      partials * groups * p.fadd_latency +
+      partials * spec.out_c * common::fp_bytes(opt_.fmt) / 64.0;
+  const double act =
+      rounds * activation_cycles(p, simd, kPlanDensity * simd,
+                                 opt_.fmt == common::FpFormat::FP8);
+  return accumulate + reduce + act + p.icache_layer_warmup;
+}
+
+LayerPlan Partitioner::plan_layer(const snn::LayerSpec& spec) const {
+  const int simd = common::simd_lanes(opt_.fmt);
+  const bool fc = spec.kind == snn::LayerKind::kFc;
+  LayerPlan plan;
+  if (clusters_ <= 1) {
+    plan.shards = {{0, spec.out_c}};
+    return plan;
+  }
+  auto out_channel = [&] {
+    plan.axis = ShardAxis::kOutputChannel;
+    plan.shards = channel_slices(spec.out_c, simd, clusters_);
+  };
+  auto alternative = [&] {
+    if (fc) {
+      plan.axis = ShardAxis::kFanIn;
+      plan.shards = fanin_segments(spec.in_c, simd, clusters_);
+    } else {
+      plan.axis = ShardAxis::kIfmapStripe;
+      plan.shards = row_stripes(spec.out_h(), clusters_);
+    }
+  };
+  switch (strategy_) {
+    case PartitionStrategy::kOutputChannel:
+      out_channel();
+      break;
+    case PartitionStrategy::kIfmapStripe:
+      alternative();
+      break;
+    case PartitionStrategy::kHybrid: {
+      const double oc = estimate_output_channel(spec);
+      const double alt =
+          fc ? estimate_fanin(spec) : estimate_ifmap_stripe(spec);
+      // Prefer the historical axis unless the alternative is clearly ahead:
+      // output-channel tiles conserve activity exactly and need no halo or
+      // reduction bookkeeping, so a marginal estimate should not flip them.
+      if (alt < 0.95 * oc) {
+        alternative();
+        plan.est_cycles = alt;
+        plan.est_alt_cycles = oc;
+      } else {
+        out_channel();
+        plan.est_cycles = oc;
+        plan.est_alt_cycles = alt;
+      }
+      break;
+    }
+  }
+  // A single-shard fan-in plan would pay reduction bookkeeping for nothing;
+  // collapse it (and any other degenerate split) to one output-channel shard.
+  if (plan.shards.size() <= 1) {
+    plan.axis = ShardAxis::kOutputChannel;
+    plan.shards = {{0, spec.out_c}};
+  }
+  return plan;
+}
+
+ShardPlan Partitioner::plan_network(const snn::Network& net) const {
+  ShardPlan plan;
+  plan.strategy = strategy_;
+  plan.clusters = clusters_;
+  plan.layers.reserve(net.num_layers());
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    plan.layers.push_back(plan_layer(net.layer(l)));
+  }
+  return plan;
+}
+
+}  // namespace spikestream::kernels

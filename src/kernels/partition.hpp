@@ -1,0 +1,118 @@
+// Partition planning: how one layer's work is split across N simulated
+// clusters. Extracted from the sharded backend (which hard-coded
+// output-channel tiles) into a first-class, cost-model-driven subsystem:
+//
+//  * kOutputChannel — the historical scheme. SIMD-group-aligned output
+//    channel ranges, one disjoint ofmap slice per cluster, the full ifmap
+//    broadcast to every cluster. No inter-cluster reduction; per-group
+//    activation accounting is preserved, so activity counters conserve
+//    exactly.
+//  * kIfmapStripe   — spatial output-row stripes (conv/encode layers). Each
+//    cluster computes *all* output channels for a contiguous band of output
+//    rows and only needs its halo'd ifmap rows — no broadcast, just halo
+//    duplication on the NoC. Every output position is computed with its full
+//    fan-in, so spikes stay bit-identical and activity conserves exactly.
+//    FC layers have no spatial rows; for them this strategy degenerates to
+//    kFanIn: input-channel segments with an explicit partial-sum reduction,
+//    so a 10-class head stops idling 5 of 8 clusters. The reduction's extra
+//    adds/traffic are itemized (not hidden) in the merged KernelStats, and
+//    the *functional* pass still runs unsharded so spikes remain bit-exact.
+//  * kHybrid        — per-layer choice between the two by querying the cost
+//    model with an assumed planning density (occupancies are unknown at plan
+//    time; plans are computed once per network at engine construction).
+//
+// A ShardPlan is immutable once computed; backends key it by layer signature
+// and size their per-shard scratch lanes from it so steady-state shard
+// fan-out allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/layer_kernels.hpp"
+#include "snn/network.hpp"
+
+namespace spikestream::kernels {
+
+enum class PartitionStrategy {
+  kOutputChannel,  ///< historical scheme on every layer (exact back-compat)
+  kIfmapStripe,    ///< spatial stripes on conv/encode, fan-in segments on FC
+  kHybrid,         ///< per-layer cost-model choice
+};
+
+const char* partition_strategy_name(PartitionStrategy s);
+
+/// Which axis one layer's shards cut along.
+enum class ShardAxis {
+  kOutputChannel,  ///< [lo, hi) = output channel range (SIMD-group aligned)
+  kIfmapStripe,    ///< [lo, hi) = output row range
+  kFanIn,          ///< [lo, hi) = input channel range (FC partial sums)
+};
+
+const char* shard_axis_name(ShardAxis a);
+
+struct ShardRange {
+  int lo = 0, hi = 0;  ///< [lo, hi) along the plan's axis
+  int extent() const { return hi - lo; }
+  bool operator==(const ShardRange&) const = default;
+};
+
+struct LayerPlan {
+  ShardAxis axis = ShardAxis::kOutputChannel;
+  std::vector<ShardRange> shards;
+  /// Planning-time cost estimates (cycles at assumed density) that drove the
+  /// hybrid choice; est_alt_cycles = 0 when no alternative axis existed.
+  double est_cycles = 0;
+  double est_alt_cycles = 0;
+  std::size_t n() const { return shards.size(); }
+};
+
+struct ShardPlan {
+  PartitionStrategy strategy = PartitionStrategy::kOutputChannel;
+  int clusters = 1;
+  std::vector<LayerPlan> layers;  ///< one per network layer
+};
+
+/// FNV-1a over a layer's name + geometry: the key plan/memo caches use.
+/// Layers with equal signatures partition (and cost) identically.
+std::uint64_t layer_signature(const snn::LayerSpec& spec);
+
+class Partitioner {
+ public:
+  Partitioner(const RunOptions& opt, int clusters, PartitionStrategy strategy);
+
+  PartitionStrategy strategy() const { return strategy_; }
+  int clusters() const { return clusters_; }
+
+  LayerPlan plan_layer(const snn::LayerSpec& spec) const;
+  ShardPlan plan_network(const snn::Network& net) const;
+
+  // --- shard range builders (exposed for tests) -----------------------------
+
+  /// SIMD-group-aligned output channel ranges; fewer groups than clusters
+  /// leaves trailing clusters unassigned (empty ranges are dropped).
+  static std::vector<ShardRange> channel_slices(int out_c, int simd,
+                                                int clusters);
+  /// Contiguous output-row bands, at most one per cluster, balanced to within
+  /// one row.
+  static std::vector<ShardRange> row_stripes(int out_rows, int clusters);
+  /// SIMD-aligned input-channel segments for FC partial-sum sharding.
+  static std::vector<ShardRange> fanin_segments(int in_c, int simd,
+                                                int clusters);
+
+  // --- planning-time cost queries (exposed for tests / benches) -------------
+  // Estimated layer cycles on `clusters()` clusters at the assumed planning
+  // density, using the mechanistic cost-model constants. These rank axes;
+  // they are not predictions of any particular input's cycle count.
+
+  double estimate_output_channel(const snn::LayerSpec& spec) const;
+  double estimate_ifmap_stripe(const snn::LayerSpec& spec) const;
+  double estimate_fanin(const snn::LayerSpec& spec) const;
+
+ private:
+  RunOptions opt_;
+  int clusters_;
+  PartitionStrategy strategy_;
+};
+
+}  // namespace spikestream::kernels

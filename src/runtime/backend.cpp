@@ -20,16 +20,6 @@ const char* backend_name(BackendKind k) {
 
 namespace {
 
-/// FNV-1a over a byte range.
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 /// Logarithmic occupancy bucket (~12% granularity): spike counts within one
 /// bucket share a memoized timing result, which bounds the relative cycle
 /// deviation by the bucket width.
@@ -39,16 +29,33 @@ long occupancy_bucket(std::size_t nnz) {
       std::floor(std::log2(static_cast<double>(nnz)) * 6.0));
 }
 
+/// Occupancies within this fraction of a layer's running average share its
+/// bucket. Tighter than the ~12% bucket width, so snapping adds at most one
+/// bucket of extra deviation while removing the edge-jitter misses.
+constexpr double kEmaSnapBand = 0.10;
+constexpr double kEmaAlpha = 0.25;
+
 }  // namespace
 
+long CostMemo::snapped_bucket(double& ema, std::size_t nnz) const {
+  const double x = static_cast<double>(nnz);
+  if (ema >= 0.0 && std::abs(x - ema) <= kEmaSnapBand * std::max(ema, 1.0)) {
+    const long b =
+        occupancy_bucket(static_cast<std::size_t>(std::llround(ema)));
+    ema += kEmaAlpha * (x - ema);
+    return b;
+  }
+  ema = x;  // jumped out of the band: restart the average here
+  return occupancy_bucket(nnz);
+}
+
 CostMemo::Key CostMemo::make_key(const snn::LayerSpec& spec,
-                                 std::size_t in_nnz, std::size_t out_nnz) {
-  std::uint64_t sig = 1469598103934665603ull;  // FNV offset basis
-  sig = fnv1a(sig, spec.name.data(), spec.name.size());
-  const int dims[] = {static_cast<int>(spec.kind), spec.in_h, spec.in_w,
-                      spec.in_c,  spec.k,          spec.out_c};
-  sig = fnv1a(sig, dims, sizeof(dims));
-  return {sig, occupancy_bucket(in_nnz), occupancy_bucket(out_nnz)};
+                                 std::size_t in_nnz,
+                                 std::size_t out_nnz) const {
+  const std::uint64_t sig = kernels::layer_signature(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  Ema& e = ema_[sig];
+  return {sig, snapped_bucket(e.in, in_nnz), snapped_bucket(e.out, out_nnz)};
 }
 
 bool CostMemo::lookup(const Key& key, kernels::LayerRun& run) const {
@@ -80,7 +87,7 @@ const kernels::LayerRun& AnalyticalBackend::run_conv(
   kernels::KernelScratch& ks = scratch.main;
   kernels::conv_functional(spec, weights, ifmap, membrane, ks);
   if (memo_) {
-    const auto key = CostMemo::make_key(spec, ifmap.nnz(), ks.run.out_nnz);
+    const auto key = memo_->make_key(spec, ifmap.nnz(), ks.run.out_nnz);
     if (memo_->lookup(key, ks.run)) return ks.run;
     kernels::conv_timing(spec, ifmap, opt_, ks);
     memo_->insert(key, ks.run);
@@ -97,7 +104,7 @@ const kernels::LayerRun& AnalyticalBackend::run_fc(
   kernels::KernelScratch& ks = scratch.main;
   kernels::fc_functional(spec, weights, ifmap, membrane, ks);
   if (memo_) {
-    const auto key = CostMemo::make_key(spec, ifmap.nnz(), ks.run.out_nnz);
+    const auto key = memo_->make_key(spec, ifmap.nnz(), ks.run.out_nnz);
     if (memo_->lookup(key, ks.run)) return ks.run;
     kernels::fc_timing(spec, ifmap, opt_, ks);
     memo_->insert(key, ks.run);
@@ -115,7 +122,7 @@ const kernels::LayerRun& AnalyticalBackend::run_encode(
   kernels::encode_functional(spec, weights, padded_image, membrane, ks);
   if (memo_) {
     // The dense input has no occupancy; key on the output spikes only.
-    const auto key = CostMemo::make_key(spec, 0, ks.run.out_nnz);
+    const auto key = memo_->make_key(spec, 0, ks.run.out_nnz);
     if (memo_->lookup(key, ks.run)) return ks.run;
     kernels::encode_timing(spec, opt_, ks);
     memo_->insert(key, ks.run);
@@ -125,8 +132,9 @@ const kernels::LayerRun& AnalyticalBackend::run_encode(
   return ks.run;
 }
 
-std::unique_ptr<ExecutionBackend> make_backend(const kernels::RunOptions& opt,
-                                               const BackendConfig& cfg) {
+std::unique_ptr<ExecutionBackend> make_backend(
+    const kernels::RunOptions& opt, const BackendConfig& cfg,
+    std::shared_ptr<WorkerPool> pool) {
   switch (cfg.kind) {
     case BackendKind::kAnalytical:
       return std::make_unique<AnalyticalBackend>(opt, cfg.memoize_cost);
@@ -135,7 +143,8 @@ std::unique_ptr<ExecutionBackend> make_backend(const kernels::RunOptions& opt,
                                                     cfg.memoize_cost);
     case BackendKind::kSharded:
       return std::make_unique<ShardedBackend>(opt, cfg.clusters,
-                                              cfg.shard_threads);
+                                              cfg.shard_threads, cfg.partition,
+                                              cfg.noc, std::move(pool));
   }
   SPK_CHECK(false, "unknown backend kind");
   return nullptr;

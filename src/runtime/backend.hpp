@@ -34,13 +34,21 @@
 #include <mutex>
 #include <tuple>
 
+#include "arch/noc.hpp"
 #include "compress/csr_ifmap.hpp"
 #include "kernels/layer_kernels.hpp"
+#include "kernels/partition.hpp"
 #include "kernels/scratch.hpp"
 #include "snn/network.hpp"
 #include "snn/tensor.hpp"
 
+namespace spikestream::snn {
+class NetworkState;
+}
+
 namespace spikestream::runtime {
+
+class WorkerPool;
 
 enum class BackendKind {
   kAnalytical,     ///< mechanistic cost model (default, fastest)
@@ -54,9 +62,19 @@ struct BackendConfig {
   BackendKind kind = BackendKind::kAnalytical;
   /// ShardedBackend: number of simulated clusters a layer is split across.
   int clusters = 4;
-  /// ShardedBackend: run the per-cluster shards on std::thread workers
-  /// (false = deterministic serial loop, useful for debugging).
+  /// ShardedBackend: run the per-cluster shards on the persistent worker
+  /// pool (false = deterministic serial loop, useful for debugging; results
+  /// are bit-identical either way).
   bool shard_threads = true;
+  /// ShardedBackend: how layers are split across clusters (see
+  /// kernels/partition.hpp). The default reproduces the historical
+  /// output-channel tiling exactly.
+  kernels::PartitionStrategy partition =
+      kernels::PartitionStrategy::kOutputChannel;
+  /// ShardedBackend: inter-cluster interconnect model. Traffic is always
+  /// counted (KernelStats::noc_bytes, priced by the energy model); enabling
+  /// `noc.model_contention` additionally lets it gate layer wall-clock.
+  arch::NocParams noc;
   /// CycleAccurateBackend: SpVAs per ISS calibration run (larger = tighter
   /// amortization of the microkernel prologue, slower calibration).
   int iss_sample_spvas = 32;
@@ -84,8 +102,15 @@ class CostMemo {
   /// (layer signature, input bucket, output bucket).
   using Key = std::tuple<std::uint64_t, long, long>;
 
-  static Key make_key(const snn::LayerSpec& spec, std::size_t in_nnz,
-                      std::size_t out_nnz);
+  /// Build the memo key for one layer run. Stateful: the memo tracks a
+  /// per-layer exponential moving average of the input/output occupancies
+  /// and snaps counts within ±10% of the EMA onto the EMA's bucket, so
+  /// occupancies that jitter around a bucket edge (the dominant miss source
+  /// on small nets) stop alternating between two keys. The snap band is
+  /// tighter than the bucket width, so the worst-case deviation stays inside
+  /// the bound tests/test_cost_cache.cpp pins.
+  Key make_key(const snn::LayerSpec& spec, std::size_t in_nnz,
+               std::size_t out_nnz) const;
 
   /// On hit, copies the cached stats/plan into `run` (reusing its buffer
   /// capacity) and returns true.
@@ -98,8 +123,16 @@ class CostMemo {
   }
 
  private:
+  /// Occupancy EMAs of one layer (input, output), -1 = not yet seen.
+  struct Ema {
+    double in = -1.0;
+    double out = -1.0;
+  };
+  long snapped_bucket(double& ema, std::size_t nnz) const;
+
   mutable std::mutex mu_;
   std::map<Key, Value> cache_;
+  mutable std::map<std::uint64_t, Ema> ema_;
   mutable std::atomic<std::size_t> hits_{0};
   mutable std::atomic<std::size_t> misses_{0};
 };
@@ -115,6 +148,21 @@ class ExecutionBackend {
   virtual const char* name() const = 0;
   /// Simulated clusters one layer is spread across (1 except for sharding).
   virtual int num_clusters() const { return 1; }
+
+  /// Called once per engine construction with the quantized network: lets a
+  /// backend precompute per-layer state (the sharded backend builds its
+  /// ShardPlan here, so partition choices are made once per network, not per
+  /// run). Must be idempotent and thread-safe; the default does nothing.
+  virtual void prepare(const snn::Network& net) const { (void)net; }
+
+  /// Pre-size the per-layer scratch arenas of a freshly built NetworkState
+  /// for this backend's execution shape (e.g. one shard lane per planned
+  /// cluster), so even the first run fans out without growing vectors.
+  virtual void presize_state(snn::NetworkState& state,
+                             const snn::Network& net) const {
+    (void)state;
+    (void)net;
+  }
 
   const kernels::RunOptions& options() const { return opt_; }
 
@@ -212,8 +260,12 @@ class AnalyticalBackend : public ExecutionBackend {
   std::unique_ptr<CostMemo> memo_;
 };
 
-/// Instantiate a backend from a config.
-std::unique_ptr<ExecutionBackend> make_backend(const kernels::RunOptions& opt,
-                                               const BackendConfig& cfg = {});
+/// Instantiate a backend from a config. `pool` is the persistent worker pool
+/// a sharded backend should fan its shards out on (shared with the batch
+/// runner when the engine provides one); null lets the backend create its
+/// own. Non-sharded backends ignore it.
+std::unique_ptr<ExecutionBackend> make_backend(
+    const kernels::RunOptions& opt, const BackendConfig& cfg = {},
+    std::shared_ptr<WorkerPool> pool = nullptr);
 
 }  // namespace spikestream::runtime

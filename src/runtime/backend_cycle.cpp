@@ -109,6 +109,55 @@ double CycleAccurateBackend::dense_ratio(double len) const {
   return ratio;
 }
 
+double CycleAccurateBackend::dense_no_tc_ratio(double len) const {
+  // The kDenseNoTc ablation walks the whole fan-in with an affine weight
+  // stream and the dense 0/1 activation vector alongside — exactly the
+  // two-stream fmadd loop of iss_dense_dot, but with a single accumulator
+  // (it replaces the sparse SpVA's reduction register one for one). The
+  // layer model optimistically charges it at the fadd II; the ISS twin
+  // surfaces the real single-accumulator fmadd II, instead of the silent
+  // ratio of 1.0 this variant used to get.
+  long b = std::clamp(static_cast<long>(std::lround(len)), 8L, 4096L);
+  b += b & 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dense_no_tc_cache_.find(b);
+  if (it != dense_no_tc_cache_.end()) return it->second;
+
+  const kernels::CostParams& p = opt_.cost;
+  auto cl = calibration_cluster();
+  std::vector<double> act(static_cast<std::size_t>(b), 1.0);
+  std::vector<double> w(static_cast<std::size_t>(b), 0.5);
+  const auto r = kernels::iss_dense_dot(cl, act, w, 1);
+  const double modeled =
+      p.fadd_latency * static_cast<double>(b) + p.ss_residue;
+  const double ratio = std::clamp(
+      modeled > 0 ? static_cast<double>(r.cycles) / modeled : 1.0, kRatioLo,
+      kRatioHi);
+  dense_no_tc_cache_.emplace(b, ratio);
+  return ratio;
+}
+
+double CycleAccurateBackend::baseline_dense_ratio(double len) const {
+  long b = std::clamp(static_cast<long>(std::lround(len)), 8L, 4096L);
+  b += b & 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = baseline_dense_cache_.find(b);
+  if (it != baseline_dense_cache_.end()) return it->second;
+
+  const kernels::CostParams& p = opt_.cost;
+  auto cl = calibration_cluster();
+  std::vector<double> act(static_cast<std::size_t>(b), 1.0);
+  std::vector<double> w(static_cast<std::size_t>(b), 0.5);
+  const auto r = kernels::iss_baseline_dense_dot(cl, act, w);
+  const double modeled =
+      kernels::baseline_dense_dot_cycles(p, static_cast<double>(b));
+  const double ratio = std::clamp(
+      modeled > 0 ? static_cast<double>(r.cycles) / modeled : 1.0, kRatioLo,
+      kRatioHi);
+  baseline_dense_cache_.emplace(b, ratio);
+  return ratio;
+}
+
 void CycleAccurateBackend::retime(kernels::LayerRun& run, double ratio) const {
   const kernels::CostParams& p = opt_.cost;
   kernels::KernelStats& st = run.stats;
@@ -126,7 +175,12 @@ const kernels::LayerRun& CycleAccurateBackend::run_conv(
     kernels::LayerScratch& scratch) const {
   AnalyticalBackend::run_conv(spec, weights, ifmap, membrane, scratch);
   kernels::LayerRun& run = scratch.main.run;
-  if (opt_.variant == kernels::Variant::kDenseNoTc) return run;  // uncalibrated
+  if (opt_.variant == kernels::Variant::kDenseNoTc) {
+    // Every window streams the full fan-in, so the representative dense
+    // stream length is exact, not a mean.
+    retime(run, dense_no_tc_ratio(spec.in_c));
+    return run;
+  }
   // Representative SpVA length: mean over every stream the kernel walks
   // (each of the k*k windows of every output position). Each input position
   // (y, x) is covered by cov(y)*cov(x) windows, so one O(positions) sweep
@@ -157,8 +211,11 @@ const kernels::LayerRun& CycleAccurateBackend::run_fc(
     kernels::LayerScratch& scratch) const {
   AnalyticalBackend::run_fc(spec, weights, ifmap, membrane, scratch);
   kernels::LayerRun& run = scratch.main.run;
-  if (opt_.variant == kernels::Variant::kDenseNoTc) return run;
   const double segs = std::max(1, run.plan.in_segments);
+  if (opt_.variant == kernels::Variant::kDenseNoTc) {
+    retime(run, dense_no_tc_ratio(static_cast<double>(spec.in_c) / segs));
+    return run;
+  }
   const double s_seg = static_cast<double>(ifmap.nnz()) / segs;
   retime(run, sparse_ratio(s_seg));
   return run;
@@ -171,9 +228,12 @@ const kernels::LayerRun& CycleAccurateBackend::run_encode(
   AnalyticalBackend::run_encode(spec, weights, padded_image, membrane,
                                 scratch);
   kernels::LayerRun& run = scratch.main.run;
-  if (opt_.variant == kernels::Variant::kBaseline) return run;  // no ISS twin
   const double dot_len =
       static_cast<double>(spec.k) * spec.k * spec.in_c;
+  if (opt_.variant == kernels::Variant::kBaseline) {
+    retime(run, baseline_dense_ratio(dot_len));
+    return run;
+  }
   retime(run, dense_ratio(dot_len));
   return run;
 }

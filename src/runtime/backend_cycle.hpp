@@ -52,6 +52,11 @@ class CycleAccurateBackend : public AnalyticalBackend {
   double sparse_ratio(double len) const;
   /// Same for the dense encode dot product of length `len`.
   double dense_ratio(double len) const;
+  /// Same for the kDenseNoTc ablation's per-window dense stream of `len`
+  /// elements (affine weight + activation streams, single accumulator).
+  double dense_no_tc_ratio(double len) const;
+  /// Same for the baseline encode layer's 2x-unrolled scalar dot of `len`.
+  double baseline_dense_ratio(double len) const;
 
  private:
   /// Rescale the compute critical path of `run` by `ratio`, keeping the
@@ -62,6 +67,8 @@ class CycleAccurateBackend : public AnalyticalBackend {
   mutable std::mutex mu_;
   mutable std::map<long, double> sparse_cache_;
   mutable std::map<long, double> dense_cache_;
+  mutable std::map<long, double> dense_no_tc_cache_;
+  mutable std::map<long, double> baseline_dense_cache_;
 };
 
 }  // namespace spikestream::runtime

@@ -1,11 +1,10 @@
 #include "runtime/backend_sharded.hpp"
 
 #include <algorithm>
-#include <exception>
-#include <thread>
 
 #include "common/check.hpp"
 #include "common/float_formats.hpp"
+#include "snn/state.hpp"
 
 namespace spikestream::runtime {
 
@@ -40,28 +39,89 @@ void unslice_channels(snn::Hwc<T>& full, const snn::Hwc<T>& part, int lo) {
   }
 }
 
+/// Copy spatial rows [lo, hi) of an HWC tensor into a compact caller-owned
+/// tensor. Rows are contiguous in HWC, so this is one block copy.
+template <typename T>
+void slice_rows_into(const snn::Hwc<T>& t, int lo, int hi, snn::Hwc<T>& out) {
+  out.reshape(hi - lo, t.w, t.c);
+  const std::size_t row =
+      static_cast<std::size_t>(t.w) * static_cast<std::size_t>(t.c);
+  std::copy_n(t.v.data() + static_cast<std::size_t>(lo) * row,
+              static_cast<std::size_t>(hi - lo) * row, out.v.data());
+}
+
+/// Scatter a compact row slice back into rows [lo, ...) of `full`.
+template <typename T>
+void unslice_rows(snn::Hwc<T>& full, const snn::Hwc<T>& part, int lo) {
+  const std::size_t row = static_cast<std::size_t>(full.w) *
+                          static_cast<std::size_t>(full.c);
+  std::copy_n(part.v.data(), part.v.size(),
+              full.v.data() + static_cast<std::size_t>(lo) * row);
+}
+
 }  // namespace
 
 ShardedBackend::ShardedBackend(const kernels::RunOptions& opt, int clusters,
-                               bool use_threads)
+                               bool use_threads,
+                               kernels::PartitionStrategy strategy,
+                               const arch::NocParams& noc,
+                               std::shared_ptr<WorkerPool> pool)
     : ExecutionBackend(opt),
       clusters_(std::max(1, clusters)),
-      threads_(use_threads) {}
+      threads_(use_threads),
+      partitioner_(opt, std::max(1, clusters), strategy),
+      noc_(noc),
+      pool_(std::move(pool)) {
+  if (threads_ && pool_ == nullptr) {
+    pool_ = std::make_shared<WorkerPool>(clusters_ - 1);
+  }
+}
 
 std::vector<std::pair<int, int>> ShardedBackend::slices(int out_c) const {
   const int simd = common::simd_lanes(opt_.fmt);
-  const int groups = (out_c + simd - 1) / simd;
-  const int active = std::min(clusters_, groups);
   std::vector<std::pair<int, int>> sl;
-  sl.reserve(static_cast<std::size_t>(active));
-  for (int s = 0; s < active; ++s) {
-    const int g_lo = s * groups / active;
-    const int g_hi = (s + 1) * groups / active;
-    const int lo = g_lo * simd;
-    const int hi = std::min(g_hi * simd, out_c);
-    if (hi > lo) sl.emplace_back(lo, hi);
+  for (const kernels::ShardRange& r :
+       kernels::Partitioner::channel_slices(out_c, simd, clusters_)) {
+    sl.emplace_back(r.lo, r.hi);
   }
   return sl;
+}
+
+const kernels::LayerPlan& ShardedBackend::plan_for(
+    const snn::LayerSpec& spec) const {
+  const std::uint64_t sig = kernels::layer_signature(spec);
+  {
+    std::shared_lock<std::shared_mutex> lock(plan_mu_);
+    const auto it = plans_.find(sig);
+    if (it != plans_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(plan_mu_);
+  const auto it = plans_.find(sig);  // re-check: another writer may have won
+  if (it != plans_.end()) return it->second;
+  // std::map nodes are stable: the reference outlives the lock.
+  return plans_.emplace(sig, partitioner_.plan_layer(spec)).first->second;
+}
+
+void ShardedBackend::prepare(const snn::Network& net) const {
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const snn::LayerSpec& spec = net.layer(l);
+    const kernels::LayerPlan& plan = plan_for(spec);
+    if (plan.axis == kernels::ShardAxis::kOutputChannel && plan.n() > 1) {
+      for (const kernels::ShardRange& r : plan.shards) {
+        shard_weights(net.weights(l), r.lo, r.hi);
+      }
+    }
+  }
+}
+
+void ShardedBackend::presize_state(snn::NetworkState& state,
+                                   const snn::Network& net) const {
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const kernels::LayerPlan& plan = plan_for(net.layer(l));
+    if (plan.n() > 1 && state.scratch(l).lanes.size() < plan.n()) {
+      state.scratch(l).lanes.resize(plan.n());
+    }
+  }
 }
 
 const snn::LayerWeights& ShardedBackend::shard_weights(
@@ -104,61 +164,22 @@ const snn::LayerWeights& ShardedBackend::shard_weights(
 }
 
 void ShardedBackend::for_shards(
-    const std::vector<std::pair<int, int>>& sl,
-    const std::function<void(std::size_t, int, int)>& fn) const {
-  if (!threads_ || sl.size() <= 1) {
-    for (std::size_t s = 0; s < sl.size(); ++s) {
-      fn(s, sl[s].first, sl[s].second);
-    }
+    std::size_t n, common::FunctionRef<void(std::size_t)> fn) const {
+  if (!threads_ || pool_ == nullptr || n <= 1) {
+    for (std::size_t s = 0; s < n; ++s) fn(s);
     return;
   }
-  std::vector<std::exception_ptr> errors(sl.size());
-  std::vector<std::thread> workers;
-  workers.reserve(sl.size());
-  for (std::size_t s = 0; s < sl.size(); ++s) {
-    workers.emplace_back([&, s] {
-      try {
-        fn(s, sl[s].first, sl[s].second);
-      } catch (...) {
-        errors[s] = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : workers) t.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  pool_->parallel_for(n, n,
+                      [&fn](std::size_t, std::size_t i) { fn(i); });
 }
 
-const kernels::LayerRun& ShardedBackend::run_sharded(
-    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
-    snn::Tensor& membrane, kernels::LayerScratch& scratch,
-    const std::function<void(const snn::LayerSpec&, const snn::LayerWeights&,
-                             snn::Tensor&, kernels::KernelScratch&)>& kernel)
-    const {
-  const auto sl = slices(spec.out_c);
-  SPK_CHECK(!sl.empty(), "sharded " << spec.name << ": no output channels");
-  if (scratch.lanes.size() < sl.size()) scratch.lanes.resize(sl.size());
-  for_shards(sl, [&](std::size_t s, int lo, int hi) {
-    kernels::ShardLane& lane = scratch.lanes[s];
-    snn::LayerSpec sub = spec;
-    sub.out_c = hi - lo;
-    slice_channels_into(membrane, lo, hi, lane.membrane);
-    kernel(sub, shard_weights(weights, lo, hi), lane.membrane, lane.ks);
-  });
-
-  // Merge the per-shard runs into the main lane: spike and membrane slices
-  // scatter back into the full tensors; stats merge with the parallel-cluster
-  // semantics; the plan of the slowest shard is kept as the representative
-  // DMA timeline.
-  kernels::LayerRun& merged = scratch.main.run;
-  merged.out_spikes.reshape(spec.out_h(), spec.out_w(), spec.out_c);
+std::size_t ShardedBackend::merge_shard_stats(
+    const kernels::LayerScratch& scratch, std::size_t n,
+    kernels::LayerRun& merged) const {
   merged.out_nnz = 0;
   std::size_t slowest = 0;
-  for (std::size_t s = 0; s < sl.size(); ++s) {
+  for (std::size_t s = 0; s < n; ++s) {
     const kernels::LayerRun& run = scratch.lanes[s].ks.run;
-    unslice_channels(merged.out_spikes, run.out_spikes, sl[s].first);
-    unslice_channels(membrane, scratch.lanes[s].membrane, sl[s].first);
     merged.out_nnz += run.out_nnz;
     if (s == 0) {
       merged.stats = run.stats;
@@ -170,41 +191,259 @@ const kernels::LayerRun& ShardedBackend::run_sharded(
     }
   }
   merged.plan = scratch.lanes[slowest].ks.run.plan;
+  return slowest;
+}
+
+double ShardedBackend::merge_stripe_shards(const kernels::LayerPlan& plan,
+                                           const snn::LayerSpec& spec,
+                                           kernels::LayerScratch& scratch,
+                                           snn::Tensor& membrane,
+                                           kernels::LayerRun& merged) const {
+  merged.out_spikes.reshape(spec.out_h(), spec.out_w(), spec.out_c);
+  double gather_bytes = 0;
+  for (std::size_t s = 0; s < plan.n(); ++s) {
+    const kernels::ShardRange r = plan.shards[s];
+    unslice_rows(merged.out_spikes, scratch.lanes[s].ks.run.out_spikes, r.lo);
+    unslice_rows(membrane, scratch.lanes[s].membrane, r.lo);
+    if (s > 0) {
+      gather_bytes += static_cast<double>(
+          compress::CsrIfmap::footprint_from_count(
+              scratch.lanes[s].ks.run.out_nnz, r.extent(), spec.out_w()));
+    }
+  }
+  merge_shard_stats(scratch, plan.n(), merged);
+  return gather_bytes;
+}
+
+void ShardedBackend::apply_noc(kernels::KernelStats& st,
+                               double noc_bytes) const {
+  st.noc_bytes += noc_bytes;
+  if (noc_.model_contention) {
+    st.cycles =
+        std::max(st.cycles, arch::noc_transfer_cycles(noc_, st.noc_bytes));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Output-channel tiling (the historical scheme)
+// ---------------------------------------------------------------------------
+
+const kernels::LayerRun& ShardedBackend::run_channel_sharded(
+    const kernels::LayerPlan& plan, const snn::LayerSpec& spec,
+    const snn::LayerWeights& weights, snn::Tensor& membrane,
+    kernels::LayerScratch& scratch, double input_bytes,
+    common::FunctionRef<void(const snn::LayerSpec&, const snn::LayerWeights&,
+                             snn::Tensor&, kernels::KernelScratch&)>
+        kernel) const {
+  const std::size_t n = plan.n();
+  if (scratch.lanes.size() < n) scratch.lanes.resize(n);
+  for_shards(n, [&](std::size_t s) {
+    const kernels::ShardRange r = plan.shards[s];
+    kernels::ShardLane& lane = scratch.lanes[s];
+    snn::LayerSpec sub = spec;
+    sub.out_c = r.extent();
+    slice_channels_into(membrane, r.lo, r.hi, lane.membrane);
+    kernel(sub, shard_weights(weights, r.lo, r.hi), lane.membrane, lane.ks);
+  });
+
+  kernels::LayerRun& merged = scratch.main.run;
+  merged.out_spikes.reshape(spec.out_h(), spec.out_w(), spec.out_c);
+  for (std::size_t s = 0; s < n; ++s) {
+    unslice_channels(merged.out_spikes, scratch.lanes[s].ks.run.out_spikes,
+                     plan.shards[s].lo);
+    unslice_channels(membrane, scratch.lanes[s].membrane, plan.shards[s].lo);
+  }
+  merge_shard_stats(scratch, n, merged);
+
+  // The input is broadcast: every cluster beyond the owner receives a full
+  // replica; the owner gathers the other clusters' ofmap slices.
+  double noc = static_cast<double>(n - 1) * input_bytes;
+  for (std::size_t s = 1; s < n; ++s) {
+    noc += static_cast<double>(compress::CsrIfmap::footprint_from_count(
+        scratch.lanes[s].ks.run.out_nnz, spec.out_h(), spec.out_w()));
+  }
+  apply_noc(merged.stats, noc);
   return merged;
 }
+
+// ---------------------------------------------------------------------------
+// Ifmap stripes (spatial row bands, conv/encode)
+// ---------------------------------------------------------------------------
+
+const kernels::LayerRun& ShardedBackend::run_stripe_conv(
+    const kernels::LayerPlan& plan, const snn::LayerSpec& spec,
+    const snn::LayerWeights& weights, const compress::CsrIfmap& ifmap,
+    snn::Tensor& membrane, kernels::LayerScratch& scratch) const {
+  const std::size_t n = plan.n();
+  if (scratch.lanes.size() < n) scratch.lanes.resize(n);
+  for_shards(n, [&](std::size_t s) {
+    const kernels::ShardRange r = plan.shards[s];
+    kernels::ShardLane& lane = scratch.lanes[s];
+    snn::LayerSpec sub = spec;
+    sub.in_h = r.extent() + spec.k - 1;  // halo'd input rows
+    ifmap.slice_rows_into(r.lo, r.lo + sub.in_h, lane.csr);
+    slice_rows_into(membrane, r.lo, r.hi, lane.membrane);
+    kernels::run_conv_layer(sub, weights, lane.csr, lane.membrane, opt_,
+                            lane.ks);
+  });
+
+  // Stripes need no broadcast: clusters exchange only the halo overlap (the
+  // summed stripe footprints minus one resident copy) plus the ofmap gather.
+  double halo_bytes = -static_cast<double>(ifmap.footprint_bytes());
+  for (std::size_t s = 0; s < n; ++s) {
+    halo_bytes += static_cast<double>(scratch.lanes[s].csr.footprint_bytes());
+  }
+  kernels::LayerRun& merged = scratch.main.run;
+  const double gather_bytes =
+      merge_stripe_shards(plan, spec, scratch, membrane, merged);
+  apply_noc(merged.stats, std::max(0.0, halo_bytes) + gather_bytes);
+  return merged;
+}
+
+const kernels::LayerRun& ShardedBackend::run_stripe_encode(
+    const kernels::LayerPlan& plan, const snn::LayerSpec& spec,
+    const snn::LayerWeights& weights, const snn::Tensor& padded_image,
+    snn::Tensor& membrane, kernels::LayerScratch& scratch) const {
+  const std::size_t n = plan.n();
+  if (scratch.lanes.size() < n) scratch.lanes.resize(n);
+  const double px_bytes = static_cast<double>(common::fp_bytes(opt_.fmt)) *
+                          spec.in_w * spec.in_c;
+  for_shards(n, [&](std::size_t s) {
+    const kernels::ShardRange r = plan.shards[s];
+    kernels::ShardLane& lane = scratch.lanes[s];
+    snn::LayerSpec sub = spec;
+    sub.in_h = r.extent() + spec.k - 1;
+    slice_rows_into(padded_image, r.lo, r.lo + sub.in_h, lane.input);
+    slice_rows_into(membrane, r.lo, r.hi, lane.membrane);
+    kernels::run_encode_layer(sub, weights, lane.input, lane.membrane, opt_,
+                              lane.ks);
+  });
+
+  // Dense image stripes: the halo is the (n - 1) * (k - 1) duplicated rows.
+  const double halo_rows =
+      static_cast<double>(n - 1) * static_cast<double>(spec.k - 1);
+  kernels::LayerRun& merged = scratch.main.run;
+  const double gather_bytes =
+      merge_stripe_shards(plan, spec, scratch, membrane, merged);
+  apply_noc(merged.stats, halo_rows * px_bytes + gather_bytes);
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// FC fan-in segments (partial-sum sharding)
+// ---------------------------------------------------------------------------
+
+const kernels::LayerRun& ShardedBackend::run_fc_fanin(
+    const kernels::LayerPlan& plan, const snn::LayerSpec& spec,
+    const snn::LayerWeights& weights, const compress::CsrIfmap& ifmap,
+    snn::Tensor& membrane, kernels::LayerScratch& scratch) const {
+  // Partial-sum merges are not FP-associative, so the functional pass runs
+  // unsharded — spikes are bit-exact by construction. Only timing is split.
+  kernels::fc_functional(spec, weights, ifmap, membrane, scratch.main);
+
+  const std::size_t n = plan.n();
+  if (scratch.lanes.size() < n) scratch.lanes.resize(n);
+  for_shards(n, [&](std::size_t s) {
+    kernels::fc_fanin_shard_timing(spec, ifmap, plan.shards[s].lo,
+                                   plan.shards[s].hi, opt_,
+                                   scratch.lanes[s].ks);
+  });
+
+  kernels::LayerRun& merged = scratch.main.run;
+  const std::size_t out_nnz = merged.out_nnz;  // from the functional pass
+  merge_shard_stats(scratch, n, merged);
+  merged.out_nnz = out_nnz;
+
+  // Sequential tail: partial vectors cross the NoC to the merging cluster,
+  // are reduced group-wise, then thresholded exactly once. The inputs were
+  // disjoint (no broadcast), so the partials are the only extra traffic.
+  const kernels::FcFanInMergeCost tail = kernels::fc_fanin_merge_cost(
+      spec, merged.out_spikes, static_cast<int>(n), opt_);
+  merged.stats.compute_cycles += tail.cycles;
+  merged.stats.cycles += tail.cycles;
+  merged.stats.fpu_ops += tail.fpu_ops;
+  merged.stats.int_instrs += tail.int_instrs;
+  merged.stats.tcdm_words += tail.tcdm_words;
+  apply_noc(merged.stats, tail.noc_bytes);
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
 
 const kernels::LayerRun& ShardedBackend::run_conv(
     const snn::LayerSpec& spec, const snn::LayerWeights& weights,
     const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
     kernels::LayerScratch& scratch) const {
-  return run_sharded(spec, weights, membrane, scratch,
-                     [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
-                         snn::Tensor& m, kernels::KernelScratch& ks) {
-                       kernels::run_conv_layer(sub, w, ifmap, m, opt_, ks);
-                     });
+  const kernels::LayerPlan& plan = plan_for(spec);
+  SPK_CHECK(!plan.shards.empty(), "sharded " << spec.name << ": empty plan");
+  if (plan.n() <= 1) {
+    return kernels::run_conv_layer(spec, weights, ifmap, membrane, opt_,
+                                   scratch.main);
+  }
+  if (plan.axis == kernels::ShardAxis::kIfmapStripe) {
+    return run_stripe_conv(plan, spec, weights, ifmap, membrane, scratch);
+  }
+  SPK_CHECK(plan.axis == kernels::ShardAxis::kOutputChannel,
+            "conv " << spec.name << ": unsupported shard axis");
+  return run_channel_sharded(
+      plan, spec, weights, membrane, scratch,
+      static_cast<double>(ifmap.footprint_bytes()),
+      [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
+          snn::Tensor& m, kernels::KernelScratch& ks) {
+        kernels::run_conv_layer(sub, w, ifmap, m, opt_, ks);
+      });
 }
 
 const kernels::LayerRun& ShardedBackend::run_fc(
     const snn::LayerSpec& spec, const snn::LayerWeights& weights,
     const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
     kernels::LayerScratch& scratch) const {
-  return run_sharded(spec, weights, membrane, scratch,
-                     [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
-                         snn::Tensor& m, kernels::KernelScratch& ks) {
-                       kernels::run_fc_layer(sub, w, ifmap, m, opt_, ks);
-                     });
+  const kernels::LayerPlan& plan = plan_for(spec);
+  SPK_CHECK(!plan.shards.empty(), "sharded " << spec.name << ": empty plan");
+  if (plan.n() <= 1) {
+    return kernels::run_fc_layer(spec, weights, ifmap, membrane, opt_,
+                                 scratch.main);
+  }
+  if (plan.axis == kernels::ShardAxis::kFanIn) {
+    return run_fc_fanin(plan, spec, weights, ifmap, membrane, scratch);
+  }
+  SPK_CHECK(plan.axis == kernels::ShardAxis::kOutputChannel,
+            "fc " << spec.name << ": unsupported shard axis");
+  return run_channel_sharded(
+      plan, spec, weights, membrane, scratch,
+      static_cast<double>(ifmap.footprint_bytes()),
+      [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
+          snn::Tensor& m, kernels::KernelScratch& ks) {
+        kernels::run_fc_layer(sub, w, ifmap, m, opt_, ks);
+      });
 }
 
 const kernels::LayerRun& ShardedBackend::run_encode(
     const snn::LayerSpec& spec, const snn::LayerWeights& weights,
     const snn::Tensor& padded_image, snn::Tensor& membrane,
     kernels::LayerScratch& scratch) const {
-  return run_sharded(spec, weights, membrane, scratch,
-                     [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
-                         snn::Tensor& m, kernels::KernelScratch& ks) {
-                       kernels::run_encode_layer(sub, w, padded_image, m, opt_,
-                                                 ks);
-                     });
+  const kernels::LayerPlan& plan = plan_for(spec);
+  SPK_CHECK(!plan.shards.empty(), "sharded " << spec.name << ": empty plan");
+  if (plan.n() <= 1) {
+    return kernels::run_encode_layer(spec, weights, padded_image, membrane,
+                                     opt_, scratch.main);
+  }
+  if (plan.axis == kernels::ShardAxis::kIfmapStripe) {
+    return run_stripe_encode(plan, spec, weights, padded_image, membrane,
+                             scratch);
+  }
+  SPK_CHECK(plan.axis == kernels::ShardAxis::kOutputChannel,
+            "encode " << spec.name << ": unsupported shard axis");
+  const double image_bytes = static_cast<double>(common::fp_bytes(opt_.fmt)) *
+                             spec.in_h * spec.in_w * spec.in_c;
+  return run_channel_sharded(
+      plan, spec, weights, membrane, scratch, image_bytes,
+      [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
+          snn::Tensor& m, kernels::KernelScratch& ks) {
+        kernels::run_encode_layer(sub, w, padded_image, m, opt_, ks);
+      });
 }
 
 }  // namespace spikestream::runtime

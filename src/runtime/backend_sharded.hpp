@@ -1,43 +1,72 @@
-// Multi-cluster sharded backend: each layer's SIMD output-channel tiles are
-// partitioned across N simulated clusters and executed by std::thread
-// workers, one analytical-model cluster per shard.
+// Multi-cluster sharded backend, rebuilt on the partition-plan subsystem
+// (kernels/partition.hpp): each layer executes according to an immutable
+// LayerPlan — output-channel tiles, spatial ifmap stripes, or FC fan-in
+// segments — computed once per network (cost-model-driven for the hybrid
+// strategy) and cached by layer signature. Shards run on the persistent
+// WorkerPool (shared with BatchRunner when the engine provides one), in
+// per-cluster ShardLanes of the borrowed LayerScratch, so steady-state shard
+// fan-out performs zero heap allocations in both serial and pooled mode.
 //
-// The partition is along output channels, aligned to SIMD group boundaries
-// (kernels/tiling picks weight tiles the same way), so every cluster computes
-// a disjoint ofmap slice from the full input ifmap: no inter-cluster
-// reduction is needed, the merged spike map is the concatenation of the
-// slices and is bit-identical to a single-cluster run. Per-cluster
-// KernelStats merge with wall-clock = max (clusters run in parallel) and
-// activity = sum; the input ifmap is charged to every cluster's DMA traffic
-// (it is broadcast).
+// Spikes are bit-identical to a single-cluster run for every plan:
+//  * output-channel tiles and row stripes compute each output neuron with its
+//    complete fan-in in the reference accumulation order (disjoint slices,
+//    merge = concatenation);
+//  * fan-in segments would need a non-associative partial-sum merge, so their
+//    *functional* pass runs unsharded and only the timing pass is split —
+//    each cluster is charged for streaming its input-channel band, plus an
+//    explicit partial-reduction tail on the merging cluster.
 //
-// Each shard runs in its own ShardLane of the borrowed LayerScratch (compact
-// membrane slice + kernel scratch), so repeated runs on the same NetworkState
-// reuse all per-shard buffers. The serial mode (shard_threads = false) is
-// allocation-free in steady state; the threaded mode still creates its
-// std::thread workers per layer. Timing is always exact (no cost memo): the
-// per-shard occupancy split would break the activity-conservation contract
-// the parity tests pin down.
+// Per-cluster KernelStats merge with wall-clock = max and activity = sum;
+// inter-cluster traffic (broadcast replicas, stripe halos, ofmap gathers,
+// partial reductions) is recorded in KernelStats::noc_bytes and — when
+// NocParams::model_contention is set — charged against the shared-bandwidth
+// ceiling of arch/noc.hpp instead of assuming a perfect crossbar. Timing is
+// always exact (no cost memo): the per-shard occupancy split would break the
+// activity-conservation contract the parity tests pin down.
 #pragma once
 
-#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "arch/noc.hpp"
+#include "common/function_ref.hpp"
+#include "kernels/partition.hpp"
 #include "runtime/backend.hpp"
+#include "runtime/worker_pool.hpp"
 
 namespace spikestream::runtime {
 
 class ShardedBackend : public ExecutionBackend {
  public:
+  /// `pool` = null creates a private pool sized for `clusters` (when
+  /// `use_threads`); passing the engine's pool shares one set of threads
+  /// between shard fan-out and batch-sample fan-out.
   ShardedBackend(const kernels::RunOptions& opt, int clusters,
-                 bool use_threads = true);
+                 bool use_threads = true,
+                 kernels::PartitionStrategy strategy =
+                     kernels::PartitionStrategy::kOutputChannel,
+                 const arch::NocParams& noc = {},
+                 std::shared_ptr<WorkerPool> pool = nullptr);
 
   const char* name() const override { return "sharded"; }
   int num_clusters() const override { return clusters_; }
+  kernels::PartitionStrategy strategy() const {
+    return partitioner_.strategy();
+  }
+  const arch::NocParams& noc_params() const { return noc_; }
+
+  /// Plan every layer and prebuild the output-channel weight slices, so the
+  /// plans live alongside the quantized weights from construction on and the
+  /// first run already executes allocation-light.
+  void prepare(const snn::Network& net) const override;
+  /// One shard lane per planned cluster in every layer's scratch.
+  void presize_state(snn::NetworkState& state,
+                     const snn::Network& net) const override;
 
   const kernels::LayerRun& run_encode(
       const snn::LayerSpec& spec, const snn::LayerWeights& weights,
@@ -60,9 +89,11 @@ class ShardedBackend : public ExecutionBackend {
   using ExecutionBackend::run_encode;
   using ExecutionBackend::run_fc;
 
-  /// Output-channel ranges per cluster for a layer with `out_c` channels,
-  /// aligned to SIMD groups of the configured format. Fewer groups than
-  /// clusters leaves trailing clusters idle. Exposed for tests.
+  /// The (cached) partition plan of one layer. Exposed for benches/tests.
+  const kernels::LayerPlan& plan_for(const snn::LayerSpec& spec) const;
+
+  /// Legacy view of the output-channel ranges for a layer with `out_c`
+  /// channels (SIMD-group aligned). Exposed for tests.
   std::vector<std::pair<int, int>> slices(int out_c) const;
 
  private:
@@ -75,19 +106,61 @@ class ShardedBackend : public ExecutionBackend {
   const snn::LayerWeights& shard_weights(const snn::LayerWeights& w, int lo,
                                          int hi) const;
 
-  /// Run `fn(shard_index, lo, hi)` for every slice, threaded or serial.
-  void for_shards(const std::vector<std::pair<int, int>>& sl,
-                  const std::function<void(std::size_t, int, int)>& fn) const;
+  /// Run `fn(shard_index)` for every shard, on the pool or serially.
+  void for_shards(std::size_t n,
+                  common::FunctionRef<void(std::size_t)> fn) const;
 
-  /// Shared shard driver: slice the layer, run `kernel` per shard (sub-spec,
-  /// weight slice, lane membrane + scratch), merge spikes/membranes/stats
-  /// back into `scratch.main.run`.
-  const kernels::LayerRun& run_sharded(
-      const snn::LayerSpec& spec, const snn::LayerWeights& weights,
-      snn::Tensor& membrane, kernels::LayerScratch& scratch,
-      const std::function<void(const snn::LayerSpec&, const snn::LayerWeights&,
-                               snn::Tensor&, kernels::KernelScratch&)>& kernel)
+  /// Merge per-shard stats into `merged` (wall-clock max / activity sum),
+  /// keep the slowest shard's DMA plan, and sum out_nnz. Returns the index
+  /// of the slowest shard.
+  std::size_t merge_shard_stats(const kernels::LayerScratch& scratch,
+                                std::size_t n, kernels::LayerRun& merged) const;
+
+  /// Shared row-stripe merge (conv + encode): scatter spike/membrane row
+  /// bands back, merge stats, return the ofmap gather traffic of shards
+  /// 1..n-1.
+  double merge_stripe_shards(const kernels::LayerPlan& plan,
+                             const snn::LayerSpec& spec,
+                             kernels::LayerScratch& scratch,
+                             snn::Tensor& membrane,
+                             kernels::LayerRun& merged) const;
+
+  /// Record inter-cluster traffic and, with contention modeling on, let the
+  /// shared ceiling gate the layer's wall-clock.
+  void apply_noc(kernels::KernelStats& st, double noc_bytes) const;
+
+  /// Output-channel tiling: shard the layer along SIMD-aligned channel
+  /// ranges, broadcast the input, run `kernel` per shard, concatenate.
+  /// `input_bytes` is one cluster's copy of the layer input (for the NoC
+  /// broadcast charge).
+  const kernels::LayerRun& run_channel_sharded(
+      const kernels::LayerPlan& plan, const snn::LayerSpec& spec,
+      const snn::LayerWeights& weights, snn::Tensor& membrane,
+      kernels::LayerScratch& scratch, double input_bytes,
+      common::FunctionRef<void(const snn::LayerSpec&, const snn::LayerWeights&,
+                               snn::Tensor&, kernels::KernelScratch&)>
+          kernel) const;
+
+  const kernels::LayerRun& run_stripe_conv(const kernels::LayerPlan& plan,
+                                           const snn::LayerSpec& spec,
+                                           const snn::LayerWeights& weights,
+                                           const compress::CsrIfmap& ifmap,
+                                           snn::Tensor& membrane,
+                                           kernels::LayerScratch& scratch)
       const;
+  const kernels::LayerRun& run_stripe_encode(const kernels::LayerPlan& plan,
+                                             const snn::LayerSpec& spec,
+                                             const snn::LayerWeights& weights,
+                                             const snn::Tensor& padded_image,
+                                             snn::Tensor& membrane,
+                                             kernels::LayerScratch& scratch)
+      const;
+  const kernels::LayerRun& run_fc_fanin(const kernels::LayerPlan& plan,
+                                        const snn::LayerSpec& spec,
+                                        const snn::LayerWeights& weights,
+                                        const compress::CsrIfmap& ifmap,
+                                        snn::Tensor& membrane,
+                                        kernels::LayerScratch& scratch) const;
 
   /// Cache key: source identity plus shape, so only an allocation reused at
   /// the same address *and* shape can collide (then caught by validation).
@@ -95,8 +168,16 @@ class ShardedBackend : public ExecutionBackend {
 
   int clusters_;
   bool threads_;
+  kernels::Partitioner partitioner_;
+  arch::NocParams noc_;
+  std::shared_ptr<WorkerPool> pool_;
   mutable std::mutex mu_;
   mutable std::map<WeightKey, snn::LayerWeights> weight_cache_;
+  /// Reader-writer lock: after prepare() the plan cache is read-only on the
+  /// hot path (one shared acquisition per layer dispatch); the exclusive
+  /// side only runs for specs never planned before.
+  mutable std::shared_mutex plan_mu_;
+  mutable std::map<std::uint64_t, kernels::LayerPlan> plans_;
 };
 
 }  // namespace spikestream::runtime

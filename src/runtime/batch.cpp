@@ -1,73 +1,52 @@
 #include "runtime/batch.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <functional>
 #include <thread>
 
+#include "runtime/worker_pool.hpp"
+
 namespace spikestream::runtime {
-
-namespace {
-
-/// Default worker count: fill the machine, but when the backend itself
-/// spawns one thread per simulated cluster, divide by that fan-out so
-/// samples x shards does not oversubscribe the host.
-int default_workers(const BackendConfig& backend) {
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  if (backend.kind == BackendKind::kSharded && backend.shard_threads) {
-    return std::max(1, static_cast<int>(hw) / std::max(1, backend.clusters));
-  }
-  return static_cast<int>(hw);
-}
-
-}  // namespace
 
 BatchRunner::BatchRunner(const snn::Network& net,
                          const kernels::RunOptions& opt,
                          const BackendConfig& backend,
                          const arch::EnergyParams& energy, int workers)
     : engine_(net, opt, backend, energy),
-      workers_(workers > 0 ? workers : default_workers(backend)) {}
-
-void BatchRunner::for_samples(
-    std::size_t n,
-    const std::function<void(std::size_t, std::size_t)>& fn) const {
-  const std::size_t w =
-      std::min<std::size_t>(static_cast<std::size_t>(workers_), n);
-  if (w <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(0, i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(w);
-  std::vector<std::thread> pool;
-  pool.reserve(w);
-  for (std::size_t t = 0; t < w; ++t) {
-    pool.emplace_back([&, t] {
-      try {
-        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-          fn(t, i);
-        }
-      } catch (...) {
-        errors[t] = std::current_exception();
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+      workers_(WorkerPool::clamp_to_hardware(
+          workers > 0
+              ? workers
+              : static_cast<int>(std::thread::hardware_concurrency()))),
+      pool_(engine_.worker_pool()) {
+  // Sample fan-out and shard fan-out share one set of threads, so batch
+  // workers can no longer oversubscribe the host whatever the backend; when
+  // the engine's backend never threads, the runner brings its own pool.
+  if (pool_ == nullptr && workers_ > 1) {
+    pool_ = std::make_shared<WorkerPool>(workers_ - 1);
   }
 }
 
-// Each worker keeps one NetworkState for the whole batch: membranes are
+BatchRunner::~BatchRunner() = default;
+
+void BatchRunner::for_samples(
+    std::size_t n,
+    common::FunctionRef<void(std::size_t, std::size_t)> fn) const {
+  const std::size_t slots =
+      std::min<std::size_t>(static_cast<std::size_t>(workers_), n);
+  if (slots <= 1 || pool_ == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  pool_->parallel_for(n, slots, fn);
+}
+
+// Each worker slot keeps one NetworkState for the whole batch: membranes are
 // cleared between samples (run_timesteps / run_event_stream do that, the
 // single-step path clears explicitly) while the scratch arenas inside stay
 // warm, so every sample after the first runs allocation-free.
 
 std::vector<snn::NetworkState> BatchRunner::worker_states(
     std::size_t n_samples) const {
-  // Must match for_samples(): worker indices run in [0, min(workers_, n)).
+  // Must match for_samples(): slot indices run in [0, min(workers_, n)).
   std::vector<snn::NetworkState> states(
       std::min<std::size_t>(static_cast<std::size_t>(workers_),
                             std::max<std::size_t>(n_samples, 1)));

@@ -1,26 +1,36 @@
 // Batch inference runner: amortizes network copy + weight quantization across
 // a batch of samples (both happen exactly once, at construction) and runs the
-// samples concurrently on a shared immutable engine — each worker thread owns
+// samples concurrently on a shared immutable engine — each worker slot owns
 // one snn::NetworkState (cleared between samples, its scratch arenas reused),
 // so per-sample membrane dynamics stay fully independent and the outputs are
 // bit-identical to a serial run, whatever the worker count.
+//
+// Samples fan out on the engine's persistent WorkerPool — the same threads
+// the sharded backend fans its per-layer shards out on — so batch x shard
+// parallelism can never oversubscribe the host and no thread is ever spawned
+// per call.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/function_ref.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/multistep.hpp"
 
 namespace spikestream::runtime {
 
+class WorkerPool;
+
 class BatchRunner {
  public:
-  /// `workers` = 0 picks std::thread::hardware_concurrency().
+  /// `workers` = 0 picks std::thread::hardware_concurrency(); explicit
+  /// counts are clamped to it.
   BatchRunner(const snn::Network& net, const kernels::RunOptions& opt,
               const BackendConfig& backend = {},
               const arch::EnergyParams& energy = {}, int workers = 0);
+  ~BatchRunner();
 
   /// `timesteps` LIF steps per image (constant-current coding). Results are
   /// in input order and independent of the worker count.
@@ -39,19 +49,20 @@ class BatchRunner {
   int workers() const { return workers_; }
 
  private:
-  /// Claim samples [0, n) from an atomic counter across `workers_` threads.
-  /// `fn(worker, i)` runs sample i on worker `worker`, so callers can keep
-  /// one reusable NetworkState per worker instead of one per sample.
-  void for_samples(
-      std::size_t n,
-      const std::function<void(std::size_t, std::size_t)>& fn) const;
+  /// Claim samples [0, n) from the worker pool across at most `workers_`
+  /// slots. `fn(slot, i)` runs sample i on slot `slot`, so callers can keep
+  /// one reusable NetworkState per slot instead of one per sample.
+  void for_samples(std::size_t n,
+                   common::FunctionRef<void(std::size_t, std::size_t)> fn)
+      const;
 
-  /// One reusable NetworkState per worker that for_samples() will engage
-  /// for `n_samples` samples (sized with the same worker-count formula).
+  /// One reusable NetworkState per worker slot that for_samples() will
+  /// engage for `n_samples` samples (sized with the same slot formula).
   std::vector<snn::NetworkState> worker_states(std::size_t n_samples) const;
 
   InferenceEngine engine_;
   int workers_;
+  std::shared_ptr<WorkerPool> pool_;
 };
 
 }  // namespace spikestream::runtime

@@ -1,11 +1,30 @@
 #include "runtime/engine.hpp"
 
+#include <thread>
+
 #include "common/check.hpp"
 #include "compress/aer.hpp"
 #include "compress/csr_ifmap.hpp"
+#include "runtime/worker_pool.hpp"
 #include "snn/reference.hpp"
 
 namespace spikestream::runtime {
+
+namespace {
+
+/// The engine creates the persistent pool its backend (and any BatchRunner
+/// on top) fans out on — one clamped set of threads for both the per-layer
+/// shard level and the per-sample batch level, so the two can never
+/// oversubscribe the host. Backends that never thread get no pool.
+std::shared_ptr<WorkerPool> pool_for(const BackendConfig& cfg) {
+  if (cfg.kind == BackendKind::kSharded && cfg.shard_threads) {
+    return std::make_shared<WorkerPool>(
+        static_cast<int>(std::thread::hardware_concurrency()) - 1);
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 InferenceEngine::InferenceEngine(const snn::Network& net,
                                  const kernels::RunOptions& opt,
@@ -16,15 +35,26 @@ InferenceEngine::InferenceEngine(const snn::Network& net,
                                  const kernels::RunOptions& opt,
                                  const BackendConfig& backend,
                                  const arch::EnergyParams& energy)
-    : InferenceEngine(net, make_backend(opt, backend), energy) {}
+    : net_(net),
+      pool_(pool_for(backend)),
+      backend_(make_backend(opt, backend, pool_)),
+      energy_(energy) {
+  init();
+}
 
 InferenceEngine::InferenceEngine(const snn::Network& net,
                                  std::shared_ptr<ExecutionBackend> backend,
                                  const arch::EnergyParams& energy)
     : net_(net), backend_(std::move(backend)), energy_(energy) {
+  init();
+}
+
+void InferenceEngine::init() {
   SPK_CHECK(backend_ != nullptr, "InferenceEngine: null backend");
   net_.quantize_weights(backend_->options().fmt);
+  backend_->prepare(net_);  // partition plans live beside the weights
   state_.reshape(net_);
+  backend_->presize_state(state_, net_);
 }
 
 void InferenceEngine::reset() { state_.clear(); }

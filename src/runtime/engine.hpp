@@ -89,8 +89,14 @@ class InferenceEngine {
   void run_events(const snn::SpikeMap& events, snn::NetworkState& state,
                   InferenceResult& out) const;
 
-  /// Fresh zeroed membrane state shaped for this engine's network.
-  snn::NetworkState make_state() const { return snn::NetworkState(net_); }
+  /// Fresh zeroed membrane state shaped for this engine's network, with the
+  /// scratch arenas pre-sized for the backend's execution shape (one shard
+  /// lane per planned cluster on the sharded backend).
+  snn::NetworkState make_state() const {
+    snn::NetworkState state(net_);
+    backend_->presize_state(state, net_);
+    return state;
+  }
 
   // --- stateful convenience API (single-threaded callers) -------------------
 
@@ -107,11 +113,21 @@ class InferenceEngine {
   const ExecutionBackend& backend() const { return *backend_; }
   const arch::EnergyParams& energy_params() const { return energy_; }
 
+  /// The persistent worker pool this engine's backend fans out on (null for
+  /// backends that never thread). BatchRunner reuses it so batch-sample and
+  /// shard fan-out share one clamped set of threads.
+  const std::shared_ptr<WorkerPool>& worker_pool() const { return pool_; }
+
  private:
+  /// Shared constructor tail: quantize weights, let the backend prepare its
+  /// per-network plans, shape the internal state.
+  void init();
+
   void run_impl(const snn::Tensor* image, const snn::SpikeMap* events,
                 snn::NetworkState& state, InferenceResult& out) const;
 
   snn::Network net_;
+  std::shared_ptr<WorkerPool> pool_;  ///< created before the backend using it
   std::shared_ptr<ExecutionBackend> backend_;
   arch::EnergyParams energy_;
   snn::NetworkState state_;  ///< backing store for the stateful API

@@ -207,6 +207,22 @@ TEST(BackendParity, TwoLayerEventNetworkAllBackendsAgree) {
   EXPECT_LT(rs.total_cycles, ra.total_cycles);
 }
 
+TEST(BackendParity, DenseVariantsAreIssCalibrated) {
+  // kDenseNoTc conv/FC and the baseline encode layer used to run with a
+  // silent calibration ratio of 1.0; their ISS twins now anchor them.
+  k::RunOptions dense;
+  dense.variant = k::Variant::kDenseNoTc;
+  const rt::CycleAccurateBackend nd(dense);
+  EXPECT_GT(nd.dense_no_tc_ratio(128), 1.05);
+  EXPECT_LT(nd.dense_no_tc_ratio(128), 2.0 + 1e-9);
+
+  k::RunOptions base;
+  base.variant = k::Variant::kBaseline;
+  const rt::CycleAccurateBackend nb(base);
+  EXPECT_GT(nb.baseline_dense_ratio(128), 1.05);
+  EXPECT_LT(nb.baseline_dense_ratio(128), 2.0 + 1e-9);
+}
+
 TEST(ShardedSlices, AlignToSimdGroupBoundaries) {
   k::RunOptions opt;
   opt.fmt = sc::FpFormat::FP16;  // 4 lanes

@@ -85,11 +85,13 @@ TEST(CostCache, SpikesBitIdenticalAndCyclesBounded) {
   const auto& be = analytical_of(memo);
   EXPECT_TRUE(be.memoized());
   // 4 samples x 3 timesteps x 3 layers = 36 layer runs. Random samples on
-  // this tiny net spread occupancies across buckets, so demand only that a
-  // substantial share of runs is served from cache (S-VGG11-sized workloads
-  // hit far more, see bench/host_profile).
+  // this tiny net spread occupancies across buckets; the per-layer occupancy
+  // EMA snaps edge-jitter onto one key, which lifted the hit rate from 18/36
+  // to 21/36 on this workload — pin that it does not regress below the
+  // pre-EMA level (S-VGG11-sized workloads hit far more, see
+  // bench/host_profile).
   EXPECT_EQ(be.cost_cache_hits() + be.cost_cache_misses(), 36u);
-  EXPECT_GE(be.cost_cache_hits(), 12u);
+  EXPECT_GE(be.cost_cache_hits(), 19u);
 }
 
 TEST(CostCache, IdenticalInputsHitExactly) {

@@ -88,6 +88,36 @@ TEST(DenseDotModel, WithinFifteenPercentOfIss) {
               0.15 * static_cast<double>(r.cycles) + 20.0);
 }
 
+TEST(BaselineDenseDotModel, TwinTracksUnrolledScalarLoop) {
+  // The baseline encode layer's 2x-unrolled scalar dot: the ISS twin runs
+  // ~1.5x the modeled 4 cycles/element (load-use latency the optimistic
+  // model hides), which is exactly what the cycle-accurate backend's
+  // calibration now charges instead of a silent ratio of 1.0.
+  auto cl = make_cl();
+  std::vector<double> a(400, 1.0), b(400, 0.5);
+  const auto r = k::iss_baseline_dense_dot(cl, a, b);
+  EXPECT_NEAR(r.value, 200.0, 1e-9);  // functional check: sum of 400 * 0.5
+  const k::CostParams p;
+  const double model = k::baseline_dense_dot_cycles(p, 400.0);
+  const double ratio = static_cast<double>(r.cycles) / model;
+  EXPECT_GT(ratio, 1.1);
+  EXPECT_LT(ratio, 1.9);
+}
+
+TEST(DenseNoTcModel, SingleAccumulatorStreamTwinWithinClampBand) {
+  // The kDenseNoTc ablation's dense two-stream fmadd loop with one
+  // accumulator: gated by the fmadd latency (3) while the model charges the
+  // fadd II (2) — the twin surfaces a ~1.5x ratio, inside the clamp band.
+  auto cl = make_cl();
+  std::vector<double> a(400, 1.0), b(400, 0.5);
+  const auto r = k::iss_dense_dot(cl, a, b, 1);
+  const k::CostParams p;
+  const double model = p.fadd_latency * 400.0 + p.ss_residue;
+  const double ratio = static_cast<double>(r.cycles) / model;
+  EXPECT_GT(ratio, 1.1);
+  EXPECT_LT(ratio, 1.9);
+}
+
 TEST(ConflictModel, SsrFifoAbsorbsConflictsAtIITwo) {
   // 8 cores streaming indirect gathers: at II=2 the SSR fetches at twice the
   // FPU's consumption rate, so the 4-deep FIFO absorbs bank conflicts almost

@@ -1,0 +1,399 @@
+// Partition-plan subsystem contract:
+//  (1) spike outputs are bit-identical across every partition strategy
+//      (output-channel / ifmap-stripe / hybrid), cluster count, and serial
+//      vs pooled execution — partitioning may only change timing attribution;
+//  (2) merged KernelStats conserve activity: output-channel and row-stripe
+//      plans repartition the same work exactly, and the fan-in plan's
+//      reduction overhead is itemized, not hidden;
+//  (3) the hybrid strategy queries the cost model sensibly (narrow layers
+//      stop idling clusters, wide layers keep the historical tiling);
+//  (4) the NoC model records inter-cluster traffic and, when contention is
+//      enabled, a tighter bandwidth ceiling never speeds a layer up;
+//  (5) the worker pool runs every task exactly once, supports nesting, and
+//      propagates exceptions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/partition.hpp"
+#include "runtime/backend_sharded.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/worker_pool.hpp"
+#include "snn/calibrate.hpp"
+#include "snn/input_gen.hpp"
+
+namespace rt = spikestream::runtime;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+namespace sc = spikestream::common;
+
+namespace {
+
+snn::Network test_net() {
+  snn::Network net = snn::Network::make_tiny(18, 3, 32, 10);
+  sc::Rng rng(42);
+  net.init_weights(rng);
+  const auto calib = snn::make_batch(4, 7, 16, 16, 3);
+  const std::vector<double> targets = {0.20, 0.15, 0.30};
+  snn::calibrate_thresholds(net, calib, targets);
+  return net;
+}
+
+rt::BackendConfig sharded_cfg(k::PartitionStrategy strategy, int clusters,
+                              bool threads = true) {
+  rt::BackendConfig cfg;
+  cfg.kind = rt::BackendKind::kSharded;
+  cfg.clusters = clusters;
+  cfg.shard_threads = threads;
+  cfg.partition = strategy;
+  return cfg;
+}
+
+snn::LayerSpec conv_spec(int in_hw, int in_c, int out_c) {
+  snn::LayerSpec s;
+  s.kind = snn::LayerKind::kConv;
+  s.name = "conv";
+  s.in_h = s.in_w = in_hw;
+  s.in_c = in_c;
+  s.k = 3;
+  s.out_c = out_c;
+  return s;
+}
+
+snn::LayerSpec fc_spec(int in_c, int out_c) {
+  snn::LayerSpec s;
+  s.kind = snn::LayerKind::kFc;
+  s.name = "fc";
+  s.in_c = in_c;
+  s.out_c = out_c;
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Plan construction
+// ---------------------------------------------------------------------------
+
+TEST(Partitioner, ChannelSlicesAlignToSimdGroups) {
+  const auto sl = k::Partitioner::channel_slices(10, 4, 4);
+  ASSERT_EQ(sl.size(), 3u);  // 3 groups of 4 lanes -> 3 active shards
+  EXPECT_EQ(sl[0], (k::ShardRange{0, 4}));
+  EXPECT_EQ(sl[1], (k::ShardRange{4, 8}));
+  EXPECT_EQ(sl[2], (k::ShardRange{8, 10}));
+}
+
+TEST(Partitioner, RowStripesCoverAllRowsDisjointly) {
+  for (int rows : {5, 16, 33}) {
+    for (int clusters : {1, 4, 8}) {
+      const auto sl = k::Partitioner::row_stripes(rows, clusters);
+      ASSERT_FALSE(sl.empty());
+      EXPECT_LE(sl.size(), static_cast<std::size_t>(clusters));
+      EXPECT_EQ(sl.front().lo, 0);
+      EXPECT_EQ(sl.back().hi, rows);
+      for (std::size_t s = 1; s < sl.size(); ++s) {
+        EXPECT_EQ(sl[s].lo, sl[s - 1].hi);  // contiguous, disjoint
+      }
+      // Balanced to within one row.
+      int lo = rows, hi = 0;
+      for (const auto& r : sl) {
+        lo = std::min(lo, r.extent());
+        hi = std::max(hi, r.extent());
+      }
+      EXPECT_LE(hi - lo, 1);
+    }
+  }
+}
+
+TEST(Partitioner, HybridPicksFanInForNarrowFcHead) {
+  k::RunOptions opt;
+  const k::Partitioner part(opt, 8, k::PartitionStrategy::kHybrid);
+  // 10-class head: 3 SIMD groups would idle 5 of 8 clusters under
+  // output-channel tiling; the cost model must pick fan-in segments.
+  const auto narrow = part.plan_layer(fc_spec(1024, 10));
+  EXPECT_EQ(narrow.axis, k::ShardAxis::kFanIn);
+  EXPECT_EQ(narrow.n(), 8u);
+  EXPECT_LT(narrow.est_cycles, narrow.est_alt_cycles);
+  // A wide FC layer keeps the historical tiling.
+  const auto wide = part.plan_layer(fc_spec(1024, 1024));
+  EXPECT_EQ(wide.axis, k::ShardAxis::kOutputChannel);
+}
+
+TEST(Partitioner, HybridPicksStripesForNarrowConv) {
+  k::RunOptions opt;
+  const k::Partitioner part(opt, 8, k::PartitionStrategy::kHybrid);
+  // out_c = 4 is a single FP16 SIMD group: output-channel tiling cannot use
+  // more than one cluster, row stripes use all eight.
+  const auto narrow = part.plan_layer(conv_spec(34, 16, 4));
+  EXPECT_EQ(narrow.axis, k::ShardAxis::kIfmapStripe);
+  EXPECT_EQ(narrow.n(), 8u);
+  const auto wide = part.plan_layer(conv_spec(18, 128, 256));
+  EXPECT_EQ(wide.axis, k::ShardAxis::kOutputChannel);
+}
+
+TEST(Partitioner, SingleClusterPlansAreUnsharded) {
+  k::RunOptions opt;
+  for (const auto strategy :
+       {k::PartitionStrategy::kOutputChannel, k::PartitionStrategy::kIfmapStripe,
+        k::PartitionStrategy::kHybrid}) {
+    const k::Partitioner part(opt, 1, strategy);
+    const auto plan = part.plan_layer(conv_spec(18, 32, 32));
+    EXPECT_EQ(plan.n(), 1u) << k::partition_strategy_name(strategy);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spike parity across plans
+// ---------------------------------------------------------------------------
+
+TEST(PartitionParity, SpikesBitIdenticalAcrossStrategiesClustersAndPooling) {
+  const snn::Network net = test_net();
+  k::RunOptions opt;
+  const rt::InferenceEngine analytical(net, opt);
+  const auto images = snn::make_batch(2, 99, 16, 16, 3);
+
+  for (const auto strategy :
+       {k::PartitionStrategy::kOutputChannel, k::PartitionStrategy::kIfmapStripe,
+        k::PartitionStrategy::kHybrid}) {
+    for (const int clusters : {1, 4, 8}) {
+      for (const bool pooled : {false, true}) {
+        const rt::InferenceEngine sharded(
+            net, opt, sharded_cfg(strategy, clusters, pooled));
+        for (const auto& img : images) {
+          snn::NetworkState sa = analytical.make_state();
+          snn::NetworkState ss = sharded.make_state();
+          for (int t = 0; t < 3; ++t) {
+            const auto ra = analytical.run(img, sa);
+            const auto rs = sharded.run(img, ss);
+            ASSERT_EQ(ra.final_output.v, rs.final_output.v)
+                << k::partition_strategy_name(strategy) << " clusters="
+                << clusters << " pooled=" << pooled << " t=" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Activity conservation of merged KernelStats
+// ---------------------------------------------------------------------------
+
+TEST(PartitionConservation, OutputChannelAndStripePlansConserveActivity) {
+  const snn::Network net = test_net();
+  k::RunOptions opt;
+  const rt::InferenceEngine analytical(net, opt);
+  const auto img = snn::make_batch(1, 6, 16, 16, 3)[0];
+  snn::NetworkState sa = analytical.make_state();
+  const auto ra = analytical.run(img, sa);
+
+  for (const auto strategy : {k::PartitionStrategy::kOutputChannel,
+                              k::PartitionStrategy::kIfmapStripe}) {
+    const rt::InferenceEngine sharded(net, opt, sharded_cfg(strategy, 4));
+    snn::NetworkState ss = sharded.make_state();
+    const auto rs = sharded.run(img, ss);
+    for (std::size_t l = 0; l < ra.layers.size(); ++l) {
+      const auto& a = ra.layers[l].stats;
+      const auto& s = rs.layers[l].stats;
+      if (net.layer(l).kind == snn::LayerKind::kFc &&
+          strategy == k::PartitionStrategy::kIfmapStripe) {
+        continue;  // fan-in: itemized overhead, checked separately below
+      }
+      EXPECT_NEAR(s.fpu_ops, a.fpu_ops, 1e-6 * a.fpu_ops + 1e-6)
+          << k::partition_strategy_name(strategy) << " layer " << l;
+      EXPECT_NEAR(s.tcdm_words, a.tcdm_words, 1e-6 * a.tcdm_words + 1e-6)
+          << k::partition_strategy_name(strategy) << " layer " << l;
+      EXPECT_NEAR(s.ssr_elems, a.ssr_elems, 1e-6 * a.ssr_elems + 1e-6)
+          << k::partition_strategy_name(strategy) << " layer " << l;
+      // Wall-clock per layer never exceeds the single-cluster run (the NoC
+      // ceiling is off by default).
+      EXPECT_LE(s.cycles, a.cycles + 1e-9)
+          << k::partition_strategy_name(strategy) << " layer " << l;
+    }
+  }
+}
+
+TEST(PartitionConservation, FanInReductionIsItemizedExactly) {
+  const snn::Network net = test_net();
+  k::RunOptions opt;
+  const int clusters = 4;
+  const rt::InferenceEngine analytical(net, opt);
+  const rt::InferenceEngine sharded(
+      net, opt, sharded_cfg(k::PartitionStrategy::kIfmapStripe, clusters));
+  const auto img = snn::make_batch(1, 6, 16, 16, 3)[0];
+  snn::NetworkState sa = analytical.make_state();
+  snn::NetworkState ss = sharded.make_state();
+  const auto ra = analytical.run(img, sa);
+  const auto rs = sharded.run(img, ss);
+
+  const std::size_t l = net.num_layers() - 1;  // the FC head
+  ASSERT_EQ(net.layer(l).kind, snn::LayerKind::kFc);
+  const auto* be = dynamic_cast<const rt::ShardedBackend*>(&sharded.backend());
+  ASSERT_NE(be, nullptr);
+  const k::LayerPlan& plan = be->plan_for(net.layer(l));
+  ASSERT_EQ(plan.axis, k::ShardAxis::kFanIn);
+  const double n = static_cast<double>(plan.n());
+  ASSERT_GT(n, 1.0);
+
+  const auto& a = ra.layers[l].stats;
+  const auto& s = rs.layers[l].stats;
+  const int simd = sc::simd_lanes(opt.fmt);
+  const double groups = (net.layer(l).out_c + simd - 1) / simd;
+  // The accumulation work is conserved; the reduction adds exactly
+  // (n - 1) partial-vector merges of `groups` SIMD adds each.
+  EXPECT_NEAR(s.fpu_ops - a.fpu_ops, (n - 1) * groups,
+              1e-9 * a.fpu_ops + 1e-9);
+  EXPECT_NEAR(s.ssr_elems, a.ssr_elems, 1e-6 * a.ssr_elems + 1e-6);
+  EXPECT_NEAR(s.tcdm_words - a.tcdm_words, 2.0 * (n - 1) * groups,
+              1e-9 * a.tcdm_words + 1e-9);
+  // The partial vectors are the only inter-cluster traffic (inputs are
+  // disjoint — no broadcast).
+  const double fp_bytes = sc::fp_bytes(opt.fmt);
+  EXPECT_NEAR(s.noc_bytes, (n - 1) * net.layer(l).out_c * fp_bytes, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// NoC model
+// ---------------------------------------------------------------------------
+
+TEST(NocModel, BroadcastTrafficIsRecordedAndCeilingOnlySlowsDown) {
+  const snn::Network net = test_net();
+  k::RunOptions opt;
+  auto cfg = sharded_cfg(k::PartitionStrategy::kOutputChannel, 4);
+  const rt::InferenceEngine off(net, opt, cfg);
+  cfg.noc.model_contention = true;
+  cfg.noc.shared_bytes_per_cycle = 64.0;
+  const rt::InferenceEngine wide(net, opt, cfg);
+  cfg.noc.shared_bytes_per_cycle = 1.0;
+  const rt::InferenceEngine tight(net, opt, cfg);
+
+  const auto img = snn::make_batch(1, 9, 16, 16, 3)[0];
+  snn::NetworkState s0 = off.make_state();
+  snn::NetworkState s1 = wide.make_state();
+  snn::NetworkState s2 = tight.make_state();
+  const auto r0 = off.run(img, s0);
+  const auto r1 = wide.run(img, s1);
+  const auto r2 = tight.run(img, s2);
+
+  double total_noc = 0;
+  for (std::size_t l = 0; l < r0.layers.size(); ++l) {
+    // Traffic accounting is independent of the contention switch.
+    EXPECT_DOUBLE_EQ(r0.layers[l].stats.noc_bytes,
+                     r1.layers[l].stats.noc_bytes);
+    EXPECT_DOUBLE_EQ(r0.layers[l].stats.noc_bytes,
+                     r2.layers[l].stats.noc_bytes);
+    total_noc += r0.layers[l].stats.noc_bytes;
+    // A ceiling can only slow a layer down, monotonically in bandwidth.
+    EXPECT_GE(r1.layers[l].stats.cycles, r0.layers[l].stats.cycles - 1e-9);
+    EXPECT_GE(r2.layers[l].stats.cycles, r1.layers[l].stats.cycles - 1e-9);
+  }
+  EXPECT_GT(total_noc, 0.0);  // the broadcast is no longer free
+  EXPECT_GT(r2.total_cycles, r0.total_cycles);
+  // Spikes are untouched by the timing ceiling.
+  EXPECT_EQ(r0.final_output.v, r2.final_output.v);
+  // The energy model prices the traffic.
+  double e_noc = 0;
+  for (const auto& lm : r0.layers) e_noc += lm.energy.noc_pj;
+  EXPECT_GT(e_noc, 0.0);
+}
+
+TEST(NocModel, StripesMoveLessInputTrafficThanBroadcast) {
+  const snn::Network net = test_net();
+  k::RunOptions opt;
+  const rt::InferenceEngine oc(
+      net, opt, sharded_cfg(k::PartitionStrategy::kOutputChannel, 4));
+  const rt::InferenceEngine stripe(
+      net, opt, sharded_cfg(k::PartitionStrategy::kIfmapStripe, 4));
+  const auto img = snn::make_batch(1, 12, 16, 16, 3)[0];
+  snn::NetworkState so = oc.make_state();
+  snn::NetworkState ss = stripe.make_state();
+  const auto ro = oc.run(img, so);
+  const auto rs = stripe.run(img, ss);
+  // Conv layers: a halo'd stripe crosses the NoC once per cluster instead of
+  // a full broadcast replica.
+  for (std::size_t l = 0; l < ro.layers.size(); ++l) {
+    if (net.layer(l).kind != snn::LayerKind::kConv) continue;
+    EXPECT_LT(rs.layers[l].stats.noc_bytes, ro.layers[l].stats.noc_bytes)
+        << "layer " << l;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsEveryTaskExactlyOnceWithBoundedSlots) {
+  rt::WorkerPool pool(3);
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::atomic<int>> ran(kTasks);
+  std::atomic<int> max_slot{0};
+  pool.parallel_for(kTasks, 2, [&](std::size_t slot, std::size_t i) {
+    ran[i].fetch_add(1);
+    int seen = max_slot.load();
+    while (slot > static_cast<std::size_t>(seen) &&
+           !max_slot.compare_exchange_weak(seen, static_cast<int>(slot))) {
+    }
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << "task " << i;
+  }
+  EXPECT_LT(max_slot.load(), 2);
+}
+
+TEST(WorkerPoolTest, NestedParallelForMakesProgress) {
+  rt::WorkerPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, 4, [&](std::size_t, std::size_t) {
+    pool.parallel_for(8, 8, [&](std::size_t, std::size_t) {
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(WorkerPoolTest, PropagatesTaskExceptions) {
+  rt::WorkerPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(16, 4,
+                        [&](std::size_t, std::size_t i) {
+                          if (i == 7) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(WorkerPoolTest, ClampsToHardwareConcurrency) {
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  EXPECT_EQ(rt::WorkerPool::clamp_to_hardware(0), 1);
+  EXPECT_EQ(rt::WorkerPool::clamp_to_hardware(1 << 20), hw);
+  rt::WorkerPool pool(1 << 20);
+  EXPECT_LE(pool.threads(), std::max(0, hw - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Plans are engine-construction state
+// ---------------------------------------------------------------------------
+
+TEST(PartitionPlans, PreparedAtEngineConstructionAndLanesPresized) {
+  const snn::Network net = test_net();
+  k::RunOptions opt;
+  const rt::InferenceEngine engine(
+      net, opt, sharded_cfg(k::PartitionStrategy::kHybrid, 8));
+  const auto* be = dynamic_cast<const rt::ShardedBackend*>(&engine.backend());
+  ASSERT_NE(be, nullptr);
+  snn::NetworkState state = engine.make_state();
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const k::LayerPlan& plan = be->plan_for(net.layer(l));
+    ASSERT_GE(plan.n(), 1u);
+    if (plan.n() > 1) {
+      EXPECT_GE(state.scratch(l).lanes.size(), plan.n()) << "layer " << l;
+    }
+  }
+  // The 10-class head must engage every cluster under the hybrid plan.
+  const k::LayerPlan& head = be->plan_for(net.layer(net.num_layers() - 1));
+  EXPECT_EQ(head.axis, k::ShardAxis::kFanIn);
+  EXPECT_EQ(head.n(), 8u);
+}
