@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_host.json files and fail on a throughput regression.
+"""Compare two BENCH_host.json files and fail on a host-perf regression.
 
-Usage: check_bench_regression.py PREVIOUS.json CURRENT.json [--threshold 0.15]
+Usage: check_bench_regression.py PREVIOUS.json CURRENT.json
+           [--threshold 0.15] [--alloc-slack 0.5] [--require NAME ...]
 
-Backends are matched by name; a backend whose samples/sec dropped by more
-than the threshold fails the check. Backends present in only one file are
-reported but never fail (the set changes when backends are added/removed).
+Three checks, each per backend row (matched by name, every row checked —
+not just the best one):
+  * samples/sec must not drop by more than --threshold (fractional);
+  * steady_allocs_per_layer must not grow by more than --alloc-slack
+    (absolute allocations per layer — the zero-allocation contract);
+  * every --require NAME must be present in the current file (so a perf row
+    cannot silently disappear from the profile).
+Backends present in only one file are reported but only fail when required.
 Exit codes: 0 = ok, 1 = regression, 2 = unusable input (missing/corrupt
 file) — CI treats 2 as a skip, not a failure, so the very first run of a
 repository (no previous artifact) passes.
@@ -20,7 +26,13 @@ def load(path):
     try:
         with open(path) as f:
             data = json.load(f)
-        return {b["name"]: float(b["samples_per_sec"]) for b in data["backends"]}
+        return {
+            b["name"]: {
+                "sps": float(b["samples_per_sec"]),
+                "allocs": float(b.get("steady_allocs_per_layer", 0.0)),
+            }
+            for b in data["backends"]
+        }
     except (OSError, ValueError, KeyError) as e:
         print(f"cannot read {path}: {e}")
         return None
@@ -32,6 +44,13 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="max allowed fractional drop in samples/sec")
+    ap.add_argument("--alloc-slack", type=float, default=0.5,
+                    help="max allowed absolute growth in steady-state "
+                         "allocations per layer")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="backend row that must exist in CURRENT "
+                         "(repeatable)")
     args = ap.parse_args()
 
     prev = load(args.previous)
@@ -40,23 +59,32 @@ def main():
         return 2
 
     failed = []
-    print(f"{'backend':<20} {'prev s/s':>12} {'cur s/s':>12} {'delta':>8}")
+    for name in args.require:
+        if name not in cur:
+            failed.append(name)
+            print(f"required backend missing from current: {name}")
+
+    print(f"{'backend':<22} {'prev s/s':>10} {'cur s/s':>10} {'delta':>8} "
+          f"{'prev a/l':>9} {'cur a/l':>9}")
     for name in sorted(set(prev) | set(cur)):
         if name not in prev or name not in cur:
             where = "current" if name in cur else "previous"
-            print(f"{name:<20} {'only in ' + where:>34}")
+            print(f"{name:<22} {'only in ' + where:>30}")
             continue
         p, c = prev[name], cur[name]
-        delta = (c - p) / p if p > 0 else 0.0
-        flag = ""
+        delta = (c["sps"] - p["sps"]) / p["sps"] if p["sps"] > 0 else 0.0
+        flags = []
         if delta < -args.threshold:
             failed.append(name)
-            flag = "  << REGRESSION"
-        print(f"{name:<20} {p:>12.1f} {c:>12.1f} {delta:>+7.1%}{flag}")
+            flags.append("<< THROUGHPUT REGRESSION")
+        if c["allocs"] > p["allocs"] + args.alloc_slack:
+            failed.append(name)
+            flags.append("<< ALLOC REGRESSION")
+        print(f"{name:<22} {p['sps']:>10.1f} {c['sps']:>10.1f} {delta:>+7.1%} "
+              f"{p['allocs']:>9.3f} {c['allocs']:>9.3f}  {' '.join(flags)}")
 
     if failed:
-        print(f"\nsamples/sec regressed >{args.threshold:.0%} on: "
-              f"{', '.join(failed)}")
+        print(f"\nbench regression on: {', '.join(sorted(set(failed)))}")
         return 1
     print("\nno bench regression")
     return 0

@@ -52,6 +52,10 @@ struct Activity {
   double tcdm_words = 0;    ///< 64-bit words through the interconnect
   double ssr_elems = 0;
   double dma_bytes = 0;
+  /// Weight-fetch bytes skipped by batch-level SPM weight-tile reuse. Not
+  /// priced (the saving already shows as lower dma_bytes); carried so energy
+  /// reports can state how much DMA traffic the reuse removed.
+  double dma_saved_bytes = 0;
   double noc_bytes = 0;     ///< inter-cluster traffic (sharded runs)
 
   void accumulate(const Activity& o) {
@@ -62,6 +66,7 @@ struct Activity {
     tcdm_words += o.tcdm_words;
     ssr_elems += o.ssr_elems;
     dma_bytes += o.dma_bytes;
+    dma_saved_bytes += o.dma_saved_bytes;
     noc_bytes += o.noc_bytes;
   }
 };

@@ -1,0 +1,414 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SPIKESTREAM_X86_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace spikestream::common::simd {
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+namespace {
+
+Tier probe_max_supported() {
+#ifdef SPIKESTREAM_X86_SIMD
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return Tier::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Tier::kAvx2;
+  }
+#endif
+  return Tier::kScalar;
+}
+
+/// Forced tier, or -1 when dispatch follows the CPU probe.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+Tier max_supported() {
+  static const Tier t = probe_max_supported();
+  return t;
+}
+
+Tier active() {
+  const int f = g_forced.load(std::memory_order_relaxed);
+  if (f < 0) return max_supported();
+  return static_cast<int>(max_supported()) < f
+             ? max_supported()
+             : static_cast<Tier>(f);
+}
+
+Tier force_tier(Tier t) {
+  g_forced.store(static_cast<int>(t), std::memory_order_relaxed);
+  return active();
+}
+
+// ---------------------------------------------------------------------------
+// Nonzero-byte scan (CSR ifmap encode inner loop)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Portable word-at-a-time scan: eight channels tested per 64-bit load, so
+/// fully-silent channel octets cost one load and one branch. Any nonzero
+/// byte counts as a spike (same contract as the vector tiers and the tail).
+void scan_scalar(const std::uint8_t* row, int n, std::uint16_t base,
+                 std::vector<std::uint16_t>& out) {
+  int ch = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    constexpr std::uint64_t k7f = 0x7f7f7f7f7f7f7f7full;
+    constexpr std::uint64_t k80 = 0x8080808080808080ull;
+    for (; ch + 8 <= n; ch += 8) {
+      std::uint64_t word;
+      std::memcpy(&word, row + ch, sizeof(word));
+      // Bit 7 of each byte of `nz` is set iff that byte of `word` is nonzero.
+      std::uint64_t nz = (((word & k7f) + k7f) | word) & k80;
+      while (nz != 0) {
+        const int lane = std::countr_zero(nz) >> 3;
+        out.push_back(static_cast<std::uint16_t>(base + ch + lane));
+        nz &= nz - 1;
+      }
+    }
+  }
+  for (; ch < n; ++ch) {
+    if (row[ch]) out.push_back(static_cast<std::uint16_t>(base + ch));
+  }
+}
+
+#ifdef SPIKESTREAM_X86_SIMD
+
+__attribute__((target("avx2"))) void scan_avx2(
+    const std::uint8_t* row, int n, std::uint16_t base,
+    std::vector<std::uint16_t>& out) {
+  const __m256i zero = _mm256_setzero_si256();
+  int ch = 0;
+  for (; ch + 32 <= n; ch += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + ch));
+    // movemask of (v == 0) inverted = one bit per nonzero byte, in order.
+    std::uint32_t nz = ~static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    while (nz != 0) {
+      const int lane = std::countr_zero(nz);
+      out.push_back(static_cast<std::uint16_t>(base + ch + lane));
+      nz &= nz - 1;
+    }
+  }
+  scan_scalar(row + ch, n - ch, static_cast<std::uint16_t>(base + ch), out);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void scan_avx512(
+    const std::uint8_t* row, int n, std::uint16_t base,
+    std::vector<std::uint16_t>& out) {
+  int ch = 0;
+  for (; ch + 64 <= n; ch += 64) {
+    const __m512i v =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(row + ch));
+    // test(v, v) sets one mask bit per nonzero byte, in order.
+    std::uint64_t nz = _mm512_test_epi8_mask(v, v);
+    while (nz != 0) {
+      const int lane = std::countr_zero(nz);
+      out.push_back(static_cast<std::uint16_t>(base + ch + lane));
+      nz &= nz - 1;
+    }
+  }
+  scan_scalar(row + ch, n - ch, static_cast<std::uint16_t>(base + ch), out);
+}
+
+#endif  // SPIKESTREAM_X86_SIMD
+
+}  // namespace
+
+void append_nonzero_u8(const std::uint8_t* row, int n, std::uint16_t base,
+                       std::vector<std::uint16_t>& out) {
+#ifdef SPIKESTREAM_X86_SIMD
+  switch (active()) {
+    case Tier::kAvx512: scan_avx512(row, n, base, out); return;
+    case Tier::kAvx2: scan_avx2(row, n, base, out); return;
+    case Tier::kScalar: break;
+  }
+#endif
+  scan_scalar(row, n, base, out);
+}
+
+// ---------------------------------------------------------------------------
+// LIF membrane step
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Scalar tier. std::fmaf is the IEEE fused multiply-add, bit-identical to
+/// the vfmadd lanes of the vector tiers whatever the libm fallback path.
+std::size_t lif_scalar(const float* cur, float* mem, std::uint8_t* spikes,
+                       std::size_t n, float alpha, float r, float v_th,
+                       float v_rst) {
+  std::size_t fired_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float v = std::fmaf(mem[i], alpha, r * cur[i]);
+    const bool fired = v >= v_th;
+    spikes[i] = fired;
+    v -= fired ? v_rst : 0.0f;
+    mem[i] = v;
+    fired_total += fired;
+  }
+  return fired_total;
+}
+
+#ifdef SPIKESTREAM_X86_SIMD
+
+__attribute__((target("avx2,fma"))) std::size_t lif_avx2(
+    const float* cur, float* mem, std::uint8_t* spikes, std::size_t n,
+    float alpha, float r, float v_th, float v_rst) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  const __m256 vr = _mm256_set1_ps(r);
+  const __m256 vth = _mm256_set1_ps(v_th);
+  const __m256 vrst = _mm256_set1_ps(v_rst);
+  std::size_t fired_total = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_fmadd_ps(_mm256_loadu_ps(mem + i), va,
+                               _mm256_mul_ps(vr, _mm256_loadu_ps(cur + i)));
+    const __m256 ge = _mm256_cmp_ps(v, vth, _CMP_GE_OQ);
+    v = _mm256_sub_ps(v, _mm256_and_ps(ge, vrst));
+    _mm256_storeu_ps(mem + i, v);
+    const unsigned bits =
+        static_cast<unsigned>(_mm256_movemask_ps(ge)) & 0xffu;
+    for (int j = 0; j < 8; ++j) spikes[i + j] = (bits >> j) & 1u;
+    fired_total += static_cast<std::size_t>(std::popcount(bits));
+  }
+  return fired_total +
+         lif_scalar(cur + i, mem + i, spikes + i, n - i, alpha, r, v_th,
+                    v_rst);
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) std::size_t lif_avx512(
+    const float* cur, float* mem, std::uint8_t* spikes, std::size_t n,
+    float alpha, float r, float v_th, float v_rst) {
+  const __m512 va = _mm512_set1_ps(alpha);
+  const __m512 vr = _mm512_set1_ps(r);
+  const __m512 vth = _mm512_set1_ps(v_th);
+  const __m512 vrst = _mm512_set1_ps(v_rst);
+  std::size_t fired_total = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 v = _mm512_fmadd_ps(_mm512_loadu_ps(mem + i), va,
+                               _mm512_mul_ps(vr, _mm512_loadu_ps(cur + i)));
+    const __mmask16 ge = _mm512_cmp_ps_mask(v, vth, _CMP_GE_OQ);
+    v = _mm512_mask_sub_ps(v, ge, v, vrst);
+    _mm512_storeu_ps(mem + i, v);
+    // One 0/1 byte per mask bit, in lane order.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(spikes + i),
+                     _mm_maskz_set1_epi8(ge, 1));
+    fired_total += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(ge)));
+  }
+  return fired_total +
+         lif_scalar(cur + i, mem + i, spikes + i, n - i, alpha, r, v_th,
+                    v_rst);
+}
+
+#endif  // SPIKESTREAM_X86_SIMD
+
+}  // namespace
+
+std::size_t lif_step(const float* cur, float* mem, std::uint8_t* spikes,
+                     std::size_t n, float alpha, float r, float v_th,
+                     float v_rst) {
+#ifdef SPIKESTREAM_X86_SIMD
+  switch (active()) {
+    case Tier::kAvx512:
+      return lif_avx512(cur, mem, spikes, n, alpha, r, v_th, v_rst);
+    case Tier::kAvx2:
+      return lif_avx2(cur, mem, spikes, n, alpha, r, v_th, v_rst);
+    case Tier::kScalar: break;
+  }
+#endif
+  return lif_scalar(cur, mem, spikes, n, alpha, r, v_th, v_rst);
+}
+
+// ---------------------------------------------------------------------------
+// Per-SIMD-group spike accumulate (scheduler task-cost feed)
+// ---------------------------------------------------------------------------
+// Sums of u8 values are exact small integers in double, so vector tiers are
+// free to reduce in any shape — every tier produces identical counts.
+
+namespace {
+
+void groups_scalar(const std::uint8_t* row, int c, int group, int groups,
+                   double* counts) {
+  for (int g = 0; g < groups; ++g) {
+    const int lo = g * group;
+    const int hi = lo + group < c ? lo + group : c;
+    double n = 0;
+    for (int ch = lo; ch < hi; ++ch) n += row[ch];
+    counts[g] = n;
+  }
+}
+
+#ifdef SPIKESTREAM_X86_SIMD
+
+/// Full-range-safe sum of `len` bytes (psadbw against zero).
+__attribute__((target("avx2"))) std::uint64_t sum_u8_avx2(
+    const std::uint8_t* p, int len) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  int i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(v, zero));
+  }
+  std::uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t s = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < len; ++i) s += p[i];
+  return s;
+}
+
+/// Groups of 4 bytes: 8 group sums per 32-byte load via the maddubs + madd
+/// widening chain (pair sums to u16, pair-of-pair sums to u32, all within
+/// 32-bit boundaries, so lane j is exactly bytes [4j, 4j + 4)).
+__attribute__((target("avx2"))) void groups4_avx2(const std::uint8_t* row,
+                                                  int groups, double* counts) {
+  const __m256i ones8 = _mm256_set1_epi8(1);
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  int g = 0;
+  for (; g + 8 <= groups; g += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + g * 4));
+    const __m256i s32 =
+        _mm256_madd_epi16(_mm256_maddubs_epi16(v, ones8), ones16);
+    _mm256_storeu_pd(counts + g,
+                     _mm256_cvtepi32_pd(_mm256_castsi256_si128(s32)));
+    _mm256_storeu_pd(counts + g + 4,
+                     _mm256_cvtepi32_pd(_mm256_extracti128_si256(s32, 1)));
+  }
+  for (; g < groups; ++g) {
+    const std::uint8_t* p = row + g * 4;
+    counts[g] = static_cast<double>(p[0]) + p[1] + p[2] + p[3];
+  }
+}
+
+/// Groups of 8 bytes: psadbw sums each 8-byte half directly.
+__attribute__((target("avx2"))) void groups8_avx2(const std::uint8_t* row,
+                                                  int groups, double* counts) {
+  const __m256i zero = _mm256_setzero_si256();
+  int g = 0;
+  for (; g + 4 <= groups; g += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + g * 8));
+    const __m256i s64 = _mm256_sad_epu8(v, zero);
+    std::uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), s64);
+    counts[g] = static_cast<double>(lanes[0]);
+    counts[g + 1] = static_cast<double>(lanes[1]);
+    counts[g + 2] = static_cast<double>(lanes[2]);
+    counts[g + 3] = static_cast<double>(lanes[3]);
+  }
+  for (; g < groups; ++g) {
+    std::uint64_t s = 0;
+    const std::uint8_t* p = row + g * 8;
+    for (int j = 0; j < 8; ++j) s += p[j];
+    counts[g] = static_cast<double>(s);
+  }
+}
+
+__attribute__((target("avx2"))) void groups_avx2(const std::uint8_t* row,
+                                                 int c, int group, int groups,
+                                                 double* counts) {
+  // A partial trailing group falls back to the scalar loop for that group.
+  const int full = c / group;
+  const int vec_groups = full < groups ? full : groups;
+  if (group == 4) {
+    groups4_avx2(row, vec_groups, counts);
+  } else if (group == 8) {
+    groups8_avx2(row, vec_groups, counts);
+  } else if (group >= 16 && group % 8 == 0) {
+    for (int g = 0; g < vec_groups; ++g) {
+      counts[g] = static_cast<double>(sum_u8_avx2(row + g * group, group));
+    }
+  } else {
+    groups_scalar(row, c, group, groups, counts);
+    return;
+  }
+  for (int g = vec_groups; g < groups; ++g) {
+    const int lo = g * group;
+    const int hi = lo + group < c ? lo + group : c;
+    double n = 0;
+    for (int ch = lo; ch < hi; ++ch) n += row[ch];
+    counts[g] = n;
+  }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void groups_avx512(
+    const std::uint8_t* row, int c, int group, int groups, double* counts) {
+  const int full = c / group;
+  const int vec_groups = full < groups ? full : groups;
+  if (group == 8) {
+    const __m512i zero = _mm512_setzero_si512();
+    int g = 0;
+    for (; g + 8 <= vec_groups; g += 8) {
+      const __m512i v =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(row + g * 8));
+      const __m512i s64 = _mm512_sad_epu8(v, zero);
+      std::uint64_t lanes[8];
+      _mm512_storeu_si512(reinterpret_cast<void*>(lanes), s64);
+      for (int j = 0; j < 8; ++j) {
+        counts[g + j] = static_cast<double>(lanes[j]);
+      }
+    }
+    for (; g < vec_groups; ++g) {
+      std::uint64_t s = 0;
+      const std::uint8_t* p = row + g * 8;
+      for (int j = 0; j < 8; ++j) s += p[j];
+      counts[g] = static_cast<double>(s);
+    }
+    for (g = vec_groups; g < groups; ++g) {
+      const int lo = g * group;
+      const int hi = lo + group < c ? lo + group : c;
+      double n = 0;
+      for (int ch = lo; ch < hi; ++ch) n += row[ch];
+      counts[g] = n;
+    }
+    return;
+  }
+  // Other widths reuse the AVX2 shapes (already fast; AVX-512 CPUs run them).
+  groups_avx2(row, c, group, groups, counts);
+}
+
+#endif  // SPIKESTREAM_X86_SIMD
+
+}  // namespace
+
+void group_spike_counts(const std::uint8_t* row, int c, int group, int groups,
+                        double* counts) {
+  if (groups <= 0) return;
+#ifdef SPIKESTREAM_X86_SIMD
+  switch (active()) {
+    case Tier::kAvx512: groups_avx512(row, c, group, groups, counts); return;
+    case Tier::kAvx2: groups_avx2(row, c, group, groups, counts); return;
+    case Tier::kScalar: break;
+  }
+#endif
+  groups_scalar(row, c, group, groups, counts);
+}
+
+}  // namespace spikestream::common::simd

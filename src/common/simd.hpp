@@ -1,0 +1,68 @@
+// Runtime-dispatched host SIMD kernels for the three simulator hot loops:
+// the CSR nonzero-byte scan (ifmap compression), the LIF membrane step, and
+// the dense per-SIMD-group spike accumulate that feeds the schedule
+// simulation. Each kernel has a scalar reference implementation plus AVX2 and
+// AVX-512 variants compiled with function-level target attributes, so one
+// portable binary carries every tier and picks the widest one the running CPU
+// supports (probed once via cpuid).
+//
+// Bit-exactness contract: every tier of a kernel produces byte-identical
+// output for identical input — the vector paths are lane-wise transcriptions
+// of the scalar loop, never reassociations of it (tests/test_simd.cpp pins
+// all tiers against the scalar one on randomized inputs). The LIF step fuses
+// mem * alpha + (r * cur) with a real FMA in every tier (std::fmaf on the
+// scalar path), so the arithmetic is identical whether the hardware runs
+// vfmadd231ps or the libm fallback.
+//
+// `force_tier()` exists for tests and A/B profiling only; it clamps to what
+// the CPU supports, so forcing kAvx512 on an AVX2 machine yields kAvx2.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spikestream::common::simd {
+
+enum class Tier {
+  kScalar = 0,
+  kAvx2 = 1,    ///< AVX2 + FMA
+  kAvx512 = 2,  ///< AVX-512 F + BW
+};
+
+const char* tier_name(Tier t);
+
+/// Widest tier the running CPU supports (probed once, cached).
+Tier max_supported();
+
+/// The tier kernels currently dispatch to: min(max_supported, forced).
+Tier active();
+
+/// Test/bench hook: pin dispatch to `t` (clamped to max_supported()).
+/// Returns the tier actually in effect.
+Tier force_tier(Tier t);
+
+// --- kernels ----------------------------------------------------------------
+
+/// Append the indices (offset `base`) of all nonzero bytes in `row[0..n)` to
+/// `out`, in ascending order — the inner loop of CsrIfmap::encode_into. Any
+/// nonzero byte counts as a spike, exactly like the scalar tail.
+void append_nonzero_u8(const std::uint8_t* row, int n, std::uint16_t base,
+                       std::vector<std::uint16_t>& out);
+
+/// One LIF step over `n` neurons: v = fma(mem, alpha, r * cur); fired =
+/// v >= v_th; v -= fired ? v_rst : 0. Writes spikes (0/1 bytes), updates
+/// `mem` in place, returns the number of neurons that fired.
+std::size_t lif_step(const float* cur, float* mem, std::uint8_t* spikes,
+                     std::size_t n, float alpha, float r, float v_th,
+                     float v_rst);
+
+/// Per-SIMD-group spike counts over one dense output row: counts[g] =
+/// sum(row[g * group .. min((g + 1) * group, c))) as a double (sums of
+/// small integers — exact in every summation order, so vector paths may
+/// reduce in any shape). The dense accumulate feeding the scheduler's
+/// per-group task costs.
+void group_spike_counts(const std::uint8_t* row, int c, int group, int groups,
+                        double* counts);
+
+}  // namespace spikestream::common::simd

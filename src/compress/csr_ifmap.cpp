@@ -1,44 +1,9 @@
 #include "compress/csr_ifmap.hpp"
 
-#include <bit>
-#include <cstring>
-
 #include "common/check.hpp"
+#include "common/simd.hpp"
 
 namespace spikestream::compress {
-
-namespace {
-
-/// Append the channel indices of the nonzero bytes in `row[0..c)` to `out`.
-/// Eight channels are tested per 64-bit word, so fully-silent channel octets
-/// cost one load and one branch. Any nonzero byte counts as a spike, exactly
-/// like the scalar tail (and like snn::spike_count), so a value that strays
-/// from the documented 0/1 contract still encodes consistently.
-inline void scan_row(const std::uint8_t* row, int c,
-                     std::vector<std::uint16_t>& out) {
-  int ch = 0;
-  if constexpr (std::endian::native == std::endian::little) {
-    constexpr std::uint64_t k7f = 0x7f7f7f7f7f7f7f7full;
-    constexpr std::uint64_t k80 = 0x8080808080808080ull;
-    for (; ch + 8 <= c; ch += 8) {
-      std::uint64_t word;
-      std::memcpy(&word, row + ch, sizeof(word));
-      // Classic byte-wise nonzero test: bit 7 of each byte of `nz` is set
-      // iff that byte of `word` is nonzero (no cross-byte contamination).
-      std::uint64_t nz = (((word & k7f) + k7f) | word) & k80;
-      while (nz != 0) {
-        const int lane = std::countr_zero(nz) >> 3;
-        out.push_back(static_cast<std::uint16_t>(ch + lane));
-        nz &= nz - 1;
-      }
-    }
-  }
-  for (; ch < c; ++ch) {
-    if (row[ch]) out.push_back(static_cast<std::uint16_t>(ch));
-  }
-}
-
-}  // namespace
 
 CsrIfmap CsrIfmap::encode(const snn::SpikeMap& dense) {
   CsrIfmap out;
@@ -64,8 +29,12 @@ void CsrIfmap::encode_into(const snn::SpikeMap& dense, CsrIfmap& out) {
   const std::uint8_t* base = dense.v.data();
   for (std::size_t p = 0; p < positions; ++p) {
     out.s_ptr_[p] = static_cast<std::uint32_t>(out.c_idcs_.size());
-    scan_row(base + p * static_cast<std::size_t>(dense.c), dense.c,
-             out.c_idcs_);
+    // Any nonzero byte counts as a spike (like snn::spike_count), so a value
+    // that strays from the documented 0/1 contract still encodes
+    // consistently. Dispatches to the widest host SIMD tier available.
+    common::simd::append_nonzero_u8(
+        base + p * static_cast<std::size_t>(dense.c), dense.c, 0,
+        out.c_idcs_);
   }
   out.s_ptr_[positions] = static_cast<std::uint32_t>(out.c_idcs_.size());
 }

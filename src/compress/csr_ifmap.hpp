@@ -26,6 +26,15 @@ class CsrIfmap {
   /// encodes with zero heap allocations).
   static void encode_into(const snn::SpikeMap& dense, CsrIfmap& out);
 
+  /// Pre-reserve for maps of up to `positions` spatial positions and
+  /// `nnz_cap` spikes. With the zero-sparsity worst case of a layer's input
+  /// shape, every later encode_into()/slice_rows_into() on this object is
+  /// heap-allocation-free whatever occupancy the workload reaches.
+  void reserve(std::size_t positions, std::size_t nnz_cap) {
+    s_ptr_.reserve(positions + 1);
+    c_idcs_.reserve(nnz_cap);
+  }
+
   /// Footprint a map with `nnz` spikes over h*w positions would compress to,
   /// without materializing the encoding (the hot path only needs the size).
   static std::size_t footprint_from_count(std::size_t nnz, int h, int w,

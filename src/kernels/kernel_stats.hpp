@@ -20,6 +20,11 @@ struct KernelStats {
   double tcdm_words = 0;      ///< 64-bit words moved through the interconnect
   double ssr_elems = 0;
   double dma_bytes = 0;
+  /// Weight-fetch DMA bytes this run skipped because the layer's weight tile
+  /// was still SPM-resident from the previous batch sample (batch-level
+  /// weight-tile reuse, RunOptions::batch_weight_reuse). 0 on cold runs and
+  /// with reuse disabled; already excluded from `dma_bytes`.
+  double dma_saved_bytes = 0;
   /// Inter-cluster traffic (broadcast ifmap replicas, stripe halos, gathered
   /// ofmap slices, FC partial-sum reductions). 0 for single-cluster runs.
   double noc_bytes = 0;
@@ -43,6 +48,7 @@ struct KernelStats {
     a.tcdm_words = tcdm_words;
     a.ssr_elems = ssr_elems;
     a.dma_bytes = dma_bytes;
+    a.dma_saved_bytes = dma_saved_bytes;
     a.noc_bytes = noc_bytes;
     return a;
   }
@@ -52,6 +58,7 @@ struct KernelStats {
   void reset() {
     cycles = compute_cycles = dma_cycles = 0;
     fpu_ops = fpu_mac_ops = int_instrs = tcdm_words = ssr_elems = dma_bytes = 0;
+    dma_saved_bytes = 0;
     noc_bytes = 0;
     active_cores = 8;
     core_cycles.clear();
@@ -67,6 +74,7 @@ struct KernelStats {
     tcdm_words += o.tcdm_words;
     ssr_elems += o.ssr_elems;
     dma_bytes += o.dma_bytes;
+    dma_saved_bytes += o.dma_saved_bytes;
     noc_bytes += o.noc_bytes;
     active_cores = std::max(active_cores, o.active_cores);
   }
@@ -84,6 +92,7 @@ struct KernelStats {
     tcdm_words += o.tcdm_words;
     ssr_elems += o.ssr_elems;
     dma_bytes += o.dma_bytes;
+    dma_saved_bytes += o.dma_saved_bytes;
     noc_bytes += o.noc_bytes;
     active_cores += o.active_cores;
     core_cycles.insert(core_cycles.end(), o.core_cycles.begin(),

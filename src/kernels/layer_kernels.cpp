@@ -10,6 +10,7 @@
 #endif
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 #include "kernels/scheduler.hpp"
 #include "snn/lif.hpp"
 #include "snn/reference.hpp"
@@ -34,20 +35,13 @@ int n_groups(int out_c, common::FpFormat fmt) {
 }
 
 /// One sweep over the spikes at output position (oy, ox): per-SIMD-group
-/// spike counts into counts[0..groups). Replaces the former per-(oy,ox,g)
-/// group_spikes() recount — every channel is now read exactly once per
-/// position through a hoisted row pointer, with the same per-group summation
-/// order (so the double-precision counts are bit-identical).
+/// spike counts into counts[0..groups). The counts are exact small-integer
+/// sums in double, so the host-SIMD tiers of common/simd.hpp may reduce them
+/// in any shape — every tier produces bit-identical counts.
 void group_counts_at(const snn::SpikeMap& out, int oy, int ox, int simd,
                      int groups, double* counts) {
-  const std::uint8_t* row = &out.at(oy, ox, 0);
-  for (int g = 0; g < groups; ++g) {
-    const int lo = g * simd;
-    const int hi = std::min(lo + simd, out.c);
-    double n = 0;
-    for (int ch = lo; ch < hi; ++ch) n += row[ch];
-    counts[g] = n;
-  }
+  common::simd::group_spike_counts(&out.at(oy, ox, 0), out.c, simd, groups,
+                                   counts);
 }
 
 /// Average memory-port pressure per core per cycle for the conflict model.
@@ -59,6 +53,26 @@ double access_rate(Variant v, const CostParams& p) {
   // Streamed variants: one data word + 1/4 index word (or a second affine
   // stream) per element, one element per II cycles.
   return 1.25 / p.fadd_latency;
+}
+
+/// Shared tail of every timing pass: apply the plan's DMA timeline to the
+/// stats and derive wall-clock cycles. With batch-level weight-tile reuse on
+/// and this scratch's simulated cluster still holding the layer's
+/// (single-tile) weight set from the previous sample, the warm DMA timeline
+/// is charged instead and the skipped weight traffic is itemized in
+/// dma_saved_bytes. Marks the scratch warm for the next sample either way.
+void finish_timing(const RunOptions& opt, KernelScratch& scratch) {
+  LayerRun& run = scratch.run;
+  KernelStats& st = run.stats;
+  const bool warm = opt.batch_weight_reuse && scratch.weights_warm &&
+                    run.plan.pinned_weight_fraction > 0;
+  st.dma_cycles = warm ? run.plan.dma_cycles_warm : run.plan.dma_cycles;
+  st.dma_bytes = warm ? run.plan.dma_bytes_warm : run.plan.dma_bytes;
+  st.dma_saved_bytes =
+      warm ? run.plan.dma_bytes - run.plan.dma_bytes_warm : 0.0;
+  st.cycles =
+      overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer, warm);
+  scratch.weights_warm = true;
 }
 
 void schedule_into(const RunOptions& opt, std::span<const double> tasks,
@@ -376,9 +390,7 @@ void conv_timing(const snn::LayerSpec& spec, const compress::CsrIfmap& ifmap,
       static_cast<double>(
           compress::CsrIfmap::footprint_from_count(run.out_nnz, oh, ow)),
       p, 128.0 * 1024, opt.double_buffer);
-  st.dma_cycles = run.plan.dma_cycles;
-  st.dma_bytes = run.plan.dma_bytes;
-  st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
+  finish_timing(opt, scratch);
 }
 
 void fc_timing(const snn::LayerSpec& spec, const compress::CsrIfmap& ifmap,
@@ -461,9 +473,7 @@ void fc_timing(const snn::LayerSpec& spec, const compress::CsrIfmap& ifmap,
 
   st.core_cycles = sched.core_cycles;
   st.compute_cycles = sched.makespan + p.icache_layer_warmup;
-  st.dma_cycles = run.plan.dma_cycles;
-  st.dma_bytes = run.plan.dma_bytes;
-  st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
+  finish_timing(opt, scratch);
 }
 
 void encode_timing(const snn::LayerSpec& spec, const RunOptions& opt,
@@ -538,9 +548,7 @@ void encode_timing(const snn::LayerSpec& spec, const RunOptions& opt,
   st.compute_cycles = scratch.sched.makespan + p.icache_layer_warmup;
 
   run.plan = plan_encode_layer(spec, fmt, p, 128.0 * 1024, opt.double_buffer);
-  st.dma_cycles = run.plan.dma_cycles;
-  st.dma_bytes = run.plan.dma_bytes;
-  st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
+  finish_timing(opt, scratch);
 }
 
 void fc_fanin_shard_timing(const snn::LayerSpec& spec,
@@ -623,9 +631,7 @@ void fc_fanin_shard_timing(const snn::LayerSpec& spec,
 
   st.core_cycles = sched.core_cycles;
   st.compute_cycles = sched.makespan + p.icache_layer_warmup;
-  st.dma_cycles = run.plan.dma_cycles;
-  st.dma_bytes = run.plan.dma_bytes;
-  st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
+  finish_timing(opt, scratch);
 }
 
 FcFanInMergeCost fc_fanin_merge_cost(const snn::LayerSpec& spec,

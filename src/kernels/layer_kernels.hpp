@@ -47,6 +47,20 @@ struct RunOptions {
   /// indices are scaled by an arbitrary element stride. Removes the FC index
   /// pre-scaling pass (one index then addresses a whole weight row).
   bool strided_indirect_ext = false;
+  /// Batch-level weight-tile reuse: when a layer's batch-aware warm plan
+  /// pins weight tiles in SPM (TilePlan::pinned_weight_fraction > 0 — the
+  /// whole set when it fits single-buffered, otherwise as many tiles as the
+  /// warm tiling search affords), samples after the first on the same
+  /// simulated cluster skip the pinned tiles' DMA refetch
+  /// (KernelScratch::weights_warm tracks residency; the saving is itemized
+  /// in KernelStats::dma_saved_bytes). Off by default, because warm/cold
+  /// then depends on which execution lane a sample lands on: under a
+  /// multithreaded BatchRunner that assignment is decided by the worker
+  /// pool's racing claim order, making per-sample modeled DMA/cycles vary
+  /// with thread scheduling. Use PipelinedBatchRunner (deterministic lane
+  /// rotation) or a single-worker BatchRunner when reproducible modeled
+  /// numbers matter.
+  bool batch_weight_reuse = false;
   CostParams cost;
 };
 

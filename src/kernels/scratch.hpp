@@ -40,6 +40,12 @@ struct LayerRun {
 /// grown (never shrunk) otherwise.
 struct KernelScratch {
   LayerRun run;                    ///< kernel output, reused across calls
+  /// Batch-level weight-tile reuse: true once this (state, layer) lane — one
+  /// simulated cluster's SPM — has executed its layer, so the next sample's
+  /// run may treat the weight tile as resident (RunOptions::
+  /// batch_weight_reuse). Deliberately survives NetworkState::clear(): the
+  /// membrane reset between samples is exactly when the pin pays off.
+  bool weights_warm = false;
   snn::Tensor currents;            ///< synaptic-current accumulator plane
   /// Hoisted weight-row pointers of one receptive field. Type-erased: they
   /// point at float32 rows or (on the half-precision fast path) binary16

@@ -94,6 +94,91 @@ TilePlan plan_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
   plan.first_fill_cycles = (plan.weight_tile_bytes + plan.if_stripe_bytes) /
                                p.dma_bytes_per_cycle +
                            2.0 * p.dma_latency;
+
+  // --- batch-aware warm plan (batch-level weight-tile reuse) ----------------
+  // Re-search the tiling for the *warm* regime: SPM capacity may be spent on
+  // permanently pinned weight tiles (single-buffered — pinned tiles are
+  // never streamed) instead of the biggest possible streaming buffers the
+  // cold plan prefers. A warm batch sample then refetches only the
+  // unpinned weight fraction; the pinned tiles survived from the previous
+  // sample on the same cluster. The search minimizes warm DMA bytes over
+  // (co tile, ifmap stripe rows, pinned tile count). Fan-in segmentation
+  // cycles different weight bands through one tile and cannot pin, which
+  // excludes the big segmented FC layers. Defaults (warm == cold) stand
+  // when nothing beats them.
+  plan.dma_bytes_warm = plan.dma_bytes;
+  plan.dma_cycles_warm = plan.dma_cycles;
+  plan.first_fill_cycles_warm = plan.first_fill_cycles;
+  if (plan.in_segments == 1) {
+    for (int co = std::max(spec.out_c, simd); co >= simd;
+         co = co > simd ? std::max(co / 2, simd) : co - 1) {
+      const int tiles = (spec.out_c + co - 1) / co;
+      const double tile_bytes = static_cast<double>(kk) * spec.in_c * co * fb;
+      for (int rows = out_rows; rows >= 1; rows = rows > 1 ? rows / 2 : 0) {
+        const int in_rows = is_fc ? 1 : rows + spec.k - 1;
+        const double if_frac =
+            is_fc ? 1.0
+                  : static_cast<double>(in_rows) / std::max(spec.in_h, 1);
+        const double if_bytes = std::max(ifmap_actual_bytes * if_frac, 64.0);
+        const double positions =
+            is_fc ? 1.0 : static_cast<double>(rows) * spec.out_w();
+        const double of_bytes =
+            positions * co * kIdxBytes + positions * kIdxBytes;
+        const double state_bytes = positions * co * fb;
+        // Streaming working set; fully-pinned candidates drop the 2x
+        // weight stream buffer entirely.
+        double pinned_budget = 0;
+        int pinned = 0;
+        const double base_full =
+            all_weights + buf_mult * if_bytes + of_bytes + state_bytes;
+        if (base_full <= spm_bytes && co == spec.out_c) {
+          pinned = tiles;  // whole set resident, no stream buffer needed
+        } else {
+          const double base =
+              buf_mult * (tile_bytes + if_bytes) + of_bytes + state_bytes;
+          if (base > spm_bytes) {
+            if (rows == 1) break;
+            continue;
+          }
+          pinned_budget = spm_bytes - base;
+          pinned = std::min<int>(tiles - 1,
+                                 static_cast<int>(pinned_budget / tile_bytes));
+        }
+        if (pinned <= 0) {
+          if (rows == 1) break;
+          continue;
+        }
+        const double stripes =
+            static_cast<double>((out_rows + rows - 1) / rows);
+        const double f =
+            static_cast<double>(pinned) / static_cast<double>(tiles);
+        const double w_warm = all_weights * stripes * (1.0 - f);
+        const double bytes_warm =
+            w_warm + ifmap_actual_bytes + ofmap_actual_bytes;
+        const double n_warm = stripes * (tiles - pinned) + stripes + tiles;
+        const double cycles_warm =
+            bytes_warm / p.dma_bytes_per_cycle + n_warm * p.dma_latency;
+        // Minimize warm DMA *cycles*, never exceeding the cold plan on
+        // either axis: a byte-minimal candidate with tiny tiles can pay
+        // more per-transfer latency than it saves in volume.
+        if (cycles_warm < plan.dma_cycles_warm &&
+            bytes_warm <= plan.dma_bytes) {
+          plan.pinned_weight_fraction = f;
+          plan.weights_spm_resident = pinned == tiles;
+          plan.dma_bytes_warm = bytes_warm;
+          plan.dma_cycles_warm = cycles_warm;
+          // A warm sample could always fall back to the cold first-fill
+          // shape, so never report a worse exposed fill than cold.
+          plan.first_fill_cycles_warm = std::min(
+              plan.first_fill_cycles,
+              ((pinned == tiles ? 0.0 : tile_bytes) + if_bytes) /
+                      p.dma_bytes_per_cycle +
+                  (pinned == tiles ? 1.0 : 2.0) * p.dma_latency);
+        }
+        if (rows == 1) break;
+      }
+    }
+  }
   return plan;
 }
 
@@ -144,15 +229,28 @@ TilePlan plan_encode_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
   plan.first_fill_cycles =
       (w_bytes + plan.if_stripe_bytes) / p.dma_bytes_per_cycle +
       2.0 * p.dma_latency;
+
+  // The whole first-layer weight set is resident by construction, so every
+  // warm batch sample streams only the im2row expansion + ofmap write-back.
+  plan.weights_spm_resident = true;
+  plan.pinned_weight_fraction = 1.0;
+  plan.dma_bytes_warm = plan.dma_bytes - w_bytes;
+  plan.dma_cycles_warm = plan.dma_bytes_warm / p.dma_bytes_per_cycle +
+                         2.0 * plan.if_stripes * p.dma_latency;
+  plan.first_fill_cycles_warm =
+      plan.if_stripe_bytes / p.dma_bytes_per_cycle + p.dma_latency;
   return plan;
 }
 
 double overlap_cycles(const TilePlan& plan, double compute_cycles,
-                      bool double_buffer) {
+                      bool double_buffer, bool weights_warm) {
+  const double dma = weights_warm ? plan.dma_cycles_warm : plan.dma_cycles;
+  const double fill =
+      weights_warm ? plan.first_fill_cycles_warm : plan.first_fill_cycles;
   if (double_buffer) {
-    return plan.first_fill_cycles + std::max(compute_cycles, plan.dma_cycles);
+    return fill + std::max(compute_cycles, dma);
   }
-  return plan.dma_cycles + compute_cycles;
+  return dma + compute_cycles;
 }
 
 }  // namespace spikestream::kernels

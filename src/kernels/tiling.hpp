@@ -31,6 +31,21 @@ struct TilePlan {
   double dma_bytes = 0;    ///< total bytes moved for the layer (one image)
   double dma_cycles = 0;   ///< total DMA busy cycles
   double first_fill_cycles = 0;  ///< initial load before compute can start
+
+  // --- batch-level weight-tile reuse (RunOptions::batch_weight_reuse) -------
+  // Weight tiles pinned in SPM survive between consecutive batch samples on
+  // the same cluster, so warm samples skip their DMA refetch. Two regimes:
+  // fully resident (the whole set fits single-buffered — pinned tiles need
+  // no double buffer — next to a re-searched ifmap stripe), or partially
+  // pinned (the cold plan's SPM slack holds some of the streamed tiles).
+  // The warm numbers below are the steady state of samples 2..B; cold
+  // samples always use the plain ones.
+
+  bool weights_spm_resident = false;   ///< whole weight set pinned
+  double pinned_weight_fraction = 0;   ///< of the weight tiles, pinned part
+  double dma_bytes_warm = 0;           ///< dma_bytes with pinned tiles warm
+  double dma_cycles_warm = 0;
+  double first_fill_cycles_warm = 0;
 };
 
 /// Plan a conv/FC layer. `ifmap_actual_bytes` / `ofmap_actual_bytes` are the
@@ -48,7 +63,9 @@ TilePlan plan_encode_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
 
 /// Combine a compute-critical-path with the DMA timeline: with double
 /// buffering only the first fill is exposed; without it, transfers serialize.
+/// `weights_warm` selects the batch-reuse DMA timeline (weights already
+/// resident in SPM from the previous sample — see TilePlan).
 double overlap_cycles(const TilePlan& plan, double compute_cycles,
-                      bool double_buffer = true);
+                      bool double_buffer = true, bool weights_warm = false);
 
 }  // namespace spikestream::kernels

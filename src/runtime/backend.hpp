@@ -66,6 +66,13 @@ struct BackendConfig {
   /// pool (false = deterministic serial loop, useful for debugging; results
   /// are bit-identical either way).
   bool shard_threads = true;
+  /// ShardedBackend: host-side fan-out cutoff. A layer with fewer output
+  /// elements than this executes its shards serially on the submitting
+  /// thread even in pooled mode — for small layers the pool handoff and
+  /// worker wakeups cost more host time than the shard work itself (the
+  /// sharded-4 regression in BENCH_host.json). Modeled timing and spikes
+  /// are bit-identical either way; only host wall-clock changes.
+  int shard_min_work = 32 * 1024;
   /// ShardedBackend: how layers are split across clusters (see
   /// kernels/partition.hpp). The default reproduces the historical
   /// output-channel tiling exactly.
@@ -92,6 +99,14 @@ struct BackendConfig {
 /// tests/test_cost_cache.cpp pins it at <30% per layer and <15% end-to-end
 /// on representative workloads. Use exact mode when cycle counts must be
 /// input-faithful.
+///
+/// Storage is a fixed-capacity open-addressed table whose entries pre-
+/// reserve their per-core cycle vectors at construction, so *both* the hit
+/// path and the insert path are heap-allocation-free — a steady-state miss
+/// (a genuinely new occupancy bucket) fills a pre-sized slot instead of
+/// growing a node-based map (tests/test_scratch_reuse.cpp pins this with the
+/// operator-new hook). A full table stops accepting inserts; cached keys
+/// keep hitting.
 class CostMemo {
  public:
   struct Value {
@@ -99,8 +114,10 @@ class CostMemo {
     kernels::TilePlan plan;
   };
 
-  /// (layer signature, input bucket, output bucket).
+  /// (salted layer signature, input bucket, output bucket).
   using Key = std::tuple<std::uint64_t, long, long>;
+
+  CostMemo();
 
   /// Build the memo key for one layer run. Stateful: the memo tracks a
   /// per-layer exponential moving average of the input/output occupancies
@@ -108,9 +125,11 @@ class CostMemo {
   /// occupancies that jitter around a bucket edge (the dominant miss source
   /// on small nets) stop alternating between two keys. The snap band is
   /// tighter than the bucket width, so the worst-case deviation stays inside
-  /// the bound tests/test_cost_cache.cpp pins.
+  /// the bound tests/test_cost_cache.cpp pins. `salt` splits the key space
+  /// for run modes whose timing differs at equal occupancy (batch-level
+  /// weight-tile reuse salts warm runs).
   Key make_key(const snn::LayerSpec& spec, std::size_t in_nnz,
-               std::size_t out_nnz) const;
+               std::size_t out_nnz, std::uint64_t salt = 0) const;
 
   /// On hit, copies the cached stats/plan into `run` (reusing its buffer
   /// capacity) and returns true.
@@ -128,10 +147,22 @@ class CostMemo {
     double in = -1.0;
     double out = -1.0;
   };
+  struct Slot {
+    bool used = false;
+    Key key{};
+    Value value;
+  };
+
   long snapped_bucket(double& ema, std::size_t nnz) const;
+  /// Probe start + step for a key (capacity is a power of two).
+  std::size_t probe_start(const Key& key) const;
+  /// Find the slot holding `key`, or the empty slot it would go to; null
+  /// when the probe chain is exhausted (table effectively full). Requires
+  /// mu_ held.
+  Slot* find_slot(const Key& key) const;
 
   mutable std::mutex mu_;
-  std::map<Key, Value> cache_;
+  mutable std::vector<Slot> slots_;  ///< fixed capacity, pre-reserved values
   mutable std::map<std::uint64_t, Ema> ema_;
   mutable std::atomic<std::size_t> hits_{0};
   mutable std::atomic<std::size_t> misses_{0};
@@ -157,12 +188,14 @@ class ExecutionBackend {
 
   /// Pre-size the per-layer scratch arenas of a freshly built NetworkState
   /// for this backend's execution shape (e.g. one shard lane per planned
-  /// cluster), so even the first run fans out without growing vectors.
+  /// cluster), so even the first run fans out without growing vectors. The
+  /// base implementation reserves the occupancy-dependent buffers (the CSR
+  /// index arena, the hoisted weight-row pointer list) for each layer's
+  /// zero-sparsity worst case: steady-state execution then stays allocation-
+  /// free even when a late timestep pushes occupancy to a new maximum.
+  /// Overrides should call it before adding their own shaping.
   virtual void presize_state(snn::NetworkState& state,
-                             const snn::Network& net) const {
-    (void)state;
-    (void)net;
-  }
+                             const snn::Network& net) const;
 
   const kernels::RunOptions& options() const { return opt_; }
 

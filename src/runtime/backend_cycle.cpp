@@ -38,8 +38,35 @@ std::vector<std::uint16_t> rand_idcs(int n, std::uint64_t seed) {
   return v;
 }
 
-long bucket_of(double len) {
-  return std::clamp(static_cast<long>(std::lround(len)), 1L, 256L);
+// Logarithmic length grid shared by every ratio cache: ~12% granularity (6
+// buckets per octave). bucket_index() maps a requested length onto the grid;
+// bucket_length() is the representative length the calibration run replays —
+// a pure function of the request, so ratios are independent of lookup order.
+constexpr double kBucketsPerOctave = 6.0;
+
+std::size_t bucket_index(double len, double lo, double hi) {
+  const double x = std::clamp(len, lo, hi);
+  const double base = std::log2(lo) * kBucketsPerOctave;
+  return static_cast<std::size_t>(
+      std::lround(std::log2(x) * kBucketsPerOctave - base));
+}
+
+long bucket_length(std::size_t idx, double lo, double hi) {
+  const double base = std::log2(lo) * kBucketsPerOctave;
+  const double len =
+      std::exp2((static_cast<double>(idx) + base) / kBucketsPerOctave);
+  return std::clamp(static_cast<long>(std::lround(len)),
+                    static_cast<long>(lo), static_cast<long>(hi));
+}
+
+std::size_t sparse_bucket(double len) { return bucket_index(len, 1, 256); }
+long sparse_bucket_length(std::size_t idx) { return bucket_length(idx, 1, 256); }
+
+std::size_t dense_bucket(double len) { return bucket_index(len, 8, 4096); }
+long dense_bucket_length(std::size_t idx) {
+  long b = bucket_length(idx, 8, 4096);
+  b += b & 1;  // the 2-accumulator ISS dot requires an even length
+  return b;
 }
 
 }  // namespace
@@ -47,13 +74,42 @@ long bucket_of(double len) {
 CycleAccurateBackend::CycleAccurateBackend(const kernels::RunOptions& opt,
                                            int sample_spvas, bool memoize_cost)
     : AnalyticalBackend(opt, memoize_cost),
-      sample_spvas_(std::max(4, sample_spvas)) {}
+      sample_spvas_(std::max(4, sample_spvas)) {
+  sparse_cache_.fill(-1.0);
+  dense_cache_.fill(-1.0);
+  dense_no_tc_cache_.fill(-1.0);
+  baseline_dense_cache_.fill(-1.0);
+}
+
+void CycleAccurateBackend::prepare(const snn::Network& net) const {
+  (void)net;  // grid bounds are workload-independent
+  // Calibrate by bucket *index*, not by representative length: several low
+  // indices share a rounded representative length, so a length-driven loop
+  // would leave those slots cold and steady-state requests landing on them
+  // would still calibrate (and allocate) lazily. Sparse SpVA ratios cover
+  // every variant's conv/FC path; the dense grids are only reachable from
+  // specific variants — skip the unreachable ones.
+  for (std::size_t i = 0; i < kSparseBuckets; ++i) sparse_ratio_bucket(i);
+  for (std::size_t i = 0; i < kDenseBuckets; ++i) {
+    if (opt_.variant == kernels::Variant::kBaseline) {
+      baseline_dense_ratio_bucket(i);
+    } else {
+      dense_ratio_bucket(i);
+    }
+    if (opt_.variant == kernels::Variant::kDenseNoTc) {
+      dense_no_tc_ratio_bucket(i);
+    }
+  }
+}
 
 double CycleAccurateBackend::sparse_ratio(double len) const {
-  const long b = bucket_of(len);
+  return sparse_ratio_bucket(sparse_bucket(len));
+}
+
+double CycleAccurateBackend::sparse_ratio_bucket(std::size_t idx) const {
+  const long b = sparse_bucket_length(idx);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = sparse_cache_.find(b);
-  if (it != sparse_cache_.end()) return it->second;
+  if (sparse_cache_[idx] >= 0) return sparse_cache_[idx];
 
   const kernels::CostParams& p = opt_.cost;
   auto cl = calibration_cluster();
@@ -83,17 +139,18 @@ double CycleAccurateBackend::sparse_ratio(double len) const {
   }
   const double ratio =
       std::clamp(modeled > 0 ? measured / modeled : 1.0, kRatioLo, kRatioHi);
-  sparse_cache_.emplace(b, ratio);
+  sparse_cache_[idx] = ratio;
   return ratio;
 }
 
 double CycleAccurateBackend::dense_ratio(double len) const {
-  // Round to even: the 2-accumulator ISS dot requires an even length.
-  long b = std::clamp(static_cast<long>(std::lround(len)), 8L, 4096L);
-  b += b & 1;
+  return dense_ratio_bucket(dense_bucket(len));
+}
+
+double CycleAccurateBackend::dense_ratio_bucket(std::size_t idx) const {
+  const long b = dense_bucket_length(idx);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = dense_cache_.find(b);
-  if (it != dense_cache_.end()) return it->second;
+  if (dense_cache_[idx] >= 0) return dense_cache_[idx];
 
   const kernels::CostParams& p = opt_.cost;
   auto cl = calibration_cluster();
@@ -105,7 +162,7 @@ double CycleAccurateBackend::dense_ratio(double len) const {
   const double ratio = std::clamp(
       modeled > 0 ? static_cast<double>(r.cycles) / modeled : 1.0, kRatioLo,
       kRatioHi);
-  dense_cache_.emplace(b, ratio);
+  dense_cache_[idx] = ratio;
   return ratio;
 }
 
@@ -117,11 +174,13 @@ double CycleAccurateBackend::dense_no_tc_ratio(double len) const {
   // layer model optimistically charges it at the fadd II; the ISS twin
   // surfaces the real single-accumulator fmadd II, instead of the silent
   // ratio of 1.0 this variant used to get.
-  long b = std::clamp(static_cast<long>(std::lround(len)), 8L, 4096L);
-  b += b & 1;
+  return dense_no_tc_ratio_bucket(dense_bucket(len));
+}
+
+double CycleAccurateBackend::dense_no_tc_ratio_bucket(std::size_t idx) const {
+  const long b = dense_bucket_length(idx);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = dense_no_tc_cache_.find(b);
-  if (it != dense_no_tc_cache_.end()) return it->second;
+  if (dense_no_tc_cache_[idx] >= 0) return dense_no_tc_cache_[idx];
 
   const kernels::CostParams& p = opt_.cost;
   auto cl = calibration_cluster();
@@ -133,16 +192,19 @@ double CycleAccurateBackend::dense_no_tc_ratio(double len) const {
   const double ratio = std::clamp(
       modeled > 0 ? static_cast<double>(r.cycles) / modeled : 1.0, kRatioLo,
       kRatioHi);
-  dense_no_tc_cache_.emplace(b, ratio);
+  dense_no_tc_cache_[idx] = ratio;
   return ratio;
 }
 
 double CycleAccurateBackend::baseline_dense_ratio(double len) const {
-  long b = std::clamp(static_cast<long>(std::lround(len)), 8L, 4096L);
-  b += b & 1;
+  return baseline_dense_ratio_bucket(dense_bucket(len));
+}
+
+double CycleAccurateBackend::baseline_dense_ratio_bucket(
+    std::size_t idx) const {
+  const long b = dense_bucket_length(idx);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = baseline_dense_cache_.find(b);
-  if (it != baseline_dense_cache_.end()) return it->second;
+  if (baseline_dense_cache_[idx] >= 0) return baseline_dense_cache_[idx];
 
   const kernels::CostParams& p = opt_.cost;
   auto cl = calibration_cluster();
@@ -154,7 +216,7 @@ double CycleAccurateBackend::baseline_dense_ratio(double len) const {
   const double ratio = std::clamp(
       modeled > 0 ? static_cast<double>(r.cycles) / modeled : 1.0, kRatioLo,
       kRatioHi);
-  baseline_dense_cache_.emplace(b, ratio);
+  baseline_dense_cache_[idx] = ratio;
   return ratio;
 }
 
@@ -165,8 +227,11 @@ void CycleAccurateBackend::retime(kernels::LayerRun& run, double ratio) const {
   st.compute_cycles =
       warmup + std::max(0.0, st.compute_cycles - warmup) * ratio;
   for (double& c : st.core_cycles) c *= ratio;
-  st.cycles =
-      kernels::overlap_cycles(run.plan, st.compute_cycles, opt_.double_buffer);
+  // dma_saved_bytes > 0 marks a batch-reuse warm run: re-derive the overlap
+  // from the same (weight-free) DMA timeline the analytical pass charged.
+  st.cycles = kernels::overlap_cycles(run.plan, st.compute_cycles,
+                                      opt_.double_buffer,
+                                      st.dma_saved_bytes > 0);
 }
 
 const kernels::LayerRun& CycleAccurateBackend::run_conv(

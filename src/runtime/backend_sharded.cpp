@@ -65,10 +65,11 @@ ShardedBackend::ShardedBackend(const kernels::RunOptions& opt, int clusters,
                                bool use_threads,
                                kernels::PartitionStrategy strategy,
                                const arch::NocParams& noc,
-                               std::shared_ptr<WorkerPool> pool)
+                               std::shared_ptr<WorkerPool> pool, int min_work)
     : ExecutionBackend(opt),
       clusters_(std::max(1, clusters)),
       threads_(use_threads),
+      min_work_(std::max(0, min_work)),
       partitioner_(opt, std::max(1, clusters), strategy),
       noc_(noc),
       pool_(std::move(pool)) {
@@ -116,10 +117,25 @@ void ShardedBackend::prepare(const snn::Network& net) const {
 
 void ShardedBackend::presize_state(snn::NetworkState& state,
                                    const snn::Network& net) const {
+  ExecutionBackend::presize_state(state, net);  // worst-case main arenas
   for (std::size_t l = 0; l < net.num_layers(); ++l) {
-    const kernels::LayerPlan& plan = plan_for(net.layer(l));
-    if (plan.n() > 1 && state.scratch(l).lanes.size() < plan.n()) {
-      state.scratch(l).lanes.resize(plan.n());
+    const snn::LayerSpec& spec = net.layer(l);
+    const kernels::LayerPlan& plan = plan_for(spec);
+    if (plan.n() <= 1) continue;
+    kernels::LayerScratch& scratch = state.scratch(l);
+    if (scratch.lanes.size() < plan.n()) scratch.lanes.resize(plan.n());
+    for (std::size_t s = 0; s < plan.n(); ++s) {
+      kernels::ShardLane& lane = scratch.lanes[s];
+      lane.ks.rows.reserve(spec.fan_in());
+      if (plan.axis == kernels::ShardAxis::kIfmapStripe) {
+        // Halo'd input stripe, zero-sparsity worst case.
+        const std::size_t in_rows =
+            static_cast<std::size_t>(plan.shards[s].extent() + spec.k - 1);
+        const std::size_t positions =
+            in_rows * static_cast<std::size_t>(spec.in_w);
+        lane.csr.reserve(positions,
+                         positions * static_cast<std::size_t>(spec.in_c));
+      }
     }
   }
 }
@@ -163,9 +179,20 @@ const snn::LayerWeights& ShardedBackend::shard_weights(
   return weight_cache_.insert_or_assign(key, std::move(sub)).first->second;
 }
 
+bool ShardedBackend::pool_worthwhile(const snn::LayerSpec& spec) const {
+  // Output elements approximate the per-layer host work (functional pass +
+  // merge are both O(out elements)); below the cutoff the pool handoff and
+  // worker wakeups dominate, so the submitting thread runs the shards
+  // itself. Simulated timing still models `clusters_` parallel clusters.
+  const double elems = static_cast<double>(spec.out_h()) * spec.out_w() *
+                       static_cast<double>(spec.out_c);
+  return elems >= static_cast<double>(min_work_);
+}
+
 void ShardedBackend::for_shards(
-    std::size_t n, common::FunctionRef<void(std::size_t)> fn) const {
-  if (!threads_ || pool_ == nullptr || n <= 1) {
+    std::size_t n, bool pooled,
+    common::FunctionRef<void(std::size_t)> fn) const {
+  if (!pooled || !threads_ || pool_ == nullptr || n <= 1) {
     for (std::size_t s = 0; s < n; ++s) fn(s);
     return;
   }
@@ -237,7 +264,7 @@ const kernels::LayerRun& ShardedBackend::run_channel_sharded(
         kernel) const {
   const std::size_t n = plan.n();
   if (scratch.lanes.size() < n) scratch.lanes.resize(n);
-  for_shards(n, [&](std::size_t s) {
+  for_shards(n, pool_worthwhile(spec), [&](std::size_t s) {
     const kernels::ShardRange r = plan.shards[s];
     kernels::ShardLane& lane = scratch.lanes[s];
     snn::LayerSpec sub = spec;
@@ -276,7 +303,7 @@ const kernels::LayerRun& ShardedBackend::run_stripe_conv(
     snn::Tensor& membrane, kernels::LayerScratch& scratch) const {
   const std::size_t n = plan.n();
   if (scratch.lanes.size() < n) scratch.lanes.resize(n);
-  for_shards(n, [&](std::size_t s) {
+  for_shards(n, pool_worthwhile(spec), [&](std::size_t s) {
     const kernels::ShardRange r = plan.shards[s];
     kernels::ShardLane& lane = scratch.lanes[s];
     snn::LayerSpec sub = spec;
@@ -308,7 +335,7 @@ const kernels::LayerRun& ShardedBackend::run_stripe_encode(
   if (scratch.lanes.size() < n) scratch.lanes.resize(n);
   const double px_bytes = static_cast<double>(common::fp_bytes(opt_.fmt)) *
                           spec.in_w * spec.in_c;
-  for_shards(n, [&](std::size_t s) {
+  for_shards(n, pool_worthwhile(spec), [&](std::size_t s) {
     const kernels::ShardRange r = plan.shards[s];
     kernels::ShardLane& lane = scratch.lanes[s];
     snn::LayerSpec sub = spec;
@@ -343,7 +370,7 @@ const kernels::LayerRun& ShardedBackend::run_fc_fanin(
 
   const std::size_t n = plan.n();
   if (scratch.lanes.size() < n) scratch.lanes.resize(n);
-  for_shards(n, [&](std::size_t s) {
+  for_shards(n, pool_worthwhile(spec), [&](std::size_t s) {
     kernels::fc_fanin_shard_timing(spec, ifmap, plan.shards[s].lo,
                                    plan.shards[s].hi, opt_,
                                    scratch.lanes[s].ks);

@@ -45,13 +45,16 @@ class ShardedBackend : public ExecutionBackend {
  public:
   /// `pool` = null creates a private pool sized for `clusters` (when
   /// `use_threads`); passing the engine's pool shares one set of threads
-  /// between shard fan-out and batch-sample fan-out.
+  /// between shard fan-out and batch-sample fan-out. Layers with fewer
+  /// output elements than `min_work` run their shards on the submitting
+  /// thread even in pooled mode (host-side cutoff, bit-identical results).
   ShardedBackend(const kernels::RunOptions& opt, int clusters,
                  bool use_threads = true,
                  kernels::PartitionStrategy strategy =
                      kernels::PartitionStrategy::kOutputChannel,
                  const arch::NocParams& noc = {},
-                 std::shared_ptr<WorkerPool> pool = nullptr);
+                 std::shared_ptr<WorkerPool> pool = nullptr,
+                 int min_work = 32 * 1024);
 
   const char* name() const override { return "sharded"; }
   int num_clusters() const override { return clusters_; }
@@ -106,8 +109,13 @@ class ShardedBackend : public ExecutionBackend {
   const snn::LayerWeights& shard_weights(const snn::LayerWeights& w, int lo,
                                          int hi) const;
 
-  /// Run `fn(shard_index)` for every shard, on the pool or serially.
-  void for_shards(std::size_t n,
+  /// True when `spec` is big enough for pool fan-out to beat its handoff
+  /// overhead (the per-shard minimum-work cutoff).
+  bool pool_worthwhile(const snn::LayerSpec& spec) const;
+
+  /// Run `fn(shard_index)` for every shard — on the pool when `pooled`,
+  /// serially otherwise (bit-identical either way).
+  void for_shards(std::size_t n, bool pooled,
                   common::FunctionRef<void(std::size_t)> fn) const;
 
   /// Merge per-shard stats into `merged` (wall-clock max / activity sum),
@@ -168,6 +176,7 @@ class ShardedBackend : public ExecutionBackend {
 
   int clusters_;
   bool threads_;
+  int min_work_;  ///< output elements below which fan-out stays serial
   kernels::Partitioner partitioner_;
   arch::NocParams noc_;
   std::shared_ptr<WorkerPool> pool_;

@@ -95,88 +95,99 @@ void InferenceEngine::run_events(const snn::SpikeMap& events,
   run_impl(nullptr, &events, state, out);
 }
 
+void InferenceEngine::begin_sample(InferenceResult& out) const {
+  out.layers.resize(net_.num_layers());
+  out.total_cycles = 0;
+  out.total_energy_mj = 0;
+}
+
+const snn::SpikeMap* InferenceEngine::run_layer(std::size_t l,
+                                                const snn::Tensor* image,
+                                                const snn::SpikeMap* carry,
+                                                snn::NetworkState& state,
+                                                InferenceResult& out) const {
+  SPK_CHECK(state.num_layers() == net_.num_layers(),
+            "NetworkState does not match this network (use make_state())");
+  const kernels::RunOptions& opt = backend_->options();
+  const snn::LayerSpec& spec = net_.layer(l);
+  const snn::LayerWeights& w = net_.weights(l);
+  snn::Tensor& membrane = state.membrane(l);
+  kernels::LayerScratch& scratch = state.scratch(l);
+  LayerMetrics& m = out.layers[l];
+  m.name = spec.name;
+
+  const kernels::LayerRun* lr = nullptr;
+  if (spec.kind == snn::LayerKind::kEncodeConv) {
+    SPK_CHECK(image != nullptr, "encode layer needs a dense image input");
+    snn::Reference::pad_dense_into(*image, (spec.in_h - image->h) / 2,
+                                   scratch.padded);
+    lr = &backend_->run_encode(spec, w, scratch.padded, membrane, scratch);
+    // Layer-1 ifmap is a dense RGB tensor: report its dense HWC size as
+    // "ours" and the event-per-pixel AER equivalent as the AER column.
+    const double px = static_cast<double>(spec.in_h) * spec.in_w * spec.in_c;
+    m.csr_bytes = px * common::fp_bytes(opt.fmt);
+    m.aer_bytes = px * 8.0;
+    m.in_firing_rate = 1.0;
+  } else {
+    SPK_CHECK(carry != nullptr, "layer " << spec.name << ": no input");
+    compress::CsrIfmap& csr = scratch.csr;
+    compress::CsrIfmap::encode_into(*carry, csr);
+    // Footprints and firing rates come straight from the CSR counts — the
+    // AER event list is never materialized on the hot path.
+    m.csr_bytes = static_cast<double>(csr.footprint_bytes());
+    m.aer_bytes = static_cast<double>(compress::AerEvents::footprint_from_count(
+        csr.nnz(), spec.kind != snn::LayerKind::kFc));
+    m.in_firing_rate =
+        carry->size() ? static_cast<double>(csr.nnz()) /
+                            static_cast<double>(carry->size())
+                      : 0.0;
+    if (spec.kind == snn::LayerKind::kConv) {
+      lr = &backend_->run_conv(spec, w, csr, membrane, scratch);
+    } else {
+      lr = &backend_->run_fc(spec, w, csr, membrane, scratch);
+    }
+  }
+
+  m.out_firing_rate =
+      lr->out_spikes.size() ? static_cast<double>(lr->out_nnz) /
+                                  static_cast<double>(lr->out_spikes.size())
+                            : 0.0;
+  m.stats = lr->stats;
+  m.energy = arch::compute_energy(energy_, lr->stats.to_activity(), opt.fmt);
+  m.power_w = arch::average_power_w(energy_, lr->stats.to_activity(), opt.fmt);
+  out.total_cycles += lr->stats.cycles;
+  out.total_energy_mj += m.energy.total_mj();
+
+  // Route spikes to the next layer exactly like the reference, through the
+  // scratch-owned pool/pad/flatten buffers.
+  const snn::SpikeMap* next = &lr->out_spikes;
+  if (spec.pool_after) {
+    snn::or_pool2_into(*next, scratch.pooled);
+    next = &scratch.pooled;
+  }
+  if (l + 1 < net_.num_layers()) {
+    if (net_.layer(l + 1).kind == snn::LayerKind::kFc) {
+      snn::flatten_into(*next, scratch.routed);
+    } else {
+      snn::pad_into(*next, spec.pad_next, scratch.routed);
+    }
+    return &scratch.routed;
+  }
+  out.final_output = lr->out_spikes;
+  return nullptr;
+}
+
 void InferenceEngine::run_impl(const snn::Tensor* image,
                                const snn::SpikeMap* events,
                                snn::NetworkState& state,
                                InferenceResult& out) const {
-  SPK_CHECK(state.num_layers() == net_.num_layers(),
-            "NetworkState does not match this network (use make_state())");
-  const kernels::RunOptions& opt = backend_->options();
-  out.layers.resize(net_.num_layers());
-  out.total_cycles = 0;
-  out.total_energy_mj = 0;
-
+  begin_sample(out);
   // Spikes flowing into the next layer. Points at the previous layer's
   // `routed` scratch buffer (or the caller's event map for layer 0), so the
   // carry is never copied.
   const snn::SpikeMap* carry = events;
   for (std::size_t l = 0; l < net_.num_layers(); ++l) {
-    const snn::LayerSpec& spec = net_.layer(l);
-    const snn::LayerWeights& w = net_.weights(l);
-    snn::Tensor& membrane = state.membrane(l);
-    kernels::LayerScratch& scratch = state.scratch(l);
-    LayerMetrics& m = out.layers[l];
-    m.name = spec.name;
-
-    const kernels::LayerRun* lr = nullptr;
-    if (spec.kind == snn::LayerKind::kEncodeConv) {
-      SPK_CHECK(image != nullptr, "encode layer needs a dense image input");
-      snn::Reference::pad_dense_into(*image, (spec.in_h - image->h) / 2,
-                                     scratch.padded);
-      lr = &backend_->run_encode(spec, w, scratch.padded, membrane, scratch);
-      // Layer-1 ifmap is a dense RGB tensor: report its dense HWC size as
-      // "ours" and the event-per-pixel AER equivalent as the AER column.
-      const double px = static_cast<double>(spec.in_h) * spec.in_w * spec.in_c;
-      m.csr_bytes = px * common::fp_bytes(opt.fmt);
-      m.aer_bytes = px * 8.0;
-      m.in_firing_rate = 1.0;
-    } else {
-      SPK_CHECK(carry != nullptr, "layer " << spec.name << ": no input");
-      compress::CsrIfmap& csr = scratch.csr;
-      compress::CsrIfmap::encode_into(*carry, csr);
-      // Footprints and firing rates come straight from the CSR counts — the
-      // AER event list is never materialized on the hot path.
-      m.csr_bytes = static_cast<double>(csr.footprint_bytes());
-      m.aer_bytes = static_cast<double>(compress::AerEvents::footprint_from_count(
-          csr.nnz(), spec.kind != snn::LayerKind::kFc));
-      m.in_firing_rate =
-          carry->size() ? static_cast<double>(csr.nnz()) /
-                              static_cast<double>(carry->size())
-                        : 0.0;
-      if (spec.kind == snn::LayerKind::kConv) {
-        lr = &backend_->run_conv(spec, w, csr, membrane, scratch);
-      } else {
-        lr = &backend_->run_fc(spec, w, csr, membrane, scratch);
-      }
-    }
-
-    m.out_firing_rate =
-        lr->out_spikes.size() ? static_cast<double>(lr->out_nnz) /
-                                    static_cast<double>(lr->out_spikes.size())
-                              : 0.0;
-    m.stats = lr->stats;
-    m.energy = arch::compute_energy(energy_, lr->stats.to_activity(), opt.fmt);
-    m.power_w = arch::average_power_w(energy_, lr->stats.to_activity(), opt.fmt);
-    out.total_cycles += lr->stats.cycles;
-    out.total_energy_mj += m.energy.total_mj();
-
-    // Route spikes to the next layer exactly like the reference, through the
-    // scratch-owned pool/pad/flatten buffers.
-    const snn::SpikeMap* next = &lr->out_spikes;
-    if (spec.pool_after) {
-      snn::or_pool2_into(*next, scratch.pooled);
-      next = &scratch.pooled;
-    }
-    if (l + 1 < net_.num_layers()) {
-      if (net_.layer(l + 1).kind == snn::LayerKind::kFc) {
-        snn::flatten_into(*next, scratch.routed);
-      } else {
-        snn::pad_into(*next, spec.pad_next, scratch.routed);
-      }
-      carry = &scratch.routed;
-    } else {
-      out.final_output = lr->out_spikes;
-    }
+    carry = run_layer(l, image, carry, state, out);
   }
 }
 

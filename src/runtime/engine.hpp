@@ -89,6 +89,23 @@ class InferenceEngine {
   void run_events(const snn::SpikeMap& events, snn::NetworkState& state,
                   InferenceResult& out) const;
 
+  // --- per-layer stepping API (pipeline executor) ---------------------------
+  // One timestep can be driven layer by layer instead of through run():
+  // begin_sample() sizes `out`, then run_layer(l, ...) executes layer l and
+  // returns the spike map the next layer consumes (null after the last
+  // layer, whose raw output went to out.final_output). `carry` must be the
+  // pointer returned by the previous run_layer call — for layer 0 the
+  // caller's event map, or null on encode-first networks. The carry aliases
+  // buffers inside `state`'s layer-l scratch, so different samples may step
+  // concurrently as long as each uses its own (state, out) pair — the
+  // property runtime/pipeline.hpp builds its stage overlap on.
+
+  void begin_sample(InferenceResult& out) const;
+  const snn::SpikeMap* run_layer(std::size_t l, const snn::Tensor* image,
+                                 const snn::SpikeMap* carry,
+                                 snn::NetworkState& state,
+                                 InferenceResult& out) const;
+
   /// Fresh zeroed membrane state shaped for this engine's network, with the
   /// scratch arenas pre-sized for the backend's execution shape (one shard
   /// lane per planned cluster on the sharded backend).

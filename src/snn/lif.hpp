@@ -5,6 +5,7 @@
 // With v_rst = v_th this is the usual "soft reset by subtraction".
 #pragma once
 
+#include "common/simd.hpp"
 #include "snn/tensor.hpp"
 
 namespace spikestream::snn {
@@ -19,25 +20,16 @@ struct LifParams {
 /// One LIF timestep over a whole layer into a caller-owned spike buffer
 /// (scratch-arena reuse, zero allocations in steady state): integrates
 /// `current` into `membrane` (updated in place), writes the output spikes and
-/// returns how many neurons fired. Branchless so the loop vectorizes.
+/// returns how many neurons fired. Dispatches to the widest host SIMD tier
+/// available (common/simd.hpp); every tier computes v with a fused
+/// mem * alpha + (r * cur), so results are bit-identical across tiers.
 inline std::size_t lif_step_into(const LifParams& p, const Tensor& current,
                                  Tensor& membrane, SpikeMap& out) {
   SPK_CHECK(current.same_shape(membrane), "LIF shape mismatch");
   out.reshape(current.h, current.w, current.c);
-  std::size_t fired_total = 0;
-  const float* cur = current.v.data();
-  float* mem = membrane.v.data();
-  std::uint8_t* spikes = out.v.data();
-  const std::size_t n = current.v.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    float v = mem[i] * p.alpha + p.r * cur[i];
-    const bool fired = v >= p.v_th;
-    spikes[i] = fired;
-    v -= fired ? p.v_rst : 0.0f;
-    mem[i] = v;
-    fired_total += fired;
-  }
-  return fired_total;
+  return common::simd::lif_step(current.v.data(), membrane.v.data(),
+                                out.v.data(), current.v.size(), p.alpha, p.r,
+                                p.v_th, p.v_rst);
 }
 
 /// One LIF timestep over a whole layer: integrates `current` into `membrane`

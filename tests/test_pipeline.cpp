@@ -1,0 +1,173 @@
+// Pipelined batch executor (runtime/pipeline.hpp): spike outputs and modeled
+// cycles must be bit-identical to the serial BatchRunner for every pipeline
+// depth, backend and cluster count — the stage overlap may only change host
+// wall-clock. Plus a scratch-aliasing stress test (more samples than lanes,
+// repeated runs on one runner) and the batch-level weight-tile reuse
+// semantics that ride on the per-lane scratch.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/multistep.hpp"
+#include "runtime/pipeline.hpp"
+#include "snn/calibrate.hpp"
+#include "snn/input_gen.hpp"
+
+namespace {
+
+namespace rt = spikestream::runtime;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+namespace sc = spikestream::common;
+
+snn::Network test_net() {
+  snn::Network net = snn::Network::make_tiny(18, 3, 32, 10);
+  sc::Rng rng(42);
+  net.init_weights(rng);
+  const auto calib = snn::make_batch(4, 7, 16, 16, 3);
+  const std::vector<double> targets = {0.20, 0.15, 0.30};
+  snn::calibrate_thresholds(net, calib, targets);
+  return net;
+}
+
+void expect_equal_runs(const std::vector<rt::MultiStepResult>& a,
+                       const std::vector<rt::MultiStepResult>& b,
+                       const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spike_counts, b[i].spike_counts) << what << " sample " << i;
+    EXPECT_DOUBLE_EQ(a[i].total_cycles, b[i].total_cycles)
+        << what << " sample " << i;
+    EXPECT_EQ(a[i].cycles_per_step, b[i].cycles_per_step)
+        << what << " sample " << i;
+  }
+}
+
+}  // namespace
+
+TEST(Pipeline, ParityAcrossDepthsBackendsAndClusters) {
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(5, 99, 16, 16, 3);
+  k::RunOptions opt;
+
+  struct Case {
+    rt::BackendKind kind;
+    int clusters;
+    const char* label;
+  };
+  const Case cases[] = {
+      {rt::BackendKind::kAnalytical, 1, "analytical"},
+      {rt::BackendKind::kCycleAccurate, 1, "cycle-accurate"},
+      {rt::BackendKind::kSharded, 1, "sharded-1"},
+      {rt::BackendKind::kSharded, 4, "sharded-4"},
+      {rt::BackendKind::kSharded, 8, "sharded-8"},
+  };
+  for (const Case& c : cases) {
+    rt::BackendConfig cfg;
+    cfg.kind = c.kind;
+    cfg.clusters = c.clusters;
+    const rt::BatchRunner serial(net, opt, cfg, {}, /*workers=*/1);
+    const auto want = serial.run(images, /*timesteps=*/3);
+    for (const int depth : {1, 2, 4}) {
+      const rt::PipelinedBatchRunner pipe(net, opt, cfg, {}, depth);
+      const auto got = pipe.run(images, /*timesteps=*/3);
+      expect_equal_runs(want, got, c.label);
+    }
+  }
+}
+
+TEST(Pipeline, SingleStepKeepsFullPerLayerMetrics) {
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(4, 17, 16, 16, 3);
+  k::RunOptions opt;
+  const rt::BatchRunner serial(net, opt, {}, {}, /*workers=*/1);
+  const auto want = serial.run_single_step(images);
+  const rt::PipelinedBatchRunner pipe(net, opt, {}, {}, /*depth=*/2);
+  const auto got = pipe.run_single_step(images);
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].final_output.v, got[i].final_output.v) << i;
+    ASSERT_EQ(want[i].layers.size(), got[i].layers.size()) << i;
+    for (std::size_t l = 0; l < want[i].layers.size(); ++l) {
+      EXPECT_DOUBLE_EQ(want[i].layers[l].stats.cycles,
+                       got[i].layers[l].stats.cycles)
+          << "sample " << i << " layer " << l;
+      EXPECT_DOUBLE_EQ(want[i].layers[l].stats.fpu_ops,
+                       got[i].layers[l].stats.fpu_ops)
+          << "sample " << i << " layer " << l;
+    }
+  }
+}
+
+TEST(Pipeline, ScratchAliasingStress) {
+  // More samples than lanes, repeated runs on one runner (lane states and
+  // scratch arenas reused), odd depth vs sample-count combinations: every
+  // run must reproduce the serial outputs exactly.
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(7, 5, 16, 16, 3);
+  k::RunOptions opt;
+  const rt::BatchRunner serial(net, opt, {}, {}, /*workers=*/1);
+  const auto want = serial.run(images, /*timesteps=*/2);
+  for (const int depth : {2, 3, 5, 16}) {
+    const rt::PipelinedBatchRunner pipe(net, opt, {}, {}, depth);
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto got = pipe.run(images, /*timesteps=*/2);
+      expect_equal_runs(want, got, "stress");
+    }
+  }
+}
+
+TEST(Pipeline, DegenerateInputs) {
+  const snn::Network net = test_net();
+  k::RunOptions opt;
+  const rt::PipelinedBatchRunner pipe(net, opt, {}, {}, /*depth=*/2);
+  EXPECT_TRUE(pipe.run({}, 2).empty());
+  const auto images = snn::make_batch(2, 3, 16, 16, 3);
+  const auto zero_steps = pipe.run(images, 0);
+  ASSERT_EQ(zero_steps.size(), 2u);
+  EXPECT_EQ(zero_steps[0].argmax(), -1);
+  const auto one = pipe.run({images[0]}, 3);
+  rt::InferenceEngine eng(net, opt);
+  const auto want = rt::run_timesteps(eng, images[0], 3);
+  EXPECT_EQ(want.spike_counts, one[0].spike_counts);
+}
+
+TEST(Pipeline, BatchWeightReuseSavesDmaWithoutChangingSpikes) {
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(3, 77, 16, 16, 3);
+  k::RunOptions opt;
+  k::RunOptions reuse_opt = opt;
+  reuse_opt.batch_weight_reuse = true;
+
+  const rt::PipelinedBatchRunner cold(net, opt, {}, {}, /*depth=*/1);
+  const rt::PipelinedBatchRunner warm(net, reuse_opt, {}, {}, /*depth=*/1);
+  const auto cold_res = cold.run_single_step(images);
+  const auto warm_res = warm.run_single_step(images);
+  ASSERT_EQ(cold_res.size(), warm_res.size());
+
+  double saved = 0;
+  for (std::size_t i = 0; i < cold_res.size(); ++i) {
+    // Functional results are never affected by the DMA model.
+    EXPECT_EQ(cold_res[i].final_output.v, warm_res[i].final_output.v) << i;
+    for (std::size_t l = 0; l < cold_res[i].layers.size(); ++l) {
+      const auto& cs = cold_res[i].layers[l].stats;
+      const auto& ws = warm_res[i].layers[l].stats;
+      EXPECT_EQ(cs.dma_saved_bytes, 0.0) << "reuse off must not save";
+      saved += ws.dma_saved_bytes;
+      // Saved bytes are really gone from the transfer volume.
+      EXPECT_LE(ws.dma_bytes + ws.dma_saved_bytes, cs.dma_bytes + 1e-6)
+          << "sample " << i << " layer " << l;
+      EXPECT_LE(ws.cycles, cs.cycles + 1e-6) << "warm may only be faster";
+    }
+    if (i == 0) {
+      // Depth 1 runs samples in order: the very first sample is all cold.
+      EXPECT_EQ(saved, 0.0) << "first sample has no resident tiles";
+    }
+  }
+  EXPECT_GT(saved, 0.0) << "later samples must reuse resident weight tiles";
+  // Energy follows the reduced DMA traffic.
+  EXPECT_LT(warm_res[2].total_energy_mj, cold_res[2].total_energy_mj);
+}

@@ -122,3 +122,45 @@ TEST(Tiling, SmallerSpmForcesMoreTiles) {
   EXPECT_GE(small.weight_tiles, big.weight_tiles);
   EXPECT_LE(small.co_per_tile, big.co_per_tile);
 }
+
+TEST(Tiling, BatchAwareWarmPlanInvariants) {
+  // The warm (batch-reuse) numbers of every S-VGG11 layer plan must be
+  // consistent: warm DMA never exceeds cold, the pinned fraction is a
+  // fraction, full residency implies warm traffic = ifmap + ofmap only, and
+  // a zero fraction means warm == cold verbatim.
+  const snn::Network net = snn::Network::make_svgg11();
+  const k::CostParams p;
+  const double rates[] = {1.0, 0.10, 0.30, 0.22, 0.18, 0.10, 0.06, 0.04};
+  bool any_pinned = false;
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const auto& spec = net.layer(l);
+    k::TilePlan plan;
+    double if_bytes = 0, of_bytes = 4096.0;
+    if (spec.kind == snn::LayerKind::kEncodeConv) {
+      plan = k::plan_encode_layer(spec, sc::FpFormat::FP16, p);
+    } else {
+      if_bytes = csr_bytes_at_rate(spec, rates[l]);
+      plan = k::plan_layer(spec, sc::FpFormat::FP16, if_bytes, of_bytes, p);
+    }
+    EXPECT_GE(plan.pinned_weight_fraction, 0.0) << spec.name;
+    EXPECT_LE(plan.pinned_weight_fraction, 1.0) << spec.name;
+    EXPECT_LE(plan.dma_bytes_warm, plan.dma_bytes + 1e-9) << spec.name;
+    EXPECT_LE(plan.dma_cycles_warm, plan.dma_cycles + 1e-9) << spec.name;
+    EXPECT_LE(plan.first_fill_cycles_warm, plan.first_fill_cycles + 1e-9)
+        << spec.name;
+    if (plan.weights_spm_resident) {
+      EXPECT_DOUBLE_EQ(plan.pinned_weight_fraction, 1.0) << spec.name;
+      if (spec.kind != snn::LayerKind::kEncodeConv) {
+        EXPECT_DOUBLE_EQ(plan.dma_bytes_warm, if_bytes + of_bytes)
+            << spec.name;
+      }
+    }
+    if (plan.pinned_weight_fraction == 0.0) {
+      EXPECT_DOUBLE_EQ(plan.dma_bytes_warm, plan.dma_bytes) << spec.name;
+      EXPECT_DOUBLE_EQ(plan.dma_cycles_warm, plan.dma_cycles) << spec.name;
+    }
+    any_pinned = any_pinned || plan.pinned_weight_fraction > 0.0;
+  }
+  // At least the encode layer (weights resident by construction) pins.
+  EXPECT_TRUE(any_pinned);
+}
