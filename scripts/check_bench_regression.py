@@ -3,14 +3,21 @@
 
 Usage: check_bench_regression.py PREVIOUS.json CURRENT.json
            [--threshold 0.15] [--alloc-slack 0.5] [--require NAME ...]
+           [--dma-saved-floor MB] [--dma-threshold 0.10]
 
-Three checks, each per backend row (matched by name, every row checked —
-not just the best one):
+Checks, each per backend row (matched by name, every row checked — not just
+the best one):
   * samples/sec must not drop by more than --threshold (fractional);
   * steady_allocs_per_layer must not grow by more than --alloc-slack
     (absolute allocations per layer — the zero-allocation contract);
   * every --require NAME must be present in the current file (so a perf row
-    cannot silently disappear from the profile).
+    cannot silently disappear from the profile);
+  * rows carrying batch-DMA savings (name contains "batchreuse" or
+    "segmajor") must report steady-state dma_saved of at least
+    --dma-saved-floor MB/sample — the modeled saving is a product feature
+    and must not silently evaporate;
+  * whole-batch modeled DMA (dma_mb_per_sample) must not grow by more than
+    --dma-threshold on any row that reports it in both files.
 Backends present in only one file are reported but only fail when required.
 Exit codes: 0 = ok, 1 = regression, 2 = unusable input (missing/corrupt
 file) — CI treats 2 as a skip, not a failure, so the very first run of a
@@ -30,12 +37,24 @@ def load(path):
             b["name"]: {
                 "sps": float(b["samples_per_sec"]),
                 "allocs": float(b.get("steady_allocs_per_layer", 0.0)),
+                # dma_saved_mb_steady supersedes the flat per-sample figure
+                # (which conflated cold-start and steady-state lanes); fall
+                # back so old baselines keep comparing.
+                "saved": float(
+                    b.get("dma_saved_mb_steady",
+                          b.get("dma_saved_mb_per_sample", 0.0))),
+                "dma": (float(b["dma_mb_per_sample"])
+                        if "dma_mb_per_sample" in b else None),
             }
             for b in data["backends"]
         }
     except (OSError, ValueError, KeyError) as e:
         print(f"cannot read {path}: {e}")
         return None
+
+
+def wants_dma_floor(name):
+    return "batchreuse" in name or "segmajor" in name
 
 
 def main():
@@ -51,6 +70,13 @@ def main():
                     metavar="NAME",
                     help="backend row that must exist in CURRENT "
                          "(repeatable)")
+    ap.add_argument("--dma-saved-floor", type=float, default=0.0,
+                    metavar="MB",
+                    help="min steady-state dma_saved MB/sample on "
+                         "batchreuse/segmajor rows of CURRENT")
+    ap.add_argument("--dma-threshold", type=float, default=0.10,
+                    help="max allowed fractional growth in whole-batch "
+                         "modeled DMA per sample")
     args = ap.parse_args()
 
     prev = load(args.previous)
@@ -64,8 +90,18 @@ def main():
             failed.append(name)
             print(f"required backend missing from current: {name}")
 
+    if args.dma_saved_floor > 0.0:
+        for name, row in sorted(cur.items()):
+            if not wants_dma_floor(name):
+                continue
+            if row["saved"] < args.dma_saved_floor:
+                failed.append(name)
+                print(f"dma_saved floor: {name} reports "
+                      f"{row['saved']:.3f} MB/sample "
+                      f"< floor {args.dma_saved_floor:.3f}")
+
     print(f"{'backend':<22} {'prev s/s':>10} {'cur s/s':>10} {'delta':>8} "
-          f"{'prev a/l':>9} {'cur a/l':>9}")
+          f"{'prev a/l':>9} {'cur a/l':>9} {'prev MB':>8} {'cur MB':>8}")
     for name in sorted(set(prev) | set(cur)):
         if name not in prev or name not in cur:
             where = "current" if name in cur else "previous"
@@ -80,8 +116,15 @@ def main():
         if c["allocs"] > p["allocs"] + args.alloc_slack:
             failed.append(name)
             flags.append("<< ALLOC REGRESSION")
+        if (p["dma"] is not None and c["dma"] is not None and p["dma"] > 0
+                and c["dma"] > p["dma"] * (1.0 + args.dma_threshold)):
+            failed.append(name)
+            flags.append("<< DMA REGRESSION")
+        dma_prev = f"{p['dma']:.1f}" if p["dma"] is not None else "-"
+        dma_cur = f"{c['dma']:.1f}" if c["dma"] is not None else "-"
         print(f"{name:<22} {p['sps']:>10.1f} {c['sps']:>10.1f} {delta:>+7.1%} "
-              f"{p['allocs']:>9.3f} {c['allocs']:>9.3f}  {' '.join(flags)}")
+              f"{p['allocs']:>9.3f} {c['allocs']:>9.3f} {dma_prev:>8} "
+              f"{dma_cur:>8}  {' '.join(flags)}")
 
     if failed:
         print(f"\nbench regression on: {', '.join(sorted(set(failed)))}")

@@ -56,6 +56,10 @@ struct Activity {
   /// priced (the saving already shows as lower dma_bytes); carried so energy
   /// reports can state how much DMA traffic the reuse removed.
   double dma_saved_bytes = 0;
+  /// Partial-sum spill/fill traffic of the segment-major batched FC
+  /// schedule. A subset of dma_bytes (so it is already priced); carried so
+  /// reports can judge the weight-stream saving net of its spill cost.
+  double dma_spill_bytes = 0;
   double noc_bytes = 0;     ///< inter-cluster traffic (sharded runs)
 
   void accumulate(const Activity& o) {
@@ -67,6 +71,7 @@ struct Activity {
     ssr_elems += o.ssr_elems;
     dma_bytes += o.dma_bytes;
     dma_saved_bytes += o.dma_saved_bytes;
+    dma_spill_bytes += o.dma_spill_bytes;
     noc_bytes += o.noc_bytes;
   }
 };

@@ -22,9 +22,17 @@ struct KernelStats {
   double dma_bytes = 0;
   /// Weight-fetch DMA bytes this run skipped because the layer's weight tile
   /// was still SPM-resident from the previous batch sample (batch-level
-  /// weight-tile reuse, RunOptions::batch_weight_reuse). 0 on cold runs and
-  /// with reuse disabled; already excluded from `dma_bytes`.
+  /// weight-tile reuse, RunOptions::batch_weight_reuse), or because the
+  /// segment-major batched FC schedule streamed each weight band once for
+  /// the whole batch (RunOptions::segment_major_lanes — already net of the
+  /// spill traffic below). 0 otherwise; always excluded from `dma_bytes`.
   double dma_saved_bytes = 0;
+  /// Partial-sum spill/fill DMA traffic of the segment-major batched FC
+  /// schedule: accumulator slices of samples parked between weight bands
+  /// written to and re-read from DRAM. Included in `dma_bytes` (it is real
+  /// traffic, priced by the energy model like any DMA byte) and itemized
+  /// here so the weight-stream saving can be judged net of its cost.
+  double dma_bytes_spill = 0;
   /// Inter-cluster traffic (broadcast ifmap replicas, stripe halos, gathered
   /// ofmap slices, FC partial-sum reductions). 0 for single-cluster runs.
   double noc_bytes = 0;
@@ -49,6 +57,7 @@ struct KernelStats {
     a.ssr_elems = ssr_elems;
     a.dma_bytes = dma_bytes;
     a.dma_saved_bytes = dma_saved_bytes;
+    a.dma_spill_bytes = dma_bytes_spill;
     a.noc_bytes = noc_bytes;
     return a;
   }
@@ -59,6 +68,7 @@ struct KernelStats {
     cycles = compute_cycles = dma_cycles = 0;
     fpu_ops = fpu_mac_ops = int_instrs = tcdm_words = ssr_elems = dma_bytes = 0;
     dma_saved_bytes = 0;
+    dma_bytes_spill = 0;
     noc_bytes = 0;
     active_cores = 8;
     core_cycles.clear();
@@ -75,6 +85,7 @@ struct KernelStats {
     ssr_elems += o.ssr_elems;
     dma_bytes += o.dma_bytes;
     dma_saved_bytes += o.dma_saved_bytes;
+    dma_bytes_spill += o.dma_bytes_spill;
     noc_bytes += o.noc_bytes;
     active_cores = std::max(active_cores, o.active_cores);
   }
@@ -93,6 +104,7 @@ struct KernelStats {
     ssr_elems += o.ssr_elems;
     dma_bytes += o.dma_bytes;
     dma_saved_bytes += o.dma_saved_bytes;
+    dma_bytes_spill += o.dma_bytes_spill;
     noc_bytes += o.noc_bytes;
     active_cores += o.active_cores;
     core_cycles.insert(core_cycles.end(), o.core_cycles.begin(),

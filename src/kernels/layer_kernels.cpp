@@ -64,12 +64,28 @@ double access_rate(Variant v, const CostParams& p) {
 void finish_timing(const RunOptions& opt, KernelScratch& scratch) {
   LayerRun& run = scratch.run;
   KernelStats& st = run.stats;
+  if (run.plan.segment_major) {
+    // Segment-major batched FC schedule: every sample of the batch is
+    // charged the same amortized DMA timeline (weight bands / lanes + its
+    // own ifmap/ofmap/spill share), so the numbers do not depend on lane
+    // history — there is no warm/cold split to track. The saving is the
+    // per-sample weight re-stream the batch loop inversion removed, net of
+    // the spill traffic (which stays inside dma_bytes and is itemized).
+    st.dma_cycles = run.plan.sm_dma_cycles;
+    st.dma_bytes = run.plan.sm_dma_bytes;
+    st.dma_saved_bytes = run.plan.dma_bytes - run.plan.sm_dma_bytes;
+    st.dma_bytes_spill = run.plan.sm_spill_bytes;
+    st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
+    scratch.weights_warm = true;
+    return;
+  }
   const bool warm = opt.batch_weight_reuse && scratch.weights_warm &&
                     run.plan.pinned_weight_fraction > 0;
   st.dma_cycles = warm ? run.plan.dma_cycles_warm : run.plan.dma_cycles;
   st.dma_bytes = warm ? run.plan.dma_bytes_warm : run.plan.dma_bytes;
   st.dma_saved_bytes =
       warm ? run.plan.dma_bytes - run.plan.dma_bytes_warm : 0.0;
+  st.dma_bytes_spill = 0.0;
   st.cycles =
       overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer, warm);
   scratch.weights_warm = true;
@@ -274,6 +290,66 @@ void fc_functional(const snn::LayerSpec& spec, const snn::LayerWeights& weights,
       snn::lif_step_into(spec.lif, currents, membrane, scratch.run.out_spikes);
 }
 
+void fc_functional_batch(const snn::LayerSpec& spec,
+                         const snn::LayerWeights& weights,
+                         std::span<const FcBatchLane> lanes) {
+  const int out_c = spec.out_c;
+  const bool half = use_half_rows(weights, out_c);
+  const char* wbase = half
+                          ? reinterpret_cast<const char*>(weights.half.data())
+                          : reinterpret_cast<const char*>(weights.v.data());
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(out_c) *
+      (half ? sizeof(std::uint16_t) : sizeof(float));
+  for (const FcBatchLane& lane : lanes) {
+    SPK_CHECK(lane.ifmap->h() == 1 && lane.ifmap->w() == 1 &&
+                  lane.ifmap->c() == spec.in_c,
+              "fc " << spec.name << ": input shape mismatch");
+    snn::Tensor& currents = lane.scratch->main.currents;
+    currents.reshape(1, 1, out_c);
+    std::fill(currents.v.begin(), currents.v.end(), 0.0f);
+  }
+
+  // Band width sized so one band's weight rows stay hot in the host cache
+  // while every lane sweeps them (the host-side analogue of streaming the
+  // band into SPM once per batch). Bands partition the sorted CSR index
+  // space, so each lane's rows are still added in exactly the order its
+  // serial fc_functional call would use — bit-identical currents.
+  constexpr std::size_t kBandBytes = 32 * 1024;
+  const int band_rows = std::max<int>(
+      1, static_cast<int>(kBandBytes / std::max<std::size_t>(row_bytes, 1)));
+  // Per-lane position in its sorted index span. thread_local so the steady
+  // state reuses capacity (the batch call never nests or recurses); every
+  // other buffer lives in the lanes' own scratch arenas.
+  static thread_local std::vector<std::size_t> cursors;
+  cursors.assign(lanes.size(), 0);
+  for (int c_lo = 0; c_lo < spec.in_c; c_lo += band_rows) {
+    const std::uint16_t c_hi = static_cast<std::uint16_t>(
+        std::min<int>(spec.in_c, c_lo + band_rows));
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const auto span = lanes[i].ifmap->at(0, 0);
+      std::size_t& cur = cursors[i];
+      std::vector<const void*>& rows = lanes[i].scratch->main.rows;
+      rows.clear();
+      while (cur < span.size() && span[cur] < c_hi) {
+        rows.push_back(wbase +
+                       static_cast<std::size_t>(span[cur]) * row_bytes);
+        ++cur;
+      }
+      if (!rows.empty()) {
+        dispatch_add_rows(half, lanes[i].scratch->main.currents.v.data(),
+                          rows.data(), rows.size(), out_c);
+      }
+    }
+  }
+
+  for (const FcBatchLane& lane : lanes) {
+    KernelScratch& ks = lane.scratch->main;
+    ks.run.out_nnz = snn::lif_step_into(spec.lif, ks.currents, *lane.membrane,
+                                        ks.run.out_spikes);
+  }
+}
+
 void encode_functional(const snn::LayerSpec& spec,
                        const snn::LayerWeights& weights,
                        const snn::Tensor& padded_image, snn::Tensor& membrane,
@@ -405,7 +481,7 @@ void fc_timing(const snn::LayerSpec& spec, const compress::CsrIfmap& ifmap,
       spec, fmt, static_cast<double>(ifmap.footprint_bytes()),
       static_cast<double>(
           compress::CsrIfmap::footprint_from_count(run.out_nnz, 1, 1)),
-      p, 128.0 * 1024, opt.double_buffer);
+      p, 128.0 * 1024, opt.double_buffer, opt.segment_major_lanes);
 
   const int groups = n_groups(spec.out_c, fmt);
   const double s_total = static_cast<double>(ifmap.nnz());
@@ -578,7 +654,7 @@ void fc_fanin_shard_timing(const snn::LayerSpec& spec,
       sub, fmt,
       static_cast<double>(compress::CsrIfmap::footprint_from_count(
           static_cast<std::size_t>(s_total), 1, 1)),
-      0.0, p, 128.0 * 1024, opt.double_buffer);
+      0.0, p, 128.0 * 1024, opt.double_buffer, opt.segment_major_lanes);
 
   const int groups = n_groups(spec.out_c, fmt);
   const int segs = run.plan.in_segments;

@@ -17,6 +17,8 @@
 // the passes separately to memoize the timing (see runtime/backend.hpp).
 #pragma once
 
+#include <span>
+
 #include "common/float_formats.hpp"
 #include "compress/csr_ifmap.hpp"
 #include "kernels/cost_model.hpp"
@@ -61,6 +63,22 @@ struct RunOptions {
   /// rotation) or a single-worker BatchRunner when reproducible modeled
   /// numbers matter.
   bool batch_weight_reuse = false;
+  /// Segment-major batched FC execution: with >= 2 lanes, segmented FC
+  /// layers (fan-in weight bands cycling through one SPM tile — pinning is
+  /// impossible for them) are planned with the cross-sample segment-major
+  /// schedule: each weight band streams into SPM once per batch of
+  /// `segment_major_lanes` samples and is applied to every in-flight sample
+  /// before advancing; partial sums of parked samples spill/fill through
+  /// DRAM when they do not fit next to the streaming buffers (itemized in
+  /// KernelStats::dma_bytes_spill). The planner adopts the schedule per
+  /// layer only when it wins net of spill (TilePlan::segment_major). All
+  /// charges are per-sample batch means, so modeled stats stay independent
+  /// of lane assignment and execution order — a batch-scope run
+  /// (ExecutionBackend::run_fc_batch) and the serial per-sample path produce
+  /// bit-identical spikes *and* cycles. Set it to the steady batch width the
+  /// runner actually drives (BatchRunner / PipelinedBatchRunner switch to
+  /// lockstep waves of this many samples when it is >= 2).
+  int segment_major_lanes = 1;
   CostParams cost;
 };
 
@@ -80,6 +98,28 @@ void encode_functional(const snn::LayerSpec& spec,
                        const snn::LayerWeights& weights,
                        const snn::Tensor& padded_image, snn::Tensor& membrane,
                        KernelScratch& scratch);
+
+/// One in-flight sample's borrowed buffers for a batch-scope FC call (see
+/// fc_functional_batch and ExecutionBackend::run_fc_batch): its compressed
+/// input, its persistent membrane, and the per-layer scratch arena its
+/// results land in.
+struct FcBatchLane {
+  const compress::CsrIfmap* ifmap = nullptr;
+  snn::Tensor* membrane = nullptr;
+  LayerScratch* scratch = nullptr;
+};
+
+/// Batch-scope FC functional pass: one call executes the layer for every
+/// lane in segment-major order — the fan-in row space is walked in
+/// contiguous bands, and within each band every lane's spiking rows are
+/// accumulated before advancing, so a weight band is hot (host caches /
+/// modeled SPM) exactly once per batch. Per-lane accumulation order is
+/// unchanged (bands partition the sorted CSR index space), so spikes are
+/// bit-identical to per-lane serial fc_functional calls. Each lane uses its
+/// own scratch/membrane; fills lane.scratch->main.run.out_spikes / out_nnz.
+void fc_functional_batch(const snn::LayerSpec& spec,
+                         const snn::LayerWeights& weights,
+                         std::span<const FcBatchLane> lanes);
 
 // --- timing passes ----------------------------------------------------------
 // Mechanistic cost model over the spikes produced by the functional pass.

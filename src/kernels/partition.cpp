@@ -9,23 +9,44 @@ namespace spikestream::kernels {
 
 namespace {
 
-/// Assumed ifmap density at plan time. Plans are computed once per network,
-/// before any input exists; the paper's workloads fire in the 10–30% range,
-/// and the axis ranking is insensitive to the exact value (it cancels out of
-/// every term that scales with occupancy).
-constexpr double kPlanDensity = 0.15;
-
 int n_groups(int channels, int simd) { return (channels + simd - 1) / simd; }
 
+/// Largest extent of the even `s * count / active` split the range builders
+/// use, computed without materializing the ranges (the adaptive re-planner
+/// calls the estimates on the hot path and must not allocate).
+int max_even_split_extent(int count, int active) {
+  active = std::max(1, std::min(active, count));
+  int worst = 0;
+  for (int s = 0; s < active; ++s) {
+    worst = std::max(worst, (s + 1) * count / active - s * count / active);
+  }
+  return worst;
+}
+
+/// max_extent of channel_slices(channels, simd, clusters), allocation-free:
+/// slices are even splits of the SIMD-group space, with the last one capped
+/// to the channel count.
+int max_channel_slice_extent(int channels, int simd, int clusters) {
+  const int groups = n_groups(channels, simd);
+  const int active = std::min(clusters, groups);
+  int worst = 0;
+  for (int s = 0; s < active; ++s) {
+    const int lo = (s * groups / active) * simd;
+    const int hi = std::min(((s + 1) * groups / active) * simd, channels);
+    worst = std::max(worst, hi - lo);
+  }
+  return worst;
+}
+
 /// Estimated cycles of one conv/encode output position carrying `groups`
-/// SIMD output-channel groups, at the planning density.
+/// SIMD output-channel groups, at planning density `density`.
 double position_cost(const snn::LayerSpec& spec, const RunOptions& opt,
-                     int groups) {
+                     int groups, double density) {
   const CostParams& p = opt.cost;
   const int simd = common::simd_lanes(opt.fmt);
   const bool fp8 = opt.fmt == common::FpFormat::FP8;
   const double k2 = static_cast<double>(spec.k) * spec.k;
-  const double act = activation_cycles(p, simd, kPlanDensity * simd, fp8);
+  const double act = activation_cycles(p, simd, density * simd, fp8);
   if (spec.kind == snn::LayerKind::kEncodeConv) {
     const double dot = k2 * spec.in_c;
     if (opt.variant == Variant::kBaseline) {
@@ -35,7 +56,7 @@ double position_cost(const snn::LayerSpec& spec, const RunOptions& opt,
     const double integer = (p.dense_setup + act) * groups;
     return std::max(fpu, integer);
   }
-  const double elems = kPlanDensity * spec.in_c * k2;
+  const double elems = density * spec.in_c * k2;
   switch (opt.variant) {
     case Variant::kBaseline:
       return (elems * p.baseline_elem_cycles + p.baseline_spva_overhead * k2 +
@@ -55,12 +76,6 @@ double position_cost(const snn::LayerSpec& spec, const RunOptions& opt,
       return std::max(fpu, integer);
     }
   }
-}
-
-int max_extent(const std::vector<ShardRange>& shards) {
-  int m = 0;
-  for (const ShardRange& s : shards) m = std::max(m, s.extent());
-  return m;
 }
 
 }  // namespace
@@ -138,16 +153,16 @@ std::vector<ShardRange> Partitioner::fanin_segments(int in_c, int simd,
   return channel_slices(in_c, simd, clusters);
 }
 
-double Partitioner::estimate_output_channel(const snn::LayerSpec& spec) const {
+double Partitioner::estimate_output_channel(const snn::LayerSpec& spec,
+                                            double density) const {
   const CostParams& p = opt_.cost;
   const int simd = common::simd_lanes(opt_.fmt);
-  const auto shards = channel_slices(spec.out_c, simd, clusters_);
-  const int worst_groups =
-      n_groups(max_extent(shards), simd);  // slices are group-aligned
+  const int worst_groups = n_groups(
+      max_channel_slice_extent(spec.out_c, simd, clusters_), simd);
   if (spec.kind == snn::LayerKind::kFc) {
-    const double nnz = kPlanDensity * spec.in_c;
+    const double nnz = density * spec.in_c;
     const double fp8_act = activation_cycles(
-        p, simd, kPlanDensity * simd, opt_.fmt == common::FpFormat::FP8);
+        p, simd, density * simd, opt_.fmt == common::FpFormat::FP8);
     const double per_group =
         std::max(p.fadd_latency * nnz + p.ss_residue, p.ss_setup) + fp8_act;
     const double rounds = std::ceil(static_cast<double>(worst_groups) /
@@ -157,33 +172,35 @@ double Partitioner::estimate_output_channel(const snn::LayerSpec& spec) const {
   }
   const double positions =
       static_cast<double>(spec.out_h()) * static_cast<double>(spec.out_w());
-  return positions * position_cost(spec, opt_, worst_groups) /
+  return positions * position_cost(spec, opt_, worst_groups, density) /
              std::max(1, opt_.cores) +
          p.icache_layer_warmup;
 }
 
-double Partitioner::estimate_ifmap_stripe(const snn::LayerSpec& spec) const {
+double Partitioner::estimate_ifmap_stripe(const snn::LayerSpec& spec,
+                                          double density) const {
   SPK_CHECK(spec.kind != snn::LayerKind::kFc,
             "ifmap stripes need spatial rows; FC layers use fan-in segments");
   const CostParams& p = opt_.cost;
   const int simd = common::simd_lanes(opt_.fmt);
-  const auto shards = row_stripes(spec.out_h(), clusters_);
   const double worst_positions =
-      static_cast<double>(max_extent(shards)) * spec.out_w();
+      static_cast<double>(max_even_split_extent(spec.out_h(), clusters_)) *
+      spec.out_w();
   const int groups = n_groups(spec.out_c, simd);
-  return worst_positions * position_cost(spec, opt_, groups) /
+  return worst_positions * position_cost(spec, opt_, groups, density) /
              std::max(1, opt_.cores) +
          p.icache_layer_warmup;
 }
 
-double Partitioner::estimate_fanin(const snn::LayerSpec& spec) const {
+double Partitioner::estimate_fanin(const snn::LayerSpec& spec,
+                                   double density) const {
   SPK_CHECK(spec.kind == snn::LayerKind::kFc,
             "fan-in segmentation is an FC strategy");
   const CostParams& p = opt_.cost;
   const int simd = common::simd_lanes(opt_.fmt);
-  const auto shards = fanin_segments(spec.in_c, simd, clusters_);
   const double nnz_shard =
-      kPlanDensity * static_cast<double>(max_extent(shards));
+      density * static_cast<double>(
+                    max_channel_slice_extent(spec.in_c, simd, clusters_));
   const int groups = n_groups(spec.out_c, simd);
   const double rounds =
       std::ceil(static_cast<double>(groups) / std::max(1, opt_.cores));
@@ -192,61 +209,47 @@ double Partitioner::estimate_fanin(const snn::LayerSpec& spec) const {
       nnz_shard * p.fc_prescale_per_spike / opt_.cores;
   // Sequential tail on the merging cluster: stream (n-1) partial ofmap
   // vectors over the NoC, add them group-wise, then run the activation once.
-  const double partials = static_cast<double>(shards.size()) - 1.0;
+  const double partials = static_cast<double>(std::min(
+                              clusters_, n_groups(spec.in_c, simd))) -
+                          1.0;
   const double reduce =
       partials * groups * p.fadd_latency +
       partials * spec.out_c * common::fp_bytes(opt_.fmt) / 64.0;
   const double act =
-      rounds * activation_cycles(p, simd, kPlanDensity * simd,
+      rounds * activation_cycles(p, simd, density * simd,
                                  opt_.fmt == common::FpFormat::FP8);
   return accumulate + reduce + act + p.icache_layer_warmup;
 }
 
-LayerPlan Partitioner::plan_layer(const snn::LayerSpec& spec) const {
-  const int simd = common::simd_lanes(opt_.fmt);
-  const bool fc = spec.kind == snn::LayerKind::kFc;
-  LayerPlan plan;
-  if (clusters_ <= 1) {
-    plan.shards = {{0, spec.out_c}};
-    return plan;
+double Partitioner::estimate_axis(const snn::LayerSpec& spec, ShardAxis axis,
+                                  double density) const {
+  switch (axis) {
+    case ShardAxis::kOutputChannel:
+      return estimate_output_channel(spec, density);
+    case ShardAxis::kIfmapStripe:
+      return estimate_ifmap_stripe(spec, density);
+    case ShardAxis::kFanIn:
+      return estimate_fanin(spec, density);
   }
-  auto out_channel = [&] {
-    plan.axis = ShardAxis::kOutputChannel;
-    plan.shards = channel_slices(spec.out_c, simd, clusters_);
-  };
-  auto alternative = [&] {
-    if (fc) {
-      plan.axis = ShardAxis::kFanIn;
-      plan.shards = fanin_segments(spec.in_c, simd, clusters_);
-    } else {
-      plan.axis = ShardAxis::kIfmapStripe;
-      plan.shards = row_stripes(spec.out_h(), clusters_);
-    }
-  };
-  switch (strategy_) {
-    case PartitionStrategy::kOutputChannel:
-      out_channel();
-      break;
-    case PartitionStrategy::kIfmapStripe:
-      alternative();
-      break;
-    case PartitionStrategy::kHybrid: {
-      const double oc = estimate_output_channel(spec);
-      const double alt =
-          fc ? estimate_fanin(spec) : estimate_ifmap_stripe(spec);
-      // Prefer the historical axis unless the alternative is clearly ahead:
-      // output-channel tiles conserve activity exactly and need no halo or
-      // reduction bookkeeping, so a marginal estimate should not flip them.
-      if (alt < 0.95 * oc) {
-        alternative();
-        plan.est_cycles = alt;
-        plan.est_alt_cycles = oc;
-      } else {
-        out_channel();
-        plan.est_cycles = oc;
-        plan.est_alt_cycles = alt;
-      }
-      break;
+  return 0.0;
+}
+
+LayerPlan Partitioner::make_axis_plan(const snn::LayerSpec& spec,
+                                      ShardAxis axis) const {
+  const int simd = common::simd_lanes(opt_.fmt);
+  LayerPlan plan;
+  plan.axis = axis;
+  if (clusters_ > 1) {
+    switch (axis) {
+      case ShardAxis::kOutputChannel:
+        plan.shards = channel_slices(spec.out_c, simd, clusters_);
+        break;
+      case ShardAxis::kIfmapStripe:
+        plan.shards = row_stripes(spec.out_h(), clusters_);
+        break;
+      case ShardAxis::kFanIn:
+        plan.shards = fanin_segments(spec.in_c, simd, clusters_);
+        break;
     }
   }
   // A single-shard fan-in plan would pay reduction bookkeeping for nothing;
@@ -258,13 +261,50 @@ LayerPlan Partitioner::plan_layer(const snn::LayerSpec& spec) const {
   return plan;
 }
 
-ShardPlan Partitioner::plan_network(const snn::Network& net) const {
+LayerPlan Partitioner::plan_layer(const snn::LayerSpec& spec,
+                                  double density) const {
+  const bool fc = spec.kind == snn::LayerKind::kFc;
+  if (clusters_ <= 1) {
+    LayerPlan plan;
+    plan.shards = {{0, spec.out_c}};
+    return plan;
+  }
+  const ShardAxis alt_axis =
+      fc ? ShardAxis::kFanIn : ShardAxis::kIfmapStripe;
+  switch (strategy_) {
+    case PartitionStrategy::kOutputChannel:
+      return make_axis_plan(spec, ShardAxis::kOutputChannel);
+    case PartitionStrategy::kIfmapStripe:
+      return make_axis_plan(spec, alt_axis);
+    case PartitionStrategy::kHybrid:
+      break;
+  }
+  const double oc = estimate_output_channel(spec, density);
+  const double alt = estimate_axis(spec, alt_axis, density);
+  // Prefer the historical axis unless the alternative is clearly ahead:
+  // output-channel tiles conserve activity exactly and need no halo or
+  // reduction bookkeeping, so a marginal estimate should not flip them.
+  LayerPlan plan;
+  if (alt < 0.95 * oc) {
+    plan = make_axis_plan(spec, alt_axis);
+    plan.est_cycles = alt;
+    plan.est_alt_cycles = oc;
+  } else {
+    plan = make_axis_plan(spec, ShardAxis::kOutputChannel);
+    plan.est_cycles = oc;
+    plan.est_alt_cycles = alt;
+  }
+  return plan;
+}
+
+ShardPlan Partitioner::plan_network(const snn::Network& net,
+                                    double density) const {
   ShardPlan plan;
   plan.strategy = strategy_;
   plan.clusters = clusters_;
   plan.layers.reserve(net.num_layers());
   for (std::size_t l = 0; l < net.num_layers(); ++l) {
-    plan.layers.push_back(plan_layer(net.layer(l)));
+    plan.layers.push_back(plan_layer(net.layer(l), density));
   }
   return plan;
 }

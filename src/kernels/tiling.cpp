@@ -11,11 +11,85 @@ namespace {
 
 constexpr double kIdxBytes = 2.0;  ///< 16-bit indices and counts (Fig. 3a)
 
+/// Segment-major batched FC schedule (see TilePlan). Evaluated against the
+/// per-sample plan already in `plan`; fills the sm_* fields and sets
+/// `segment_major` only when the amortized DMA timeline wins on both bytes
+/// and cycles — i.e. the batch weight-stream saving is priced against the
+/// spill/fill traffic of the partial sums parked between bands.
+void plan_fc_segment_major(TilePlan& plan, const snn::LayerSpec& spec,
+                           common::FpFormat fmt, double ifmap_actual_bytes,
+                           double ofmap_actual_bytes, const CostParams& p,
+                           int lanes, double spm_bytes, bool double_buffer) {
+  plan.sm_dma_bytes = plan.dma_bytes;
+  plan.sm_dma_cycles = plan.dma_cycles;
+  plan.sm_first_fill_cycles = plan.first_fill_cycles;
+  const int bands = plan.weight_tiles * plan.in_segments;
+  if (spec.kind != snn::LayerKind::kFc || lanes <= 1 || bands <= 1) return;
+
+  (void)double_buffer;  // band/ifmap buffers keep the per-sample plan's shape
+  const double fb = common::fp_bytes(fmt);
+  const double all_weights =
+      static_cast<double>(spec.in_c) * spec.out_c * fb;
+  const double B = static_cast<double>(lanes);
+  const double tiles = static_cast<double>(plan.weight_tiles);
+  const double segs = static_cast<double>(plan.in_segments);
+  const double acc_bytes = static_cast<double>(plan.co_per_tile) * fb;
+
+  // Resident partial-sum sets: the per-sample plan already reserves the
+  // active lane's accumulator slice (its state bytes); SPM slack next to the
+  // streaming buffers holds the other lanes' slices. Only the current
+  // co-tile's slices are ever live (co-tiles are the outer band loop), so
+  // one slice per lane suffices.
+  const double slack = spm_bytes - plan.spm_resident_bytes;
+  const int resident = std::min(
+      lanes, 1 + static_cast<int>(std::max(0.0, slack) / acc_bytes));
+  const double parked = B - static_cast<double>(resident);
+
+  // A non-resident lane's accumulator slice spills to DRAM after each band
+  // and refills at the next band of the same co-tile: (segs - 1) transitions
+  // per co-tile, a write and a read each. The first band zero-initializes in
+  // SPM and the last feeds the activation on-chip, exactly like the
+  // per-sample schedule, so those ends carry no extra traffic.
+  const double spill_batch =
+      2.0 * parked * (segs - 1.0) * tiles * acc_bytes;
+  // Weights stream once per batch; each sample re-reads its compressed
+  // ifmap segment at every band of every co-tile it participates in.
+  const double sm_spill = spill_batch / B;
+  const double sm_bytes = all_weights / B + tiles * ifmap_actual_bytes +
+                          ofmap_actual_bytes + sm_spill;
+  const double n_transfers =
+      static_cast<double>(bands) / B          // weight bands, amortized
+      + tiles * segs                          // per-sample ifmap segments
+      + 2.0 * parked * (segs - 1.0) * tiles / B  // spill/fill, amortized
+      + tiles;                                // fragmented ofmap write-back
+  const double sm_cycles =
+      sm_bytes / p.dma_bytes_per_cycle + n_transfers * p.dma_latency;
+
+  // Only adopt the schedule when it beats the best per-sample regime (the
+  // warm plan equals the cold one here — segmented weights cannot pin).
+  if (sm_bytes <= plan.dma_bytes &&
+      sm_cycles < std::min(plan.dma_cycles, plan.dma_cycles_warm)) {
+    plan.segment_major = true;
+    plan.sm_lanes = lanes;
+    plan.sm_bands = bands;
+    plan.sm_resident_lanes = resident;
+    plan.sm_spill_bytes = sm_spill;
+    plan.sm_dma_bytes = sm_bytes;
+    plan.sm_dma_cycles = sm_cycles;
+    plan.sm_first_fill_cycles = std::min(
+        plan.first_fill_cycles,
+        (plan.weight_tile_bytes + plan.if_stripe_bytes) /
+                p.dma_bytes_per_cycle +
+            2.0 * p.dma_latency);
+  }
+}
+
 }  // namespace
 
 TilePlan plan_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
                     double ifmap_actual_bytes, double ofmap_actual_bytes,
-                    const CostParams& p, double spm_bytes, bool double_buffer) {
+                    const CostParams& p, double spm_bytes, bool double_buffer,
+                    int batch_lanes) {
   const int simd = common::simd_lanes(fmt);
   const double fb = common::fp_bytes(fmt);
   const bool is_fc = spec.kind == snn::LayerKind::kFc;
@@ -179,6 +253,11 @@ TilePlan plan_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
       }
     }
   }
+
+  // --- segment-major batched FC schedule ------------------------------------
+  plan_fc_segment_major(plan, spec, fmt, ifmap_actual_bytes,
+                        ofmap_actual_bytes, p, batch_lanes, spm_bytes,
+                        double_buffer);
   return plan;
 }
 
@@ -244,9 +323,16 @@ TilePlan plan_encode_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
 
 double overlap_cycles(const TilePlan& plan, double compute_cycles,
                       bool double_buffer, bool weights_warm) {
-  const double dma = weights_warm ? plan.dma_cycles_warm : plan.dma_cycles;
-  const double fill =
-      weights_warm ? plan.first_fill_cycles_warm : plan.first_fill_cycles;
+  // Segment-major plans charge the same amortized timeline on every sample
+  // of the batch, overriding the warm/cold distinction.
+  const double dma = plan.segment_major
+                         ? plan.sm_dma_cycles
+                         : (weights_warm ? plan.dma_cycles_warm
+                                         : plan.dma_cycles);
+  const double fill = plan.segment_major
+                          ? plan.sm_first_fill_cycles
+                          : (weights_warm ? plan.first_fill_cycles_warm
+                                          : plan.first_fill_cycles);
   if (double_buffer) {
     return fill + std::max(compute_cycles, dma);
   }

@@ -46,15 +46,43 @@ struct TilePlan {
   double dma_bytes_warm = 0;           ///< dma_bytes with pinned tiles warm
   double dma_cycles_warm = 0;
   double first_fill_cycles_warm = 0;
+
+  // --- segment-major batched FC schedule (RunOptions::segment_major_lanes) --
+  // Segmented FC layers cycle their fan-in weight bands through a single SPM
+  // tile, so per-sample pinning is impossible (pinned_weight_fraction stays
+  // 0) and every sample re-streams the whole weight set. The segment-major
+  // schedule inverts the batch loop instead: each weight band is streamed
+  // into SPM *once per batch* and applied to every in-flight sample before
+  // advancing. Partial sums of samples parked between bands either stay
+  // resident next to the streaming buffers (sm_resident_lanes of them fit)
+  // or are spilled to DRAM and refilled at every band transition — that
+  // traffic is itemized in sm_spill_bytes and priced into sm_dma_bytes, so
+  // the cost query below only sets `segment_major` when the schedule wins
+  // net of spill. All sm_* numbers are per-sample batch means: every sample
+  // of the batch is charged identically (weight traffic / lanes + its own
+  // ifmap/ofmap/spill share), which keeps modeled stats independent of lane
+  // assignment and execution order.
+
+  bool segment_major = false;  ///< schedule chosen (wins the cost query)
+  int sm_lanes = 1;            ///< batch lanes B the schedule was planned for
+  int sm_bands = 1;            ///< weight bands, each streamed once per batch
+  int sm_resident_lanes = 0;   ///< lanes whose partial sums never spill
+  double sm_dma_bytes = 0;     ///< per-sample amortized DMA bytes (incl. spill)
+  double sm_dma_cycles = 0;
+  double sm_first_fill_cycles = 0;
+  double sm_spill_bytes = 0;   ///< per-sample amortized spill+fill traffic
 };
 
 /// Plan a conv/FC layer. `ifmap_actual_bytes` / `ofmap_actual_bytes` are the
 /// measured compressed sizes (dynamic sparsity) used for transfer volume;
 /// buffers are still sized for the zero-sparsity worst case.
+/// `batch_lanes` > 1 additionally evaluates the segment-major batched
+/// schedule for segmented FC layers (see TilePlan) against the per-sample
+/// plan and fills the sm_* fields when it wins.
 TilePlan plan_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
                     double ifmap_actual_bytes, double ofmap_actual_bytes,
                     const CostParams& p, double spm_bytes = 128.0 * 1024,
-                    bool double_buffer = true);
+                    bool double_buffer = true, int batch_lanes = 1);
 
 /// Plan the dense encode layer (im2row over a 2D DMA, Section III-F).
 TilePlan plan_encode_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
@@ -64,7 +92,10 @@ TilePlan plan_encode_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
 /// Combine a compute-critical-path with the DMA timeline: with double
 /// buffering only the first fill is exposed; without it, transfers serialize.
 /// `weights_warm` selects the batch-reuse DMA timeline (weights already
-/// resident in SPM from the previous sample — see TilePlan).
+/// resident in SPM from the previous sample — see TilePlan). A plan whose
+/// segment-major schedule was chosen always uses the sm_* timeline: every
+/// sample of the batch is charged the same amortized numbers, so there is no
+/// warm/cold distinction to select.
 double overlap_cycles(const TilePlan& plan, double compute_cycles,
                       bool double_buffer = true, bool weights_warm = false);
 

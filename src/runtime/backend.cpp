@@ -130,6 +130,14 @@ void CostMemo::insert(const Key& key, const kernels::LayerRun& run) {
   s->used = true;
 }
 
+void ExecutionBackend::run_fc_batch(const snn::LayerSpec& spec,
+                                    const snn::LayerWeights& weights,
+                                    std::span<const FcBatchLane> lanes) const {
+  for (const FcBatchLane& lane : lanes) {
+    run_fc(spec, weights, *lane.ifmap, *lane.membrane, *lane.scratch);
+  }
+}
+
 void ExecutionBackend::presize_state(snn::NetworkState& state,
                                      const snn::Network& net) const {
   for (std::size_t l = 0; l < net.num_layers(); ++l) {
@@ -187,21 +195,45 @@ const kernels::LayerRun& AnalyticalBackend::run_fc(
     const snn::LayerSpec& spec, const snn::LayerWeights& weights,
     const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
     kernels::LayerScratch& scratch) const {
+  kernels::fc_functional(spec, weights, ifmap, membrane, scratch.main);
+  time_fc(spec, ifmap, scratch);
+  return scratch.main.run;
+}
+
+void AnalyticalBackend::time_fc(const snn::LayerSpec& spec,
+                                const compress::CsrIfmap& ifmap,
+                                kernels::LayerScratch& scratch) const {
   kernels::KernelScratch& ks = scratch.main;
-  kernels::fc_functional(spec, weights, ifmap, membrane, ks);
   if (memo_) {
     const auto key = memo_->make_key(spec, ifmap.nnz(), ks.run.out_nnz,
                                      warm_salt(opt_, ks));
     if (memo_->lookup(key, ks.run)) {
       ks.weights_warm = true;
-      return ks.run;
+      return;
     }
     kernels::fc_timing(spec, ifmap, opt_, ks);
     memo_->insert(key, ks.run);
-    return ks.run;
+    return;
   }
   kernels::fc_timing(spec, ifmap, opt_, ks);
-  return ks.run;
+}
+
+void AnalyticalBackend::run_fc_batch(
+    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
+    std::span<const FcBatchLane> lanes) const {
+  if (lanes.size() <= 1 || opt_.segment_major_lanes <= 1) {
+    ExecutionBackend::run_fc_batch(spec, weights, lanes);
+    return;
+  }
+  // Band-major functional sweep across every lane (the host-side mirror of
+  // streaming each weight band into SPM once per batch), then the usual
+  // per-lane timing pass — which charges the same deterministic amortized
+  // numbers the serial path charges, so this call is bit-identical to the
+  // per-lane loop in both spikes and stats.
+  kernels::fc_functional_batch(spec, weights, lanes);
+  for (const FcBatchLane& lane : lanes) {
+    time_fc(spec, *lane.ifmap, *lane.scratch);
+  }
 }
 
 const kernels::LayerRun& AnalyticalBackend::run_encode(
@@ -238,7 +270,7 @@ std::unique_ptr<ExecutionBackend> make_backend(
     case BackendKind::kSharded:
       return std::make_unique<ShardedBackend>(
           opt, cfg.clusters, cfg.shard_threads, cfg.partition, cfg.noc,
-          std::move(pool), cfg.shard_min_work);
+          std::move(pool), cfg.shard_min_work, cfg.replan);
   }
   SPK_CHECK(false, "unknown backend kind");
   return nullptr;

@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <tuple>
 
 #include "arch/noc.hpp"
@@ -82,6 +83,14 @@ struct BackendConfig {
   /// counted (KernelStats::noc_bytes, priced by the energy model); enabling
   /// `noc.model_contention` additionally lets it gate layer wall-clock.
   arch::NocParams noc;
+  /// ShardedBackend: occupancy-adaptive re-planning (see
+  /// kernels::ReplanConfig). Initial plans assume the cold-start density;
+  /// after the warmup window the measured per-layer occupancy EMA re-ranks
+  /// the shard axes and swaps a layer's plan when the better axis clears
+  /// the hysteresis margin. Off by default: re-planning makes modeled
+  /// cycles depend on the density history the backend has observed, which
+  /// the exact-mode parity tests forbid.
+  kernels::ReplanConfig replan;
   /// CycleAccurateBackend: SpVAs per ISS calibration run (larger = tighter
   /// amortization of the microkernel prologue, slower calibration).
   int iss_sample_spvas = 32;
@@ -168,6 +177,13 @@ class CostMemo {
   mutable std::atomic<std::size_t> misses_{0};
 };
 
+/// One in-flight sample's borrowed buffers for a batch-scope FC call (see
+/// ExecutionBackend::run_fc_batch): its compressed input, its persistent
+/// membrane, and the per-layer scratch arena its results land in. Shared
+/// with the kernel layer so batch-scope calls pass the caller's lane array
+/// straight through, no per-call marshalling.
+using FcBatchLane = kernels::FcBatchLane;
+
 class ExecutionBackend {
  public:
   explicit ExecutionBackend(const kernels::RunOptions& opt) : opt_(opt) {}
@@ -218,6 +234,20 @@ class ExecutionBackend {
       const snn::LayerSpec& spec, const snn::LayerWeights& weights,
       const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
       kernels::LayerScratch& scratch) const = 0;
+
+  // Batch-scope FC execution: run one FC layer for every lane of a lockstep
+  // batch in a single call, so a backend that understands the segment-major
+  // schedule (RunOptions::segment_major_lanes) can stream each weight band
+  // once across all lanes instead of once per sample. The contract is
+  // strict: spikes AND modeled stats must be bit-identical to calling
+  // run_fc once per lane in order — the segment-major *accounting* is
+  // per-sample deterministic (amortized batch means, charged by the timing
+  // pass whether or not this hook runs), so the hook only changes host-side
+  // execution order/locality. The default implementation is that per-lane
+  // loop; each lane's scratch/membrane must be distinct.
+  virtual void run_fc_batch(const snn::LayerSpec& spec,
+                            const snn::LayerWeights& weights,
+                            std::span<const FcBatchLane> lanes) const;
 
   // One-shot conveniences (tests / benches): run with a private scratch and
   // return the result by value.
@@ -278,6 +308,13 @@ class AnalyticalBackend : public ExecutionBackend {
                                   kernels::LayerScratch& scratch)
       const override;
 
+  /// Segment-major batch-scope FC: one band-major functional sweep over all
+  /// lanes (kernels::fc_functional_batch), then the exact per-lane timing
+  /// pass — bit-identical to the per-lane default by construction.
+  void run_fc_batch(const snn::LayerSpec& spec,
+                    const snn::LayerWeights& weights,
+                    std::span<const FcBatchLane> lanes) const override;
+
   using ExecutionBackend::run_conv;
   using ExecutionBackend::run_encode;
   using ExecutionBackend::run_fc;
@@ -288,6 +325,16 @@ class AnalyticalBackend : public ExecutionBackend {
   std::size_t cost_cache_misses() const {
     return memo_ ? memo_->misses() : 0;
   }
+
+ protected:
+  /// FC timing tail shared by run_fc and run_fc_batch: the (optionally
+  /// memoized) timing pass over the spikes the functional pass just wrote
+  /// into `scratch.main`. Virtual so the cycle-accurate backend can append
+  /// its ISS re-anchoring and batch-scope calls stay correct through one
+  /// code path.
+  virtual void time_fc(const snn::LayerSpec& spec,
+                       const compress::CsrIfmap& ifmap,
+                       kernels::LayerScratch& scratch) const;
 
  private:
   std::unique_ptr<CostMemo> memo_;

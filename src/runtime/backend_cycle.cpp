@@ -229,6 +229,8 @@ void CycleAccurateBackend::retime(kernels::LayerRun& run, double ratio) const {
   for (double& c : st.core_cycles) c *= ratio;
   // dma_saved_bytes > 0 marks a batch-reuse warm run: re-derive the overlap
   // from the same (weight-free) DMA timeline the analytical pass charged.
+  // Segment-major plans take precedence inside overlap_cycles regardless of
+  // the flag — their amortized timeline has no warm/cold split.
   st.cycles = kernels::overlap_cycles(run.plan, st.compute_cycles,
                                       opt_.double_buffer,
                                       st.dma_saved_bytes > 0);
@@ -270,20 +272,18 @@ const kernels::LayerRun& CycleAccurateBackend::run_conv(
   return run;
 }
 
-const kernels::LayerRun& CycleAccurateBackend::run_fc(
-    const snn::LayerSpec& spec, const snn::LayerWeights& weights,
-    const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
-    kernels::LayerScratch& scratch) const {
-  AnalyticalBackend::run_fc(spec, weights, ifmap, membrane, scratch);
+void CycleAccurateBackend::time_fc(const snn::LayerSpec& spec,
+                                   const compress::CsrIfmap& ifmap,
+                                   kernels::LayerScratch& scratch) const {
+  AnalyticalBackend::time_fc(spec, ifmap, scratch);
   kernels::LayerRun& run = scratch.main.run;
   const double segs = std::max(1, run.plan.in_segments);
   if (opt_.variant == kernels::Variant::kDenseNoTc) {
     retime(run, dense_no_tc_ratio(static_cast<double>(spec.in_c) / segs));
-    return run;
+    return;
   }
   const double s_seg = static_cast<double>(ifmap.nnz()) / segs;
   retime(run, sparse_ratio(s_seg));
-  return run;
 }
 
 const kernels::LayerRun& CycleAccurateBackend::run_encode(

@@ -42,12 +42,10 @@ class CycleAccurateBackend : public AnalyticalBackend {
                                     snn::Tensor& membrane,
                                     kernels::LayerScratch& scratch)
       const override;
-  const kernels::LayerRun& run_fc(const snn::LayerSpec& spec,
-                                  const snn::LayerWeights& weights,
-                                  const compress::CsrIfmap& ifmap,
-                                  snn::Tensor& membrane,
-                                  kernels::LayerScratch& scratch)
-      const override;
+  // run_fc and run_fc_batch are inherited from AnalyticalBackend: both
+  // funnel into the virtual time_fc tail below, which appends the ISS
+  // re-anchoring — so batch-scope segment-major execution stays calibrated
+  // through the same single code path as the per-sample one.
 
   using ExecutionBackend::run_conv;
   using ExecutionBackend::run_encode;
@@ -63,6 +61,12 @@ class CycleAccurateBackend : public AnalyticalBackend {
   double dense_no_tc_ratio(double len) const;
   /// Same for the baseline encode layer's 2x-unrolled scalar dot of `len`.
   double baseline_dense_ratio(double len) const;
+
+ protected:
+  /// Analytical FC timing (memo included) + ISS re-anchoring of the compute
+  /// critical path — the tail run_fc and run_fc_batch both call.
+  void time_fc(const snn::LayerSpec& spec, const compress::CsrIfmap& ifmap,
+               kernels::LayerScratch& scratch) const override;
 
  private:
   // Bucket-index twins of the public ratio lookups: prepare() iterates the

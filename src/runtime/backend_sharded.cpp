@@ -65,17 +65,27 @@ ShardedBackend::ShardedBackend(const kernels::RunOptions& opt, int clusters,
                                bool use_threads,
                                kernels::PartitionStrategy strategy,
                                const arch::NocParams& noc,
-                               std::shared_ptr<WorkerPool> pool, int min_work)
+                               std::shared_ptr<WorkerPool> pool, int min_work,
+                               const kernels::ReplanConfig& replan)
     : ExecutionBackend(opt),
       clusters_(std::max(1, clusters)),
       threads_(use_threads),
       min_work_(std::max(0, min_work)),
       partitioner_(opt, std::max(1, clusters), strategy),
       noc_(noc),
+      replan_(replan),
       pool_(std::move(pool)) {
   if (threads_ && pool_ == nullptr) {
     pool_ = std::make_shared<WorkerPool>(clusters_ - 1);
   }
+}
+
+double ShardedBackend::initial_plan_density() const {
+  // Adaptive mode plans for the cold start (membranes are empty, the first
+  // timesteps run far below steady-state density); the measured EMA upgrades
+  // the plan after warmup. Static mode keeps the historical assumption.
+  return replan_.enabled ? replan_.cold_density
+                         : kernels::Partitioner::kDefaultDensity;
 }
 
 std::vector<std::pair<int, int>> ShardedBackend::slices(int out_c) const {
@@ -88,7 +98,7 @@ std::vector<std::pair<int, int>> ShardedBackend::slices(int out_c) const {
   return sl;
 }
 
-const kernels::LayerPlan& ShardedBackend::plan_for(
+std::shared_ptr<const kernels::LayerPlan> ShardedBackend::plan_handle(
     const snn::LayerSpec& spec) const {
   const std::uint64_t sig = kernels::layer_signature(spec);
   {
@@ -99,8 +109,101 @@ const kernels::LayerPlan& ShardedBackend::plan_for(
   std::unique_lock<std::shared_mutex> lock(plan_mu_);
   const auto it = plans_.find(sig);  // re-check: another writer may have won
   if (it != plans_.end()) return it->second;
-  // std::map nodes are stable: the reference outlives the lock.
-  return plans_.emplace(sig, partitioner_.plan_layer(spec)).first->second;
+  return plans_
+      .emplace(sig, std::make_shared<const kernels::LayerPlan>(
+                        partitioner_.plan_layer(spec,
+                                                initial_plan_density())))
+      .first->second;
+}
+
+const kernels::LayerPlan& ShardedBackend::plan_for(
+    const snn::LayerSpec& spec) const {
+  // The handle keeps the plan's refcount in the cache; the reference stays
+  // valid until a re-plan swap replaces it (see the header note).
+  return *plan_handle(spec);
+}
+
+void ShardedBackend::observe_density(const snn::LayerSpec& spec,
+                                     std::size_t in_nnz,
+                                     std::size_t in_elems) const {
+  if (!replan_.enabled || clusters_ <= 1 || in_elems == 0) return;
+  const std::uint64_t sig = kernels::layer_signature(spec);
+  AdaptiveState* st;
+  {
+    std::lock_guard<std::mutex> lock(adaptive_mu_);
+    st = &adaptive_[sig];  // node-stable; first touch inserts
+  }
+  const double density =
+      static_cast<double>(in_nnz) / static_cast<double>(in_elems);
+  std::lock_guard<std::mutex> lock(st->mu);
+  if (st->runs == 0) st->axis = plan_for(spec).axis;
+  st->ema = st->ema < 0.0
+                ? density
+                : st->ema + replan_.ema_alpha * (density - st->ema);
+  ++st->runs;
+  if (st->runs < replan_.warmup_runs) return;
+  const kernels::ShardAxis current = st->axis;
+  // Re-rank the two viable axes at the measured density (allocation-free
+  // estimates). The alternative must clear the hysteresis margin to win;
+  // at a stable density the winner is then also hysteresis-stable, so the
+  // plan cannot oscillate around a break-even point.
+  const kernels::ShardAxis alt = spec.kind == snn::LayerKind::kFc
+                                     ? kernels::ShardAxis::kFanIn
+                                     : kernels::ShardAxis::kIfmapStripe;
+  const kernels::ShardAxis candidate =
+      current == kernels::ShardAxis::kOutputChannel
+          ? alt
+          : kernels::ShardAxis::kOutputChannel;
+  const double est_cur = partitioner_.estimate_axis(spec, current, st->ema);
+  const double est_new = partitioner_.estimate_axis(spec, candidate, st->ema);
+  if (est_new >= replan_.hysteresis * est_cur) return;
+  // Build and swap the new plan while still holding the per-layer lock:
+  // concurrent observers of the same layer must see axis bookkeeping and
+  // cached plan move together, or two racing flips could land their swaps
+  // out of order and leave st->axis disagreeing with the executing plan
+  // forever. A flip is rare (at most one per density regime), so the
+  // allocation stays off the steady path; lock order st->mu -> plan_mu_ is
+  // safe because no path acquires st->mu while holding plan_mu_.
+  // Degenerate candidates collapse to a single output-channel shard inside
+  // make_axis_plan, exactly like the static planner.
+  auto next = std::make_shared<const kernels::LayerPlan>(
+      partitioner_.make_axis_plan(spec, candidate));
+  if (next->axis == current) return;  // candidate degenerated: keep the plan
+  st->axis = next->axis;
+  ++st->flips;
+  std::unique_lock<std::shared_mutex> plock(plan_mu_);
+  plans_[sig] = std::move(next);
+}
+
+int ShardedBackend::replan_flips(const snn::LayerSpec& spec) const {
+  const std::uint64_t sig = kernels::layer_signature(spec);
+  AdaptiveState* st = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(adaptive_mu_);
+    const auto it = adaptive_.find(sig);
+    if (it == adaptive_.end()) return 0;
+    st = &it->second;  // node-stable
+  }
+  std::lock_guard<std::mutex> lock(st->mu);
+  return st->flips;
+}
+
+kernels::ShardAxis ShardedBackend::active_axis(
+    const snn::LayerSpec& spec) const {
+  return plan_for(spec).axis;
+}
+
+double ShardedBackend::occupancy_ema(const snn::LayerSpec& spec) const {
+  const std::uint64_t sig = kernels::layer_signature(spec);
+  AdaptiveState* st = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(adaptive_mu_);
+    const auto it = adaptive_.find(sig);
+    if (it == adaptive_.end()) return -1.0;
+    st = &it->second;  // node-stable
+  }
+  std::lock_guard<std::mutex> lock(st->mu);
+  return st->ema;
 }
 
 void ShardedBackend::prepare(const snn::Network& net) const {
@@ -112,6 +215,25 @@ void ShardedBackend::prepare(const snn::Network& net) const {
         shard_weights(net.weights(l), r.lo, r.hi);
       }
     }
+    if (replan_.enabled) {
+      // Pre-create the adaptive bookkeeping (and the output-channel weight
+      // slices a later flip might need), so steady-state observation never
+      // builds map nodes and a flip to output-channel never copies weights
+      // on the hot path.
+      {
+        std::lock_guard<std::mutex> lock(adaptive_mu_);
+        adaptive_[kernels::layer_signature(spec)].axis = plan.axis;
+      }
+      if (plan.axis != kernels::ShardAxis::kOutputChannel && clusters_ > 1) {
+        const kernels::LayerPlan oc = partitioner_.make_axis_plan(
+            spec, kernels::ShardAxis::kOutputChannel);
+        if (oc.axis == kernels::ShardAxis::kOutputChannel && oc.n() > 1) {
+          for (const kernels::ShardRange& r : oc.shards) {
+            shard_weights(net.weights(l), r.lo, r.hi);
+          }
+        }
+      }
+    }
   }
 }
 
@@ -121,22 +243,43 @@ void ShardedBackend::presize_state(snn::NetworkState& state,
   for (std::size_t l = 0; l < net.num_layers(); ++l) {
     const snn::LayerSpec& spec = net.layer(l);
     const kernels::LayerPlan& plan = plan_for(spec);
-    if (plan.n() <= 1) continue;
+    // With re-planning the layer may flip to its alternative axis later
+    // (FC: fan-in <-> output-channel, conv/encode: stripe <-> output-
+    // channel); presize the lanes for whichever plan needs more so the swap
+    // does not grow arenas mid-run.
+    kernels::LayerPlan alt;
+    if (replan_.enabled && clusters_ > 1) {
+      const kernels::ShardAxis other =
+          plan.axis == kernels::ShardAxis::kOutputChannel
+              ? (spec.kind == snn::LayerKind::kFc
+                     ? kernels::ShardAxis::kFanIn
+                     : kernels::ShardAxis::kIfmapStripe)
+              : kernels::ShardAxis::kOutputChannel;
+      alt = partitioner_.make_axis_plan(spec, other);
+    }
+    const std::size_t lanes_needed = std::max(plan.n(), alt.n());
+    if (lanes_needed <= 1) continue;
     kernels::LayerScratch& scratch = state.scratch(l);
-    if (scratch.lanes.size() < plan.n()) scratch.lanes.resize(plan.n());
-    for (std::size_t s = 0; s < plan.n(); ++s) {
-      kernels::ShardLane& lane = scratch.lanes[s];
-      lane.ks.rows.reserve(spec.fan_in());
-      if (plan.axis == kernels::ShardAxis::kIfmapStripe) {
+    if (scratch.lanes.size() < lanes_needed) {
+      scratch.lanes.resize(lanes_needed);
+    }
+    auto reserve_stripes = [&](const kernels::LayerPlan& p) {
+      if (p.axis != kernels::ShardAxis::kIfmapStripe) return;
+      for (std::size_t s = 0; s < p.n(); ++s) {
         // Halo'd input stripe, zero-sparsity worst case.
         const std::size_t in_rows =
-            static_cast<std::size_t>(plan.shards[s].extent() + spec.k - 1);
+            static_cast<std::size_t>(p.shards[s].extent() + spec.k - 1);
         const std::size_t positions =
             in_rows * static_cast<std::size_t>(spec.in_w);
-        lane.csr.reserve(positions,
-                         positions * static_cast<std::size_t>(spec.in_c));
+        scratch.lanes[s].csr.reserve(
+            positions, positions * static_cast<std::size_t>(spec.in_c));
       }
+    };
+    for (std::size_t s = 0; s < lanes_needed; ++s) {
+      scratch.lanes[s].ks.rows.reserve(spec.fan_in());
     }
+    reserve_stripes(plan);
+    reserve_stripes(alt);
   }
 }
 
@@ -403,7 +546,11 @@ const kernels::LayerRun& ShardedBackend::run_conv(
     const snn::LayerSpec& spec, const snn::LayerWeights& weights,
     const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
     kernels::LayerScratch& scratch) const {
-  const kernels::LayerPlan& plan = plan_for(spec);
+  observe_density(spec, ifmap.nnz(),
+                  static_cast<std::size_t>(spec.in_h) * spec.in_w *
+                      static_cast<std::size_t>(spec.in_c));
+  const auto plan_ref = plan_handle(spec);  // pinned for this run
+  const kernels::LayerPlan& plan = *plan_ref;
   SPK_CHECK(!plan.shards.empty(), "sharded " << spec.name << ": empty plan");
   if (plan.n() <= 1) {
     return kernels::run_conv_layer(spec, weights, ifmap, membrane, opt_,
@@ -427,7 +574,9 @@ const kernels::LayerRun& ShardedBackend::run_fc(
     const snn::LayerSpec& spec, const snn::LayerWeights& weights,
     const compress::CsrIfmap& ifmap, snn::Tensor& membrane,
     kernels::LayerScratch& scratch) const {
-  const kernels::LayerPlan& plan = plan_for(spec);
+  observe_density(spec, ifmap.nnz(), static_cast<std::size_t>(spec.in_c));
+  const auto plan_ref = plan_handle(spec);  // pinned for this run
+  const kernels::LayerPlan& plan = *plan_ref;
   SPK_CHECK(!plan.shards.empty(), "sharded " << spec.name << ": empty plan");
   if (plan.n() <= 1) {
     return kernels::run_fc_layer(spec, weights, ifmap, membrane, opt_,
@@ -451,7 +600,10 @@ const kernels::LayerRun& ShardedBackend::run_encode(
     const snn::LayerSpec& spec, const snn::LayerWeights& weights,
     const snn::Tensor& padded_image, snn::Tensor& membrane,
     kernels::LayerScratch& scratch) const {
-  const kernels::LayerPlan& plan = plan_for(spec);
+  // The encode layer's dense input has density 1.0 by construction; there is
+  // nothing for the occupancy re-planner to observe.
+  const auto plan_ref = plan_handle(spec);
+  const kernels::LayerPlan& plan = *plan_ref;
   SPK_CHECK(!plan.shards.empty(), "sharded " << spec.name << ": empty plan");
   if (plan.n() <= 1) {
     return kernels::run_encode_layer(spec, weights, padded_image, membrane,

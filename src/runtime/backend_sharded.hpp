@@ -54,7 +54,8 @@ class ShardedBackend : public ExecutionBackend {
                      kernels::PartitionStrategy::kOutputChannel,
                  const arch::NocParams& noc = {},
                  std::shared_ptr<WorkerPool> pool = nullptr,
-                 int min_work = 32 * 1024);
+                 int min_work = 32 * 1024,
+                 const kernels::ReplanConfig& replan = {});
 
   const char* name() const override { return "sharded"; }
   int num_clusters() const override { return clusters_; }
@@ -93,7 +94,19 @@ class ShardedBackend : public ExecutionBackend {
   using ExecutionBackend::run_fc;
 
   /// The (cached) partition plan of one layer. Exposed for benches/tests.
+  /// With adaptive re-planning the returned reference is only valid until
+  /// the next run swaps this layer's plan — hold the value, not the ref,
+  /// across runs.
   const kernels::LayerPlan& plan_for(const snn::LayerSpec& spec) const;
+
+  // --- occupancy-adaptive re-planning (BackendConfig::replan) ---------------
+
+  /// How often this layer's shard axis has been swapped by the re-planner.
+  int replan_flips(const snn::LayerSpec& spec) const;
+  /// The layer's current shard axis (== plan_for(spec).axis).
+  kernels::ShardAxis active_axis(const snn::LayerSpec& spec) const;
+  /// The layer's current occupancy EMA (-1 before the first observation).
+  double occupancy_ema(const snn::LayerSpec& spec) const;
 
   /// Legacy view of the output-channel ranges for a layer with `out_c`
   /// channels (SIMD-group aligned). Exposed for tests.
@@ -174,19 +187,54 @@ class ShardedBackend : public ExecutionBackend {
   /// the same address *and* shape can collide (then caught by validation).
   using WeightKey = std::tuple<const float*, std::size_t, int, int, int, int>;
 
+  /// Current plan by copyable handle: the dispatch path pins the plan it
+  /// executes with for the whole layer run, so the adaptive re-planner can
+  /// swap in a new plan concurrently without invalidating in-flight shards
+  /// (copy-on-write — the old plan lives until its last holder drops it).
+  std::shared_ptr<const kernels::LayerPlan> plan_handle(
+      const snn::LayerSpec& spec) const;
+
+  /// Adaptive re-planning bookkeeping of one layer. The mutex serializes
+  /// EMA updates from concurrent batch workers; the replan decision itself
+  /// is two allocation-free cost-model evaluations, so the steady-state
+  /// (non-flipping) path stays heap-free.
+  struct AdaptiveState {
+    std::mutex mu;
+    double ema = -1.0;  ///< measured input-density EMA, -1 = unseeded
+    long runs = 0;
+    int flips = 0;
+    kernels::ShardAxis axis = kernels::ShardAxis::kOutputChannel;
+  };
+
+  /// Record one observed input density for `spec` and re-rank its shard
+  /// axes once the warmup window has passed; swaps the cached plan (and
+  /// counts a flip) when the candidate clears the hysteresis margin. No-op
+  /// unless replan_.enabled.
+  void observe_density(const snn::LayerSpec& spec, std::size_t in_nnz,
+                       std::size_t in_elems) const;
+
+  double initial_plan_density() const;
+
   int clusters_;
   bool threads_;
   int min_work_;  ///< output elements below which fan-out stays serial
   kernels::Partitioner partitioner_;
   arch::NocParams noc_;
+  kernels::ReplanConfig replan_;
   std::shared_ptr<WorkerPool> pool_;
   mutable std::mutex mu_;
   mutable std::map<WeightKey, snn::LayerWeights> weight_cache_;
   /// Reader-writer lock: after prepare() the plan cache is read-only on the
   /// hot path (one shared acquisition per layer dispatch); the exclusive
-  /// side only runs for specs never planned before.
+  /// side only runs for specs never planned before — or for a re-plan swap.
   mutable std::shared_mutex plan_mu_;
-  mutable std::map<std::uint64_t, kernels::LayerPlan> plans_;
+  mutable std::map<std::uint64_t, std::shared_ptr<const kernels::LayerPlan>>
+      plans_;
+  /// node-stable map: AdaptiveState holds a mutex and must not move.
+  /// adaptive_mu_ guards the map structure only (find / first-touch insert);
+  /// per-layer updates serialize on the entry's own mutex.
+  mutable std::mutex adaptive_mu_;
+  mutable std::map<std::uint64_t, AdaptiveState> adaptive_;
 };
 
 }  // namespace spikestream::runtime

@@ -1,6 +1,7 @@
 #include "runtime/batch.hpp"
 
 #include <algorithm>
+#include <span>
 #include <thread>
 
 #include "runtime/worker_pool.hpp"
@@ -56,11 +57,85 @@ std::vector<snn::NetworkState> BatchRunner::worker_states(
 
 std::vector<MultiStepResult> BatchRunner::run(
     const std::vector<snn::Tensor>& images, int timesteps) const {
+  if (lockstep()) return run_lockstep(images, timesteps);
   std::vector<MultiStepResult> results(images.size());
   std::vector<snn::NetworkState> states = worker_states(images.size());
   for_samples(images.size(), [&](std::size_t worker, std::size_t i) {
     results[i] = run_timesteps(engine_, states[worker], images[i], timesteps);
   });
+  return results;
+}
+
+// --- segment-major lockstep waves -------------------------------------------
+// Wave lanes own one NetworkState each; all lanes advance through the same
+// layer together so segmented FC layers execute as one batch-scope call.
+
+bool BatchRunner::lockstep() const {
+  return engine_.options().segment_major_lanes > 1;
+}
+
+std::size_t BatchRunner::wave_width(std::size_t n) const {
+  return std::min<std::size_t>(
+      std::max<std::size_t>(n, 1),
+      static_cast<std::size_t>(engine_.options().segment_major_lanes));
+}
+
+std::vector<MultiStepResult> BatchRunner::run_lockstep(
+    const std::vector<snn::Tensor>& images, int timesteps) const {
+  const std::size_t n = images.size();
+  const std::size_t layers = engine_.network().num_layers();
+  std::vector<MultiStepResult> results(n);
+  for (MultiStepResult& r : results) r.timesteps = timesteps;
+  if (n == 0 || timesteps <= 0 || layers == 0) return results;
+
+  const std::size_t W = wave_width(n);
+  std::vector<snn::NetworkState> states(W);
+  for (auto& s : states) s = engine_.make_state();
+  std::vector<InferenceResult> steps(W);  // per-lane timestep accumulator
+  std::vector<InferenceEngine::BatchLane> lanes(W);
+  WorkerPool* pool = pool_.get();
+  for (std::size_t w0 = 0; w0 < n; w0 += W) {
+    const std::size_t wn = std::min(W, n - w0);
+    for (std::size_t i = 0; i < wn; ++i) states[i].clear();
+    for (int t = 0; t < timesteps; ++t) {
+      for (std::size_t i = 0; i < wn; ++i) {
+        engine_.begin_sample(steps[i]);
+        lanes[i] = {&images[w0 + i], nullptr, &states[i], &steps[i]};
+      }
+      for (std::size_t l = 0; l < layers; ++l) {
+        engine_.run_layer_batch(l, std::span(lanes.data(), wn), pool);
+      }
+      for (std::size_t i = 0; i < wn; ++i) {
+        results[w0 + i].accumulate_step(steps[i]);
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<InferenceResult> BatchRunner::run_single_step_lockstep(
+    const std::vector<snn::Tensor>& images) const {
+  const std::size_t n = images.size();
+  const std::size_t layers = engine_.network().num_layers();
+  std::vector<InferenceResult> results(n);
+  if (n == 0 || layers == 0) return results;
+
+  const std::size_t W = wave_width(n);
+  std::vector<snn::NetworkState> states(W);
+  for (auto& s : states) s = engine_.make_state();
+  std::vector<InferenceEngine::BatchLane> lanes(W);
+  WorkerPool* pool = pool_.get();
+  for (std::size_t w0 = 0; w0 < n; w0 += W) {
+    const std::size_t wn = std::min(W, n - w0);
+    for (std::size_t i = 0; i < wn; ++i) {
+      states[i].clear();
+      engine_.begin_sample(results[w0 + i]);
+      lanes[i] = {&images[w0 + i], nullptr, &states[i], &results[w0 + i]};
+    }
+    for (std::size_t l = 0; l < layers; ++l) {
+      engine_.run_layer_batch(l, std::span(lanes.data(), wn), pool);
+    }
+  }
   return results;
 }
 
@@ -76,6 +151,7 @@ std::vector<MultiStepResult> BatchRunner::run_events(
 
 std::vector<InferenceResult> BatchRunner::run_single_step(
     const std::vector<snn::Tensor>& images) const {
+  if (lockstep()) return run_single_step_lockstep(images);
   std::vector<InferenceResult> results(images.size());
   std::vector<snn::NetworkState> states = worker_states(images.size());
   for_samples(images.size(), [&](std::size_t worker, std::size_t i) {

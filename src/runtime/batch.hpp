@@ -9,6 +9,16 @@
 // the sharded backend fans its per-layer shards out on — so batch x shard
 // parallelism can never oversubscribe the host and no thread is ever spawned
 // per call.
+//
+// Segment-major lockstep: with RunOptions::segment_major_lanes >= 2 the
+// runner switches from sample fan-out to lockstep waves — up to that many
+// samples advance through the network layer by layer *together*, handing all
+// wave lanes to the backend in one call per segmented FC layer
+// (InferenceEngine::run_layer_batch), so each fan-in weight band streams
+// once per wave instead of once per sample. Non-FC layers of a wave still
+// fan out across the pool. Outputs and modeled stats stay bit-identical to
+// the per-sample path (the segment-major accounting is deterministic
+// per-sample, independent of the execution schedule).
 #pragma once
 
 #include <cstddef>
@@ -37,7 +47,10 @@ class BatchRunner {
   std::vector<MultiStepResult> run(const std::vector<snn::Tensor>& images,
                                    int timesteps = 1) const;
 
-  /// Event-driven variant: one pre-padded frame sequence per sample.
+  /// Event-driven variant: one pre-padded frame sequence per sample. Always
+  /// uses per-sample fan-out (streams may have unequal lengths, which rules
+  /// out lockstep waves); modeled stats are unaffected — the segment-major
+  /// accounting is schedule-independent.
   std::vector<MultiStepResult> run_events(
       const std::vector<std::vector<snn::SpikeMap>>& streams) const;
 
@@ -59,6 +72,16 @@ class BatchRunner {
   /// One reusable NetworkState per worker slot that for_samples() will
   /// engage for `n_samples` samples (sized with the same slot formula).
   std::vector<snn::NetworkState> worker_states(std::size_t n_samples) const;
+
+  /// True when the engine's options ask for segment-major lockstep waves.
+  bool lockstep() const;
+  /// Lockstep wave width for an `n`-sample batch.
+  std::size_t wave_width(std::size_t n) const;
+
+  std::vector<MultiStepResult> run_lockstep(
+      const std::vector<snn::Tensor>& images, int timesteps) const;
+  std::vector<InferenceResult> run_single_step_lockstep(
+      const std::vector<snn::Tensor>& images) const;
 
   InferenceEngine engine_;
   int workers_;

@@ -101,66 +101,46 @@ void InferenceEngine::begin_sample(InferenceResult& out) const {
   out.total_energy_mj = 0;
 }
 
-const snn::SpikeMap* InferenceEngine::run_layer(std::size_t l,
-                                                const snn::Tensor* image,
-                                                const snn::SpikeMap* carry,
-                                                snn::NetworkState& state,
-                                                InferenceResult& out) const {
-  SPK_CHECK(state.num_layers() == net_.num_layers(),
-            "NetworkState does not match this network (use make_state())");
-  const kernels::RunOptions& opt = backend_->options();
+const compress::CsrIfmap& InferenceEngine::encode_layer_input(
+    std::size_t l, const snn::SpikeMap& carry, snn::NetworkState& state,
+    InferenceResult& out) const {
   const snn::LayerSpec& spec = net_.layer(l);
-  const snn::LayerWeights& w = net_.weights(l);
-  snn::Tensor& membrane = state.membrane(l);
   kernels::LayerScratch& scratch = state.scratch(l);
   LayerMetrics& m = out.layers[l];
   m.name = spec.name;
+  compress::CsrIfmap& csr = scratch.csr;
+  compress::CsrIfmap::encode_into(carry, csr);
+  // Footprints and firing rates come straight from the CSR counts — the
+  // AER event list is never materialized on the hot path.
+  m.csr_bytes = static_cast<double>(csr.footprint_bytes());
+  m.aer_bytes = static_cast<double>(compress::AerEvents::footprint_from_count(
+      csr.nnz(), spec.kind != snn::LayerKind::kFc));
+  m.in_firing_rate = carry.size() ? static_cast<double>(csr.nnz()) /
+                                        static_cast<double>(carry.size())
+                                  : 0.0;
+  return csr;
+}
 
-  const kernels::LayerRun* lr = nullptr;
-  if (spec.kind == snn::LayerKind::kEncodeConv) {
-    SPK_CHECK(image != nullptr, "encode layer needs a dense image input");
-    snn::Reference::pad_dense_into(*image, (spec.in_h - image->h) / 2,
-                                   scratch.padded);
-    lr = &backend_->run_encode(spec, w, scratch.padded, membrane, scratch);
-    // Layer-1 ifmap is a dense RGB tensor: report its dense HWC size as
-    // "ours" and the event-per-pixel AER equivalent as the AER column.
-    const double px = static_cast<double>(spec.in_h) * spec.in_w * spec.in_c;
-    m.csr_bytes = px * common::fp_bytes(opt.fmt);
-    m.aer_bytes = px * 8.0;
-    m.in_firing_rate = 1.0;
-  } else {
-    SPK_CHECK(carry != nullptr, "layer " << spec.name << ": no input");
-    compress::CsrIfmap& csr = scratch.csr;
-    compress::CsrIfmap::encode_into(*carry, csr);
-    // Footprints and firing rates come straight from the CSR counts — the
-    // AER event list is never materialized on the hot path.
-    m.csr_bytes = static_cast<double>(csr.footprint_bytes());
-    m.aer_bytes = static_cast<double>(compress::AerEvents::footprint_from_count(
-        csr.nnz(), spec.kind != snn::LayerKind::kFc));
-    m.in_firing_rate =
-        carry->size() ? static_cast<double>(csr.nnz()) /
-                            static_cast<double>(carry->size())
-                      : 0.0;
-    if (spec.kind == snn::LayerKind::kConv) {
-      lr = &backend_->run_conv(spec, w, csr, membrane, scratch);
-    } else {
-      lr = &backend_->run_fc(spec, w, csr, membrane, scratch);
-    }
-  }
-
+const snn::SpikeMap* InferenceEngine::finish_layer(
+    std::size_t l, const kernels::LayerRun& lr, snn::NetworkState& state,
+    InferenceResult& out) const {
+  const kernels::RunOptions& opt = backend_->options();
+  const snn::LayerSpec& spec = net_.layer(l);
+  kernels::LayerScratch& scratch = state.scratch(l);
+  LayerMetrics& m = out.layers[l];
   m.out_firing_rate =
-      lr->out_spikes.size() ? static_cast<double>(lr->out_nnz) /
-                                  static_cast<double>(lr->out_spikes.size())
-                            : 0.0;
-  m.stats = lr->stats;
-  m.energy = arch::compute_energy(energy_, lr->stats.to_activity(), opt.fmt);
-  m.power_w = arch::average_power_w(energy_, lr->stats.to_activity(), opt.fmt);
-  out.total_cycles += lr->stats.cycles;
+      lr.out_spikes.size() ? static_cast<double>(lr.out_nnz) /
+                                 static_cast<double>(lr.out_spikes.size())
+                           : 0.0;
+  m.stats = lr.stats;
+  m.energy = arch::compute_energy(energy_, lr.stats.to_activity(), opt.fmt);
+  m.power_w = arch::average_power_w(energy_, lr.stats.to_activity(), opt.fmt);
+  out.total_cycles += lr.stats.cycles;
   out.total_energy_mj += m.energy.total_mj();
 
   // Route spikes to the next layer exactly like the reference, through the
   // scratch-owned pool/pad/flatten buffers.
-  const snn::SpikeMap* next = &lr->out_spikes;
+  const snn::SpikeMap* next = &lr.out_spikes;
   if (spec.pool_after) {
     snn::or_pool2_into(*next, scratch.pooled);
     next = &scratch.pooled;
@@ -173,8 +153,90 @@ const snn::SpikeMap* InferenceEngine::run_layer(std::size_t l,
     }
     return &scratch.routed;
   }
-  out.final_output = lr->out_spikes;
+  out.final_output = lr.out_spikes;
   return nullptr;
+}
+
+const snn::SpikeMap* InferenceEngine::run_layer(std::size_t l,
+                                                const snn::Tensor* image,
+                                                const snn::SpikeMap* carry,
+                                                snn::NetworkState& state,
+                                                InferenceResult& out) const {
+  SPK_CHECK(state.num_layers() == net_.num_layers(),
+            "NetworkState does not match this network (use make_state())");
+  const kernels::RunOptions& opt = backend_->options();
+  const snn::LayerSpec& spec = net_.layer(l);
+  const snn::LayerWeights& w = net_.weights(l);
+  snn::Tensor& membrane = state.membrane(l);
+  kernels::LayerScratch& scratch = state.scratch(l);
+
+  const kernels::LayerRun* lr = nullptr;
+  if (spec.kind == snn::LayerKind::kEncodeConv) {
+    SPK_CHECK(image != nullptr, "encode layer needs a dense image input");
+    LayerMetrics& m = out.layers[l];
+    m.name = spec.name;
+    snn::Reference::pad_dense_into(*image, (spec.in_h - image->h) / 2,
+                                   scratch.padded);
+    lr = &backend_->run_encode(spec, w, scratch.padded, membrane, scratch);
+    // Layer-1 ifmap is a dense RGB tensor: report its dense HWC size as
+    // "ours" and the event-per-pixel AER equivalent as the AER column.
+    const double px = static_cast<double>(spec.in_h) * spec.in_w * spec.in_c;
+    m.csr_bytes = px * common::fp_bytes(opt.fmt);
+    m.aer_bytes = px * 8.0;
+    m.in_firing_rate = 1.0;
+  } else {
+    SPK_CHECK(carry != nullptr, "layer " << spec.name << ": no input");
+    const compress::CsrIfmap& csr = encode_layer_input(l, *carry, state, out);
+    if (spec.kind == snn::LayerKind::kConv) {
+      lr = &backend_->run_conv(spec, w, csr, membrane, scratch);
+    } else {
+      lr = &backend_->run_fc(spec, w, csr, membrane, scratch);
+    }
+  }
+  return finish_layer(l, *lr, state, out);
+}
+
+void InferenceEngine::run_layer_batch(std::size_t l,
+                                      std::span<BatchLane> lanes,
+                                      WorkerPool* pool) const {
+  const snn::LayerSpec& spec = net_.layer(l);
+  const bool batched_fc = spec.kind == snn::LayerKind::kFc &&
+                          lanes.size() > 1 &&
+                          backend_->options().segment_major_lanes > 1;
+  if (batched_fc) {
+    // Per-lane input compression, one batch-scope kernel call, per-lane
+    // metric/routing tails — all lanes advance through this layer together.
+    // thread_local so the steady state reuses capacity (the batched path
+    // never nests: the FC batch call does not recurse into layer stepping).
+    static thread_local std::vector<FcBatchLane> fc;
+    fc.assign(lanes.size(), FcBatchLane{});
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      BatchLane& lane = lanes[i];
+      SPK_CHECK(lane.carry != nullptr,
+                "layer " << spec.name << ": no input (lane " << i << ")");
+      fc[i].ifmap =
+          &encode_layer_input(l, *lane.carry, *lane.state, *lane.out);
+      fc[i].membrane = &lane.state->membrane(l);
+      fc[i].scratch = &lane.state->scratch(l);
+    }
+    backend_->run_fc_batch(spec, net_.weights(l), fc);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      lanes[i].carry = finish_layer(l, lanes[i].state->scratch(l).main.run,
+                                    *lanes[i].state, *lanes[i].out);
+    }
+    return;
+  }
+  auto step_lane = [&](BatchLane& lane) {
+    lane.carry = run_layer(l, lane.image, lane.carry, *lane.state, *lane.out);
+  };
+  if (pool != nullptr && lanes.size() > 1) {
+    pool->parallel_for(lanes.size(), lanes.size(),
+                       [&](std::size_t, std::size_t i) {
+                         step_lane(lanes[i]);
+                       });
+  } else {
+    for (BatchLane& lane : lanes) step_lane(lane);
+  }
 }
 
 void InferenceEngine::run_impl(const snn::Tensor* image,

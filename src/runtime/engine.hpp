@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -106,6 +107,30 @@ class InferenceEngine {
                                  snn::NetworkState& state,
                                  InferenceResult& out) const;
 
+  // --- batch-scope layer stepping (segment-major lockstep executors) --------
+  // One lane per in-flight sample of a lockstep wave: the runners advance
+  // all lanes through the same layer together, which lets a segmented FC
+  // layer hand every lane to the backend in a single run_fc_batch call (the
+  // weight bands then stream once per wave instead of once per sample).
+  // `carry` is updated in place by run_layer_batch, exactly like the pointer
+  // run_layer returns.
+
+  struct BatchLane {
+    const snn::Tensor* image = nullptr;
+    const snn::SpikeMap* carry = nullptr;
+    snn::NetworkState* state = nullptr;
+    InferenceResult* out = nullptr;
+  };
+
+  /// Execute layer `l` for every lane. Segmented-FC-eligible layers (FC,
+  /// RunOptions::segment_major_lanes >= 2, more than one lane) go through
+  /// ExecutionBackend::run_fc_batch; every other layer runs per lane — on
+  /// `pool` when one is given (lanes own distinct states, the same aliasing
+  /// contract run_layer documents). Results are bit-identical to calling
+  /// run_layer per lane in order, including modeled stats.
+  void run_layer_batch(std::size_t l, std::span<BatchLane> lanes,
+                       WorkerPool* pool = nullptr) const;
+
   /// Fresh zeroed membrane state shaped for this engine's network, with the
   /// scratch arenas pre-sized for the backend's execution shape (one shard
   /// lane per planned cluster on the sharded backend).
@@ -142,6 +167,19 @@ class InferenceEngine {
 
   void run_impl(const snn::Tensor* image, const snn::SpikeMap* events,
                 snn::NetworkState& state, InferenceResult& out) const;
+
+  /// Compress a layer's spike-map input into its scratch CSR arena and fill
+  /// the input-side metrics (name, footprints, firing rate).
+  const compress::CsrIfmap& encode_layer_input(std::size_t l,
+                                               const snn::SpikeMap& carry,
+                                               snn::NetworkState& state,
+                                               InferenceResult& out) const;
+  /// Output-side metric/energy bookkeeping + spike routing shared by
+  /// run_layer and run_layer_batch; returns the next layer's carry.
+  const snn::SpikeMap* finish_layer(std::size_t l,
+                                    const kernels::LayerRun& lr,
+                                    snn::NetworkState& state,
+                                    InferenceResult& out) const;
 
   snn::Network net_;
   std::shared_ptr<WorkerPool> pool_;  ///< created before the backend using it

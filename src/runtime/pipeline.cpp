@@ -1,6 +1,7 @@
 #include "runtime/pipeline.hpp"
 
 #include <algorithm>
+#include <span>
 #include <thread>
 #include <utility>
 
@@ -94,8 +95,73 @@ void PipelinedBatchRunner::run_stages(
   }
 }
 
+// --- segment-major lockstep waves -------------------------------------------
+
+bool PipelinedBatchRunner::lockstep() const {
+  return engine_.options().segment_major_lanes > 1;
+}
+
+std::vector<MultiStepResult> PipelinedBatchRunner::run_lockstep(
+    const std::vector<snn::Tensor>& images, int timesteps) const {
+  const std::size_t n = images.size();
+  const std::size_t layers = engine_.network().num_layers();
+  std::vector<MultiStepResult> results(n);
+  for (MultiStepResult& r : results) r.timesteps = timesteps;
+  if (n == 0 || timesteps <= 0 || layers == 0) return results;
+
+  std::vector<Lane> lanes = borrow_lanes(n);
+  const std::size_t W = lanes.size();
+  std::vector<InferenceEngine::BatchLane> wave(W);
+  for (std::size_t w0 = 0; w0 < n; w0 += W) {
+    const std::size_t wn = std::min(W, n - w0);
+    for (std::size_t i = 0; i < wn; ++i) lanes[i].state.clear();
+    for (int t = 0; t < timesteps; ++t) {
+      for (std::size_t i = 0; i < wn; ++i) {
+        engine_.begin_sample(lanes[i].step);
+        wave[i] = {&images[w0 + i], nullptr, &lanes[i].state,
+                   &lanes[i].step};
+      }
+      for (std::size_t l = 0; l < layers; ++l) {
+        engine_.run_layer_batch(l, std::span(wave.data(), wn), pool_.get());
+      }
+      for (std::size_t i = 0; i < wn; ++i) {
+        results[w0 + i].accumulate_step(lanes[i].step);
+      }
+    }
+  }
+  return_lanes(std::move(lanes));
+  return results;
+}
+
+std::vector<InferenceResult> PipelinedBatchRunner::run_single_step_lockstep(
+    const std::vector<snn::Tensor>& images) const {
+  const std::size_t n = images.size();
+  const std::size_t layers = engine_.network().num_layers();
+  std::vector<InferenceResult> results(n);
+  if (n == 0 || layers == 0) return results;
+
+  std::vector<Lane> lanes = borrow_lanes(n);
+  const std::size_t W = lanes.size();
+  std::vector<InferenceEngine::BatchLane> wave(W);
+  for (std::size_t w0 = 0; w0 < n; w0 += W) {
+    const std::size_t wn = std::min(W, n - w0);
+    for (std::size_t i = 0; i < wn; ++i) {
+      lanes[i].state.clear();
+      engine_.begin_sample(results[w0 + i]);
+      wave[i] = {&images[w0 + i], nullptr, &lanes[i].state,
+                 &results[w0 + i]};
+    }
+    for (std::size_t l = 0; l < layers; ++l) {
+      engine_.run_layer_batch(l, std::span(wave.data(), wn), pool_.get());
+    }
+  }
+  return_lanes(std::move(lanes));
+  return results;
+}
+
 std::vector<MultiStepResult> PipelinedBatchRunner::run(
     const std::vector<snn::Tensor>& images, int timesteps) const {
+  if (lockstep()) return run_lockstep(images, timesteps);
   const std::size_t layers = engine_.network().num_layers();
   std::vector<MultiStepResult> results(images.size());
   for (MultiStepResult& r : results) r.timesteps = timesteps;
@@ -123,6 +189,7 @@ std::vector<MultiStepResult> PipelinedBatchRunner::run(
 
 std::vector<InferenceResult> PipelinedBatchRunner::run_single_step(
     const std::vector<snn::Tensor>& images) const {
+  if (lockstep()) return run_single_step_lockstep(images);
   const std::size_t layers = engine_.network().num_layers();
   std::vector<InferenceResult> results(images.size());
   if (layers == 0) return results;

@@ -27,6 +27,18 @@
 // batch starts with all lanes warm. The rotation sample -> lane (i mod
 // depth) is deterministic, unlike the racing slot assignment of a
 // multithreaded BatchRunner.
+//
+// Segment-major lockstep: stage overlap keeps in-flight samples at
+// *different* layers, which is exactly what the segment-major batched FC
+// schedule (RunOptions::segment_major_lanes) cannot use — it wants all
+// lanes at the same segmented FC layer so each weight band streams once for
+// the whole set. With segment_major_lanes >= 2 the runner therefore trades
+// stage overlap for lockstep waves: `depth` samples advance layer by layer
+// together (non-FC layers fan the lanes out on the pool; segmented FC
+// layers execute as one batch-scope InferenceEngine::run_layer_batch call).
+// Both schedules overlap the same host work; outputs and modeled stats stay
+// bit-identical to the serial path either way, and lanes keep their
+// weight-residency history across calls exactly as before.
 #pragma once
 
 #include <cstddef>
@@ -91,6 +103,15 @@ class PipelinedBatchRunner {
       std::size_t n, std::size_t stages,
       common::FunctionRef<void(std::size_t, std::size_t, Lane&)> step,
       std::vector<Lane>& lanes) const;
+
+  /// True when the engine's options ask for segment-major lockstep waves
+  /// instead of stage overlap.
+  bool lockstep() const;
+
+  std::vector<MultiStepResult> run_lockstep(
+      const std::vector<snn::Tensor>& images, int timesteps) const;
+  std::vector<InferenceResult> run_single_step_lockstep(
+      const std::vector<snn::Tensor>& images) const;
 
   InferenceEngine engine_;
   int depth_;

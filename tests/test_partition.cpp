@@ -20,7 +20,10 @@
 #include "common/rng.hpp"
 #include "kernels/partition.hpp"
 #include "runtime/backend_sharded.hpp"
+#include "runtime/batch.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/multistep.hpp"
+#include "runtime/pipeline.hpp"
 #include "runtime/worker_pool.hpp"
 #include "snn/calibrate.hpp"
 #include "snn/input_gen.hpp"
@@ -396,4 +399,246 @@ TEST(PartitionPlans, PreparedAtEngineConstructionAndLanesPresized) {
   const k::LayerPlan& head = be->plan_for(net.layer(net.num_layers() - 1));
   EXPECT_EQ(head.axis, k::ShardAxis::kFanIn);
   EXPECT_EQ(head.n(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Segment-major batched FC execution
+// ---------------------------------------------------------------------------
+
+TEST(SegmentMajor, BitExactSpikesAndCyclesAcrossBatchAndBackends) {
+  // The lockstep batch executors (BatchRunner waves, PipelinedBatchRunner
+  // waves, the backend's run_fc_batch hook) must produce spikes AND modeled
+  // stats bit-identical to the serial per-sample path with the same options,
+  // for every batch size, backend and cluster count — the segment-major
+  // accounting is per-sample deterministic by construction.
+  const snn::Network net = test_net();
+  k::RunOptions opt;
+  for (const std::size_t B : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const auto images = snn::make_batch(B, 99, 16, 16, 3);
+    opt.segment_major_lanes = static_cast<int>(B);
+    struct Case {
+      const char* label;
+      rt::BackendConfig cfg;
+    };
+    std::vector<Case> cases = {{"analytical", {}}};
+    {
+      rt::BackendConfig c;
+      c.kind = rt::BackendKind::kCycleAccurate;
+      cases.push_back({"cycle-accurate", c});
+    }
+    for (int clusters : {1, 4, 8}) {
+      cases.push_back(
+          {"sharded", sharded_cfg(k::PartitionStrategy::kHybrid, clusters)});
+    }
+    for (const Case& c : cases) {
+      const rt::InferenceEngine engine(net, opt, c.cfg);
+      // Serial per-sample reference (same engine, same options).
+      std::vector<rt::InferenceResult> serial(B);
+      for (std::size_t i = 0; i < B; ++i) {
+        snn::NetworkState st = engine.make_state();
+        engine.run(images[i], st, serial[i]);
+      }
+      const rt::BatchRunner batch(net, opt, c.cfg, {}, /*workers=*/2);
+      const rt::PipelinedBatchRunner pipe(net, opt, c.cfg, {},
+                                          /*depth=*/static_cast<int>(B));
+      const auto rb = batch.run_single_step(images);
+      const auto rp = pipe.run_single_step(images);
+      for (std::size_t i = 0; i < B; ++i) {
+        EXPECT_EQ(serial[i].final_output.v, rb[i].final_output.v)
+            << c.label << " B=" << B << " sample " << i;
+        EXPECT_EQ(serial[i].final_output.v, rp[i].final_output.v)
+            << c.label << " B=" << B << " sample " << i;
+        EXPECT_DOUBLE_EQ(serial[i].total_cycles, rb[i].total_cycles)
+            << c.label << " B=" << B << " sample " << i;
+        EXPECT_DOUBLE_EQ(serial[i].total_cycles, rp[i].total_cycles)
+            << c.label << " B=" << B << " sample " << i;
+        for (std::size_t l = 0; l < serial[i].layers.size(); ++l) {
+          EXPECT_DOUBLE_EQ(serial[i].layers[l].stats.dma_bytes,
+                           rb[i].layers[l].stats.dma_bytes)
+              << c.label << " B=" << B << " layer " << l;
+          EXPECT_DOUBLE_EQ(serial[i].layers[l].stats.dma_saved_bytes,
+                           rb[i].layers[l].stats.dma_saved_bytes)
+              << c.label << " B=" << B << " layer " << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(SegmentMajor, MultiTimestepLockstepMatchesSerial) {
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(5, 31, 16, 16, 3);
+  k::RunOptions opt;
+  opt.segment_major_lanes = 3;  // waves smaller than the batch
+  const rt::BatchRunner batch(net, opt, {}, {}, /*workers=*/2);
+  const rt::PipelinedBatchRunner pipe(net, opt, {}, {}, /*depth=*/3);
+  const auto rb = batch.run(images, /*timesteps=*/3);
+  const auto rp = pipe.run(images, /*timesteps=*/3);
+  const rt::InferenceEngine engine(net, opt);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    snn::NetworkState st = engine.make_state();
+    const auto serial = rt::run_timesteps(engine, st, images[i], 3);
+    EXPECT_EQ(serial.spike_counts, rb[i].spike_counts) << i;
+    EXPECT_EQ(serial.spike_counts, rp[i].spike_counts) << i;
+    EXPECT_DOUBLE_EQ(serial.total_cycles, rb[i].total_cycles) << i;
+    EXPECT_DOUBLE_EQ(serial.total_cycles, rp[i].total_cycles) << i;
+  }
+}
+
+TEST(SegmentMajor, ReducesFcDmaAndItemizesSaving) {
+  // The tiny net's FC layer (8192 -> 10) is fan-in segmented, so the
+  // segment-major schedule applies: per-sample FC DMA must drop and the
+  // delta must land in dma_saved_bytes (spill itemized separately, inside
+  // dma_bytes).
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(4, 7, 16, 16, 3);
+  k::RunOptions off;
+  k::RunOptions on = off;
+  on.segment_major_lanes = 4;
+  const rt::BatchRunner r_off(net, off, {}, {}, /*workers=*/1);
+  const rt::BatchRunner r_on(net, on, {}, {}, /*workers=*/1);
+  const auto a = r_off.run_single_step(images);
+  const auto b = r_on.run_single_step(images);
+  const std::size_t fc = net.num_layers() - 1;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const auto& so = a[i].layers[fc].stats;
+    const auto& sn = b[i].layers[fc].stats;
+    EXPECT_LT(sn.dma_bytes, so.dma_bytes) << i;
+    EXPECT_GT(sn.dma_saved_bytes, 0.0) << i;
+    EXPECT_NEAR(sn.dma_bytes + sn.dma_saved_bytes, so.dma_bytes, 1e-6) << i;
+    EXPECT_GE(sn.dma_bytes_spill, 0.0) << i;
+    EXPECT_LE(sn.dma_bytes_spill, sn.dma_bytes) << i;
+    // Spikes untouched by the accounting change.
+    EXPECT_EQ(a[i].final_output.v, b[i].final_output.v) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Occupancy-adaptive re-planning
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Drive `runs` executions of `spec` through a sharded backend at a given
+/// input density (deterministic evenly-spaced spikes).
+void drive_fc(const rt::ShardedBackend& be, const snn::LayerSpec& spec,
+              const snn::LayerWeights& w, double density, int runs) {
+  snn::SpikeMap in(1, 1, spec.in_c);
+  const int stride =
+      std::max(1, static_cast<int>(1.0 / std::max(density, 1e-6)));
+  for (int c = 0; c < spec.in_c; c += stride) in.at(0, 0, c) = 1;
+  for (int r = 0; r < runs; ++r) {
+    spikestream::compress::CsrIfmap csr;
+    spikestream::compress::CsrIfmap::encode_into(in, csr);
+    snn::Tensor mem(1, 1, spec.out_c);
+    k::LayerScratch scratch;
+    be.run_fc(spec, w, csr, mem, scratch);
+  }
+}
+
+}  // namespace
+
+TEST(AdaptiveReplan, FlipsExactlyOnceAfterWarmupAndNeverOscillates) {
+  // fc8-shaped head at 8 clusters: the cold-density initial plan picks
+  // output-channel tiles; once the measured EMA is seeded with the
+  // steady-state density, the re-planner must flip to fan-in exactly once
+  // and then hold the axis over many more runs at stable density.
+  k::RunOptions opt;
+  const auto spec = fc_spec(1024, 10);
+  snn::LayerWeights w;
+  w.k = 1;
+  w.in_c = spec.in_c;
+  w.out_c = spec.out_c;
+  w.v.assign(static_cast<std::size_t>(spec.in_c) * spec.out_c, 0.01f);
+  k::ReplanConfig replan;
+  replan.enabled = true;
+  const rt::ShardedBackend be(opt, 8, /*use_threads=*/false,
+                              k::PartitionStrategy::kHybrid, {}, nullptr,
+                              32 * 1024, replan);
+  // Cold-start plan: near-empty density prefers output-channel.
+  EXPECT_EQ(be.active_axis(spec), k::ShardAxis::kOutputChannel);
+  EXPECT_EQ(be.replan_flips(spec), 0);
+
+  drive_fc(be, spec, w, 0.15, replan.warmup_runs);  // seed the EMA
+  EXPECT_EQ(be.replan_flips(spec), 1);
+  EXPECT_EQ(be.active_axis(spec), k::ShardAxis::kFanIn);
+
+  drive_fc(be, spec, w, 0.15, 30);  // stable density: no oscillation
+  EXPECT_EQ(be.replan_flips(spec), 1);
+  EXPECT_EQ(be.active_axis(spec), k::ShardAxis::kFanIn);
+}
+
+TEST(AdaptiveReplan, HysteresisHoldsAxisThroughDensityJitter) {
+  k::RunOptions opt;
+  const auto spec = fc_spec(1024, 10);
+  snn::LayerWeights w;
+  w.k = 1;
+  w.in_c = spec.in_c;
+  w.out_c = spec.out_c;
+  w.v.assign(static_cast<std::size_t>(spec.in_c) * spec.out_c, 0.01f);
+  k::ReplanConfig replan;
+  replan.enabled = true;
+  const rt::ShardedBackend be(opt, 8, /*use_threads=*/false,
+                              k::PartitionStrategy::kHybrid, {}, nullptr,
+                              32 * 1024, replan);
+  // Jitter around a steady level: the EMA smooths it and the hysteresis
+  // margin absorbs what remains — at most the one warmup flip may happen.
+  for (int r = 0; r < 20; ++r) {
+    drive_fc(be, spec, w, 0.12 + 0.06 * (r % 2), 1);
+  }
+  EXPECT_LE(be.replan_flips(spec), 1);
+  const auto axis_after = be.active_axis(spec);
+  for (int r = 0; r < 20; ++r) {
+    drive_fc(be, spec, w, 0.12 + 0.06 * (r % 2), 1);
+  }
+  EXPECT_EQ(be.active_axis(spec), axis_after);
+}
+
+TEST(AdaptiveReplan, DisabledBackendNeverReplans) {
+  k::RunOptions opt;
+  const auto spec = fc_spec(1024, 10);
+  snn::LayerWeights w;
+  w.k = 1;
+  w.in_c = spec.in_c;
+  w.out_c = spec.out_c;
+  w.v.assign(static_cast<std::size_t>(spec.in_c) * spec.out_c, 0.01f);
+  const rt::ShardedBackend be(opt, 8, /*use_threads=*/false,
+                              k::PartitionStrategy::kHybrid);
+  const auto axis0 = be.active_axis(spec);
+  drive_fc(be, spec, w, 0.15, 10);
+  EXPECT_EQ(be.replan_flips(spec), 0);
+  EXPECT_EQ(be.active_axis(spec), axis0);
+  EXPECT_DOUBLE_EQ(be.occupancy_ema(spec), -1.0);
+}
+
+TEST(AdaptiveReplan, AdaptiveBeatsStaticHybridOnColdStart) {
+  // End-to-end: over a run that starts on empty membranes, the adaptive
+  // engine's fc layer must cost no more modeled cycles than the static
+  // hybrid plan, and strictly less on the first (near-empty) timestep when
+  // a flip happened.
+  const snn::Network net = test_net();
+  const auto img = snn::make_batch(1, 6, 16, 16, 3)[0];
+  k::RunOptions opt;
+  rt::BackendConfig stat = sharded_cfg(k::PartitionStrategy::kHybrid, 8);
+  rt::BackendConfig adap = stat;
+  adap.replan.enabled = true;
+  const rt::InferenceEngine es(net, opt, stat);
+  const rt::InferenceEngine ea(net, opt, adap);
+  snn::NetworkState ss = es.make_state(), sa = ea.make_state();
+  rt::InferenceResult rs, ra;
+  const std::size_t fc = net.num_layers() - 1;
+  double fc_static = 0, fc_adaptive = 0;
+  for (int t = 0; t < 5; ++t) {
+    es.run(img, ss, rs);
+    ea.run(img, sa, ra);
+    // Spikes must be identical whatever the plan: partitioning only ever
+    // changes timing attribution.
+    ASSERT_EQ(rs.final_output.v, ra.final_output.v) << "t=" << t;
+    fc_static += rs.layers[fc].stats.cycles;
+    fc_adaptive += ra.layers[fc].stats.cycles;
+  }
+  EXPECT_LE(fc_adaptive, fc_static + 1e-9);
+  const auto* be = dynamic_cast<const rt::ShardedBackend*>(&ea.backend());
+  ASSERT_NE(be, nullptr);
+  EXPECT_LE(be->replan_flips(net.layer(fc)), 1);
 }

@@ -123,6 +123,129 @@ TEST(Tiling, SmallerSpmForcesMoreTiles) {
   EXPECT_LE(small.co_per_tile, big.co_per_tile);
 }
 
+TEST(Tiling, SegmentMajorWinsOnSegmentedFc) {
+  // fc7 (8192x1024) cycles 512 weight bands through one SPM tile per sample;
+  // the segment-major batch schedule streams each band once for the whole
+  // batch, so per-sample weight traffic drops by (B-1)/B net of spill.
+  const snn::Network net = snn::Network::make_svgg11();
+  const k::CostParams p;
+  const auto& fc7 = net.layer(6);
+  const double ifb = 1000.0, ofb = 64.0;
+  const auto cold = k::plan_layer(fc7, sc::FpFormat::FP16, ifb, ofb, p);
+  ASSERT_GT(cold.weight_tiles * cold.in_segments, 1);
+  EXPECT_DOUBLE_EQ(cold.pinned_weight_fraction, 0.0);  // bands cannot pin
+
+  const int B = 8;
+  const auto sm = k::plan_layer(fc7, sc::FpFormat::FP16, ifb, ofb, p,
+                                128.0 * 1024, true, B);
+  ASSERT_TRUE(sm.segment_major);
+  EXPECT_EQ(sm.sm_lanes, B);
+  EXPECT_EQ(sm.sm_bands, sm.weight_tiles * sm.in_segments);
+  EXPECT_LE(sm.sm_dma_bytes, sm.dma_bytes);
+  EXPECT_LT(sm.sm_dma_cycles, sm.dma_cycles);
+  // Weight traffic: all weights once per batch instead of once per sample.
+  const double weights = 8192.0 * 1024 * 2;
+  const double cold_weights = sm.dma_bytes - ifb * sm.in_segments - ofb;
+  EXPECT_NEAR(cold_weights, weights, 1.0);
+  const double sm_weights =
+      sm.sm_dma_bytes - sm.weight_tiles * ifb - ofb - sm.sm_spill_bytes;
+  EXPECT_NEAR(sm_weights, weights / B, 1.0);
+  EXPECT_GE(1.0 - sm_weights / cold_weights, 0.5);  // >= 50% weight-DMA cut
+}
+
+TEST(Tiling, SegmentMajorNotChosenWithoutBatchOrBands) {
+  const snn::Network net = snn::Network::make_svgg11();
+  const k::CostParams p;
+  // Single lane: nothing to amortize over.
+  const auto one = k::plan_layer(net.layer(6), sc::FpFormat::FP16, 1000.0,
+                                 64.0, p, 128.0 * 1024, true, 1);
+  EXPECT_FALSE(one.segment_major);
+  EXPECT_DOUBLE_EQ(one.sm_dma_bytes, one.dma_bytes);
+  // fc8 (1024x10) fits in one band: weights already stream once per sample.
+  const auto fc8 = k::plan_layer(net.layer(7), sc::FpFormat::FP16, 200.0,
+                                 30.0, p, 128.0 * 1024, true, 8);
+  EXPECT_EQ(fc8.weight_tiles * fc8.in_segments, 1);
+  EXPECT_FALSE(fc8.segment_major);
+  // Conv layers never take the FC schedule.
+  const auto conv = k::plan_layer(net.layer(3), sc::FpFormat::FP16,
+                                  csr_bytes_at_rate(net.layer(3), 0.2),
+                                  1000.0, p, 128.0 * 1024, true, 8);
+  EXPECT_FALSE(conv.segment_major);
+}
+
+TEST(Tiling, SegmentMajorSpillConservation) {
+  // Force spill: a wide-output FC layer has large per-lane accumulator
+  // slices (co_per_tile * fb), so only a few lanes' partial sums fit next to
+  // the streaming buffers. Parked lanes pay 2 * (segs - 1) * tiles *
+  // acc_bytes each, and the batch totals must reconcile exactly:
+  //   B * per_sample = all_weights + B * (tiles * ifmap + ofmap) + spill.
+  snn::LayerSpec fc;
+  fc.kind = snn::LayerKind::kFc;
+  fc.name = "wide_fc";
+  fc.in_c = 256;
+  fc.out_c = 4096;
+  const k::CostParams p;
+  const double ifb = 200.0, ofb = 64.0, spm = 96.0 * 1024;
+  const int B = 8;
+  const auto sm =
+      k::plan_layer(fc, sc::FpFormat::FP16, ifb, ofb, p, spm, true, B);
+  ASSERT_TRUE(sm.segment_major);
+  ASSERT_GT(sm.in_segments, 1);
+  ASSERT_LT(sm.sm_resident_lanes, B) << "SPM too big for the spill case";
+  EXPECT_GE(sm.sm_resident_lanes, 1);  // the active lane always fits
+  EXPECT_GT(sm.sm_spill_bytes, 0.0);
+  const double acc = sm.co_per_tile * 2.0;
+  const double expect_spill_batch = 2.0 * (B - sm.sm_resident_lanes) *
+                                    (sm.in_segments - 1.0) *
+                                    sm.weight_tiles * acc;
+  EXPECT_NEAR(sm.sm_spill_bytes * B, expect_spill_batch, 1e-6);
+  const double weights = 256.0 * 4096 * 2;
+  EXPECT_NEAR(sm.sm_dma_bytes * B,
+              weights + B * (sm.weight_tiles * ifb + ofb) +
+                  expect_spill_batch,
+              1e-3);
+}
+
+TEST(Tiling, SegmentMajorBreakEvenMonotonicInBatch) {
+  // More lanes amortize the weight stream further: per-sample segment-major
+  // bytes must be non-increasing in B, and once chosen the schedule stays
+  // chosen for every larger batch (the planner cannot flap around B).
+  const snn::Network net = snn::Network::make_svgg11();
+  const k::CostParams p;
+  const auto& fc7 = net.layer(6);
+  double prev_bytes = -1.0;
+  bool chosen_before = false;
+  for (int B : {2, 4, 8, 16, 32}) {
+    const auto sm = k::plan_layer(fc7, sc::FpFormat::FP16, 1000.0, 64.0, p,
+                                  128.0 * 1024, true, B);
+    if (chosen_before) EXPECT_TRUE(sm.segment_major) << "B=" << B;
+    chosen_before = chosen_before || sm.segment_major;
+    if (sm.segment_major && prev_bytes >= 0.0) {
+      EXPECT_LE(sm.sm_dma_bytes, prev_bytes + 1e-9) << "B=" << B;
+    }
+    if (sm.segment_major) prev_bytes = sm.sm_dma_bytes;
+    // The schedule is never adopted at a loss.
+    EXPECT_LE(sm.sm_dma_bytes, sm.dma_bytes + 1e-9) << "B=" << B;
+    EXPECT_LE(sm.sm_dma_cycles, sm.dma_cycles + 1e-9) << "B=" << B;
+  }
+  EXPECT_TRUE(chosen_before);
+}
+
+TEST(Tiling, SegmentMajorOverlapUsesAmortizedTimeline) {
+  const snn::Network net = snn::Network::make_svgg11();
+  const k::CostParams p;
+  const auto sm = k::plan_layer(net.layer(6), sc::FpFormat::FP16, 1000.0,
+                                64.0, p, 128.0 * 1024, true, 8);
+  ASSERT_TRUE(sm.segment_major);
+  // DMA-bound: the amortized stream gates wall-clock, not the per-sample one.
+  EXPECT_DOUBLE_EQ(k::overlap_cycles(sm, 10.0, true),
+                   sm.sm_first_fill_cycles + sm.sm_dma_cycles);
+  // Compute-bound: only the first fill is exposed.
+  const double huge = 10.0 * sm.dma_cycles;
+  EXPECT_DOUBLE_EQ(k::overlap_cycles(sm, huge, true),
+                   sm.sm_first_fill_cycles + huge);
+}
+
 TEST(Tiling, BatchAwareWarmPlanInvariants) {
   // The warm (batch-reuse) numbers of every S-VGG11 layer plan must be
   // consistent: warm DMA never exceeds cold, the pinned fraction is a
