@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/dram/dram.hpp"
 #include "bench/bench_common.hpp"
 #include "kernels/partition.hpp"
 #include "runtime/backend_sharded.hpp"
@@ -151,9 +152,16 @@ int main() {
     reuse_opt.batch_weight_reuse = true;
     k::RunOptions sm_opt = reuse_opt;
     sm_opt.segment_major_lanes = batch;
+    // Banked-DRAM column: same segment-major schedule priced by the
+    // row-buffer model (spikes bit-identical; the row activity is what the
+    // extra columns itemize).
+    k::RunOptions smb_opt = sm_opt;
+    smb_opt.cost.dram = spikestream::arch::DramConfig::banked();
     const rt::PipelinedBatchRunner cold(net, opt, {}, {}, /*depth=*/1);
     const rt::PipelinedBatchRunner warm(net, reuse_opt, {}, {}, /*depth=*/1);
     const rt::PipelinedBatchRunner segm(net, sm_opt, {}, {},
+                                        /*depth=*/batch);
+    const rt::PipelinedBatchRunner segb(net, smb_opt, {}, {},
                                         /*depth=*/batch);
     // Steady state: lanes keep their weight-residency history across run()
     // calls, so the second batch is the regime a serving deployment sits in
@@ -161,16 +169,19 @@ int main() {
     // cold/steady split).
     warm.run_single_step(images);
     segm.run_single_step(images);
+    segb.run_single_step(images);
     const auto cold_res = cold.run_single_step(images);
     const auto warm_res = warm.run_single_step(images);
     const auto segm_res = segm.run_single_step(images);
+    const auto segb_res = segb.run_single_step(images);
 
     sc::Table w("batch-level DMA per sample (batch " +
                 std::to_string(batch) +
                 "): cold vs warm tile pinning vs segment-major FC "
-                "(weight / spill / saved itemized)");
+                "(weight / spill / saved itemized; row hit% from the "
+                "banked-DRAM pricing)");
     w.set_header({"layer", "cold KB", "warm KB", "segmaj KB", "spill KB",
-                  "saved KB", "saved %"});
+                  "saved KB", "saved %", "row hit%", "row miss"});
     double batch_cold = 0, batch_warm = 0, batch_sm = 0, batch_saved = 0,
            batch_spill = 0;
     double cyc_warm = 0, cyc_sm = 0;
@@ -179,6 +190,8 @@ int main() {
       const auto& cs = cold_res[last].layers[l].stats;
       const auto& ws = warm_res[last].layers[l].stats;
       const auto& ss = segm_res[last].layers[l].stats;
+      const auto& bs = segb_res[last].layers[l].stats;
+      const double beats = bs.dma_row_hits + bs.dma_row_misses;
       w.add_row({net.layer(l).name, sc::Table::num(cs.dma_bytes / 1024.0, 1),
                  sc::Table::num(ws.dma_bytes / 1024.0, 1),
                  sc::Table::num(ss.dma_bytes / 1024.0, 1),
@@ -187,7 +200,11 @@ int main() {
                  sc::Table::num(cs.dma_bytes > 0 ? 100.0 * ss.dma_saved_bytes /
                                                        cs.dma_bytes
                                                  : 0.0,
-                                1)});
+                                1),
+                 sc::Table::num(beats > 0 ? 100.0 * bs.dma_row_hits / beats
+                                          : 0.0,
+                                1),
+                 sc::Table::num(bs.dma_row_misses, 0)});
     }
     for (std::size_t i = 0; i < images.size(); ++i) {
       for (std::size_t l = 0; l < net.num_layers(); ++l) {
@@ -214,10 +231,87 @@ int main() {
     bool same = true;
     for (std::size_t i = 0; i < images.size(); ++i) {
       same = same && cold_res[i].final_output.v == warm_res[i].final_output.v &&
-             cold_res[i].final_output.v == segm_res[i].final_output.v;
+             cold_res[i].final_output.v == segm_res[i].final_output.v &&
+             cold_res[i].final_output.v == segb_res[i].final_output.v;
     }
-    std::printf("  spike outputs identical with reuse + segment-major: %s\n",
-                same ? "yes" : "NO (BUG)");
+    std::printf(
+        "  spike outputs identical with reuse + segment-major + banked: %s\n",
+        same ? "yes" : "NO (BUG)");
+  }
+
+  // --- banked DRAM on the wide-FC spill vehicle ----------------------------
+  // S-VGG11 at this batch spills nothing, so the double-buffered spill/fill
+  // is exercised on the FC-heavy net whose wide layer parks batch lanes
+  // (snn::Network::make_wide_fc). Single-buffered compute/DMA overlap
+  // exposes the memory timeline 1:1 in the cycle column; the three regimes
+  // isolate what the row model adds (flat -> serial) and what the bounce
+  // buffer hides again (serial -> ddb).
+  {
+    const int wb = std::max(batch, 32);
+    const snn::Network wnet = bench::make_calibrated_wide_fc();
+    const auto wimages = snn::make_batch(static_cast<std::size_t>(wb), 78);
+    k::RunOptions wopt = opt;
+    wopt.batch_weight_reuse = true;
+    wopt.segment_major_lanes = wb;
+    wopt.double_buffer = false;
+    k::RunOptions wserial = wopt;
+    wserial.cost.dram = spikestream::arch::DramConfig::banked();
+    wserial.cost.dram.spill_double_buffer = false;
+    k::RunOptions wddb = wserial;
+    wddb.cost.dram.spill_double_buffer = true;
+
+    const rt::BatchRunner rflat(wnet, wopt, {}, {}, /*workers=*/1);
+    const rt::BatchRunner rser(wnet, wserial, {}, {}, /*workers=*/1);
+    const rt::BatchRunner rddb(wnet, wddb, {}, {}, /*workers=*/1);
+    const auto f = rflat.run_single_step(wimages);
+    const auto s = rser.run_single_step(wimages);
+    const auto d = rddb.run_single_step(wimages);
+
+    sc::Table b("wide-FC batch " + std::to_string(wb) +
+                ", banked DRAM: per-layer cycles flat vs serial-spill vs "
+                "double-buffered spill/fill");
+    b.set_header({"layer", "kcyc flat", "kcyc serial", "kcyc ddb",
+                  "spill KB", "hidden kcyc", "row hit%", "row miss"});
+    double tot_f = 0, tot_s = 0, tot_d = 0, tot_hidden = 0;
+    for (std::size_t l = 0; l < wnet.num_layers(); ++l) {
+      double cf = 0, cs = 0, cd = 0, spill = 0, hidden = 0, hits = 0,
+             misses = 0;
+      for (std::size_t i = 0; i < wimages.size(); ++i) {
+        cf += f[i].layers[l].stats.cycles;
+        cs += s[i].layers[l].stats.cycles;
+        cd += d[i].layers[l].stats.cycles;
+        spill += d[i].layers[l].stats.dma_bytes_spill;
+        hidden += d[i].layers[l].stats.dma_cycles_hidden;
+        hits += d[i].layers[l].stats.dma_row_hits;
+        misses += d[i].layers[l].stats.dma_row_misses;
+      }
+      const double n = static_cast<double>(wb);
+      const double beats = hits + misses;
+      b.add_row({wnet.layer(l).name, sc::Table::num(cf / n / 1e3, 2),
+                 sc::Table::num(cs / n / 1e3, 2),
+                 sc::Table::num(cd / n / 1e3, 2),
+                 sc::Table::num(spill / n / 1024.0, 1),
+                 sc::Table::num(hidden / n / 1e3, 2),
+                 sc::Table::num(beats > 0 ? 100.0 * hits / beats : 0.0, 1),
+                 sc::Table::num(misses / n, 0)});
+      tot_f += cf;
+      tot_s += cs;
+      tot_d += cd;
+      tot_hidden += hidden;
+    }
+    b.print();
+    std::printf(
+        "  whole batch: %.1f kcyc flat, %.1f kcyc serial-spill, %.1f kcyc "
+        "ddb (%.2f kcyc hidden; ddb %.2f%% under serial)\n",
+        tot_f / 1e3, tot_s / 1e3, tot_d / 1e3, tot_hidden / 1e3,
+        tot_s > 0 ? 100.0 * (tot_s - tot_d) / tot_s : 0.0);
+    bool wsame = true;
+    for (std::size_t i = 0; i < wimages.size(); ++i) {
+      wsame = wsame && f[i].final_output.v == s[i].final_output.v &&
+              f[i].final_output.v == d[i].final_output.v;
+    }
+    std::printf("  spike outputs identical across DRAM modes: %s\n",
+                wsame ? "yes" : "NO (BUG)");
   }
 
   // --- occupancy-adaptive re-planning at 8 clusters -------------------------

@@ -38,6 +38,20 @@ inline snn::Network make_calibrated_svgg11(std::uint64_t seed = 1,
   return net;
 }
 
+/// The FC-heavy spill vehicle (see snn::Network::make_wide_fc), calibrated
+/// to its target rate profile. Used by the banked-DRAM bench rows: S-VGG11
+/// at batch 8 spills zero bytes, this net spills at batch 16-32.
+inline snn::Network make_calibrated_wide_fc(std::uint64_t seed = 1,
+                                            int calib_images = 4) {
+  snn::Network net = snn::Network::make_wide_fc();
+  common::Rng rng(seed);
+  net.init_weights(rng);
+  const auto calib = snn::make_batch(static_cast<std::size_t>(calib_images),
+                                     seed * 17 + 3);
+  snn::calibrate_thresholds(net, calib, snn::wide_fc_target_rates());
+  return net;
+}
+
 /// Per-layer aggregates over a batch.
 struct LayerAgg {
   std::string name;

@@ -7,12 +7,14 @@
 //
 //   SPIKESTREAM_BATCH  batch size (default 8)
 //   SPIKESTREAM_REPS   timed repetitions of the batch (default 5)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "arch/dram/dram.hpp"
 #include "bench/alloc_hook.hpp"
 #include "bench/bench_common.hpp"
 #include "runtime/backend.hpp"
@@ -54,6 +56,17 @@ struct BackendProfile {
   double dma_saved_mb_steady = 0;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// Which workload this row ran (svgg11 or widefc).
+  std::string network = "svgg11";
+  /// Banked-DRAM row-buffer outcomes, whole network (0 in flat-legacy mode).
+  double row_hit_rate = 0;
+  /// Spill/fill cycles hidden under the band weight stream by the
+  /// double-buffered segment-major schedule, per sample (Mcycles).
+  double hidden_mcycles_per_sample = 0;
+  /// Modeled whole-network cycles per sample at steady state (Mcycles) —
+  /// what the memory model actually prices, so DRAM-timing regressions are
+  /// visible even when host throughput is unchanged.
+  double modeled_mcycles_per_sample = 0;
 };
 
 /// Shared profiling body over any runner with run_single_step() + engine():
@@ -92,11 +105,20 @@ BackendProfile profile_runner(const std::string& label, const Runner& runner,
   {
     const auto results = runner.run_single_step(images);
     prof.dma_saved_mb_steady = batch_saved(results) / (1e6 * n);
-    double dma = 0;
+    double dma = 0, hits = 0, misses = 0, hidden = 0, cycles = 0;
     for (const rt::InferenceResult& res : results) {
-      for (const auto& m : res.layers) dma += m.stats.dma_bytes;
+      for (const auto& m : res.layers) {
+        dma += m.stats.dma_bytes;
+        hits += m.stats.dma_row_hits;
+        misses += m.stats.dma_row_misses;
+        hidden += m.stats.dma_cycles_hidden;
+        cycles += m.stats.cycles;
+      }
     }
     prof.dma_mb_per_sample = dma / (1e6 * n);
+    prof.row_hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0.0;
+    prof.hidden_mcycles_per_sample = hidden / (1e6 * n);
+    prof.modeled_mcycles_per_sample = cycles / (1e6 * n);
   }
 
   // Steady-state allocations: one engine, one state, one reused result —
@@ -228,17 +250,70 @@ int main() {
                                          cfg, /*depth=*/batch, images, reps));
   }
 
-  std::printf("host profile: S-VGG11, batch %d, %d reps, %zu layers\n", batch,
-              reps, net.num_layers());
-  std::printf("%-22s %12s %12s %14s %12s %12s %12s %10s\n", "backend",
+  {
+    // Banked-DRAM row on the segment-major schedule: same workload, the
+    // row-buffer timing model priced in. Spikes are bit-identical to the
+    // flat rows (tests/test_dram.cpp); what changes is the modeled
+    // cycle/row-hit profile below.
+    k::RunOptions banked_opt = opt;
+    banked_opt.batch_weight_reuse = true;
+    banked_opt.segment_major_lanes = batch;
+    banked_opt.cost.dram = spikestream::arch::DramConfig::banked();
+    rt::BackendConfig cfg;
+    profiles.push_back(profile_backend("analytical+banked+segmajor", net,
+                                       banked_opt, cfg, images, reps,
+                                       /*workers=*/1));
+  }
+
+  // Wide-FC spill vehicle: S-VGG11 at batch 8 spills zero partial-sum
+  // bytes, so the double-buffered spill/fill needs its own workload — an
+  // FC-heavy net whose wide layer parks batch lanes (see
+  // snn::Network::make_wide_fc). Three rows: flat pricing, banked with the
+  // double-buffered spill/fill, banked with serial spills — the last two
+  // isolate the modeled-cycle reduction from spill hiding. The rows run
+  // single-buffered (cycles = dma + compute) so the memory timeline is
+  // exposed 1:1 in wall-clock — with compute/DMA overlap on, fc2's wave
+  // compute would swallow the DMA delta — and at batch >= 32 so lanes still
+  // park next to the (smaller) single-buffered streaming set.
+  const int wide_batch = std::max(batch, 32);
+  const snn::Network wide_net = bench::make_calibrated_wide_fc();
+  const auto wide_images =
+      snn::make_batch(static_cast<std::size_t>(wide_batch), 78);
+  {
+    k::RunOptions wopt = opt;
+    wopt.batch_weight_reuse = true;
+    wopt.segment_major_lanes = wide_batch;
+    wopt.double_buffer = false;
+    rt::BackendConfig cfg;
+    profiles.push_back(profile_backend("widefc+segmajor", wide_net, wopt, cfg,
+                                       wide_images, reps, /*workers=*/1));
+    wopt.cost.dram = spikestream::arch::DramConfig::banked();
+    wopt.cost.dram.spill_double_buffer = false;
+    profiles.push_back(profile_backend("widefc+banked+serialspill", wide_net,
+                                       wopt, cfg, wide_images, reps,
+                                       /*workers=*/1));
+    wopt.cost.dram.spill_double_buffer = true;
+    profiles.push_back(profile_backend("widefc+banked+segmajor", wide_net,
+                                       wopt, cfg, wide_images, reps,
+                                       /*workers=*/1));
+    for (std::size_t i = profiles.size() - 3; i < profiles.size(); ++i) {
+      profiles[i].network = "widefc";
+    }
+  }
+
+  std::printf("host profile: S-VGG11 batch %d + wide-FC batch %d, %d reps\n",
+              batch, wide_batch, reps);
+  std::printf("%-26s %11s %11s %13s %11s %11s %11s %8s %8s %10s\n", "backend",
               "samples/s", "ns/layer", "allocs/layer", "dma MB/s.",
-              "saved cold", "saved stdy", "memo h/m");
+              "saved stdy", "Mcyc/s.", "rowhit", "hidden", "memo h/m");
   for (const auto& p : profiles) {
-    std::printf("%-22s %12.1f %12.0f %14.3f %12.3f %12.3f %12.3f %6zu/%zu\n",
-                p.name.c_str(), p.samples_per_sec, p.ns_per_layer,
-                p.steady_allocs_per_layer, p.dma_mb_per_sample,
-                p.dma_saved_mb_cold, p.dma_saved_mb_steady, p.cache_hits,
-                p.cache_misses);
+    std::printf(
+        "%-26s %11.1f %11.0f %13.3f %11.3f %11.3f %11.3f %8.3f %8.3f "
+        "%6zu/%zu\n",
+        p.name.c_str(), p.samples_per_sec, p.ns_per_layer,
+        p.steady_allocs_per_layer, p.dma_mb_per_sample, p.dma_saved_mb_steady,
+        p.modeled_mcycles_per_sample, p.row_hit_rate,
+        p.hidden_mcycles_per_sample, p.cache_hits, p.cache_misses);
   }
 
   // BENCH_host.json: one flat record per backend, easy to diff across PRs.
@@ -251,18 +326,24 @@ int main() {
     for (std::size_t i = 0; i < profiles.size(); ++i) {
       const auto& p = profiles[i];
       std::fprintf(f,
-                   "    {\"name\": \"%s\", \"samples_per_sec\": %.2f, "
+                   "    {\"name\": \"%s\", \"network\": \"%s\", "
+                   "\"samples_per_sec\": %.2f, "
                    "\"ns_per_layer\": %.1f, \"steady_allocs_per_layer\": "
                    "%.4f, \"dma_mb_per_sample\": %.4f, "
                    "\"dma_saved_mb_cold\": %.4f, "
                    "\"dma_saved_mb_steady\": %.4f, "
                    "\"dma_saved_mb_per_sample\": %.4f, "
+                   "\"modeled_mcycles_per_sample\": %.4f, "
+                   "\"row_hit_rate\": %.4f, "
+                   "\"hidden_mcycles_per_sample\": %.4f, "
                    "\"cost_cache_hits\": %zu, \"cost_cache_misses\": "
                    "%zu}%s\n",
-                   p.name.c_str(), p.samples_per_sec, p.ns_per_layer,
-                   p.steady_allocs_per_layer, p.dma_mb_per_sample,
-                   p.dma_saved_mb_cold, p.dma_saved_mb_steady,
-                   p.dma_saved_mb_steady, p.cache_hits, p.cache_misses,
+                   p.name.c_str(), p.network.c_str(), p.samples_per_sec,
+                   p.ns_per_layer, p.steady_allocs_per_layer,
+                   p.dma_mb_per_sample, p.dma_saved_mb_cold,
+                   p.dma_saved_mb_steady, p.dma_saved_mb_steady,
+                   p.modeled_mcycles_per_sample, p.row_hit_rate,
+                   p.hidden_mcycles_per_sample, p.cache_hits, p.cache_misses,
                    i + 1 < profiles.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -4,6 +4,7 @@
 Usage: check_bench_regression.py PREVIOUS.json CURRENT.json
            [--threshold 0.15] [--alloc-slack 0.5] [--require NAME ...]
            [--dma-saved-floor MB] [--dma-threshold 0.10]
+           [--row-hit-floor RATE] [--cycles-threshold 0.10]
 
 Checks, each per backend row (matched by name, every row checked — not just
 the best one):
@@ -17,7 +18,15 @@ the best one):
     --dma-saved-floor MB/sample — the modeled saving is a product feature
     and must not silently evaporate;
   * whole-batch modeled DMA (dma_mb_per_sample) must not grow by more than
-    --dma-threshold on any row that reports it in both files.
+    --dma-threshold on any row that reports it in both files;
+  * banked-DRAM rows (name contains "banked") must report a
+    row_hit_rate of at least --row-hit-floor in CURRENT — the band streams
+    are sequential by construction, so a collapsing hit rate means the run
+    shapes handed to the memory model regressed;
+  * modeled whole-network cycles (modeled_mcycles_per_sample) must not grow
+    by more than --cycles-threshold on any row reporting it in both files —
+    this is the memory-timing regression guard: spikes and host throughput
+    can be unchanged while the priced timeline quietly degrades.
 Backends present in only one file are reported but only fail when required.
 Exit codes: 0 = ok, 1 = regression, 2 = unusable input (missing/corrupt
 file) — CI treats 2 as a skip, not a failure, so the very first run of a
@@ -45,6 +54,10 @@ def load(path):
                           b.get("dma_saved_mb_per_sample", 0.0))),
                 "dma": (float(b["dma_mb_per_sample"])
                         if "dma_mb_per_sample" in b else None),
+                "hit": (float(b["row_hit_rate"])
+                        if "row_hit_rate" in b else None),
+                "mcyc": (float(b["modeled_mcycles_per_sample"])
+                         if "modeled_mcycles_per_sample" in b else None),
             }
             for b in data["backends"]
         }
@@ -77,6 +90,12 @@ def main():
     ap.add_argument("--dma-threshold", type=float, default=0.10,
                     help="max allowed fractional growth in whole-batch "
                          "modeled DMA per sample")
+    ap.add_argument("--row-hit-floor", type=float, default=0.0,
+                    metavar="RATE",
+                    help="min row_hit_rate on banked-DRAM rows of CURRENT")
+    ap.add_argument("--cycles-threshold", type=float, default=0.10,
+                    help="max allowed fractional growth in modeled "
+                         "whole-network cycles per sample")
     args = ap.parse_args()
 
     prev = load(args.previous)
@@ -100,12 +119,22 @@ def main():
                       f"{row['saved']:.3f} MB/sample "
                       f"< floor {args.dma_saved_floor:.3f}")
 
-    print(f"{'backend':<22} {'prev s/s':>10} {'cur s/s':>10} {'delta':>8} "
-          f"{'prev a/l':>9} {'cur a/l':>9} {'prev MB':>8} {'cur MB':>8}")
+    if args.row_hit_floor > 0.0:
+        for name, row in sorted(cur.items()):
+            if "banked" not in name or row["hit"] is None:
+                continue
+            if row["hit"] < args.row_hit_floor:
+                failed.append(name)
+                print(f"row-hit floor: {name} reports hit rate "
+                      f"{row['hit']:.3f} < floor {args.row_hit_floor:.3f}")
+
+    print(f"{'backend':<26} {'prev s/s':>10} {'cur s/s':>10} {'delta':>8} "
+          f"{'prev a/l':>9} {'cur a/l':>9} {'prev MB':>8} {'cur MB':>8} "
+          f"{'prev Mc':>8} {'cur Mc':>8}")
     for name in sorted(set(prev) | set(cur)):
         if name not in prev or name not in cur:
             where = "current" if name in cur else "previous"
-            print(f"{name:<22} {'only in ' + where:>30}")
+            print(f"{name:<26} {'only in ' + where:>30}")
             continue
         p, c = prev[name], cur[name]
         delta = (c["sps"] - p["sps"]) / p["sps"] if p["sps"] > 0 else 0.0
@@ -120,11 +149,17 @@ def main():
                 and c["dma"] > p["dma"] * (1.0 + args.dma_threshold)):
             failed.append(name)
             flags.append("<< DMA REGRESSION")
+        if (p["mcyc"] is not None and c["mcyc"] is not None and p["mcyc"] > 0
+                and c["mcyc"] > p["mcyc"] * (1.0 + args.cycles_threshold)):
+            failed.append(name)
+            flags.append("<< MODELED-CYCLE REGRESSION")
         dma_prev = f"{p['dma']:.1f}" if p["dma"] is not None else "-"
         dma_cur = f"{c['dma']:.1f}" if c["dma"] is not None else "-"
-        print(f"{name:<22} {p['sps']:>10.1f} {c['sps']:>10.1f} {delta:>+7.1%} "
+        mc_prev = f"{p['mcyc']:.3f}" if p["mcyc"] is not None else "-"
+        mc_cur = f"{c['mcyc']:.3f}" if c["mcyc"] is not None else "-"
+        print(f"{name:<26} {p['sps']:>10.1f} {c['sps']:>10.1f} {delta:>+7.1%} "
               f"{p['allocs']:>9.3f} {c['allocs']:>9.3f} {dma_prev:>8} "
-              f"{dma_cur:>8}  {' '.join(flags)}")
+              f"{dma_cur:>8} {mc_prev:>8} {mc_cur:>8}  {' '.join(flags)}")
 
     if failed:
         print(f"\nbench regression on: {', '.join(sorted(set(failed)))}")

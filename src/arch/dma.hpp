@@ -2,6 +2,9 @@
 // TCDM over a 512-bit (64 B/cycle) port. Programmed by the dedicated DMA core
 // (or any core) through the kDma* instructions. Transfers are serviced in
 // FIFO order; the first beat of each transfer pays the global-memory latency.
+// Port width and first-beat latency come from MemConfig, whose defaults are
+// the shared DRAM constants of arch/dram/dram.hpp — the same source of truth
+// the planner's cost queries (flat and banked) price transfers from.
 //
 // TCDM-side beats claim banks through the shared arbiter *after* the worker
 // cores have stepped each cycle, i.e. cores have priority — matching the

@@ -1,0 +1,13 @@
+#include "arch/dram/dram.hpp"
+
+namespace spikestream::arch {
+
+const char* dram_format_name(DramFormat f) {
+  switch (f) {
+    case DramFormat::kPacked: return "packed";
+    case DramFormat::kFixedStride: return "fixed-stride";
+  }
+  return "?";
+}
+
+}  // namespace spikestream::arch

@@ -24,6 +24,10 @@ struct EnergyParams {
   double fpu_op_fp8 = 36.0;
   double fmadd_factor = 1.35;  ///< multiply-accumulate vs add-only op
   double dma_byte = 0.35;
+  /// DRAM row activation (precharge + activate of one row buffer). Only the
+  /// banked DRAM model reports activations; flat-legacy runs count zero, so
+  /// their energy is unchanged.
+  double dram_row_act = 2.0;
   /// Inter-cluster NoC traffic: longer wires + wider crossings than a
   /// cluster-local DMA beat (multi-cluster sharded runs only).
   double noc_byte = 0.6;
@@ -61,6 +65,14 @@ struct Activity {
   /// reports can judge the weight-stream saving net of its spill cost.
   double dma_spill_bytes = 0;
   double noc_bytes = 0;     ///< inter-cluster traffic (sharded runs)
+  /// Row-buffer outcomes of the banked DRAM model (64 B beat granularity;
+  /// both 0 under flat legacy). Misses are priced as row activations.
+  double dram_row_hits = 0;
+  double dram_row_misses = 0;
+  /// Spill/fill DMA cycles hidden under concurrent band streams by the
+  /// double-buffered segment-major schedule. Not priced (the traffic itself
+  /// is already in dma_bytes); carried so reports can show the overlap.
+  double dma_hidden_cycles = 0;
 
   void accumulate(const Activity& o) {
     cycles += o.cycles;
@@ -73,6 +85,14 @@ struct Activity {
     dma_saved_bytes += o.dma_saved_bytes;
     dma_spill_bytes += o.dma_spill_bytes;
     noc_bytes += o.noc_bytes;
+    dram_row_hits += o.dram_row_hits;
+    dram_row_misses += o.dram_row_misses;
+    dma_hidden_cycles += o.dma_hidden_cycles;
+  }
+
+  double dram_row_hit_rate() const {
+    const double beats = dram_row_hits + dram_row_misses;
+    return beats > 0 ? dram_row_hits / beats : 0.0;
   }
 };
 
@@ -105,7 +125,7 @@ inline EnergyBreakdown compute_energy(const EnergyParams& p,
              a.fpu_mac_ops * p.fpu_op(f) * p.fmadd_factor;
   e.tcdm_pj = a.tcdm_words * p.tcdm_word;
   e.ssr_pj = a.ssr_elems * p.ssr_elem;
-  e.dma_pj = a.dma_bytes * p.dma_byte;
+  e.dma_pj = a.dma_bytes * p.dma_byte + a.dram_row_misses * p.dram_row_act;
   e.noc_pj = a.noc_bytes * p.noc_byte;
   e.static_pj = a.cycles * (p.static_core * a.active_cores + p.static_cluster);
   return e;

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <vector>
 
+#include "arch/dram/dram.hpp"
 #include "common/check.hpp"
 
 namespace spikestream::arch {
@@ -29,8 +30,11 @@ struct MemConfig {
   int tcdm_banks = 32;                    ///< word-interleaved banks
   int bank_word_bytes = 8;                ///< 64-bit banks
   std::uint32_t global_bytes = 16u * 1024 * 1024;
-  int global_latency = 100;  ///< cycles to first beat of a DMA burst
-  int global_bytes_per_cycle = 64;  ///< 512-bit interconnect to L2/HBM
+  // Flat global-memory timing, sourced from the one set of DRAM constants
+  // (arch/dram/dram.hpp) the planner's legacy cost queries also use — the
+  // cycle-level DMA engine and the analytical model cannot drift apart.
+  int global_latency = kDramRequestLatency;  ///< cycles to first DMA beat
+  int global_bytes_per_cycle = kDramBytesPerCycle;  ///< 512-bit port to L2/HBM
 };
 
 /// Per-component memory statistics.

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arch/dram/dram.hpp"
 #include "common/float_formats.hpp"
 
 namespace spikestream::kernels {
@@ -53,8 +54,11 @@ struct CostParams {
   // --- memory system ----------------------------------------------------------
   int tcdm_banks = 32;
   double icache_layer_warmup = 300.0;  ///< cold I$ misses per layer launch
-  double dma_bytes_per_cycle = 64.0;
-  double dma_latency = 100.0;  ///< cycles to first beat from global memory
+  /// External-memory model the DMA cost queries price transfers from. The
+  /// default is flat legacy (bytes at kDramBytesPerCycle plus one
+  /// kDramRequestLatency per transfer — bit-identical to the historical
+  /// expressions); arch::DramConfig::banked() opts into row-buffer timing.
+  arch::DramConfig dram;
 
   /// Dense-matmul initiation interval (two interleaved accumulators).
   double dense_ii() const {

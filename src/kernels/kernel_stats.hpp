@@ -36,6 +36,18 @@ struct KernelStats {
   /// Inter-cluster traffic (broadcast ifmap replicas, stripe halos, gathered
   /// ofmap slices, FC partial-sum reductions). 0 for single-cluster runs.
   double noc_bytes = 0;
+  /// Row-buffer outcomes of the banked DRAM model (arch/dram/dram.hpp), at
+  /// 64 B beat granularity. Sequential weight-band streams hit their open
+  /// rows almost always; strided accumulator spills and fragmented
+  /// write-backs pay one activation per run. Both 0 under flat legacy.
+  double dma_row_hits = 0;
+  double dma_row_misses = 0;
+  /// DMA cycles of the segment-major spill/fill that the double-buffered
+  /// schedule hid under the concurrent weight-band stream (banked model
+  /// only). Excluded from `dma_cycles` (they do not occupy the exposed
+  /// timeline); itemized so charged + hidden reconstructs the serial-spill
+  /// pricing exactly.
+  double dma_cycles_hidden = 0;
   int active_cores = 8;
   std::vector<double> core_cycles;  ///< per-core compute time (imbalance)
 
@@ -59,6 +71,9 @@ struct KernelStats {
     a.dma_saved_bytes = dma_saved_bytes;
     a.dma_spill_bytes = dma_bytes_spill;
     a.noc_bytes = noc_bytes;
+    a.dram_row_hits = dma_row_hits;
+    a.dram_row_misses = dma_row_misses;
+    a.dma_hidden_cycles = dma_cycles_hidden;
     return a;
   }
 
@@ -70,6 +85,8 @@ struct KernelStats {
     dma_saved_bytes = 0;
     dma_bytes_spill = 0;
     noc_bytes = 0;
+    dma_row_hits = dma_row_misses = 0;
+    dma_cycles_hidden = 0;
     active_cores = 8;
     core_cycles.clear();
   }
@@ -87,6 +104,9 @@ struct KernelStats {
     dma_saved_bytes += o.dma_saved_bytes;
     dma_bytes_spill += o.dma_bytes_spill;
     noc_bytes += o.noc_bytes;
+    dma_row_hits += o.dma_row_hits;
+    dma_row_misses += o.dma_row_misses;
+    dma_cycles_hidden += o.dma_cycles_hidden;
     active_cores = std::max(active_cores, o.active_cores);
   }
 
@@ -106,6 +126,12 @@ struct KernelStats {
     dma_saved_bytes += o.dma_saved_bytes;
     dma_bytes_spill += o.dma_bytes_spill;
     noc_bytes += o.noc_bytes;
+    // Row outcomes are activity counters (they sum across concurrent
+    // clusters, each owning its own DRAM channel); the hidden-cycle
+    // itemization follows the dma_cycles timeline semantics instead.
+    dma_row_hits += o.dma_row_hits;
+    dma_row_misses += o.dma_row_misses;
+    dma_cycles_hidden = std::max(dma_cycles_hidden, o.dma_cycles_hidden);
     active_cores += o.active_cores;
     core_cycles.insert(core_cycles.end(), o.core_cycles.begin(),
                        o.core_cycles.end());

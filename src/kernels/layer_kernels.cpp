@@ -75,6 +75,13 @@ void finish_timing(const RunOptions& opt, KernelScratch& scratch) {
     st.dma_bytes = run.plan.sm_dma_bytes;
     st.dma_saved_bytes = run.plan.dma_bytes - run.plan.sm_dma_bytes;
     st.dma_bytes_spill = run.plan.sm_spill_bytes;
+    // Banked DRAM itemization: row outcomes of the amortized streams, plus
+    // the spill/fill cycles the double-buffered schedule hid under the
+    // concurrent band streams (already net in sm_dma_cycles). All zero
+    // under flat legacy.
+    st.dma_row_hits = run.plan.sm_row_hits;
+    st.dma_row_misses = run.plan.sm_row_misses;
+    st.dma_cycles_hidden = run.plan.sm_hidden_cycles;
     st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
     scratch.weights_warm = true;
     return;
@@ -86,6 +93,10 @@ void finish_timing(const RunOptions& opt, KernelScratch& scratch) {
   st.dma_saved_bytes =
       warm ? run.plan.dma_bytes - run.plan.dma_bytes_warm : 0.0;
   st.dma_bytes_spill = 0.0;
+  st.dma_row_hits = warm ? run.plan.dma_row_hits_warm : run.plan.dma_row_hits;
+  st.dma_row_misses =
+      warm ? run.plan.dma_row_misses_warm : run.plan.dma_row_misses;
+  st.dma_cycles_hidden = 0.0;
   st.cycles =
       overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer, warm);
   scratch.weights_warm = true;

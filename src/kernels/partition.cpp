@@ -212,9 +212,12 @@ double Partitioner::estimate_fanin(const snn::LayerSpec& spec,
   const double partials = static_cast<double>(std::min(
                               clusters_, n_groups(spec.in_c, simd))) -
                           1.0;
+  // Partial vectors stream at the global port width — the same single
+  // source of truth (CostParams::dram) the DMA cost queries price from.
   const double reduce =
       partials * groups * p.fadd_latency +
-      partials * spec.out_c * common::fp_bytes(opt_.fmt) / 64.0;
+      partials * spec.out_c * common::fp_bytes(opt_.fmt) /
+          p.dram.bytes_per_cycle;
   const double act =
       rounds * activation_cycles(p, simd, density * simd,
                                  opt_.fmt == common::FpFormat::FP8);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arch/dram/stream_reader.hpp"
 #include "common/check.hpp"
 
 namespace spikestream::kernels {
@@ -11,11 +12,30 @@ namespace {
 
 constexpr double kIdxBytes = 2.0;  ///< 16-bit indices and counts (Fig. 3a)
 
+/// One priced segment-major configuration (banked mode): a resident-lane
+/// count plus whether one resident slot is repurposed as the spill/fill
+/// bounce buffer that overlaps parked-lane spills with the band streams.
+struct SmPricing {
+  int resident = 0;
+  bool double_buffered = false;
+  double bytes = 0;
+  double cycles = 0;        ///< net of hidden_cycles
+  double spill_bytes = 0;
+  double spill_cycles = 0;  ///< serial cost of the spill/fill streams alone
+  double hidden_cycles = 0;
+  double row_hits = 0;
+  double row_misses = 0;
+};
+
 /// Segment-major batched FC schedule (see TilePlan). Evaluated against the
 /// per-sample plan already in `plan`; fills the sm_* fields and sets
 /// `segment_major` only when the amortized DMA timeline wins on both bytes
 /// and cycles — i.e. the batch weight-stream saving is priced against the
-/// spill/fill traffic of the partial sums parked between bands.
+/// spill/fill traffic of the partial sums parked between bands. Under the
+/// banked DRAM model the query additionally prices a double-buffered
+/// spill/fill variant (one resident lane traded for a bounce buffer, spill
+/// first-beat overhead hidden under the concurrent band stream) and adopts
+/// whichever regime's net timeline is cheaper.
 void plan_fc_segment_major(TilePlan& plan, const snn::LayerSpec& spec,
                            common::FpFormat fmt, double ifmap_actual_bytes,
                            double ofmap_actual_bytes, const CostParams& p,
@@ -27,6 +47,7 @@ void plan_fc_segment_major(TilePlan& plan, const snn::LayerSpec& spec,
   if (spec.kind != snn::LayerKind::kFc || lanes <= 1 || bands <= 1) return;
 
   (void)double_buffer;  // band/ifmap buffers keep the per-sample plan's shape
+  const arch::DramConfig& d = p.dram;
   const double fb = common::fp_bytes(fmt);
   const double all_weights =
       static_cast<double>(spec.in_c) * spec.out_c * fb;
@@ -43,44 +64,128 @@ void plan_fc_segment_major(TilePlan& plan, const snn::LayerSpec& spec,
   const double slack = spm_bytes - plan.spm_resident_bytes;
   const int resident = std::min(
       lanes, 1 + static_cast<int>(std::max(0.0, slack) / acc_bytes));
-  const double parked = B - static_cast<double>(resident);
 
-  // A non-resident lane's accumulator slice spills to DRAM after each band
-  // and refills at the next band of the same co-tile: (segs - 1) transitions
-  // per co-tile, a write and a read each. The first band zero-initializes in
-  // SPM and the last feeds the activation on-chip, exactly like the
-  // per-sample schedule, so those ends carry no extra traffic.
-  const double spill_batch =
-      2.0 * parked * (segs - 1.0) * tiles * acc_bytes;
-  // Weights stream once per batch; each sample re-reads its compressed
-  // ifmap segment at every band of every co-tile it participates in.
-  const double sm_spill = spill_batch / B;
-  const double sm_bytes = all_weights / B + tiles * ifmap_actual_bytes +
-                          ofmap_actual_bytes + sm_spill;
-  const double n_transfers =
-      static_cast<double>(bands) / B          // weight bands, amortized
-      + tiles * segs                          // per-sample ifmap segments
-      + 2.0 * parked * (segs - 1.0) * tiles / B  // spill/fill, amortized
-      + tiles;                                // fragmented ofmap write-back
-  const double sm_cycles =
-      sm_bytes / p.dma_bytes_per_cycle + n_transfers * p.dma_latency;
+  if (d.flat_legacy) {
+    // Historical flat pricing, expression-for-expression (bit-exact).
+    const double parked = B - static_cast<double>(resident);
 
-  // Only adopt the schedule when it beats the best per-sample regime (the
-  // warm plan equals the cold one here — segmented weights cannot pin).
-  if (sm_bytes <= plan.dma_bytes &&
-      sm_cycles < std::min(plan.dma_cycles, plan.dma_cycles_warm)) {
+    // A non-resident lane's accumulator slice spills to DRAM after each band
+    // and refills at the next band of the same co-tile: (segs - 1)
+    // transitions per co-tile, a write and a read each. The first band
+    // zero-initializes in SPM and the last feeds the activation on-chip,
+    // exactly like the per-sample schedule, so those ends carry no extra
+    // traffic.
+    const double spill_batch =
+        2.0 * parked * (segs - 1.0) * tiles * acc_bytes;
+    // Weights stream once per batch; each sample re-reads its compressed
+    // ifmap segment at every band of every co-tile it participates in.
+    const double sm_spill = spill_batch / B;
+    const double sm_bytes = all_weights / B + tiles * ifmap_actual_bytes +
+                            ofmap_actual_bytes + sm_spill;
+    const double spill_transfers = 2.0 * parked * (segs - 1.0) * tiles / B;
+    const double n_transfers =
+        static_cast<double>(bands) / B  // weight bands, amortized
+        + tiles * segs                  // per-sample ifmap segments
+        + spill_transfers               // spill/fill, amortized
+        + tiles;                        // fragmented ofmap write-back
+    const double sm_cycles =
+        sm_bytes / d.bytes_per_cycle + n_transfers * d.request_latency;
+
+    // Only adopt the schedule when it beats the best per-sample regime (the
+    // warm plan equals the cold one here — segmented weights cannot pin).
+    if (sm_bytes <= plan.dma_bytes &&
+        sm_cycles < std::min(plan.dma_cycles, plan.dma_cycles_warm)) {
+      plan.segment_major = true;
+      plan.sm_lanes = lanes;
+      plan.sm_bands = bands;
+      plan.sm_resident_lanes = resident;
+      plan.sm_spill_bytes = sm_spill;
+      plan.sm_spill_cycles =
+          sm_spill / d.bytes_per_cycle + spill_transfers * d.request_latency;
+      plan.sm_dma_bytes = sm_bytes;
+      plan.sm_dma_cycles = sm_cycles;
+      plan.sm_first_fill_cycles = std::min(
+          plan.first_fill_cycles,
+          (plan.weight_tile_bytes + plan.if_stripe_bytes) /
+                  d.bytes_per_cycle +
+              2.0 * d.request_latency);
+    }
+    return;
+  }
+
+  // --- banked mode -----------------------------------------------------------
+  // Decompose the amortized per-sample timeline into its four access
+  // sequences and price each by run shape: the weight bands are long
+  // contiguous runs (near-peak bandwidth), the spill/fill slices are many
+  // small runs that each pay a request latency plus a row activation.
+  const auto price = [&](int res, bool ddb) {
+    SmPricing c;
+    c.resident = res;
+    c.double_buffered = ddb;
+    const double parked = B - static_cast<double>(res);
+    const double spill_payload =
+        2.0 * parked * (segs - 1.0) * tiles * acc_bytes / B;
+    const double spill_runs = 2.0 * parked * (segs - 1.0) * tiles / B;
+    c.spill_bytes =
+        d.stored_bytes(d.payload_format, spill_payload, spill_runs);
+    const double w_bytes =
+        d.stored_bytes(d.weight_format, all_weights / B,
+                       static_cast<double>(bands) / B);
+    const arch::DramCost w = d.stream(w_bytes, static_cast<double>(bands) / B);
+    const double if_bytes = d.stored_bytes(
+        d.payload_format, tiles * ifmap_actual_bytes, tiles * segs);
+    const arch::DramCost ifm = d.stream(if_bytes, tiles * segs);
+    const double of_bytes =
+        d.stored_bytes(d.payload_format, ofmap_actual_bytes, tiles);
+    const arch::DramCost ofm = d.stream(of_bytes, tiles);
+    const arch::DramCost sp = d.stream(c.spill_bytes, spill_runs);
+    c.spill_cycles = sp.cycles;
+    c.bytes = w.bytes + ifm.bytes + ofm.bytes + sp.bytes;
+    c.row_hits = w.row_hits + ifm.row_hits + ofm.row_hits + sp.row_hits;
+    c.row_misses =
+        w.row_misses + ifm.row_misses + ofm.row_misses + sp.row_misses;
+    const double serial = w.cycles + ifm.cycles + ofm.cycles + sp.cycles;
+    if (ddb) {
+      // Only the spill streams' first-beat overhead (request latencies +
+      // row activations) can hide under the concurrent band stream — the
+      // data beats share the one channel and stay charged. Bounded by the
+      // band stream there is to hide behind.
+      const double overhead =
+          std::max(0.0, sp.cycles - sp.bytes / d.bytes_per_cycle);
+      c.hidden_cycles = std::min(overhead, w.cycles);
+    }
+    c.cycles = serial - c.hidden_cycles;
+    return c;
+  };
+
+  SmPricing best = price(resident, false);
+  if (d.spill_double_buffer && resident >= 2 && resident < lanes) {
+    // SPM slack never holds resident+1 accumulator slices when anything
+    // spills (resident is exactly 1 + floor(slack / slice)), so the bounce
+    // buffer must be carved out of the resident set: park one more lane and
+    // overlap every parked lane's spill/fill with the band streams. Adopt
+    // only when the extra spill traffic loses to the hidden overhead.
+    const SmPricing ddb = price(resident - 1, true);
+    if (ddb.cycles < best.cycles) best = ddb;
+  }
+
+  if (best.bytes <= plan.dma_bytes &&
+      best.cycles < std::min(plan.dma_cycles, plan.dma_cycles_warm)) {
     plan.segment_major = true;
     plan.sm_lanes = lanes;
     plan.sm_bands = bands;
-    plan.sm_resident_lanes = resident;
-    plan.sm_spill_bytes = sm_spill;
-    plan.sm_dma_bytes = sm_bytes;
-    plan.sm_dma_cycles = sm_cycles;
+    plan.sm_resident_lanes = best.resident;
+    plan.sm_double_buffered = best.double_buffered;
+    plan.sm_spill_bytes = best.spill_bytes;
+    plan.sm_spill_cycles = best.spill_cycles;
+    plan.sm_hidden_cycles = best.hidden_cycles;
+    plan.sm_row_hits = best.row_hits;
+    plan.sm_row_misses = best.row_misses;
+    plan.sm_dma_bytes = best.bytes;
+    plan.sm_dma_cycles = best.cycles;
     plan.sm_first_fill_cycles = std::min(
         plan.first_fill_cycles,
-        (plan.weight_tile_bytes + plan.if_stripe_bytes) /
-                p.dma_bytes_per_cycle +
-            2.0 * p.dma_latency);
+        d.stream(plan.weight_tile_bytes + plan.if_stripe_bytes, 2.0).cycles);
   }
 }
 
@@ -96,6 +201,7 @@ TilePlan plan_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
   const int kk = is_fc ? 1 : spec.k * spec.k;
   const int out_rows = is_fc ? 1 : spec.out_h();
   const double buf_mult = double_buffer ? 2.0 : 1.0;
+  const arch::DramConfig& d = p.dram;
 
   TilePlan plan;
   plan.in_segments = 1;
@@ -156,18 +262,45 @@ TilePlan plan_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
   // The ifmap index list is re-read once per input segment (FC only).
   const double if_traffic =
       ifmap_actual_bytes * static_cast<double>(plan.in_segments);
-  plan.dma_bytes = w_traffic + if_traffic + ofmap_actual_bytes;
 
-  const double n_transfers =
-      static_cast<double>(plan.if_stripes) * plan.weight_tiles *
-          plan.in_segments +
-      static_cast<double>(plan.if_stripes) +
-      static_cast<double>(plan.weight_tiles);  // fragmented ofmap write-back
-  plan.dma_cycles = plan.dma_bytes / p.dma_bytes_per_cycle +
-                    n_transfers * p.dma_latency;
-  plan.first_fill_cycles = (plan.weight_tile_bytes + plan.if_stripe_bytes) /
-                               p.dma_bytes_per_cycle +
-                           2.0 * p.dma_latency;
+  if (d.flat_legacy) {
+    // Historical flat pricing, expression-for-expression (bit-exact).
+    plan.dma_bytes = w_traffic + if_traffic + ofmap_actual_bytes;
+    const double n_transfers =
+        static_cast<double>(plan.if_stripes) * plan.weight_tiles *
+            plan.in_segments +
+        static_cast<double>(plan.if_stripes) +
+        static_cast<double>(plan.weight_tiles);  // fragmented ofmap write-back
+    plan.dma_cycles = plan.dma_bytes / d.bytes_per_cycle +
+                      n_transfers * d.request_latency;
+    plan.first_fill_cycles = (plan.weight_tile_bytes + plan.if_stripe_bytes) /
+                                 d.bytes_per_cycle +
+                             2.0 * d.request_latency;
+  } else {
+    // Banked mode: price each access sequence by its run shape. Weight
+    // tiles stream as one contiguous run per fetch (near-sequential);
+    // ifmap segments re-read per stripe and segment; the compressed ofmap
+    // writes back fragmented, one run per co-tile.
+    const double stripes_d = static_cast<double>(plan.if_stripes);
+    const double tiles_d = static_cast<double>(plan.weight_tiles);
+    const double segs_d = static_cast<double>(plan.in_segments);
+    const double w_runs = stripes_d * tiles_d * segs_d;
+    const double if_runs = stripes_d * segs_d;
+    arch::DramCost c;
+    c.accumulate(
+        d.stream(d.stored_bytes(d.weight_format, w_traffic, w_runs), w_runs));
+    c.accumulate(d.stream(
+        d.stored_bytes(d.payload_format, if_traffic, if_runs), if_runs));
+    c.accumulate(d.stream(
+        d.stored_bytes(d.payload_format, ofmap_actual_bytes, tiles_d),
+        tiles_d));
+    plan.dma_bytes = c.bytes;
+    plan.dma_cycles = c.cycles;
+    plan.dma_row_hits = c.row_hits;
+    plan.dma_row_misses = c.row_misses;
+    plan.first_fill_cycles =
+        d.stream(plan.weight_tile_bytes + plan.if_stripe_bytes, 2.0).cycles;
+  }
 
   // --- batch-aware warm plan (batch-level weight-tile reuse) ----------------
   // Re-search the tiling for the *warm* regime: SPM capacity may be spent on
@@ -183,6 +316,8 @@ TilePlan plan_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
   plan.dma_bytes_warm = plan.dma_bytes;
   plan.dma_cycles_warm = plan.dma_cycles;
   plan.first_fill_cycles_warm = plan.first_fill_cycles;
+  plan.dma_row_hits_warm = plan.dma_row_hits;
+  plan.dma_row_misses_warm = plan.dma_row_misses;
   if (plan.in_segments == 1) {
     for (int co = std::max(spec.out_c, simd); co >= simd;
          co = co > simd ? std::max(co / 2, simd) : co - 1) {
@@ -227,11 +362,32 @@ TilePlan plan_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
         const double f =
             static_cast<double>(pinned) / static_cast<double>(tiles);
         const double w_warm = all_weights * stripes * (1.0 - f);
-        const double bytes_warm =
-            w_warm + ifmap_actual_bytes + ofmap_actual_bytes;
-        const double n_warm = stripes * (tiles - pinned) + stripes + tiles;
-        const double cycles_warm =
-            bytes_warm / p.dma_bytes_per_cycle + n_warm * p.dma_latency;
+        double bytes_warm = 0;
+        double cycles_warm = 0;
+        double hits_warm = 0;
+        double misses_warm = 0;
+        if (d.flat_legacy) {
+          bytes_warm = w_warm + ifmap_actual_bytes + ofmap_actual_bytes;
+          const double n_warm = stripes * (tiles - pinned) + stripes + tiles;
+          cycles_warm =
+              bytes_warm / d.bytes_per_cycle + n_warm * d.request_latency;
+        } else {
+          const double w_runs = stripes * (tiles - pinned);
+          arch::DramCost c;
+          c.accumulate(d.stream(
+              d.stored_bytes(d.weight_format, w_warm, w_runs), w_runs));
+          c.accumulate(d.stream(
+              d.stored_bytes(d.payload_format, ifmap_actual_bytes, stripes),
+              stripes));
+          c.accumulate(d.stream(
+              d.stored_bytes(d.payload_format, ofmap_actual_bytes,
+                             static_cast<double>(tiles)),
+              static_cast<double>(tiles)));
+          bytes_warm = c.bytes;
+          cycles_warm = c.cycles;
+          hits_warm = c.row_hits;
+          misses_warm = c.row_misses;
+        }
         // Minimize warm DMA *cycles*, never exceeding the cold plan on
         // either axis: a byte-minimal candidate with tiny tiles can pay
         // more per-transfer latency than it saves in volume.
@@ -241,13 +397,23 @@ TilePlan plan_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
           plan.weights_spm_resident = pinned == tiles;
           plan.dma_bytes_warm = bytes_warm;
           plan.dma_cycles_warm = cycles_warm;
+          plan.dma_row_hits_warm = hits_warm;
+          plan.dma_row_misses_warm = misses_warm;
           // A warm sample could always fall back to the cold first-fill
           // shape, so never report a worse exposed fill than cold.
-          plan.first_fill_cycles_warm = std::min(
-              plan.first_fill_cycles,
-              ((pinned == tiles ? 0.0 : tile_bytes) + if_bytes) /
-                      p.dma_bytes_per_cycle +
-                  (pinned == tiles ? 1.0 : 2.0) * p.dma_latency);
+          if (d.flat_legacy) {
+            plan.first_fill_cycles_warm = std::min(
+                plan.first_fill_cycles,
+                ((pinned == tiles ? 0.0 : tile_bytes) + if_bytes) /
+                        d.bytes_per_cycle +
+                    (pinned == tiles ? 1.0 : 2.0) * d.request_latency);
+          } else {
+            plan.first_fill_cycles_warm = std::min(
+                plan.first_fill_cycles,
+                d.stream((pinned == tiles ? 0.0 : tile_bytes) + if_bytes,
+                         pinned == tiles ? 1.0 : 2.0)
+                    .cycles);
+          }
         }
         if (rows == 1) break;
       }
@@ -267,6 +433,7 @@ TilePlan plan_encode_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
   const double fb = common::fp_bytes(fmt);
   const double buf_mult = double_buffer ? 2.0 : 1.0;
   const int kk = spec.k * spec.k;
+  const arch::DramConfig& d = p.dram;
 
   TilePlan plan;
   plan.in_segments = 1;
@@ -301,23 +468,51 @@ TilePlan plan_encode_layer(const snn::LayerSpec& spec, common::FpFormat fmt,
                               spec.out_w() * kk * spec.in_c * fb;
   const double positions = static_cast<double>(spec.out_h()) * spec.out_w();
   const double of_traffic = positions * spec.out_c * kIdxBytes * 0.25;
-  plan.dma_bytes = w_bytes + im2row_total + of_traffic;
-  const double n_transfers = 1.0 + 2.0 * plan.if_stripes;
-  plan.dma_cycles = plan.dma_bytes / p.dma_bytes_per_cycle +
-                    n_transfers * p.dma_latency;
-  plan.first_fill_cycles =
-      (w_bytes + plan.if_stripe_bytes) / p.dma_bytes_per_cycle +
-      2.0 * p.dma_latency;
+  const double stripes_d = static_cast<double>(plan.if_stripes);
+  if (d.flat_legacy) {
+    // Historical flat pricing, expression-for-expression (bit-exact).
+    plan.dma_bytes = w_bytes + im2row_total + of_traffic;
+    const double n_transfers = 1.0 + 2.0 * plan.if_stripes;
+    plan.dma_cycles = plan.dma_bytes / d.bytes_per_cycle +
+                      n_transfers * d.request_latency;
+    plan.first_fill_cycles =
+        (w_bytes + plan.if_stripe_bytes) / d.bytes_per_cycle +
+        2.0 * d.request_latency;
+    plan.dma_bytes_warm = plan.dma_bytes - w_bytes;
+    plan.dma_cycles_warm = plan.dma_bytes_warm / d.bytes_per_cycle +
+                           2.0 * plan.if_stripes * d.request_latency;
+    plan.first_fill_cycles_warm =
+        plan.if_stripe_bytes / d.bytes_per_cycle + d.request_latency;
+  } else {
+    // Banked mode: the dense weight set loads as one long run; the im2row
+    // expansion streams sequentially per stripe; the compressed ofmap
+    // writes back once per stripe.
+    arch::DramCost c;
+    c.accumulate(
+        d.stream(d.stored_bytes(d.weight_format, w_bytes, 1.0), 1.0));
+    arch::DramCost warm;
+    warm.accumulate(d.stream(
+        d.stored_bytes(d.payload_format, im2row_total, stripes_d), stripes_d));
+    warm.accumulate(d.stream(
+        d.stored_bytes(d.payload_format, of_traffic, stripes_d), stripes_d));
+    c.accumulate(warm);
+    plan.dma_bytes = c.bytes;
+    plan.dma_cycles = c.cycles;
+    plan.dma_row_hits = c.row_hits;
+    plan.dma_row_misses = c.row_misses;
+    plan.first_fill_cycles =
+        d.stream(w_bytes + plan.if_stripe_bytes, 2.0).cycles;
+    plan.dma_bytes_warm = warm.bytes;
+    plan.dma_cycles_warm = warm.cycles;
+    plan.dma_row_hits_warm = warm.row_hits;
+    plan.dma_row_misses_warm = warm.row_misses;
+    plan.first_fill_cycles_warm = d.stream(plan.if_stripe_bytes, 1.0).cycles;
+  }
 
   // The whole first-layer weight set is resident by construction, so every
   // warm batch sample streams only the im2row expansion + ofmap write-back.
   plan.weights_spm_resident = true;
   plan.pinned_weight_fraction = 1.0;
-  plan.dma_bytes_warm = plan.dma_bytes - w_bytes;
-  plan.dma_cycles_warm = plan.dma_bytes_warm / p.dma_bytes_per_cycle +
-                         2.0 * plan.if_stripes * p.dma_latency;
-  plan.first_fill_cycles_warm =
-      plan.if_stripe_bytes / p.dma_bytes_per_cycle + p.dma_latency;
   return plan;
 }
 

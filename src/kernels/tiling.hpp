@@ -32,6 +32,18 @@ struct TilePlan {
   double dma_cycles = 0;   ///< total DMA busy cycles
   double first_fill_cycles = 0;  ///< initial load before compute can start
 
+  // --- banked-DRAM row accounting (CostParams::dram, banked mode only) ------
+  // Row-buffer outcomes of the plan's DMA streams at 64 B beat granularity
+  // (arch/dram/dram.hpp). Sequential weight-band streams touch few rows per
+  // transferred byte (hit rate near 1); many-small-run sequences (strided
+  // accumulator spills, fragmented write-backs) pay one activation per run.
+  // All zero in flat-legacy mode, which keeps the historical cycle
+  // expressions bit-exactly.
+  double dma_row_hits = 0;
+  double dma_row_misses = 0;
+  double dma_row_hits_warm = 0;
+  double dma_row_misses_warm = 0;
+
   // --- batch-level weight-tile reuse (RunOptions::batch_weight_reuse) -------
   // Weight tiles pinned in SPM survive between consecutive batch samples on
   // the same cluster, so warm samples skip their DMA refetch. Two regimes:
@@ -68,9 +80,27 @@ struct TilePlan {
   int sm_bands = 1;            ///< weight bands, each streamed once per batch
   int sm_resident_lanes = 0;   ///< lanes whose partial sums never spill
   double sm_dma_bytes = 0;     ///< per-sample amortized DMA bytes (incl. spill)
-  double sm_dma_cycles = 0;
+  double sm_dma_cycles = 0;    ///< amortized busy cycles, net of hidden ones
   double sm_first_fill_cycles = 0;
   double sm_spill_bytes = 0;   ///< per-sample amortized spill+fill traffic
+
+  // --- double-buffered spill/fill (banked mode only) ------------------------
+  // With the banked DRAM model on, the spill/fill of parked lanes' partial
+  // sums can overlap the band-(b+1) weight stream: the schedule trades one
+  // resident lane's accumulator slice for a bounce buffer (SPM slack never
+  // holds resident+1 slices when anything spills, so the second buffer must
+  // come from the resident set — the overlap condition is resident >= 2).
+  // What hides is the spill streams' first-beat overhead (request latencies
+  // + row activations): data beats still occupy the shared channel, so they
+  // stay charged. The planner prices both regimes and adopts the
+  // double-buffered one only when its net timeline wins; sm_hidden_cycles
+  // itemizes the overlap so charged + hidden reconstructs the serial
+  // pricing of the same configuration exactly.
+  bool sm_double_buffered = false;
+  double sm_spill_cycles = 0;   ///< serial cycles of the spill/fill streams
+  double sm_hidden_cycles = 0;  ///< spill overhead hidden under band streams
+  double sm_row_hits = 0;       ///< row accounting of the adopted sm schedule
+  double sm_row_misses = 0;
 };
 
 /// Plan a conv/FC layer. `ifmap_actual_bytes` / `ofmap_actual_bytes` are the

@@ -230,7 +230,10 @@ void CycleAccurateBackend::retime(kernels::LayerRun& run, double ratio) const {
   // dma_saved_bytes > 0 marks a batch-reuse warm run: re-derive the overlap
   // from the same (weight-free) DMA timeline the analytical pass charged.
   // Segment-major plans take precedence inside overlap_cycles regardless of
-  // the flag — their amortized timeline has no warm/cold split.
+  // the flag — their amortized timeline has no warm/cold split. The plan's
+  // DMA timeline already carries the banked-DRAM pricing (row penalties,
+  // spill overlap) when CostParams::dram is banked, so re-anchoring the
+  // compute path keeps the row-hit/row-miss/hidden itemization in st intact.
   st.cycles = kernels::overlap_cycles(run.plan, st.compute_cycles,
                                       opt_.double_buffer,
                                       st.dma_saved_bytes > 0);

@@ -343,6 +343,11 @@ void ShardedBackend::for_shards(
                       [&fn](std::size_t, std::size_t i) { fn(i); });
 }
 
+// Each shard's timing pass ran the tile planner on its own sub-spec, so
+// under the banked DRAM model every cluster prices its streams against a
+// private DRAM channel: merge_parallel takes the max of the per-channel DMA
+// timelines (channels drain concurrently) and sums the row-hit/row-miss
+// activity counters, exactly like the other per-cluster activity.
 std::size_t ShardedBackend::merge_shard_stats(
     const kernels::LayerScratch& scratch, std::size_t n,
     kernels::LayerRun& merged) const {

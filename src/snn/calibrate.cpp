@@ -22,6 +22,15 @@ std::vector<double> svgg11_target_rates() {
           0.10};  // fc8 output (10 classes; ~1 winner)
 }
 
+std::vector<double> wide_fc_target_rates() {
+  // Same flavour as the S-VGG11 profile, on the 4-layer spill vehicle:
+  // active encode output, increasingly sparse FC stack.
+  return {0.25,   // enc output = fc1 ifmap activity
+          0.08,   // fc1 -> fc2
+          0.05,   // fc2 -> fc3
+          0.10};  // fc3 output (10 classes)
+}
+
 std::vector<double> calibrate_thresholds(Network& net,
                                          std::span<const Tensor> images,
                                          std::span<const double> target_rates) {

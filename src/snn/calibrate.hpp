@@ -22,6 +22,11 @@ namespace spikestream::snn {
 /// layer l's output rate is layer l+1's ifmap activity (before re-padding).
 std::vector<double> svgg11_target_rates();
 
+/// Target output rates for Network::make_wide_fc (the DMA spill bench
+/// vehicle): moderate encode activity, sparse FC stack like the paper's
+/// classifier layers.
+std::vector<double> wide_fc_target_rates();
+
 /// Calibrate `net` thresholds in place over the calibration images.
 /// Returns the achieved mean output rate per layer.
 std::vector<double> calibrate_thresholds(Network& net,

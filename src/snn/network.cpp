@@ -92,6 +92,37 @@ Network Network::make_svgg11() {
   return net;
 }
 
+Network Network::make_wide_fc() {
+  Network net;
+  // Thin encode conv: 34x34x3 (padded CIFAR frame) -> 32x32x16, OR-pooled to
+  // 16x16x16 = 4096 flattened classifier inputs.
+  LayerSpec enc;
+  enc.kind = LayerKind::kEncodeConv;
+  enc.name = "enc";
+  enc.in_h = enc.in_w = 34;
+  enc.in_c = 3;
+  enc.k = 3;
+  enc.out_c = 16;
+  enc.pool_after = true;
+  net.add_layer(enc);
+  auto fc = [&](const char* name, int in_c, int out_c) {
+    LayerSpec s;
+    s.kind = LayerKind::kFc;
+    s.name = name;
+    s.in_c = in_c;
+    s.out_c = out_c;
+    net.add_layer(s);
+  };
+  fc("fc1", 16 * 16 * 16, 512);  // squeeze
+  // The spill vehicle: moderate fan-in keeps the co-tile wide (the planner
+  // holds co_per_tile = 2048 at FP16 / 128 KiB SPM), so each batch lane's
+  // partial-sum slice is co_per_tile * fb = 4 KiB and only ~14 lanes stay
+  // resident — batches of 16-32 must spill through DRAM.
+  fc("fc2", 512, 4096);
+  fc("fc3", 4096, 10);  // head
+  return net;
+}
+
 Network Network::make_tiny(int in_hw, int in_c, int mid_c, int out_n) {
   SPK_CHECK(in_hw >= 5, "tiny network needs at least 5x5 inputs");
   Network net;

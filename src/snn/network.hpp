@@ -98,6 +98,15 @@ class Network {
   static Network make_tiny(int in_hw = 10, int in_c = 8, int mid_c = 16,
                            int out_n = 4);
 
+  /// FC-heavy classifier used as the DMA spill test vehicle: a thin encode
+  /// conv feeding a squeeze -> very wide -> head FC stack. The wide layer
+  /// (512 -> 4096) plans large per-lane accumulator slices
+  /// (co_per_tile * fb), so at batch 16-32 the segment-major schedule must
+  /// park lanes and spill their partial sums through DRAM — S-VGG11 at
+  /// batch 8 spills zero bytes, which is exactly what this net exists to
+  /// exercise (banked-DRAM row pricing + double-buffered spill/fill).
+  static Network make_wide_fc();
+
  private:
   std::vector<LayerSpec> layers_;
   std::vector<LayerWeights> weights_;

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "arch/dram/stream_reader.hpp"
 #include "bench/alloc_hook.hpp"
 #include "common/rng.hpp"
 #include "compress/csr_ifmap.hpp"
@@ -331,6 +332,48 @@ TEST(ScratchReuse, ZeroSteadyStateAllocationsSegmentMajor) {
   const std::size_t after = spikestream::alloc_hook::allocs();
   EXPECT_EQ(after - before, 0u)
       << "segment-major steady state must not touch the heap";
+}
+
+TEST(ScratchReuse, StreamReaderAccountingNeverAllocates) {
+  // The DRAM model's accounting surfaces are closed-form over fixed-size
+  // state (std::array open-row registers): pricing a million-beat access
+  // pattern must not touch the heap at all — the planner calls these in its
+  // hot cost queries.
+  namespace arch = spikestream::arch;
+  arch::StreamReader rd(arch::DramConfig::banked());
+  const std::size_t before = spikestream::alloc_hook::allocs();
+  for (int r = 0; r < 1000; ++r) {
+    rd.stream(1.0e6, 64.0);
+    rd.write(4096.0, 2.0);
+    rd.stream_records(arch::DramFormat::kFixedStride, 8192.0, 32.0, 4.0);
+    rd.touch(static_cast<std::uint64_t>(r) * 4096, 2048);
+  }
+  rd.reset();
+  const std::size_t after = spikestream::alloc_hook::allocs();
+  EXPECT_EQ(after - before, 0u)
+      << "DRAM stream accounting must be allocation-free";
+  EXPECT_DOUBLE_EQ(rd.cost().bytes, 0.0);
+}
+
+TEST(ScratchReuse, ZeroSteadyStateAllocationsBankedDram) {
+  // Banked-DRAM pricing swaps the flat cost expressions for the row-model
+  // closed forms inside the same plan queries; the engine-level steady state
+  // must stay allocation-free with the banked model and the segment-major
+  // schedule both enabled.
+  const snn::Network net = test_net();
+  const auto img = snn::make_batch(1, 7, 16, 16, 3)[0];
+  k::RunOptions opt;
+  opt.cost.dram = spikestream::arch::DramConfig::banked();
+  opt.segment_major_lanes = 4;
+  const rt::InferenceEngine engine(net, opt);
+  snn::NetworkState state = engine.make_state();
+  rt::InferenceResult res;
+  ASSERT_TRUE(warm_until_quiet(engine, img, state, res));
+  const std::size_t before = spikestream::alloc_hook::allocs();
+  for (int t = 0; t < 5; ++t) engine.run(img, state, res);
+  const std::size_t after = spikestream::alloc_hook::allocs();
+  EXPECT_EQ(after - before, 0u)
+      << "banked-DRAM steady state must not touch the heap";
 }
 
 TEST(ScratchReuse, ZeroSteadyStateAllocationsAdaptiveSharded) {
