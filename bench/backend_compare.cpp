@@ -19,6 +19,7 @@
 #include "runtime/backend_sharded.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/pipeline.hpp"
+#include "runtime/stage_pipeline.hpp"
 
 namespace bench = spikestream::bench;
 namespace k = spikestream::kernels;
@@ -357,6 +358,68 @@ int main() {
     r.print();
     std::printf("  network total: static %.1f kcyc, adaptive %.1f kcyc\n",
                 tot_s / 1e3, tot_a / 1e3);
+  }
+
+  // --- stage-parallel cluster pipeline on the deep tower --------------------
+  // The modeled counterpart of the host-side pipelined executor: contiguous
+  // layer ranges on disjoint cluster groups, coupled by finite spike FIFOs.
+  // Per stage: busy window split into service / FIFO stall / idle, peak
+  // FIFO occupancy and the boundary payload (all modeled cycles, not host
+  // time). S-VGG11 keeps choosing data-parallel on the same cost query, so
+  // the vehicle here is the deep narrow tower.
+  {
+    const snn::Network tower = bench::make_calibrated_deep_tower();
+    const auto tower_imgs = snn::make_batch(8, 99, 6, 6, 3);
+    rt::BackendConfig cfg = sharded_cfg(8, k::PartitionStrategy::kHybrid);
+    cfg.shard_threads = false;
+    cfg.noc.topology = spikestream::arch::NocTopology::kRingQuadrant;
+    cfg.noc.model_contention = true;
+    cfg.pipeline.enabled = true;
+
+    const rt::InferenceEngine eng(tower, opt, cfg);
+    snn::NetworkState st = eng.make_state();
+    std::vector<rt::InferenceResult> tbatch;
+    for (const auto& img : tower_imgs) tbatch.push_back(eng.run(img, st));
+
+    cfg.pipeline.enabled = false;
+    const rt::InferenceEngine dp_eng(tower, opt, cfg);
+    snn::NetworkState dp_st = dp_eng.make_state();
+    double dp_total = 0;
+    for (const auto& img : tower_imgs) {
+      dp_total += dp_eng.run(img, dp_st).total_cycles;
+    }
+
+    const auto* be = dynamic_cast<const rt::ShardedBackend*>(&eng.backend());
+    if (be != nullptr && be->stage_parallel_active()) {
+      const rt::StageTimeline tl = rt::simulate_stage_pipeline(
+          be->stage_plan(), tower, tbatch, be->pipeline_config());
+      sc::Table s("deep tower, stage pipeline at 8 clusters (" +
+                  std::string(k::exec_mode_name(be->stage_plan().mode)) +
+                  ", batch 8, kcycles)");
+      s.set_header({"stage", "layers", "clusters", "service", "fifo stall",
+                    "idle", "peak fifo", "handoff B"});
+      for (std::size_t i = 0; i < tl.stages.size(); ++i) {
+        const auto& plan_st = be->stage_plan().stages[i];
+        const auto& tr = tl.stages[i];
+        s.add_row({std::to_string(i),
+                   std::to_string(plan_st.layer_lo) + ".." +
+                       std::to_string(plan_st.layer_hi - 1),
+                   std::to_string(plan_st.cluster_lo) + ".." +
+                       std::to_string(plan_st.cluster_hi - 1),
+                   sc::Table::num(tr.service_cycles / 1e3, 1),
+                   sc::Table::num(tr.stall_cycles / 1e3, 1),
+                   sc::Table::num(tr.idle_cycles / 1e3, 1),
+                   sc::Table::num(tr.peak_fifo_spikes, 0),
+                   sc::Table::num(tr.handoff_bytes, 0)});
+      }
+      s.print();
+      const double n = static_cast<double>(tbatch.size());
+      std::printf(
+          "  steady state %.0f cyc/sample (fill %.0f), data-parallel %.0f "
+          "cyc/sample -> %.2fx\n",
+          tl.steady_cycles_per_sample, tl.fill_cycles, dp_total / n,
+          (dp_total / n) / tl.steady_cycles_per_sample);
+    }
   }
 
   // --- pipelined batch executor: host wall-clock vs BatchRunner -------------

@@ -52,6 +52,22 @@ inline snn::Network make_calibrated_wide_fc(std::uint64_t seed = 1,
   return net;
 }
 
+/// The deep narrow conv tower (see snn::Network::make_deep_tower), calibrated
+/// to its flat mid-tower rate profile. Stage-pipeline bench vehicle: its
+/// per-layer work is a small multiple of the fixed launch overheads, so the
+/// pipeline planner splits it into cluster-group stages where S-VGG11 stays
+/// data-parallel.
+inline snn::Network make_calibrated_deep_tower(std::uint64_t seed = 1,
+                                               int calib_images = 4) {
+  snn::Network net = snn::Network::make_deep_tower();
+  common::Rng rng(seed);
+  net.init_weights(rng);
+  const auto calib = snn::make_batch(static_cast<std::size_t>(calib_images),
+                                     seed * 17 + 3, 6, 6, 3);
+  snn::calibrate_thresholds(net, calib, snn::deep_tower_target_rates());
+  return net;
+}
+
 /// Per-layer aggregates over a batch.
 struct LayerAgg {
   std::string name;

@@ -1,13 +1,97 @@
 // Reproduces Fig. 3c: per-layer speedup of SpikeStream FP16 over the FP16
 // baseline, and of SpikeStream FP8 over SpikeStream FP16; plus the end-to-end
 // summary speedups quoted in the abstract / Section IV-A.
+//
+// Second section: the stage-parallel cluster pipeline. For each (network,
+// cluster count) the planner's three execution shapes run on identical
+// batches — pure data-parallel, forced stage-parallel, forced hybrid, and
+// planner-chosen (auto) — and the table reports modeled steady-state cycles
+// per sample with the FIFO stall and NoC contention shares itemized. The
+// rows persist to BENCH_fig3c.json so CI can require the planner-chosen
+// pipeline to keep beating data-parallel on the deep tower
+// (scripts/check_bench_regression.py --pipeline-speedup-floor).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "runtime/backend_sharded.hpp"
+#include "runtime/stage_pipeline.hpp"
 
 namespace sb = spikestream::bench;
 namespace sc = spikestream::common;
 namespace k = spikestream::kernels;
+namespace rt = spikestream::runtime;
+namespace snn = spikestream::snn;
+namespace arch = spikestream::arch;
+
+namespace {
+
+struct PipelineRow {
+  std::string network;
+  int clusters = 0;
+  std::string requested;  ///< mode asked of the planner ("off" = pipeline off)
+  std::string chosen;     ///< concrete mode of the resulting plan
+  int stages = 1;
+  double steady_cycles_per_sample = 0;  ///< measured initiation interval
+  double cycles_per_sample = 0;         ///< makespan / batch (incl. fill)
+  double fifo_stall_cycles = 0;         ///< whole-batch FIFO backpressure
+  double noc_contention_cycles = 0;     ///< whole-batch fabric serialization
+  double speedup_vs_dp = 1.0;           ///< steady-state, against the DP row
+};
+
+PipelineRow run_pipeline_row(const std::string& network,
+                             const snn::Network& net,
+                             const std::vector<snn::Tensor>& images,
+                             int clusters, k::ExecMode mode, bool enabled) {
+  rt::BackendConfig cfg;
+  cfg.kind = rt::BackendKind::kSharded;
+  cfg.clusters = clusters;
+  cfg.shard_threads = false;
+  cfg.partition = k::PartitionStrategy::kHybrid;
+  cfg.noc.topology = arch::NocTopology::kRingQuadrant;
+  cfg.noc.model_contention = true;
+  cfg.pipeline.enabled = enabled;
+  cfg.pipeline.mode = mode;
+
+  const k::RunOptions opt;
+  const rt::InferenceEngine eng(net, opt, cfg);
+  snn::NetworkState state = eng.make_state();
+  std::vector<rt::InferenceResult> batch;
+  for (const auto& img : images) batch.push_back(eng.run(img, state));
+
+  PipelineRow row;
+  row.network = network;
+  row.clusters = clusters;
+  row.requested = enabled ? k::exec_mode_name(mode) : "off";
+  const auto& sb_ = static_cast<const rt::ShardedBackend&>(eng.backend());
+  row.chosen = enabled ? k::exec_mode_name(sb_.stage_plan().mode)
+                       : "data-parallel";
+  row.stages = enabled ? sb_.stage_plan().num_stages() : 1;
+
+  double total = 0;
+  for (const auto& r : batch) {
+    total += r.total_cycles;
+    for (const auto& lm : r.layers) {
+      row.noc_contention_cycles += lm.stats.noc_contention_cycles;
+    }
+  }
+  const double n = static_cast<double>(batch.size());
+  if (enabled && sb_.stage_parallel_active()) {
+    const rt::StageTimeline tl = rt::simulate_stage_pipeline(
+        sb_.stage_plan(), net, batch, sb_.pipeline_config());
+    row.steady_cycles_per_sample = tl.steady_cycles_per_sample;
+    row.cycles_per_sample = tl.cycles_per_sample(batch.size());
+    row.fifo_stall_cycles = tl.total_stall_cycles;
+  } else {
+    // One stage: samples serialize, steady state == the mean sample.
+    row.steady_cycles_per_sample = total / n;
+    row.cycles_per_sample = total / n;
+  }
+  return row;
+}
+
+}  // namespace
 
 int main() {
   const int batch = sb::batch_size_from_env();
@@ -42,16 +126,95 @@ int main() {
   t.print();
 
   const auto n = static_cast<double>(rb.layers.size());
+  const double e2e_ss16 = rb.total_cycles.mean() / r16.total_cycles.mean();
+  const double e2e_ss8 = rb.total_cycles.mean() / r8.total_cycles.mean();
   std::printf("\nlayer-average speedup SS FP16 / base FP16: %.2fx (paper: 5.62x)\n",
               s16_acc / n);
   std::printf("layer-average speedup SS FP8 / SS FP16:    %.2fx (paper: 1.71x)\n",
               s8_acc / n);
   std::printf("end-to-end speedup SS FP16 / base FP16:    %.2fx (paper: 4.39x)\n",
-              rb.total_cycles.mean() / r16.total_cycles.mean());
+              e2e_ss16);
   std::printf("end-to-end speedup SS FP8  / base FP16:    %.2fx (paper: 7.29x)\n",
-              rb.total_cycles.mean() / r8.total_cycles.mean());
+              e2e_ss8);
   std::printf("end-to-end inference: base %.2f ms, SS FP16 %.2f ms, SS FP8 %.2f ms\n",
               rb.total_cycles.mean() / 1e6, r16.total_cycles.mean() / 1e6,
               r8.total_cycles.mean() / 1e6);
+
+  // -------------------------------------------------------------------------
+  // Stage-parallel cluster pipeline: DP vs stage vs hybrid vs planner-chosen.
+  // -------------------------------------------------------------------------
+  const int pipe_batch = 8;
+  const snn::Network tower = sb::make_calibrated_deep_tower();
+  const auto tower_imgs =
+      snn::make_batch(static_cast<std::size_t>(pipe_batch), 2025, 6, 6, 3);
+  const auto svgg_imgs =
+      snn::make_batch(static_cast<std::size_t>(pipe_batch), 2026);
+
+  std::vector<PipelineRow> rows;
+  for (int clusters : {4, 8}) {
+    rows.push_back(run_pipeline_row("tower", tower, tower_imgs, clusters,
+                                    k::ExecMode::kDataParallel, false));
+    const double dp = rows.back().steady_cycles_per_sample;
+    for (auto mode : {k::ExecMode::kStageParallel, k::ExecMode::kHybrid,
+                      k::ExecMode::kAuto}) {
+      rows.push_back(
+          run_pipeline_row("tower", tower, tower_imgs, clusters, mode, true));
+      rows.back().speedup_vs_dp = dp / rows.back().steady_cycles_per_sample;
+    }
+  }
+  {
+    // S-VGG11 control: the planner must keep choosing data-parallel here.
+    rows.push_back(run_pipeline_row("svgg11", net, svgg_imgs, 8,
+                                    k::ExecMode::kDataParallel, false));
+    const double dp = rows.back().steady_cycles_per_sample;
+    for (auto mode : {k::ExecMode::kStageParallel, k::ExecMode::kAuto}) {
+      rows.push_back(
+          run_pipeline_row("svgg11", net, svgg_imgs, 8, mode, true));
+      rows.back().speedup_vs_dp = dp / rows.back().steady_cycles_per_sample;
+    }
+  }
+
+  sc::Table pt("Stage pipeline — modeled steady-state cycles/sample, batch=" +
+               std::to_string(pipe_batch));
+  pt.set_header({"network", "clusters", "mode", "chosen", "stages",
+                 "steady cyc/s.", "amort cyc/s.", "fifo stall", "noc cont.",
+                 "vs DP"});
+  for (const auto& r : rows) {
+    pt.add_row({r.network, std::to_string(r.clusters), r.requested, r.chosen,
+                std::to_string(r.stages),
+                sc::Table::num(r.steady_cycles_per_sample, 0),
+                sc::Table::num(r.cycles_per_sample, 0),
+                sc::Table::num(r.fifo_stall_cycles, 0),
+                sc::Table::num(r.noc_contention_cycles, 0),
+                sc::Table::num(r.speedup_vs_dp, 2) + "x"});
+  }
+  pt.print();
+
+  if (std::FILE* f = std::fopen("BENCH_fig3c.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"fig3c\",\n  \"batch\": %d,\n", batch);
+    std::fprintf(f, "  \"e2e_ss16_over_base\": %.4f,\n", e2e_ss16);
+    std::fprintf(f, "  \"e2e_ss8_over_base\": %.4f,\n", e2e_ss8);
+    std::fprintf(f, "  \"pipeline_batch\": %d,\n  \"pipeline\": [\n",
+                 pipe_batch);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::fprintf(f,
+                   "    {\"network\": \"%s\", \"clusters\": %d, "
+                   "\"mode\": \"%s\", \"chosen\": \"%s\", \"stages\": %d, "
+                   "\"steady_cycles_per_sample\": %.2f, "
+                   "\"cycles_per_sample\": %.2f, "
+                   "\"fifo_stall_cycles\": %.2f, "
+                   "\"noc_contention_cycles\": %.2f, "
+                   "\"speedup_vs_dp\": %.4f}%s\n",
+                   r.network.c_str(), r.clusters, r.requested.c_str(),
+                   r.chosen.c_str(), r.stages, r.steady_cycles_per_sample,
+                   r.cycles_per_sample, r.fifo_stall_cycles,
+                   r.noc_contention_cycles, r.speedup_vs_dp,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_fig3c.json\n");
+  }
   return 0;
 }

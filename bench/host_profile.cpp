@@ -12,7 +12,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
 
 #include "arch/dram/dram.hpp"
 #include "bench/alloc_hook.hpp"
@@ -301,8 +306,10 @@ int main() {
     }
   }
 
-  std::printf("host profile: S-VGG11 batch %d + wide-FC batch %d, %d reps\n",
-              batch, wide_batch, reps);
+  std::printf("host profile: S-VGG11 batch %d + wide-FC batch %d, %d reps, "
+              "%u hw threads\n",
+              batch, wide_batch, reps,
+              std::max(1u, std::thread::hardware_concurrency()));
   std::printf("%-26s %11s %11s %13s %11s %11s %11s %8s %8s %10s\n", "backend",
               "samples/s", "ns/layer", "allocs/layer", "dma MB/s.",
               "saved stdy", "Mcyc/s.", "rowhit", "hidden", "memo h/m");
@@ -319,9 +326,28 @@ int main() {
   // BENCH_host.json: one flat record per backend, easy to diff across PRs.
   // dma_saved_mb_per_sample stays as an alias of the steady-state column so
   // older regression baselines keep comparing.
+  // Host identity: throughput numbers are only comparable between runs on
+  // similar machines, so the regression script refuses the samples/sec
+  // compare when the recorded concurrency differs (modeled-cycle and
+  // allocation columns stay comparable regardless — they are host-invariant).
+  const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  std::string host_os = "unknown", host_machine = "unknown";
+#if defined(__linux__) || defined(__APPLE__)
+  {
+    utsname uts{};
+    if (uname(&uts) == 0) {
+      host_os = uts.sysname;
+      host_machine = uts.machine;
+    }
+  }
+#endif
+
   if (std::FILE* f = std::fopen("BENCH_host.json", "w")) {
     std::fprintf(f, "{\n  \"bench\": \"host_profile\",\n");
     std::fprintf(f, "  \"network\": \"svgg11\",\n  \"batch\": %d,\n", batch);
+    std::fprintf(f, "  \"host_concurrency\": %u,\n", hw_threads);
+    std::fprintf(f, "  \"host_os\": \"%s\",\n  \"host_machine\": \"%s\",\n",
+                 host_os.c_str(), host_machine.c_str());
     std::fprintf(f, "  \"reps\": %d,\n  \"backends\": [\n", reps);
     for (std::size_t i = 0; i < profiles.size(); ++i) {
       const auto& p = profiles[i];

@@ -5,10 +5,16 @@ Usage: check_bench_regression.py PREVIOUS.json CURRENT.json
            [--threshold 0.15] [--alloc-slack 0.5] [--require NAME ...]
            [--dma-saved-floor MB] [--dma-threshold 0.10]
            [--row-hit-floor RATE] [--cycles-threshold 0.10]
+           [--fig3c BENCH_fig3c.json] [--require-fig3c NET:CLUSTERS:MODE ...]
+           [--pipeline-speedup-floor X]
 
 Checks, each per backend row (matched by name, every row checked — not just
 the best one):
-  * samples/sec must not drop by more than --threshold (fractional);
+  * samples/sec must not drop by more than --threshold (fractional) — but
+    only when both files record the same host_concurrency: wall-clock
+    throughput from different machines is not comparable, so a mismatch
+    skips the throughput check (everything modeled — allocations, DMA,
+    cycles — is host-invariant and stays checked);
   * steady_allocs_per_layer must not grow by more than --alloc-slack
     (absolute allocations per layer — the zero-allocation contract);
   * every --require NAME must be present in the current file (so a perf row
@@ -27,6 +33,15 @@ the best one):
     by more than --cycles-threshold on any row reporting it in both files —
     this is the memory-timing regression guard: spikes and host throughput
     can be unchanged while the priced timeline quietly degrades.
+
+Stage-pipeline checks against the CURRENT BENCH_fig3c.json (no previous file
+needed — these are absolute floors on modeled cycles):
+  * every --require-fig3c NET:CLUSTERS:MODE row must be present (e.g.
+    "tower:8:auto"), so a pipeline configuration cannot silently drop out of
+    the bench;
+  * --pipeline-speedup-floor X: every planner-chosen row (mode "auto") on
+    the "tower" network must report steady-state speedup_vs_dp >= X — the
+    stage-parallel pipeline must keep beating pure data-parallel.
 Backends present in only one file are reported but only fail when required.
 Exit codes: 0 = ok, 1 = regression, 2 = unusable input (missing/corrupt
 file) — CI treats 2 as a skip, not a failure, so the very first run of a
@@ -42,7 +57,7 @@ def load(path):
     try:
         with open(path) as f:
             data = json.load(f)
-        return {
+        rows = {
             b["name"]: {
                 "sps": float(b["samples_per_sec"]),
                 "allocs": float(b.get("steady_allocs_per_layer", 0.0)),
@@ -61,6 +76,24 @@ def load(path):
             }
             for b in data["backends"]
         }
+        meta = {
+            "concurrency": (int(data["host_concurrency"])
+                            if "host_concurrency" in data else None),
+        }
+        return meta, rows
+    except (OSError, ValueError, KeyError) as e:
+        print(f"cannot read {path}: {e}")
+        return None
+
+
+def load_fig3c(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+        return {
+            (r["network"], int(r["clusters"]), r["mode"]): r
+            for r in data["pipeline"]
+        }
     except (OSError, ValueError, KeyError) as e:
         print(f"cannot read {path}: {e}")
         return None
@@ -68,6 +101,47 @@ def load(path):
 
 def wants_dma_floor(name):
     return "batchreuse" in name or "segmajor" in name
+
+
+def check_fig3c(args, failed):
+    """Absolute floors on the stage-pipeline rows of the current run."""
+    rows = load_fig3c(args.fig3c)
+    if rows is None:
+        failed.append("fig3c")
+        return
+    for spec in args.require_fig3c:
+        try:
+            net, clusters, mode = spec.split(":")
+            key = (net, int(clusters), mode)
+        except ValueError:
+            failed.append(spec)
+            print(f"malformed --require-fig3c spec: {spec}")
+            continue
+        if key not in rows:
+            failed.append(spec)
+            print(f"required fig3c pipeline row missing: {spec}")
+    if args.pipeline_speedup_floor > 0.0:
+        auto_rows = [(k, r) for k, r in sorted(rows.items())
+                     if k[0] == "tower" and k[2] == "auto"]
+        if not auto_rows:
+            failed.append("fig3c:auto")
+            print("pipeline speedup floor set but no tower auto rows found")
+        for key, r in auto_rows:
+            speedup = float(r.get("speedup_vs_dp", 0.0))
+            label = ":".join(str(p) for p in key)
+            if speedup < args.pipeline_speedup_floor:
+                failed.append(label)
+                print(f"pipeline speedup floor: {label} reports "
+                      f"{speedup:.2f}x < floor "
+                      f"{args.pipeline_speedup_floor:.2f}x "
+                      f"(chosen {r.get('chosen', '?')}, "
+                      f"{r.get('stages', '?')} stages)")
+            else:
+                print(f"pipeline row {label}: {speedup:.2f}x vs DP "
+                      f"(chosen {r.get('chosen', '?')}, "
+                      f"{r.get('stages', '?')} stages, "
+                      f"stall {float(r.get('fifo_stall_cycles', 0.0)):.0f} "
+                      f"cyc) >= floor {args.pipeline_speedup_floor:.2f}x")
 
 
 def main():
@@ -96,14 +170,42 @@ def main():
     ap.add_argument("--cycles-threshold", type=float, default=0.10,
                     help="max allowed fractional growth in modeled "
                          "whole-network cycles per sample")
+    ap.add_argument("--fig3c", default=None, metavar="JSON",
+                    help="current BENCH_fig3c.json to check pipeline floors "
+                         "against (absolute, no previous file needed)")
+    ap.add_argument("--require-fig3c", action="append", default=[],
+                    metavar="NET:CLUSTERS:MODE",
+                    help="pipeline row that must exist in --fig3c, e.g. "
+                         "tower:8:auto (repeatable)")
+    ap.add_argument("--pipeline-speedup-floor", type=float, default=0.0,
+                    metavar="X",
+                    help="min steady-state speedup_vs_dp on the tower auto "
+                         "rows of --fig3c")
     args = ap.parse_args()
 
-    prev = load(args.previous)
-    cur = load(args.current)
-    if prev is None or cur is None:
-        return 2
-
     failed = []
+    if args.fig3c is not None:
+        check_fig3c(args, failed)
+
+    loaded_prev = load(args.previous)
+    loaded_cur = load(args.current)
+    if loaded_prev is None or loaded_cur is None:
+        # The fig3c floors are absolute checks on the current build: they
+        # still fail the run even when there is no usable previous baseline.
+        return 1 if failed else 2
+    prev_meta, prev = loaded_prev
+    cur_meta, cur = loaded_cur
+
+    # Throughput deltas are only meaningful on comparable hosts.
+    compare_throughput = True
+    if (prev_meta["concurrency"] is not None
+            and cur_meta["concurrency"] is not None
+            and prev_meta["concurrency"] != cur_meta["concurrency"]):
+        compare_throughput = False
+        print(f"host concurrency changed "
+              f"({prev_meta['concurrency']} -> {cur_meta['concurrency']}): "
+              f"skipping samples/sec compare, modeled columns still checked")
+
     for name in args.require:
         if name not in cur:
             failed.append(name)
@@ -139,7 +241,7 @@ def main():
         p, c = prev[name], cur[name]
         delta = (c["sps"] - p["sps"]) / p["sps"] if p["sps"] > 0 else 0.0
         flags = []
-        if delta < -args.threshold:
+        if compare_throughput and delta < -args.threshold:
             failed.append(name)
             flags.append("<< THROUGHPUT REGRESSION")
         if c["allocs"] > p["allocs"] + args.alloc_slack:

@@ -73,6 +73,13 @@ struct Activity {
   /// double-buffered segment-major schedule. Not priced (the traffic itself
   /// is already in dma_bytes); carried so reports can show the overlap.
   double dma_hidden_cycles = 0;
+  /// Cycles the NoC contention gate added to the wall-clock (subset of
+  /// `cycles`, so already priced by the static term); carried so reports can
+  /// attribute fabric-bound time.
+  double noc_contention_cycles = 0;
+  /// Stage-pipeline FIFO backpressure cycles (subset of the stage window's
+  /// `cycles`); carried so reports can attribute pipeline-imbalance time.
+  double fifo_stall_cycles = 0;
 
   void accumulate(const Activity& o) {
     cycles += o.cycles;
@@ -88,6 +95,8 @@ struct Activity {
     dram_row_hits += o.dram_row_hits;
     dram_row_misses += o.dram_row_misses;
     dma_hidden_cycles += o.dma_hidden_cycles;
+    noc_contention_cycles += o.noc_contention_cycles;
+    fifo_stall_cycles += o.fifo_stall_cycles;
   }
 
   double dram_row_hit_rate() const {

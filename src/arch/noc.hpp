@@ -1,41 +1,225 @@
-// Inter-cluster interconnect (NoC) model. The sharded backend used to assume
-// a perfect global crossbar: the broadcast ifmap was charged to every
-// cluster's DMA engine but the shared fabric between clusters had infinite
-// bandwidth, so scaling numbers at high cluster counts were optimistic. This
-// header models the fabric as a single shared bisection-bandwidth ceiling
-// with a fixed injection latency — the level of detail of the paper's
-// Occamy-style multi-cluster discussions, and enough to make 8-cluster
-// speedups honest without simulating routers.
+// Inter-cluster interconnect (NoC) model. Two levels of fidelity:
+//
+//  * kLegacyCeiling — the historical model: a single shared bisection-
+//    bandwidth ceiling with one injection latency per layer. Replicated
+//    broadcast payloads are charged once per receiver on that one ceiling
+//    (`noc_transfer_cycles`), which overprices multicast and cannot say
+//    *which* wire saturates. Kept bit-exact as the default: every pre-link-
+//    model cycle count reproduces unchanged.
+//  * kCrossbar / kRingQuadrant — a link-level topology. Every cluster owns an
+//    injection and an ejection link into its local switch; under
+//    kRingQuadrant the clusters are grouped into quadrants (up to
+//    `quadrant_size` clusters each) whose switches sit on a bidirectional
+//    ring. A transfer charges its payload to every link it traverses exactly
+//    once — in particular a multicast charges each link once per *link*, not
+//    once per receiver, so an 8-way ifmap broadcast costs one injection, at
+//    most one traversal of each ring link, and one ejection per receiver.
+//    Contention cycles are the busiest link's serialization plus the longest
+//    route's hop latency.
 //
 // Traffic accounting (who pays what) lives in the sharded backend: a layer's
-// `noc_bytes` is every byte a cluster must receive that it does not already
-// hold locally — broadcast ifmap replicas beyond the first copy, halo rows of
-// spatial stripes, gathered ofmap slices, and FC partial-sum reductions. The
-// bytes are always recorded in KernelStats (and priced by the energy model);
-// the *timing* ceiling is opt-in via `model_contention` so exact-mode
-// backends keep their historical cycle counts.
+// `noc_bytes` is every byte that crosses the fabric — broadcast ifmap
+// replicas, halo rows of spatial stripes, gathered ofmap slices, FC
+// partial-sum reductions, and pipeline stage handoffs. The bytes are always
+// recorded in KernelStats (and priced by the energy model); the *timing*
+// gate is opt-in via `model_contention` so exact-mode backends keep their
+// historical cycle counts.
 #pragma once
+
+#include <algorithm>
+#include <array>
 
 namespace spikestream::arch {
 
-struct NocParams {
-  /// false = perfect crossbar (legacy timing): traffic is still counted and
-  /// priced, but never gates a layer's wall-clock.
-  bool model_contention = false;
-  /// Shared bisection bandwidth across all clusters, bytes per cycle. The
-  /// per-cluster DMA port is 64 B/cy; a shared fabric that matches a single
-  /// port (instead of scaling with the cluster count) is the contended case.
-  double shared_bytes_per_cycle = 64.0;
-  /// Cycles to the first beat of an inter-cluster transfer (injection +
-  /// routing). Charged once per layer, not per message: transfers of one
-  /// layer are pipelined back to back.
-  double hop_latency = 12.0;
+enum class NocTopology {
+  kLegacyCeiling,  ///< single shared ceiling (historical timing, default)
+  kCrossbar,       ///< per-cluster injection/ejection links, ideal core
+  kRingQuadrant,   ///< cluster quadrants on a bidirectional switch ring
 };
 
-/// Cycles the shared fabric needs to move `bytes` of inter-cluster traffic.
+inline const char* noc_topology_name(NocTopology t) {
+  switch (t) {
+    case NocTopology::kLegacyCeiling: return "legacy-ceiling";
+    case NocTopology::kCrossbar: return "crossbar";
+    case NocTopology::kRingQuadrant: return "ring-quadrant";
+  }
+  return "?";
+}
+
+struct NocParams {
+  /// false = perfect fabric (legacy timing): traffic is still counted and
+  /// priced, but never gates a layer's wall-clock.
+  bool model_contention = false;
+  /// Interconnect shape. The default reproduces the historical shared-
+  /// ceiling expression bit-exactly; the link topologies price traffic
+  /// per-link (see header comment).
+  NocTopology topology = NocTopology::kLegacyCeiling;
+  /// Shared bisection bandwidth across all clusters, bytes per cycle
+  /// (kLegacyCeiling only). The per-cluster DMA port is 64 B/cy; a shared
+  /// fabric that matches a single port is the contended case.
+  double shared_bytes_per_cycle = 64.0;
+  /// Cycles to the first beat of an inter-cluster transfer. Legacy charges
+  /// it once per layer; the link topologies charge it once per traversed
+  /// switch hop on the layer's longest route (transfers of one layer are
+  /// pipelined back to back, so only the head pays it).
+  double hop_latency = 12.0;
+  /// Bandwidth of one injection/ejection/ring link, bytes per cycle (link
+  /// topologies only). Matches one cluster's DMA port width.
+  double link_bytes_per_cycle = 64.0;
+  /// Clusters per quadrant switch under kRingQuadrant.
+  int quadrant_size = 4;
+};
+
+/// Cycles the legacy shared fabric needs to move `bytes` of inter-cluster
+/// traffic. Unchanged since the NoC was introduced — the kLegacyCeiling
+/// bit-exactness contract is this exact expression.
 inline double noc_transfer_cycles(const NocParams& p, double bytes) {
   if (bytes <= 0.0) return 0.0;
   return p.hop_latency + bytes / p.shared_bytes_per_cycle;
 }
+
+/// Allocation-free per-link byte accumulator for one layer's inter-cluster
+/// traffic under the link topologies. Build one, describe the layer's
+/// transfers (unicast / multicast), then read total bytes (for
+/// KernelStats::noc_bytes / energy) and contention cycles (busiest link +
+/// longest route). Multicast charges each traversed link exactly once.
+class NocModel {
+ public:
+  static constexpr int kMaxClusters = 64;
+
+  NocModel(const NocParams& p, int clusters)
+      : p_(p),
+        n_(std::clamp(clusters, 1, kMaxClusters)),
+        quad_(std::max(1, p.quadrant_size)),
+        ring_(p.topology == NocTopology::kRingQuadrant
+                  ? (n_ + std::max(1, p.quadrant_size) - 1) /
+                        std::max(1, p.quadrant_size)
+                  : 1) {
+    up_.fill(0.0);
+    down_.fill(0.0);
+    cw_.fill(0.0);
+    ccw_.fill(0.0);
+  }
+
+  int clusters() const { return n_; }
+  int quadrants() const { return ring_; }
+
+  /// Point-to-point transfer src -> dst (no-op when src == dst).
+  void unicast(int src, int dst, double bytes) {
+    if (bytes <= 0.0 || src == dst) return;
+    up_[idx(src)] += bytes;
+    down_[idx(dst)] += bytes;
+    total_ += 2.0 * bytes;
+    int hops = 2;
+    if (ring_ > 1) {
+      const int qs = quadrant(src), qd = quadrant(dst);
+      if (qs != qd) hops += charge_ring_path(qs, qd, bytes);
+    }
+    max_hops_ = std::max(max_hops_, hops);
+  }
+
+  /// One payload from `src` to every cluster of [lo, hi) except `src`.
+  /// Injection is charged once, each ring link at most once (minimal-
+  /// direction flood), each receiver's ejection once — the link-model
+  /// multicast contract the tests pin (crossbar link-byte sum is exactly
+  /// the (1 + receivers) * payload lower bound).
+  void multicast(int src, int lo, int hi, double bytes) {
+    if (bytes <= 0.0) return;
+    lo = std::max(lo, 0);
+    hi = std::min(hi, n_);
+    int receivers = 0;
+    int max_cw = 0, max_ccw = 0;
+    const int qs = quadrant(src);
+    for (int d = lo; d < hi; ++d) {
+      if (d == src) continue;
+      ++receivers;
+      down_[idx(d)] += bytes;
+      if (ring_ > 1) {
+        const int qd = quadrant(d);
+        if (qd != qs) {
+          const int dcw = (qd - qs + ring_) % ring_;
+          const int dccw = ring_ - dcw;
+          if (dcw <= dccw) {
+            max_cw = std::max(max_cw, dcw);
+          } else {
+            max_ccw = std::max(max_ccw, dccw);
+          }
+        }
+      }
+    }
+    if (receivers == 0) return;
+    up_[idx(src)] += bytes;
+    total_ += static_cast<double>(receivers + 1) * bytes;
+    for (int h = 0; h < max_cw; ++h) {
+      cw_[(qs + h) % ring_] += bytes;
+      total_ += bytes;
+    }
+    for (int h = 0; h < max_ccw; ++h) {
+      ccw_[(qs - h + ring_ * 2) % ring_] += bytes;
+      total_ += bytes;
+    }
+    max_hops_ = std::max(max_hops_, 2 + std::max(max_cw, max_ccw));
+  }
+
+  /// Sum of bytes over all links (what KernelStats::noc_bytes records and
+  /// the energy model prices: every link traversal moves the payload once).
+  double total_link_bytes() const { return total_; }
+
+  /// Bytes on the busiest single link.
+  double max_link_bytes() const {
+    double m = 0.0;
+    for (int c = 0; c < n_; ++c) m = std::max({m, up_[idx(c)], down_[idx(c)]});
+    for (int q = 0; q < ring_; ++q) {
+      m = std::max({m, cw_[static_cast<std::size_t>(q)],
+                    ccw_[static_cast<std::size_t>(q)]});
+    }
+    return m;
+  }
+
+  /// Switch hops of the longest route any transfer took.
+  int max_hops() const { return max_hops_; }
+
+  /// Cycles the fabric needs for this layer's traffic: head latency of the
+  /// longest route plus serialization on the busiest link. 0 when no bytes
+  /// moved.
+  double cycles() const {
+    if (total_ <= 0.0) return 0.0;
+    return p_.hop_latency * max_hops_ + max_link_bytes() / p_.link_bytes_per_cycle;
+  }
+
+ private:
+  static std::size_t idx(int c) { return static_cast<std::size_t>(c); }
+  int quadrant(int c) const { return c / quad_; }
+
+  /// Charge every directed ring link on the minimal path qs -> qd once;
+  /// returns the hop count of that path.
+  int charge_ring_path(int qs, int qd, double bytes) {
+    const int dcw = (qd - qs + ring_) % ring_;
+    const int dccw = ring_ - dcw;
+    if (dcw <= dccw) {
+      for (int h = 0; h < dcw; ++h) {
+        cw_[(qs + h) % ring_] += bytes;
+        total_ += bytes;
+      }
+      return dcw;
+    }
+    for (int h = 0; h < dccw; ++h) {
+      ccw_[(qs - h + ring_ * 2) % ring_] += bytes;
+      total_ += bytes;
+    }
+    return dccw;
+  }
+
+  NocParams p_;
+  int n_;
+  int quad_;
+  int ring_;  ///< quadrant switches on the ring (1 = no ring links)
+  double total_ = 0.0;
+  int max_hops_ = 0;
+  std::array<double, kMaxClusters> up_;    ///< cluster -> local switch
+  std::array<double, kMaxClusters> down_;  ///< local switch -> cluster
+  std::array<double, kMaxClusters> cw_;    ///< ring: switch q -> q+1
+  std::array<double, kMaxClusters> ccw_;   ///< ring: switch q -> q-1
+};
 
 }  // namespace spikestream::arch

@@ -51,6 +51,15 @@ struct CostParams {
   double fp8_unpack_extra = 2.0;  ///< the two extra unpack iterations (IV-A)
   double fc_prescale_per_spike = 3.0;  ///< FC index scaling (no strided SSR)
 
+  // --- stage pipeline --------------------------------------------------------
+  /// Integer-core cycles to enqueue one output spike into an inter-stage
+  /// FIFO (stage-parallel execution only: the producing cluster group packs
+  /// each boundary spike into the handoff buffer alongside the activation
+  /// append). Charged on the boundary layer of every pipeline stage; never
+  /// charged in data-parallel or single-cluster runs, so historical cycle
+  /// counts are unaffected.
+  double fifo_push_per_spike = 0.5;
+
   // --- memory system ----------------------------------------------------------
   int tcdm_banks = 32;
   double icache_layer_warmup = 300.0;  ///< cold I$ misses per layer launch

@@ -48,6 +48,17 @@ struct KernelStats {
   /// timeline); itemized so charged + hidden reconstructs the serial-spill
   /// pricing exactly.
   double dma_cycles_hidden = 0;
+  /// Cycles NocParams::model_contention added to this layer's wall-clock
+  /// (the fabric gate raising `cycles` above the compute/DMA timeline).
+  /// Included in `cycles`; itemized so gated minus ungated runs reconstruct
+  /// exactly. 0 with contention modeling off.
+  double noc_contention_cycles = 0;
+  /// Stage-pipeline backpressure: cycles a pipeline stage sat blocked on a
+  /// full downstream spike FIFO. Produced by the batch-scope stage timeline
+  /// (runtime/stage_pipeline.hpp) on per-stage summary stats — always 0 on
+  /// individual layer runs, whose service time is what the timeline
+  /// consumes. Included in the stage's window `cycles`.
+  double fifo_stall_cycles = 0;
   int active_cores = 8;
   std::vector<double> core_cycles;  ///< per-core compute time (imbalance)
 
@@ -74,6 +85,8 @@ struct KernelStats {
     a.dram_row_hits = dma_row_hits;
     a.dram_row_misses = dma_row_misses;
     a.dma_hidden_cycles = dma_cycles_hidden;
+    a.noc_contention_cycles = noc_contention_cycles;
+    a.fifo_stall_cycles = fifo_stall_cycles;
     return a;
   }
 
@@ -87,6 +100,8 @@ struct KernelStats {
     noc_bytes = 0;
     dma_row_hits = dma_row_misses = 0;
     dma_cycles_hidden = 0;
+    noc_contention_cycles = 0;
+    fifo_stall_cycles = 0;
     active_cores = 8;
     core_cycles.clear();
   }
@@ -107,6 +122,8 @@ struct KernelStats {
     dma_row_hits += o.dma_row_hits;
     dma_row_misses += o.dma_row_misses;
     dma_cycles_hidden += o.dma_cycles_hidden;
+    noc_contention_cycles += o.noc_contention_cycles;
+    fifo_stall_cycles += o.fifo_stall_cycles;
     active_cores = std::max(active_cores, o.active_cores);
   }
 
@@ -132,6 +149,11 @@ struct KernelStats {
     dma_row_hits += o.dma_row_hits;
     dma_row_misses += o.dma_row_misses;
     dma_cycles_hidden = std::max(dma_cycles_hidden, o.dma_cycles_hidden);
+    // Fabric-gate and FIFO-stall itemizations follow the wall-clock timeline
+    // semantics (concurrent clusters overlap their waits).
+    noc_contention_cycles = std::max(noc_contention_cycles,
+                                     o.noc_contention_cycles);
+    fifo_stall_cycles = std::max(fifo_stall_cycles, o.fifo_stall_cycles);
     active_cores += o.active_cores;
     core_cycles.insert(core_cycles.end(), o.core_cycles.begin(),
                        o.core_cycles.end());

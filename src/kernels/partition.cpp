@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
+#include "compress/csr_ifmap.hpp"
 
 namespace spikestream::kernels {
 
@@ -85,6 +87,16 @@ const char* partition_strategy_name(PartitionStrategy s) {
     case PartitionStrategy::kOutputChannel: return "output-channel";
     case PartitionStrategy::kIfmapStripe: return "ifmap-stripe";
     case PartitionStrategy::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+const char* exec_mode_name(ExecMode m) {
+  switch (m) {
+    case ExecMode::kAuto: return "auto";
+    case ExecMode::kDataParallel: return "data-parallel";
+    case ExecMode::kStageParallel: return "stage-parallel";
+    case ExecMode::kHybrid: return "hybrid";
   }
   return "?";
 }
@@ -310,6 +322,208 @@ ShardPlan Partitioner::plan_network(const snn::Network& net,
     plan.layers.push_back(plan_layer(net.layer(l), density));
   }
   return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Stage-parallel pipeline planning
+// ---------------------------------------------------------------------------
+
+double Partitioner::layer_cost(const snn::LayerSpec& spec, int group,
+                               double density) const {
+  const Partitioner sub(opt_, std::max(1, group), strategy_);
+  const double oc = sub.estimate_output_channel(spec, density);
+  if (group <= 1) return oc;
+  const ShardAxis alt_axis = spec.kind == snn::LayerKind::kFc
+                                 ? ShardAxis::kFanIn
+                                 : ShardAxis::kIfmapStripe;
+  switch (strategy_) {
+    case PartitionStrategy::kOutputChannel:
+      return oc;
+    case PartitionStrategy::kIfmapStripe:
+      return sub.estimate_axis(spec, alt_axis, density);
+    case PartitionStrategy::kHybrid:
+      break;
+  }
+  // Mirror plan_layer's hysteresis so the stage estimate prices the axis a
+  // group-sized partitioner would actually execute with.
+  const double alt = sub.estimate_axis(spec, alt_axis, density);
+  return alt < 0.95 * oc ? alt : oc;
+}
+
+namespace {
+
+/// Estimated inter-stage handoff after `spec` at planning density: the
+/// boundary layer's compressed spike payload crossing the fabric to the next
+/// stage's owner plus the per-spike FIFO enqueue on the producer.
+struct HandoffEstimate {
+  double bytes = 0;
+  double cycles = 0;
+};
+
+HandoffEstimate estimate_handoff(const snn::LayerSpec& spec,
+                                 const RunOptions& opt,
+                                 const arch::NocParams& noc, double density) {
+  const double elems = static_cast<double>(spec.out_h()) *
+                       static_cast<double>(spec.out_w()) *
+                       static_cast<double>(spec.out_c);
+  const double nnz = density * elems;
+  HandoffEstimate h;
+  h.bytes = static_cast<double>(compress::CsrIfmap::footprint_from_count(
+      static_cast<std::size_t>(nnz), spec.out_h(), spec.out_w()));
+  const double transfer =
+      noc.topology == arch::NocTopology::kLegacyCeiling
+          ? arch::noc_transfer_cycles(noc, h.bytes)
+          // Point-to-point route: injection + (worst case) one ring traversal
+          // + ejection, serialized at one link's width.
+          : noc.hop_latency * 3.0 + h.bytes / noc.link_bytes_per_cycle;
+  h.cycles = transfer + nnz * opt.cost.fifo_push_per_spike;
+  return h;
+}
+
+}  // namespace
+
+StagePlan Partitioner::plan_pipeline(const snn::Network& net,
+                                     const PipelineConfig& cfg,
+                                     const arch::NocParams& noc,
+                                     double density) const {
+  const int L = static_cast<int>(net.num_layers());
+  SPK_CHECK(L > 0, "pipeline planning needs at least one layer");
+  const int C = clusters_;
+  const double lanes = static_cast<double>(std::max(1, cfg.batch_lanes));
+
+  // Per-layer service estimates at every group size that can occur, and the
+  // boundary handoff after each layer.
+  std::vector<std::vector<double>> cost(static_cast<std::size_t>(L));
+  std::vector<HandoffEstimate> handoff(static_cast<std::size_t>(L));
+  for (int l = 0; l < L; ++l) {
+    cost[static_cast<std::size_t>(l)].resize(static_cast<std::size_t>(C) + 1);
+    for (int g = 1; g <= C; ++g) {
+      cost[static_cast<std::size_t>(l)][static_cast<std::size_t>(g)] =
+          layer_cost(net.layer(static_cast<std::size_t>(l)), g, density);
+    }
+    handoff[static_cast<std::size_t>(l)] =
+        estimate_handoff(net.layer(static_cast<std::size_t>(l)), opt_, noc,
+                         density);
+  }
+  const double dp_total = [&] {
+    double t = 0;
+    for (int l = 0; l < L; ++l) {
+      t += cost[static_cast<std::size_t>(l)][static_cast<std::size_t>(C)];
+    }
+    return t;
+  }();
+
+  // Build the balanced S-stage partition (DP minimizing the max stage
+  // service, boundary handoffs included) and return its amortized per-sample
+  // cost; the stage list lands in `out`.
+  auto build = [&](int S, std::vector<PipelineStage>& out) {
+    auto group_size = [&](int s) { return (s + 1) * C / S - s * C / S; };
+    auto stage_service = [&](int i, int j, int s) {
+      const int g = group_size(s);
+      double svc = 0;
+      for (int l = i; l < j; ++l) {
+        svc += cost[static_cast<std::size_t>(l)][static_cast<std::size_t>(g)];
+      }
+      if (s < S - 1) svc += handoff[static_cast<std::size_t>(j - 1)].cycles;
+      return svc;
+    };
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    // f[j][s] = minimal achievable max-stage-service covering layers [0, j)
+    // with stages [0, s); parent[j][s] reconstructs the split points.
+    std::vector<std::vector<double>> f(
+        static_cast<std::size_t>(L) + 1,
+        std::vector<double>(static_cast<std::size_t>(S) + 1, kInf));
+    std::vector<std::vector<int>> parent(
+        static_cast<std::size_t>(L) + 1,
+        std::vector<int>(static_cast<std::size_t>(S) + 1, -1));
+    f[0][0] = 0;
+    for (int s = 1; s <= S; ++s) {
+      for (int j = s; j <= L - (S - s); ++j) {
+        for (int i = s - 1; i < j; ++i) {
+          if (f[static_cast<std::size_t>(i)][static_cast<std::size_t>(s - 1)] ==
+              kInf) {
+            continue;
+          }
+          const double v = std::max(
+              f[static_cast<std::size_t>(i)][static_cast<std::size_t>(s - 1)],
+              stage_service(i, j, s - 1));
+          if (v < f[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)]) {
+            f[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] = v;
+            parent[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
+                i;
+          }
+        }
+      }
+    }
+    out.clear();
+    out.resize(static_cast<std::size_t>(S));
+    int j = L;
+    for (int s = S; s >= 1; --s) {
+      const int i =
+          parent[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+      PipelineStage& st = out[static_cast<std::size_t>(s - 1)];
+      st.layer_lo = i;
+      st.layer_hi = j;
+      st.cluster_lo = (s - 1) * C / S;
+      st.cluster_hi = s * C / S;
+      st.est_service_cycles = stage_service(i, j, s - 1);
+      st.est_handoff_bytes =
+          s < S ? handoff[static_cast<std::size_t>(j - 1)].bytes : 0.0;
+      j = i;
+    }
+    double steady = 0, fill = 0;
+    for (const PipelineStage& st : out) {
+      steady = std::max(steady, st.est_service_cycles);
+      fill += st.est_service_cycles;
+    }
+    return (fill + (lanes - 1.0) * steady) / lanes;
+  };
+
+  auto classify = [&](const std::vector<PipelineStage>& stages) {
+    if (stages.size() <= 1) return ExecMode::kDataParallel;
+    for (const PipelineStage& st : stages) {
+      if (st.clusters() > 1) return ExecMode::kHybrid;
+    }
+    return ExecMode::kStageParallel;
+  };
+  auto admissible = [&](ExecMode mode) {
+    return cfg.mode == ExecMode::kAuto || cfg.mode == mode;
+  };
+
+  int s_max = std::min(C, L);
+  if (cfg.max_stages > 0) s_max = std::min(s_max, cfg.max_stages);
+
+  StagePlan best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool found = false;
+  std::vector<PipelineStage> stages;
+  for (int S = 1; S <= s_max; ++S) {
+    const double amortized = build(S, stages);
+    const ExecMode mode = classify(stages);
+    // A forced mode can be unrealizable (pure stage-parallel needs as many
+    // layers as clusters; a 2-cluster hybrid has no multi-cluster group to
+    // give). Admit the nearest shape when the sweep would otherwise end
+    // empty.
+    const bool fallback = cfg.mode != ExecMode::kAuto && S == s_max && !found;
+    if (!admissible(mode) && !fallback) continue;
+    if (amortized < best_cost || !found) {
+      best_cost = amortized;
+      best.mode = mode;
+      best.stages = stages;
+      found = true;
+    }
+  }
+  SPK_CHECK(found, "pipeline planner found no admissible stage shape for mode "
+                       << exec_mode_name(cfg.mode));
+  best.est_steady_cycles = 0;
+  best.est_fill_cycles = 0;
+  for (const PipelineStage& st : best.stages) {
+    best.est_steady_cycles =
+        std::max(best.est_steady_cycles, st.est_service_cycles);
+    best.est_fill_cycles += st.est_service_cycles;
+  }
+  best.est_dp_cycles = dp_total;
+  return best;
 }
 
 }  // namespace spikestream::kernels

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "arch/noc.hpp"
 #include "kernels/layer_kernels.hpp"
 #include "snn/network.hpp"
 
@@ -109,6 +110,80 @@ struct ReplanConfig {
 /// Layers with equal signatures partition (and cost) identically.
 std::uint64_t layer_signature(const snn::LayerSpec& spec);
 
+// --- stage-parallel pipelining (the third plan axis) -------------------------
+//
+// Besides splitting each layer across all clusters (data-parallel sharding),
+// the planner can assign contiguous *layer ranges* to cluster groups as
+// pipeline stages coupled by inter-stage spike FIFOs: stage s runs its
+// layers sharded across its own group while stage s+1 processes the previous
+// sample. Steady-state batch cycles then become the max over stage service
+// times (plus fill/drain), replacing the sum over layers. A hybrid plan
+// shards multi-cluster stage groups internally.
+
+enum class ExecMode {
+  kAuto,          ///< planner picks among the three below by cost query
+  kDataParallel,  ///< one stage, every layer across all clusters
+  kStageParallel, ///< one cluster per stage (pure pipeline)
+  kHybrid,        ///< multi-cluster stage groups, internally sharded
+};
+
+const char* exec_mode_name(ExecMode m);
+
+struct PipelineConfig {
+  /// Master switch: when false the sharded backend runs pure data-parallel
+  /// (historical behavior, bit-exact).
+  bool enabled = false;
+  /// kAuto lets the cost model choose; forcing a mode pins the stage count
+  /// (benches compare the three modes on equal footing this way).
+  ExecMode mode = ExecMode::kAuto;
+  /// Capacity of each inter-stage FIFO, in spikes. A producing stage whose
+  /// downstream FIFO cannot accept its boundary spikes stalls until the
+  /// consumer drains room (backpressure); the batch-scope timeline itemizes
+  /// those cycles in KernelStats::fifo_stall_cycles.
+  int fifo_depth_spikes = 4096;
+  /// Upper bound on the stage count (0 = min(clusters, layers)).
+  int max_stages = 0;
+  /// Assumed in-flight samples when amortizing fill/drain in the planner's
+  /// cost query: per-sample cost = (fill + (B - 1) * steady) / B.
+  int batch_lanes = 8;
+};
+
+/// One pipeline stage: layers [layer_lo, layer_hi) on clusters
+/// [cluster_lo, cluster_hi).
+struct PipelineStage {
+  int layer_lo = 0, layer_hi = 0;
+  int cluster_lo = 0, cluster_hi = 0;
+  /// Planning-time per-sample service estimate (member layers at the
+  /// group's cluster count, plus the boundary handoff + FIFO push).
+  double est_service_cycles = 0;
+  /// Estimated boundary spike payload handed to the next stage (0 for the
+  /// last stage).
+  double est_handoff_bytes = 0;
+  int clusters() const { return cluster_hi - cluster_lo; }
+  int layers() const { return layer_hi - layer_lo; }
+};
+
+struct StagePlan {
+  /// The concrete mode of this plan (never kAuto).
+  ExecMode mode = ExecMode::kDataParallel;
+  std::vector<PipelineStage> stages;  ///< size 1 under kDataParallel
+  /// Planning-time estimates: steady-state initiation interval (max stage
+  /// service), first-sample fill latency (sum of services), and the
+  /// data-parallel reference (every layer at the full cluster count).
+  double est_steady_cycles = 0;
+  double est_fill_cycles = 0;
+  double est_dp_cycles = 0;
+
+  int num_stages() const { return static_cast<int>(stages.size()); }
+  /// Stage index owning layer `l` (-1 when out of range).
+  int stage_of_layer(int l) const {
+    for (int s = 0; s < num_stages(); ++s) {
+      if (l >= stages[s].layer_lo && l < stages[s].layer_hi) return s;
+    }
+    return -1;
+  }
+};
+
 class Partitioner {
  public:
   /// Assumed ifmap density at static plan time. Plans are computed once per
@@ -167,6 +242,22 @@ class Partitioner {
   /// the three estimates above).
   double estimate_axis(const snn::LayerSpec& spec, ShardAxis axis,
                        double density) const;
+
+  /// Estimated per-sample cycles of `spec` sharded across a `group`-cluster
+  /// stage under this partitioner's strategy (the axis a group-sized
+  /// partitioner would execute with). Allocation-free.
+  double layer_cost(const snn::LayerSpec& spec, int group,
+                    double density = kDefaultDensity) const;
+
+  /// Choose between data-parallel sharding, stage-parallel pipelining and a
+  /// hybrid for `net`: balance contiguous layer ranges across candidate
+  /// stage counts (DP minimizing the max stage service, boundary handoffs
+  /// priced via `noc`), then pick the mode with the lowest per-sample cost
+  /// amortized over cfg.batch_lanes in-flight samples. cfg.mode != kAuto
+  /// restricts the candidates to that mode's shape.
+  StagePlan plan_pipeline(const snn::Network& net, const PipelineConfig& cfg,
+                          const arch::NocParams& noc,
+                          double density = kDefaultDensity) const;
 
  private:
   RunOptions opt_;

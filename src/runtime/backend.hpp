@@ -91,6 +91,13 @@ struct BackendConfig {
   /// cycles depend on the density history the backend has observed, which
   /// the exact-mode parity tests forbid.
   kernels::ReplanConfig replan;
+  /// ShardedBackend: stage-parallel pipelining (see kernels::PipelineConfig).
+  /// When enabled, prepare() partitions the network's layers into pipeline
+  /// stages over cluster groups (or keeps one data-parallel stage when that
+  /// costs less), prices each layer at its group width and charges the
+  /// boundary FIFO handoffs. Off by default (historical behavior, bit-exact).
+  /// Enabling it disables occupancy-adaptive re-planning.
+  kernels::PipelineConfig pipeline;
   /// CycleAccurateBackend: SpVAs per ISS calibration run (larger = tighter
   /// amortization of the microkernel prologue, slower calibration).
   int iss_sample_spvas = 32;

@@ -66,7 +66,8 @@ ShardedBackend::ShardedBackend(const kernels::RunOptions& opt, int clusters,
                                kernels::PartitionStrategy strategy,
                                const arch::NocParams& noc,
                                std::shared_ptr<WorkerPool> pool, int min_work,
-                               const kernels::ReplanConfig& replan)
+                               const kernels::ReplanConfig& replan,
+                               const kernels::PipelineConfig& pipeline)
     : ExecutionBackend(opt),
       clusters_(std::max(1, clusters)),
       threads_(use_threads),
@@ -74,6 +75,7 @@ ShardedBackend::ShardedBackend(const kernels::RunOptions& opt, int clusters,
       partitioner_(opt, std::max(1, clusters), strategy),
       noc_(noc),
       replan_(replan),
+      pipeline_(pipeline),
       pool_(std::move(pool)) {
   if (threads_ && pool_ == nullptr) {
     pool_ = std::make_shared<WorkerPool>(clusters_ - 1);
@@ -126,6 +128,11 @@ const kernels::LayerPlan& ShardedBackend::plan_for(
 void ShardedBackend::observe_density(const snn::LayerSpec& spec,
                                      std::size_t in_nnz,
                                      std::size_t in_elems) const {
+  // Stage mode freezes plans at the stage grouping prepare() chose: an
+  // adaptive axis flip would re-plan the layer at the *full* cluster count
+  // and silently widen a stage's group, so re-planning is disabled whenever
+  // the pipeline is armed.
+  if (pipeline_.enabled) return;
   if (!replan_.enabled || clusters_ <= 1 || in_elems == 0) return;
   const std::uint64_t sig = kernels::layer_signature(spec);
   AdaptiveState* st;
@@ -207,6 +214,42 @@ double ShardedBackend::occupancy_ema(const snn::LayerSpec& spec) const {
 }
 
 void ShardedBackend::prepare(const snn::Network& net) const {
+  if (pipeline_.enabled && clusters_ > 1 && net.num_layers() > 0) {
+    // Choose the execution mode for this network (data-parallel vs
+    // stage-parallel vs hybrid) and pin every member layer's partition plan
+    // at its stage's group width: the plan cache then serves group-sized
+    // plans on the hot path with no stage-awareness. Layers outside the
+    // prepared network (unknown signatures) still fall back to full-width
+    // plans via plan_handle, exactly like before.
+    kernels::StagePlan sp = partitioner_.plan_pipeline(
+        net, pipeline_, noc_, initial_plan_density());
+    std::unique_lock<std::shared_mutex> lock(plan_mu_);
+    stage_plan_ = std::move(sp);
+    stage_info_.clear();
+    for (int s = 0; s < stage_plan_.num_stages(); ++s) {
+      const kernels::PipelineStage& st =
+          stage_plan_.stages[static_cast<std::size_t>(s)];
+      kernels::Partitioner group_part(opt_, st.clusters(),
+                                      partitioner_.strategy());
+      for (int l = st.layer_lo; l < st.layer_hi; ++l) {
+        const snn::LayerSpec& spec = net.layer(static_cast<std::size_t>(l));
+        StageInfo info;
+        info.stage = s;
+        info.cluster_lo = st.cluster_lo;
+        info.group = st.clusters();
+        info.boundary =
+            s + 1 < stage_plan_.num_stages() && l == st.layer_hi - 1;
+        info.next_cluster_lo =
+            info.boundary
+                ? stage_plan_.stages[static_cast<std::size_t>(s + 1)].cluster_lo
+                : 0;
+        const std::uint64_t sig = kernels::layer_signature(spec);
+        stage_info_[sig] = info;
+        plans_[sig] = std::make_shared<const kernels::LayerPlan>(
+            group_part.plan_layer(spec, initial_plan_density()));
+      }
+    }
+  }
   for (std::size_t l = 0; l < net.num_layers(); ++l) {
     const snn::LayerSpec& spec = net.layer(l);
     const kernels::LayerPlan& plan = plan_for(spec);
@@ -215,7 +258,7 @@ void ShardedBackend::prepare(const snn::Network& net) const {
         shard_weights(net.weights(l), r.lo, r.hi);
       }
     }
-    if (replan_.enabled) {
+    if (replan_.enabled && !pipeline_.enabled) {
       // Pre-create the adaptive bookkeeping (and the output-channel weight
       // slices a later flip might need), so steady-state observation never
       // builds map nodes and a flip to output-channel never copies weights
@@ -248,7 +291,7 @@ void ShardedBackend::presize_state(snn::NetworkState& state,
     // channel); presize the lanes for whichever plan needs more so the swap
     // does not grow arenas mid-run.
     kernels::LayerPlan alt;
-    if (replan_.enabled && clusters_ > 1) {
+    if (replan_.enabled && !pipeline_.enabled && clusters_ > 1) {
       const kernels::ShardAxis other =
           plan.axis == kernels::ShardAxis::kOutputChannel
               ? (spec.kind == snn::LayerKind::kFc
@@ -390,13 +433,73 @@ double ShardedBackend::merge_stripe_shards(const kernels::LayerPlan& plan,
   return gather_bytes;
 }
 
-void ShardedBackend::apply_noc(kernels::KernelStats& st,
-                               double noc_bytes) const {
-  st.noc_bytes += noc_bytes;
-  if (noc_.model_contention) {
-    st.cycles =
-        std::max(st.cycles, arch::noc_transfer_cycles(noc_, st.noc_bytes));
+void ShardedBackend::apply_noc(
+    kernels::KernelStats& st, double legacy_bytes,
+    common::FunctionRef<void(arch::NocModel&)> charge) const {
+  if (noc_.topology == arch::NocTopology::kLegacyCeiling) {
+    // Historical accounting, bit-exact: payload totals (a broadcast counts
+    // one replica per receiver) against one shared-bandwidth ceiling. The
+    // gate raise is itemized but numerically unchanged.
+    st.noc_bytes += legacy_bytes;
+    if (noc_.model_contention) {
+      const double gate = arch::noc_transfer_cycles(noc_, st.noc_bytes);
+      if (gate > st.cycles) {
+        st.noc_contention_cycles += gate - st.cycles;
+        st.cycles = gate;
+      }
+    }
+    return;
   }
+  // Link-level topology: replay the transfer pattern onto per-link byte
+  // accumulators. noc_bytes then counts each link traversal once (multicast
+  // payloads are NOT multiplied by the receiver count) and the fabric gate
+  // is hop latency plus the bottleneck link's serialization.
+  arch::NocModel model(noc_, clusters_);
+  charge(model);
+  st.noc_bytes += model.total_link_bytes();
+  if (noc_.model_contention) {
+    const double gate = model.cycles();
+    if (gate > st.cycles) {
+      st.noc_contention_cycles += gate - st.cycles;
+      st.cycles = gate;
+    }
+  }
+}
+
+const ShardedBackend::StageInfo* ShardedBackend::stage_info_for(
+    const snn::LayerSpec& spec) const {
+  if (!pipeline_.enabled) return nullptr;
+  const std::uint64_t sig = kernels::layer_signature(spec);
+  std::shared_lock<std::shared_mutex> lock(plan_mu_);
+  const auto it = stage_info_.find(sig);
+  return it == stage_info_.end() ? nullptr : &it->second;  // node-stable
+}
+
+int ShardedBackend::cluster_base(const snn::LayerSpec& spec) const {
+  const StageInfo* info = stage_info_for(spec);
+  return info != nullptr ? info->cluster_lo : 0;
+}
+
+void ShardedBackend::apply_stage_handoff(const snn::LayerSpec& spec,
+                                         kernels::LayerRun& run) const {
+  const StageInfo* info = stage_info_for(spec);
+  if (info == nullptr || !info->boundary) return;
+  // The producing group packs each boundary spike into the inter-stage FIFO
+  // (integer-core work alongside the activation append), then the CSR
+  // payload crosses the fabric to the consumer group's lead cluster.
+  const double push =
+      static_cast<double>(run.out_nnz) * opt_.cost.fifo_push_per_spike;
+  run.stats.compute_cycles += push;
+  run.stats.cycles += push;
+  run.stats.int_instrs += push;
+  const double bytes =
+      static_cast<double>(compress::CsrIfmap::footprint_from_count(
+          run.out_nnz, spec.out_h(), spec.out_w()));
+  const int src = info->cluster_lo + info->group - 1;
+  const int dst = info->next_cluster_lo;
+  apply_noc(run.stats, bytes, [&](arch::NocModel& m) {
+    m.unicast(src, dst, bytes);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -431,13 +534,24 @@ const kernels::LayerRun& ShardedBackend::run_channel_sharded(
   merge_shard_stats(scratch, n, merged);
 
   // The input is broadcast: every cluster beyond the owner receives a full
-  // replica; the owner gathers the other clusters' ofmap slices.
+  // replica; the owner gathers the other clusters' ofmap slices. The legacy
+  // total bills one replica per receiver; the link model replays the same
+  // pattern as one multicast (each link charged once) plus gather unicasts.
   double noc = static_cast<double>(n - 1) * input_bytes;
   for (std::size_t s = 1; s < n; ++s) {
     noc += static_cast<double>(compress::CsrIfmap::footprint_from_count(
         scratch.lanes[s].ks.run.out_nnz, spec.out_h(), spec.out_w()));
   }
-  apply_noc(merged.stats, noc);
+  const int base = cluster_base(spec);
+  apply_noc(merged.stats, noc, [&](arch::NocModel& m) {
+    m.multicast(base, base, base + static_cast<int>(n), input_bytes);
+    for (std::size_t s = 1; s < n; ++s) {
+      m.unicast(base + static_cast<int>(s), base,
+                static_cast<double>(compress::CsrIfmap::footprint_from_count(
+                    scratch.lanes[s].ks.run.out_nnz, spec.out_h(),
+                    spec.out_w())));
+    }
+  });
   return merged;
 }
 
@@ -471,7 +585,21 @@ const kernels::LayerRun& ShardedBackend::run_stripe_conv(
   kernels::LayerRun& merged = scratch.main.run;
   const double gather_bytes =
       merge_stripe_shards(plan, spec, scratch, membrane, merged);
-  apply_noc(merged.stats, std::max(0.0, halo_bytes) + gather_bytes);
+  const double halo = std::max(0.0, halo_bytes);
+  const int base = cluster_base(spec);
+  apply_noc(merged.stats, halo + gather_bytes, [&](arch::NocModel& m) {
+    // Halos flow between adjacent stripes: split the overlap traffic evenly
+    // over the n - 1 neighbor pairs. Ofmap slices gather to the owner.
+    const double per_pair = halo / static_cast<double>(n - 1);
+    for (std::size_t s = 1; s < n; ++s) {
+      const int c = base + static_cast<int>(s);
+      m.unicast(c - 1, c, per_pair);
+      m.unicast(c, base,
+                static_cast<double>(compress::CsrIfmap::footprint_from_count(
+                    scratch.lanes[s].ks.run.out_nnz, plan.shards[s].extent(),
+                    spec.out_w())));
+    }
+  });
   return merged;
 }
 
@@ -500,7 +628,24 @@ const kernels::LayerRun& ShardedBackend::run_stripe_encode(
   kernels::LayerRun& merged = scratch.main.run;
   const double gather_bytes =
       merge_stripe_shards(plan, spec, scratch, membrane, merged);
-  apply_noc(merged.stats, halo_rows * px_bytes + gather_bytes);
+  const int base = cluster_base(spec);
+  apply_noc(merged.stats, halo_rows * px_bytes + gather_bytes,
+            [&](arch::NocModel& m) {
+              // (k - 1) image rows duplicated per neighbor pair, plus the
+              // ofmap gather to the owner.
+              const double pair_bytes =
+                  static_cast<double>(spec.k - 1) * px_bytes;
+              for (std::size_t s = 1; s < n; ++s) {
+                const int c = base + static_cast<int>(s);
+                m.unicast(c - 1, c, pair_bytes);
+                m.unicast(
+                    c, base,
+                    static_cast<double>(
+                        compress::CsrIfmap::footprint_from_count(
+                            scratch.lanes[s].ks.run.out_nnz,
+                            plan.shards[s].extent(), spec.out_w())));
+              }
+            });
   return merged;
 }
 
@@ -539,7 +684,14 @@ const kernels::LayerRun& ShardedBackend::run_fc_fanin(
   merged.stats.fpu_ops += tail.fpu_ops;
   merged.stats.int_instrs += tail.int_instrs;
   merged.stats.tcdm_words += tail.tcdm_words;
-  apply_noc(merged.stats, tail.noc_bytes);
+  const int base = cluster_base(spec);
+  apply_noc(merged.stats, tail.noc_bytes, [&](arch::NocModel& m) {
+    // Partial-sum vectors converge on the merging cluster, one per peer.
+    const double per_peer = tail.noc_bytes / static_cast<double>(n - 1);
+    for (std::size_t s = 1; s < n; ++s) {
+      m.unicast(base + static_cast<int>(s), base, per_peer);
+    }
+  });
   return merged;
 }
 
@@ -557,22 +709,26 @@ const kernels::LayerRun& ShardedBackend::run_conv(
   const auto plan_ref = plan_handle(spec);  // pinned for this run
   const kernels::LayerPlan& plan = *plan_ref;
   SPK_CHECK(!plan.shards.empty(), "sharded " << spec.name << ": empty plan");
+  // Every path below lands its merged result in scratch.main.run, so the
+  // stage-boundary handoff (no-op outside stage mode) tails all of them.
   if (plan.n() <= 1) {
-    return kernels::run_conv_layer(spec, weights, ifmap, membrane, opt_,
-                                   scratch.main);
+    kernels::run_conv_layer(spec, weights, ifmap, membrane, opt_,
+                            scratch.main);
+  } else if (plan.axis == kernels::ShardAxis::kIfmapStripe) {
+    run_stripe_conv(plan, spec, weights, ifmap, membrane, scratch);
+  } else {
+    SPK_CHECK(plan.axis == kernels::ShardAxis::kOutputChannel,
+              "conv " << spec.name << ": unsupported shard axis");
+    run_channel_sharded(
+        plan, spec, weights, membrane, scratch,
+        static_cast<double>(ifmap.footprint_bytes()),
+        [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
+            snn::Tensor& m, kernels::KernelScratch& ks) {
+          kernels::run_conv_layer(sub, w, ifmap, m, opt_, ks);
+        });
   }
-  if (plan.axis == kernels::ShardAxis::kIfmapStripe) {
-    return run_stripe_conv(plan, spec, weights, ifmap, membrane, scratch);
-  }
-  SPK_CHECK(plan.axis == kernels::ShardAxis::kOutputChannel,
-            "conv " << spec.name << ": unsupported shard axis");
-  return run_channel_sharded(
-      plan, spec, weights, membrane, scratch,
-      static_cast<double>(ifmap.footprint_bytes()),
-      [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
-          snn::Tensor& m, kernels::KernelScratch& ks) {
-        kernels::run_conv_layer(sub, w, ifmap, m, opt_, ks);
-      });
+  apply_stage_handoff(spec, scratch.main.run);
+  return scratch.main.run;
 }
 
 const kernels::LayerRun& ShardedBackend::run_fc(
@@ -584,21 +740,22 @@ const kernels::LayerRun& ShardedBackend::run_fc(
   const kernels::LayerPlan& plan = *plan_ref;
   SPK_CHECK(!plan.shards.empty(), "sharded " << spec.name << ": empty plan");
   if (plan.n() <= 1) {
-    return kernels::run_fc_layer(spec, weights, ifmap, membrane, opt_,
-                                 scratch.main);
+    kernels::run_fc_layer(spec, weights, ifmap, membrane, opt_, scratch.main);
+  } else if (plan.axis == kernels::ShardAxis::kFanIn) {
+    run_fc_fanin(plan, spec, weights, ifmap, membrane, scratch);
+  } else {
+    SPK_CHECK(plan.axis == kernels::ShardAxis::kOutputChannel,
+              "fc " << spec.name << ": unsupported shard axis");
+    run_channel_sharded(
+        plan, spec, weights, membrane, scratch,
+        static_cast<double>(ifmap.footprint_bytes()),
+        [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
+            snn::Tensor& m, kernels::KernelScratch& ks) {
+          kernels::run_fc_layer(sub, w, ifmap, m, opt_, ks);
+        });
   }
-  if (plan.axis == kernels::ShardAxis::kFanIn) {
-    return run_fc_fanin(plan, spec, weights, ifmap, membrane, scratch);
-  }
-  SPK_CHECK(plan.axis == kernels::ShardAxis::kOutputChannel,
-            "fc " << spec.name << ": unsupported shard axis");
-  return run_channel_sharded(
-      plan, spec, weights, membrane, scratch,
-      static_cast<double>(ifmap.footprint_bytes()),
-      [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
-          snn::Tensor& m, kernels::KernelScratch& ks) {
-        kernels::run_fc_layer(sub, w, ifmap, m, opt_, ks);
-      });
+  apply_stage_handoff(spec, scratch.main.run);
+  return scratch.main.run;
 }
 
 const kernels::LayerRun& ShardedBackend::run_encode(
@@ -611,23 +768,25 @@ const kernels::LayerRun& ShardedBackend::run_encode(
   const kernels::LayerPlan& plan = *plan_ref;
   SPK_CHECK(!plan.shards.empty(), "sharded " << spec.name << ": empty plan");
   if (plan.n() <= 1) {
-    return kernels::run_encode_layer(spec, weights, padded_image, membrane,
-                                     opt_, scratch.main);
+    kernels::run_encode_layer(spec, weights, padded_image, membrane, opt_,
+                              scratch.main);
+  } else if (plan.axis == kernels::ShardAxis::kIfmapStripe) {
+    run_stripe_encode(plan, spec, weights, padded_image, membrane, scratch);
+  } else {
+    SPK_CHECK(plan.axis == kernels::ShardAxis::kOutputChannel,
+              "encode " << spec.name << ": unsupported shard axis");
+    const double image_bytes =
+        static_cast<double>(common::fp_bytes(opt_.fmt)) * spec.in_h *
+        spec.in_w * spec.in_c;
+    run_channel_sharded(
+        plan, spec, weights, membrane, scratch, image_bytes,
+        [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
+            snn::Tensor& m, kernels::KernelScratch& ks) {
+          kernels::run_encode_layer(sub, w, padded_image, m, opt_, ks);
+        });
   }
-  if (plan.axis == kernels::ShardAxis::kIfmapStripe) {
-    return run_stripe_encode(plan, spec, weights, padded_image, membrane,
-                             scratch);
-  }
-  SPK_CHECK(plan.axis == kernels::ShardAxis::kOutputChannel,
-            "encode " << spec.name << ": unsupported shard axis");
-  const double image_bytes = static_cast<double>(common::fp_bytes(opt_.fmt)) *
-                             spec.in_h * spec.in_w * spec.in_c;
-  return run_channel_sharded(
-      plan, spec, weights, membrane, scratch, image_bytes,
-      [&](const snn::LayerSpec& sub, const snn::LayerWeights& w,
-          snn::Tensor& m, kernels::KernelScratch& ks) {
-        kernels::run_encode_layer(sub, w, padded_image, m, opt_, ks);
-      });
+  apply_stage_handoff(spec, scratch.main.run);
+  return scratch.main.run;
 }
 
 }  // namespace spikestream::runtime

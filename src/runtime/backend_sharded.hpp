@@ -55,7 +55,8 @@ class ShardedBackend : public ExecutionBackend {
                  const arch::NocParams& noc = {},
                  std::shared_ptr<WorkerPool> pool = nullptr,
                  int min_work = 32 * 1024,
-                 const kernels::ReplanConfig& replan = {});
+                 const kernels::ReplanConfig& replan = {},
+                 const kernels::PipelineConfig& pipeline = {});
 
   const char* name() const override { return "sharded"; }
   int num_clusters() const override { return clusters_; }
@@ -63,6 +64,18 @@ class ShardedBackend : public ExecutionBackend {
     return partitioner_.strategy();
   }
   const arch::NocParams& noc_params() const { return noc_; }
+  const kernels::PipelineConfig& pipeline_config() const { return pipeline_; }
+
+  /// The stage assignment prepare() chose (default-constructed — zero stages
+  /// — before prepare, or when stage-parallel execution is disabled).
+  /// Per-layer runs then price each layer at its stage's group width and
+  /// charge the boundary handoffs; the batch-scope FIFO timeline lives in
+  /// runtime/stage_pipeline.hpp.
+  const kernels::StagePlan& stage_plan() const { return stage_plan_; }
+  /// True when prepare() armed a multi-stage pipeline for this network.
+  bool stage_parallel_active() const {
+    return pipeline_.enabled && stage_plan_.num_stages() > 1;
+  }
 
   /// Plan every layer and prebuild the output-channel weight slices, so the
   /// plans live alongside the quantized weights from construction on and the
@@ -147,8 +160,23 @@ class ShardedBackend : public ExecutionBackend {
                              kernels::LayerRun& merged) const;
 
   /// Record inter-cluster traffic and, with contention modeling on, let the
-  /// shared ceiling gate the layer's wall-clock.
-  void apply_noc(kernels::KernelStats& st, double noc_bytes) const;
+  /// fabric gate the layer's wall-clock (the raise is itemized in
+  /// KernelStats::noc_contention_cycles). Under the legacy-ceiling topology
+  /// `legacy_bytes` is accumulated and priced exactly like the historical
+  /// expression (bit-exact back-compat); under a link-level topology
+  /// `charge` replays the transfer pattern onto a per-link NocModel —
+  /// noc_bytes then counts each link traversal once (a multicast is no
+  /// longer billed one full replica per receiver) and the gate is the
+  /// bottleneck link's serialization, not a shared ceiling.
+  void apply_noc(kernels::KernelStats& st, double legacy_bytes,
+                 common::FunctionRef<void(arch::NocModel&)> charge) const;
+
+  /// Boundary-layer tail of a pipeline stage: charge the producing group for
+  /// packing its output spikes into the inter-stage FIFO and for the handoff
+  /// crossing to the consumer group's lead cluster. No-op outside stage mode
+  /// (historical runs are bit-exact).
+  void apply_stage_handoff(const snn::LayerSpec& spec,
+                           kernels::LayerRun& run) const;
 
   /// Output-channel tiling: shard the layer along SIMD-aligned channel
   /// ranges, broadcast the input, run `kernel` per shard, concatenate.
@@ -215,12 +243,36 @@ class ShardedBackend : public ExecutionBackend {
 
   double initial_plan_density() const;
 
+  /// Per-layer stage assignment, filled by prepare() in stage mode. Keyed by
+  /// layer signature like the plan cache; read-only after prepare.
+  struct StageInfo {
+    int stage = 0;
+    int cluster_lo = 0;  ///< first cluster of the owning group
+    int group = 1;       ///< group width the layer's plan was sized for
+    bool boundary = false;       ///< last layer of a non-final stage
+    int next_cluster_lo = 0;     ///< consumer group's lead cluster
+  };
+
+  /// This layer's stage assignment, or null outside stage mode / for layers
+  /// the prepared network did not contain (they run at the full cluster
+  /// count, exactly like an unknown signature in the plan cache).
+  const StageInfo* stage_info_for(const snn::LayerSpec& spec) const;
+  /// First cluster of the group executing `spec` (0 outside stage mode) —
+  /// anchors link-level NoC charges at the group's real ring position.
+  int cluster_base(const snn::LayerSpec& spec) const;
+
   int clusters_;
   bool threads_;
   int min_work_;  ///< output elements below which fan-out stays serial
   kernels::Partitioner partitioner_;
   arch::NocParams noc_;
   kernels::ReplanConfig replan_;
+  kernels::PipelineConfig pipeline_;
+  /// Stage assignment of the prepared network (stage mode only). Written
+  /// once under plan_mu_ by prepare(); map nodes are stable, so post-prepare
+  /// readers hold only the shared lock.
+  mutable kernels::StagePlan stage_plan_;
+  mutable std::map<std::uint64_t, StageInfo> stage_info_;
   std::shared_ptr<WorkerPool> pool_;
   mutable std::mutex mu_;
   mutable std::map<WeightKey, snn::LayerWeights> weight_cache_;

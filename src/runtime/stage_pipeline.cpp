@@ -1,0 +1,162 @@
+#include "runtime/stage_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "compress/csr_ifmap.hpp"
+
+namespace spikestream::runtime {
+
+StageTimeline simulate_stage_timeline(
+    const std::vector<std::vector<double>>& services,
+    const std::vector<std::vector<double>>& spikes_out,
+    int fifo_depth_spikes) {
+  const int S = static_cast<int>(services.size());
+  StageTimeline tl;
+  tl.stages.resize(static_cast<std::size_t>(std::max(S, 0)));
+  if (S == 0) return tl;
+  const int B = static_cast<int>(services[0].size());
+  SPK_CHECK(static_cast<int>(spikes_out.size()) == S,
+            "spikes_out must have one row per stage");
+  for (int s = 0; s < S; ++s) {
+    SPK_CHECK(static_cast<int>(services[s].size()) == B &&
+                  static_cast<int>(spikes_out[s].size()) == B,
+              "all stages must cover the same batch");
+  }
+  if (B == 0) return tl;
+  const double depth = std::max(0, fifo_depth_spikes);
+
+  // start[s][i] / finish[s][i]; finish includes any backpressure stall, so
+  // the recurrence start[s][i] = max(finish[s-1][i], finish[s][i-1]) models
+  // store-and-forward with a producer that holds its clusters while blocked.
+  std::vector<std::vector<double>> start(services.size()),
+      finish(services.size());
+  for (int s = 0; s < S; ++s) {
+    start[s].assign(static_cast<std::size_t>(B), 0.0);
+    finish[s].assign(static_cast<std::size_t>(B), 0.0);
+  }
+
+  for (int i = 0; i < B; ++i) {
+    for (int s = 0; s < S; ++s) {
+      StageTrace& tr = tl.stages[static_cast<std::size_t>(s)];
+      const double arrive = s == 0 ? 0.0 : finish[s - 1][i];
+      const double free_at = i == 0 ? 0.0 : finish[s][i - 1];
+      const double t0 = std::max(arrive, free_at);
+      start[s][i] = t0;
+      if (i == 0) {
+        tr.first_start = t0;
+      } else {
+        tr.idle_cycles += t0 - free_at;  // starved on the upstream FIFO
+      }
+      const double svc = services[s][i];
+      tr.service_cycles += svc;
+      double done = t0 + svc;
+
+      // Push into the downstream FIFO: samples j < i whose consumer start
+      // start[s+1][j] lies after `done` still occupy it (the consumer pops a
+      // sample the moment it starts it). start[s+1][j] for j < i was computed
+      // at iteration (j, s+1) < (i, s) in this loop order, so it is final.
+      if (s + 1 < S) {
+        const double push = spikes_out[s][i];
+        // A sample wider than the whole FIFO squeezes through an empty FIFO
+        // (minimum capacity: one in-flight sample).
+        const double room_needed = std::min(push, depth);
+        double occ = 0;
+        for (int j = 0; j < i; ++j) {
+          if (start[s + 1][j] > done) occ += spikes_out[s][j];
+        }
+        if (occ + room_needed > depth) {
+          // Wait for consumer pops (in j order == time order, since
+          // start[s+1][j] is nondecreasing in j) until the push fits.
+          const double done0 = done;
+          for (int j = 0; j < i && occ + room_needed > depth; ++j) {
+            if (start[s + 1][j] > done0) {
+              occ -= spikes_out[s][j];
+              done = std::max(done, start[s + 1][j]);
+            }
+          }
+        }
+        tr.stall_cycles += done - (t0 + svc);
+        // Occupancy right after this push (pops at exactly `done` applied).
+        double after = push;
+        for (int j = 0; j < i; ++j) {
+          if (start[s + 1][j] > done) after += spikes_out[s][j];
+        }
+        tr.peak_fifo_spikes = std::max(tr.peak_fifo_spikes, after);
+      }
+      finish[s][i] = done;
+      tr.last_finish = done;
+    }
+  }
+
+  tl.makespan_cycles = finish[S - 1][B - 1];
+  tl.fill_cycles = finish[S - 1][0];
+  tl.steady_cycles_per_sample =
+      B > 1 ? (tl.makespan_cycles - tl.fill_cycles) / (B - 1)
+            : tl.makespan_cycles;
+  for (const StageTrace& tr : tl.stages) tl.total_stall_cycles += tr.stall_cycles;
+  return tl;
+}
+
+StageTimeline simulate_stage_pipeline(const kernels::StagePlan& plan,
+                                      const snn::Network& net,
+                                      std::span<const InferenceResult> batch,
+                                      const kernels::PipelineConfig& cfg) {
+  const int S = plan.num_stages();
+  const int B = static_cast<int>(batch.size());
+  std::vector<std::vector<double>> services(static_cast<std::size_t>(S)),
+      spikes(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    services[s].assign(static_cast<std::size_t>(B), 0.0);
+    spikes[s].assign(static_cast<std::size_t>(B), 0.0);
+  }
+  std::vector<double> handoff(static_cast<std::size_t>(S), 0.0);
+
+  for (int i = 0; i < B; ++i) {
+    const InferenceResult& r = batch[static_cast<std::size_t>(i)];
+    SPK_CHECK(r.layers.size() == net.num_layers(),
+              "batch result does not match the network");
+    for (int s = 0; s < S; ++s) {
+      const kernels::PipelineStage& st = plan.stages[static_cast<std::size_t>(s)];
+      for (int l = st.layer_lo; l < st.layer_hi; ++l) {
+        services[s][i] += r.layers[static_cast<std::size_t>(l)].stats.cycles;
+      }
+      if (s + 1 < S) {
+        const int bl = st.layer_hi - 1;
+        const snn::LayerSpec& spec = net.layer(static_cast<std::size_t>(bl));
+        const double out_elems = static_cast<double>(spec.out_h()) *
+                                 spec.out_w() * spec.out_c;
+        const double nnz = std::round(
+            r.layers[static_cast<std::size_t>(bl)].out_firing_rate * out_elems);
+        spikes[s][i] = nnz;
+        handoff[static_cast<std::size_t>(s)] +=
+            static_cast<double>(compress::CsrIfmap::footprint_from_count(
+                static_cast<std::size_t>(nnz), spec.out_h(), spec.out_w()));
+      }
+    }
+  }
+
+  StageTimeline tl =
+      simulate_stage_timeline(services, spikes, cfg.fifo_depth_spikes);
+
+  for (int s = 0; s < S; ++s) {
+    StageTrace& tr = tl.stages[static_cast<std::size_t>(s)];
+    const kernels::PipelineStage& st = plan.stages[static_cast<std::size_t>(s)];
+    tr.handoff_bytes = handoff[static_cast<std::size_t>(s)];
+    for (int i = 0; i < B; ++i) {
+      const InferenceResult& r = batch[static_cast<std::size_t>(i)];
+      for (int l = st.layer_lo; l < st.layer_hi; ++l) {
+        tr.stats.accumulate(r.layers[static_cast<std::size_t>(l)].stats);
+      }
+    }
+    // The stage's clusters are clocked for its whole busy window, stalls
+    // included; report that window (not the service sum) as the stage's
+    // wall-clock so static energy covers blocked-but-powered time.
+    tr.stats.cycles = tr.window_cycles();
+    tr.stats.fifo_stall_cycles = tr.stall_cycles;
+  }
+  return tl;
+}
+
+}  // namespace spikestream::runtime

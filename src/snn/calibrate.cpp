@@ -31,6 +31,19 @@ std::vector<double> wide_fc_target_rates() {
           0.10};  // fc3 output (10 classes)
 }
 
+std::vector<double> deep_tower_target_rates(int depth) {
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(depth) + 2);
+  rates.push_back(0.25);  // enc output = conv1 ifmap activity
+  for (int d = 0; d < depth; ++d) {
+    // Flat mid-tower profile: identical geometry + identical rates keep the
+    // per-layer service times even, so balanced stage splits exist.
+    rates.push_back(0.18);
+  }
+  rates.push_back(0.10);  // head (10 classes; ~1 winner)
+  return rates;
+}
+
 std::vector<double> calibrate_thresholds(Network& net,
                                          std::span<const Tensor> images,
                                          std::span<const double> target_rates) {

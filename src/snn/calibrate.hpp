@@ -27,6 +27,11 @@ std::vector<double> svgg11_target_rates();
 /// classifier layers.
 std::vector<double> wide_fc_target_rates();
 
+/// Target output rates for Network::make_deep_tower(depth, ...): moderate
+/// encode output, a flat mid-rate through the identical tower convs (keeps
+/// the pipeline stages balanced), sparse head.
+std::vector<double> deep_tower_target_rates(int depth = 14);
+
 /// Calibrate `net` thresholds in place over the calibration images.
 /// Returns the achieved mean output rate per layer.
 std::vector<double> calibrate_thresholds(Network& net,

@@ -123,6 +123,42 @@ Network Network::make_wide_fc() {
   return net;
 }
 
+Network Network::make_deep_tower(int depth, int in_hw, int channels) {
+  SPK_CHECK(in_hw >= 5, "deep tower needs at least 5x5 inputs");
+  SPK_CHECK(depth >= 1, "deep tower needs at least one conv layer");
+  Network net;
+  LayerSpec enc;
+  enc.kind = LayerKind::kEncodeConv;
+  enc.name = "enc";
+  enc.in_h = enc.in_w = in_hw;
+  enc.in_c = 3;
+  enc.k = 3;
+  enc.out_c = channels;
+  enc.pad_next = 1;
+  net.add_layer(enc);
+  // Identical tiny convs: output re-padded to the same spatial size, so every
+  // tower layer presents the same ifmap geometry — the balanced shape the
+  // stage planner splits into near-equal pipeline stages.
+  for (int d = 1; d <= depth; ++d) {
+    LayerSpec s;
+    s.kind = LayerKind::kConv;
+    s.name = "conv" + std::to_string(d);
+    s.in_h = s.in_w = in_hw;
+    s.in_c = channels;
+    s.k = 3;
+    s.out_c = channels;
+    s.pad_next = 1;
+    net.add_layer(s);
+  }
+  LayerSpec head;
+  head.kind = LayerKind::kFc;
+  head.name = "fc";
+  head.in_c = (in_hw - 2) * (in_hw - 2) * channels;
+  head.out_c = 10;
+  net.add_layer(head);
+  return net;
+}
+
 Network Network::make_tiny(int in_hw, int in_c, int mid_c, int out_n) {
   SPK_CHECK(in_hw >= 5, "tiny network needs at least 5x5 inputs");
   Network net;

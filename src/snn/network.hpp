@@ -107,6 +107,17 @@ class Network {
   /// exercise (banked-DRAM row pricing + double-buffered spill/fill).
   static Network make_wide_fc();
 
+  /// Deep narrow conv tower used as the stage-pipeline bench vehicle: an
+  /// encode layer feeding `depth` identical tiny convs (8x8 spatial, few
+  /// SIMD channel groups) and a small FC head. Each layer's work is a small
+  /// multiple of the fixed per-layer launch overheads (I$ warmup,
+  /// activation setup), which do not shrink with cluster count — so
+  /// data-parallel sharding scales poorly and the pipeline planner assigns
+  /// layer ranges to cluster groups instead (S-VGG11's fat layers keep
+  /// choosing data-parallel on the same cost query).
+  static Network make_deep_tower(int depth = 14, int in_hw = 8,
+                                 int channels = 8);
+
  private:
   std::vector<LayerSpec> layers_;
   std::vector<LayerWeights> weights_;
