@@ -22,6 +22,7 @@
 #include "arch/dram/dram.hpp"
 #include "bench/alloc_hook.hpp"
 #include "bench/bench_common.hpp"
+#include "bench/json_writer.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/engine.hpp"
@@ -343,36 +344,39 @@ int main() {
 #endif
 
   if (std::FILE* f = std::fopen("BENCH_host.json", "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"host_profile\",\n");
-    std::fprintf(f, "  \"network\": \"svgg11\",\n  \"batch\": %d,\n", batch);
-    std::fprintf(f, "  \"host_concurrency\": %u,\n", hw_threads);
-    std::fprintf(f, "  \"host_os\": \"%s\",\n  \"host_machine\": \"%s\",\n",
-                 host_os.c_str(), host_machine.c_str());
-    std::fprintf(f, "  \"reps\": %d,\n  \"backends\": [\n", reps);
-    for (std::size_t i = 0; i < profiles.size(); ++i) {
-      const auto& p = profiles[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"network\": \"%s\", "
-                   "\"samples_per_sec\": %.2f, "
-                   "\"ns_per_layer\": %.1f, \"steady_allocs_per_layer\": "
-                   "%.4f, \"dma_mb_per_sample\": %.4f, "
-                   "\"dma_saved_mb_cold\": %.4f, "
-                   "\"dma_saved_mb_steady\": %.4f, "
-                   "\"dma_saved_mb_per_sample\": %.4f, "
-                   "\"modeled_mcycles_per_sample\": %.4f, "
-                   "\"row_hit_rate\": %.4f, "
-                   "\"hidden_mcycles_per_sample\": %.4f, "
-                   "\"cost_cache_hits\": %zu, \"cost_cache_misses\": "
-                   "%zu}%s\n",
-                   p.name.c_str(), p.network.c_str(), p.samples_per_sec,
-                   p.ns_per_layer, p.steady_allocs_per_layer,
-                   p.dma_mb_per_sample, p.dma_saved_mb_cold,
-                   p.dma_saved_mb_steady, p.dma_saved_mb_steady,
-                   p.modeled_mcycles_per_sample, p.row_hit_rate,
-                   p.hidden_mcycles_per_sample, p.cache_hits, p.cache_misses,
-                   i + 1 < profiles.size() ? "," : "");
+    spikestream::bench::JsonWriter w(f, /*compact_depth=*/2);
+    w.begin_object();
+    w.field("bench", "host_profile");
+    w.field("network", "svgg11");
+    w.field("batch", batch);
+    w.field("host_concurrency", hw_threads);
+    w.field("host_os", host_os);
+    w.field("host_machine", host_machine);
+    w.field("reps", reps);
+    w.key("backends");
+    w.begin_array();
+    for (const auto& p : profiles) {
+      w.begin_object();
+      w.field("name", p.name);
+      w.field("network", p.network);
+      w.field("samples_per_sec", p.samples_per_sec, 2);
+      w.field("ns_per_layer", p.ns_per_layer, 1);
+      w.field("steady_allocs_per_layer", p.steady_allocs_per_layer, 4);
+      w.field("dma_mb_per_sample", p.dma_mb_per_sample, 4);
+      w.field("dma_saved_mb_cold", p.dma_saved_mb_cold, 4);
+      w.field("dma_saved_mb_steady", p.dma_saved_mb_steady, 4);
+      // Alias of the steady column so older regression baselines compare.
+      w.field("dma_saved_mb_per_sample", p.dma_saved_mb_steady, 4);
+      w.field("modeled_mcycles_per_sample", p.modeled_mcycles_per_sample, 4);
+      w.field("row_hit_rate", p.row_hit_rate, 4);
+      w.field("hidden_mcycles_per_sample", p.hidden_mcycles_per_sample, 4);
+      w.field("cost_cache_hits", p.cache_hits);
+      w.field("cost_cache_misses", p.cache_misses);
+      w.end_object();
     }
-    std::fprintf(f, "  ]\n}\n");
+    w.end_array();
+    w.end_object();
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("wrote BENCH_host.json\n");
   }

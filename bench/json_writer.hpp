@@ -1,0 +1,167 @@
+// Shared JSON emitter for the bench harnesses: every bench used to hand-roll
+// its BENCH_*.json with fprintf format strings (no escaping, comma placement
+// duplicated per bench, trivially easy to emit invalid JSON when a field
+// moves). One implementation now owns escaping, comma/indent bookkeeping and
+// number formatting; field order is call order, so diffs across PRs stay
+// stable. Writers are scoped: begin_object/end_object and
+// begin_array/end_array must nest correctly (checked only by the emitted
+// JSON's validity — this is a bench helper, not a parser).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+
+namespace spikestream::bench {
+
+class JsonWriter {
+ public:
+  /// Writes to `f` (caller keeps ownership). `compact_depth`: objects and
+  /// arrays nested at or deeper than this depth are emitted on one line —
+  /// the conventional BENCH_*.json shape is a pretty-printed top object
+  /// whose per-row objects are single lines (compact_depth = 2).
+  explicit JsonWriter(std::FILE* f, int compact_depth = 2)
+      : f_(f), compact_depth_(compact_depth) {}
+
+  // --- structure ------------------------------------------------------------
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Key inside an object; follow with exactly one value/begin_* call.
+  void key(const char* k) {
+    separate();
+    std::fputc('"', f_);
+    escape(k);
+    std::fputs("\": ", f_);
+    pending_key_ = true;
+  }
+
+  // --- values ---------------------------------------------------------------
+
+  void value(const char* s) {
+    separate();
+    std::fputc('"', f_);
+    escape(s);
+    std::fputc('"', f_);
+  }
+  void value(const std::string& s) { value(s.c_str()); }
+  /// `decimals` mirrors the fixed-point %.Nf fields the benches always used.
+  void value(double v, int decimals = 4) {
+    separate();
+    std::fprintf(f_, "%.*f", decimals, v);
+  }
+  void value(bool v) {
+    separate();
+    std::fputs(v ? "true" : "false", f_);
+  }
+  template <typename I>
+    requires(std::is_integral_v<I> && !std::is_same_v<I, bool>)
+  void value(I v) {
+    separate();
+    if constexpr (std::is_signed_v<I>) {
+      std::fprintf(f_, "%lld", static_cast<long long>(v));
+    } else {
+      std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+    }
+  }
+
+  // --- conveniences ---------------------------------------------------------
+
+  template <typename T>
+  void field(const char* k, const T& v) {
+    key(k);
+    value(v);
+  }
+  void field(const char* k, double v, int decimals) {
+    key(k);
+    value(v, decimals);
+  }
+  void field(const char* k, const char* v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void open(char c) {
+    separate();
+    std::fputc(c, f_);
+    ++depth_;
+    had_member_ = false;
+  }
+
+  void close(char c) {
+    --depth_;
+    if (had_member_ && !compact()) {
+      std::fputc('\n', f_);
+      indent();
+    }
+    std::fputc(c, f_);
+    had_member_ = true;  // the closed scope is a member of its parent
+  }
+
+  /// Comma/newline/indent before a member; a value directly after key()
+  /// goes inline.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (depth_ == 0) return;
+    if (had_member_) std::fputc(',', f_);
+    if (compact()) {
+      if (had_member_) std::fputc(' ', f_);
+    } else {
+      std::fputc('\n', f_);
+      indent();
+    }
+    had_member_ = true;
+  }
+
+  bool compact() const { return depth_ >= compact_depth_; }
+
+  void indent() {
+    for (int i = 0; i < depth_; ++i) std::fputs("  ", f_);
+  }
+
+  void escape(const char* s) {
+    for (; *s; ++s) {
+      const unsigned char c = static_cast<unsigned char>(*s);
+      switch (c) {
+        case '"':
+          std::fputs("\\\"", f_);
+          break;
+        case '\\':
+          std::fputs("\\\\", f_);
+          break;
+        case '\n':
+          std::fputs("\\n", f_);
+          break;
+        case '\t':
+          std::fputs("\\t", f_);
+          break;
+        case '\r':
+          std::fputs("\\r", f_);
+          break;
+        default:
+          if (c < 0x20) {
+            std::fprintf(f_, "\\u%04x", c);
+          } else {
+            std::fputc(static_cast<char>(c), f_);
+          }
+      }
+    }
+  }
+
+  std::FILE* f_;
+  int compact_depth_;
+  int depth_ = 0;
+  bool had_member_ = false;
+  bool pending_key_ = false;
+};
+
+}  // namespace spikestream::bench

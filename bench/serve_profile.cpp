@@ -1,0 +1,357 @@
+// Tail-latency profile of the inference-as-a-service runtime: drives the
+// InferenceServer with open-loop (Poisson arrivals at a swept fraction of
+// saturation) and closed-loop (fixed client fleet) load generators over the
+// calibrated S-VGG11, and reports the user-facing SLO story per offered
+// load — p50/p95/p99 latency, achieved throughput, reject rate, mean wave
+// occupancy and the SLO controller's wave-size trace — plus the offline
+// BatchRunner baseline the served numbers are judged against:
+//
+//   * saturation throughput (closed loop) should sit within ~15% of the
+//     offline segment-major samples/s — the serving layer must not tax the
+//     engine it schedules;
+//   * light-load p95 should sit far below one full-wave offline batch time —
+//     the SLO controller shrinks waves when lanes cannot be filled, so a
+//     lone request is not taxed the full wave it does not need.
+//
+// Everything lands in BENCH_serve.json (shared bench/json_writer.hpp
+// emitter) for CI's --p99-threshold / --serve-saturation-floor guards.
+//
+//   SPIKESTREAM_SERVE_LANES  max wave width = segment_major_lanes (default 8)
+//   SPIKESTREAM_SERVE_REQS   requests per closed-loop run and cap per
+//                            open-loop point (default 120)
+//   SPIKESTREAM_REPS         timed offline-baseline batch reps (default 3)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "bench/json_writer.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/server.hpp"
+
+namespace {
+
+namespace rt = spikestream::runtime;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+namespace bench = spikestream::bench;
+namespace sc = spikestream::common;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int env_int(const char* name, int def) {
+  if (const char* e = std::getenv(name)) {
+    const int v = std::atoi(e);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+struct LoadRow {
+  std::string mode;  ///< "open" (Poisson) or "closed" (fixed fleet)
+  double offered_load = 0;  ///< fraction of saturation (open) / 0 (closed)
+  int clients = 0;          ///< closed-loop fleet size
+  int requests = 0;
+  double offered_sps = 0;
+  double achieved_sps = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double queue_p95_ms = 0;
+  double reject_rate = 0;
+  double mean_wave_lanes = 0;
+  double mean_wave_occupancy = 0;
+  double mean_target_lanes = 0;
+  int final_target_lanes = 0;
+  double deadline_wave_fraction = 0;
+  int wave_grows = 0, wave_shrinks = 0;
+};
+
+void fill_from_stats(LoadRow& row, const rt::ServerStats& st,
+                     double wall_s) {
+  row.achieved_sps =
+      wall_s > 0 ? static_cast<double>(st.completed) / wall_s : 0.0;
+  row.p50_ms = st.latency_us.percentile(50) * 1e-3;
+  row.p95_ms = st.latency_us.percentile(95) * 1e-3;
+  row.p99_ms = st.latency_us.percentile(99) * 1e-3;
+  row.queue_p95_ms = st.queue_us.percentile(95) * 1e-3;
+  const double offered = static_cast<double>(st.admitted + st.rejected);
+  row.reject_rate =
+      offered > 0 ? static_cast<double>(st.rejected) / offered : 0.0;
+  row.mean_wave_lanes = st.wave_lanes.mean();
+  row.mean_wave_occupancy = st.wave_occupancy.mean();
+  row.mean_target_lanes = st.target_trace.mean();
+  row.final_target_lanes = st.target_lanes;
+  row.deadline_wave_fraction =
+      st.waves > 0
+          ? static_cast<double>(st.deadline_waves) /
+                static_cast<double>(st.waves)
+          : 0.0;
+  row.wave_grows = st.wave_grows;
+  row.wave_shrinks = st.wave_shrinks;
+}
+
+/// Closed loop: `clients` threads each submit-wait-repeat until the fleet
+/// has issued `requests` total. Saturation = completed / wall.
+LoadRow run_closed_loop(const snn::Network& net, const k::RunOptions& opt,
+                        const rt::ServerConfig& scfg,
+                        const std::vector<snn::Tensor>& images, int clients,
+                        int requests) {
+  rt::InferenceServer server(net, opt, {}, scfg);
+  std::atomic<int> next{0};
+  // Warmup: one full-fleet round outside the timed window (first waves pay
+  // arena growth + cold weight DMA, exactly like host_profile's warm run).
+  {
+    std::vector<rt::ServeRequest> warm(static_cast<std::size_t>(clients));
+    std::vector<std::thread> fleet;
+    for (int c = 0; c < clients; ++c) {
+      fleet.emplace_back([&, c] {
+        warm[static_cast<std::size_t>(c)].image =
+            &images[static_cast<std::size_t>(c) % images.size()];
+        if (server.submit(warm[static_cast<std::size_t>(c)])) {
+          warm[static_cast<std::size_t>(c)].wait();
+        }
+      });
+    }
+    for (auto& t : fleet) t.join();
+  }
+  const rt::ServerStats warm_stats = server.stats();
+
+  const double t0 = now_s();
+  std::vector<std::thread> fleet;
+  for (int c = 0; c < clients; ++c) {
+    fleet.emplace_back([&, c] {
+      rt::ServeRequest slot;  // recycled across this client's requests
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= requests) break;
+        slot.image = &images[static_cast<std::size_t>(i) % images.size()];
+        if (server.submit(slot)) slot.wait();
+      }
+    });
+  }
+  for (auto& t : fleet) t.join();
+  const double wall = now_s() - t0;
+
+  rt::ServerStats st = server.stats();
+  // Subtract the warmup round (counts only; the histograms then still carry
+  // the warm samples, which only thickens the tail we are guarding).
+  st.completed -= warm_stats.completed;
+  LoadRow row;
+  row.mode = "closed";
+  row.clients = clients;
+  row.requests = requests;
+  row.offered_sps = static_cast<double>(requests) / wall;
+  fill_from_stats(row, st, wall);
+  server.stop();
+  return row;
+}
+
+/// Open loop: one producer emits Poisson arrivals (exponential gaps) at
+/// `lambda` req/s from a pre-allocated slot pool; a reaper thread recycles
+/// completed slots. Latency percentiles come from the server's histograms.
+LoadRow run_open_loop(const snn::Network& net, const k::RunOptions& opt,
+                      const rt::ServerConfig& scfg,
+                      const std::vector<snn::Tensor>& images, double load,
+                      double lambda, int requests, std::uint64_t seed) {
+  rt::InferenceServer server(net, opt, {}, scfg);
+  // Warmup wave so the first timed request does not pay arena growth.
+  {
+    rt::ServeRequest warm;
+    warm.image = &images[0];
+    if (server.submit(warm)) warm.wait();
+  }
+
+  // Slot pool sized for the transient in-flight population at 0.9 load; a
+  // producer finding no free slot counts a client-side drop (shed load),
+  // keeping the arrival process open-loop instead of stalling it.
+  const std::size_t pool_size =
+      std::max<std::size_t>(64, static_cast<std::size_t>(
+                                    server.max_wave_lanes() * 8));
+  std::vector<rt::ServeRequest> slots(pool_size);
+  std::vector<std::size_t> free_slots(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) free_slots[i] = i;
+  std::vector<std::size_t> in_flight;
+  in_flight.reserve(pool_size);
+
+  sc::Rng rng(seed);
+  std::uint64_t drops = 0;
+  const double t0 = now_s();
+  double next_at = t0;
+  for (int i = 0; i < requests; ++i) {
+    // Reap finished slots (non-blocking) to keep the pool supplied.
+    for (std::size_t j = 0; j < in_flight.size();) {
+      auto& s = slots[in_flight[j]];
+      if (s.state.load(std::memory_order_acquire) != rt::ServeRequest::kQueued) {
+        free_slots.push_back(in_flight[j]);
+        in_flight[j] = in_flight.back();
+        in_flight.pop_back();
+      } else {
+        ++j;
+      }
+    }
+    const double now = now_s();
+    if (next_at > now) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(next_at - now));
+    }
+    double u = rng.uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    next_at += -std::log(u) / lambda;  // exponential inter-arrival gap
+    if (free_slots.empty()) {
+      ++drops;
+      continue;
+    }
+    const std::size_t si = free_slots.back();
+    free_slots.pop_back();
+    slots[si].image = &images[static_cast<std::size_t>(i) % images.size()];
+    if (server.submit(slots[si])) {
+      in_flight.push_back(si);
+    } else {
+      free_slots.push_back(si);  // server-side reject (counted by stats)
+    }
+  }
+  for (const std::size_t si : in_flight) slots[si].wait();
+  const double wall = now_s() - t0;
+
+  rt::ServerStats st = server.stats();
+  st.completed = st.completed > 0 ? st.completed - 1 : 0;  // warmup request
+  LoadRow row;
+  row.mode = "open";
+  row.offered_load = load;
+  row.requests = requests;
+  row.offered_sps = lambda;
+  fill_from_stats(row, st, wall);
+  if (drops > 0) {
+    std::printf("  (open %.2f: %zu client-side drops — slot pool exhausted)\n",
+                load, static_cast<std::size_t>(drops));
+  }
+  server.stop();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const int lanes = env_int("SPIKESTREAM_SERVE_LANES", 8);
+  const int requests = env_int("SPIKESTREAM_SERVE_REQS", 120);
+  const int reps = env_int("SPIKESTREAM_REPS", 3);
+
+  const snn::Network net = bench::make_calibrated_svgg11();
+  const auto images = snn::make_batch(static_cast<std::size_t>(lanes), 77);
+
+  // The serving engine configuration: segment-major waves + batch-level
+  // weight-tile reuse — the fastest offline path, now fronted by a queue.
+  k::RunOptions opt;
+  opt.batch_weight_reuse = true;
+  opt.segment_major_lanes = lanes;
+
+  // --- offline baseline: BatchRunner lockstep over one full wave ------------
+  double offline_sps = 0;
+  {
+    const rt::BatchRunner runner(net, opt, {}, {}, /*workers=*/1);
+    runner.run_single_step(images);  // warm
+    const double t0 = now_s();
+    for (int r = 0; r < reps; ++r) runner.run_single_step(images);
+    const double dt = now_s() - t0;
+    offline_sps = static_cast<double>(reps) * static_cast<double>(lanes) / dt;
+  }
+  const double full_wave_ms = 1e3 * static_cast<double>(lanes) / offline_sps;
+  std::printf("offline baseline: %.1f samples/s, full %d-lane wave %.1f ms\n",
+              offline_sps, lanes, full_wave_ms);
+
+  rt::ServerConfig scfg;
+  scfg.max_queue_delay_us = 2000;
+  scfg.timesteps = 1;
+  scfg.controller_streak = 3;
+
+  // --- closed loop: saturation throughput -----------------------------------
+  const int clients = 2 * lanes;
+  LoadRow closed = run_closed_loop(net, opt, scfg, images, clients,
+                                   std::max(requests, 2 * clients));
+  const double saturation_sps = closed.achieved_sps;
+  std::printf("closed loop (%d clients): %.1f samples/s saturation "
+              "(%.1f%% of offline), p99 %.1f ms\n",
+              clients, saturation_sps, 1e2 * saturation_sps / offline_sps,
+              closed.p99_ms);
+
+  // --- open loop: Poisson sweep over offered load ---------------------------
+  const double loads[] = {0.10, 0.30, 0.60, 0.90};
+  std::vector<LoadRow> rows;
+  for (const double load : loads) {
+    const double lambda = load * saturation_sps;
+    // Light points need fewer requests to resolve their (short) tail; cap
+    // the wall clock instead of fixing one count for every load.
+    const int n = std::clamp(static_cast<int>(load * 2 *
+                                              static_cast<double>(requests)),
+                             32, requests);
+    rows.push_back(run_open_loop(net, opt, scfg, images, load, lambda, n,
+                                 /*seed=*/1000 + static_cast<std::uint64_t>(
+                                              load * 100)));
+    const LoadRow& r = rows.back();
+    std::printf("open %.2f load (%.1f req/s, %d reqs): p50 %.1f  p95 %.1f  "
+                "p99 %.1f ms  waves %.1f lanes (target %.1f -> %d)  "
+                "deadline-fired %.0f%%  rejects %.2f%%\n",
+                load, lambda, n, r.p50_ms, r.p95_ms, r.p99_ms,
+                r.mean_wave_lanes, r.mean_target_lanes, r.final_target_lanes,
+                1e2 * r.deadline_wave_fraction, 1e2 * r.reject_rate);
+  }
+  rows.push_back(closed);
+
+  // --- BENCH_serve.json -----------------------------------------------------
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  if (std::FILE* f = std::fopen("BENCH_serve.json", "w")) {
+    bench::JsonWriter w(f, /*compact_depth=*/2);
+    w.begin_object();
+    w.field("bench", "serve_profile");
+    w.field("network", "svgg11");
+    w.field("host_concurrency", hw_threads);
+    w.field("lanes", lanes);
+    w.field("max_queue_delay_us",
+            static_cast<int>(scfg.max_queue_delay_us));
+    w.field("offline_samples_per_sec", offline_sps, 2);
+    w.field("full_wave_ms", full_wave_ms, 3);
+    w.field("saturation_samples_per_sec", saturation_sps, 2);
+    w.field("saturation_vs_offline", saturation_sps / offline_sps, 4);
+    w.key("rows");
+    w.begin_array();
+    for (const LoadRow& r : rows) {
+      w.begin_object();
+      w.field("mode", r.mode);
+      w.field("offered_load", r.offered_load, 2);
+      w.field("clients", r.clients);
+      w.field("requests", r.requests);
+      w.field("offered_sps", r.offered_sps, 2);
+      w.field("achieved_sps", r.achieved_sps, 2);
+      w.field("p50_ms", r.p50_ms, 3);
+      w.field("p95_ms", r.p95_ms, 3);
+      w.field("p99_ms", r.p99_ms, 3);
+      w.field("queue_p95_ms", r.queue_p95_ms, 3);
+      w.field("reject_rate", r.reject_rate, 4);
+      w.field("mean_wave_lanes", r.mean_wave_lanes, 2);
+      w.field("mean_wave_occupancy", r.mean_wave_occupancy, 4);
+      w.field("mean_target_lanes", r.mean_target_lanes, 2);
+      w.field("final_target_lanes", r.final_target_lanes);
+      w.field("deadline_wave_fraction", r.deadline_wave_fraction, 4);
+      w.field("wave_grows", r.wave_grows);
+      w.field("wave_shrinks", r.wave_shrinks);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_serve.json\n");
+  }
+  return 0;
+}

@@ -7,6 +7,9 @@ Usage: check_bench_regression.py PREVIOUS.json CURRENT.json
            [--row-hit-floor RATE] [--cycles-threshold 0.10]
            [--fig3c BENCH_fig3c.json] [--require-fig3c NET:CLUSTERS:MODE ...]
            [--pipeline-speedup-floor X]
+           [--serve BENCH_serve.json] [--serve-prev PREV_serve.json]
+           [--serve-saturation-floor FRAC] [--serve-light-p95-factor X]
+           [--p99-threshold FRAC] [--p99-slack-ms MS]
 
 Checks, each per backend row (matched by name, every row checked — not just
 the best one):
@@ -42,6 +45,19 @@ needed — these are absolute floors on modeled cycles):
   * --pipeline-speedup-floor X: every planner-chosen row (mode "auto") on
     the "tower" network must report steady-state speedup_vs_dp >= X — the
     stage-parallel pipeline must keep beating pure data-parallel.
+Serving checks against BENCH_serve.json (--serve):
+  * --serve-saturation-floor FRAC: closed-loop saturation throughput must be
+    at least FRAC of the offline BatchRunner samples/s recorded in the same
+    file — the serving layer must not tax the engine it schedules (absolute,
+    within one file, so it needs no previous artifact and no host match);
+  * --serve-light-p95-factor X: every light-load open row (offered_load
+    <= 0.15) must report p95 below X * full_wave_ms — the SLO controller
+    must keep a lone request from paying for lanes it cannot fill;
+  * --p99-threshold FRAC (needs --serve-prev): per load row matched by
+    (mode, offered_load), p99 must not grow past prev * (1 + FRAC) +
+    --p99-slack-ms. Serving latency is wall-clock, so a host_concurrency
+    mismatch between the two serve files skips the compare (the absolute
+    floors above still run); a missing/unreadable --serve-prev also skips.
 Backends present in only one file are reported but only fail when required.
 Exit codes: 0 = ok, 1 = regression, 2 = unusable input (missing/corrupt
 file) — CI treats 2 as a skip, not a failure, so the very first run of a
@@ -97,6 +113,99 @@ def load_fig3c(path):
     except (OSError, ValueError, KeyError) as e:
         print(f"cannot read {path}: {e}")
         return None
+
+
+def load_serve(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+        rows = {
+            (r["mode"], round(float(r.get("offered_load", 0.0)), 4)): r
+            for r in data["rows"]
+        }
+        return data, rows
+    except (OSError, ValueError, KeyError, TypeError) as e:
+        print(f"cannot read {path}: {e}")
+        return None
+
+
+def check_serve(args, failed):
+    """Tail-latency / serving-throughput guards on BENCH_serve.json."""
+    loaded = load_serve(args.serve)
+    if loaded is None:
+        failed.append("serve")
+        return
+    data, rows = loaded
+
+    offline = float(data.get("offline_samples_per_sec", 0.0))
+    sat = float(data.get("saturation_samples_per_sec", 0.0))
+    full_wave = float(data.get("full_wave_ms", 0.0))
+
+    if args.serve_saturation_floor > 0.0:
+        if offline <= 0.0:
+            failed.append("serve:saturation")
+            print("serve saturation floor set but no offline baseline "
+                  "recorded")
+        else:
+            ratio = sat / offline
+            if ratio < args.serve_saturation_floor:
+                failed.append("serve:saturation")
+                print(f"serve saturation floor: {sat:.1f} samples/s is "
+                      f"{ratio:.1%} of offline {offline:.1f} "
+                      f"< floor {args.serve_saturation_floor:.0%}")
+            else:
+                print(f"serve saturation: {sat:.1f} samples/s = "
+                      f"{ratio:.1%} of offline {offline:.1f} "
+                      f">= floor {args.serve_saturation_floor:.0%}")
+
+    if args.serve_light_p95_factor > 0.0:
+        light = [(k, r) for k, r in sorted(rows.items())
+                 if k[0] == "open" and k[1] <= 0.15]
+        if full_wave <= 0.0 or not light:
+            failed.append("serve:light-p95")
+            print("serve light-load p95 guard set but no light open row / "
+                  "full_wave_ms recorded")
+        for key, r in light:
+            p95 = float(r.get("p95_ms", 0.0))
+            bound = args.serve_light_p95_factor * full_wave
+            label = f"serve:open:{key[1]:.2f}"
+            if p95 >= bound:
+                failed.append(label)
+                print(f"serve light-load p95: {label} reports {p95:.1f} ms "
+                      f">= {bound:.1f} ms "
+                      f"({args.serve_light_p95_factor:g} x full wave "
+                      f"{full_wave:.1f} ms)")
+            else:
+                print(f"serve light-load p95: {label} {p95:.1f} ms < "
+                      f"{bound:.1f} ms bound")
+
+    if args.serve_prev is None or args.p99_threshold <= 0.0:
+        return
+    prev_loaded = load_serve(args.serve_prev)
+    if prev_loaded is None:
+        print("no usable previous serve profile: skipping p99 compare")
+        return
+    prev_data, prev_rows = prev_loaded
+    prev_hc = prev_data.get("host_concurrency")
+    cur_hc = data.get("host_concurrency")
+    if prev_hc is not None and cur_hc is not None and prev_hc != cur_hc:
+        print(f"serve host concurrency changed ({prev_hc} -> {cur_hc}): "
+              f"skipping p99 compare (latency is wall-clock)")
+        return
+    for key in sorted(set(prev_rows) & set(rows)):
+        p_p99 = float(prev_rows[key].get("p99_ms", 0.0))
+        c_p99 = float(rows[key].get("p99_ms", 0.0))
+        if p_p99 <= 0.0:
+            continue
+        bound = p_p99 * (1.0 + args.p99_threshold) + args.p99_slack_ms
+        label = f"serve:{key[0]}:{key[1]:.2f}"
+        if c_p99 > bound:
+            failed.append(label)
+            print(f"serve p99 regression: {label} {p_p99:.1f} -> "
+                  f"{c_p99:.1f} ms (bound {bound:.1f})")
+        else:
+            print(f"serve p99: {label} {p_p99:.1f} -> {c_p99:.1f} ms "
+                  f"(bound {bound:.1f})")
 
 
 def wants_dma_floor(name):
@@ -181,11 +290,34 @@ def main():
                     metavar="X",
                     help="min steady-state speedup_vs_dp on the tower auto "
                          "rows of --fig3c")
+    ap.add_argument("--serve", default=None, metavar="JSON",
+                    help="current BENCH_serve.json for the serving guards")
+    ap.add_argument("--serve-prev", default=None, metavar="JSON",
+                    help="previous BENCH_serve.json for the p99 compare "
+                         "(missing file = skip)")
+    ap.add_argument("--serve-saturation-floor", type=float, default=0.0,
+                    metavar="FRAC",
+                    help="min closed-loop saturation throughput as a "
+                         "fraction of the offline baseline in --serve")
+    ap.add_argument("--serve-light-p95-factor", type=float, default=0.0,
+                    metavar="X",
+                    help="light-load open rows must keep p95 below "
+                         "X * full_wave_ms in --serve")
+    ap.add_argument("--p99-threshold", type=float, default=0.0,
+                    metavar="FRAC",
+                    help="max allowed fractional p99 growth per serve load "
+                         "row vs --serve-prev")
+    ap.add_argument("--p99-slack-ms", type=float, default=5.0,
+                    metavar="MS",
+                    help="absolute p99 slack added on top of the "
+                         "fractional threshold")
     args = ap.parse_args()
 
     failed = []
     if args.fig3c is not None:
         check_fig3c(args, failed)
+    if args.serve is not None:
+        check_serve(args, failed)
 
     loaded_prev = load(args.previous)
     loaded_cur = load(args.current)

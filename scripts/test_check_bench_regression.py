@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py (stdlib unittest, run as a
+ctest). Each case writes synthetic BENCH_*.json fixtures into a temp dir and
+drives the script through subprocess, asserting on the exit-code contract:
+0 = ok, 1 = regression, 2 = unusable input (CI skip)."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_regression.py")
+
+
+def host_file(sps=100.0, allocs=0.0, concurrency=4, name="analytical",
+              mcyc=8.0):
+    return {
+        "host_concurrency": concurrency,
+        "backends": [{
+            "name": name,
+            "samples_per_sec": sps,
+            "steady_allocs_per_layer": allocs,
+            "modeled_mcycles_per_sample": mcyc,
+        }],
+    }
+
+
+def serve_file(offline=100.0, sat=95.0, full_wave_ms=80.0, concurrency=4,
+               light_p95=20.0, light_p99=30.0, heavy_p99=150.0):
+    return {
+        "bench": "serve_profile",
+        "host_concurrency": concurrency,
+        "offline_samples_per_sec": offline,
+        "full_wave_ms": full_wave_ms,
+        "saturation_samples_per_sec": sat,
+        "rows": [
+            {"mode": "open", "offered_load": 0.10, "p95_ms": light_p95,
+             "p99_ms": light_p99},
+            {"mode": "open", "offered_load": 0.90, "p95_ms": 120.0,
+             "p99_ms": heavy_p99},
+            {"mode": "closed", "offered_load": 0.0, "p95_ms": 140.0,
+             "p99_ms": heavy_p99 + 10.0},
+        ],
+    }
+
+
+class Base(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, name, data):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            json.dump(data, f)
+        return path
+
+    def run_script(self, *args):
+        proc = subprocess.run([sys.executable, SCRIPT, *args],
+                              capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+class HostCompare(Base):
+    def test_identical_files_pass(self):
+        p = self.write("prev.json", host_file())
+        c = self.write("cur.json", host_file())
+        rc, out = self.run_script(p, c)
+        self.assertEqual(rc, 0, out)
+
+    def test_throughput_regression_fails(self):
+        p = self.write("prev.json", host_file(sps=100.0))
+        c = self.write("cur.json", host_file(sps=50.0))
+        rc, out = self.run_script(p, c, "--threshold", "0.15")
+        self.assertEqual(rc, 1, out)
+        self.assertIn("THROUGHPUT REGRESSION", out)
+
+    def test_host_concurrency_mismatch_skips_throughput(self):
+        p = self.write("prev.json", host_file(sps=100.0, concurrency=8))
+        c = self.write("cur.json", host_file(sps=50.0, concurrency=2))
+        rc, out = self.run_script(p, c, "--threshold", "0.15")
+        self.assertEqual(rc, 0, out)
+        self.assertIn("skipping samples/sec compare", out)
+
+    def test_modeled_cycles_checked_despite_host_mismatch(self):
+        p = self.write("prev.json", host_file(concurrency=8, mcyc=8.0))
+        c = self.write("cur.json", host_file(concurrency=2, mcyc=12.0))
+        rc, out = self.run_script(p, c)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("MODELED-CYCLE REGRESSION", out)
+
+    def test_missing_previous_is_skip_not_failure(self):
+        c = self.write("cur.json", host_file())
+        rc, out = self.run_script(os.path.join(self.dir.name, "nope.json"), c)
+        self.assertEqual(rc, 2, out)
+
+    def test_corrupt_current_is_skip(self):
+        p = self.write("prev.json", host_file())
+        c = os.path.join(self.dir.name, "cur.json")
+        with open(c, "w") as f:
+            f.write("{not json")
+        rc, out = self.run_script(p, c)
+        self.assertEqual(rc, 2, out)
+
+    def test_required_backend_missing_fails(self):
+        p = self.write("prev.json", host_file())
+        c = self.write("cur.json", host_file())
+        rc, out = self.run_script(p, c, "--require", "sharded-4")
+        self.assertEqual(rc, 1, out)
+        self.assertIn("required backend missing", out)
+
+
+class ServeGuards(Base):
+    def both_hosts(self):
+        p = self.write("prev.json", host_file())
+        c = self.write("cur.json", host_file())
+        return p, c
+
+    def test_saturation_floor_passes(self):
+        p, c = self.both_hosts()
+        s = self.write("serve.json", serve_file(offline=100.0, sat=95.0))
+        rc, out = self.run_script(p, c, "--serve", s,
+                                  "--serve-saturation-floor", "0.85")
+        self.assertEqual(rc, 0, out)
+
+    def test_saturation_floor_fails(self):
+        p, c = self.both_hosts()
+        s = self.write("serve.json", serve_file(offline=100.0, sat=60.0))
+        rc, out = self.run_script(p, c, "--serve", s,
+                                  "--serve-saturation-floor", "0.85")
+        self.assertEqual(rc, 1, out)
+        self.assertIn("serve saturation floor", out)
+
+    def test_light_p95_guard(self):
+        p, c = self.both_hosts()
+        ok = self.write("ok.json", serve_file(light_p95=20.0,
+                                              full_wave_ms=80.0))
+        rc, out = self.run_script(p, c, "--serve", ok,
+                                  "--serve-light-p95-factor", "1.0")
+        self.assertEqual(rc, 0, out)
+        bad = self.write("bad.json", serve_file(light_p95=120.0,
+                                                full_wave_ms=80.0))
+        rc, out = self.run_script(p, c, "--serve", bad,
+                                  "--serve-light-p95-factor", "1.0")
+        self.assertEqual(rc, 1, out)
+        self.assertIn("light-load p95", out)
+
+    def test_p99_regression_fails(self):
+        p, c = self.both_hosts()
+        sp = self.write("serve_prev.json", serve_file(heavy_p99=100.0))
+        sc = self.write("serve_cur.json", serve_file(heavy_p99=300.0))
+        rc, out = self.run_script(p, c, "--serve", sc, "--serve-prev", sp,
+                                  "--p99-threshold", "0.5")
+        self.assertEqual(rc, 1, out)
+        self.assertIn("serve p99 regression", out)
+
+    def test_p99_within_threshold_passes(self):
+        p, c = self.both_hosts()
+        sp = self.write("serve_prev.json", serve_file(heavy_p99=100.0))
+        sc = self.write("serve_cur.json", serve_file(heavy_p99=120.0))
+        rc, out = self.run_script(p, c, "--serve", sc, "--serve-prev", sp,
+                                  "--p99-threshold", "0.5")
+        self.assertEqual(rc, 0, out)
+
+    def test_p99_skipped_on_host_mismatch(self):
+        p, c = self.both_hosts()
+        sp = self.write("serve_prev.json",
+                        serve_file(heavy_p99=100.0, concurrency=8))
+        sc = self.write("serve_cur.json",
+                        serve_file(heavy_p99=900.0, concurrency=2))
+        rc, out = self.run_script(p, c, "--serve", sc, "--serve-prev", sp,
+                                  "--p99-threshold", "0.5")
+        self.assertEqual(rc, 0, out)
+        self.assertIn("skipping p99 compare", out)
+
+    def test_p99_skipped_on_missing_prev(self):
+        p, c = self.both_hosts()
+        sc = self.write("serve_cur.json", serve_file(heavy_p99=900.0))
+        rc, out = self.run_script(
+            p, c, "--serve", sc, "--serve-prev",
+            os.path.join(self.dir.name, "nope.json"),
+            "--p99-threshold", "0.5")
+        self.assertEqual(rc, 0, out)
+        self.assertIn("skipping p99 compare", out)
+
+    def test_corrupt_serve_current_fails(self):
+        p, c = self.both_hosts()
+        s = os.path.join(self.dir.name, "serve.json")
+        with open(s, "w") as f:
+            f.write("[broken")
+        rc, out = self.run_script(p, c, "--serve", s,
+                                  "--serve-saturation-floor", "0.85")
+        self.assertEqual(rc, 1, out)
+
+    def test_serve_guards_fail_even_without_host_baseline(self):
+        # Absolute serve floors must fail the run even when the host compare
+        # would be a first-run skip (exit 2 path).
+        c = self.write("cur.json", host_file())
+        s = self.write("serve.json", serve_file(offline=100.0, sat=10.0))
+        rc, out = self.run_script(os.path.join(self.dir.name, "nope.json"),
+                                  c, "--serve", s,
+                                  "--serve-saturation-floor", "0.85")
+        self.assertEqual(rc, 1, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,315 @@
+#include "runtime/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "runtime/worker_pool.hpp"
+
+namespace spikestream::runtime {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::chrono::steady_clock::time_point to_time_point(std::uint64_t ns) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::nanoseconds(ns)));
+}
+
+enum FireReason { kFullWave = 0, kDeadline = 1, kDrain = 2 };
+
+}  // namespace
+
+InferenceServer::InferenceServer(const snn::Network& net,
+                                 const kernels::RunOptions& opt,
+                                 const BackendConfig& backend,
+                                 const ServerConfig& server,
+                                 const arch::EnergyParams& energy)
+    : engine_(net, opt, backend, energy),
+      cfg_(server),
+      queue_(server.queue_capacity) {
+  max_lanes_ = cfg_.max_wave_lanes > 0
+                   ? cfg_.max_wave_lanes
+                   : std::max(1, engine_.options().segment_major_lanes);
+  cfg_.min_wave_lanes = std::clamp(cfg_.min_wave_lanes, 1, max_lanes_);
+  delay_ns_ = std::max<std::int64_t>(0, cfg_.max_queue_delay_us) * 1000;
+  // Throughput-safe start: the controller begins at full lanes and shrinks
+  // only when sustained light load proves the latency win is free.
+  target_lanes_.store(max_lanes_, std::memory_order_relaxed);
+  stats_.target_lanes = max_lanes_;
+
+  // Same pool-sharing rule as BatchRunner: reuse the backend's persistent
+  // pool when it has one so wave-lane fan-out and shard fan-out share one
+  // clamped thread set; otherwise bring our own for the non-FC lane fan-out.
+  pool_ = engine_.worker_pool();
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  if (pool_ == nullptr && hw > 1) {
+    pool_ = std::make_shared<WorkerPool>(hw - 1);
+  }
+
+  // Every wave-sized buffer is allocated here, once: the dispatcher loop
+  // reuses them for the life of the server.
+  const auto lanes = static_cast<std::size_t>(max_lanes_);
+  wave_.resize(lanes, nullptr);
+  enqueue_snap_.resize(lanes, 0);
+  states_.resize(lanes);
+  for (auto& s : states_) s = engine_.make_state();
+  steps_.resize(lanes);
+  lanes_.resize(lanes);
+
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+bool InferenceServer::submit(ServeRequest& req) {
+  // The submitting_ count makes shutdown race-free: stop() closes admission
+  // and then waits for every in-flight submit (a handful of instructions,
+  // nothing blocking) to retire before it tells the dispatcher to drain, so
+  // a push can never land after the dispatcher's final empty check and no
+  // request is ever stranded in kQueued.
+  submitting_.fetch_add(1, std::memory_order_acq_rel);
+  if (closed_.load(std::memory_order_acquire)) {
+    submitting_.fetch_sub(1, std::memory_order_release);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    req.state.store(ServeRequest::kRejected, std::memory_order_release);
+    req.state.notify_all();
+    return false;
+  }
+  req.dispatch_ns = 0;
+  req.complete_ns = 0;
+  req.state.store(ServeRequest::kQueued, std::memory_order_relaxed);
+  req.enqueue_ns = now_ns();
+  const bool pushed = queue_.try_push(&req);
+  submitting_.fetch_sub(1, std::memory_order_release);
+  if (!pushed) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    req.state.store(ServeRequest::kRejected, std::memory_order_release);
+    req.state.notify_all();
+    return false;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  // Dekker-style handshake with the sleeping dispatcher: the fence orders
+  // our push before the sleeping_ read exactly as the dispatcher's fence
+  // orders its sleeping_ write before its queue re-check — one side always
+  // observes the other, so a wakeup is never lost, and on the busy path
+  // this is a single relaxed load.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sleeping_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_cv_.notify_one();
+  }
+  return true;
+}
+
+void InferenceServer::stop() {
+  if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+    // Admission is closed; let in-flight submits retire their pushes.
+    while (submitting_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    stop_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      wake_cv_.notify_one();
+    }
+  }
+  std::lock_guard<std::mutex> lock(join_mu_);  // one joiner, losers wait
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void InferenceServer::wait_for_work(bool has_deadline,
+                                    std::uint64_t deadline_ns) {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  sleeping_.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const auto wake = [this] {
+    return queue_.size_approx() > 0 || stop_.load(std::memory_order_acquire);
+  };
+  if (!wake()) {
+    if (has_deadline) {
+      wake_cv_.wait_until(lock, to_time_point(deadline_ns), wake);
+    } else {
+      wake_cv_.wait(lock, wake);
+    }
+  }
+  sleeping_.store(false, std::memory_order_relaxed);
+}
+
+void InferenceServer::dispatcher_loop() {
+  for (;;) {
+    std::size_t wn = 0;
+    std::uint64_t deadline_ns = 0;
+    int fire_reason = kFullWave;
+    const int target = std::clamp(
+        target_lanes_.load(std::memory_order_relaxed), 1, max_lanes_);
+    const auto want = static_cast<std::size_t>(target);
+    for (;;) {
+      ServeRequest* req = nullptr;
+      while (wn < want && queue_.try_pop(req)) {
+        wave_[wn++] = req;
+        if (wn == 1) {
+          deadline_ns = req->enqueue_ns +
+                        static_cast<std::uint64_t>(delay_ns_);
+        }
+      }
+      if (wn >= want) {
+        fire_reason = kFullWave;
+        break;
+      }
+      const bool stopping = stop_.load(std::memory_order_acquire);
+      if (wn == 0) {
+        if (stopping && queue_.size_approx() == 0) return;
+        wait_for_work(/*has_deadline=*/false, 0);
+        continue;
+      }
+      if (stopping) {
+        fire_reason = kDrain;
+        break;
+      }
+      if (now_ns() >= deadline_ns) {
+        fire_reason = kDeadline;
+        break;
+      }
+      wait_for_work(/*has_deadline=*/true, deadline_ns);
+    }
+    if (wn > 0) execute_wave(wn, target, fire_reason);
+  }
+}
+
+void InferenceServer::execute_wave(std::size_t wn, int target,
+                                   int fire_reason) {
+  const std::size_t layers = engine_.network().num_layers();
+  const int timesteps = std::max(1, cfg_.timesteps);
+  const std::uint64_t t_dispatch = now_ns();
+  const std::size_t backlog = queue_.size_approx();
+
+  for (std::size_t i = 0; i < wn; ++i) {
+    ServeRequest* req = wave_[i];
+    req->dispatch_ns = t_dispatch;
+    states_[i].clear();
+    // Reset the per-request accumulator without surrendering capacity: a
+    // recycled slot stays allocation-free.
+    req->result.timesteps = timesteps;
+    req->result.spike_counts.clear();
+    req->result.cycles_per_step.clear();
+    req->result.total_cycles = 0;
+    req->result.total_energy_mj = 0;
+  }
+
+  // The offline lockstep path, verbatim: all lanes advance through the same
+  // layer together, segmented FC layers stream each weight band once per
+  // wave (InferenceEngine::run_layer_batch), non-FC layers fan the lanes out
+  // on the pool.
+  WorkerPool* pool = pool_.get();
+  for (int t = 0; t < timesteps; ++t) {
+    for (std::size_t i = 0; i < wn; ++i) {
+      engine_.begin_sample(steps_[i]);
+      lanes_[i] = {wave_[i]->image, nullptr, &states_[i], &steps_[i]};
+    }
+    for (std::size_t l = 0; l < layers; ++l) {
+      engine_.run_layer_batch(l, std::span(lanes_.data(), wn), pool);
+    }
+    for (std::size_t i = 0; i < wn; ++i) {
+      wave_[i]->result.accumulate_step(steps_[i]);
+    }
+  }
+
+  // Publish completions before the bookkeeping below so a waiting client's
+  // wakeup is never queued behind the stats lock. The moment kDone lands the
+  // caller may recycle or destroy the request, so everything the stats block
+  // needs is snapshotted here — wave_[i] must not be dereferenced after its
+  // store.
+  const std::uint64_t t_done = now_ns();
+  for (std::size_t i = 0; i < wn; ++i) {
+    ServeRequest* req = wave_[i];
+    enqueue_snap_[i] = req->enqueue_ns;
+    req->complete_ns = t_done;
+    req->state.store(ServeRequest::kDone, std::memory_order_release);
+    req->state.notify_all();
+  }
+
+  const int flip = update_controller(wn, target, fire_reason, backlog);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.waves;
+    if (fire_reason == kFullWave) ++stats_.full_waves;
+    if (fire_reason == kDeadline) ++stats_.deadline_waves;
+    if (fire_reason == kDrain) ++stats_.drain_waves;
+    if (flip > 0) ++stats_.wave_grows;
+    if (flip < 0) ++stats_.wave_shrinks;
+    stats_.completed += wn;
+    stats_.wave_lanes.add(static_cast<double>(wn));
+    stats_.wave_occupancy.add(static_cast<double>(wn) /
+                              static_cast<double>(max_lanes_));
+    stats_.queue_depth.add(static_cast<double>(backlog));
+    stats_.target_trace.add(static_cast<double>(target));
+    for (std::size_t i = 0; i < wn; ++i) {
+      stats_.latency_us.add(static_cast<double>(t_done - enqueue_snap_[i]) *
+                            1e-3);
+      stats_.queue_us.add(static_cast<double>(t_dispatch - enqueue_snap_[i]) *
+                          1e-3);
+    }
+  }
+}
+
+int InferenceServer::update_controller(std::size_t wn, int target,
+                                       int fire_reason,
+                                       std::size_t backlog) {
+  if (!cfg_.adaptive_wave || fire_reason == kDrain) return 0;
+  const auto want = static_cast<std::size_t>(target);
+  const bool pressure = wn >= want && backlog > 0;
+  const bool slack =
+      fire_reason == kDeadline &&
+      static_cast<double>(wn) <=
+          cfg_.shrink_occupancy * static_cast<double>(target);
+  if (pressure) {
+    ++grow_streak_;
+    shrink_streak_ = 0;
+  } else if (slack) {
+    ++shrink_streak_;
+    grow_streak_ = 0;
+  } else {
+    // Dead band: a full wave with no backlog, or a deadline wave above the
+    // shrink threshold, is evidence the current size fits — reset both
+    // streaks so the target holds (this is what prevents oscillation).
+    grow_streak_ = 0;
+    shrink_streak_ = 0;
+  }
+  const int streak = std::max(1, cfg_.controller_streak);
+  int next = target;
+  int flip = 0;
+  if (grow_streak_ >= streak && target < max_lanes_) {
+    next = std::min(max_lanes_, target * 2);
+    grow_streak_ = 0;
+    flip = 1;
+  } else if (shrink_streak_ >= streak && target > cfg_.min_wave_lanes) {
+    next = std::max(cfg_.min_wave_lanes, target / 2);
+    shrink_streak_ = 0;
+    flip = -1;
+  }
+  if (next != target) {
+    target_lanes_.store(next, std::memory_order_relaxed);
+  }
+  return flip;
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServerStats out = stats_;
+  out.admitted = admitted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.target_lanes = target_lanes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace spikestream::runtime

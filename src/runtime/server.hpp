@@ -1,0 +1,299 @@
+// Inference-as-a-service runtime: turns the batch-offline engine into a
+// request/response server with a user-facing latency SLO.
+//
+//   producers ──try_push──▶ BoundedMpscQueue ──try_pop──▶ dispatcher thread
+//                (lock-free ring, full = reject)             │
+//                                                   dynamic batch former
+//                                                (deadline- or size-triggered)
+//                                                            │
+//                                          segment-major lockstep wave
+//                                      (InferenceEngine::run_layer_batch on
+//                                       the persistent WorkerPool — the same
+//                                       path BatchRunner drives offline)
+//
+// Admission is a bounded lock-free MPSC ring (Vyukov sequence-numbered
+// cells): any number of client threads try_push a ServeRequest* with a CAS
+// on the tail — no mutex, no allocation, and a full ring rejects instead of
+// blocking (the reject is counted; load shedding is explicit). The single
+// consumer is the dispatcher thread, which drains arrivals into a wave of up
+// to `target` lanes and fires it either when the wave is full or when the
+// oldest queued request has waited ServerConfig::max_queue_delay_us — so an
+// idle server adds at most one deadline of latency and a busy server keeps
+// the engine at full segment-major occupancy. When both the queue and the
+// wave are empty the dispatcher *blocks* on a condition variable (producers
+// nudge it awake only when they observed it sleeping), so an idle server
+// burns no CPU — same contract the WorkerPool's idle workers honor.
+//
+// Waves execute exactly like an offline BatchRunner lockstep wave: one
+// NetworkState lane per in-flight request, all lanes stepping through the
+// network layer by layer via InferenceEngine::run_layer_batch, segmented FC
+// layers streaming each fan-in weight band once per wave. Served outputs
+// (spikes AND modeled cycles) are therefore bit-identical to BatchRunner on
+// the same inputs whatever wave boundaries the arrival timing produced — the
+// segment-major charges are per-sample batch means, independent of lane
+// assignment (tests/test_server.cpp pins this). The lanes, wave buffers and
+// per-request result vectors are all pre-sized at construction or on first
+// use, so the admission -> dispatch -> complete hot path is allocation-free
+// at steady state (tests/test_scratch_reuse.cpp counts it).
+//
+// SLO-aware wave sizing: a hysteresis-gated controller (mirroring the PR-5
+// replan gate) trades wave size for latency. Full waves leaving a backlog
+// grow the target (×2 toward max_wave_lanes — throughput under heavy load);
+// deadline-fired waves at <= shrink_occupancy of the target shrink it (÷2
+// toward min_wave_lanes — a light-load request no longer waits for lanes it
+// cannot fill). Both need `controller_streak` *consecutive* waves of
+// evidence and the dead band between the two thresholds means steady load
+// never oscillates.
+//
+// Per-request telemetry (enqueue/dispatch/complete timestamps on the request
+// slot; queue depth, wave occupancy, rejects, p50/p95/p99 latency in
+// ServerStats' allocation-free LogHistograms) is what bench/serve_profile.cpp
+// sweeps into BENCH_serve.json and CI guards with --p99-threshold.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/multistep.hpp"
+
+namespace spikestream::runtime {
+
+class WorkerPool;
+
+/// Bounded lock-free multi-producer single-consumer ring (Vyukov
+/// sequence-numbered cells). Fixed capacity (rounded up to a power of two),
+/// allocated once at construction; try_push / try_pop never allocate and
+/// never block — a full ring fails the push so the caller can count the
+/// rejection instead of stalling the client.
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  /// Multi-producer: lock-free, allocation-free; false = ring full.
+  bool try_push(T v) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.val = v;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single consumer only. FIFO in tail-claim order (per-producer order is
+  /// preserved). False = empty (or the winning producer has not finished
+  /// publishing its cell yet).
+  bool try_pop(T& out) {
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) -
+            static_cast<std::intptr_t>(pos + 1) != 0) {
+      return false;
+    }
+    out = cell.val;
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+  /// Racy snapshot (exact when quiescent).
+  std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T val{};
+  };
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producers (CAS)
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer only
+};
+
+/// One in-flight request. Caller-owned, must stay at a stable address from
+/// submit() until wait() returns; reusable across requests (the result
+/// vectors keep their capacity, so steady-state resubmission is
+/// allocation-free). Not movable once submitted.
+struct ServeRequest {
+  enum State : int { kIdle = 0, kQueued = 1, kDone = 2, kRejected = 3 };
+
+  const snn::Tensor* image = nullptr;  ///< input; caller keeps it alive
+  MultiStepResult result;              ///< filled before kDone is published
+
+  // Telemetry (steady_clock ns), written by the server.
+  std::uint64_t enqueue_ns = 0;
+  std::uint64_t dispatch_ns = 0;
+  std::uint64_t complete_ns = 0;
+
+  std::atomic<int> state{kIdle};
+
+  /// Block until the server published a terminal state; returns true when
+  /// the request completed (false = rejected at admission).
+  bool wait() {
+    int s = state.load(std::memory_order_acquire);
+    while (s == kQueued) {
+      state.wait(s, std::memory_order_acquire);
+      s = state.load(std::memory_order_acquire);
+    }
+    return s == kDone;
+  }
+
+  double queue_us() const {
+    return static_cast<double>(dispatch_ns - enqueue_ns) * 1e-3;
+  }
+  double latency_us() const {
+    return static_cast<double>(complete_ns - enqueue_ns) * 1e-3;
+  }
+};
+
+struct ServerConfig {
+  std::size_t queue_capacity = 1024;  ///< admission ring (rounded up to 2^k)
+  int timesteps = 1;                  ///< LIF steps per request
+  /// Deadline: a partial wave fires once its oldest request has queued this
+  /// long, so light-load latency is bounded by one deadline + one service.
+  std::int64_t max_queue_delay_us = 2000;
+  /// Wave-size bounds for the SLO controller. max_wave_lanes = 0 means
+  /// RunOptions::segment_major_lanes (clamped to >= 1).
+  int min_wave_lanes = 1;
+  int max_wave_lanes = 0;
+  /// SLO-aware sizing on/off (off = every wave targets max_wave_lanes).
+  bool adaptive_wave = true;
+  /// Consecutive waves of evidence before the target moves (hysteresis).
+  int controller_streak = 3;
+  /// Deadline-fired waves at or below this fraction of the target shrink it.
+  double shrink_occupancy = 0.5;
+};
+
+/// Aggregate telemetry snapshot. Histograms record microseconds.
+struct ServerStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;  ///< ring full or server stopped
+  std::uint64_t completed = 0;
+  std::uint64_t waves = 0;
+  std::uint64_t full_waves = 0;      ///< fired because the target filled
+  std::uint64_t deadline_waves = 0;  ///< fired by max_queue_delay_us
+  std::uint64_t drain_waves = 0;     ///< fired by stop() draining
+  int wave_grows = 0;
+  int wave_shrinks = 0;
+  int target_lanes = 0;  ///< controller target at snapshot time
+  common::LogHistogram latency_us;  ///< enqueue -> complete
+  common::LogHistogram queue_us;    ///< enqueue -> dispatch
+  common::RunningStats wave_lanes;       ///< occupied lanes per wave
+  common::RunningStats wave_occupancy;   ///< occupied / max_wave_lanes
+  common::RunningStats queue_depth;      ///< backlog at dispatch
+  common::RunningStats target_trace;     ///< controller target per wave
+};
+
+class InferenceServer {
+ public:
+  InferenceServer(const snn::Network& net, const kernels::RunOptions& opt,
+                  const BackendConfig& backend = {},
+                  const ServerConfig& server = {},
+                  const arch::EnergyParams& energy = {});
+  ~InferenceServer();  ///< stop()s first
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Thread-safe, lock-free, allocation-free admission. False = rejected
+  /// (ring full or server stopped); the request is untouched apart from its
+  /// state and may be resubmitted. On true the server owns `req` until its
+  /// state turns terminal — keep it alive and call req.wait().
+  bool submit(ServeRequest& req);
+
+  /// Close admission, drain every queued request through normal waves, join
+  /// the dispatcher. Idempotent; the destructor calls it.
+  void stop();
+
+  ServerStats stats() const;
+  const InferenceEngine& engine() const { return engine_; }
+  const ServerConfig& config() const { return cfg_; }
+  int max_wave_lanes() const { return max_lanes_; }
+  /// Current SLO-controller wave-size target.
+  int target_lanes() const {
+    return target_lanes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void dispatcher_loop();
+  /// Block until work arrives, stop() is called, or (when `has_deadline`)
+  /// the deadline passes. Never spins: sleeps on wake_cv_.
+  void wait_for_work(bool has_deadline, std::uint64_t deadline_ns);
+  void execute_wave(std::size_t wn, int target, int fire_reason);
+  /// Hysteresis-gated wave-size update; see the header comment. Returns
+  /// +1 / -1 / 0 for grow / shrink / hold (stats are recorded by the caller).
+  int update_controller(std::size_t wn, int target, int fire_reason,
+                        std::size_t backlog);
+
+  InferenceEngine engine_;
+  ServerConfig cfg_;
+  int max_lanes_ = 1;
+  std::int64_t delay_ns_ = 0;
+  std::shared_ptr<WorkerPool> pool_;
+
+  BoundedMpscQueue<ServeRequest*> queue_;
+  std::atomic<bool> closed_{false};  ///< admission closed (stop() phase 1)
+  std::atomic<bool> stop_{false};    ///< dispatcher drain+exit (phase 2)
+  std::atomic<int> submitting_{0};   ///< submits between closed_-check & push
+  std::mutex join_mu_;
+  std::atomic<bool> sleeping_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<int> target_lanes_{1};
+
+  // Dispatcher-owned wave state (pre-sized at construction; reused forever).
+  std::vector<ServeRequest*> wave_;
+  std::vector<std::uint64_t> enqueue_snap_;  ///< see execute_wave()
+  std::vector<snn::NetworkState> states_;
+  std::vector<InferenceResult> steps_;
+  std::vector<InferenceEngine::BatchLane> lanes_;
+
+  // Controller streaks (dispatcher-owned).
+  int grow_streak_ = 0;
+  int shrink_streak_ = 0;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+
+  std::thread dispatcher_;  ///< started last, joined by stop()
+};
+
+}  // namespace spikestream::runtime

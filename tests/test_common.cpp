@@ -105,3 +105,76 @@ TEST(Table, RendersAligned) {
 TEST(Table, PmFormat) {
   EXPECT_EQ(sc::Table::pm(1.5, 0.25, 2), "1.50 +- 0.25");
 }
+
+TEST(LogHistogram, ExactBelowSixteen) {
+  // The first 16 buckets are unit-width: small values round-trip exactly.
+  sc::LogHistogram h;
+  for (int v = 0; v < 16; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0 / 16.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 15.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 15.0);
+}
+
+TEST(LogHistogram, RelativeErrorBounded) {
+  // 16 linear sub-buckets per octave cap the relative quantization error at
+  // half a sub-bucket: |estimate - value| <= value / 16 for values >= 16.
+  sc::LogHistogram h;
+  sc::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::exp(rng.uniform() * std::log(1e9));
+    h = sc::LogHistogram{};
+    h.add(v);
+    const double est = h.percentile(50);
+    EXPECT_NEAR(est, std::llround(v),
+                std::max(1.0, static_cast<double>(std::llround(v)) / 16.0))
+        << "value " << v;
+  }
+}
+
+TEST(LogHistogram, PercentilesTrackExactOnSkewedSample) {
+  // Latency-shaped distribution (bulk small, long tail): histogram p50/p95/
+  // p99 must land within one sub-bucket of the exact order statistics.
+  sc::LogHistogram h;
+  std::vector<double> xs;
+  sc::Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = 50.0 * std::pow(1000.0, rng.uniform() * rng.uniform());
+    h.add(v);
+    xs.push_back(static_cast<double>(std::llround(v)));
+  }
+  for (const double p : {50.0, 95.0, 99.0}) {
+    const double exact = sc::percentile(xs, p);
+    EXPECT_NEAR(h.percentile(p), exact, std::max(1.0, exact / 8.0))
+        << "p" << p;
+  }
+}
+
+TEST(LogHistogram, MergeEqualsSequential) {
+  sc::LogHistogram a, b, all;
+  sc::Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const double v = rng.uniform() * 1e6;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.sum(), all.sum(), 1e-6 * all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p));
+  }
+}
+
+TEST(LogHistogram, HugeValuesClampWithoutOverflow) {
+  sc::LogHistogram h;
+  h.add(1e30);  // far beyond the 2^40 top octave: clamps, never overflows
+  h.add(5.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+  EXPECT_GE(h.percentile(100), std::pow(2.0, 39));
+}

@@ -15,6 +15,7 @@
 #include "runtime/engine.hpp"
 #include "runtime/multistep.hpp"
 #include "runtime/pipeline.hpp"
+#include "runtime/server.hpp"
 #include "snn/calibrate.hpp"
 #include "snn/input_gen.hpp"
 
@@ -399,4 +400,43 @@ TEST(ScratchReuse, ZeroSteadyStateAllocationsAdaptiveSharded) {
   const std::size_t after = spikestream::alloc_hook::allocs();
   EXPECT_EQ(after - before, 0u)
       << "adaptive sharded steady state must not touch the heap";
+}
+
+TEST(ScratchReuse, ZeroSteadyStateAllocationsServerLoop) {
+  // The serving hot path extends the contract end to end: submit (lock-free
+  // ring push), wave formation, lockstep execution into the pre-sized lane
+  // buffers, completion publish (futex wake) and the recycled request slot's
+  // result reset must all stay off the heap once warmed. Fixed wave width
+  // (adaptive off) keeps the wave shape identical across rounds.
+  const snn::Network net = test_net();
+  const auto img = snn::make_batch(1, 7, 16, 16, 3)[0];
+  k::RunOptions opt;
+  opt.segment_major_lanes = 4;
+  rt::ServerConfig scfg;
+  scfg.max_queue_delay_us = 200;
+  scfg.adaptive_wave = false;
+  rt::InferenceServer server(net, opt, {}, scfg);
+  rt::ServeRequest slot;  // recycled: result capacity persists across rounds
+  slot.image = &img;
+
+  // Warm until a full submit->wait round is allocation-quiet (arena growth,
+  // first-wave lane state sizing, result vector capacity).
+  int quiet = 0;
+  for (int r = 0; r < 64 && quiet < 6; ++r) {
+    const std::size_t before = spikestream::alloc_hook::allocs();
+    ASSERT_TRUE(server.submit(slot));
+    ASSERT_TRUE(slot.wait());
+    quiet = spikestream::alloc_hook::allocs() == before ? quiet + 1 : 0;
+  }
+  ASSERT_GE(quiet, 6) << "server loop never reached allocation quiescence";
+
+  const std::size_t before = spikestream::alloc_hook::allocs();
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_TRUE(server.submit(slot));
+    ASSERT_TRUE(slot.wait());
+  }
+  const std::size_t after = spikestream::alloc_hook::allocs();
+  EXPECT_EQ(after - before, 0u)
+      << "admission -> dispatch -> complete must not touch the heap";
+  server.stop();
 }
