@@ -1,0 +1,258 @@
+// Chaos bench for the fault-injection subsystem: kills and degrades clusters
+// under serving load and reports the degradation curve — modeled throughput
+// and wall-clock p99 versus clusters lost — plus a mid-load fail-stop run
+// that pins the hardening contract end to end:
+//
+//   * no admitted request is ever lost: admitted reconciles exactly against
+//     completed + timed_out + errored at every degradation point;
+//   * completed requests' spikes stay bit-identical to the healthy baseline
+//     across any fail-stop (plans change, results do not);
+//   * the degraded re-plan flips exactly once per fault (replans ==
+//     cluster_failures — no oscillation);
+//   * modeled throughput on the survivors stays above a proportional floor:
+//     sps(lost) >= floor_frac * sps(0) * survivors / clusters — losing 1 of
+//     8 clusters may cost more than 1/8 (stripe discretization, re-gathered
+//     halos) but never collapses.
+//
+// Throughput here is *modeled* samples/s (1e9 Hz / mean modeled cycles per
+// sample) — host-invariant, so the CI guard (--fault over BENCH_fault.json)
+// holds on any runner; wall p99 is reported for context only.
+//
+//   SPIKESTREAM_FAULT_WAVES  bursts per degradation point (default 6)
+//   SPIKESTREAM_FAULT_LANES  wave width = burst size (default 4)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/json_writer.hpp"
+#include "common/rng.hpp"
+#include "runtime/faults.hpp"
+#include "runtime/multistep.hpp"
+#include "runtime/server.hpp"
+#include "snn/calibrate.hpp"
+#include "snn/input_gen.hpp"
+
+namespace {
+
+namespace rt = spikestream::runtime;
+namespace k = spikestream::kernels;
+namespace snn = spikestream::snn;
+namespace bench = spikestream::bench;
+namespace sc = spikestream::common;
+
+constexpr int kClusters = 8;
+constexpr int kSteps = 2;
+
+int env_int(const char* name, int def) {
+  if (const char* e = std::getenv(name)) {
+    const int v = std::atoi(e);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+/// 32x32 inputs so every conv layer has enough output rows that stripe
+/// discretization stays fair from 8 survivors down to 4 — the proportional
+/// floor is about capacity, not rounding.
+snn::Network fault_net() {
+  snn::Network net = snn::Network::make_tiny(34, 3, 32, 10);
+  sc::Rng rng(42);
+  net.init_weights(rng);
+  const auto calib = snn::make_batch(4, 7, 32, 32, 3);
+  const std::vector<double> targets = {0.20, 0.15, 0.30};
+  snn::calibrate_thresholds(net, calib, targets);
+  return net;
+}
+
+rt::BackendConfig backend_cfg() {
+  rt::BackendConfig b;
+  b.kind = rt::BackendKind::kSharded;
+  b.clusters = kClusters;
+  // Spatial stripes scale monotonically from 8 survivors down to 4 on this
+  // net (output rows divide cleanly), so the degradation curve isolates lost
+  // capacity. The hybrid chooser would be a second variable: its per-layer
+  // axis flips make 8-cluster plans non-monotonic on a net this small.
+  b.partition = k::PartitionStrategy::kIfmapStripe;
+  b.shard_threads = false;  // 1-CPU CI runner: modeled timing is the metric
+  return b;
+}
+
+struct RunResult {
+  rt::ServerStats stats;
+  std::vector<std::vector<std::uint32_t>> spikes;  ///< per image index
+  double cycles_sum = 0;        ///< over completed requests
+  std::uint64_t cycles_n = 0;   ///< completed requests
+  std::uint64_t lost = 0;       ///< admitted with no terminal accounting
+  bool spikes_match = true;     ///< vs the baseline passed in (if any)
+};
+
+/// Drive `waves` sequential full-wave bursts (submit `lanes`, wait all)
+/// through a server configured with `faults`. With adaptive sizing off each
+/// burst is exactly one wave, so fault wave indices line up with bursts.
+RunResult run_load(const snn::Network& net, const k::RunOptions& opt,
+                   const rt::FaultPlan& faults,
+                   const std::vector<snn::Tensor>& images, int waves,
+                   const std::vector<std::vector<std::uint32_t>>* baseline) {
+  rt::ServerConfig scfg;
+  scfg.timesteps = kSteps;
+  scfg.adaptive_wave = false;
+  scfg.max_queue_delay_us = 200000;  // bursts always form full waves
+  scfg.faults = faults;
+  rt::InferenceServer server(net, opt, backend_cfg(), scfg);
+
+  RunResult out;
+  out.spikes.resize(images.size());
+  std::vector<rt::ServeRequest> reqs(images.size());
+  for (int w = 0; w < waves; ++w) {
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      reqs[i].image = &images[i];
+      if (!server.submit(reqs[i])) continue;
+    }
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      if (reqs[i].wait()) {
+        out.cycles_sum += reqs[i].result.total_cycles;
+        ++out.cycles_n;
+        out.spikes[i] = reqs[i].result.spike_counts;
+        if (baseline != nullptr && (*baseline)[i] != out.spikes[i]) {
+          out.spikes_match = false;
+        }
+      }
+    }
+  }
+  server.stop();
+  out.stats = server.stats();
+  const std::uint64_t accounted =
+      out.stats.completed + out.stats.timed_out + out.stats.errored;
+  out.lost = out.stats.admitted > accounted ? out.stats.admitted - accounted
+                                            : 0;
+  return out;
+}
+
+/// Kill `lost` clusters at wave `at`: slot ids renumber densely after each
+/// fail-stop, so killing the current highest active slot `lost` times always
+/// names a live cluster.
+rt::FaultPlan kill_plan(int lost, std::uint64_t at) {
+  rt::FaultPlan plan;
+  for (int i = 0; i < lost; ++i) {
+    plan.kill_cluster(kClusters - 1 - i, at);
+  }
+  return plan;
+}
+
+double modeled_sps(const RunResult& r) {
+  if (r.cycles_n == 0 || r.cycles_sum <= 0) return 0.0;
+  return 1e9 * static_cast<double>(r.cycles_n) / r.cycles_sum;
+}
+
+}  // namespace
+
+int main() {
+  const int waves = env_int("SPIKESTREAM_FAULT_WAVES", 6);
+  const int lanes = env_int("SPIKESTREAM_FAULT_LANES", 4);
+
+  const snn::Network net = fault_net();
+  const auto images =
+      snn::make_batch(static_cast<std::size_t>(lanes), 51, 32, 32, 3);
+  k::RunOptions opt;
+  opt.segment_major_lanes = lanes;
+
+  // --- healthy baseline -----------------------------------------------------
+  const RunResult healthy =
+      run_load(net, opt, rt::FaultPlan{}, images, waves, nullptr);
+  const double healthy_sps = modeled_sps(healthy);
+  std::printf("healthy: %d clusters, %.0f modeled samples/s, p99 %.2f ms\n",
+              kClusters, healthy_sps,
+              healthy.stats.latency_us.percentile(99) * 1e-3);
+
+  // --- degradation curve: throughput and p99 vs clusters lost ---------------
+  struct CurveRow {
+    int lost = 0;
+    RunResult r;
+  };
+  std::vector<CurveRow> curve;
+  for (const int lost : {0, 1, 2, 4}) {
+    CurveRow row;
+    row.lost = lost;
+    row.r = run_load(net, opt, kill_plan(lost, /*at=*/0), images, waves,
+                     &healthy.spikes);
+    curve.push_back(std::move(row));
+    const CurveRow& c = curve.back();
+    const double sps = modeled_sps(c.r);
+    std::printf(
+        "lost %d/%d: %.0f modeled sps (%.2fx healthy, survivors %.2f), "
+        "p99 %.2f ms, replans %d, lost requests %llu, spikes %s\n",
+        lost, kClusters, sps, healthy_sps > 0 ? sps / healthy_sps : 0.0,
+        static_cast<double>(kClusters - lost) / kClusters,
+        c.r.stats.latency_us.percentile(99) * 1e-3, c.r.stats.degrade_replans,
+        static_cast<unsigned long long>(c.r.lost),
+        c.r.spikes_match ? "bit-identical" : "DIVERGED");
+  }
+
+  // --- mid-load fail-stop: kill 1 cluster halfway through the run -----------
+  const RunResult midrun =
+      run_load(net, opt, kill_plan(1, static_cast<std::uint64_t>(waves / 2)),
+               images, waves, &healthy.spikes);
+  std::printf(
+      "mid-load kill at wave %d: admitted %llu completed %llu lost %llu, "
+      "replans %d, active %d, spikes %s\n",
+      waves / 2, static_cast<unsigned long long>(midrun.stats.admitted),
+      static_cast<unsigned long long>(midrun.stats.completed),
+      static_cast<unsigned long long>(midrun.lost),
+      midrun.stats.degrade_replans, midrun.stats.active_clusters,
+      midrun.spikes_match ? "bit-identical" : "DIVERGED");
+
+  // --- BENCH_fault.json -----------------------------------------------------
+  if (std::FILE* f = std::fopen("BENCH_fault.json", "w")) {
+    bench::JsonWriter w(f, /*compact_depth=*/2);
+    w.begin_object();
+    w.field("bench", "fault_profile");
+    w.field("network", "tiny32");
+    w.field("clusters", kClusters);
+    w.field("lanes", lanes);
+    w.field("waves", waves);
+    w.field("timesteps", kSteps);
+    w.field("healthy_modeled_sps", healthy_sps, 2);
+    w.key("degradation_curve");
+    w.begin_array();
+    for (const CurveRow& c : curve) {
+      const double sps = modeled_sps(c.r);
+      w.begin_object();
+      w.field("clusters_lost", c.lost);
+      w.field("active_clusters", c.r.stats.active_clusters);
+      w.field("modeled_sps", sps, 2);
+      w.field("vs_healthy", healthy_sps > 0 ? sps / healthy_sps : 0.0, 4);
+      w.field("proportional_capacity",
+              static_cast<double>(kClusters - c.lost) / kClusters, 4);
+      w.field("p99_ms", c.r.stats.latency_us.percentile(99) * 1e-3, 3);
+      w.field("admitted", c.r.stats.admitted);
+      w.field("completed", c.r.stats.completed);
+      w.field("timed_out", c.r.stats.timed_out);
+      w.field("errored", c.r.stats.errored);
+      w.field("lost_requests", c.r.lost);
+      w.field("cluster_failures", c.r.stats.cluster_failures);
+      w.field("degrade_replans", c.r.stats.degrade_replans);
+      w.field("spikes_match_healthy", c.r.spikes_match);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("midrun_kill");
+    w.begin_object();
+    w.field("kill_at_wave", waves / 2);
+    w.field("admitted", midrun.stats.admitted);
+    w.field("completed", midrun.stats.completed);
+    w.field("timed_out", midrun.stats.timed_out);
+    w.field("errored", midrun.stats.errored);
+    w.field("lost_requests", midrun.lost);
+    w.field("cluster_failures", midrun.stats.cluster_failures);
+    w.field("degrade_replans", midrun.stats.degrade_replans);
+    w.field("active_clusters", midrun.stats.active_clusters);
+    w.field("spikes_match_healthy", midrun.spikes_match);
+    w.end_object();
+    w.end_object();
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_fault.json\n");
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@ Usage: check_bench_regression.py PREVIOUS.json CURRENT.json
            [--serve BENCH_serve.json] [--serve-prev PREV_serve.json]
            [--serve-saturation-floor FRAC] [--serve-light-p95-factor X]
            [--p99-threshold FRAC] [--p99-slack-ms MS]
+           [--fault BENCH_fault.json] [--fault-floor-frac FRAC]
 
 Checks, each per backend row (matched by name, every row checked — not just
 the best one):
@@ -58,6 +59,21 @@ Serving checks against BENCH_serve.json (--serve):
     --p99-slack-ms. Serving latency is wall-clock, so a host_concurrency
     mismatch between the two serve files skips the compare (the absolute
     floors above still run); a missing/unreadable --serve-prev also skips.
+Fault-injection checks against BENCH_fault.json (--fault) — all absolute,
+single-file, and modeled (host-invariant), so they need no previous artifact:
+  * no admitted request may be lost at any degradation point or in the
+    mid-run kill: lost_requests must be 0 everywhere (admitted reconciles
+    exactly against completed + timed_out + errored);
+  * completed requests' spikes must stay bit-identical to the healthy
+    baseline (spikes_match_healthy) — fail-stop changes plans, not results;
+  * the degraded re-plan must flip exactly once per fault
+    (degrade_replans == cluster_failures — no oscillation);
+  * --fault-floor-frac FRAC: modeled throughput on the survivors must stay
+    above the proportional floor, modeled_sps >= FRAC * healthy_modeled_sps
+    * (clusters - clusters_lost) / clusters — losing 1 of 8 clusters may
+    cost more than 1/8 (stripe discretization) but must not collapse;
+  * the mid-run kill must record exactly one cluster failure and one
+    re-plan, with the same zero-loss / bit-identical-spikes contract.
 Backends present in only one file are reported but only fail when required.
 Exit codes: 0 = ok, 1 = regression, 2 = unusable input (missing/corrupt
 file) — CI treats 2 as a skip, not a failure, so the very first run of a
@@ -208,6 +224,89 @@ def check_serve(args, failed):
                   f"(bound {bound:.1f})")
 
 
+def load_fault(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+        # Touch the required shape up front so a malformed file is "unusable",
+        # not a spray of per-row KeyErrors later.
+        _ = data["healthy_modeled_sps"], data["clusters"]
+        _ = data["degradation_curve"], data["midrun_kill"]
+        return data
+    except (OSError, ValueError, KeyError, TypeError) as e:
+        print(f"cannot read {path}: {e}")
+        return None
+
+
+def check_fault_row(label, row, failed):
+    """Zero-loss / bit-exact / replan-parity contract shared by every row."""
+    lost_req = int(row.get("lost_requests", -1))
+    if lost_req != 0:
+        failed.append(label)
+        print(f"fault {label}: {lost_req} admitted requests lost "
+              f"(admitted {row.get('admitted', '?')}, "
+              f"completed {row.get('completed', '?')}, "
+              f"timed_out {row.get('timed_out', '?')}, "
+              f"errored {row.get('errored', '?')})")
+    if not row.get("spikes_match_healthy", False):
+        failed.append(label)
+        print(f"fault {label}: completed spikes diverged from the healthy "
+              f"baseline")
+    replans = int(row.get("degrade_replans", -1))
+    failures = int(row.get("cluster_failures", -2))
+    if replans != failures:
+        failed.append(label)
+        print(f"fault {label}: degrade_replans {replans} != "
+              f"cluster_failures {failures} (re-plan must flip exactly "
+              f"once per fault)")
+
+
+def check_fault(args, failed):
+    """Degradation-curve guards on BENCH_fault.json."""
+    data = load_fault(args.fault)
+    if data is None:
+        failed.append("fault")
+        return
+    healthy = float(data["healthy_modeled_sps"])
+    clusters = int(data["clusters"])
+    frac = args.fault_floor_frac
+
+    rows = data["degradation_curve"]
+    if not rows:
+        failed.append("fault:curve")
+        print("fault guard set but degradation_curve is empty")
+    for row in rows:
+        lost = int(row.get("clusters_lost", 0))
+        label = f"fault:lost{lost}"
+        check_fault_row(label, row, failed)
+        sps = float(row.get("modeled_sps", 0.0))
+        if frac > 0.0 and healthy > 0.0 and clusters > 0:
+            floor = frac * healthy * (clusters - lost) / clusters
+            if sps < floor:
+                failed.append(label)
+                print(f"fault {label}: modeled {sps:.1f} samples/s < "
+                      f"proportional floor {floor:.1f} "
+                      f"({frac:g} x {healthy:.1f} x "
+                      f"{clusters - lost}/{clusters} survivors)")
+            else:
+                print(f"fault {label}: modeled {sps:.1f} samples/s >= "
+                      f"floor {floor:.1f} "
+                      f"({clusters - lost}/{clusters} survivors, "
+                      f"replans {row.get('degrade_replans', '?')})")
+
+    mid = data["midrun_kill"]
+    check_fault_row("fault:midrun", mid, failed)
+    if int(mid.get("cluster_failures", -1)) != 1:
+        failed.append("fault:midrun")
+        print(f"fault fault:midrun: expected exactly 1 cluster failure, "
+              f"got {mid.get('cluster_failures', '?')}")
+    else:
+        print(f"fault fault:midrun: kill at wave "
+              f"{mid.get('kill_at_wave', '?')} drained "
+              f"{mid.get('completed', '?')}/{mid.get('admitted', '?')} "
+              f"requests, {mid.get('active_clusters', '?')} clusters left")
+
+
 def wants_dma_floor(name):
     return "batchreuse" in name or "segmajor" in name
 
@@ -311,6 +410,13 @@ def main():
                     metavar="MS",
                     help="absolute p99 slack added on top of the "
                          "fractional threshold")
+    ap.add_argument("--fault", default=None, metavar="JSON",
+                    help="current BENCH_fault.json for the fault-injection "
+                         "guards (absolute, no previous file needed)")
+    ap.add_argument("--fault-floor-frac", type=float, default=0.8,
+                    metavar="FRAC",
+                    help="degraded modeled throughput must stay above "
+                         "FRAC * healthy * survivors/clusters")
     args = ap.parse_args()
 
     failed = []
@@ -318,12 +424,15 @@ def main():
         check_fig3c(args, failed)
     if args.serve is not None:
         check_serve(args, failed)
+    if args.fault is not None:
+        check_fault(args, failed)
 
     loaded_prev = load(args.previous)
     loaded_cur = load(args.current)
     if loaded_prev is None or loaded_cur is None:
-        # The fig3c floors are absolute checks on the current build: they
-        # still fail the run even when there is no usable previous baseline.
+        # The fig3c and fault floors are absolute checks on the current
+        # build: they still fail the run even when there is no usable
+        # previous baseline.
         return 1 if failed else 2
     prev_meta, prev = loaded_prev
     cur_meta, cur = loaded_cur

@@ -47,6 +47,35 @@ def serve_file(offline=100.0, sat=95.0, full_wave_ms=80.0, concurrency=4,
     }
 
 
+def fault_row(lost, sps, replans=None, failures=None, lost_requests=0,
+              spikes_match=True):
+    replans = lost if replans is None else replans
+    failures = lost if failures is None else failures
+    return {
+        "clusters_lost": lost, "active_clusters": 8 - lost,
+        "modeled_sps": sps, "p99_ms": 5.0,
+        "admitted": 24, "completed": 24 - lost_requests, "timed_out": 0,
+        "errored": 0, "lost_requests": lost_requests,
+        "cluster_failures": failures, "degrade_replans": replans,
+        "spikes_match_healthy": spikes_match,
+    }
+
+
+def fault_file(healthy=10000.0, curve=None, midrun=None):
+    if curve is None:
+        curve = [fault_row(0, healthy), fault_row(1, healthy * 0.82),
+                 fault_row(2, healthy * 0.69)]
+    if midrun is None:
+        midrun = dict(fault_row(1, healthy * 0.9), kill_at_wave=3)
+    return {
+        "bench": "fault_profile",
+        "clusters": 8,
+        "healthy_modeled_sps": healthy,
+        "degradation_curve": curve,
+        "midrun_kill": midrun,
+    }
+
+
 class Base(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory()
@@ -205,6 +234,99 @@ class ServeGuards(Base):
         rc, out = self.run_script(os.path.join(self.dir.name, "nope.json"),
                                   c, "--serve", s,
                                   "--serve-saturation-floor", "0.85")
+        self.assertEqual(rc, 1, out)
+
+
+class FaultGuards(Base):
+    def both_hosts(self):
+        p = self.write("prev.json", host_file())
+        c = self.write("cur.json", host_file())
+        return p, c
+
+    def test_healthy_curve_passes(self):
+        p, c = self.both_hosts()
+        f = self.write("fault.json", fault_file())
+        rc, out = self.run_script(p, c, "--fault", f)
+        self.assertEqual(rc, 0, out)
+
+    def test_lost_request_fails(self):
+        p, c = self.both_hosts()
+        curve = [fault_row(0, 10000.0),
+                 fault_row(1, 8200.0, lost_requests=1)]
+        f = self.write("fault.json", fault_file(curve=curve))
+        rc, out = self.run_script(p, c, "--fault", f)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("admitted requests lost", out)
+
+    def test_spike_divergence_fails(self):
+        p, c = self.both_hosts()
+        curve = [fault_row(0, 10000.0),
+                 fault_row(1, 8200.0, spikes_match=False)]
+        f = self.write("fault.json", fault_file(curve=curve))
+        rc, out = self.run_script(p, c, "--fault", f)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("diverged from the healthy baseline", out)
+
+    def test_replan_oscillation_fails(self):
+        # Two re-plans for one fault means the degraded mask flapped.
+        p, c = self.both_hosts()
+        curve = [fault_row(0, 10000.0),
+                 fault_row(1, 8200.0, replans=2, failures=1)]
+        f = self.write("fault.json", fault_file(curve=curve))
+        rc, out = self.run_script(p, c, "--fault", f)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("re-plan must flip exactly once", out)
+
+    def test_proportional_floor_fails(self):
+        # 1 of 8 lost leaves 7/8 = 87.5% capacity; 0.8 * 87.5% = 70% floor.
+        p, c = self.both_hosts()
+        curve = [fault_row(0, 10000.0), fault_row(1, 6000.0)]
+        f = self.write("fault.json", fault_file(curve=curve))
+        rc, out = self.run_script(p, c, "--fault", f)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("proportional floor", out)
+
+    def test_proportional_floor_frac_is_tunable(self):
+        p, c = self.both_hosts()
+        curve = [fault_row(0, 10000.0), fault_row(1, 6000.0)]
+        f = self.write("fault.json", fault_file(curve=curve))
+        rc, out = self.run_script(p, c, "--fault", f,
+                                  "--fault-floor-frac", "0.6")
+        self.assertEqual(rc, 0, out)
+
+    def test_midrun_kill_must_record_one_failure(self):
+        p, c = self.both_hosts()
+        mid = dict(fault_row(2, 9000.0), kill_at_wave=3)
+        f = self.write("fault.json", fault_file(midrun=mid))
+        rc, out = self.run_script(p, c, "--fault", f)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("expected exactly 1 cluster failure", out)
+
+    def test_midrun_lost_request_fails(self):
+        p, c = self.both_hosts()
+        mid = dict(fault_row(1, 9000.0, lost_requests=2), kill_at_wave=3)
+        f = self.write("fault.json", fault_file(midrun=mid))
+        rc, out = self.run_script(p, c, "--fault", f)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("fault:midrun", out)
+
+    def test_corrupt_fault_file_fails(self):
+        p, c = self.both_hosts()
+        f = os.path.join(self.dir.name, "fault.json")
+        with open(f, "w") as fh:
+            fh.write("{half a json")
+        rc, out = self.run_script(p, c, "--fault", f)
+        self.assertEqual(rc, 1, out)
+
+    def test_fault_guards_fail_even_without_host_baseline(self):
+        # Absolute fault floors must fail the run even when the host compare
+        # would be a first-run skip (exit 2 path).
+        c = self.write("cur.json", host_file())
+        curve = [fault_row(0, 10000.0),
+                 fault_row(1, 8200.0, lost_requests=1)]
+        f = self.write("fault.json", fault_file(curve=curve))
+        rc, out = self.run_script(os.path.join(self.dir.name, "nope.json"),
+                                  c, "--fault", f)
         self.assertEqual(rc, 1, out)
 
 

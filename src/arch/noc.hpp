@@ -99,10 +99,20 @@ class NocModel {
     down_.fill(0.0);
     cw_.fill(0.0);
     ccw_.fill(0.0);
+    derate_.fill(1.0);
   }
 
   int clusters() const { return n_; }
   int quadrants() const { return ring_; }
+
+  /// Fault modeling: derate the bandwidth of one cluster's injection and
+  /// ejection links by `factor` >= 1 (the link serializes `bytes * factor`
+  /// worth of cycles). Ring links are switch fabric and stay at full width.
+  /// All-ones derates reproduce the healthy cycles() bit-exactly.
+  void set_link_derate(int cluster, double factor) {
+    if (cluster < 0 || cluster >= n_) return;
+    derate_[idx(cluster)] = std::max(1.0, factor);
+  }
 
   /// Point-to-point transfer src -> dst (no-op when src == dst).
   void unicast(int src, int dst, double bytes) {
@@ -180,11 +190,20 @@ class NocModel {
   int max_hops() const { return max_hops_; }
 
   /// Cycles the fabric needs for this layer's traffic: head latency of the
-  /// longest route plus serialization on the busiest link. 0 when no bytes
-  /// moved.
+  /// longest route plus serialization on the busiest link (a derated link
+  /// serializes its bytes `factor` times slower). 0 when no bytes moved.
   double cycles() const {
     if (total_ <= 0.0) return 0.0;
-    return p_.hop_latency * max_hops_ + max_link_bytes() / p_.link_bytes_per_cycle;
+    double m = 0.0;
+    for (int c = 0; c < n_; ++c) {
+      m = std::max(
+          {m, up_[idx(c)] * derate_[idx(c)], down_[idx(c)] * derate_[idx(c)]});
+    }
+    for (int q = 0; q < ring_; ++q) {
+      m = std::max({m, cw_[static_cast<std::size_t>(q)],
+                    ccw_[static_cast<std::size_t>(q)]});
+    }
+    return p_.hop_latency * max_hops_ + m / p_.link_bytes_per_cycle;
   }
 
  private:
@@ -220,6 +239,7 @@ class NocModel {
   std::array<double, kMaxClusters> down_;  ///< local switch -> cluster
   std::array<double, kMaxClusters> cw_;    ///< ring: switch q -> q+1
   std::array<double, kMaxClusters> ccw_;   ///< ring: switch q -> q-1
+  std::array<double, kMaxClusters> derate_;  ///< per-cluster link bw derate
 };
 
 }  // namespace spikestream::arch

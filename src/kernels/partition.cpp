@@ -386,7 +386,17 @@ StagePlan Partitioner::plan_pipeline(const snn::Network& net,
                                      const PipelineConfig& cfg,
                                      const arch::NocParams& noc,
                                      double density) const {
-  const int L = static_cast<int>(net.num_layers());
+  SPK_CHECK(net.num_layers() > 0, "pipeline planning needs at least one layer");
+  // Network stores its specs contiguously; plan over them directly.
+  return plan_pipeline(std::span(&net.layer(0), net.num_layers()), cfg, noc,
+                       density);
+}
+
+StagePlan Partitioner::plan_pipeline(std::span<const snn::LayerSpec> layers,
+                                     const PipelineConfig& cfg,
+                                     const arch::NocParams& noc,
+                                     double density) const {
+  const int L = static_cast<int>(layers.size());
   SPK_CHECK(L > 0, "pipeline planning needs at least one layer");
   const int C = clusters_;
   const double lanes = static_cast<double>(std::max(1, cfg.batch_lanes));
@@ -399,10 +409,10 @@ StagePlan Partitioner::plan_pipeline(const snn::Network& net,
     cost[static_cast<std::size_t>(l)].resize(static_cast<std::size_t>(C) + 1);
     for (int g = 1; g <= C; ++g) {
       cost[static_cast<std::size_t>(l)][static_cast<std::size_t>(g)] =
-          layer_cost(net.layer(static_cast<std::size_t>(l)), g, density);
+          layer_cost(layers[static_cast<std::size_t>(l)], g, density);
     }
     handoff[static_cast<std::size_t>(l)] =
-        estimate_handoff(net.layer(static_cast<std::size_t>(l)), opt_, noc,
+        estimate_handoff(layers[static_cast<std::size_t>(l)], opt_, noc,
                          density);
   }
   const double dp_total = [&] {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "arch/noc.hpp"
@@ -256,6 +257,15 @@ class Partitioner {
   /// amortized over cfg.batch_lanes in-flight samples. cfg.mode != kAuto
   /// restricts the candidates to that mode's shape.
   StagePlan plan_pipeline(const snn::Network& net, const PipelineConfig& cfg,
+                          const arch::NocParams& noc,
+                          double density = kDefaultDensity) const;
+
+  /// Same planning over a bare layer list. Degraded-mode re-planning uses
+  /// this: the sharded backend keeps the prepared specs (not the Network)
+  /// and re-balances the stage pipeline over the surviving cluster count
+  /// after a fail-stop.
+  StagePlan plan_pipeline(std::span<const snn::LayerSpec> layers,
+                          const PipelineConfig& cfg,
                           const arch::NocParams& noc,
                           double density = kDefaultDensity) const;
 

@@ -80,6 +80,9 @@ ShardedBackend::ShardedBackend(const kernels::RunOptions& opt, int clusters,
   if (threads_ && pool_ == nullptr) {
     pool_ = std::make_shared<WorkerPool>(clusters_ - 1);
   }
+  active_clusters_.store(clusters_, std::memory_order_relaxed);
+  for (auto& s : slowdown_) s.store(1.0, std::memory_order_relaxed);
+  for (auto& d : link_derate_) d.store(1.0, std::memory_order_relaxed);
 }
 
 double ShardedBackend::initial_plan_density() const {
@@ -111,10 +114,17 @@ std::shared_ptr<const kernels::LayerPlan> ShardedBackend::plan_handle(
   std::unique_lock<std::shared_mutex> lock(plan_mu_);
   const auto it = plans_.find(sig);  // re-check: another writer may have won
   if (it != plans_.end()) return it->second;
+  // Cold miss: plan at the *active* width, so a layer first seen after a
+  // fail-stop never lands shards on a failed cluster. Healthy runs take the
+  // member partitioner (no construction on the common path).
+  const int width = active_clusters_.load(std::memory_order_relaxed);
+  kernels::LayerPlan plan =
+      width == clusters_
+          ? partitioner_.plan_layer(spec, initial_plan_density())
+          : kernels::Partitioner(opt_, width, partitioner_.strategy())
+                .plan_layer(spec, initial_plan_density());
   return plans_
-      .emplace(sig, std::make_shared<const kernels::LayerPlan>(
-                        partitioner_.plan_layer(spec,
-                                                initial_plan_density())))
+      .emplace(sig, std::make_shared<const kernels::LayerPlan>(std::move(plan)))
       .first->second;
 }
 
@@ -134,6 +144,13 @@ void ShardedBackend::observe_density(const snn::LayerSpec& spec,
   // the pipeline is armed.
   if (pipeline_.enabled) return;
   if (!replan_.enabled || clusters_ <= 1 || in_elems == 0) return;
+  // Degraded mode freezes occupancy-adaptive re-planning: the member
+  // partitioner estimates (and make_axis_plan) work at the full cluster
+  // count, so an adaptive flip after a fail-stop would silently re-widen the
+  // plan onto dead clusters. Plans were re-picked at fault time with the
+  // then-current EMA; that choice stands until the fleet heals — this is
+  // also what makes the degrade re-plan flip exactly once per fault.
+  if (active_clusters_.load(std::memory_order_relaxed) != clusters_) return;
   const std::uint64_t sig = kernels::layer_signature(spec);
   AdaptiveState* st;
   {
@@ -213,7 +230,135 @@ double ShardedBackend::occupancy_ema(const snn::LayerSpec& spec) const {
   return st->ema;
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection / degraded mode
+// ---------------------------------------------------------------------------
+
+double ShardedBackend::planning_density(std::uint64_t sig) const {
+  AdaptiveState* st = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(adaptive_mu_);
+    const auto it = adaptive_.find(sig);
+    if (it != adaptive_.end()) st = &it->second;  // node-stable
+  }
+  if (st != nullptr) {
+    std::lock_guard<std::mutex> lock(st->mu);
+    if (st->ema >= 0.0) return st->ema;
+  }
+  return initial_plan_density();
+}
+
+void ShardedBackend::replan_for_width(int width) const {
+  if (prepared_specs_.empty()) return;  // nothing prepared: cold misses will
+                                        // plan at the active width anyway
+  kernels::Partitioner part(opt_, width, partitioner_.strategy());
+  if (pipeline_.enabled && stage_plan_.num_stages() > 0) {
+    // Stage mode: re-balance the whole pipeline at the surviving width, then
+    // re-pin every member layer's plan at its new group size — the same
+    // shape prepare() built, one cluster narrower. Adaptive EMAs are never
+    // seeded in stage mode, so the planning density matches prepare()'s.
+    kernels::StagePlan sp = part.plan_pipeline(
+        std::span<const snn::LayerSpec>(prepared_specs_), pipeline_, noc_,
+        initial_plan_density());
+    std::unique_lock<std::shared_mutex> lock(plan_mu_);
+    stage_plan_ = std::move(sp);
+    stage_info_.clear();
+    for (int s = 0; s < stage_plan_.num_stages(); ++s) {
+      const kernels::PipelineStage& st =
+          stage_plan_.stages[static_cast<std::size_t>(s)];
+      kernels::Partitioner group_part(opt_, st.clusters(),
+                                      partitioner_.strategy());
+      for (int l = st.layer_lo; l < st.layer_hi; ++l) {
+        const snn::LayerSpec& spec =
+            prepared_specs_[static_cast<std::size_t>(l)];
+        StageInfo info;
+        info.stage = s;
+        info.cluster_lo = st.cluster_lo;
+        info.group = st.clusters();
+        info.boundary =
+            s + 1 < stage_plan_.num_stages() && l == st.layer_hi - 1;
+        info.next_cluster_lo =
+            info.boundary
+                ? stage_plan_.stages[static_cast<std::size_t>(s + 1)].cluster_lo
+                : 0;
+        const std::uint64_t sig = kernels::layer_signature(spec);
+        stage_info_[sig] = info;
+        plans_[sig] = std::make_shared<const kernels::LayerPlan>(
+            group_part.plan_layer(spec, initial_plan_density()));
+      }
+    }
+    return;
+  }
+  for (const snn::LayerSpec& spec : prepared_specs_) {
+    const std::uint64_t sig = kernels::layer_signature(spec);
+    // Measured density where one is seeded: the degraded plan should serve
+    // the traffic the layer actually sees, not the cold-start assumption.
+    auto next = std::make_shared<const kernels::LayerPlan>(
+        part.plan_layer(spec, planning_density(sig)));
+    std::unique_lock<std::shared_mutex> lock(plan_mu_);
+    plans_[sig] = std::move(next);
+  }
+}
+
+bool ShardedBackend::fail_cluster(int cluster) const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  const int active = active_clusters_.load(std::memory_order_relaxed);
+  if (cluster < 0 || cluster >= clusters_ || active <= 1) return false;
+  if (failed_[static_cast<std::size_t>(cluster)]) return false;
+  failed_[static_cast<std::size_t>(cluster)] = true;
+  const int width = active - 1;
+  // Survivors renumber into the dense [0, width) slot range: plans encode
+  // shard counts and ranges, not physical cluster ids, so masking a cluster
+  // is exactly re-planning one narrower. COW swap — in-flight runs keep the
+  // plan they pinned; the next dispatch executes degraded.
+  replan_for_width(width);
+  active_clusters_.store(width, std::memory_order_relaxed);
+  degrade_replans_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardedBackend::set_cluster_slowdown(int cluster, double factor) const {
+  if (cluster < 0 || cluster >= arch::NocModel::kMaxClusters) return;
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  slowdown_[static_cast<std::size_t>(cluster)].store(
+      std::max(1.0, factor), std::memory_order_relaxed);
+  bool any = false;
+  for (int c = 0; c < clusters_ && c < arch::NocModel::kMaxClusters; ++c) {
+    any |= slowdown_[static_cast<std::size_t>(c)].load(
+               std::memory_order_relaxed) > 1.0;
+  }
+  any_slowdown_.store(any, std::memory_order_relaxed);
+}
+
+void ShardedBackend::set_link_degrade(int cluster, double factor) const {
+  if (cluster < 0 || cluster >= arch::NocModel::kMaxClusters) return;
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  link_derate_[static_cast<std::size_t>(cluster)].store(
+      std::max(1.0, factor), std::memory_order_relaxed);
+  double worst = 1.0;
+  bool any = false;
+  for (int c = 0; c < clusters_ && c < arch::NocModel::kMaxClusters; ++c) {
+    const double d =
+        link_derate_[static_cast<std::size_t>(c)].load(
+            std::memory_order_relaxed);
+    worst = std::max(worst, d);
+    any |= d > 1.0;
+  }
+  max_link_derate_.store(worst, std::memory_order_relaxed);
+  any_link_derate_.store(any, std::memory_order_relaxed);
+}
+
 void ShardedBackend::prepare(const snn::Network& net) const {
+  {
+    // The plan cache is signature-keyed; keep the specs themselves so a
+    // fail-stop can re-plan every prepared layer without the Network.
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    prepared_specs_.clear();
+    prepared_specs_.reserve(net.num_layers());
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      prepared_specs_.push_back(net.layer(l));
+    }
+  }
   if (pipeline_.enabled && clusters_ > 1 && net.num_layers() > 0) {
     // Choose the execution mode for this network (data-parallel vs
     // stage-parallel vs hybrid) and pin every member layer's partition plan
@@ -393,9 +538,11 @@ void ShardedBackend::for_shards(
 // activity counters, exactly like the other per-cluster activity.
 std::size_t ShardedBackend::merge_shard_stats(
     const kernels::LayerScratch& scratch, std::size_t n,
-    kernels::LayerRun& merged) const {
+    kernels::LayerRun& merged, int base) const {
   merged.out_nnz = 0;
   std::size_t slowest = 0;
+  double slowest_eff = -1.0;
+  double eff_max = 0.0;
   for (std::size_t s = 0; s < n; ++s) {
     const kernels::LayerRun& run = scratch.lanes[s].ks.run;
     merged.out_nnz += run.out_nnz;
@@ -404,10 +551,20 @@ std::size_t ShardedBackend::merge_shard_stats(
     } else {
       merged.stats.merge_parallel(run.stats);
     }
-    if (run.stats.cycles > scratch.lanes[slowest].ks.run.stats.cycles) {
+    // Straggler injection: a slowed cluster slot serves its shard `factor`
+    // times slower. Only the shard's wall-clock stretches (the itemized
+    // compute/DMA work is unchanged — the extra time is stall on the sick
+    // cluster); the layer's merged wall-clock is the max over effective
+    // shard times.
+    const double eff =
+        run.stats.cycles * shard_slowdown(base + static_cast<int>(s));
+    eff_max = std::max(eff_max, eff);
+    if (eff > slowest_eff) {
+      slowest_eff = eff;
       slowest = s;
     }
   }
+  if (eff_max > merged.stats.cycles) merged.stats.cycles = eff_max;
   merged.plan = scratch.lanes[slowest].ks.run.plan;
   return slowest;
 }
@@ -416,7 +573,8 @@ double ShardedBackend::merge_stripe_shards(const kernels::LayerPlan& plan,
                                            const snn::LayerSpec& spec,
                                            kernels::LayerScratch& scratch,
                                            snn::Tensor& membrane,
-                                           kernels::LayerRun& merged) const {
+                                           kernels::LayerRun& merged,
+                                           int base) const {
   merged.out_spikes.reshape(spec.out_h(), spec.out_w(), spec.out_c);
   double gather_bytes = 0;
   for (std::size_t s = 0; s < plan.n(); ++s) {
@@ -429,7 +587,7 @@ double ShardedBackend::merge_stripe_shards(const kernels::LayerPlan& plan,
               scratch.lanes[s].ks.run.out_nnz, r.extent(), spec.out_w()));
     }
   }
-  merge_shard_stats(scratch, plan.n(), merged);
+  merge_shard_stats(scratch, plan.n(), merged, base);
   return gather_bytes;
 }
 
@@ -437,12 +595,19 @@ void ShardedBackend::apply_noc(
     kernels::KernelStats& st, double legacy_bytes,
     common::FunctionRef<void(arch::NocModel&)> charge) const {
   if (noc_.topology == arch::NocTopology::kLegacyCeiling) {
-    // Historical accounting, bit-exact: payload totals (a broadcast counts
-    // one replica per receiver) against one shared-bandwidth ceiling. The
-    // gate raise is itemized but numerically unchanged.
+    // Historical accounting, bit-exact when healthy: payload totals (a
+    // broadcast counts one replica per receiver) against one shared-
+    // bandwidth ceiling. The gate raise is itemized but numerically
+    // unchanged. An injected link derate divides the shared ceiling by the
+    // worst factor — a shared bus has no per-link wires to degrade.
     st.noc_bytes += legacy_bytes;
     if (noc_.model_contention) {
-      const double gate = arch::noc_transfer_cycles(noc_, st.noc_bytes);
+      arch::NocParams p = noc_;
+      if (any_link_derate_.load(std::memory_order_relaxed)) {
+        p.shared_bytes_per_cycle /=
+            max_link_derate_.load(std::memory_order_relaxed);
+      }
+      const double gate = arch::noc_transfer_cycles(p, st.noc_bytes);
       if (gate > st.cycles) {
         st.noc_contention_cycles += gate - st.cycles;
         st.cycles = gate;
@@ -455,6 +620,13 @@ void ShardedBackend::apply_noc(
   // payloads are NOT multiplied by the receiver count) and the fabric gate
   // is hop latency plus the bottleneck link's serialization.
   arch::NocModel model(noc_, clusters_);
+  if (any_link_derate_.load(std::memory_order_relaxed)) {
+    for (int c = 0; c < clusters_ && c < arch::NocModel::kMaxClusters; ++c) {
+      model.set_link_derate(
+          c, link_derate_[static_cast<std::size_t>(c)].load(
+                 std::memory_order_relaxed));
+    }
+  }
   charge(model);
   st.noc_bytes += model.total_link_bytes();
   if (noc_.model_contention) {
@@ -531,7 +703,8 @@ const kernels::LayerRun& ShardedBackend::run_channel_sharded(
                      plan.shards[s].lo);
     unslice_channels(membrane, scratch.lanes[s].membrane, plan.shards[s].lo);
   }
-  merge_shard_stats(scratch, n, merged);
+  const int base = cluster_base(spec);
+  merge_shard_stats(scratch, n, merged, base);
 
   // The input is broadcast: every cluster beyond the owner receives a full
   // replica; the owner gathers the other clusters' ofmap slices. The legacy
@@ -542,7 +715,6 @@ const kernels::LayerRun& ShardedBackend::run_channel_sharded(
     noc += static_cast<double>(compress::CsrIfmap::footprint_from_count(
         scratch.lanes[s].ks.run.out_nnz, spec.out_h(), spec.out_w()));
   }
-  const int base = cluster_base(spec);
   apply_noc(merged.stats, noc, [&](arch::NocModel& m) {
     m.multicast(base, base, base + static_cast<int>(n), input_bytes);
     for (std::size_t s = 1; s < n; ++s) {
@@ -583,10 +755,10 @@ const kernels::LayerRun& ShardedBackend::run_stripe_conv(
     halo_bytes += static_cast<double>(scratch.lanes[s].csr.footprint_bytes());
   }
   kernels::LayerRun& merged = scratch.main.run;
-  const double gather_bytes =
-      merge_stripe_shards(plan, spec, scratch, membrane, merged);
-  const double halo = std::max(0.0, halo_bytes);
   const int base = cluster_base(spec);
+  const double gather_bytes =
+      merge_stripe_shards(plan, spec, scratch, membrane, merged, base);
+  const double halo = std::max(0.0, halo_bytes);
   apply_noc(merged.stats, halo + gather_bytes, [&](arch::NocModel& m) {
     // Halos flow between adjacent stripes: split the overlap traffic evenly
     // over the n - 1 neighbor pairs. Ofmap slices gather to the owner.
@@ -626,9 +798,9 @@ const kernels::LayerRun& ShardedBackend::run_stripe_encode(
   const double halo_rows =
       static_cast<double>(n - 1) * static_cast<double>(spec.k - 1);
   kernels::LayerRun& merged = scratch.main.run;
-  const double gather_bytes =
-      merge_stripe_shards(plan, spec, scratch, membrane, merged);
   const int base = cluster_base(spec);
+  const double gather_bytes =
+      merge_stripe_shards(plan, spec, scratch, membrane, merged, base);
   apply_noc(merged.stats, halo_rows * px_bytes + gather_bytes,
             [&](arch::NocModel& m) {
               // (k - 1) image rows duplicated per neighbor pair, plus the
@@ -671,7 +843,8 @@ const kernels::LayerRun& ShardedBackend::run_fc_fanin(
 
   kernels::LayerRun& merged = scratch.main.run;
   const std::size_t out_nnz = merged.out_nnz;  // from the functional pass
-  merge_shard_stats(scratch, n, merged);
+  const int base = cluster_base(spec);
+  merge_shard_stats(scratch, n, merged, base);
   merged.out_nnz = out_nnz;
 
   // Sequential tail: partial vectors cross the NoC to the merging cluster,
@@ -684,7 +857,6 @@ const kernels::LayerRun& ShardedBackend::run_fc_fanin(
   merged.stats.fpu_ops += tail.fpu_ops;
   merged.stats.int_instrs += tail.int_instrs;
   merged.stats.tcdm_words += tail.tcdm_words;
-  const int base = cluster_base(spec);
   apply_noc(merged.stats, tail.noc_bytes, [&](arch::NocModel& m) {
     // Partial-sum vectors converge on the merging cluster, one per peer.
     const double per_peer = tail.noc_bytes / static_cast<double>(n - 1);

@@ -25,6 +25,8 @@
 // activity-conservation contract the parity tests pin down.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -125,6 +127,41 @@ class ShardedBackend : public ExecutionBackend {
   /// channels (SIMD-group aligned). Exposed for tests.
   std::vector<std::pair<int, int>> slices(int out_c) const;
 
+  // --- fault injection / degraded mode (runtime/faults.hpp) -----------------
+  // All const (the backend is shared const on the hot path) and thread-safe:
+  // structural faults mutate the same copy-on-write plan cache the adaptive
+  // re-planner uses, so in-flight waves keep their pinned plans and the next
+  // dispatch picks up the degraded ones. Cluster ids below are *active slot*
+  // ids: after a fail-stop the survivors are renumbered into the dense
+  // [0, active_clusters()) range the re-planned shards execute on.
+
+  /// Fail-stop: mask `cluster` out of the active set and re-pick every
+  /// prepared layer's plan over the survivors (stage pipelines re-balance at
+  /// the reduced width). Exactly one re-plan pass per accepted fault — see
+  /// degrade_replans(). Returns false (and changes nothing) when the cluster
+  /// is out of range, already failed, or the last survivor. Completed spikes
+  /// are bit-identical across any plan, so only modeled timing degrades.
+  bool fail_cluster(int cluster) const;
+  /// Straggler: multiply the shard service time of one active cluster slot
+  /// by `factor` >= 1 (1 restores full speed).
+  void set_cluster_slowdown(int cluster, double factor) const;
+  /// Derate one active cluster slot's NoC injection/ejection bandwidth by
+  /// `factor` >= 1. Under the legacy shared-ceiling topology the whole
+  /// fabric runs at the worst derate (a shared bus has no per-link wires).
+  void set_link_degrade(int cluster, double factor) const;
+
+  /// Clusters still in the active set (== num_clusters() when healthy).
+  int active_clusters() const {
+    return active_clusters_.load(std::memory_order_relaxed);
+  }
+  int failed_clusters() const { return clusters_ - active_clusters(); }
+  /// Degraded-mode re-plan passes completed — exactly one per accepted
+  /// fail_cluster(), never more (the no-oscillation guarantee: occupancy-
+  /// adaptive re-planning freezes while degraded).
+  int degrade_replans() const {
+    return degrade_replans_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One entry per (weight tensor, channel range): the strided copy of the
   /// weight slice a cluster owns. Cached because weights are immutable for
@@ -145,10 +182,13 @@ class ShardedBackend : public ExecutionBackend {
                   common::FunctionRef<void(std::size_t)> fn) const;
 
   /// Merge per-shard stats into `merged` (wall-clock max / activity sum),
-  /// keep the slowest shard's DMA plan, and sum out_nnz. Returns the index
-  /// of the slowest shard.
+  /// keep the slowest shard's DMA plan, and sum out_nnz. `base` is the first
+  /// cluster slot the shards run on: a slot with an injected slowdown has
+  /// its shard's wall-clock scaled by the straggler factor before the max.
+  /// Returns the index of the slowest shard.
   std::size_t merge_shard_stats(const kernels::LayerScratch& scratch,
-                                std::size_t n, kernels::LayerRun& merged) const;
+                                std::size_t n, kernels::LayerRun& merged,
+                                int base) const;
 
   /// Shared row-stripe merge (conv + encode): scatter spike/membrane row
   /// bands back, merge stats, return the ofmap gather traffic of shards
@@ -156,8 +196,8 @@ class ShardedBackend : public ExecutionBackend {
   double merge_stripe_shards(const kernels::LayerPlan& plan,
                              const snn::LayerSpec& spec,
                              kernels::LayerScratch& scratch,
-                             snn::Tensor& membrane,
-                             kernels::LayerRun& merged) const;
+                             snn::Tensor& membrane, kernels::LayerRun& merged,
+                             int base) const;
 
   /// Record inter-cluster traffic and, with contention modeling on, let the
   /// fabric gate the layer's wall-clock (the raise is itemized in
@@ -243,6 +283,25 @@ class ShardedBackend : public ExecutionBackend {
 
   double initial_plan_density() const;
 
+  // --- degraded-mode internals ----------------------------------------------
+
+  /// Re-pick every prepared layer's plan over `width` clusters (COW swap
+  /// under plan_mu_; stage mode re-balances the pipeline first). Plans use
+  /// the layer's measured density EMA when one is seeded, the initial
+  /// planning density otherwise. Caller holds fault_mu_.
+  void replan_for_width(int width) const;
+  /// The layer's measured density EMA when seeded, initial_plan_density()
+  /// otherwise — what degraded re-planning plans at.
+  double planning_density(std::uint64_t sig) const;
+  /// Straggler factor of one active cluster slot (1.0 = healthy). One
+  /// relaxed flag load on the healthy hot path.
+  double shard_slowdown(int cluster) const {
+    if (!any_slowdown_.load(std::memory_order_relaxed)) return 1.0;
+    if (cluster < 0 || cluster >= arch::NocModel::kMaxClusters) return 1.0;
+    return slowdown_[static_cast<std::size_t>(cluster)].load(
+        std::memory_order_relaxed);
+  }
+
   /// Per-layer stage assignment, filled by prepare() in stage mode. Keyed by
   /// layer signature like the plan cache; read-only after prepare.
   struct StageInfo {
@@ -287,6 +346,26 @@ class ShardedBackend : public ExecutionBackend {
   /// per-layer updates serialize on the entry's own mutex.
   mutable std::mutex adaptive_mu_;
   mutable std::map<std::uint64_t, AdaptiveState> adaptive_;
+
+  // --- fault state (runtime/faults.hpp) -------------------------------------
+  /// Serializes structural fault application (fail_cluster and friends are
+  /// rare control-plane calls; the data plane reads only the atomics below).
+  /// Lock order: fault_mu_ -> adaptive_mu_ -> AdaptiveState::mu -> plan_mu_.
+  mutable std::mutex fault_mu_;
+  /// The specs prepare() planned, in layer order — the plan cache only keeps
+  /// signatures, so degraded re-planning needs them to rebuild every plan.
+  mutable std::vector<snn::LayerSpec> prepared_specs_;
+  mutable std::array<bool, arch::NocModel::kMaxClusters> failed_{};
+  mutable std::atomic<int> active_clusters_{1};
+  mutable std::atomic<int> degrade_replans_{0};
+  mutable std::atomic<bool> any_slowdown_{false};
+  mutable std::atomic<bool> any_link_derate_{false};
+  mutable std::array<std::atomic<double>, arch::NocModel::kMaxClusters>
+      slowdown_;
+  mutable std::array<std::atomic<double>, arch::NocModel::kMaxClusters>
+      link_derate_;
+  /// Worst link derate across clusters (legacy shared-ceiling divisor).
+  mutable std::atomic<double> max_link_derate_{1.0};
 };
 
 }  // namespace spikestream::runtime

@@ -1,0 +1,114 @@
+#include "runtime/faults.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace spikestream::runtime {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kClusterFailStop: return "cluster-fail-stop";
+    case FaultKind::kClusterSlowdown: return "cluster-slowdown";
+    case FaultKind::kLinkDegrade: return "link-degrade";
+    case FaultKind::kTransientWaveError: return "transient-wave-error";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(const FaultEvent& e) {
+  // Insert before the first strictly-later event: the list stays sorted by
+  // wave and stable for equal waves, whatever order the builder ran in.
+  const auto it = std::upper_bound(
+      events_.begin(), events_.end(), e,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.wave < b.wave; });
+  events_.insert(it, e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_cluster(int cluster, std::uint64_t wave) {
+  FaultEvent e;
+  e.kind = FaultKind::kClusterFailStop;
+  e.wave = wave;
+  e.cluster = cluster;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::slow_cluster(int cluster, double factor,
+                                   std::uint64_t wave) {
+  SPK_CHECK(factor >= 1.0, "slowdown factor must be >= 1, got " << factor);
+  FaultEvent e;
+  e.kind = FaultKind::kClusterSlowdown;
+  e.wave = wave;
+  e.cluster = cluster;
+  e.factor = factor;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::degrade_link(int cluster, double factor,
+                                   std::uint64_t wave) {
+  SPK_CHECK(factor >= 1.0, "link derate must be >= 1, got " << factor);
+  FaultEvent e;
+  e.kind = FaultKind::kLinkDegrade;
+  e.wave = wave;
+  e.cluster = cluster;
+  e.factor = factor;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::transient_error(std::uint64_t wave, int failures) {
+  SPK_CHECK(failures >= 1, "a transient event needs >= 1 failure");
+  FaultEvent e;
+  e.kind = FaultKind::kTransientWaveError;
+  e.wave = wave;
+  e.failures = failures;
+  return add(e);
+}
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed, std::uint64_t waves,
+                           int clusters, int events) {
+  SPK_CHECK(waves > 0 && clusters >= 1, "chaos needs waves > 0, clusters >= 1");
+  common::Rng rng(seed);
+  FaultPlan plan;
+  int kills = 0;
+  for (int i = 0; i < events; ++i) {
+    const std::uint64_t wave = rng.next_u64() % waves;
+    const int cluster = static_cast<int>(rng.next_u64() %
+                                         static_cast<std::uint64_t>(clusters));
+    // 1 + [1, 3): derates in [2, 4) keep the degradation visible without
+    // drowning the run.
+    const double factor = 2.0 + 2.0 * rng.uniform();
+    switch (rng.next_u64() % 4) {
+      case 0:
+        if (kills < clusters - 1) {
+          plan.kill_cluster(cluster, wave);
+          ++kills;
+          break;
+        }
+        [[fallthrough]];  // fleet would lose its last cluster: slow instead
+      case 1:
+        plan.slow_cluster(cluster, factor, wave);
+        break;
+      case 2:
+        plan.degrade_link(cluster, factor, wave);
+        break;
+      default:
+        plan.transient_error(wave, 1 + static_cast<int>(rng.next_u64() % 2));
+        break;
+    }
+  }
+  return plan;
+}
+
+int FaultPlan::transient_failures_at(std::uint64_t wave) const {
+  int n = 0;
+  for (const FaultEvent& e : events_) {
+    if (e.wave > wave) break;
+    if (e.wave == wave && e.kind == FaultKind::kTransientWaveError) {
+      n += e.failures;
+    }
+  }
+  return n;
+}
+
+}  // namespace spikestream::runtime

@@ -1,0 +1,99 @@
+// Deterministic fault injection for the serving stack. A FaultPlan is a
+// schedule of fault events keyed by *wave index* — the dispatcher's dense
+// per-fired-wave counter — never by wall-clock time, so a given plan replays
+// identically on any host at any speed (the same reproducibility contract
+// the seeded input generators honor).
+//
+// Four fault kinds, mirroring the failure domains of a multi-cluster part:
+//
+//  * kClusterFailStop   — a cluster drops out of the active set for good.
+//    The sharded backend re-picks every prepared layer's plan over the
+//    survivors (copy-on-write, the PR-5 replan machinery), so modeled cycles
+//    reflect the lost capacity while spikes stay bit-identical.
+//  * kClusterSlowdown   — a straggler: one cluster's shard service time is
+//    multiplied by `factor` (thermal throttling, a flaky DRAM channel).
+//  * kLinkDegrade       — one cluster's NoC injection/ejection links run at
+//    1/factor bandwidth (a marginal SerDes lane dropping down-training).
+//  * kTransientWaveError — the first `failures` execution attempts of one
+//    wave throw TransientFault mid-wave (an ECC burst, a watchdog trip).
+//    The server contains the throw, resets the wave's lanes and retries
+//    with bounded backoff; the engine is deterministic, so a retried wave
+//    completes bit-identical to an unfaulted one.
+//
+// The plan is pure data: the InferenceServer applies structural events to
+// its ShardedBackend at wave boundaries and injects transient throws inside
+// the wave body. Tests and benches can also drive the backend's fault
+// surface (fail_cluster / set_cluster_slowdown / set_link_degrade) directly.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace spikestream::runtime {
+
+/// A retryable wave-scope failure. The server's containment distinguishes it
+/// from spikestream::Error: TransientFault retries (bounded, with backoff),
+/// anything else fails the wave's requests immediately.
+class TransientFault : public Error {
+ public:
+  explicit TransientFault(const std::string& what) : Error(what) {}
+};
+
+enum class FaultKind {
+  kClusterFailStop,
+  kClusterSlowdown,
+  kLinkDegrade,
+  kTransientWaveError,
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kTransientWaveError;
+  /// Wave index at which the event fires. Structural events (fail-stop /
+  /// slowdown / link derate) apply once, before the wave executes; a
+  /// transient event makes that wave's leading attempts throw.
+  std::uint64_t wave = 0;
+  int cluster = -1;     ///< target cluster (structural kinds)
+  double factor = 1.0;  ///< slowdown multiple / link bandwidth derate (>= 1)
+  int failures = 1;     ///< transient: attempts of the wave that throw
+};
+
+/// Sorted deterministic fault schedule. Builders keep the event list ordered
+/// by wave (stable for equal waves), so the server consumes it with a single
+/// monotonic cursor.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(const FaultEvent& e);
+  FaultPlan& kill_cluster(int cluster, std::uint64_t wave);
+  FaultPlan& slow_cluster(int cluster, double factor, std::uint64_t wave);
+  FaultPlan& degrade_link(int cluster, double factor, std::uint64_t wave);
+  FaultPlan& transient_error(std::uint64_t wave, int failures = 1);
+
+  /// Seeded random schedule of `events` faults over waves [0, waves) against
+  /// `clusters` clusters — chaos-monkey mode for soak tests. Deterministic:
+  /// the same arguments always produce the same plan. At most clusters - 1
+  /// fail-stops are drawn so the fleet never loses its last cluster.
+  static FaultPlan chaos(std::uint64_t seed, std::uint64_t waves, int clusters,
+                         int events);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  /// All events, sorted by wave.
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Total attempts of `wave` that must throw (sum over transient events
+  /// scheduled at exactly this wave).
+  int transient_failures_at(std::uint64_t wave) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace spikestream::runtime

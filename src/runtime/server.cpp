@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <thread>
 
+#include "runtime/backend_sharded.hpp"
 #include "runtime/worker_pool.hpp"
 
 namespace spikestream::runtime {
@@ -35,6 +37,7 @@ InferenceServer::InferenceServer(const snn::Network& net,
     : engine_(net, opt, backend, energy),
       cfg_(server),
       queue_(server.queue_capacity) {
+  sharded_ = dynamic_cast<const ShardedBackend*>(&engine_.backend());
   max_lanes_ = cfg_.max_wave_lanes > 0
                    ? cfg_.max_wave_lanes
                    : std::max(1, engine_.options().segment_major_lanes);
@@ -155,6 +158,17 @@ void InferenceServer::dispatcher_loop() {
     for (;;) {
       ServeRequest* req = nullptr;
       while (wn < want && queue_.try_pop(req)) {
+        // TTL shedding at pop time: a request whose deadline already passed
+        // is published kTimedOut instead of occupying a lane — serving it
+        // late would only delay the still-viable requests behind it.
+        const std::uint64_t ttl = ttl_ns(*req);
+        if (ttl != 0) {
+          const std::uint64_t now = now_ns();
+          if (now >= req->enqueue_ns + ttl) {
+            shed_expired(req, now);
+            continue;
+          }
+        }
         wave_[wn++] = req;
         if (wn == 1) {
           deadline_ns = req->enqueue_ns +
@@ -185,56 +199,181 @@ void InferenceServer::dispatcher_loop() {
   }
 }
 
+std::uint64_t InferenceServer::ttl_ns(const ServeRequest& req) const {
+  std::int64_t us = req.ttl_us;
+  if (us == 0) us = cfg_.default_ttl_us;
+  if (us <= 0) return 0;  // negative per-request TTL opts out of the default
+  return static_cast<std::uint64_t>(us) * 1000;
+}
+
+void InferenceServer::shed_expired(ServeRequest* req, std::uint64_t now) {
+  req->dispatch_ns = now;
+  req->complete_ns = now;
+  req->state.store(ServeRequest::kTimedOut, std::memory_order_release);
+  req->state.notify_all();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.timed_out;
+}
+
+int InferenceServer::apply_fault_events() {
+  const auto& events = cfg_.faults.events();
+  int transient_failures = 0;
+  while (next_fault_ < events.size() &&
+         events[next_fault_].wave <= wave_index_) {
+    const FaultEvent& e = events[next_fault_++];
+    switch (e.kind) {
+      case FaultKind::kClusterFailStop:
+        // fail_cluster() is the arbiter: it refuses duplicates, bad ids and
+        // killing the last survivor, and re-plans exactly once on accept.
+        if (sharded_ != nullptr && sharded_->fail_cluster(e.cluster)) {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.cluster_failures;
+          ++stats_.faults_applied;
+        }
+        break;
+      case FaultKind::kClusterSlowdown:
+        if (sharded_ != nullptr) {
+          sharded_->set_cluster_slowdown(e.cluster, e.factor);
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.faults_applied;
+        }
+        break;
+      case FaultKind::kLinkDegrade:
+        if (sharded_ != nullptr) {
+          sharded_->set_link_degrade(e.cluster, e.factor);
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.faults_applied;
+        }
+        break;
+      case FaultKind::kTransientWaveError:
+        transient_failures += std::max(1, e.failures);
+        break;
+    }
+  }
+  return transient_failures;
+}
+
 void InferenceServer::execute_wave(std::size_t wn, int target,
                                    int fire_reason) {
+  // Second TTL gate: requests admitted in time can still expire while the
+  // wave buffer waits for its deadline. Shed them now and compact — a wave
+  // shed to empty never executes (and does not advance wave_index_).
+  {
+    const std::uint64_t now = now_ns();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < wn; ++i) {
+      ServeRequest* req = wave_[i];
+      const std::uint64_t ttl = ttl_ns(*req);
+      if (ttl != 0 && now >= req->enqueue_ns + ttl) {
+        shed_expired(req, now);
+      } else {
+        wave_[kept++] = req;
+      }
+    }
+    wn = kept;
+    if (wn == 0) return;
+  }
+
+  const int transient_failures = apply_fault_events();
+
   const std::size_t layers = engine_.network().num_layers();
   const int timesteps = std::max(1, cfg_.timesteps);
   const std::uint64_t t_dispatch = now_ns();
   const std::size_t backlog = queue_.size_approx();
 
-  for (std::size_t i = 0; i < wn; ++i) {
-    ServeRequest* req = wave_[i];
-    req->dispatch_ns = t_dispatch;
-    states_[i].clear();
-    // Reset the per-request accumulator without surrendering capacity: a
-    // recycled slot stays allocation-free.
-    req->result.timesteps = timesteps;
-    req->result.spike_counts.clear();
-    req->result.cycles_per_step.clear();
-    req->result.total_cycles = 0;
-    req->result.total_energy_mj = 0;
-  }
+  for (std::size_t i = 0; i < wn; ++i) wave_[i]->dispatch_ns = t_dispatch;
 
   // The offline lockstep path, verbatim: all lanes advance through the same
   // layer together, segmented FC layers stream each weight band once per
   // wave (InferenceEngine::run_layer_batch), non-FC layers fan the lanes out
-  // on the pool.
+  // on the pool. Every attempt starts from a clean lane state and an empty
+  // accumulator (reset without surrendering capacity, so a recycled slot
+  // stays allocation-free), so a retried wave re-runs from timestep 0 and —
+  // the engine being deterministic — lands bit-identical to a clean run.
   WorkerPool* pool = pool_.get();
-  for (int t = 0; t < timesteps; ++t) {
+  const auto run_attempt = [&](int attempt) {
     for (std::size_t i = 0; i < wn; ++i) {
-      engine_.begin_sample(steps_[i]);
-      lanes_[i] = {wave_[i]->image, nullptr, &states_[i], &steps_[i]};
+      states_[i].clear();
+      ServeRequest* req = wave_[i];
+      req->result.timesteps = timesteps;
+      req->result.spike_counts.clear();
+      req->result.cycles_per_step.clear();
+      req->result.total_cycles = 0;
+      req->result.total_energy_mj = 0;
     }
-    for (std::size_t l = 0; l < layers; ++l) {
-      engine_.run_layer_batch(l, std::span(lanes_.data(), wn), pool);
+    for (int t = 0; t < timesteps; ++t) {
+      for (std::size_t i = 0; i < wn; ++i) {
+        engine_.begin_sample(steps_[i]);
+        lanes_[i] = {wave_[i]->image, nullptr, &states_[i], &steps_[i]};
+      }
+      for (std::size_t l = 0; l < layers; ++l) {
+        engine_.run_layer_batch(l, std::span(lanes_.data(), wn), pool);
+        // Injected transients fire mid-wave (after the first layer already
+        // dirtied lane state) so a retry genuinely exercises the reset path.
+        if (t == 0 && l == 0 && attempt < transient_failures) {
+          throw TransientFault("injected transient wave fault");
+        }
+      }
+      for (std::size_t i = 0; i < wn; ++i) {
+        wave_[i]->result.accumulate_step(steps_[i]);
+      }
     }
-    for (std::size_t i = 0; i < wn; ++i) {
-      wave_[i]->result.accumulate_step(steps_[i]);
+  };
+
+  // Exception containment: a throwing wave fails only this wave's requests.
+  // TransientFault earns bounded retry-with-backoff; anything else fails the
+  // wave immediately. The dispatcher survives either way.
+  bool wave_ok = false;
+  int attempt = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t transients = 0;
+  for (;;) {
+    try {
+      run_attempt(attempt);
+      wave_ok = true;
+      break;
+    } catch (const TransientFault&) {
+      ++transients;
+      if (attempt >= cfg_.max_wave_retries) break;
+      ++attempt;
+      ++retries;
+      if (cfg_.retry_backoff_us > 0 &&
+          !stop_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(cfg_.retry_backoff_us * attempt));
+      }
+    } catch (const std::exception&) {
+      break;
     }
   }
+  ++wave_index_;
 
   // Publish completions before the bookkeeping below so a waiting client's
-  // wakeup is never queued behind the stats lock. The moment kDone lands the
-  // caller may recycle or destroy the request, so everything the stats block
-  // needs is snapshotted here — wave_[i] must not be dereferenced after its
-  // store.
+  // wakeup is never queued behind the stats lock. The moment a terminal
+  // state lands the caller may recycle or destroy the request, so everything
+  // the stats block needs is snapshotted here — wave_[i] must not be
+  // dereferenced after its store.
   const std::uint64_t t_done = now_ns();
+  const int final_state =
+      wave_ok ? ServeRequest::kDone : ServeRequest::kError;
   for (std::size_t i = 0; i < wn; ++i) {
     ServeRequest* req = wave_[i];
     enqueue_snap_[i] = req->enqueue_ns;
     req->complete_ns = t_done;
-    req->state.store(ServeRequest::kDone, std::memory_order_release);
+    req->state.store(final_state, std::memory_order_release);
     req->state.notify_all();
+  }
+
+  if (!wave_ok) {
+    // A failed wave is not SLO evidence: skip the controller and the latency
+    // histograms so fault noise never reshapes healthy waves or the p99.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.waves;
+    ++stats_.wave_errors;
+    stats_.errored += wn;
+    stats_.wave_retries += retries;
+    stats_.transient_faults += transients;
+    return;
   }
 
   const int flip = update_controller(wn, target, fire_reason, backlog);
@@ -248,6 +387,8 @@ void InferenceServer::execute_wave(std::size_t wn, int target,
     if (flip > 0) ++stats_.wave_grows;
     if (flip < 0) ++stats_.wave_shrinks;
     stats_.completed += wn;
+    stats_.wave_retries += retries;
+    stats_.transient_faults += transients;
     stats_.wave_lanes.add(static_cast<double>(wn));
     stats_.wave_occupancy.add(static_cast<double>(wn) /
                               static_cast<double>(max_lanes_));
@@ -309,6 +450,10 @@ ServerStats InferenceServer::stats() const {
   out.admitted = admitted_.load(std::memory_order_relaxed);
   out.rejected = rejected_.load(std::memory_order_relaxed);
   out.target_lanes = target_lanes_.load(std::memory_order_relaxed);
+  if (sharded_ != nullptr) {
+    out.degrade_replans = sharded_->degrade_replans();
+    out.active_clusters = sharded_->active_clusters();
+  }
   return out;
 }
 

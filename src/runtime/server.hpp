@@ -49,9 +49,25 @@
 // slot; queue depth, wave occupancy, rejects, p50/p95/p99 latency in
 // ServerStats' allocation-free LogHistograms) is what bench/serve_profile.cpp
 // sweeps into BENCH_serve.json and CI guards with --p99-threshold.
+//
+// Hardened serving path (see ARCHITECTURE.md "Fault domains"): every admitted
+// request reaches exactly one terminal state — kDone, kTimedOut (its TTL
+// expired in the queue or wave buffer and it was shed before execution),
+// kError (its wave threw and retries were exhausted) — so
+// admitted == completed + timed_out + errored once the server drains. A
+// throwing wave is contained to that wave's requests: the dispatcher catches,
+// retries transient faults with bounded backoff (each attempt resets lane
+// state and re-runs from timestep 0, so a successful retry is bit-identical
+// to a clean run), and keeps serving subsequent waves either way. Structural
+// faults from ServerConfig::faults (cluster fail-stop / slowdown / link
+// degrade, keyed by wave index — never wall-clock) are applied to the sharded
+// backend between waves, which re-plans over the survivors exactly once per
+// fault (bench/fault_profile.cpp drives this and CI guards the degradation
+// curve in BENCH_fault.json).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -62,11 +78,13 @@
 
 #include "common/stats.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/multistep.hpp"
 
 namespace spikestream::runtime {
 
 class WorkerPool;
+class ShardedBackend;
 
 /// Bounded lock-free multi-producer single-consumer ring (Vyukov
 /// sequence-numbered cells). Fixed capacity (rounded up to a power of two),
@@ -150,10 +168,21 @@ class BoundedMpscQueue {
 /// vectors keep their capacity, so steady-state resubmission is
 /// allocation-free). Not movable once submitted.
 struct ServeRequest {
-  enum State : int { kIdle = 0, kQueued = 1, kDone = 2, kRejected = 3 };
+  enum State : int {
+    kIdle = 0,
+    kQueued = 1,
+    kDone = 2,
+    kRejected = 3,  ///< ring full or server stopped (never owned)
+    kTimedOut = 4,  ///< TTL expired before execution; shed, result untouched
+    kError = 5,     ///< wave threw and retries were exhausted
+  };
 
   const snn::Tensor* image = nullptr;  ///< input; caller keeps it alive
   MultiStepResult result;              ///< filled before kDone is published
+  /// Per-request deadline: shed with kTimedOut if still unexecuted this many
+  /// microseconds after enqueue. 0 = inherit ServerConfig::default_ttl_us;
+  /// negative = no deadline even when the server has a default.
+  std::int64_t ttl_us = 0;
 
   // Telemetry (steady_clock ns), written by the server.
   std::uint64_t enqueue_ns = 0;
@@ -163,7 +192,7 @@ struct ServeRequest {
   std::atomic<int> state{kIdle};
 
   /// Block until the server published a terminal state; returns true when
-  /// the request completed (false = rejected at admission).
+  /// the request completed (false = rejected / timed out / errored).
   bool wait() {
     int s = state.load(std::memory_order_acquire);
     while (s == kQueued) {
@@ -171,6 +200,25 @@ struct ServeRequest {
       s = state.load(std::memory_order_acquire);
     }
     return s == kDone;
+  }
+
+  /// Bounded wait: returns the observed state after at most ~timeout_us.
+  /// Any value other than kQueued is terminal and the slot is the caller's
+  /// again; kQueued means the server still owns the slot — keep it alive and
+  /// call wait()/wait_for() again. (std::atomic has no timed wait, so this
+  /// polls at a 50 us granularity; it is a convenience for callers with
+  /// their own deadline, not the hot completion path.)
+  int wait_for(std::int64_t timeout_us) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(std::max<std::int64_t>(
+                              0, timeout_us));
+    int s = state.load(std::memory_order_acquire);
+    while (s == kQueued) {
+      if (std::chrono::steady_clock::now() >= deadline) return s;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      s = state.load(std::memory_order_acquire);
+    }
+    return s;
   }
 
   double queue_us() const {
@@ -197,6 +245,23 @@ struct ServerConfig {
   int controller_streak = 3;
   /// Deadline-fired waves at or below this fraction of the target shrink it.
   double shrink_occupancy = 0.5;
+  /// Default per-request TTL (microseconds): a request still unexecuted this
+  /// long after enqueue is shed with kTimedOut instead of served late.
+  /// 0 = no deadline; ServeRequest::ttl_us overrides per request.
+  std::int64_t default_ttl_us = 0;
+  /// Transient-fault containment: a wave that throws TransientFault is
+  /// retried from a clean lane state up to this many times before its
+  /// requests fail with kError. Any other exception fails the wave
+  /// immediately (still contained: the dispatcher keeps serving).
+  int max_wave_retries = 2;
+  /// Linear backoff between retry attempts (attempt k sleeps k * this);
+  /// skipped while stopping so drain never dawdles.
+  std::int64_t retry_backoff_us = 100;
+  /// Deterministic fault schedule, keyed by wave index (never wall-clock).
+  /// Structural events (fail-stop / slowdown / link degrade) are applied to
+  /// the sharded backend before the first wave whose index reaches them;
+  /// transient events make that wave's first execution attempts throw.
+  FaultPlan faults;
 };
 
 /// Aggregate telemetry snapshot. Histograms record microseconds.
@@ -204,6 +269,8 @@ struct ServerStats {
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;  ///< ring full or server stopped
   std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;  ///< shed by TTL before execution
+  std::uint64_t errored = 0;    ///< wave threw, retries exhausted
   std::uint64_t waves = 0;
   std::uint64_t full_waves = 0;      ///< fired because the target filled
   std::uint64_t deadline_waves = 0;  ///< fired by max_queue_delay_us
@@ -211,6 +278,15 @@ struct ServerStats {
   int wave_grows = 0;
   int wave_shrinks = 0;
   int target_lanes = 0;  ///< controller target at snapshot time
+  // Fault-domain telemetry (bench/fault_profile.cpp and the CI --fault guard
+  // reconcile these against the FaultPlan that was injected).
+  std::uint64_t wave_retries = 0;      ///< retry attempts after TransientFault
+  std::uint64_t wave_errors = 0;       ///< waves that ended in kError
+  std::uint64_t transient_faults = 0;  ///< TransientFault throws observed
+  std::uint64_t cluster_failures = 0;  ///< fail-stop events accepted
+  std::uint64_t faults_applied = 0;    ///< structural events applied in total
+  int degrade_replans = 0;   ///< backend re-plan passes (one per fail-stop)
+  int active_clusters = 0;   ///< surviving clusters at snapshot time
   common::LogHistogram latency_us;  ///< enqueue -> complete
   common::LogHistogram queue_us;    ///< enqueue -> dispatch
   common::RunningStats wave_lanes;       ///< occupied lanes per wave
@@ -255,6 +331,14 @@ class InferenceServer {
   /// the deadline passes. Never spins: sleeps on wake_cv_.
   void wait_for_work(bool has_deadline, std::uint64_t deadline_ns);
   void execute_wave(std::size_t wn, int target, int fire_reason);
+  /// Effective TTL in ns (0 = none): per-request override, else the config
+  /// default, else unbounded.
+  std::uint64_t ttl_ns(const ServeRequest& req) const;
+  /// Publish kTimedOut on an expired request (dispatcher thread only).
+  void shed_expired(ServeRequest* req, std::uint64_t now);
+  /// Apply every structural fault event whose wave index has arrived;
+  /// returns how many transient failures the coming wave must survive.
+  int apply_fault_events();
   /// Hysteresis-gated wave-size update; see the header comment. Returns
   /// +1 / -1 / 0 for grow / shrink / hold (stats are recorded by the caller).
   int update_controller(std::size_t wn, int target, int fire_reason,
@@ -265,6 +349,9 @@ class InferenceServer {
   int max_lanes_ = 1;
   std::int64_t delay_ns_ = 0;
   std::shared_ptr<WorkerPool> pool_;
+  /// Non-null when the backend is sharded: the target for structural fault
+  /// injection and the source of degraded-mode telemetry.
+  const ShardedBackend* sharded_ = nullptr;
 
   BoundedMpscQueue<ServeRequest*> queue_;
   std::atomic<bool> closed_{false};  ///< admission closed (stop() phase 1)
@@ -289,6 +376,13 @@ class InferenceServer {
   // Controller streaks (dispatcher-owned).
   int grow_streak_ = 0;
   int shrink_streak_ = 0;
+
+  // Fault-plan replay state (dispatcher-owned): wave_index_ counts executed
+  // waves (shed-to-empty waves do not count) and next_fault_ is the cursor
+  // into the plan's wave-sorted events — each event fires exactly once, at
+  // the first wave whose index reaches it.
+  std::uint64_t wave_index_ = 0;
+  std::size_t next_fault_ = 0;
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;

@@ -102,6 +102,60 @@ TEST(MpscQueue, PerProducerFifoNoLossNoDuplication) {
   for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
 }
 
+TEST(MpscQueue, StressManyProducersTinyRingStallingConsumer) {
+  // Harsher multi-producer stress: 8 producers hammer a 16-cell ring while
+  // the consumer periodically stalls, so the ring oscillates between full
+  // (every producer spinning on rejects) and drained. Same invariants as the
+  // FIFO test — per-producer order, no loss, no duplication — but under far
+  // more CAS contention and wraparound pressure.
+  constexpr int kProducers = 8;
+  constexpr std::uint64_t kPerProducer = 2000;
+  rt::BoundedMpscQueue<std::uint64_t> q(16);
+  std::vector<std::uint64_t> got;
+  got.reserve(kProducers * kPerProducer);
+  std::atomic<int> live{kProducers};
+
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    std::size_t pops = 0;
+    while (live.load(std::memory_order_acquire) > 0 || q.size_approx() > 0) {
+      while (q.try_pop(v)) {
+        got.push_back(v);
+        if ((++pops & 1023u) == 0) {
+          // Stall with the ring under pressure: producers must keep
+          // rejecting (never block, never corrupt a cell) until we resume.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+      std::this_thread::yield();
+    }
+    while (q.try_pop(v)) got.push_back(v);
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t v = (static_cast<std::uint64_t>(p) << 32) | i;
+        while (!q.try_push(v)) std::this_thread::yield();
+      }
+      live.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  ASSERT_EQ(got.size(), kProducers * kPerProducer);
+  std::uint64_t next_seq[kProducers] = {};
+  for (const std::uint64_t v : got) {
+    const auto p = static_cast<std::size_t>(v >> 32);
+    ASSERT_LT(p, static_cast<std::size_t>(kProducers));
+    ASSERT_EQ(v & 0xffffffffu, next_seq[p]) << "producer " << p
+                                            << " order broken";
+    ++next_seq[p];
+  }
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
 TEST(MpscQueue, FullRingRejectsAndRecovers) {
   rt::BoundedMpscQueue<int> q(8);
   EXPECT_EQ(q.capacity(), 8u);
@@ -166,6 +220,61 @@ TEST(InferenceServer, StopDrainsEveryAdmittedRequest) {
   const rt::ServerStats st = server.stats();
   EXPECT_EQ(st.completed, static_cast<std::uint64_t>(admitted));
   EXPECT_EQ(st.admitted, static_cast<std::uint64_t>(admitted));
+}
+
+TEST(InferenceServer, StopDuringThrowingWavesDrainsAllToTerminal) {
+  // Shutdown ordering under failure: stop() called while an in-flight wave
+  // is throwing (and sleeping in retry backoff) must still drain every
+  // admitted request to a terminal state — kDone or kError, never a strand
+  // in kQueued — and must skip the remaining backoff sleeps so drain is
+  // prompt. Every scheduled wave throws until its retries are exhausted.
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(4, 41, 16, 16, 3);
+  k::RunOptions opt;
+  opt.segment_major_lanes = 4;
+
+  rt::ServerConfig scfg;
+  scfg.adaptive_wave = false;
+  scfg.max_queue_delay_us = 100000;  // long: drain must not wait for it
+  scfg.max_wave_retries = 2;
+  scfg.retry_backoff_us = 100000;  // 100 ms per retry if NOT skipped
+  for (std::uint64_t w = 0; w < 4; ++w) {
+    scfg.faults.transient_error(w, /*failures=*/100);
+  }
+  rt::InferenceServer server(net, opt, {}, scfg);
+
+  constexpr int kN = 12;
+  std::vector<rt::ServeRequest> reqs(kN);
+  int admitted = 0;
+  for (int i = 0; i < kN; ++i) {
+    reqs[static_cast<std::size_t>(i)].image =
+        &images[static_cast<std::size_t>(i) % images.size()];
+    if (server.submit(reqs[static_cast<std::size_t>(i)])) ++admitted;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();
+  const double stop_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_GT(admitted, 0);
+
+  for (int i = 0; i < kN; ++i) {
+    const int s = reqs[static_cast<std::size_t>(i)].state.load();
+    ASSERT_NE(s, rt::ServeRequest::kQueued)
+        << "request stranded by stop() under a throwing wave";
+    EXPECT_TRUE(s == rt::ServeRequest::kDone ||
+                s == rt::ServeRequest::kError ||
+                s == rt::ServeRequest::kRejected);
+  }
+  const rt::ServerStats st = server.stats();
+  EXPECT_EQ(st.admitted, static_cast<std::uint64_t>(admitted));
+  EXPECT_EQ(st.admitted, st.completed + st.timed_out + st.errored)
+      << "drain must reconcile exactly even when waves throw";
+  EXPECT_GE(st.wave_errors, 1u);
+  // 3 throwing waves x 2 retries x >= 100 ms would exceed 600 ms without the
+  // stopping-skip; at most the first wave's backoffs can land pre-stop.
+  EXPECT_LT(stop_ms, 550.0) << "retry backoff must be skipped while stopping";
 }
 
 TEST(InferenceServer, DeadlineFiresPartialWave) {
