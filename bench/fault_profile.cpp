@@ -122,8 +122,8 @@ RunResult run_load(const snn::Network& net, const k::RunOptions& opt,
   }
   server.stop();
   out.stats = server.stats();
-  const std::uint64_t accounted =
-      out.stats.completed + out.stats.timed_out + out.stats.errored;
+  const std::uint64_t accounted = out.stats.completed + out.stats.timed_out +
+                                  out.stats.errored + out.stats.corrupted;
   out.lost = out.stats.admitted > accounted ? out.stats.admitted - accounted
                                             : 0;
   return out;
@@ -229,9 +229,12 @@ int main() {
       w.field("completed", c.r.stats.completed);
       w.field("timed_out", c.r.stats.timed_out);
       w.field("errored", c.r.stats.errored);
+      w.field("corrupted", c.r.stats.corrupted);
       w.field("lost_requests", c.r.lost);
       w.field("cluster_failures", c.r.stats.cluster_failures);
       w.field("degrade_replans", c.r.stats.degrade_replans);
+      w.field("data_faults_injected", c.r.stats.data_faults_injected);
+      w.field("integrity_mismatches", c.r.stats.integrity_mismatches);
       w.field("spikes_match_healthy", c.r.spikes_match);
       w.end_object();
     }
@@ -243,10 +246,13 @@ int main() {
     w.field("completed", midrun.stats.completed);
     w.field("timed_out", midrun.stats.timed_out);
     w.field("errored", midrun.stats.errored);
+    w.field("corrupted", midrun.stats.corrupted);
     w.field("lost_requests", midrun.lost);
     w.field("cluster_failures", midrun.stats.cluster_failures);
     w.field("degrade_replans", midrun.stats.degrade_replans);
     w.field("active_clusters", midrun.stats.active_clusters);
+    w.field("data_faults_injected", midrun.stats.data_faults_injected);
+    w.field("integrity_mismatches", midrun.stats.integrity_mismatches);
     w.field("spikes_match_healthy", midrun.spikes_match);
     w.end_object();
     w.end_object();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench/json_writer.hpp"
 #include "runtime/backend_sharded.hpp"
 #include "runtime/stage_pipeline.hpp"
 
@@ -191,28 +192,33 @@ int main() {
   pt.print();
 
   if (std::FILE* f = std::fopen("BENCH_fig3c.json", "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"fig3c\",\n  \"batch\": %d,\n", batch);
-    std::fprintf(f, "  \"e2e_ss16_over_base\": %.4f,\n", e2e_ss16);
-    std::fprintf(f, "  \"e2e_ss8_over_base\": %.4f,\n", e2e_ss8);
-    std::fprintf(f, "  \"pipeline_batch\": %d,\n  \"pipeline\": [\n",
-                 pipe_batch);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const auto& r = rows[i];
-      std::fprintf(f,
-                   "    {\"network\": \"%s\", \"clusters\": %d, "
-                   "\"mode\": \"%s\", \"chosen\": \"%s\", \"stages\": %d, "
-                   "\"steady_cycles_per_sample\": %.2f, "
-                   "\"cycles_per_sample\": %.2f, "
-                   "\"fifo_stall_cycles\": %.2f, "
-                   "\"noc_contention_cycles\": %.2f, "
-                   "\"speedup_vs_dp\": %.4f}%s\n",
-                   r.network.c_str(), r.clusters, r.requested.c_str(),
-                   r.chosen.c_str(), r.stages, r.steady_cycles_per_sample,
-                   r.cycles_per_sample, r.fifo_stall_cycles,
-                   r.noc_contention_cycles, r.speedup_vs_dp,
-                   i + 1 < rows.size() ? "," : "");
+    sb::JsonWriter w(f, /*compact_depth=*/2);
+    w.begin_object();
+    w.field("bench", "fig3c");
+    w.field("batch", batch);
+    w.field("e2e_ss16_over_base", e2e_ss16, 4);
+    w.field("e2e_ss8_over_base", e2e_ss8, 4);
+    w.field("pipeline_batch", pipe_batch);
+    w.key("pipeline");
+    w.begin_array();
+    for (const auto& r : rows) {
+      w.break_line();  // one row object per line, fields inline
+      w.begin_object();
+      w.field("network", r.network);
+      w.field("clusters", r.clusters);
+      w.field("mode", r.requested);
+      w.field("chosen", r.chosen);
+      w.field("stages", r.stages);
+      w.field("steady_cycles_per_sample", r.steady_cycles_per_sample, 2);
+      w.field("cycles_per_sample", r.cycles_per_sample, 2);
+      w.field("fifo_stall_cycles", r.fifo_stall_cycles, 2);
+      w.field("noc_contention_cycles", r.noc_contention_cycles, 2);
+      w.field("speedup_vs_dp", r.speedup_vs_dp, 4);
+      w.end_object();
     }
-    std::fprintf(f, "  ]\n}\n");
+    w.end_array();
+    w.end_object();
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("\nwrote BENCH_fig3c.json\n");
   }

@@ -32,6 +32,11 @@ class JsonWriter {
   void begin_array() { open('['); }
   void end_array() { close(']'); }
 
+  /// Force the next member onto its own indented line even inside a compact
+  /// region — lets an array keep one row object per line (the historical
+  /// BENCH_fig3c.json shape) while each row's fields stay single-line.
+  void break_line() { force_break_ = true; }
+
   /// Key inside an object; follow with exactly one value/begin_* call.
   void key(const char* k) {
     separate();
@@ -113,12 +118,13 @@ class JsonWriter {
     }
     if (depth_ == 0) return;
     if (had_member_) std::fputc(',', f_);
-    if (compact()) {
+    if (compact() && !force_break_) {
       if (had_member_) std::fputc(' ', f_);
     } else {
       std::fputc('\n', f_);
       indent();
     }
+    force_break_ = false;
     had_member_ = true;
   }
 
@@ -162,6 +168,7 @@ class JsonWriter {
   int depth_ = 0;
   bool had_member_ = false;
   bool pending_key_ = false;
+  bool force_break_ = false;
 };
 
 }  // namespace spikestream::bench

@@ -11,6 +11,8 @@ Usage: check_bench_regression.py PREVIOUS.json CURRENT.json
            [--serve-saturation-floor FRAC] [--serve-light-p95-factor X]
            [--p99-threshold FRAC] [--p99-slack-ms MS]
            [--fault BENCH_fault.json] [--fault-floor-frac FRAC]
+           [--integrity BENCH_integrity.json]
+           [--integrity-overhead-ceiling FRAC]
 
 Checks, each per backend row (matched by name, every row checked — not just
 the best one):
@@ -74,6 +76,22 @@ single-file, and modeled (host-invariant), so they need no previous artifact:
     cost more than 1/8 (stripe discretization) but must not collapse;
   * the mid-run kill must record exactly one cluster failure and one
     re-plan, with the same zero-loss / bit-identical-spikes contract.
+Data-integrity checks against BENCH_integrity.json (--integrity) — absolute,
+single-file, and modeled, like the fault guards:
+  * sealed paths detect everything: the checksum and redundant rows of
+    sealed_paths must report detection_rate 1.0 with zero silent escapes;
+  * the unprotected sealed row must demonstrate at least one silent escape
+    (the injection schedule must actually corrupt served results — a bench
+    that cannot show the threat proves nothing about the defense);
+  * the checksum row of unsealed_paths must record at least one silent
+    escape (membrane / final-layer flips live past the last sealed boundary
+    — the bench demonstrates the documented gap rather than hiding it) and
+    the redundant row must close it (detection_rate 1.0, zero escapes);
+  * every mode row must conserve requests exactly: admitted == completed +
+    errored + corrupted;
+  * --integrity-overhead-ceiling FRAC: the S-VGG11 serving row's modeled
+    checksum and checksum+ECC overheads must stay at or below FRAC
+    (default 0.10); the redundant mode's ~2x is reported, not gated.
 Backends present in only one file are reported but only fail when required.
 Exit codes: 0 = ok, 1 = regression, 2 = unusable input (missing/corrupt
 file) — CI treats 2 as a skip, not a failure, so the very first run of a
@@ -307,6 +325,103 @@ def check_fault(args, failed):
               f"requests, {mid.get('active_clusters', '?')} clusters left")
 
 
+def load_integrity(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+        # Touch the required shape up front so a malformed file is "unusable",
+        # not a spray of per-row KeyErrors later.
+        _ = data["sealed_paths"], data["unsealed_paths"]
+        _ = data["svgg11_overhead"]
+        return data
+    except (OSError, ValueError, KeyError, TypeError) as e:
+        print(f"cannot read {path}: {e}")
+        return None
+
+
+def integrity_rows(data, section):
+    return {r["mode"]: r for r in data[section]}
+
+
+def check_integrity_row(label, row, failed, want_detect=None,
+                        want_escapes=None, min_escapes=None):
+    """Shared detection / escape / conservation contract per mode row."""
+    admitted = int(row.get("admitted", -1))
+    accounted = (int(row.get("completed", 0)) + int(row.get("errored", 0))
+                 + int(row.get("corrupted", 0)))
+    if admitted != accounted:
+        failed.append(label)
+        print(f"integrity {label}: admitted {admitted} != completed + "
+              f"errored + corrupted {accounted} (requests lost)")
+    rate = float(row.get("detection_rate", -1.0))
+    escapes = int(row.get("silent_escapes", -1))
+    if want_detect is not None and rate < want_detect:
+        failed.append(label)
+        print(f"integrity {label}: detection_rate {rate:.4f} < required "
+              f"{want_detect:.4f} "
+              f"(detected {row.get('detected', '?')}/"
+              f"{row.get('injected_events', '?')})")
+    if want_escapes is not None and escapes != want_escapes:
+        failed.append(label)
+        print(f"integrity {label}: {escapes} silent escapes, expected "
+              f"exactly {want_escapes}")
+    if min_escapes is not None and escapes < min_escapes:
+        failed.append(label)
+        print(f"integrity {label}: only {escapes} silent escapes recorded, "
+              f"expected at least {min_escapes} — the injection schedule "
+              f"must demonstrate the threat")
+
+
+def check_integrity(args, failed):
+    """Detection floors and overhead ceiling on BENCH_integrity.json."""
+    data = load_integrity(args.integrity)
+    if data is None:
+        failed.append("integrity")
+        return
+
+    sealed = integrity_rows(data, "sealed_paths")
+    unsealed = integrity_rows(data, "unsealed_paths")
+    for mode in ("unprotected", "checksum", "redundant"):
+        if mode not in sealed:
+            failed.append(f"integrity:sealed:{mode}")
+            print(f"integrity: sealed_paths row missing: {mode}")
+    for mode in ("checksum", "redundant"):
+        if mode not in unsealed:
+            failed.append(f"integrity:unsealed:{mode}")
+            print(f"integrity: unsealed_paths row missing: {mode}")
+
+    if "unprotected" in sealed:
+        check_integrity_row("sealed:unprotected", sealed["unprotected"],
+                            failed, min_escapes=1)
+    for mode in ("checksum", "redundant"):
+        if mode in sealed:
+            check_integrity_row(f"sealed:{mode}", sealed[mode], failed,
+                                want_detect=1.0, want_escapes=0)
+    if "checksum" in unsealed:
+        check_integrity_row("unsealed:checksum", unsealed["checksum"],
+                            failed, min_escapes=1)
+    if "redundant" in unsealed:
+        check_integrity_row("unsealed:redundant", unsealed["redundant"],
+                            failed, want_detect=1.0, want_escapes=0)
+
+    ov = data["svgg11_overhead"]
+    ceiling = args.integrity_overhead_ceiling
+    if ceiling > 0.0:
+        for key in ("checksum_overhead", "checksum_ecc_overhead"):
+            val = float(ov.get(key, -1.0))
+            label = f"integrity:{key}"
+            if val < 0.0 or val > ceiling:
+                failed.append(label)
+                print(f"integrity {label}: modeled overhead {val:.4f} "
+                      f"exceeds ceiling {ceiling:.4f} on the "
+                      f"{ov.get('network', '?')} serving row")
+            else:
+                print(f"integrity {label}: {val:.4f} <= ceiling "
+                      f"{ceiling:.4f}")
+    red = float(ov.get("redundant_overhead", 0.0))
+    print(f"integrity: redundant mode costs {red:.4f} (reported, not gated)")
+
+
 def wants_dma_floor(name):
     return "batchreuse" in name or "segmajor" in name
 
@@ -417,6 +532,14 @@ def main():
                     metavar="FRAC",
                     help="degraded modeled throughput must stay above "
                          "FRAC * healthy * survivors/clusters")
+    ap.add_argument("--integrity", default=None, metavar="JSON",
+                    help="current BENCH_integrity.json for the data-"
+                         "integrity guards (absolute, no previous file "
+                         "needed)")
+    ap.add_argument("--integrity-overhead-ceiling", type=float, default=0.10,
+                    metavar="FRAC",
+                    help="max modeled checksum / checksum+ECC overhead on "
+                         "the S-VGG11 serving row")
     args = ap.parse_args()
 
     failed = []
@@ -426,13 +549,15 @@ def main():
         check_serve(args, failed)
     if args.fault is not None:
         check_fault(args, failed)
+    if args.integrity is not None:
+        check_integrity(args, failed)
 
     loaded_prev = load(args.previous)
     loaded_cur = load(args.current)
     if loaded_prev is None or loaded_cur is None:
-        # The fig3c and fault floors are absolute checks on the current
-        # build: they still fail the run even when there is no usable
-        # previous baseline.
+        # The fig3c, fault and integrity floors are absolute checks on the
+        # current build: they still fail the run even when there is no
+        # usable previous baseline.
         return 1 if failed else 2
     prev_meta, prev = loaded_prev
     cur_meta, cur = loaded_cur

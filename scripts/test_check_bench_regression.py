@@ -76,6 +76,49 @@ def fault_file(healthy=10000.0, curve=None, midrun=None):
     }
 
 
+def integrity_row(mode, injected=6, detected=None, escapes=0, admitted=28,
+                  errored=0, corrupted=0):
+    detected = injected if detected is None else detected
+    rate = detected / injected if injected else 1.0
+    return {
+        "mode": mode, "injected_events": injected,
+        "data_faults_injected": injected, "detected": detected,
+        "detection_rate": rate, "silent_escapes": escapes,
+        "integrity_checks": 100, "integrity_mismatches": detected,
+        "integrity_faults": detected, "redundant_waves": 0,
+        "admitted": admitted, "completed": admitted - errored - corrupted,
+        "errored": errored, "corrupted": corrupted,
+        "crc_sealed_bytes": 1000, "crc_cycles": 15.6,
+    }
+
+
+def integrity_file(sealed=None, unsealed=None, chk_ov=0.04, ecc_ov=0.07,
+                   red_ov=1.1):
+    if sealed is None:
+        sealed = [
+            integrity_row("unprotected", detected=0, escapes=1),
+            integrity_row("checksum"),
+            integrity_row("redundant"),
+        ]
+    if unsealed is None:
+        unsealed = [
+            integrity_row("checksum", injected=4, detected=0, escapes=4),
+            integrity_row("redundant", injected=4),
+        ]
+    return {
+        "bench": "integrity_profile",
+        "clusters": 4,
+        "sealed_paths": sealed,
+        "unsealed_paths": unsealed,
+        "svgg11_overhead": {
+            "network": "svgg11", "lanes": 2, "waves": 8,
+            "weight_check_period": 8, "base_modeled_cycles": 33000000,
+            "checksum_overhead": chk_ov, "checksum_ecc_overhead": ecc_ov,
+            "redundant_overhead": red_ov,
+        },
+    }
+
+
 class Base(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory()
@@ -327,6 +370,120 @@ class FaultGuards(Base):
         f = self.write("fault.json", fault_file(curve=curve))
         rc, out = self.run_script(os.path.join(self.dir.name, "nope.json"),
                                   c, "--fault", f)
+        self.assertEqual(rc, 1, out)
+
+
+class IntegrityGuards(Base):
+    def both_hosts(self):
+        p = self.write("prev.json", host_file())
+        c = self.write("cur.json", host_file())
+        return p, c
+
+    def test_healthy_profile_passes(self):
+        p, c = self.both_hosts()
+        f = self.write("integrity.json", integrity_file())
+        rc, out = self.run_script(p, c, "--integrity", f)
+        self.assertEqual(rc, 0, out)
+
+    def test_missed_detection_on_sealed_path_fails(self):
+        p, c = self.both_hosts()
+        sealed = [integrity_row("unprotected", detected=0, escapes=1),
+                  integrity_row("checksum", detected=5, escapes=1),
+                  integrity_row("redundant")]
+        f = self.write("integrity.json", integrity_file(sealed=sealed))
+        rc, out = self.run_script(p, c, "--integrity", f)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("detection_rate", out)
+
+    def test_unprotected_row_must_demonstrate_the_threat(self):
+        # An injection schedule that corrupts nothing proves nothing: the
+        # unprotected row must show at least one silent escape.
+        p, c = self.both_hosts()
+        sealed = [integrity_row("unprotected", detected=0, escapes=0),
+                  integrity_row("checksum"),
+                  integrity_row("redundant")]
+        f = self.write("integrity.json", integrity_file(sealed=sealed))
+        rc, out = self.run_script(p, c, "--integrity", f)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("demonstrate the threat", out)
+
+    def test_unsealed_gap_must_stay_demonstrated(self):
+        # If checksum-only stops escaping on the unsealed roster, either the
+        # roster stopped targeting the gap or the bench went stale.
+        p, c = self.both_hosts()
+        unsealed = [integrity_row("checksum", injected=4, detected=0,
+                                  escapes=0),
+                    integrity_row("redundant", injected=4)]
+        f = self.write("integrity.json", integrity_file(unsealed=unsealed))
+        rc, out = self.run_script(p, c, "--integrity", f)
+        self.assertEqual(rc, 1, out)
+
+    def test_redundant_must_close_the_unsealed_gap(self):
+        p, c = self.both_hosts()
+        unsealed = [integrity_row("checksum", injected=4, detected=0,
+                                  escapes=4),
+                    integrity_row("redundant", injected=4, detected=3,
+                                  escapes=1)]
+        f = self.write("integrity.json", integrity_file(unsealed=unsealed))
+        rc, out = self.run_script(p, c, "--integrity", f)
+        self.assertEqual(rc, 1, out)
+
+    def test_conservation_violation_fails(self):
+        p, c = self.both_hosts()
+        bad = integrity_row("checksum")
+        bad["completed"] -= 1  # one admitted request unaccounted for
+        sealed = [integrity_row("unprotected", detected=0, escapes=1), bad,
+                  integrity_row("redundant")]
+        f = self.write("integrity.json", integrity_file(sealed=sealed))
+        rc, out = self.run_script(p, c, "--integrity", f)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("requests lost", out)
+
+    def test_overhead_ceiling_fails(self):
+        p, c = self.both_hosts()
+        f = self.write("integrity.json", integrity_file(ecc_ov=0.16))
+        rc, out = self.run_script(p, c, "--integrity", f)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("exceeds ceiling", out)
+
+    def test_overhead_ceiling_is_tunable(self):
+        p, c = self.both_hosts()
+        f = self.write("integrity.json", integrity_file(ecc_ov=0.16))
+        rc, out = self.run_script(p, c, "--integrity", f,
+                                  "--integrity-overhead-ceiling", "0.2")
+        self.assertEqual(rc, 0, out)
+
+    def test_redundant_overhead_is_not_gated(self):
+        p, c = self.both_hosts()
+        f = self.write("integrity.json", integrity_file(red_ov=2.5))
+        rc, out = self.run_script(p, c, "--integrity", f)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("not gated", out)
+
+    def test_missing_mode_row_fails(self):
+        p, c = self.both_hosts()
+        sealed = [integrity_row("unprotected", detected=0, escapes=1),
+                  integrity_row("checksum")]
+        f = self.write("integrity.json", integrity_file(sealed=sealed))
+        rc, out = self.run_script(p, c, "--integrity", f)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("row missing: redundant", out)
+
+    def test_corrupt_integrity_file_fails(self):
+        p, c = self.both_hosts()
+        f = os.path.join(self.dir.name, "integrity.json")
+        with open(f, "w") as fh:
+            fh.write("{broken")
+        rc, out = self.run_script(p, c, "--integrity", f)
+        self.assertEqual(rc, 1, out)
+
+    def test_integrity_guards_fail_even_without_host_baseline(self):
+        # Absolute integrity floors must fail the run even when the host
+        # compare would be a first-run skip (exit 2 path).
+        c = self.write("cur.json", host_file())
+        f = self.write("integrity.json", integrity_file(ecc_ov=0.5))
+        rc, out = self.run_script(os.path.join(self.dir.name, "nope.json"),
+                                  c, "--integrity", f)
         self.assertEqual(rc, 1, out)
 
 

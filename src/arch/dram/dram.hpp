@@ -34,6 +34,61 @@ namespace spikestream::arch {
 inline constexpr int kDramBytesPerCycle = 64;   ///< 512-bit port to L2/HBM
 inline constexpr int kDramRequestLatency = 100; ///< cycles to first beat
 
+/// SEC-DED ECC model for the external-memory channel and the SPM (PR-10 data
+/// integrity). A (72,64) Hamming+parity code: every 64-bit data word carries
+/// 8 check bits; single-bit errors are corrected in-line, double-bit errors
+/// are detected but uncorrectable (they surface as a machine-check — in the
+/// serving stack, a TransientFault retry). Off by default: with
+/// `enabled == false` every counter stays zero and no cycle or energy term
+/// changes, the same `flat_legacy`-style bit-exactness contract the banked
+/// DRAM model honors.
+///
+/// The model is closed-form over the words a layer actually moved (DRAM
+/// beats and TCDM interconnect words — see finish_timing's overlay in
+/// kernels/layer_kernels.cpp): expected corrected / uncorrectable counts are
+/// binomial expectations at raw bit-error rate `ber` per (72-bit codeword,
+/// access), never drawn from a RNG, so modeled numbers replay bit-identically
+/// on any host.
+struct EccConfig {
+  bool enabled = false;  ///< master switch; false = bit-exact legacy numbers
+
+  /// Raw per-bit error probability per access (a DDR4-class figure; scale it
+  /// up in benches to make the expected counts visible).
+  double ber = 1e-12;
+
+  // --- overhead timing ------------------------------------------------------
+  /// Decode/correct pipeline cost per 64 B DRAM beat. The checker runs wide
+  /// (8 codewords per beat in parallel) and mostly pipelines under the
+  /// transfer, so the exposed cost is a fraction of a cycle per beat.
+  double dram_cycles_per_beat = 0.25;
+  /// Amortized check cost per 64-bit word through the TCDM interconnect.
+  /// SEC-DED on SPM reads adds one pipeline stage whose latency hides under
+  /// the issue-limited streams; the exposed cost is the occasional stall when
+  /// the checker's result lands on the critical path (~1 word in 200).
+  double spm_cycles_per_word = 0.005;
+  /// Background scrub: every `scrub_interval_cycles` the controller re-reads
+  /// the layer's DRAM-resident footprint to flush accumulating single-bit
+  /// errors before they pair up. Amortized into the layer's cycles as
+  /// (layer cycles / interval) * (footprint bytes / channel bandwidth).
+  /// 10 ms at 1 GHz — aggressive next to real controllers' multi-second
+  /// sweeps, but visible in short simulated windows. 0 disables scrub
+  /// modeling.
+  double scrub_interval_cycles = 1.0e7;
+
+  /// Bits per protected codeword: 64 data + 8 check.
+  static constexpr double kCodewordBits = 72.0;
+
+  /// Expected single-bit (corrected) errors over `words` codeword accesses.
+  double expected_corrected(double words) const {
+    return words * kCodewordBits * ber;
+  }
+  /// Expected double-bit (detected-uncorrectable) errors over `words`
+  /// accesses: C(72,2) * ber^2 per codeword.
+  double expected_uncorrectable(double words) const {
+    return words * (kCodewordBits * (kCodewordBits - 1.0) / 2.0) * ber * ber;
+  }
+};
+
 /// How a stream's records are laid out in DRAM.
 enum class DramFormat {
   kPacked,       ///< records back to back: bytes moved == payload bytes
@@ -91,6 +146,12 @@ struct DramConfig {
   DramFormat weight_format = DramFormat::kPacked;
   DramFormat payload_format = DramFormat::kPacked;  ///< spike/CSR payloads
   double stride_quantum = 256;  ///< fixed-stride record slot granularity
+
+  // --- error protection ----------------------------------------------------
+  /// SEC-DED ECC on the channel and the SPM. Off by default (bit-exact
+  /// historical numbers); kernels overlay its cycle/energy cost and expected
+  /// corrected/uncorrectable counts in finish_timing when enabled.
+  EccConfig ecc;
 
   /// First-beat penalty on a closed (or wrong) row: tRP + tRCD + tCAS.
   double row_miss_cost() const { return t_rp + t_rcd + t_cas; }

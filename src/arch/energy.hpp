@@ -28,6 +28,10 @@ struct EnergyParams {
   /// banked DRAM model reports activations; flat-legacy runs count zero, so
   /// their energy is unchanged.
   double dram_row_act = 2.0;
+  /// SEC-DED syndrome compute + compare per 64-bit codeword checked (DRAM
+  /// beats and SPM words). Only ECC-enabled runs report checked words, so
+  /// historical energy numbers are unchanged.
+  double ecc_word = 0.08;
   /// Inter-cluster NoC traffic: longer wires + wider crossings than a
   /// cluster-local DMA beat (multi-cluster sharded runs only).
   double noc_byte = 0.6;
@@ -80,6 +84,15 @@ struct Activity {
   /// Stage-pipeline FIFO backpressure cycles (subset of the stage window's
   /// `cycles`); carried so reports can attribute pipeline-imbalance time.
   double fifo_stall_cycles = 0;
+  /// SEC-DED codewords checked (DRAM beats + SPM interconnect words, priced
+  /// at EnergyParams::ecc_word) and the expected correction outcomes. All
+  /// zero with ECC off — the off-by-default bit-exactness contract.
+  double ecc_words = 0;
+  double ecc_corrected = 0;      ///< expected single-bit corrections
+  double ecc_uncorrectable = 0;  ///< expected detected-uncorrectable events
+  /// ECC check/scrub cycles (subset of `cycles`, so already priced by the
+  /// static term); carried so reports can attribute protection overhead.
+  double ecc_cycles = 0;
 
   void accumulate(const Activity& o) {
     cycles += o.cycles;
@@ -97,6 +110,10 @@ struct Activity {
     dma_hidden_cycles += o.dma_hidden_cycles;
     noc_contention_cycles += o.noc_contention_cycles;
     fifo_stall_cycles += o.fifo_stall_cycles;
+    ecc_words += o.ecc_words;
+    ecc_corrected += o.ecc_corrected;
+    ecc_uncorrectable += o.ecc_uncorrectable;
+    ecc_cycles += o.ecc_cycles;
   }
 
   double dram_row_hit_rate() const {
@@ -134,7 +151,8 @@ inline EnergyBreakdown compute_energy(const EnergyParams& p,
              a.fpu_mac_ops * p.fpu_op(f) * p.fmadd_factor;
   e.tcdm_pj = a.tcdm_words * p.tcdm_word;
   e.ssr_pj = a.ssr_elems * p.ssr_elem;
-  e.dma_pj = a.dma_bytes * p.dma_byte + a.dram_row_misses * p.dram_row_act;
+  e.dma_pj = a.dma_bytes * p.dma_byte + a.dram_row_misses * p.dram_row_act +
+             a.ecc_words * p.ecc_word;
   e.noc_pj = a.noc_bytes * p.noc_byte;
   e.static_pj = a.cycles * (p.static_core * a.active_cores + p.static_cluster);
   return e;

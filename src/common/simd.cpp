@@ -411,4 +411,192 @@ void group_spike_counts(const std::uint8_t* row, int c, int group, int groups,
   groups_scalar(row, c, group, groups, counts);
 }
 
+// ---------------------------------------------------------------------------
+// CRC32C checksum engine (runtime/integrity seal/verify primitive)
+// ---------------------------------------------------------------------------
+
+const char* crc_tier_name(CrcTier t) {
+  switch (t) {
+    case CrcTier::kTable: return "table";
+    case CrcTier::kHw: return "sse42";
+    case CrcTier::kHw3: return "sse42x3";
+  }
+  return "?";
+}
+
+namespace {
+
+CrcTier probe_crc_max_supported() {
+#ifdef SPIKESTREAM_X86_SIMD
+  if (__builtin_cpu_supports("sse4.2")) {
+    return CrcTier::kHw3;  // kHw3 needs nothing beyond the crc32 instruction
+  }
+#endif
+  return CrcTier::kTable;
+}
+
+/// Forced CRC tier, or -1 when dispatch follows the CPU probe.
+std::atomic<int> g_crc_forced{-1};
+
+/// Reflected CRC32C polynomial.
+constexpr std::uint32_t kCrc32cPoly = 0x82F63B78u;
+
+struct Crc32cTable {
+  std::uint32_t t[256];
+  Crc32cTable() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (c >> 1) ^ kCrc32cPoly : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const std::uint32_t* crc32c_table() {
+  static const Crc32cTable table;
+  return table.t;
+}
+
+/// Table tier on the *raw* (pre-inverted) register value.
+std::uint32_t crc_table_raw(std::uint32_t crc, const std::uint8_t* p,
+                            std::size_t n) {
+  const std::uint32_t* t = crc32c_table();
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = t[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+// GF(2) carryless shift: advance a raw CRC register as if `len` zero bytes
+// followed (zlib's crc32_combine operator, transcribed for the Castagnoli
+// polynomial). This is what lets the three-stream tier stitch independent
+// chunk CRCs into the exact sequential checksum.
+
+std::uint32_t gf2_matrix_times(const std::uint32_t* mat, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1u) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void gf2_matrix_square(std::uint32_t* square, const std::uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = gf2_matrix_times(mat, mat[n]);
+}
+
+std::uint32_t crc32c_shift_raw(std::uint32_t crc, std::size_t len) {
+  if (len == 0) return crc;
+  std::uint32_t even[32];  // operator for 2 zero bits
+  std::uint32_t odd[32];   // operator for 1 zero bit
+  odd[0] = kCrc32cPoly;
+  std::uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  gf2_matrix_square(even, odd);  // 2 zero bits
+  gf2_matrix_square(odd, even);  // 4 zero bits
+  // Square-and-multiply over the *byte* count: the first square below builds
+  // the operator for one zero byte (8 bits), so bit k of `len` applies the
+  // operator for 2^k zero bytes.
+  std::uint32_t* pair[2] = {even, odd};
+  int which = 0;
+  do {
+    gf2_matrix_square(pair[which], pair[which ^ 1]);
+    if (len & 1u) crc = gf2_matrix_times(pair[which], crc);
+    len >>= 1;
+    which ^= 1;
+  } while (len != 0);
+  return crc;
+}
+
+#ifdef SPIKESTREAM_X86_SIMD
+
+__attribute__((target("sse4.2"))) std::uint32_t crc_hw_raw(
+    std::uint32_t crc, const std::uint8_t* p, std::size_t n) {
+  std::uint64_t c = crc;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p + i, sizeof(word));
+    c = _mm_crc32_u64(c, word);
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  for (; i < n; ++i) {
+    c32 = _mm_crc32_u8(c32, p[i]);
+  }
+  return c32;
+}
+
+/// Three interleaved crc32 chains over thirds of the buffer, recombined with
+/// the GF(2) shift. Exact: crc(A||B||C) == shift(shift(crc(A), |B|) ^
+/// crc0(B), |C|) ^ crc0(C), where crc0 runs on a zero-seeded register.
+__attribute__((target("sse4.2"))) std::uint32_t crc_hw3_raw(
+    std::uint32_t crc, const std::uint8_t* p, std::size_t n) {
+  constexpr std::size_t kMinSplit = 3 * 64;  // below this the combine wins
+  if (n < kMinSplit) return crc_hw_raw(crc, p, n);
+  const std::size_t chunk = (n / 3) & ~std::size_t{7};  // whole 8-byte words
+  const std::uint8_t* p0 = p;
+  const std::uint8_t* p1 = p + chunk;
+  const std::uint8_t* p2 = p + 2 * chunk;
+  std::uint64_t c0 = crc;
+  std::uint64_t c1 = 0;
+  std::uint64_t c2 = 0;
+  for (std::size_t i = 0; i + 8 <= chunk; i += 8) {
+    std::uint64_t w0, w1, w2;
+    std::memcpy(&w0, p0 + i, sizeof(w0));
+    std::memcpy(&w1, p1 + i, sizeof(w1));
+    std::memcpy(&w2, p2 + i, sizeof(w2));
+    c0 = _mm_crc32_u64(c0, w0);
+    c1 = _mm_crc32_u64(c1, w1);
+    c2 = _mm_crc32_u64(c2, w2);
+  }
+  std::uint32_t combined =
+      crc32c_shift_raw(static_cast<std::uint32_t>(c0), chunk) ^
+      static_cast<std::uint32_t>(c1);
+  combined = crc32c_shift_raw(combined, chunk) ^
+             static_cast<std::uint32_t>(c2);
+  // Tail past the three whole chunks continues on the single hardware chain.
+  return crc_hw_raw(combined, p + 3 * chunk, n - 3 * chunk);
+}
+
+#endif  // SPIKESTREAM_X86_SIMD
+
+}  // namespace
+
+CrcTier crc_max_supported() {
+  static const CrcTier t = probe_crc_max_supported();
+  return t;
+}
+
+CrcTier crc_active() {
+  const int f = g_crc_forced.load(std::memory_order_relaxed);
+  if (f < 0) return crc_max_supported();
+  return static_cast<int>(crc_max_supported()) < f
+             ? crc_max_supported()
+             : static_cast<CrcTier>(f);
+}
+
+CrcTier force_crc_tier(CrcTier t) {
+  g_crc_forced.store(static_cast<int>(t), std::memory_order_relaxed);
+  return crc_active();
+}
+
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+#ifdef SPIKESTREAM_X86_SIMD
+  switch (crc_active()) {
+    case CrcTier::kHw3: return crc_hw3_raw(crc, p, n) ^ 0xFFFFFFFFu;
+    case CrcTier::kHw: return crc_hw_raw(crc, p, n) ^ 0xFFFFFFFFu;
+    case CrcTier::kTable: break;
+  }
+#endif
+  return crc_table_raw(crc, p, n) ^ 0xFFFFFFFFu;
+}
+
 }  // namespace spikestream::common::simd

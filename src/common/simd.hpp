@@ -65,4 +65,46 @@ std::size_t lif_step(const float* cur, float* mem, std::uint8_t* spikes,
 void group_spike_counts(const std::uint8_t* row, int c, int group, int groups,
                         double* counts);
 
+// --- CRC32C checksum engine -------------------------------------------------
+// The seal/verify primitive of the data-integrity subsystem
+// (runtime/integrity.hpp): CRC32C (Castagnoli polynomial 0x1EDC6F41,
+// reflected 0x82F63B78) over a byte buffer. Dispatched exactly like the
+// kernels above, with its own tier ladder because the relevant ISA feature is
+// SSE4.2's crc32 instruction, not the AVX vector width:
+//
+//  * kTable   — byte-at-a-time table reference (any CPU).
+//  * kHw      — one _mm_crc32_u64 dependency chain, 8 bytes per step.
+//  * kHw3     — three interleaved _mm_crc32_u64 chains over thirds of the
+//    buffer (the crc32 instruction has 3-cycle latency / 1-cycle throughput,
+//    so independent chains triple the sustained rate), recombined with a
+//    GF(2) carryless shift — the same trick the wide AVX-512+VPCLMULQDQ
+//    implementations build on.
+//
+// Every tier returns the identical checksum for identical input (the combine
+// step is an exact algebraic identity, not an approximation); test_integrity
+// pins all tiers against the table one on randomized buffers.
+
+enum class CrcTier {
+  kTable = 0,  ///< portable table-driven reference
+  kHw = 1,     ///< SSE4.2 crc32 instruction, single stream
+  kHw3 = 2,    ///< SSE4.2 crc32, three interleaved streams + GF(2) combine
+};
+
+const char* crc_tier_name(CrcTier t);
+
+/// Widest CRC tier the running CPU supports (probed once, cached).
+CrcTier crc_max_supported();
+
+/// The tier crc32c() currently dispatches to: min(crc_max_supported, forced).
+CrcTier crc_active();
+
+/// Test/bench hook: pin CRC dispatch to `t` (clamped to crc_max_supported()).
+/// Returns the tier actually in effect.
+CrcTier force_crc_tier(CrcTier t);
+
+/// CRC32C of `data[0..n)`, chained: pass a previous crc32c() result as
+/// `seed` to checksum a logical concatenation incrementally
+/// (crc32c(b, nb, crc32c(a, na)) == crc32c(a||b)). Seed 0 starts fresh.
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
 }  // namespace spikestream::common::simd

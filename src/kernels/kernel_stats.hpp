@@ -59,6 +59,15 @@ struct KernelStats {
   /// individual layer runs, whose service time is what the timeline
   /// consumes. Included in the stage's window `cycles`.
   double fifo_stall_cycles = 0;
+  /// SEC-DED ECC overlay (arch::EccConfig, applied by finish_timing when
+  /// opt.cost.dram.ecc.enabled): codewords checked across DRAM beats + TCDM
+  /// words, expected corrected / detected-uncorrectable counts, and the
+  /// check+scrub cycles added to `cycles` (itemized here so protected minus
+  /// unprotected runs reconstruct exactly). All zero with ECC off.
+  double ecc_words = 0;
+  double ecc_corrected = 0;
+  double ecc_uncorrectable = 0;
+  double ecc_cycles = 0;  ///< included in `cycles`
   int active_cores = 8;
   std::vector<double> core_cycles;  ///< per-core compute time (imbalance)
 
@@ -87,6 +96,10 @@ struct KernelStats {
     a.dma_hidden_cycles = dma_cycles_hidden;
     a.noc_contention_cycles = noc_contention_cycles;
     a.fifo_stall_cycles = fifo_stall_cycles;
+    a.ecc_words = ecc_words;
+    a.ecc_corrected = ecc_corrected;
+    a.ecc_uncorrectable = ecc_uncorrectable;
+    a.ecc_cycles = ecc_cycles;
     return a;
   }
 
@@ -102,6 +115,7 @@ struct KernelStats {
     dma_cycles_hidden = 0;
     noc_contention_cycles = 0;
     fifo_stall_cycles = 0;
+    ecc_words = ecc_corrected = ecc_uncorrectable = ecc_cycles = 0;
     active_cores = 8;
     core_cycles.clear();
   }
@@ -124,6 +138,10 @@ struct KernelStats {
     dma_cycles_hidden += o.dma_cycles_hidden;
     noc_contention_cycles += o.noc_contention_cycles;
     fifo_stall_cycles += o.fifo_stall_cycles;
+    ecc_words += o.ecc_words;
+    ecc_corrected += o.ecc_corrected;
+    ecc_uncorrectable += o.ecc_uncorrectable;
+    ecc_cycles += o.ecc_cycles;
     active_cores = std::max(active_cores, o.active_cores);
   }
 
@@ -154,6 +172,12 @@ struct KernelStats {
     noc_contention_cycles = std::max(noc_contention_cycles,
                                      o.noc_contention_cycles);
     fifo_stall_cycles = std::max(fifo_stall_cycles, o.fifo_stall_cycles);
+    // ECC words/outcomes are activity counters (each cluster checks its own
+    // traffic); the cycle itemization follows the wall-clock timeline.
+    ecc_words += o.ecc_words;
+    ecc_corrected += o.ecc_corrected;
+    ecc_uncorrectable += o.ecc_uncorrectable;
+    ecc_cycles = std::max(ecc_cycles, o.ecc_cycles);
     active_cores += o.active_cores;
     core_cycles.insert(core_cycles.end(), o.core_cycles.begin(),
                        o.core_cycles.end());

@@ -55,6 +55,32 @@ double access_rate(Variant v, const CostParams& p) {
   return 1.25 / p.fadd_latency;
 }
 
+/// SEC-DED ECC overlay (arch::EccConfig): closed-form check/scrub cycles and
+/// expected correction outcomes over the words this layer actually moved —
+/// DRAM beats from the final dma_bytes, SPM words from tcdm_words. Applied
+/// once per layer at the end of finish_timing so it composes with every DMA
+/// schedule (cold/warm/segment-major) without re-threading the tile planner;
+/// strictly a no-op when ECC is off, keeping historical numbers bit-exact.
+void apply_ecc_overlay(const RunOptions& opt, KernelStats& st) {
+  const arch::EccConfig& ecc = opt.cost.dram.ecc;
+  if (!ecc.enabled) return;
+  const double beats = st.dma_bytes / opt.cost.dram.bytes_per_cycle;
+  const double dram_words = st.dma_bytes / 8.0;  // 64-bit codewords
+  const double words = dram_words + st.tcdm_words;
+  double cyc = beats * ecc.dram_cycles_per_beat +
+               st.tcdm_words * ecc.spm_cycles_per_word;
+  if (ecc.scrub_interval_cycles > 0) {
+    // One re-read of the layer's DRAM-touched footprint per scrub period,
+    // amortized over the layer's own window.
+    cyc += st.cycles / ecc.scrub_interval_cycles * beats;
+  }
+  st.ecc_words = words;
+  st.ecc_corrected = ecc.expected_corrected(words);
+  st.ecc_uncorrectable = ecc.expected_uncorrectable(words);
+  st.ecc_cycles = cyc;
+  st.cycles += cyc;
+}
+
 /// Shared tail of every timing pass: apply the plan's DMA timeline to the
 /// stats and derive wall-clock cycles. With batch-level weight-tile reuse on
 /// and this scratch's simulated cluster still holding the layer's
@@ -83,6 +109,7 @@ void finish_timing(const RunOptions& opt, KernelScratch& scratch) {
     st.dma_row_misses = run.plan.sm_row_misses;
     st.dma_cycles_hidden = run.plan.sm_hidden_cycles;
     st.cycles = overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer);
+    apply_ecc_overlay(opt, st);
     scratch.weights_warm = true;
     return;
   }
@@ -99,6 +126,7 @@ void finish_timing(const RunOptions& opt, KernelScratch& scratch) {
   st.dma_cycles_hidden = 0.0;
   st.cycles =
       overlap_cycles(run.plan, st.compute_cycles, opt.double_buffer, warm);
+  apply_ecc_overlay(opt, st);
   scratch.weights_warm = true;
 }
 

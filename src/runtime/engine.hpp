@@ -151,6 +151,13 @@ class InferenceEngine {
   void reset();
 
   const snn::Network& network() const { return net_; }
+  /// SDC-injection surface (runtime/integrity.hpp): the live quantized
+  /// weight slice of layer `l`, as every backend reads it through the
+  /// engine's network copy — a bit flipped here is functionally visible to
+  /// all of them. Fault injectors must restore what they flip between wave
+  /// attempts (flip_weight_bit is involutive); nothing else may mutate the
+  /// engine after construction.
+  snn::LayerWeights& mutable_weights(std::size_t l) { return net_.weights(l); }
   const kernels::RunOptions& options() const { return backend_->options(); }
   const ExecutionBackend& backend() const { return *backend_; }
   const arch::EnergyParams& energy_params() const { return energy_; }

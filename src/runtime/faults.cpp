@@ -12,6 +12,9 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kClusterSlowdown: return "cluster-slowdown";
     case FaultKind::kLinkDegrade: return "link-degrade";
     case FaultKind::kTransientWaveError: return "transient-wave-error";
+    case FaultKind::kWeightBitFlip: return "weight-bit-flip";
+    case FaultKind::kSpikePayloadFlip: return "spike-payload-flip";
+    case FaultKind::kMembraneFlip: return "membrane-flip";
   }
   return "?";
 }
@@ -65,6 +68,45 @@ FaultPlan& FaultPlan::transient_error(std::uint64_t wave, int failures) {
   return add(e);
 }
 
+FaultPlan& FaultPlan::flip_weight(int layer, std::uint64_t bit,
+                                  std::uint64_t wave, int failures) {
+  SPK_CHECK(failures >= 1, "a data fault needs >= 1 failure");
+  FaultEvent e;
+  e.kind = FaultKind::kWeightBitFlip;
+  e.wave = wave;
+  e.failures = failures;
+  e.layer = layer;
+  e.bit = bit;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::flip_spikes(int layer, std::uint64_t byte,
+                                  std::uint64_t wave, int lane, int failures) {
+  SPK_CHECK(failures >= 1, "a data fault needs >= 1 failure");
+  FaultEvent e;
+  e.kind = FaultKind::kSpikePayloadFlip;
+  e.wave = wave;
+  e.failures = failures;
+  e.layer = layer;
+  e.bit = byte;
+  e.lane = lane;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::flip_membrane(int layer, std::uint64_t bit,
+                                    std::uint64_t wave, int lane,
+                                    int failures) {
+  SPK_CHECK(failures >= 1, "a data fault needs >= 1 failure");
+  FaultEvent e;
+  e.kind = FaultKind::kMembraneFlip;
+  e.wave = wave;
+  e.failures = failures;
+  e.layer = layer;
+  e.bit = bit;
+  e.lane = lane;
+  return add(e);
+}
+
 FaultPlan FaultPlan::chaos(std::uint64_t seed, std::uint64_t waves,
                            int clusters, int events) {
   SPK_CHECK(waves > 0 && clusters >= 1, "chaos needs waves > 0, clusters >= 1");
@@ -95,6 +137,31 @@ FaultPlan FaultPlan::chaos(std::uint64_t seed, std::uint64_t waves,
       default:
         plan.transient_error(wave, 1 + static_cast<int>(rng.next_u64() % 2));
         break;
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::chaos_data(std::uint64_t seed, std::uint64_t waves,
+                                int layers, int lanes, int events) {
+  SPK_CHECK(waves > 0 && layers >= 1 && lanes >= 1,
+            "chaos_data needs waves > 0, layers >= 1, lanes >= 1");
+  // A distinct seed stream from chaos(): the two schedules stay independent
+  // when a soak test merges a structural plan and a data plan built from the
+  // same user seed.
+  common::Rng rng(seed ^ 0xD47AFA017ull);
+  FaultPlan plan;
+  for (int i = 0; i < events; ++i) {
+    const std::uint64_t wave = rng.next_u64() % waves;
+    const int layer = static_cast<int>(rng.next_u64() %
+                                       static_cast<std::uint64_t>(layers));
+    const std::uint64_t bit = rng.next_u64();
+    const int lane = static_cast<int>(rng.next_u64() %
+                                      static_cast<std::uint64_t>(lanes));
+    switch (rng.next_u64() % 3) {
+      case 0: plan.flip_weight(layer, bit, wave); break;
+      case 1: plan.flip_spikes(layer, bit, wave, lane); break;
+      default: plan.flip_membrane(layer, bit, wave, lane); break;
     }
   }
   return plan;

@@ -20,10 +20,31 @@
 //    with bounded backoff; the engine is deterministic, so a retried wave
 //    completes bit-identical to an unfaulted one.
 //
+// Three *silent data corruption* kinds (PR-10, the data-plane threat model —
+// these produce wrong answers, not exceptions, unless a protection mode from
+// runtime/integrity.hpp is armed):
+//
+//  * kWeightBitFlip     — one bit of one quantized weight of layer `layer`
+//    flips (a stale or damaged SPM weight tile). Applied to the live engine
+//    weights for the first `failures` attempts of the wave and restored
+//    after each attempt, so a retry past the failure budget runs clean.
+//  * kSpikePayloadFlip  — one spike byte of the map handed from layer
+//    `layer` to its consumer toggles (corruption in NoC transit). Targets
+//    wave lane `lane` (mod occupied lanes).
+//  * kMembraneFlip      — one bit of a membrane potential of layer `layer`
+//    flips just before the layer integrates it (an SPM soft error in live
+//    neuron state). Lane-targeted like the payload flip. Membranes are not
+//    a sealed path: only redundant-lane execution catches this one.
+//
+// All three reuse the zero-wall-clock-randomness contract: deterministic
+// (wave, layer, bit, lane) targeting, seeded chaos via chaos_data(), and
+// retry-recoverable because every attempt restores/regenerates the buffer.
+//
 // The plan is pure data: the InferenceServer applies structural events to
-// its ShardedBackend at wave boundaries and injects transient throws inside
-// the wave body. Tests and benches can also drive the backend's fault
-// surface (fail_cluster / set_cluster_slowdown / set_link_degrade) directly.
+// its ShardedBackend at wave boundaries and injects transient throws and
+// data flips inside the wave body. Tests and benches can also drive the
+// backend's fault surface (fail_cluster / set_cluster_slowdown /
+// set_link_degrade) directly.
 #pragma once
 
 #include <cstdint>
@@ -48,19 +69,36 @@ enum class FaultKind {
   kClusterSlowdown,
   kLinkDegrade,
   kTransientWaveError,
+  kWeightBitFlip,     ///< SDC in a weight slice (sealed path)
+  kSpikePayloadFlip,  ///< SDC in a spike map crossing a cluster handoff
+  kMembraneFlip,      ///< SDC in live membrane state (unsealed path)
 };
 
 const char* fault_kind_name(FaultKind k);
+
+/// True for the silent-data-corruption kinds (bit/byte flips in live
+/// buffers), which the server injects inside the wave body rather than
+/// applying at the wave boundary.
+constexpr bool is_data_fault(FaultKind k) {
+  return k == FaultKind::kWeightBitFlip || k == FaultKind::kSpikePayloadFlip ||
+         k == FaultKind::kMembraneFlip;
+}
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kTransientWaveError;
   /// Wave index at which the event fires. Structural events (fail-stop /
   /// slowdown / link derate) apply once, before the wave executes; a
-  /// transient event makes that wave's leading attempts throw.
+  /// transient event makes that wave's leading attempts throw; a data fault
+  /// corrupts that wave's leading attempts and is undone between attempts.
   std::uint64_t wave = 0;
   int cluster = -1;     ///< target cluster (structural kinds)
   double factor = 1.0;  ///< slowdown multiple / link bandwidth derate (>= 1)
-  int failures = 1;     ///< transient: attempts of the wave that throw
+  int failures = 1;     ///< transient/data: attempts of the wave affected
+  // --- data-corruption targeting (is_data_fault kinds only) -----------------
+  int layer = 0;          ///< target layer
+  std::uint64_t bit = 0;  ///< bit (weights/membrane) or byte (spikes) index,
+                          ///< reduced mod the target buffer's size at apply
+  int lane = 0;           ///< target wave lane, mod occupied lanes
 };
 
 /// Sorted deterministic fault schedule. Builders keep the event list ordered
@@ -75,6 +113,13 @@ class FaultPlan {
   FaultPlan& slow_cluster(int cluster, double factor, std::uint64_t wave);
   FaultPlan& degrade_link(int cluster, double factor, std::uint64_t wave);
   FaultPlan& transient_error(std::uint64_t wave, int failures = 1);
+  // Data-corruption builders (see the header comment's threat model).
+  FaultPlan& flip_weight(int layer, std::uint64_t bit, std::uint64_t wave,
+                         int failures = 1);
+  FaultPlan& flip_spikes(int layer, std::uint64_t byte, std::uint64_t wave,
+                         int lane = 0, int failures = 1);
+  FaultPlan& flip_membrane(int layer, std::uint64_t bit, std::uint64_t wave,
+                           int lane = 0, int failures = 1);
 
   /// Seeded random schedule of `events` faults over waves [0, waves) against
   /// `clusters` clusters — chaos-monkey mode for soak tests. Deterministic:
@@ -82,6 +127,14 @@ class FaultPlan {
   /// fail-stops are drawn so the fleet never loses its last cluster.
   static FaultPlan chaos(std::uint64_t seed, std::uint64_t waves, int clusters,
                          int events);
+
+  /// Seeded random schedule of `events` *data-corruption* faults (weight /
+  /// spike-payload / membrane flips) over waves [0, waves) targeting layers
+  /// [0, layers) and lanes [0, lanes). Deterministic like chaos(), and a
+  /// separate draw sequence so existing chaos() plans stay byte-identical.
+  /// Merge the two by add()ing one plan's events() into the other.
+  static FaultPlan chaos_data(std::uint64_t seed, std::uint64_t waves,
+                              int layers, int lanes, int events);
 
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }

@@ -53,17 +53,36 @@
 // Hardened serving path (see ARCHITECTURE.md "Fault domains"): every admitted
 // request reaches exactly one terminal state — kDone, kTimedOut (its TTL
 // expired in the queue or wave buffer and it was shed before execution),
-// kError (its wave threw and retries were exhausted) — so
-// admitted == completed + timed_out + errored once the server drains. A
-// throwing wave is contained to that wave's requests: the dispatcher catches,
-// retries transient faults with bounded backoff (each attempt resets lane
-// state and re-runs from timestep 0, so a successful retry is bit-identical
-// to a clean run), and keeps serving subsequent waves either way. Structural
-// faults from ServerConfig::faults (cluster fail-stop / slowdown / link
-// degrade, keyed by wave index — never wall-clock) are applied to the sharded
-// backend between waves, which re-plans over the survivors exactly once per
-// fault (bench/fault_profile.cpp drives this and CI guards the degradation
-// curve in BENCH_fault.json).
+// kError (its wave threw and retries were exhausted), kCorrupted (a detected
+// data-integrity failure persisted through every retry) — so
+// admitted == completed + timed_out + errored + corrupted once the server
+// drains. A throwing wave is contained to that wave's requests: the
+// dispatcher catches, retries transient faults with bounded backoff (each
+// attempt resets lane state and re-runs from timestep 0, so a successful
+// retry is bit-identical to a clean run), and keeps serving subsequent waves
+// either way. Structural faults from ServerConfig::faults (cluster fail-stop
+// / slowdown / link degrade, keyed by wave index — never wall-clock) are
+// applied to the sharded backend between waves, which re-plans over the
+// survivors exactly once per fault (bench/fault_profile.cpp drives this and
+// CI guards the degradation curve in BENCH_fault.json).
+//
+// Data-integrity path (runtime/integrity.hpp, off by default): with
+// ServerConfig::integrity armed, CRC32C seals guard the dataflow — input
+// images sealed at submit() and verified at wave formation, spike carries
+// sealed at every layer handoff and verified before the consumer integrates
+// them, per-layer weight slices sealed at construction and verified per wave
+// attempt, the final output's chained seal published on the request. A seal
+// mismatch throws IntegrityFault (a TransientFault), so the bounded-retry
+// containment above re-runs the wave; FaultPlan data events (weight / spike /
+// membrane flips) are undone or regenerated between attempts, so the retried
+// wave completes bit-identical to an unfaulted one. Requests whose mismatch
+// persists through every retry end in kCorrupted. Redundant-lane mode
+// (IntegrityConfig::redundant_lanes or ServeRequest::redundant) executes the
+// wave twice — injections land only in the primary pass, modeling disjoint
+// clusters — and compares the two passes' output seals, the only defense
+// covering live membrane state (bench/integrity_profile.cpp sweeps flip rate
+// x protection mode into BENCH_integrity.json; CI guards detection coverage
+// and overhead with --integrity).
 #pragma once
 
 #include <atomic>
@@ -79,6 +98,7 @@
 #include "common/stats.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/faults.hpp"
+#include "runtime/integrity.hpp"
 #include "runtime/multistep.hpp"
 
 namespace spikestream::runtime {
@@ -175,6 +195,7 @@ struct ServeRequest {
     kRejected = 3,  ///< ring full or server stopped (never owned)
     kTimedOut = 4,  ///< TTL expired before execution; shed, result untouched
     kError = 5,     ///< wave threw and retries were exhausted
+    kCorrupted = 6, ///< detected data corruption persisted through retries
   };
 
   const snn::Tensor* image = nullptr;  ///< input; caller keeps it alive
@@ -183,6 +204,18 @@ struct ServeRequest {
   /// microseconds after enqueue. 0 = inherit ServerConfig::default_ttl_us;
   /// negative = no deadline even when the server has a default.
   std::int64_t ttl_us = 0;
+  /// Opt this request's wave into redundant-lane execution (primary + shadow
+  /// pass, output seals compared) even when the server-wide
+  /// IntegrityConfig::redundant_lanes default is off.
+  bool redundant = false;
+  /// Written by submit() when checksum_spikes is armed: the admission seal of
+  /// `image`, verified again when the wave forms (catches corruption while
+  /// the request sat in the ring).
+  Seal input_seal;
+  /// Written before kDone when checksums are armed: the chained CRC32C seal
+  /// over every timestep's final output map — the caller's end-to-end
+  /// integrity handle for the served result.
+  Seal result_seal;
 
   // Telemetry (steady_clock ns), written by the server.
   std::uint64_t enqueue_ns = 0;
@@ -260,8 +293,13 @@ struct ServerConfig {
   /// Deterministic fault schedule, keyed by wave index (never wall-clock).
   /// Structural events (fail-stop / slowdown / link degrade) are applied to
   /// the sharded backend before the first wave whose index reaches them;
-  /// transient events make that wave's first execution attempts throw.
+  /// transient events make that wave's first execution attempts throw; data
+  /// events (weight / spike / membrane flips) corrupt that wave's first
+  /// `failures` attempts and are undone/regenerated between attempts.
   FaultPlan faults;
+  /// Data-integrity protection switches (all off by default — bit-exact
+  /// historical behavior). See runtime/integrity.hpp.
+  IntegrityConfig integrity;
 };
 
 /// Aggregate telemetry snapshot. Histograms record microseconds.
@@ -287,6 +325,20 @@ struct ServerStats {
   std::uint64_t faults_applied = 0;    ///< structural events applied in total
   int degrade_replans = 0;   ///< backend re-plan passes (one per fail-stop)
   int active_clusters = 0;   ///< surviving clusters at snapshot time
+  // Data-integrity telemetry (bench/integrity_profile.cpp and the CI
+  // --integrity guard reconcile these against the injected data faults).
+  std::uint64_t corrupted = 0;           ///< requests that ended kCorrupted
+  std::uint64_t integrity_checks = 0;    ///< seal verifications performed
+  std::uint64_t integrity_mismatches = 0;  ///< verifications that failed
+  std::uint64_t integrity_faults = 0;    ///< IntegrityFault throws observed
+  /// Individual flips physically applied (an event active for k attempts
+  /// counts k times — what actually hit live buffers).
+  std::uint64_t data_faults_injected = 0;
+  std::uint64_t redundant_waves = 0;     ///< waves that ran a shadow pass
+  std::uint64_t crc_sealed_bytes = 0;    ///< bytes sealed or verified
+  /// Modeled checker cycles: crc_sealed_bytes / crc_bytes_per_cycle — the
+  /// protection overhead benches report against served cycles.
+  double crc_cycles = 0;
   common::LogHistogram latency_us;  ///< enqueue -> complete
   common::LogHistogram queue_us;    ///< enqueue -> dispatch
   common::RunningStats wave_lanes;       ///< occupied lanes per wave
@@ -336,9 +388,12 @@ class InferenceServer {
   std::uint64_t ttl_ns(const ServeRequest& req) const;
   /// Publish kTimedOut on an expired request (dispatcher thread only).
   void shed_expired(ServeRequest* req, std::uint64_t now);
-  /// Apply every structural fault event whose wave index has arrived;
+  /// Apply every structural fault event whose wave index has arrived and
+  /// collect this wave's data-corruption events into wave_data_faults_;
   /// returns how many transient failures the coming wave must survive.
   int apply_fault_events();
+  /// Lazily size the shadow-pass buffers for redundant-lane execution.
+  void ensure_shadow();
   /// Hysteresis-gated wave-size update; see the header comment. Returns
   /// +1 / -1 / 0 for grow / shrink / hold (stats are recorded by the caller).
   int update_controller(std::size_t wn, int target, int fire_reason,
@@ -372,6 +427,21 @@ class InferenceServer {
   std::vector<snn::NetworkState> states_;
   std::vector<InferenceResult> steps_;
   std::vector<InferenceEngine::BatchLane> lanes_;
+
+  // Data-integrity state (dispatcher-owned). weight_seals_ is computed once
+  // at construction when checksum_weights is armed; out_crc_/out_bytes_
+  // chain each lane's per-timestep completion seal; the shadow buffers back
+  // redundant-lane execution and are allocated lazily on the first
+  // redundant wave (only servers that use the mode pay its state memory).
+  std::vector<Seal> weight_seals_;
+  std::vector<FaultEvent> wave_data_faults_;  ///< this wave's data events
+  std::vector<std::uint32_t> out_crc_;
+  std::vector<std::uint64_t> out_bytes_;
+  std::vector<snn::NetworkState> shadow_states_;
+  std::vector<InferenceResult> shadow_steps_;
+  std::vector<InferenceEngine::BatchLane> shadow_lanes_;
+  std::vector<std::uint32_t> shadow_crc_;
+  std::vector<std::uint64_t> shadow_bytes_;
 
   // Controller streaks (dispatcher-owned).
   int grow_streak_ = 0;

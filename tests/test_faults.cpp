@@ -117,6 +117,93 @@ TEST(FaultPlan, ChaosIsSeedDeterministicAndBounded) {
   EXPECT_TRUE(differs) << "different seeds should draw different schedules";
 }
 
+TEST(FaultPlan, ChaosPropertiesHoldAcrossManySeeds) {
+  // Property sweep over 64 seeds: every chaos schedule must stay wave-sorted
+  // (stable builders), never draw more than clusters-1 fail-stops, replay
+  // identically for the same seed, and differ from its neighbor seed — the
+  // invariants the soak tests and benches lean on without checking.
+  constexpr std::uint64_t kWaves = 32;
+  constexpr int kClusters = 4;
+  constexpr int kEvents = 12;
+  std::vector<rt::FaultPlan> plans;
+  plans.reserve(64);
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    plans.push_back(rt::FaultPlan::chaos(seed, kWaves, kClusters, kEvents));
+    const rt::FaultPlan& p = plans.back();
+    ASSERT_EQ(p.size(), static_cast<std::size_t>(kEvents)) << "seed " << seed;
+    int kills = 0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const rt::FaultEvent& e = p.events()[i];
+      if (i > 0) {
+        EXPECT_LE(p.events()[i - 1].wave, e.wave)
+            << "seed " << seed << ": events must stay wave-sorted";
+      }
+      EXPECT_LT(e.wave, kWaves) << "seed " << seed;
+      if (e.kind == rt::FaultKind::kClusterFailStop) ++kills;
+    }
+    EXPECT_LE(kills, kClusters - 1)
+        << "seed " << seed << ": the last cluster must stay unkillable";
+
+    const rt::FaultPlan replay =
+        rt::FaultPlan::chaos(seed, kWaves, kClusters, kEvents);
+    ASSERT_EQ(replay.size(), p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      EXPECT_TRUE(events_equal(replay.events()[i], p.events()[i]))
+          << "seed " << seed << " must replay identically";
+    }
+  }
+  // Neighbor seeds draw distinct schedules (no accidental seed aliasing).
+  for (std::size_t s = 1; s < plans.size(); ++s) {
+    bool differs = false;
+    for (std::size_t i = 0; !differs && i < plans[s].size(); ++i) {
+      differs = !events_equal(plans[s].events()[i], plans[s - 1].events()[i]);
+    }
+    EXPECT_TRUE(differs) << "seeds " << s - 1 << " and " << s
+                         << " drew identical schedules";
+  }
+}
+
+TEST(FaultPlan, ChaosDataIsDeterministicRangedAndIndependent) {
+  constexpr std::uint64_t kWaves = 16;
+  constexpr int kLayers = 3;
+  constexpr int kLanes = 4;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const rt::FaultPlan p =
+        rt::FaultPlan::chaos_data(seed, kWaves, kLayers, kLanes, 10);
+    ASSERT_EQ(p.size(), 10u);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const rt::FaultEvent& e = p.events()[i];
+      EXPECT_TRUE(rt::is_data_fault(e.kind)) << "seed " << seed;
+      EXPECT_LT(e.wave, kWaves);
+      EXPECT_GE(e.layer, 0);
+      EXPECT_LT(e.layer, kLayers);
+      EXPECT_GE(e.lane, 0);
+      EXPECT_LT(e.lane, kLanes);
+      EXPECT_GE(e.failures, 1);
+      if (i > 0) EXPECT_LE(p.events()[i - 1].wave, e.wave);
+    }
+    const rt::FaultPlan replay =
+        rt::FaultPlan::chaos_data(seed, kWaves, kLayers, kLanes, 10);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const rt::FaultEvent& a = p.events()[i];
+      const rt::FaultEvent& b = replay.events()[i];
+      EXPECT_TRUE(events_equal(a, b) && a.layer == b.layer && a.bit == b.bit &&
+                  a.lane == b.lane)
+          << "seed " << seed << " must replay identically";
+    }
+  }
+  // Independent draw streams: the structural and data schedules of the same
+  // user seed must not be correlated copies of each other.
+  const rt::FaultPlan s = rt::FaultPlan::chaos(5, kWaves, kLanes, 10);
+  const rt::FaultPlan d = rt::FaultPlan::chaos_data(5, kWaves, kLayers,
+                                                    kLanes, 10);
+  bool differs = false;
+  for (std::size_t i = 0; !differs && i < s.size(); ++i) {
+    differs = s.events()[i].wave != d.events()[i].wave;
+  }
+  EXPECT_TRUE(differs) << "chaos and chaos_data must use distinct streams";
+}
+
 TEST(NocModel, LinkDerateStretchesCyclesAndUnityIsExact) {
   arch::NocParams p;
   p.topology = arch::NocTopology::kCrossbar;
@@ -471,4 +558,81 @@ TEST(FaultServer, ChaosSoakAccountsForEveryRequest) {
             st.cluster_failures)
       << "one re-plan per accepted fail-stop, never more";
   EXPECT_GE(st.active_clusters, 1);
+}
+
+TEST(FaultServer, CombinedStructuralAndDataFaultSoak) {
+  // Worst-case soak: structural chaos (kills, slowdowns, link derates,
+  // transients) and data chaos (weight / spike / membrane bit flips) merged
+  // into one schedule, served with every defense armed — weight and spike
+  // checksums plus redundant lanes. Two invariants must survive anything the
+  // combined schedule throws: (1) every request that completes carries spike
+  // counts bit-identical to the healthy offline baseline (corruption is never
+  // silently served), and (2) the accounting reconciles exactly, including
+  // the kCorrupted terminal state.
+  const snn::Network net = test_net();
+  const auto images = snn::make_batch(4, 37, 16, 16, 3);
+  k::RunOptions opt;
+  opt.segment_major_lanes = 4;
+
+  std::vector<rt::MultiStepResult> offline;
+  {
+    rt::InferenceEngine ref(net, opt, sharded(4));
+    snn::NetworkState st = ref.make_state();
+    for (const auto& img : images) {
+      offline.push_back(rt::run_timesteps(ref, st, img, 1));
+    }
+  }
+
+  rt::ServerConfig scfg;
+  scfg.adaptive_wave = false;
+  scfg.retry_backoff_us = 10;
+  scfg.faults = rt::FaultPlan::chaos(/*seed=*/7, /*waves=*/8, /*clusters=*/4,
+                                     /*events=*/8);
+  const rt::FaultPlan data = rt::FaultPlan::chaos_data(
+      /*seed=*/7, /*waves=*/8, /*layers=*/3, /*lanes=*/4, /*events=*/8);
+  for (const auto& e : data.events()) scfg.faults.add(e);
+  scfg.integrity.checksum_weights = true;
+  scfg.integrity.checksum_spikes = true;
+  scfg.integrity.redundant_lanes = true;
+  rt::InferenceServer server(net, opt, sharded(4), scfg);
+
+  constexpr int kWaves = 10;
+  std::uint64_t done = 0, failed = 0;
+  std::vector<rt::ServeRequest> reqs(images.size());
+  for (int w = 0; w < kWaves; ++w) {
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      reqs[i].image = &images[i];
+      ASSERT_TRUE(server.submit(reqs[i]));
+    }
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].wait()) {
+        ++done;
+        EXPECT_EQ(reqs[i].result.spike_counts, offline[i].spike_counts)
+            << "wave " << w << " lane " << i
+            << ": completed requests must never carry corrupted spikes";
+      } else {
+        ++failed;
+        const int s = reqs[i].state.load();
+        EXPECT_TRUE(s == rt::ServeRequest::kError ||
+                    s == rt::ServeRequest::kCorrupted)
+            << "wave " << w << " lane " << i << " ended in state " << s;
+      }
+    }
+  }
+  server.stop();
+
+  const rt::ServerStats st = server.stats();
+  EXPECT_EQ(st.admitted, static_cast<std::uint64_t>(kWaves) * images.size());
+  EXPECT_EQ(st.admitted,
+            st.completed + st.timed_out + st.errored + st.corrupted);
+  EXPECT_EQ(st.completed, done);
+  EXPECT_EQ(st.errored + st.corrupted, failed);
+  EXPECT_GT(st.data_faults_injected, 0u)
+      << "the data half of the schedule must actually fire";
+  EXPECT_GT(st.integrity_checks, 0u);
+  // Waves whose every attempt throws before the primary pass finishes never
+  // reach the shadow pass, so only a lower bound of one holds in general.
+  EXPECT_GT(st.redundant_waves, 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(st.degrade_replans),
+            st.cluster_failures);
 }
